@@ -1,0 +1,69 @@
+// Reproduces the post-PnR implementation numbers of §5.2 / Figure 8 from
+// the analytical ASIC model: area, memory-macro inventory, frequency and
+// power of the default configuration, plus the §5.4 size argument for the
+// chosen configuration.
+#include <cstdio>
+
+#include "asic/area_model.hpp"
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace wfasic;
+  using namespace wfasic::bench;
+
+  print_header("Figure 8 / §5.2: ASIC implementation model (GF22FDX)",
+               "(anchored to the paper's published post-PnR datapoints)");
+
+  hw::AcceleratorConfig cfg;  // 1 Aligner x 64 PS, 10K reads, score <= 8000
+  const asic::AreaEstimate est = asic::estimate(cfg);
+  const asic::MemoryInventory& inv = est.memory;
+
+  std::printf("%-44s %12s %12s\n", "Quantity", "model", "paper");
+  print_rule(72);
+  std::printf("%-44s %12.2f %12s\n", "Total area (mm2)", est.total_area_mm2,
+              "1.6");
+  std::printf("%-44s %11.0f%% %12s\n", "Memory fraction of area",
+              100.0 * est.memory_area_mm2 / est.total_area_mm2, "85%");
+  std::printf("%-44s %12.2f %12s\n", "Memory capacity (MB)",
+              static_cast<double>(inv.total_bytes()) / 1e6, "0.48");
+  std::printf("%-44s %12u %12s\n", "Memory macros", inv.macro_count, "260");
+  std::printf("%-44s %12.2f %12s\n", "Frequency post-PnR (GHz)",
+              est.frequency_ghz, "1.1");
+  std::printf("%-44s %12.0f %12s\n", "Power (mW)", est.power_mw, "312");
+  print_rule(72);
+
+  std::printf("\nMemory inventory breakdown (bytes):\n");
+  std::printf("  Input_Seq RAMs (2 x %u replicas x %u words x 4B): %llu\n",
+              cfg.parallel_sections, cfg.max_supported_read_len / 16 + 2,
+              static_cast<unsigned long long>(inv.input_seq_bytes));
+  std::printf("  Wavefront M window (%u cols, RAM 1'/4' duplicated): %llu\n",
+              asic::m_window_columns(cfg.pen),
+              static_cast<unsigned long long>(inv.wavefront_m_bytes));
+  std::printf("  Wavefront I/D merged windows: %llu\n",
+              static_cast<unsigned long long>(inv.wavefront_id_bytes));
+  std::printf("  Input/Output FIFOs (2 x 256 x 16B): %llu\n",
+              static_cast<unsigned long long>(inv.fifo_bytes));
+
+  const asic::FpgaEstimate fpga = asic::estimate_fpga(cfg);
+  std::printf(
+      "\nFPGA prototype (Alveo U280, §5.3): ~%u BRAM36 (%.0f%% of 2016); "
+      "multi-\nAligner scaling experiments spill into URAM as on the real "
+      "board.\n",
+      fpga.bram36, 100.0 * fpga.bram_fraction);
+
+  // The §5.4 configuration argument.
+  hw::AcceleratorConfig half = cfg;
+  half.parallel_sections = 32;
+  hw::AcceleratorConfig two32 = half;
+  two32.num_aligners = 2;
+  const double a64 = est.total_area_mm2;
+  const double a32 = asic::estimate(half).total_area_mm2;
+  const double a2x32 = asic::estimate(two32).total_area_mm2;
+  std::printf(
+      "\n§5.4 configuration analysis:\n"
+      "  1 Aligner x 32 PS area: %.2f mm2 (%.2fx smaller than 64 PS;\n"
+      "  paper: 'only 1.5x smaller')\n"
+      "  2 Aligners x 32 PS area: %.2f mm2 (> %.2f mm2 of 1x64PS)\n",
+      a32, a64 / a32, a2x32, a64);
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Shared support for the table/figure reproduction benches: workload
+// setup, per-input-set measurement via the SoC simulator, and fixed-width
+// table printing.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/wfa.hpp"
+#include "cpu/cpu_model.hpp"
+#include "gen/seqgen.hpp"
+#include "soc/soc.hpp"
+
+namespace wfasic::bench {
+
+/// Pair counts per input-set size class, chosen so every bench finishes in
+/// seconds while averaging over several alignments.
+struct PairCounts {
+  std::size_t short_reads = 10;   // 100 bp
+  std::size_t medium_reads = 6;   // 1 Kbp
+  std::size_t long_reads = 2;     // 10 Kbp
+};
+
+inline std::vector<gen::InputSetSpec> paper_sets(const PairCounts& counts) {
+  return gen::paper_input_sets(counts.short_reads, counts.medium_reads,
+                               counts.long_reads);
+}
+
+/// Mean accelerator-side measurements of one batch run.
+struct AccelMeasurement {
+  double mean_align_cycles = 0;
+  /// Isolated per-pair DMA read time (bursts + latency), the paper's
+  /// Table-1 "Reading Cycles" semantics.
+  double mean_reading_cycles = 0;
+  /// Steady-state extraction span (FIFO-buffered, usually shorter).
+  double mean_extract_cycles = 0;
+  std::uint64_t batch_cycles = 0;   ///< whole-batch accelerator run
+  std::uint64_t cpu_bt_cycles = 0;  ///< CPU backtrace (0 when disabled)
+  std::size_t pairs = 0;
+  bool all_success = true;
+
+  [[nodiscard]] std::uint64_t total_cycles() const {
+    return batch_cycles + cpu_bt_cycles;
+  }
+};
+
+inline AccelMeasurement measure_accelerator(
+    const std::vector<gen::SequencePair>& pairs, const soc::SocConfig& cfg,
+    bool backtrace, bool separate_data) {
+  // Size main memory to the workload: backtrace streams need room (the
+  // 10K-10% set writes ~11 MB per pair); score-only runs get by with a
+  // small arena, which keeps parallel bench runs cheap.
+  soc::SocConfig sized = cfg;
+  if (!backtrace) {
+    sized.memory_bytes = 16ull << 20;
+    sized.out_addr = 12ull << 20;
+  }
+  soc::Soc soc(sized);
+  const soc::BatchResult result =
+      soc.run_batch(pairs, backtrace, separate_data);
+  AccelMeasurement m;
+  m.pairs = pairs.size();
+  m.batch_cycles = result.accel_cycles;
+  m.cpu_bt_cycles = result.cpu_bt_cycles;
+  for (const auto& rec : result.records) {
+    m.mean_align_cycles += static_cast<double>(rec.align_cycles);
+    m.all_success = m.all_success && rec.success;
+  }
+  m.mean_align_cycles /= static_cast<double>(pairs.size());
+  for (const auto& rec : result.read_records) {
+    m.mean_reading_cycles += static_cast<double>(
+        cfg.accel.axi.stream_read_cycles(rec.beats));
+    m.mean_extract_cycles += static_cast<double>(rec.reading_cycles);
+  }
+  m.mean_reading_cycles /= static_cast<double>(result.read_records.size());
+  m.mean_extract_cycles /= static_cast<double>(result.read_records.size());
+  return m;
+}
+
+/// Mean CPU-baseline cycles per pair for one input set (the WFA-CPU code
+/// on the in-order core model, default penalties).
+inline double measure_cpu_baseline(const std::vector<gen::SequencePair>& pairs,
+                                   core::ExtendMode mode,
+                                   core::Traceback traceback) {
+  const cpu::CpuModel model;
+  double total = 0;
+  for (const auto& pair : pairs) {
+    total += static_cast<double>(
+        model.run_wfa(pair.a, pair.b, kDefaultPenalties, mode, traceback)
+            .stats.total());
+  }
+  return total / static_cast<double>(pairs.size());
+}
+
+/// Equivalent SWG DP-cell count for a batch (§5.5: CUPS counts "the
+/// equivalent number of DP cells that the SWG algorithm would need").
+inline std::uint64_t equivalent_cells(
+    const std::vector<gen::SequencePair>& pairs) {
+  std::uint64_t cells = 0;
+  for (const auto& pair : pairs) {
+    cells += static_cast<std::uint64_t>(pair.a.size() + 1) *
+             static_cast<std::uint64_t>(pair.b.size() + 1);
+  }
+  return cells;
+}
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n%s\n", title);
+  if (paper_note != nullptr && paper_note[0] != '\0') {
+    std::printf("%s\n", paper_note);
+  }
+  print_rule(78);
+}
+
+}  // namespace wfasic::bench

@@ -1,0 +1,77 @@
+// Reproduces Figure 9 of the paper: speedup of the WFAsic accelerator over
+// the WFA-CPU scalar code on the SoC's RISC-V core, with and without
+// backtrace, plus the CPU vector-vs-scalar comparison.
+//
+// Paper: 143x-1076x without backtrace, 2.8x-344x with backtrace; vector
+// speedups 1.7 / 1.8 / 1.2 / 1.1 / 1.0 / 1.0 across the six input sets.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/parallel_for.hpp"
+
+namespace {
+
+struct Row {
+  double nbt_speedup = 0;
+  double bt_speedup = 0;
+  double vector_speedup = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace wfasic;
+  using namespace wfasic::bench;
+
+  print_header(
+      "Figure 9: WFAsic speedup over WFA-CPU scalar (per input set)",
+      "(speedups are per-pair; CPU baseline runs the same WFA C code on "
+      "the in-order core model)");
+  std::printf("%-9s %16s %16s %16s\n", "Input", "no-BT speedup",
+              "BT speedup", "vector/scalar");
+  print_rule(78);
+
+  const PairCounts counts{8, 4, 2};
+  const auto sets = paper_sets(counts);
+  std::vector<Row> rows(sets.size());
+
+  parallel_for(sets.size(), [&](std::size_t idx) {
+    const auto pairs = gen::generate_input_set(sets[idx]);
+
+    // CPU baselines (scalar includes its own backtrace, as in [14]).
+    const double cpu_scalar = measure_cpu_baseline(
+        pairs, core::ExtendMode::kScalar, core::Traceback::kEnabled);
+    const double cpu_vector = measure_cpu_baseline(
+        pairs, core::ExtendMode::kBlocked, core::Traceback::kEnabled);
+
+    // Accelerator, backtrace disabled: per-pair alignment cycles.
+    soc::SocConfig cfg;
+    const AccelMeasurement nbt =
+        measure_accelerator(pairs, cfg, /*backtrace=*/false, false);
+
+    // Accelerator + CPU backtrace (single-Aligner No-Sep method).
+    const AccelMeasurement bt =
+        measure_accelerator(pairs, cfg, /*backtrace=*/true, false);
+    const double bt_per_pair = static_cast<double>(bt.total_cycles()) /
+                               static_cast<double>(pairs.size());
+
+    rows[idx].nbt_speedup = cpu_scalar / nbt.mean_align_cycles;
+    rows[idx].bt_speedup = cpu_scalar / bt_per_pair;
+    rows[idx].vector_speedup = cpu_scalar / cpu_vector;
+  });
+
+  for (std::size_t idx = 0; idx < sets.size(); ++idx) {
+    std::printf("%-9s %15.0fx %15.1fx %15.2fx\n", sets[idx].name().c_str(),
+                rows[idx].nbt_speedup, rows[idx].bt_speedup,
+                rows[idx].vector_speedup);
+  }
+  print_rule(78);
+  std::printf(
+      "Expected shape: no-BT speedups of order 10^2-10^3 growing with read\n"
+      "length; BT speedups collapse for short reads (CPU backtrace and\n"
+      "driver overheads dominate tiny alignments) and recover for long\n"
+      "reads; the vector advantage fades as the working set leaves the\n"
+      "caches (paper: 1.7 -> 1.0).\n");
+  return 0;
+}

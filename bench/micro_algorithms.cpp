@@ -1,0 +1,98 @@
+// Wall-clock micro-benchmarks of the software alignment library
+// (google-benchmark): the WFA-vs-SWG motivation of §1/§2 — WFA's O(n*s)
+// beats the O(n^2) dynamic programs, and the gap widens with length and
+// shrinks with error rate.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/sw_linear.hpp"
+#include "core/swg_affine.hpp"
+#include "core/wfa.hpp"
+#include "gen/seqgen.hpp"
+
+namespace {
+
+using namespace wfasic;
+
+std::pair<std::string, std::string> make_pair_for(std::size_t length,
+                                                  double error_rate) {
+  Prng prng(0xb0b0 + length + static_cast<std::uint64_t>(error_rate * 100));
+  std::string a = gen::random_sequence(prng, length);
+  std::string b = gen::mutate_sequence(prng, a, error_rate);
+  return {std::move(a), std::move(b)};
+}
+
+void BM_SwgAffine(benchmark::State& state) {
+  const auto [a, b] = make_pair_for(static_cast<std::size_t>(state.range(0)),
+                                    state.range(1) / 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::swg_score(a, b, kDefaultPenalties));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_SwLinear(benchmark::State& state) {
+  const auto [a, b] = make_pair_for(static_cast<std::size_t>(state.range(0)),
+                                    state.range(1) / 100.0);
+  const core::LinearPenalties pen{4, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::align_sw_linear(a, b, pen, core::Traceback::kDisabled));
+  }
+}
+
+void BM_WfaScoreOnly(benchmark::State& state) {
+  const auto [a, b] = make_pair_for(static_cast<std::size_t>(state.range(0)),
+                                    state.range(1) / 100.0);
+  core::WfaConfig cfg;
+  cfg.traceback = core::Traceback::kDisabled;
+  core::WfaAligner aligner(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.align(a, b));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_WfaWithTraceback(benchmark::State& state) {
+  const auto [a, b] = make_pair_for(static_cast<std::size_t>(state.range(0)),
+                                    state.range(1) / 100.0);
+  core::WfaAligner aligner;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.align(a, b));
+  }
+}
+
+void BM_WfaBlockedExtend(benchmark::State& state) {
+  const auto [a, b] = make_pair_for(static_cast<std::size_t>(state.range(0)),
+                                    state.range(1) / 100.0);
+  core::WfaConfig cfg;
+  cfg.traceback = core::Traceback::kDisabled;
+  cfg.extend = core::ExtendMode::kBlocked;
+  core::WfaAligner aligner(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aligner.align(a, b));
+  }
+}
+
+// Args: {length, error% }.
+BENCHMARK(BM_SwgAffine)
+    ->Args({100, 5})
+    ->Args({100, 10})
+    ->Args({1000, 5})
+    ->Args({1000, 10});
+BENCHMARK(BM_SwLinear)->Args({100, 5})->Args({1000, 5});
+BENCHMARK(BM_WfaScoreOnly)
+    ->Args({100, 5})
+    ->Args({100, 10})
+    ->Args({1000, 5})
+    ->Args({1000, 10})
+    ->Args({10000, 5})
+    ->Args({10000, 10});
+BENCHMARK(BM_WfaWithTraceback)->Args({100, 5})->Args({1000, 10});
+BENCHMARK(BM_WfaBlockedExtend)->Args({1000, 10})->Args({10000, 5});
+
+}  // namespace
+
+BENCHMARK_MAIN();

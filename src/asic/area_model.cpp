@@ -1,0 +1,146 @@
+#include "asic/area_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace wfasic::asic {
+namespace {
+
+// Published post-PnR anchor points of the default configuration (§5.2).
+constexpr double kAnchorTotalArea = 1.6;        // mm^2
+constexpr double kAnchorMemoryFraction = 0.85;  // "85% of the area"
+constexpr std::uint64_t kAnchorMemoryBytes = 475'660;  // ~0.48 MB
+constexpr unsigned kAnchorMacros = 260;
+constexpr unsigned kAnchorParallelSections = 64;
+constexpr double kAnchorFreq = 1.1;    // GHz post-PnR
+constexpr double kPostSynthFreq = 1.5; // GHz post-synthesis
+constexpr double kAnchorPower = 312.0; // mW
+
+// Wavefront offsets are stored as 16-bit words in the macros (14 value
+// bits for 10K reads plus validity, rounded to the macro width).
+constexpr std::uint64_t kOffsetBytes = 2;
+
+}  // namespace
+
+unsigned m_window_columns(const Penalties& pen) {
+  // The M window must reach back to scores s-x and s-(o+e); columns hold
+  // wavefronts at the distinct reachable lags, plus the frame column. For
+  // the default (4, 6, 2) this is 5, matching Figure 6.
+  const score_t deepest = std::max(pen.mismatch, pen.open_total());
+  return static_cast<unsigned>(deepest / std::max<score_t>(
+                                             pen.gap_extend, 1)) + 1;
+}
+
+MemoryInventory memory_inventory(const hw::AcceleratorConfig& cfg) {
+  WFASIC_REQUIRE(cfg.valid(), "memory_inventory: invalid configuration");
+  MemoryInventory inv;
+
+  // Input and output FIFOs: 256 deep x 16 bytes each (§4.6).
+  inv.fifo_bytes = (cfg.input_fifo_depth + cfg.output_fifo_depth) * 16;
+  inv.macro_count = 2;
+
+  const std::uint64_t P = cfg.parallel_sections;
+  // Input_Seq RAM: 4-byte words, depth = MAX_READ_LEN/16 + 2 (id + length
+  // + packed bases, §4.2), replicated once per parallel section and per
+  // sequence (§4.3).
+  const std::uint64_t input_depth = cfg.max_supported_read_len / 16 + 2;
+  const std::uint64_t input_seq_per_aligner = 2 * P * input_depth * 4;
+
+  // Wavefront windows (Figure 6): 2*k_max+1 cells per column.
+  const std::uint64_t cells = 2 * static_cast<std::uint64_t>(cfg.k_max) + 1;
+  const unsigned m_cols = m_window_columns(cfg.pen);
+  // M window: m_cols columns + the RAM 1'/4' duplication (2 of the P RAMs
+  // are doubled, §4.3.1).
+  const double dup_factor = 1.0 + 2.0 / static_cast<double>(P);
+  const auto m_bytes_per_aligner = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(m_cols * cells * kOffsetBytes) *
+                   dup_factor));
+  // I and D windows: source + frame column each, merged into shared
+  // Wavefront_I/D macros (§4.6).
+  const std::uint64_t id_bytes_per_aligner = 2 * 2 * cells * kOffsetBytes;
+
+  inv.input_seq_bytes = cfg.num_aligners * input_seq_per_aligner;
+  inv.wavefront_m_bytes = cfg.num_aligners * m_bytes_per_aligner;
+  inv.wavefront_id_bytes = cfg.num_aligners * id_bytes_per_aligner;
+  // Macros per Aligner: 2P Input_Seq + (P + 2) Wavefront_M + P merged
+  // Wavefront_I/D = 4P + 2 (260 total for 1 Aligner x 64 PS with the two
+  // FIFOs, matching Figure 8).
+  inv.macro_count += cfg.num_aligners * (4 * static_cast<unsigned>(P) + 2);
+  return inv;
+}
+
+AreaEstimate estimate(const hw::AcceleratorConfig& cfg) {
+  AreaEstimate est;
+  est.memory = memory_inventory(cfg);
+
+  const double mm2_per_byte =
+      kAnchorTotalArea * kAnchorMemoryFraction /
+      static_cast<double>(kAnchorMemoryBytes);
+  est.memory_area_mm2 =
+      static_cast<double>(est.memory.total_bytes()) * mm2_per_byte;
+
+  // Logic (Extend/Compute datapaths, Extractor, Collector, DMA) scales
+  // with the total number of parallel sections.
+  const double logic_anchor = kAnchorTotalArea * (1.0 - kAnchorMemoryFraction);
+  est.logic_area_mm2 = logic_anchor *
+                       static_cast<double>(cfg.num_aligners *
+                                           cfg.parallel_sections) /
+                       static_cast<double>(kAnchorParallelSections);
+  est.total_area_mm2 = est.memory_area_mm2 + est.logic_area_mm2;
+
+  // Frequency degrades with macro count (routing pressure, §4.6): linear
+  // fit through (0 macros, post-synthesis 1.5 GHz) and (260, 1.1 GHz).
+  const double slope = (kPostSynthFreq - kAnchorFreq) / kAnchorMacros;
+  est.frequency_ghz = std::max(
+      0.3, kPostSynthFreq - slope * est.memory.macro_count);
+
+  // Power scales with area x frequency, anchored at 312 mW.
+  est.power_mw = kAnchorPower * (est.total_area_mm2 / kAnchorTotalArea) *
+                 (est.frequency_ghz / kAnchorFreq);
+  return est;
+}
+
+FpgaEstimate estimate_fpga(const hw::AcceleratorConfig& cfg) {
+  // Map each memory onto 36 Kbit BRAMs. On the FPGA every RAM instance is
+  // a separate dual-port IP core, so small memories still consume at
+  // least one BRAM each (the dominant effect: 4P+2 instances per Aligner
+  // plus two deep FIFOs).
+  const MemoryInventory inv = memory_inventory(cfg);
+  const std::uint64_t P = cfg.parallel_sections;
+  const auto brams_for = [](std::uint64_t bytes_per_instance,
+                            std::uint64_t instances) {
+    const std::uint64_t bits = bytes_per_instance * 8;
+    const std::uint64_t per = (bits + 36 * 1024 - 1) / (36 * 1024);
+    return instances * std::max<std::uint64_t>(per, 1);
+  };
+
+  std::uint64_t brams = 0;
+  // FIFOs: 256 x 16 B each.
+  brams += brams_for(256 * 16, 2);
+  // Input_Seq: 2P instances per Aligner.
+  const std::uint64_t input_instances = cfg.num_aligners * 2 * P;
+  brams += brams_for(inv.input_seq_bytes / input_instances, input_instances);
+  // Wavefront M: P + 2 instances per Aligner.
+  const std::uint64_t m_instances = cfg.num_aligners * (P + 2);
+  brams += brams_for(inv.wavefront_m_bytes / m_instances, m_instances);
+  // Wavefront I/D: P instances per Aligner.
+  const std::uint64_t id_instances = cfg.num_aligners * P;
+  brams += brams_for(inv.wavefront_id_bytes / id_instances, id_instances);
+
+  FpgaEstimate est;
+  est.bram36 = static_cast<unsigned>(brams);
+  est.bram_fraction = static_cast<double>(brams) / 2016.0;  // Alveo U280
+  return est;
+}
+
+double gcups(std::uint64_t equivalent_cells, std::uint64_t cycles,
+             double frequency_ghz) {
+  WFASIC_REQUIRE(cycles > 0, "gcups: zero cycle count");
+  const double seconds =
+      static_cast<double>(cycles) / (frequency_ghz * 1e9);
+  return static_cast<double>(equivalent_cells) / seconds / 1e9;
+}
+
+}  // namespace wfasic::asic

@@ -1,0 +1,71 @@
+// Analytical ASIC area / frequency / power model (§5.2, Figure 8).
+//
+// The model builds the memory-macro inventory of a configuration from the
+// microarchitecture (Input_Seq replication per parallel section, the
+// Figure-6 wavefront windows with RAM 1'/4' duplication, merged I/D RAMs,
+// the two 256x16B FIFOs) and anchors the area/frequency/power scaling to
+// the paper's published post-PnR datapoints for the default configuration:
+// 1.6 mm^2, 0.48 MB of macros, 260 macros, 85% memory area, 1.1 GHz,
+// 312 mW in GF22FDX.
+//
+// With the default configuration this model reproduces those numbers, and
+// it also reproduces the paper's §5.4 observation that a 32-PS Aligner is
+// "only 1.5x smaller" than a 64-PS one (memory dominates, and the M-window
+// RAM duplication is relatively more expensive at smaller P).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/config.hpp"
+
+namespace wfasic::asic {
+
+struct MemoryInventory {
+  std::uint64_t fifo_bytes = 0;
+  std::uint64_t input_seq_bytes = 0;
+  std::uint64_t wavefront_m_bytes = 0;
+  std::uint64_t wavefront_id_bytes = 0;  ///< merged I/D RAMs
+  unsigned macro_count = 0;
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    return fifo_bytes + input_seq_bytes + wavefront_m_bytes +
+           wavefront_id_bytes;
+  }
+};
+
+struct AreaEstimate {
+  MemoryInventory memory;
+  double memory_area_mm2 = 0;
+  double logic_area_mm2 = 0;
+  double total_area_mm2 = 0;
+  double frequency_ghz = 0;
+  double power_mw = 0;
+};
+
+/// Number of M-window columns the design keeps live (Figure 6: 4 source
+/// columns + the frame column for the default penalties).
+[[nodiscard]] unsigned m_window_columns(const Penalties& pen);
+
+/// Memory inventory of a configuration.
+[[nodiscard]] MemoryInventory memory_inventory(
+    const hw::AcceleratorConfig& cfg);
+
+/// Full area/frequency/power estimate.
+[[nodiscard]] AreaEstimate estimate(const hw::AcceleratorConfig& cfg);
+
+/// GCUPS (giga cell updates per second) for an alignment workload: the
+/// equivalent SWG DP-cell count divided by wall time (§5.5 computes CUPS
+/// "considering the equivalent number of DP cells that the SWG algorithm
+/// would need").
+[[nodiscard]] double gcups(std::uint64_t equivalent_cells,
+                           std::uint64_t cycles, double frequency_ghz);
+
+/// FPGA-prototype resource estimate (§4.6/§5.3: the design was first
+/// brought up on an Alveo U280, with FIFOs/RAMs as block-RAM IP cores).
+struct FpgaEstimate {
+  unsigned bram36 = 0;     ///< 36 Kbit block RAMs for all memories
+  double bram_fraction = 0;  ///< of the U280's 2016 BRAM36 sites
+};
+[[nodiscard]] FpgaEstimate estimate_fpga(const hw::AcceleratorConfig& cfg);
+
+}  // namespace wfasic::asic

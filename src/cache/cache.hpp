@@ -1,0 +1,168 @@
+// Set-associative cache simulator with LRU replacement, write-allocate /
+// write-back. Models the SoC's data-side hierarchy (32 KB L1D + 512 KB L2,
+// §3) to charge the CPU baseline realistic memory stalls.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::cache {
+
+struct CacheConfig {
+  std::string name = "cache";
+  std::size_t size_bytes = 32 * 1024;
+  std::size_t ways = 8;
+  std::size_t line_bytes = 64;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  [[nodiscard]] double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg) : cfg_(cfg) {
+    WFASIC_REQUIRE(cfg.line_bytes > 0 && (cfg.line_bytes & (cfg.line_bytes - 1)) == 0,
+                   "Cache: line size must be a power of two");
+    WFASIC_REQUIRE(cfg.size_bytes % (cfg.line_bytes * cfg.ways) == 0,
+                   "Cache: size must be a multiple of ways*line");
+    num_sets_ = cfg.size_bytes / (cfg.line_bytes * cfg.ways);
+    WFASIC_REQUIRE((num_sets_ & (num_sets_ - 1)) == 0,
+                   "Cache: set count must be a power of two");
+    lines_.assign(num_sets_ * cfg.ways, Line{});
+  }
+
+  /// One line-sized probe. Returns true on hit; on miss the line is filled
+  /// (evicting LRU; dirty evictions count as writebacks).
+  bool access(std::uint64_t addr, bool is_write) {
+    ++stats_.accesses;
+    const std::uint64_t line_addr = addr / cfg_.line_bytes;
+    const std::size_t set = line_addr & (num_sets_ - 1);
+    const std::uint64_t tag = line_addr >> log2(num_sets_);
+    Line* base = &lines_[set * cfg_.ways];
+    Line* victim = base;
+    for (std::size_t way = 0; way < cfg_.ways; ++way) {
+      Line& line = base[way];
+      if (line.valid && line.tag == tag) {
+        ++stats_.hits;
+        line.lru = ++lru_clock_;
+        line.dirty = line.dirty || is_write;
+        return true;
+      }
+      if (!line.valid) {
+        victim = &line;
+      } else if (victim->valid && line.lru < victim->lru) {
+        victim = &line;
+      }
+    }
+    ++stats_.misses;
+    if (victim->valid && victim->dirty) ++stats_.writebacks;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = is_write;
+    victim->lru = ++lru_clock_;
+    return false;
+  }
+
+  void flush() {
+    for (Line& line : lines_) line = Line{};
+  }
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CacheStats{}; }
+  [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t num_sets() const { return num_sets_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  static std::size_t log2(std::size_t v) {
+    std::size_t bits = 0;
+    while ((std::size_t{1} << bits) < v) ++bits;
+    return bits;
+  }
+
+  CacheConfig cfg_;
+  std::size_t num_sets_;
+  std::vector<Line> lines_;
+  CacheStats stats_;
+  std::uint64_t lru_clock_ = 0;
+};
+
+/// Two-level data hierarchy: access() returns the stall cycles beyond an
+/// L1 hit (which the CPU model folds into its base cost).
+class Hierarchy {
+ public:
+  struct Latencies {
+    unsigned l2_hit = 11;      ///< extra cycles on L1 miss / L2 hit
+    unsigned memory = 90;      ///< extra cycles on L2 miss
+    unsigned writeback = 10;   ///< cost of a dirty eviction reaching DRAM
+  };
+
+  Hierarchy(CacheConfig l1, CacheConfig l2) : l1_(l1), l2_(l2) {}
+  Hierarchy(CacheConfig l1, CacheConfig l2, Latencies lat)
+      : l1_(l1), l2_(l2), lat_(lat) {}
+
+  /// Default SoC hierarchy: 32 KB/8-way L1D, 512 KB/8-way L2, 64 B lines.
+  static Hierarchy make_soc() {
+    return Hierarchy({"l1d", 32 * 1024, 8, 64}, {"l2", 512 * 1024, 8, 64});
+  }
+
+  /// Probes an access of `size` bytes at `addr`; touches every line the
+  /// access spans. Returns total stall cycles.
+  std::uint64_t access(std::uint64_t addr, std::uint32_t size, bool is_write) {
+    std::uint64_t stall = 0;
+    const std::size_t line = l1_.config().line_bytes;
+    const std::uint64_t first = addr / line;
+    const std::uint64_t last = (addr + (size == 0 ? 0 : size - 1)) / line;
+    for (std::uint64_t l = first; l <= last; ++l) {
+      const std::uint64_t line_addr = l * line;
+      if (l1_.access(line_addr, is_write)) continue;
+      const std::uint64_t wb_before = l2_.stats().writebacks;
+      if (l2_.access(line_addr, is_write)) {
+        stall += lat_.l2_hit;
+      } else {
+        stall += lat_.l2_hit + lat_.memory;
+      }
+      stall += (l2_.stats().writebacks - wb_before) * lat_.writeback;
+    }
+    return stall;
+  }
+
+  void flush() {
+    l1_.flush();
+    l2_.flush();
+  }
+  void reset_stats() {
+    l1_.reset_stats();
+    l2_.reset_stats();
+  }
+
+  [[nodiscard]] const Cache& l1() const { return l1_; }
+  [[nodiscard]] const Cache& l2() const { return l2_; }
+  [[nodiscard]] const Latencies& latencies() const { return lat_; }
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  Latencies lat_;
+};
+
+}  // namespace wfasic::cache

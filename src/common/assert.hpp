@@ -1,0 +1,41 @@
+// Lightweight always-on assertion support for the WFAsic library.
+//
+// Simulator correctness matters more than the last few percent of speed, so
+// these checks stay enabled in release builds unless WFASIC_DISABLE_CHECKS
+// is defined. Use WFASIC_ASSERT for internal invariants and WFASIC_REQUIRE
+// for public-API precondition violations (both abort with a message).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wfasic::detail {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "%s failed: %s\n  at %s:%d\n  %s\n", kind, expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace wfasic::detail
+
+#if defined(WFASIC_DISABLE_CHECKS)
+#define WFASIC_ASSERT(expr, msg) ((void)0)
+#define WFASIC_REQUIRE(expr, msg) ((void)0)
+#else
+#define WFASIC_ASSERT(expr, msg)                                          \
+  ((expr) ? (void)0                                                       \
+          : ::wfasic::detail::assert_fail("WFASIC_ASSERT", #expr,         \
+                                          __FILE__, __LINE__, (msg)))
+#define WFASIC_REQUIRE(expr, msg)                                         \
+  ((expr) ? (void)0                                                       \
+          : ::wfasic::detail::assert_fail("WFASIC_REQUIRE", #expr,        \
+                                          __FILE__, __LINE__, (msg)))
+#endif
+
+// Marks unreachable control flow; aborts if reached.
+#define WFASIC_UNREACHABLE(msg)                                           \
+  ::wfasic::detail::assert_fail("WFASIC_UNREACHABLE", "unreachable",      \
+                                __FILE__, __LINE__, (msg))

@@ -1,0 +1,166 @@
+#include "common/cigar.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wfasic {
+
+char cigar_op_char(CigarOp op) {
+  switch (op) {
+    case CigarOp::kMatch:
+      return 'M';
+    case CigarOp::kMismatch:
+      return 'X';
+    case CigarOp::kInsertion:
+      return 'I';
+    case CigarOp::kDeletion:
+      return 'D';
+  }
+  WFASIC_UNREACHABLE("bad CigarOp");
+}
+
+CigarOp cigar_op_from_char(char c) {
+  switch (c) {
+    case 'M':
+      return CigarOp::kMatch;
+    case 'X':
+      return CigarOp::kMismatch;
+    case 'I':
+      return CigarOp::kInsertion;
+    case 'D':
+      return CigarOp::kDeletion;
+    default:
+      WFASIC_UNREACHABLE("bad CIGAR character");
+  }
+}
+
+Cigar Cigar::from_string(std::string_view ops) {
+  Cigar c;
+  c.ops_.reserve(ops.size());
+  for (char ch : ops) c.push(cigar_op_from_char(ch));
+  return c;
+}
+
+void Cigar::push(CigarOp op, std::uint32_t count) {
+  ops_.insert(ops_.end(), count, op);
+}
+
+void Cigar::reverse() { std::reverse(ops_.begin(), ops_.end()); }
+
+std::string Cigar::str() const {
+  std::string out;
+  out.reserve(ops_.size());
+  for (CigarOp op : ops_) out.push_back(cigar_op_char(op));
+  return out;
+}
+
+std::vector<CigarRun> Cigar::runs() const {
+  std::vector<CigarRun> out;
+  for (CigarOp op : ops_) {
+    if (!out.empty() && out.back().op == op) {
+      ++out.back().length;
+    } else {
+      out.push_back({op, 1});
+    }
+  }
+  return out;
+}
+
+std::string Cigar::rle() const {
+  std::string out;
+  for (const CigarRun& run : runs()) {
+    out += std::to_string(run.length);
+    out.push_back(cigar_op_char(run.op));
+  }
+  return out;
+}
+
+std::size_t Cigar::pattern_length() const {
+  std::size_t n = 0;
+  for (CigarOp op : ops_)
+    if (op != CigarOp::kInsertion) ++n;
+  return n;
+}
+
+std::size_t Cigar::text_length() const {
+  std::size_t n = 0;
+  for (CigarOp op : ops_)
+    if (op != CigarOp::kDeletion) ++n;
+  return n;
+}
+
+score_t Cigar::score(const Penalties& pen) const {
+  score_t total = 0;
+  CigarOp prev = CigarOp::kMatch;
+  bool first = true;
+  for (CigarOp op : ops_) {
+    switch (op) {
+      case CigarOp::kMatch:
+        break;
+      case CigarOp::kMismatch:
+        total += pen.mismatch;
+        break;
+      case CigarOp::kInsertion:
+      case CigarOp::kDeletion: {
+        const bool continues = !first && prev == op;
+        total += continues ? pen.gap_extend : pen.open_total();
+        break;
+      }
+    }
+    prev = op;
+    first = false;
+  }
+  return total;
+}
+
+Cigar::Counts Cigar::counts() const {
+  Counts c;
+  for (CigarOp op : ops_) {
+    switch (op) {
+      case CigarOp::kMatch:
+        ++c.matches;
+        break;
+      case CigarOp::kMismatch:
+        ++c.mismatches;
+        break;
+      case CigarOp::kInsertion:
+        ++c.insertions;
+        break;
+      case CigarOp::kDeletion:
+        ++c.deletions;
+        break;
+    }
+  }
+  return c;
+}
+
+bool Cigar::is_valid_for(std::string_view a, std::string_view b) const {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  for (CigarOp op : ops_) {
+    switch (op) {
+      case CigarOp::kMatch:
+        if (i >= a.size() || j >= b.size() || a[i] != b[j]) return false;
+        ++i;
+        ++j;
+        break;
+      case CigarOp::kMismatch:
+        if (i >= a.size() || j >= b.size() || a[i] == b[j]) return false;
+        ++i;
+        ++j;
+        break;
+      case CigarOp::kInsertion:
+        if (j >= b.size()) return false;
+        ++j;
+        break;
+      case CigarOp::kDeletion:
+        if (i >= a.size()) return false;
+        ++i;
+        break;
+    }
+  }
+  return i == a.size() && j == b.size();
+}
+
+}  // namespace wfasic

@@ -1,0 +1,96 @@
+// CIGAR: the edit transcript produced by pairwise alignment backtrace.
+//
+// Conventions (match the paper, Figure 1):
+//   'M' — match           (consumes one base of a and one of b)
+//   'X' — mismatch        (consumes one base of a and one of b)
+//   'I' — insertion       (consumes one base of b; a gap in a)
+//   'D' — deletion        (consumes one base of a; a gap in b)
+//
+// Sequence a is the "pattern"/query (vertical DP axis), sequence b the
+// "text"/reference (horizontal axis). An insertion advances j only, a
+// deletion advances i only — consistent with Eq. 2/3 where I consumes b and
+// D consumes a.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wfasic {
+
+/// One alignment operation.
+enum class CigarOp : std::uint8_t { kMatch, kMismatch, kInsertion, kDeletion };
+
+/// Character code of an operation ('M', 'X', 'I', 'D').
+[[nodiscard]] char cigar_op_char(CigarOp op);
+
+/// Parses 'M'/'X'/'I'/'D'; aborts on anything else.
+[[nodiscard]] CigarOp cigar_op_from_char(char c);
+
+/// Run-length encoded CIGAR entry.
+struct CigarRun {
+  CigarOp op;
+  std::uint32_t length;
+  friend bool operator==(const CigarRun&, const CigarRun&) = default;
+};
+
+/// An edit transcript between two sequences plus helpers to score, verify
+/// and print it. Stored uncompressed (one op per element) for simplicity;
+/// use runs() for the RLE view.
+class Cigar {
+ public:
+  Cigar() = default;
+
+  /// Builds from an uncompressed op string such as "MMXMMIID".
+  [[nodiscard]] static Cigar from_string(std::string_view ops);
+
+  void push(CigarOp op) { ops_.push_back(op); }
+  void push(CigarOp op, std::uint32_t count);
+  void reverse();
+  void clear() { ops_.clear(); }
+
+  [[nodiscard]] bool empty() const { return ops_.empty(); }
+  [[nodiscard]] std::size_t size() const { return ops_.size(); }
+  [[nodiscard]] CigarOp at(std::size_t idx) const { return ops_[idx]; }
+  [[nodiscard]] const std::vector<CigarOp>& ops() const { return ops_; }
+
+  /// Uncompressed textual form, e.g. "MMXMMIID".
+  [[nodiscard]] std::string str() const;
+
+  /// Run-length encoded form, e.g. "2M1X2M2I1D".
+  [[nodiscard]] std::string rle() const;
+
+  /// Run-length encoded view.
+  [[nodiscard]] std::vector<CigarRun> runs() const;
+
+  /// Number of a-bases consumed (M + X + D).
+  [[nodiscard]] std::size_t pattern_length() const;
+
+  /// Number of b-bases consumed (M + X + I).
+  [[nodiscard]] std::size_t text_length() const;
+
+  /// Gap-affine score of this transcript under `pen` (mismatch x, first gap
+  /// base o+e, every further gap base e). Matches cost 0.
+  [[nodiscard]] score_t score(const Penalties& pen) const;
+
+  /// Counts of each op kind, indexable by CigarOp.
+  struct Counts {
+    std::size_t matches = 0, mismatches = 0, insertions = 0, deletions = 0;
+  };
+  [[nodiscard]] Counts counts() const;
+
+  /// True if this transcript is a valid alignment of a onto b: consumes
+  /// exactly both sequences, 'M' only where bases agree, 'X' only where
+  /// they differ.
+  [[nodiscard]] bool is_valid_for(std::string_view a, std::string_view b) const;
+
+  friend bool operator==(const Cigar&, const Cigar&) = default;
+
+ private:
+  std::vector<CigarOp> ops_;
+};
+
+}  // namespace wfasic

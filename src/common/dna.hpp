@@ -1,0 +1,50 @@
+// DNA alphabet utilities and the 2-bit packed encoding used by the
+// accelerator's Input_Seq RAMs (§4.2: "the Extractor module maps each base
+// of one byte to two bits, so the blocks of 16 bases fit in four bytes").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wfasic {
+
+/// 2-bit base codes. 'N' (unknown) has no code: reads containing 'N' are
+/// rejected by the Extractor (§4.2) and by encode_base.
+enum class Base : std::uint8_t { kA = 0, kC = 1, kG = 2, kT = 3 };
+
+inline constexpr char kBaseChars[4] = {'A', 'C', 'G', 'T'};
+
+/// True for A/C/G/T (upper case only — the driver canonicalises input).
+[[nodiscard]] constexpr bool is_valid_base(char c) {
+  return c == 'A' || c == 'C' || c == 'G' || c == 'T';
+}
+
+/// 2-bit code of a valid base; 0xff for anything else (including 'N').
+[[nodiscard]] constexpr std::uint8_t encode_base(char c) {
+  switch (c) {
+    case 'A':
+      return 0;
+    case 'C':
+      return 1;
+    case 'G':
+      return 2;
+    case 'T':
+      return 3;
+    default:
+      return 0xff;
+  }
+}
+
+[[nodiscard]] constexpr char decode_base(std::uint8_t code) {
+  return kBaseChars[code & 3];
+}
+
+/// True if the whole sequence is over {A,C,G,T}.
+[[nodiscard]] inline bool is_valid_sequence(std::string_view seq) {
+  for (char c : seq)
+    if (!is_valid_base(c)) return false;
+  return true;
+}
+
+}  // namespace wfasic

@@ -1,0 +1,87 @@
+#include "common/packed_seq.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace wfasic {
+
+PackedSeq::PackedSeq(std::string_view seq) : length_(seq.size()) {
+  words_.assign((seq.size() + kBasesPerWord - 1) / kBasesPerWord, 0u);
+  for (std::size_t pos = 0; pos < seq.size(); ++pos) {
+    const std::uint8_t code = encode_base(seq[pos]);
+    WFASIC_REQUIRE(code != 0xff, "PackedSeq: invalid base character");
+    words_[pos / kBasesPerWord] |=
+        static_cast<std::uint32_t>(code) << (2 * (pos % kBasesPerWord));
+  }
+}
+
+PackedSeq PackedSeq::from_words(std::vector<std::uint32_t> words,
+                                std::size_t length) {
+  WFASIC_REQUIRE(words.size() * kBasesPerWord >= length,
+                 "PackedSeq::from_words: not enough words for length");
+  PackedSeq seq;
+  seq.words_ = std::move(words);
+  seq.length_ = length;
+  return seq;
+}
+
+std::uint8_t PackedSeq::code_at(std::size_t pos) const {
+  WFASIC_REQUIRE(pos < length_, "PackedSeq::code_at out of range");
+  return (words_[pos / kBasesPerWord] >> (2 * (pos % kBasesPerWord))) & 3u;
+}
+
+std::size_t PackedSeq::match_run(std::size_t i, const PackedSeq& other,
+                                 std::size_t j) const {
+  std::size_t run = 0;
+  // Compare 16-base blocks: load two 32-bit windows starting at arbitrary
+  // base offsets (mirrors the Extend sub-module's REG_1/REG_2 concatenate &
+  // shift datapath, Figure 7), XOR, and count trailing zero base-pairs.
+  while (i < length_ && j < other.length_) {
+    const std::size_t remaining_a = length_ - i;
+    const std::size_t remaining_b = other.length_ - j;
+    const std::uint64_t wa = window64(*this, i);
+    const std::uint64_t wb = window64(other, j);
+    std::uint64_t diff = wa ^ wb;
+    // Mask off bases beyond either sequence end so padding never matches.
+    const std::size_t limit =
+        std::min<std::size_t>({kBasesPerWord, remaining_a, remaining_b});
+    if (limit < 32) {
+      const std::uint64_t valid_mask =
+          limit >= 32 ? ~0ULL : ((1ULL << (2 * limit)) - 1);
+      diff |= ~valid_mask;  // force a "difference" at the first invalid base
+    }
+    const std::size_t matched =
+        diff == 0 ? 32 : static_cast<std::size_t>(std::countr_zero(diff)) / 2;
+    const std::size_t step = std::min(matched, limit);
+    run += step;
+    i += step;
+    j += step;
+    if (step < kBasesPerWord) break;  // hit a mismatch or an end
+  }
+  return run;
+}
+
+std::string PackedSeq::str() const {
+  std::string out;
+  out.reserve(length_);
+  for (std::size_t pos = 0; pos < length_; ++pos) out.push_back(char_at(pos));
+  return out;
+}
+
+std::uint64_t PackedSeq::window64(const PackedSeq& seq, std::size_t pos) {
+  // 32 bases starting at `pos`, assembled from two words and shifted so the
+  // base at `pos` sits in the least significant 2 bits.
+  const std::size_t word_idx = pos / kBasesPerWord;
+  const std::size_t bit_off = 2 * (pos % kBasesPerWord);
+  const std::uint64_t lo = seq.word(word_idx);
+  const std::uint64_t mid = seq.word(word_idx + 1);
+  const std::uint64_t hi = seq.word(word_idx + 2);
+  const std::uint64_t combined = lo | (mid << 32);
+  std::uint64_t window = combined >> bit_off;
+  if (bit_off != 0) window |= hi << (64 - bit_off);
+  return window;
+}
+
+}  // namespace wfasic

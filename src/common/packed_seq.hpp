@@ -1,0 +1,75 @@
+// PackedSeq: a DNA sequence stored 2 bits per base in 32-bit words, exactly
+// the layout of the accelerator's Input_Seq RAM payload (16 bases per 4-byte
+// word, base 0 in the least significant bits).
+//
+// This type backs both the hardware model (the Extractor writes words of
+// this layout) and the blocked/"vector" CPU WFA variant (which compares 16
+// bases at a time by XOR-ing words).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/dna.hpp"
+
+namespace wfasic {
+
+class PackedSeq {
+ public:
+  /// Bases per 32-bit word.
+  static constexpr std::size_t kBasesPerWord = 16;
+
+  PackedSeq() = default;
+
+  /// Packs an A/C/G/T string. Aborts on invalid characters; validate with
+  /// is_valid_sequence() first if the input is untrusted.
+  explicit PackedSeq(std::string_view seq);
+
+  [[nodiscard]] std::size_t size() const { return length_; }
+  [[nodiscard]] bool empty() const { return length_ == 0; }
+
+  /// 2-bit code of base at `pos` (< size()).
+  [[nodiscard]] std::uint8_t code_at(std::size_t pos) const;
+
+  /// Character of base at `pos`.
+  [[nodiscard]] char char_at(std::size_t pos) const {
+    return decode_base(code_at(pos));
+  }
+
+  /// The 32-bit word holding bases [idx*16, idx*16+16). Bases past the end
+  /// of the sequence are zero (code 'A') — callers must mask by length.
+  [[nodiscard]] std::uint32_t word(std::size_t idx) const {
+    return idx < words_.size() ? words_[idx] : 0u;
+  }
+
+  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
+  [[nodiscard]] const std::vector<std::uint32_t>& words() const {
+    return words_;
+  }
+
+  /// Number of consecutive equal bases of *this at position i and other at
+  /// position j (the WFA extend primitive), compared 16 bases per step.
+  [[nodiscard]] std::size_t match_run(std::size_t i, const PackedSeq& other,
+                                      std::size_t j) const;
+
+  /// Unpacks back to an A/C/G/T string.
+  [[nodiscard]] std::string str() const;
+
+  /// Builds directly from packed words + a length (used by the hardware
+  /// model when reading Input_Seq RAM images).
+  [[nodiscard]] static PackedSeq from_words(std::vector<std::uint32_t> words,
+                                            std::size_t length);
+
+ private:
+  /// 32 bases starting at `pos` as a 64-bit word, base `pos` in the least
+  /// significant 2 bits (the Extend datapath's shifted comparator input).
+  [[nodiscard]] static std::uint64_t window64(const PackedSeq& seq,
+                                              std::size_t pos);
+
+  std::vector<std::uint32_t> words_;
+  std::size_t length_ = 0;
+};
+
+}  // namespace wfasic

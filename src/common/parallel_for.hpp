@@ -1,0 +1,46 @@
+// Minimal index-space parallelism for embarrassingly parallel work
+// (independent simulator runs in the benches). Each worker thread claims
+// indices from an atomic counter; exceptions abort (simulator code reports
+// errors via WFASIC_REQUIRE, not exceptions).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace wfasic {
+
+/// Invokes body(i) for every i in [0, count), using up to `threads` worker
+/// threads (0 = hardware concurrency). The body must be thread-safe with
+/// respect to distinct indices. Iteration order is unspecified.
+inline void parallel_for(std::size_t count,
+                         const std::function<void(std::size_t)>& body,
+                         unsigned threads = 0) {
+  if (count == 0) return;
+  unsigned workers = threads != 0 ? threads
+                                  : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > count) workers = static_cast<unsigned>(count);
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace wfasic

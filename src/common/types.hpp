@@ -1,0 +1,52 @@
+// Core vocabulary types shared by the alignment library and the simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace wfasic {
+
+/// Wavefront diagonal offset. Offsets index positions in the *text*
+/// (sequence b); see Eq. 4 of the paper: i = offset - k, j = offset.
+using offset_t = std::int32_t;
+
+/// Alignment penalty score (gap-affine distance). 0 means identical.
+using score_t = std::int32_t;
+
+/// Diagonal index k = j - i.
+using diag_t = std::int32_t;
+
+/// Sentinel for "no wavefront cell here". Far enough from valid offsets
+/// that +1/-1 arithmetic cannot wrap it into the valid range.
+inline constexpr offset_t kOffsetNull =
+    std::numeric_limits<offset_t>::min() / 2;
+
+/// Sentinel score used by DP code for "unreachable".
+inline constexpr score_t kScoreInf = std::numeric_limits<score_t>::max() / 4;
+
+/// Gap-affine penalty configuration (match is always free).
+///
+/// Penalties are non-negative; a first gap costs open+extend, each further
+/// gap base costs extend (Eq. 2/3 of the paper).
+struct Penalties {
+  score_t mismatch = 4;    ///< x
+  score_t gap_open = 6;    ///< o
+  score_t gap_extend = 2;  ///< e
+
+  [[nodiscard]] constexpr score_t open_total() const {
+    return gap_open + gap_extend;  // o + e, charged at gap opening
+  }
+  [[nodiscard]] constexpr bool valid() const {
+    return mismatch > 0 && gap_extend > 0 && gap_open >= 0;
+  }
+  [[nodiscard]] std::string str() const {
+    return "(x=" + std::to_string(mismatch) + ",o=" + std::to_string(gap_open) +
+           ",e=" + std::to_string(gap_extend) + ")";
+  }
+};
+
+/// The paper's default penalty set (§4, Eq. 5).
+inline constexpr Penalties kDefaultPenalties{4, 6, 2};
+
+}  // namespace wfasic

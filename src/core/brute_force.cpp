@@ -1,0 +1,39 @@
+#include "core/brute_force.hpp"
+
+#include <algorithm>
+
+namespace wfasic::core {
+namespace {
+
+enum class Last { kNone, kIns, kDel };
+
+score_t search(std::string_view a, std::string_view b, std::size_t i,
+               std::size_t j, Last last, const Penalties& pen) {
+  if (i == a.size() && j == b.size()) return 0;
+  score_t best = kScoreInf;
+  if (i < a.size() && j < b.size()) {
+    const score_t step = a[i] == b[j] ? 0 : pen.mismatch;
+    best = std::min(best,
+                    step + search(a, b, i + 1, j + 1, Last::kNone, pen));
+  }
+  if (j < b.size()) {  // insertion: consume one base of b
+    const score_t step =
+        last == Last::kIns ? pen.gap_extend : pen.open_total();
+    best = std::min(best, step + search(a, b, i, j + 1, Last::kIns, pen));
+  }
+  if (i < a.size()) {  // deletion: consume one base of a
+    const score_t step =
+        last == Last::kDel ? pen.gap_extend : pen.open_total();
+    best = std::min(best, step + search(a, b, i + 1, j, Last::kDel, pen));
+  }
+  return best;
+}
+
+}  // namespace
+
+score_t brute_force_score(std::string_view a, std::string_view b,
+                          const Penalties& pen) {
+  return search(a, b, 0, 0, Last::kNone, pen);
+}
+
+}  // namespace wfasic::core

@@ -1,0 +1,18 @@
+// Exhaustive alignment-enumeration oracle for tiny inputs.
+//
+// Recursively tries every edit transcript (no dynamic programming, no
+// shared code with the DP/WFA implementations) so property tests have an
+// independent ground truth. Exponential — keep sequences under ~8 bases.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+
+namespace wfasic::core {
+
+/// Minimal gap-affine distance between a and b by brute-force enumeration.
+[[nodiscard]] score_t brute_force_score(std::string_view a, std::string_view b,
+                                        const Penalties& pen);
+
+}  // namespace wfasic::core

@@ -1,0 +1,64 @@
+#include "core/sw_linear.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::core {
+
+AlignResult align_sw_linear(std::string_view a, std::string_view b,
+                            const LinearPenalties& pen, Traceback traceback) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  // H[i][j] = best distance aligning a[0,i) to b[0,j), row-major (m+1 wide).
+  std::vector<score_t> h((n + 1) * (m + 1), 0);
+  auto H = [&](std::size_t i, std::size_t j) -> score_t& {
+    return h[i * (m + 1) + j];
+  };
+  for (std::size_t j = 1; j <= m; ++j) H(0, j) = static_cast<score_t>(j) * pen.gap;
+  for (std::size_t i = 1; i <= n; ++i) H(i, 0) = static_cast<score_t>(i) * pen.gap;
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      const score_t diag =
+          H(i - 1, j - 1) + (a[i - 1] == b[j - 1] ? 0 : pen.mismatch);
+      const score_t up = H(i - 1, j) + pen.gap;     // deletion (consume a)
+      const score_t left = H(i, j - 1) + pen.gap;   // insertion (consume b)
+      H(i, j) = std::min({diag, up, left});
+    }
+  }
+
+  AlignResult result;
+  result.ok = true;
+  result.score = H(n, m);
+  if (traceback == Traceback::kDisabled) return result;
+
+  // Backtrace by recomputing which neighbour produced each cell.
+  std::size_t i = n;
+  std::size_t j = m;
+  Cigar& cig = result.cigar;
+  while (i > 0 || j > 0) {
+    if (i > 0 && j > 0) {
+      const score_t diag_cost = a[i - 1] == b[j - 1] ? 0 : pen.mismatch;
+      if (H(i, j) == H(i - 1, j - 1) + diag_cost) {
+        cig.push(diag_cost == 0 ? CigarOp::kMatch : CigarOp::kMismatch);
+        --i;
+        --j;
+        continue;
+      }
+    }
+    if (i > 0 && H(i, j) == H(i - 1, j) + pen.gap) {
+      cig.push(CigarOp::kDeletion);
+      --i;
+      continue;
+    }
+    WFASIC_ASSERT(j > 0 && H(i, j) == H(i, j - 1) + pen.gap,
+                  "sw_linear backtrace: no predecessor matches");
+    cig.push(CigarOp::kInsertion);
+    --j;
+  }
+  cig.reverse();
+  return result;
+}
+
+}  // namespace wfasic::core

@@ -1,0 +1,28 @@
+// Gap-linear dynamic-programming alignment (Eq. 1 of the paper).
+//
+// Global (end-to-end) alignment in distance form: matches cost 0, a
+// mismatch costs x and every gap base costs g. This is the paper's
+// background baseline; the gap-affine SWG in swg_affine.hpp is the one WFA
+// must match exactly.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+#include "core/align_result.hpp"
+
+namespace wfasic::core {
+
+struct LinearPenalties {
+  score_t mismatch = 4;
+  score_t gap = 2;
+};
+
+/// Aligns pattern `a` against text `b` with the gap-linear model.
+/// O(n*m) time and memory.
+[[nodiscard]] AlignResult align_sw_linear(std::string_view a,
+                                          std::string_view b,
+                                          const LinearPenalties& pen,
+                                          Traceback traceback);
+
+}  // namespace wfasic::core

@@ -1,0 +1,157 @@
+#include "core/swg_affine.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::core {
+namespace {
+
+/// Saturating add that keeps "unreachable" unreachable.
+score_t sadd(score_t v, score_t delta) {
+  return v >= kScoreInf ? kScoreInf : v + delta;
+}
+
+}  // namespace
+
+AlignResult align_swg(std::string_view a, std::string_view b,
+                      const Penalties& pen, Traceback traceback) {
+  WFASIC_REQUIRE(pen.valid(), "align_swg: invalid penalties");
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t stride = m + 1;
+  std::vector<score_t> mm((n + 1) * stride, kScoreInf);
+  std::vector<score_t> ii((n + 1) * stride, kScoreInf);
+  std::vector<score_t> dd((n + 1) * stride, kScoreInf);
+  auto M = [&](std::size_t i, std::size_t j) -> score_t& {
+    return mm[i * stride + j];
+  };
+  auto I = [&](std::size_t i, std::size_t j) -> score_t& {
+    return ii[i * stride + j];
+  };
+  auto D = [&](std::size_t i, std::size_t j) -> score_t& {
+    return dd[i * stride + j];
+  };
+
+  M(0, 0) = 0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    I(0, j) = pen.open_total() + static_cast<score_t>(j - 1) * pen.gap_extend;
+    M(0, j) = I(0, j);
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    D(i, 0) = pen.open_total() + static_cast<score_t>(i - 1) * pen.gap_extend;
+    M(i, 0) = D(i, 0);
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      I(i, j) = std::min(sadd(M(i, j - 1), pen.open_total()),
+                         sadd(I(i, j - 1), pen.gap_extend));
+      D(i, j) = std::min(sadd(M(i - 1, j), pen.open_total()),
+                         sadd(D(i - 1, j), pen.gap_extend));
+      const score_t diag =
+          sadd(M(i - 1, j - 1), a[i - 1] == b[j - 1] ? 0 : pen.mismatch);
+      M(i, j) = std::min({diag, I(i, j), D(i, j)});
+    }
+  }
+
+  AlignResult result;
+  result.ok = true;
+  result.score = M(n, m);
+  if (traceback == Traceback::kDisabled) return result;
+
+  // Backtrace over the three matrices by recomputing provenance.
+  enum class Mat { kM, kI, kD };
+  Mat mat = Mat::kM;
+  std::size_t i = n;
+  std::size_t j = m;
+  Cigar& cig = result.cigar;
+  while (i > 0 || j > 0) {
+    switch (mat) {
+      case Mat::kM: {
+        if (M(i, j) == I(i, j)) {
+          mat = Mat::kI;
+        } else if (M(i, j) == D(i, j)) {
+          mat = Mat::kD;
+        } else {
+          WFASIC_ASSERT(i > 0 && j > 0, "swg backtrace: bad diagonal move");
+          const bool match = a[i - 1] == b[j - 1];
+          WFASIC_ASSERT(
+              M(i, j) == sadd(M(i - 1, j - 1), match ? 0 : pen.mismatch),
+              "swg backtrace: M cell has no provenance");
+          cig.push(match ? CigarOp::kMatch : CigarOp::kMismatch);
+          --i;
+          --j;
+        }
+        break;
+      }
+      case Mat::kI: {
+        WFASIC_ASSERT(j > 0, "swg backtrace: insertion at column 0");
+        cig.push(CigarOp::kInsertion);
+        // Prefer gap extension while it explains the value; fall back to
+        // the opening move from M. I(i,0) is unreachable, so sadd keeps the
+        // extension branch false at the column boundary.
+        if (I(i, j) == sadd(I(i, j - 1), pen.gap_extend)) {
+          mat = Mat::kI;
+        } else {
+          WFASIC_ASSERT(I(i, j) == sadd(M(i, j - 1), pen.open_total()),
+                        "swg backtrace: I cell has no provenance");
+          mat = Mat::kM;
+        }
+        --j;
+        break;
+      }
+      case Mat::kD: {
+        WFASIC_ASSERT(i > 0, "swg backtrace: deletion at row 0");
+        cig.push(CigarOp::kDeletion);
+        if (D(i, j) == sadd(D(i - 1, j), pen.gap_extend)) {
+          mat = Mat::kD;
+        } else {
+          WFASIC_ASSERT(D(i, j) == sadd(M(i - 1, j), pen.open_total()),
+                        "swg backtrace: D cell has no provenance");
+          mat = Mat::kM;
+        }
+        --i;
+        break;
+      }
+    }
+  }
+  cig.reverse();
+  return result;
+}
+
+score_t swg_score(std::string_view a, std::string_view b,
+                  const Penalties& pen) {
+  WFASIC_REQUIRE(pen.valid(), "swg_score: invalid penalties");
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  std::vector<score_t> m_prev(m + 1), i_prev(m + 1), d_prev(m + 1);
+  std::vector<score_t> m_cur(m + 1), i_cur(m + 1), d_cur(m + 1);
+  m_prev[0] = 0;
+  i_prev[0] = d_prev[0] = kScoreInf;
+  for (std::size_t j = 1; j <= m; ++j) {
+    i_prev[j] = pen.open_total() + static_cast<score_t>(j - 1) * pen.gap_extend;
+    m_prev[j] = i_prev[j];
+    d_prev[j] = kScoreInf;
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    d_cur[0] = pen.open_total() + static_cast<score_t>(i - 1) * pen.gap_extend;
+    m_cur[0] = d_cur[0];
+    i_cur[0] = kScoreInf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      i_cur[j] = std::min(sadd(m_cur[j - 1], pen.open_total()),
+                          sadd(i_cur[j - 1], pen.gap_extend));
+      d_cur[j] = std::min(sadd(m_prev[j], pen.open_total()),
+                          sadd(d_prev[j], pen.gap_extend));
+      const score_t diag =
+          sadd(m_prev[j - 1], a[i - 1] == b[j - 1] ? 0 : pen.mismatch);
+      m_cur[j] = std::min({diag, i_cur[j], d_cur[j]});
+    }
+    std::swap(m_prev, m_cur);
+    std::swap(i_prev, i_cur);
+    std::swap(d_prev, d_cur);
+  }
+  return m_prev[m];
+}
+
+}  // namespace wfasic::core

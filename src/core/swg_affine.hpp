@@ -1,0 +1,25 @@
+// Gap-affine dynamic-programming alignment: Smith-Waterman-Gotoh (Eq. 2).
+//
+// Global alignment in distance form over three matrices M/I/D. This is the
+// exact ground truth: the WFA (core/wfa.hpp) and the accelerator model must
+// produce identical scores, and their CIGARs must score identically.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+#include "core/align_result.hpp"
+
+namespace wfasic::core {
+
+/// Aligns pattern `a` against text `b` with the gap-affine model.
+/// O(n*m) time and memory (three DP matrices).
+[[nodiscard]] AlignResult align_swg(std::string_view a, std::string_view b,
+                                    const Penalties& pen, Traceback traceback);
+
+/// Score-only variant using two rolling rows — O(n*m) time, O(m) memory.
+/// Used by big property sweeps where full matrices would be wasteful.
+[[nodiscard]] score_t swg_score(std::string_view a, std::string_view b,
+                                const Penalties& pen);
+
+}  // namespace wfasic::core

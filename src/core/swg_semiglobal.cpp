@@ -1,0 +1,117 @@
+#include "core/swg_semiglobal.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::core {
+namespace {
+
+score_t sadd(score_t v, score_t delta) {
+  return v >= kScoreInf ? kScoreInf : v + delta;
+}
+
+}  // namespace
+
+SemiglobalResult align_swg_semiglobal(std::string_view a, std::string_view b,
+                                      const Penalties& pen,
+                                      Traceback traceback) {
+  WFASIC_REQUIRE(pen.valid(), "align_swg_semiglobal: invalid penalties");
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  const std::size_t stride = m + 1;
+  std::vector<score_t> mm((n + 1) * stride, kScoreInf);
+  std::vector<score_t> ii((n + 1) * stride, kScoreInf);
+  std::vector<score_t> dd((n + 1) * stride, kScoreInf);
+  auto M = [&](std::size_t i, std::size_t j) -> score_t& {
+    return mm[i * stride + j];
+  };
+  auto I = [&](std::size_t i, std::size_t j) -> score_t& {
+    return ii[i * stride + j];
+  };
+  auto D = [&](std::size_t i, std::size_t j) -> score_t& {
+    return dd[i * stride + j];
+  };
+
+  // Free leading text: the alignment may start at any text position.
+  for (std::size_t j = 0; j <= m; ++j) M(0, j) = 0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    D(i, 0) = pen.open_total() + static_cast<score_t>(i - 1) * pen.gap_extend;
+    M(i, 0) = D(i, 0);
+  }
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      I(i, j) = std::min(sadd(M(i, j - 1), pen.open_total()),
+                         sadd(I(i, j - 1), pen.gap_extend));
+      D(i, j) = std::min(sadd(M(i - 1, j), pen.open_total()),
+                         sadd(D(i - 1, j), pen.gap_extend));
+      const score_t diag =
+          sadd(M(i - 1, j - 1), a[i - 1] == b[j - 1] ? 0 : pen.mismatch);
+      M(i, j) = std::min({diag, I(i, j), D(i, j)});
+    }
+  }
+
+  // Free trailing text: the best score anywhere on the last row.
+  std::size_t best_j = 0;
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (M(n, j) < M(n, best_j)) best_j = j;
+  }
+
+  SemiglobalResult result;
+  result.align.ok = true;
+  result.align.score = M(n, best_j);
+  result.text_end = best_j;
+  result.text_begin = best_j;  // refined by the backtrace below
+
+  if (n == 0) {
+    result.text_begin = result.text_end = 0;
+    return result;
+  }
+
+  // Backtrace to find text_begin (always needed) and the CIGAR (optional).
+  enum class Mat { kM, kI, kD };
+  Mat mat = Mat::kM;
+  std::size_t i = n;
+  std::size_t j = best_j;
+  Cigar cig;
+  while (i > 0) {
+    switch (mat) {
+      case Mat::kM:
+        if (M(i, j) == I(i, j)) {
+          mat = Mat::kI;
+        } else if (M(i, j) == D(i, j)) {
+          mat = Mat::kD;
+        } else {
+          WFASIC_ASSERT(j > 0, "semiglobal backtrace: bad diagonal move");
+          const bool match = a[i - 1] == b[j - 1];
+          WFASIC_ASSERT(
+              M(i, j) == sadd(M(i - 1, j - 1), match ? 0 : pen.mismatch),
+              "semiglobal backtrace: M cell has no provenance");
+          cig.push(match ? CigarOp::kMatch : CigarOp::kMismatch);
+          --i;
+          --j;
+        }
+        break;
+      case Mat::kI:
+        WFASIC_ASSERT(j > 0, "semiglobal backtrace: insertion at column 0");
+        cig.push(CigarOp::kInsertion);
+        mat = I(i, j) == sadd(I(i, j - 1), pen.gap_extend) ? Mat::kI : Mat::kM;
+        --j;
+        break;
+      case Mat::kD:
+        cig.push(CigarOp::kDeletion);
+        mat = D(i, j) == sadd(D(i - 1, j), pen.gap_extend) ? Mat::kD : Mat::kM;
+        --i;
+        break;
+    }
+  }
+  result.text_begin = j;
+  if (traceback == Traceback::kEnabled) {
+    cig.reverse();
+    result.align.cigar = std::move(cig);
+  }
+  return result;
+}
+
+}  // namespace wfasic::core

@@ -1,0 +1,30 @@
+// Semiglobal (glocal) gap-affine alignment: the whole pattern `a` aligns
+// against any substring of the text `b` — leading/trailing text is free.
+//
+// This is the seed-extension flavour used by read mappers (§2.1): after
+// seeding proposes a candidate reference window, the read is aligned
+// end-to-end *inside* that window. O(n*m) time.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "common/types.hpp"
+#include "core/align_result.hpp"
+
+namespace wfasic::core {
+
+/// Result of a semiglobal alignment: where in the text the pattern landed.
+struct SemiglobalResult {
+  AlignResult align;           ///< cigar covers a fully, b[text_begin,text_end)
+  std::size_t text_begin = 0;  ///< first text position consumed
+  std::size_t text_end = 0;    ///< one past the last text position consumed
+};
+
+/// Aligns all of `a` against the best-scoring substring of `b`.
+[[nodiscard]] SemiglobalResult align_swg_semiglobal(std::string_view a,
+                                                    std::string_view b,
+                                                    const Penalties& pen,
+                                                    Traceback traceback);
+
+}  // namespace wfasic::core

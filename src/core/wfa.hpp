@@ -1,0 +1,112 @@
+// The WaveFront Alignment algorithm (Marco-Sola et al. 2021; Eq. 3 of the
+// WFAsic paper): exact gap-affine alignment in O(n*s) time.
+//
+// This is the software reference the accelerator is compared against
+// (the paper's "WFA-CPU" baseline, [14]) and the ground truth for the
+// hardware model's scores and backtrace. It supports:
+//   - full traceback (stores all wavefronts) or score-only (ring buffer),
+//   - scalar or 16-base blocked extension (the "CPU vector code" stand-in),
+//   - a hardware-style diagonal band limit k_max and a score cap,
+//   - an instrumentation probe feeding the CPU timing model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/packed_seq.hpp"
+#include "common/types.hpp"
+#include "core/align_result.hpp"
+#include "core/wavefront.hpp"
+#include "core/wfa_kernel.hpp"
+
+namespace wfasic::core {
+
+/// How the extend() operator compares bases.
+enum class ExtendMode {
+  kScalar,   ///< one base per step (the paper's CPU scalar code)
+  kBlocked,  ///< 16 bases per step on 2-bit packed words ("vector" code)
+};
+
+/// Adaptive wavefront reduction (the WFA paper's heuristic mode): after
+/// each extension, diagonals whose remaining distance to the end is far
+/// worse than the best are dropped from the wavefront edges. Trades
+/// exactness for speed; the ASIC never uses it (it is an exact design).
+struct WfaHeuristic {
+  bool enabled = false;
+  /// Never reduce below this many diagonals.
+  std::size_t min_wavefront_length = 10;
+  /// Drop edge diagonals whose distance exceeds the best by more than this.
+  offset_t max_distance_threshold = 50;
+};
+
+struct WfaConfig {
+  Penalties pen = kDefaultPenalties;
+  Traceback traceback = Traceback::kEnabled;
+  ExtendMode extend = ExtendMode::kScalar;
+  /// Maximum alignment score before giving up (< 0: derive the always-
+  /// sufficient bound from the sequence lengths).
+  score_t max_score = -1;
+  /// Diagonal band limit (the hardware's k_max, §4.3.1): wavefronts never
+  /// grow past |k| <= k_max. < 0 means unlimited. With a band, alignments
+  /// needing more diagonals fail (ok = false), as in the ASIC.
+  diag_t k_max = -1;
+  WfaHeuristic heuristic;
+};
+
+/// Instrumentation counters for the CPU cost model (src/cpu). All counters
+/// accumulate across align() calls; reset with WfaProbe::reset().
+struct WfaProbe {
+  std::uint64_t score_iterations = 0;  ///< scores visited (incl. null WFs)
+  std::uint64_t wavefronts_computed = 0;
+  std::uint64_t cells_computed = 0;   ///< frame-column cells (M+I+D trio)
+  std::uint64_t extend_cells = 0;     ///< cells extended
+  std::uint64_t chars_compared = 0;   ///< scalar base comparisons
+  std::uint64_t blocks_compared = 0;  ///< 16-base block comparisons
+  std::uint64_t wf_cells_read = 0;    ///< source-offset loads in compute
+  std::uint64_t wf_cells_written = 0;
+  std::uint64_t bt_steps = 0;         ///< backtrace loop iterations
+  std::uint64_t wf_bytes_allocated = 0;
+  std::uint64_t peak_live_wf_bytes = 0;
+
+  /// Optional synthetic memory trace (address, size, is_write) consumed by
+  /// the cache simulator. Leave empty to skip trace generation.
+  std::function<void(std::uint64_t addr, std::uint32_t size, bool is_write)>
+      mem_trace;
+
+  void reset() {
+    auto saved = std::move(mem_trace);
+    *this = WfaProbe{};
+    mem_trace = std::move(saved);
+  }
+};
+
+/// Exact gap-affine pairwise aligner based on wavefronts.
+class WfaAligner {
+ public:
+  explicit WfaAligner(WfaConfig cfg = {});
+
+  /// Aligns pattern `a` (vertical axis, consumed by M/X/D) against text `b`
+  /// (horizontal axis, consumed by M/X/I).
+  [[nodiscard]] AlignResult align(std::string_view a, std::string_view b);
+
+  [[nodiscard]] const WfaConfig& config() const { return cfg_; }
+  [[nodiscard]] const WfaProbe& probe() const { return probe_; }
+  [[nodiscard]] WfaProbe& probe() { return probe_; }
+
+  /// The always-sufficient score bound for sequences of these lengths:
+  /// delete all of a, insert all of b.
+  [[nodiscard]] static score_t worst_case_score(std::size_t a_len,
+                                                std::size_t b_len,
+                                                const Penalties& pen);
+
+ private:
+  struct Run;  // per-alignment state, defined in wfa.cpp
+
+  WfaConfig cfg_;
+  WfaProbe probe_;
+};
+
+}  // namespace wfasic::core

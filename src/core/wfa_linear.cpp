@@ -1,0 +1,191 @@
+#include "core/wfa_linear.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::core {
+namespace {
+
+/// One gap-linear wavefront: M offsets only.
+struct LinearWavefront {
+  diag_t lo;
+  diag_t hi;
+  std::vector<offset_t> m;
+
+  LinearWavefront(diag_t l, diag_t h)
+      : lo(l), hi(h), m(static_cast<std::size_t>(h - l + 1), kOffsetNull) {}
+
+  [[nodiscard]] offset_t get(diag_t k) const {
+    if (k < lo || k > hi) return kOffsetNull;
+    return m[static_cast<std::size_t>(k - lo)];
+  }
+  void set(diag_t k, offset_t v) {
+    WFASIC_ASSERT(k >= lo && k <= hi, "LinearWavefront write out of range");
+    m[static_cast<std::size_t>(k - lo)] = v;
+  }
+};
+
+struct Candidates {
+  offset_t sub;
+  offset_t ins;
+  offset_t del;
+  offset_t best;
+};
+
+[[nodiscard]] offset_t trim(offset_t offset, diag_t k, offset_t n,
+                            offset_t m_len) {
+  const offset_t i = offset - k;
+  const bool valid = offset != kOffsetNull && offset >= 0 &&
+                     offset <= m_len && i >= 0 && i <= n;
+  return valid ? offset : kOffsetNull;
+}
+
+}  // namespace
+
+WfaLinearAligner::WfaLinearAligner(WfaLinearConfig cfg) : cfg_(cfg) {
+  WFASIC_REQUIRE(cfg_.pen.mismatch > 0 && cfg_.pen.gap > 0,
+                 "WfaLinearAligner: penalties must be positive");
+}
+
+score_t WfaLinearAligner::edit_distance(std::string_view a,
+                                        std::string_view b) {
+  WfaLinearConfig cfg;
+  cfg.pen = LinearPenalties{1, 1};
+  cfg.traceback = Traceback::kDisabled;
+  WfaLinearAligner aligner(cfg);
+  const AlignResult r = aligner.align(a, b);
+  WFASIC_ASSERT(r.ok, "edit_distance: unbounded alignment failed");
+  return r.score;
+}
+
+AlignResult WfaLinearAligner::align(std::string_view a, std::string_view b) {
+  const auto n = static_cast<offset_t>(a.size());
+  const auto m_len = static_cast<offset_t>(b.size());
+  const diag_t k_align = m_len - n;
+  const score_t x = cfg_.pen.mismatch;
+  const score_t g = cfg_.pen.gap;
+  const score_t cap =
+      cfg_.max_score >= 0
+          ? cfg_.max_score
+          : static_cast<score_t>(a.size() + b.size()) * g + x;
+
+  std::vector<std::unique_ptr<LinearWavefront>> wfs;
+  const auto wavefront = [&](score_t s) -> LinearWavefront* {
+    if (s < 0 || s >= static_cast<score_t>(wfs.size())) return nullptr;
+    return wfs[static_cast<std::size_t>(s)].get();
+  };
+  const auto candidates = [&](score_t s, diag_t k) {
+    Candidates c{kOffsetNull, kOffsetNull, kOffsetNull, kOffsetNull};
+    if (const LinearWavefront* wx = wavefront(s - x)) {
+      c.sub = trim(wx->get(k) == kOffsetNull ? kOffsetNull : wx->get(k) + 1,
+                   k, n, m_len);
+    }
+    if (const LinearWavefront* wg = wavefront(s - g)) {
+      const offset_t ins_src = wg->get(k - 1);
+      c.ins = trim(ins_src == kOffsetNull ? kOffsetNull : ins_src + 1, k, n,
+                   m_len);
+      c.del = trim(wg->get(k + 1), k, n, m_len);
+    }
+    c.best = std::max({c.sub, c.ins, c.del});
+    return c;
+  };
+  const auto extend = [&](LinearWavefront& w) {
+    for (diag_t k = w.lo; k <= w.hi; ++k) {
+      offset_t off = w.get(k);
+      if (off == kOffsetNull) continue;
+      std::size_t i = static_cast<std::size_t>(off - k);
+      std::size_t j = static_cast<std::size_t>(off);
+      while (i < a.size() && j < b.size() && a[i] == b[j]) {
+        ++i;
+        ++j;
+        ++off;
+      }
+      w.set(k, off);
+    }
+  };
+
+  AlignResult result;
+  wfs.push_back(std::make_unique<LinearWavefront>(0, 0));
+  wfs[0]->set(0, 0);
+  score_t s = 0;
+  while (true) {
+    LinearWavefront* current = wavefront(s);
+    if (current != nullptr) {
+      extend(*current);
+      if (current->get(k_align) == m_len) {
+        result.ok = true;
+        result.score = s;
+        break;
+      }
+    }
+    if (s >= cap) return result;  // ok = false
+    ++s;
+    // compute(s) from s-x and s-g.
+    LinearWavefront* wx = wavefront(s - x);
+    LinearWavefront* wg = wavefront(s - g);
+    if (wx == nullptr && wg == nullptr) {
+      wfs.push_back(nullptr);
+      continue;
+    }
+    diag_t lo = kScoreInf;
+    diag_t hi = -kScoreInf;
+    if (wx != nullptr) {
+      lo = std::min(lo, wx->lo);
+      hi = std::max(hi, wx->hi);
+    }
+    if (wg != nullptr) {
+      lo = std::min(lo, wg->lo - 1);
+      hi = std::max(hi, wg->hi + 1);
+    }
+    lo = std::max(lo, -n);
+    hi = std::min(hi, m_len);
+    if (lo > hi) {
+      wfs.push_back(nullptr);
+      continue;
+    }
+    auto next = std::make_unique<LinearWavefront>(lo, hi);
+    for (diag_t k = lo; k <= hi; ++k) {
+      next->set(k, candidates(s, k).best);
+    }
+    wfs.push_back(std::move(next));
+  }
+
+  if (cfg_.traceback == Traceback::kDisabled) return result;
+
+  // Backtrace by recomputing provenance, mirroring the affine version but
+  // over a single matrix. Tie-breaks: substitution, insertion, deletion.
+  Cigar& cig = result.cigar;
+  score_t bs = result.score;
+  diag_t k = k_align;
+  offset_t cur = m_len;
+  while (bs > 0) {
+    const Candidates c = candidates(bs, k);
+    WFASIC_ASSERT(c.best != kOffsetNull && c.best <= cur,
+                  "wfa_linear backtrace: cell has no provenance");
+    cig.push(CigarOp::kMatch, static_cast<std::uint32_t>(cur - c.best));
+    cur = c.best;
+    if (cur == c.sub) {
+      cig.push(CigarOp::kMismatch);
+      bs -= x;
+      cur -= 1;
+    } else if (cur == c.ins) {
+      cig.push(CigarOp::kInsertion);
+      bs -= g;
+      k -= 1;
+      cur -= 1;
+    } else {
+      cig.push(CigarOp::kDeletion);
+      bs -= g;
+      k += 1;
+    }
+  }
+  WFASIC_ASSERT(k == 0 && cur >= 0, "wfa_linear backtrace: bad terminal");
+  cig.push(CigarOp::kMatch, static_cast<std::uint32_t>(cur));
+  cig.reverse();
+  return result;
+}
+
+}  // namespace wfasic::core

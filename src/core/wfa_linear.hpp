@@ -1,0 +1,46 @@
+// Gap-linear WaveFront Alignment: the wavefront formulation of Eq. 1
+// (§2.2's simpler scoring model, where a gap of length L costs L*g with no
+// opening penalty). Only one wavefront matrix is needed — insertions and
+// deletions chain through M directly:
+//
+//   M_{s,k} = max( M_{s-x, k  } + 1     (substitution)
+//                , M_{s-g, k-1} + 1     (insertion)
+//                , M_{s-g, k+1} )       (deletion)
+//
+// Exactly equivalent to the gap-linear DP (core/sw_linear.hpp); with
+// x = 1, g = 1 it computes Levenshtein edit distance.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.hpp"
+#include "core/align_result.hpp"
+#include "core/sw_linear.hpp"
+
+namespace wfasic::core {
+
+struct WfaLinearConfig {
+  LinearPenalties pen{4, 2};
+  Traceback traceback = Traceback::kEnabled;
+  /// Maximum score before giving up (< 0: derive the safe bound).
+  score_t max_score = -1;
+};
+
+/// Exact gap-linear pairwise aligner based on wavefronts; O(n*s) time.
+class WfaLinearAligner {
+ public:
+  explicit WfaLinearAligner(WfaLinearConfig cfg = {});
+
+  [[nodiscard]] AlignResult align(std::string_view a, std::string_view b);
+
+  [[nodiscard]] const WfaLinearConfig& config() const { return cfg_; }
+
+  /// Edit-distance convenience: x = 1, g = 1.
+  [[nodiscard]] static score_t edit_distance(std::string_view a,
+                                             std::string_view b);
+
+ private:
+  WfaLinearConfig cfg_;
+};
+
+}  // namespace wfasic::core

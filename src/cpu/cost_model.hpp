@@ -1,0 +1,76 @@
+// Cost parameters of the Sargantana-like in-order RV64 core (§3): a 7-stage
+// in-order pipeline at ~1 IPC peak, 32 KB L1D + 512 KB L2.
+//
+// Each parameter is "cycles charged per algorithmic event assuming L1
+// hits"; cache stalls are added separately by the cache simulator
+// (src/cache). The derivations below count the RISC-V instructions the
+// compiled WFA C code executes per event; they were then calibrated
+// (EXPERIMENTS.md §calibration) so the end-to-end CPU cycle counts land in
+// the regime the paper's speedups imply (~10^9 cycles for a 10K-10% pair).
+#pragma once
+
+#include <cstdint>
+
+namespace wfasic::cpu {
+
+/// Scalar WFA on the RV64 core.
+struct ScalarCosts {
+  /// Eq.-3 cell: 5 offset loads, 3 stores, ~8 max/select/branch ops plus
+  /// address arithmetic — ~22 issue slots on the in-order core.
+  double per_compute_cell = 22.0;
+  /// extend() inner loop iteration: 2 byte loads, compare, branch, 2 incs.
+  double per_extend_char = 6.0;
+  /// extend() per-cell setup: i/j from offset and k, bounds checks.
+  double per_extend_cell = 10.0;
+  /// Per-score loop iteration: wavefront presence checks, bookkeeping.
+  double per_score_iteration = 14.0;
+  /// Wavefront allocation + initialisation bookkeeping per wavefront.
+  double per_wavefront = 80.0;
+  /// Software backtrace step (provenance recomputation per op).
+  double per_bt_step = 30.0;
+  /// Fixed setup/teardown per alignment: result I/O, wavefront allocator
+  /// setup, per-call driver overheads (dominates 100 bp alignments).
+  double per_alignment = 9000.0;
+};
+
+/// Blocked/RVV-style WFA. The SIMD unit processes several offsets per
+/// vector op but pays setup moves per loop; net compute gain ~1.8x, which
+/// matches the paper's short-read vector speedups where memory stalls
+/// vanish. For long reads both variants touch the same data, so the cache
+/// stalls (identical) dominate and the speedup collapses to ~1, as in
+/// Figure 9.
+struct VectorCosts {
+  double per_compute_cell = 6.0;
+  double per_extend_block = 8.0;   ///< 16-base packed compare + CTZ
+  double per_extend_cell = 8.0;
+  double per_score_iteration = 12.0;
+  double per_wavefront = 70.0;
+  double per_bt_step = 30.0;       ///< backtrace stays scalar
+  double per_alignment = 5200.0;
+};
+
+/// CPU-side backtrace of accelerator output (§4.5). The stream is
+/// processed per 64-byte cache line; costs below are per event on top of
+/// the cache-simulated stalls.
+struct BacktraceCosts {
+  /// One 16-byte transaction probe. With a single Aligner the stream is
+  /// consecutive per alignment, so boundary identification is a binary
+  /// search over the counter discontinuity (O(log n) probes per
+  /// alignment); with multiple Aligners every transaction is probed.
+  double per_block_scanned = 6.0;
+  /// Separating one transaction into its per-alignment buffer during the
+  /// multi-Aligner method: decode id + counter, look up the destination
+  /// buffer, move the 10-byte fragment into its counter slot. Driver-style
+  /// scalar code, heavily back-pressured by the in-order core.
+  double per_block_copied = 110.0;
+  /// One origin-decode step of the path walk (bit extraction, address
+  /// computation into the gappy 10+6 byte layout).
+  double per_path_step = 22.0;
+  /// One character of match insertion while traversing the sequences.
+  double per_match_char = 4.0;
+  /// Fixed driver overhead per alignment: result-record decode, boundary
+  /// set-up, buffer management (user/kernel crossings amortised).
+  double per_alignment = 9000.0;
+};
+
+}  // namespace wfasic::cpu

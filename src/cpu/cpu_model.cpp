@@ -1,0 +1,108 @@
+#include "cpu/cpu_model.hpp"
+
+#include <cmath>
+
+namespace wfasic::cpu {
+
+CpuModel::RunResult CpuModel::run_wfa(std::string_view a, std::string_view b,
+                                      const Penalties& pen,
+                                      core::ExtendMode mode,
+                                      core::Traceback traceback) const {
+  core::WfaConfig wfa_cfg;
+  wfa_cfg.pen = pen;
+  wfa_cfg.traceback = traceback;
+  wfa_cfg.extend = mode;
+  core::WfaAligner aligner(wfa_cfg);
+
+  cache::Hierarchy hierarchy = cache::Hierarchy::make_soc();
+  std::uint64_t stalls = 0;
+  aligner.probe().mem_trace = [&](std::uint64_t addr, std::uint32_t size,
+                                  bool is_write) {
+    stalls += hierarchy.access(addr, size, is_write);
+  };
+
+  RunResult out;
+  // Warm-up pass: the paper measures batches of alignments in steady
+  // state, so compulsory misses of the sequences/allocator region are
+  // amortised. Replay the trace once to warm the hierarchy (the aligner's
+  // synthetic addresses are deterministic per call), then measure.
+  (void)aligner.align(a, b);
+  stalls = 0;
+  aligner.probe().reset();
+  hierarchy.reset_stats();
+
+  out.align = aligner.align(a, b);
+  const core::WfaProbe& probe = aligner.probe();
+
+  double ops = 0;
+  if (mode == core::ExtendMode::kScalar) {
+    const ScalarCosts& c = cfg_.scalar;
+    ops += c.per_compute_cell * static_cast<double>(probe.cells_computed);
+    ops += c.per_extend_char * static_cast<double>(probe.chars_compared);
+    ops += c.per_extend_cell * static_cast<double>(probe.extend_cells);
+    ops += c.per_score_iteration *
+           static_cast<double>(probe.score_iterations);
+    ops += c.per_wavefront * static_cast<double>(probe.wavefronts_computed);
+    ops += c.per_bt_step * static_cast<double>(probe.bt_steps);
+    ops += c.per_alignment;
+  } else {
+    const VectorCosts& c = cfg_.vector;
+    ops += c.per_compute_cell * static_cast<double>(probe.cells_computed);
+    ops += c.per_extend_block * static_cast<double>(probe.blocks_compared);
+    ops += c.per_extend_cell * static_cast<double>(probe.extend_cells);
+    ops += c.per_score_iteration *
+           static_cast<double>(probe.score_iterations);
+    ops += c.per_wavefront * static_cast<double>(probe.wavefronts_computed);
+    ops += c.per_bt_step * static_cast<double>(probe.bt_steps);
+    ops += c.per_alignment;
+  }
+
+  out.stats.op_cycles = static_cast<std::uint64_t>(std::llround(ops));
+  out.stats.stall_cycles = stalls;
+  out.stats.probe = probe;
+  out.stats.l1 = hierarchy.l1().stats();
+  out.stats.l2 = hierarchy.l2().stats();
+  return out;
+}
+
+std::uint64_t CpuModel::backtrace_cycles(const BtCpuCounters& c) const {
+  const BacktraceCosts& k = cfg_.bt;
+  double ops = 0;
+  ops += k.per_block_scanned * static_cast<double>(c.blocks_scanned);
+  ops += k.per_block_copied * static_cast<double>(c.blocks_copied);
+  ops += k.per_path_step * static_cast<double>(c.path_steps);
+  ops += k.per_match_char * static_cast<double>(c.match_chars);
+  ops += k.per_alignment * static_cast<double>(c.alignments);
+
+  // Memory stalls: replay the access pattern through a cold hierarchy.
+  // Boundary scanning streams the output buffer forward (one 16-byte
+  // transaction per probe); copies read the source and write the
+  // destination; the path walk strides backwards across the stream.
+  cache::Hierarchy hierarchy = cache::Hierarchy::make_soc();
+  std::uint64_t stalls = 0;
+  const std::uint64_t stream_base = 0x4000'0000ULL;
+  const std::uint64_t copy_base = 0x6000'0000ULL;
+  for (std::uint64_t blk = 0; blk < c.blocks_scanned; ++blk) {
+    stalls += hierarchy.access(stream_base + blk * 16, 16, false);
+  }
+  for (std::uint64_t blk = 0; blk < c.blocks_copied; ++blk) {
+    stalls += hierarchy.access(stream_base + blk * 16, 16, false);
+    stalls += hierarchy.access(copy_base + blk * 16, 16, true);
+  }
+  if (c.path_steps > 0) {
+    const std::uint64_t stream_bytes = c.blocks_scanned * 16;
+    const std::uint64_t stride =
+        c.path_steps > 0 ? std::max<std::uint64_t>(stream_bytes /
+                                                       (c.path_steps + 1),
+                                                   1)
+                         : 1;
+    for (std::uint64_t step = 0; step < c.path_steps; ++step) {
+      const std::uint64_t pos =
+          stream_bytes - std::min(stream_bytes, (step + 1) * stride);
+      stalls += hierarchy.access(stream_base + pos, 16, false);
+    }
+  }
+  return static_cast<std::uint64_t>(std::llround(ops)) + stalls;
+}
+
+}  // namespace wfasic::cpu

@@ -1,0 +1,290 @@
+#include "drv/backtrace_cpu.hpp"
+
+#include <algorithm>
+#include <map>
+#include <span>
+
+#include "common/assert.hpp"
+#include "core/wfa_kernel.hpp"
+#include "hw/bitpack.hpp"
+#include "hw/result_format.hpp"
+#include "hw/wavefront_geometry.hpp"
+
+namespace wfasic::drv {
+namespace {
+
+/// Transactions per backtrace block for P parallel sections (4 for P=64).
+std::size_t txns_per_block(unsigned parallel_sections) {
+  return (hw::packed_5bit_bytes(parallel_sections) + hw::kBtPayloadBytes - 1) /
+         hw::kBtPayloadBytes;
+}
+
+}  // namespace
+
+std::vector<BtAlignment> parse_bt_stream(const mem::MainMemory& memory,
+                                         std::uint64_t out_addr,
+                                         std::size_t num_pairs,
+                                         bool separate_data,
+                                         cpu::BtCpuCounters* counters) {
+  std::vector<BtAlignment> done;
+  std::map<std::uint32_t, BtAlignment> open;  // id -> in-flight alignment
+  std::size_t last_seen = 0;
+  std::uint64_t addr = out_addr;
+  std::uint32_t current_id = 0;
+  bool have_current = false;
+
+  while (last_seen < num_pairs) {
+    mem::Beat beat;
+    memory.read(addr, std::span<std::uint8_t>(beat.data.data(),
+                                              mem::kBeatBytes));
+    addr += mem::kBeatBytes;
+    const hw::BtTransaction txn = hw::unpack_bt_transaction(beat);
+    if (counters != nullptr && separate_data) {
+      // Multi-Aligner method: the CPU touches and copies every
+      // transaction while separating the interleaved stream by id (§4.5).
+      ++counters->blocks_scanned;
+      ++counters->blocks_copied;
+    }
+
+    if (!separate_data) {
+      // Single-Aligner method: the stream must be consecutive per
+      // alignment — an interleaved transaction means the driver was used
+      // with a multi-Aligner accelerator by mistake.
+      if (have_current) {
+        WFASIC_REQUIRE(txn.id == current_id,
+                       "parse_bt_stream: interleaved stream requires the "
+                       "data-separation method");
+      } else {
+        current_id = txn.id;
+        have_current = true;
+      }
+    }
+
+    BtAlignment& alignment = open[txn.id];
+    alignment.id = txn.id;
+    if (txn.last) {
+      const hw::BtScoreRecord record = hw::unpack_bt_score_record(txn.data);
+      alignment.success = record.success;
+      alignment.score = record.score;
+      alignment.k_reached = record.k_reached;
+      // Transaction counters must be gapless: payload txns then the record.
+      const std::size_t expected_payload_txns =
+          alignment.payload.size() / hw::kBtPayloadBytes;
+      WFASIC_REQUIRE(txn.counter == expected_payload_txns,
+                     "parse_bt_stream: transaction counter gap");
+      if (counters != nullptr && !separate_data) {
+        // Single-Aligner method: transactions are consecutive per
+        // alignment and carry their in-alignment counter, so the CPU finds
+        // each boundary with a binary search over the counter
+        // discontinuity — O(log n) probes instead of a full scan. This is
+        // the §4.5 "method that identifies these boundaries" and the
+        // reason the No-Sep configuration wins Figure 11.
+        std::size_t probes = 2;
+        for (std::size_t span = expected_payload_txns + 1; span > 1;
+             span /= 2) {
+          ++probes;
+        }
+        counters->blocks_scanned += probes;
+      }
+      done.push_back(std::move(alignment));
+      open.erase(txn.id);
+      ++last_seen;
+      have_current = false;
+    } else {
+      WFASIC_REQUIRE(
+          txn.counter ==
+              alignment.payload.size() / hw::kBtPayloadBytes,
+          "parse_bt_stream: out-of-order transaction counter");
+      alignment.payload.insert(alignment.payload.end(), txn.data.begin(),
+                               txn.data.end());
+    }
+  }
+  WFASIC_REQUIRE(open.empty(),
+                 "parse_bt_stream: stream ended with incomplete alignments");
+  if (counters != nullptr) counters->alignments += done.size();
+  return done;
+}
+
+core::AlignResult reconstruct_alignment(const BtAlignment& bt,
+                                        std::string_view a,
+                                        std::string_view b,
+                                        const hw::AcceleratorConfig& cfg,
+                                        cpu::BtCpuCounters* counters) {
+  core::AlignResult result;
+  if (!bt.success) return result;  // ok = false
+
+  const auto n = static_cast<offset_t>(a.size());
+  const auto m_len = static_cast<offset_t>(b.size());
+  const diag_t k_align = m_len - n;
+  const unsigned P = cfg.parallel_sections;
+  const std::size_t tpb = txns_per_block(P);
+  const score_t score = bt.score;
+
+  WFASIC_REQUIRE(bt.k_reached == k_align,
+                 "reconstruct_alignment: score record k does not match the "
+                 "sequence lengths");
+
+  // Block index base per present score, replaying the geometry (§4.5).
+  hw::WavefrontGeometry geom(n, m_len, cfg.pen, cfg.k_max);
+  std::vector<std::size_t> block_base(static_cast<std::size_t>(score) + 1, 0);
+  std::size_t total_blocks = 0;
+  for (score_t s = 1; s <= score; ++s) {
+    block_base[static_cast<std::size_t>(s)] = total_blocks;
+    const hw::WfBounds& bounds = geom.bounds(s);
+    if (bounds.present()) total_blocks += (bounds.width() + P - 1) / P;
+  }
+  WFASIC_REQUIRE(bt.payload.size() ==
+                     total_blocks * tpb * hw::kBtPayloadBytes,
+                 "reconstruct_alignment: payload size does not match the "
+                 "wavefront geometry");
+
+  const auto origin_at = [&](score_t s, diag_t k) -> core::OriginBits {
+    const hw::WfBounds& bounds = geom.bounds(s);
+    WFASIC_REQUIRE(bounds.present() && k >= bounds.lo && k <= bounds.hi,
+                   "reconstruct_alignment: path cell outside wavefront");
+    const auto cell_idx = static_cast<std::size_t>(k - bounds.lo);
+    const std::size_t block =
+        block_base[static_cast<std::size_t>(s)] + cell_idx / P;
+    const std::size_t within = cell_idx % P;
+    const std::span<const std::uint8_t> slice(
+        bt.payload.data() + block * tpb * hw::kBtPayloadBytes,
+        tpb * hw::kBtPayloadBytes);
+    return core::unpack_origin_bits(hw::extract_5bit(slice, within));
+  };
+
+  // Origin walk: collect the difference operations end-to-start. Every
+  // visit to the M matrix marks a spot where the hardware ran extend(), so
+  // a (possibly empty) run of matches belongs right after that op in
+  // forward order — and *only* there. A coincidental base match between
+  // two gap-extension steps must NOT become an 'M', or the rebuilt CIGAR
+  // would diverge from the alignment the accelerator actually scored.
+  enum class Mat { kM, kI, kD };
+  struct Item {
+    CigarOp op;
+    bool match_run_follows;  // forward order: op, then a maximal M-run
+  };
+  std::vector<Item> items;
+  Mat mat = Mat::kM;
+  score_t s = score;
+  diag_t k = k_align;
+  const Penalties& pen = cfg.pen;
+  bool leading_run = false;  // match run at the very start of the alignment
+  while (true) {
+    if (mat == Mat::kM && s == 0) {
+      leading_run = true;  // the initial extend of M_{0,0}
+      break;
+    }
+    if (counters != nullptr) ++counters->path_steps;
+    const core::OriginBits origin = origin_at(s, k);
+    // Only codes 0..4 are legal M origins (§4.3.3); 5..7 can only appear
+    // in a corrupted stream and must not be walked.
+    WFASIC_REQUIRE(static_cast<std::uint8_t>(origin.m_origin) <=
+                       static_cast<std::uint8_t>(core::MOrigin::kDelExt),
+                   "reconstruct_alignment: invalid origin code in stream");
+    switch (mat) {
+      case Mat::kM:
+        switch (origin.m_origin) {
+          case core::MOrigin::kSub:
+            items.push_back({CigarOp::kMismatch, true});
+            s -= pen.mismatch;
+            break;
+          case core::MOrigin::kInsOpen:
+            items.push_back({CigarOp::kInsertion, true});
+            s -= pen.open_total();
+            k -= 1;
+            break;
+          case core::MOrigin::kInsExt:
+            items.push_back({CigarOp::kInsertion, true});
+            s -= pen.gap_extend;
+            k -= 1;
+            mat = Mat::kI;
+            break;
+          case core::MOrigin::kDelOpen:
+            items.push_back({CigarOp::kDeletion, true});
+            s -= pen.open_total();
+            k += 1;
+            break;
+          case core::MOrigin::kDelExt:
+            items.push_back({CigarOp::kDeletion, true});
+            s -= pen.gap_extend;
+            k += 1;
+            mat = Mat::kD;
+            break;
+        }
+        break;
+      case Mat::kI:
+        items.push_back({CigarOp::kInsertion, false});
+        k -= 1;
+        if (origin.i_from_ext) {
+          s -= pen.gap_extend;
+        } else {
+          s -= pen.open_total();
+          mat = Mat::kM;
+        }
+        break;
+      case Mat::kD:
+        items.push_back({CigarOp::kDeletion, false});
+        k += 1;
+        if (origin.d_from_ext) {
+          s -= pen.gap_extend;
+        } else {
+          s -= pen.open_total();
+          mat = Mat::kM;
+        }
+        break;
+    }
+    WFASIC_REQUIRE(s >= 0, "reconstruct_alignment: walked past score 0");
+  }
+  WFASIC_REQUIRE(k == 0, "reconstruct_alignment: walk did not reach k = 0");
+  std::reverse(items.begin(), items.end());
+
+  // Match insertion: "the CPU traverses the two sequences and inserts all
+  // the necessary matches between the differences" (§4.5). Runs are
+  // maximal because the hardware extend is greedy, but they are inserted
+  // only where the walk crossed an M-state (extend points) — never inside
+  // a gap run.
+  Cigar& cig = result.cigar;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  const auto take_matches = [&] {
+    while (i < a.size() && j < b.size() && a[i] == b[j]) {
+      cig.push(CigarOp::kMatch);
+      ++i;
+      ++j;
+      if (counters != nullptr) ++counters->match_chars;
+    }
+  };
+  if (leading_run) take_matches();
+  for (const Item& item : items) {
+    switch (item.op) {
+      case CigarOp::kMismatch:
+        WFASIC_REQUIRE(i < a.size() && j < b.size() && a[i] != b[j],
+                       "reconstruct_alignment: mismatch op on equal bases");
+        ++i;
+        ++j;
+        break;
+      case CigarOp::kInsertion:
+        WFASIC_REQUIRE(j < b.size(),
+                       "reconstruct_alignment: insertion past text end");
+        ++j;
+        break;
+      case CigarOp::kDeletion:
+        WFASIC_REQUIRE(i < a.size(),
+                       "reconstruct_alignment: deletion past pattern end");
+        ++i;
+        break;
+      case CigarOp::kMatch:
+        WFASIC_UNREACHABLE("walk ops never contain matches");
+    }
+    cig.push(item.op);
+    if (item.match_run_follows) take_matches();
+  }
+  WFASIC_REQUIRE(i == a.size() && j == b.size(),
+                 "reconstruct_alignment: sequences not fully consumed");
+
+  result.ok = true;
+  result.score = score;
+  return result;
+}
+
+}  // namespace wfasic::drv

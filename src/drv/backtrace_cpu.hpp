@@ -1,0 +1,56 @@
+// CPU-side backtrace of the accelerator's output stream (§4.5).
+//
+// Two methods, matching the paper's Figure 11 configurations:
+//  - single-Aligner ("No Sep"): the stream is consecutive per alignment;
+//    the CPU only identifies boundaries (Last flags) and walks in place.
+//  - multi-Aligner ("Sep"): transactions of different alignments
+//    interleave, so the CPU first separates them by alignment ID into
+//    per-alignment buffers (the expensive copy pass), then walks.
+//
+// The walk decodes the 5-bit origin codes from (score, diagonal) cell
+// coordinates using the deterministic wavefront geometry, collects the
+// difference operations, and finally re-traverses the two sequences to
+// insert the matches between differences (§4.5).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/align_result.hpp"
+#include "cpu/cpu_model.hpp"
+#include "hw/config.hpp"
+#include "mem/main_memory.hpp"
+
+namespace wfasic::drv {
+
+/// One alignment's reassembled backtrace data.
+struct BtAlignment {
+  std::uint32_t id = 0;
+  bool success = false;
+  std::uint16_t score = 0;
+  std::int16_t k_reached = 0;
+  /// Concatenated 10-byte transaction payloads in counter order (the
+  /// score-record transaction excluded).
+  std::vector<std::uint8_t> payload;
+};
+
+/// Parses the output stream at `out_addr` until `num_pairs` Last flags
+/// have been seen.
+///
+/// `separate_data == false` is the single-Aligner method and *requires* a
+/// non-interleaved stream (aborts otherwise); `true` is the multi-Aligner
+/// method and charges the separation copies to `counters`.
+[[nodiscard]] std::vector<BtAlignment> parse_bt_stream(
+    const mem::MainMemory& memory, std::uint64_t out_addr,
+    std::size_t num_pairs, bool separate_data,
+    cpu::BtCpuCounters* counters = nullptr);
+
+/// Rebuilds the full alignment (score + CIGAR) of (a, b) from backtrace
+/// data, replaying the wavefront geometry to locate each cell's origin
+/// bits and inserting matches by traversing the sequences.
+[[nodiscard]] core::AlignResult reconstruct_alignment(
+    const BtAlignment& bt, std::string_view a, std::string_view b,
+    const hw::AcceleratorConfig& cfg, cpu::BtCpuCounters* counters = nullptr);
+
+}  // namespace wfasic::drv

@@ -1,0 +1,106 @@
+#include "drv/driver.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wfasic::drv {
+
+BatchLayout encode_input_set(mem::MainMemory& memory,
+                             std::span<const gen::SequencePair> pairs,
+                             std::uint64_t in_addr, std::uint64_t out_addr,
+                             std::uint32_t force_max_read_len) {
+  std::uint32_t longest = 0;
+  for (const gen::SequencePair& pair : pairs) {
+    longest = std::max<std::uint32_t>(
+        longest, static_cast<std::uint32_t>(
+                     std::max(pair.a.size(), pair.b.size())));
+  }
+  const std::uint32_t max_read_len =
+      force_max_read_len != 0 ? force_max_read_len
+                              : hw::round_up_read_len(std::max(longest, 16u));
+
+  BatchLayout layout;
+  layout.in_addr = in_addr;
+  layout.out_addr = out_addr;
+  layout.max_read_len = max_read_len;
+  layout.num_pairs = pairs.size();
+  layout.in_bytes = pairs.size() * hw::pair_bytes(max_read_len);
+
+  std::uint64_t addr = in_addr;
+  const auto write_section_u32 = [&](std::uint32_t value) {
+    std::uint8_t section[hw::kSectionBytes] = {};
+    std::memcpy(section, &value, 4);
+    memory.write(addr, section);
+    addr += hw::kSectionBytes;
+  };
+  const auto write_sequence = [&](const std::string& seq) {
+    // One ASCII byte per base, dummy-padded to MAX_READ_LEN. A sequence
+    // longer than MAX_READ_LEN (only possible with force_max_read_len) is
+    // stored truncated; its true length in the header makes the Extractor
+    // reject it.
+    std::vector<std::uint8_t> padded(max_read_len, hw::kDummyBase);
+    const std::size_t stored = std::min<std::size_t>(seq.size(), max_read_len);
+    std::memcpy(padded.data(), seq.data(), stored);
+    memory.write(addr, padded);
+    addr += max_read_len;
+  };
+
+  for (const gen::SequencePair& pair : pairs) {
+    write_section_u32(pair.id);
+    write_section_u32(static_cast<std::uint32_t>(pair.a.size()));
+    write_section_u32(static_cast<std::uint32_t>(pair.b.size()));
+    write_sequence(pair.a);
+    write_sequence(pair.b);
+  }
+  WFASIC_ASSERT(addr == in_addr + layout.in_bytes,
+                "encode_input_set: layout size mismatch");
+  return layout;
+}
+
+void Driver::start(const BatchLayout& batch, bool backtrace,
+                   bool enable_interrupt) {
+  accelerator_.write_reg(hw::kRegBtEnable, backtrace ? 1u : 0u);
+  accelerator_.write_reg(hw::kRegMaxReadLen, batch.max_read_len);
+  accelerator_.write_reg(hw::kRegInAddrLo,
+                         static_cast<std::uint32_t>(batch.in_addr));
+  accelerator_.write_reg(hw::kRegInAddrHi,
+                         static_cast<std::uint32_t>(batch.in_addr >> 32));
+  accelerator_.write_reg(hw::kRegInSizeLo,
+                         static_cast<std::uint32_t>(batch.in_bytes));
+  accelerator_.write_reg(hw::kRegInSizeHi,
+                         static_cast<std::uint32_t>(batch.in_bytes >> 32));
+  accelerator_.write_reg(hw::kRegOutAddrLo,
+                         static_cast<std::uint32_t>(batch.out_addr));
+  accelerator_.write_reg(hw::kRegOutAddrHi,
+                         static_cast<std::uint32_t>(batch.out_addr >> 32));
+  accelerator_.write_reg(hw::kRegIntEnable, enable_interrupt ? 1u : 0u);
+  accelerator_.write_reg(hw::kRegCtrl, 1u);
+}
+
+std::uint64_t Driver::wait_idle(std::uint64_t max_cycles) {
+  return accelerator_.run_to_completion(max_cycles);
+}
+
+std::uint64_t Driver::wait_interrupt(std::uint64_t max_cycles) {
+  WFASIC_REQUIRE(accelerator_.read_reg(hw::kRegIntEnable) == 1u,
+                 "Driver::wait_interrupt: interrupt not enabled at start");
+  const std::uint64_t cycles = accelerator_.run_to_completion(max_cycles);
+  WFASIC_REQUIRE(accelerator_.interrupt_pending(),
+                 "Driver::wait_interrupt: completion without interrupt");
+  accelerator_.write_reg(hw::kRegIntStatus, 1u);  // acknowledge
+  return cycles;
+}
+
+std::vector<hw::NbtResult> decode_nbt_results(const mem::MainMemory& memory,
+                                              const BatchLayout& batch) {
+  std::vector<hw::NbtResult> results;
+  results.reserve(batch.num_pairs);
+  for (std::size_t idx = 0; idx < batch.num_pairs; ++idx) {
+    const std::uint64_t addr = batch.out_addr + idx * 4;
+    results.push_back(hw::unpack_nbt_result(memory.read_u32(addr)));
+  }
+  return results;
+}
+
+}  // namespace wfasic::drv

@@ -1,0 +1,78 @@
+// Linux-driver-style host API for the WFAsic accelerator (§3, §5.3: "We
+// use a standard Linux driver and API to configure the WFAsic
+// accelerator").
+//
+// The driver runs on the (modelled) CPU: it encodes input sets into main
+// memory in the §4.2 layout, programs the AXI-Lite registers, starts the
+// accelerator, waits for Idle, and decodes the result stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gen/seqgen.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/input_format.hpp"
+#include "hw/result_format.hpp"
+#include "mem/main_memory.hpp"
+
+namespace wfasic::drv {
+
+/// Where one encoded batch lives in main memory.
+struct BatchLayout {
+  std::uint64_t in_addr = 0;
+  std::uint64_t in_bytes = 0;
+  std::uint64_t out_addr = 0;
+  std::uint32_t max_read_len = 0;
+  std::size_t num_pairs = 0;
+};
+
+/// Encodes `pairs` at `in_addr` in the accelerator input layout.
+///
+/// MAX_READ_LEN is the longest sequence of the set rounded up to 16
+/// (§4.2) unless `force_max_read_len` is non-zero — forcing a smaller
+/// value stores truncated bases but the true length, which the Extractor
+/// must flag as unsupported (used by the robustness tests). Sequences are
+/// stored verbatim, so 'N' bases reach the Extractor and trip its
+/// unsupported-read detection.
+[[nodiscard]] BatchLayout encode_input_set(
+    mem::MainMemory& memory, std::span<const gen::SequencePair> pairs,
+    std::uint64_t in_addr, std::uint64_t out_addr,
+    std::uint32_t force_max_read_len = 0);
+
+class Driver {
+ public:
+  explicit Driver(hw::Accelerator& accelerator)
+      : accelerator_(accelerator) {}
+
+  /// Programs the registers and pulses Start.
+  void start(const BatchLayout& batch, bool backtrace,
+             bool enable_interrupt = false);
+
+  /// Polls the Idle register until the run completes, stepping the
+  /// simulated accelerator. Returns cycles elapsed.
+  std::uint64_t wait_idle(std::uint64_t max_cycles = 4'000'000'000ULL);
+
+  /// Interrupt-driven completion: runs until the completion interrupt is
+  /// pending (requires start(..., enable_interrupt=true)), acknowledges
+  /// it, and returns cycles elapsed.
+  std::uint64_t wait_interrupt(std::uint64_t max_cycles = 4'000'000'000ULL);
+
+  /// Convenience: start + wait_idle.
+  std::uint64_t run(const BatchLayout& batch, bool backtrace) {
+    start(batch, backtrace);
+    return wait_idle();
+  }
+
+ private:
+  hw::Accelerator& accelerator_;
+};
+
+/// Decodes the NBT result area: `num_pairs` packed 4-byte words, four per
+/// 16-byte transaction, in Collector completion order. Entries are
+/// returned in stream order (not sorted by id).
+[[nodiscard]] std::vector<hw::NbtResult> decode_nbt_results(
+    const mem::MainMemory& memory, const BatchLayout& batch);
+
+}  // namespace wfasic::drv

@@ -1,0 +1,58 @@
+#include "gen/pairfile.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace wfasic::gen {
+
+void write_pairs(std::ostream& out, const std::vector<SequencePair>& pairs) {
+  for (const SequencePair& pair : pairs) {
+    out << '>' << pair.a << '\n' << '<' << pair.b << '\n';
+  }
+}
+
+std::vector<SequencePair> read_pairs(std::istream& in) {
+  std::vector<SequencePair> pairs;
+  std::string line;
+  std::string pending_pattern;
+  bool have_pattern = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      WFASIC_REQUIRE(!have_pattern, "read_pairs: two '>' lines in a row");
+      pending_pattern = line.substr(1);
+      have_pattern = true;
+    } else if (line[0] == '<') {
+      WFASIC_REQUIRE(have_pattern, "read_pairs: '<' line without '>'");
+      SequencePair pair;
+      pair.id = static_cast<std::uint32_t>(pairs.size());
+      pair.a = std::move(pending_pattern);
+      pair.b = line.substr(1);
+      pairs.push_back(std::move(pair));
+      have_pattern = false;
+    } else {
+      WFASIC_UNREACHABLE("read_pairs: line must start with '>' or '<'");
+    }
+  }
+  WFASIC_REQUIRE(!have_pattern, "read_pairs: dangling '>' line at EOF");
+  return pairs;
+}
+
+void save_pairs(const std::string& path,
+                const std::vector<SequencePair>& pairs) {
+  std::ofstream out(path);
+  WFASIC_REQUIRE(out.good(), "save_pairs: cannot open file for writing");
+  write_pairs(out, pairs);
+}
+
+std::vector<SequencePair> load_pairs(const std::string& path) {
+  std::ifstream in(path);
+  WFASIC_REQUIRE(in.good(), "load_pairs: cannot open file");
+  return read_pairs(in);
+}
+
+}  // namespace wfasic::gen

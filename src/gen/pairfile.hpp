@@ -1,0 +1,26 @@
+// Simple text format for sequence-pair datasets, compatible with the WFA
+// CPU implementation's .seq convention: one pair per two lines,
+//   >PATTERN
+//   <TEXT
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "gen/seqgen.hpp"
+
+namespace wfasic::gen {
+
+/// Serialises pairs to the >/< two-line format.
+void write_pairs(std::ostream& out, const std::vector<SequencePair>& pairs);
+
+/// Parses the >/< two-line format; ids are assigned sequentially.
+/// Aborts on malformed input (missing marker, dangling pattern line).
+[[nodiscard]] std::vector<SequencePair> read_pairs(std::istream& in);
+
+/// Convenience file wrappers.
+void save_pairs(const std::string& path, const std::vector<SequencePair>& pairs);
+[[nodiscard]] std::vector<SequencePair> load_pairs(const std::string& path);
+
+}  // namespace wfasic::gen

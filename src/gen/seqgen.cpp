@@ -1,0 +1,89 @@
+#include "gen/seqgen.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/dna.hpp"
+
+namespace wfasic::gen {
+
+std::string InputSetSpec::name() const {
+  std::string len_str;
+  if (length % 1000 == 0 && length >= 1000) {
+    len_str = std::to_string(length / 1000) + "K";
+  } else {
+    len_str = std::to_string(length);
+  }
+  const int pct = static_cast<int>(std::lround(error_rate * 100));
+  return len_str + "-" + std::to_string(pct) + "%";
+}
+
+std::string random_sequence(Prng& prng, std::size_t length) {
+  std::string seq(length, 'A');
+  for (char& c : seq) c = kBaseChars[prng.next_below(4)];
+  return seq;
+}
+
+std::string mutate_sequence(Prng& prng, const std::string& seq,
+                            double error_rate) {
+  WFASIC_REQUIRE(error_rate >= 0.0 && error_rate <= 1.0,
+                 "mutate_sequence: error_rate out of [0,1]");
+  std::string out = seq;
+  const auto num_errors = static_cast<std::size_t>(
+      std::llround(static_cast<double>(seq.size()) * error_rate));
+  for (std::size_t err = 0; err < num_errors; ++err) {
+    const std::uint64_t kind = prng.next_below(3);
+    switch (kind) {
+      case 0: {  // mismatch: replace with a different base
+        if (out.empty()) break;
+        const std::size_t pos = prng.next_below(out.size());
+        const std::uint8_t old_code = encode_base(out[pos]);
+        const std::uint8_t new_code =
+            static_cast<std::uint8_t>((old_code + 1 + prng.next_below(3)) & 3);
+        out[pos] = decode_base(new_code);
+        break;
+      }
+      case 1: {  // insertion of a random base
+        const std::size_t pos = prng.next_below(out.size() + 1);
+        out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                   kBaseChars[prng.next_below(4)]);
+        break;
+      }
+      case 2: {  // deletion
+        if (out.empty()) break;
+        const std::size_t pos = prng.next_below(out.size());
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+        break;
+      }
+      default:
+        WFASIC_UNREACHABLE("bad mutation kind");
+    }
+  }
+  return out;
+}
+
+std::vector<SequencePair> generate_input_set(const InputSetSpec& spec) {
+  Prng prng(spec.seed);
+  std::vector<SequencePair> pairs;
+  pairs.reserve(spec.num_pairs);
+  for (std::size_t idx = 0; idx < spec.num_pairs; ++idx) {
+    SequencePair pair;
+    pair.id = static_cast<std::uint32_t>(idx);
+    pair.a = random_sequence(prng, spec.length);
+    pair.b = mutate_sequence(prng, pair.a, spec.error_rate);
+    pairs.push_back(std::move(pair));
+  }
+  return pairs;
+}
+
+std::vector<InputSetSpec> paper_input_sets(std::size_t pairs_short,
+                                           std::size_t pairs_medium,
+                                           std::size_t pairs_long) {
+  return {
+      {100, 0.05, pairs_short, 1001},  {100, 0.10, pairs_short, 1002},
+      {1000, 0.05, pairs_medium, 1003}, {1000, 0.10, pairs_medium, 1004},
+      {10000, 0.05, pairs_long, 1005}, {10000, 0.10, pairs_long, 1006},
+  };
+}
+
+}  // namespace wfasic::gen

@@ -1,0 +1,52 @@
+// Synthetic read-pair generation following the paper's methodology (§5.3):
+// "We generate synthetic input sets with random mismatches, insertions and
+// deletions ... the sequence errors follow a uniform and random
+// distribution."
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace wfasic::gen {
+
+/// One pair to align: `a` is the pattern/query, `b` the text/reference.
+struct SequencePair {
+  std::uint32_t id = 0;
+  std::string a;
+  std::string b;
+};
+
+/// Parameters of one synthetic input set (a row of Table 1).
+struct InputSetSpec {
+  std::size_t length = 100;   ///< nominal read length (bases)
+  double error_rate = 0.05;   ///< nominal sequencing error rate
+  std::size_t num_pairs = 1;
+  std::uint64_t seed = 42;
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Uniform random A/C/G/T sequence of the given length.
+[[nodiscard]] std::string random_sequence(Prng& prng, std::size_t length);
+
+/// Applies round(len * error_rate) errors to `seq`, each uniformly chosen
+/// among mismatch / 1-base insertion / 1-base deletion at a uniform random
+/// position, and returns the mutated copy.
+[[nodiscard]] std::string mutate_sequence(Prng& prng, const std::string& seq,
+                                          double error_rate);
+
+/// Generates a full input set: pair i has `a` = a fresh random sequence and
+/// `b` = a mutated copy of it. Deterministic in spec.seed.
+[[nodiscard]] std::vector<SequencePair> generate_input_set(
+    const InputSetSpec& spec);
+
+/// The six evaluation input sets of the paper (Table 1 / Figures 9-11):
+/// 100/1K/10K bases at 5% and 10% error, in the paper's order.
+[[nodiscard]] std::vector<InputSetSpec> paper_input_sets(
+    std::size_t pairs_short, std::size_t pairs_medium, std::size_t pairs_long);
+
+}  // namespace wfasic::gen

@@ -1,0 +1,166 @@
+#include "hw/accelerator.hpp"
+
+namespace wfasic::hw {
+
+Accelerator::Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory)
+    : cfg_(cfg),
+      memory_(memory),
+      input_fifo_(cfg.input_fifo_depth),
+      output_fifo_(cfg.output_fifo_depth) {
+  WFASIC_REQUIRE(cfg_.valid(), "Accelerator: invalid configuration");
+  dma_ = std::make_unique<mem::Dma>(memory_, input_fifo_, output_fifo_,
+                                    cfg_.axi);
+  std::vector<Aligner*> aligner_ptrs;
+  for (unsigned idx = 0; idx < cfg_.num_aligners; ++idx) {
+    aligners_.push_back(std::make_unique<Aligner>(
+        "aligner" + std::to_string(idx), cfg_));
+    aligner_ptrs.push_back(aligners_.back().get());
+  }
+  extractor_ = std::make_unique<Extractor>(input_fifo_, aligner_ptrs);
+  collector_ = std::make_unique<Collector>(output_fifo_, aligner_ptrs);
+
+  // Tick order: drain first (collector), then producers, then ingest, so a
+  // full pipeline moves one step everywhere within a cycle.
+  scheduler_.add(collector_.get());
+  for (auto& aligner : aligners_) scheduler_.add(aligner.get());
+  scheduler_.add(extractor_.get());
+  scheduler_.add(dma_.get());
+}
+
+void Accelerator::write_reg(std::uint32_t offset, std::uint32_t value) {
+  switch (offset) {
+    case kRegCtrl:
+      if ((value & 1u) != 0) start();
+      break;
+    case kRegBtEnable:
+      regs_.backtrace = (value & 1u) != 0;
+      break;
+    case kRegMaxReadLen:
+      regs_.max_read_len = value;
+      break;
+    case kRegInAddrLo:
+      regs_.in_addr = (regs_.in_addr & ~0xffffffffULL) | value;
+      break;
+    case kRegInAddrHi:
+      regs_.in_addr =
+          (regs_.in_addr & 0xffffffffULL) | (std::uint64_t{value} << 32);
+      break;
+    case kRegInSizeLo:
+      regs_.in_size = (regs_.in_size & ~0xffffffffULL) | value;
+      break;
+    case kRegInSizeHi:
+      regs_.in_size =
+          (regs_.in_size & 0xffffffffULL) | (std::uint64_t{value} << 32);
+      break;
+    case kRegOutAddrLo:
+      regs_.out_addr = (regs_.out_addr & ~0xffffffffULL) | value;
+      break;
+    case kRegOutAddrHi:
+      regs_.out_addr =
+          (regs_.out_addr & 0xffffffffULL) | (std::uint64_t{value} << 32);
+      break;
+    case kRegIntEnable:
+      regs_.int_enable = (value & 1u) != 0;
+      break;
+    case kRegIntStatus:
+      if ((value & 1u) != 0) int_pending_ = false;
+      break;
+    default:
+      WFASIC_REQUIRE(false, "Accelerator::write_reg: unknown register");
+  }
+}
+
+std::uint32_t Accelerator::read_reg(std::uint32_t offset) const {
+  switch (offset) {
+    case kRegCtrl:
+      return 0;
+    case kRegStatus:
+      return idle() ? 1u : 0u;
+    case kRegBtEnable:
+      return regs_.backtrace ? 1u : 0u;
+    case kRegMaxReadLen:
+      return regs_.max_read_len;
+    case kRegInAddrLo:
+      return static_cast<std::uint32_t>(regs_.in_addr);
+    case kRegInAddrHi:
+      return static_cast<std::uint32_t>(regs_.in_addr >> 32);
+    case kRegInSizeLo:
+      return static_cast<std::uint32_t>(regs_.in_size);
+    case kRegInSizeHi:
+      return static_cast<std::uint32_t>(regs_.in_size >> 32);
+    case kRegOutAddrLo:
+      return static_cast<std::uint32_t>(regs_.out_addr);
+    case kRegOutAddrHi:
+      return static_cast<std::uint32_t>(regs_.out_addr >> 32);
+    case kRegIntEnable:
+      return regs_.int_enable ? 1u : 0u;
+    case kRegIntStatus:
+      return int_pending_ ? 1u : 0u;
+    default:
+      WFASIC_REQUIRE(false, "Accelerator::read_reg: unknown register");
+      return 0;
+  }
+}
+
+void Accelerator::start() {
+  WFASIC_REQUIRE(!running_, "Accelerator::start while busy");
+  WFASIC_REQUIRE(regs_.max_read_len % 16 == 0,
+                 "Accelerator::start: MAX_READ_LEN must be divisible by 16");
+  WFASIC_REQUIRE(regs_.max_read_len <= cfg_.max_supported_read_len,
+                 "Accelerator::start: MAX_READ_LEN exceeds chip support");
+  const std::size_t per_pair = pair_bytes(regs_.max_read_len);
+  WFASIC_REQUIRE(per_pair > 0 && regs_.in_size % per_pair == 0,
+                 "Accelerator::start: input size is not a whole number of "
+                 "pairs");
+  const std::uint64_t num_pairs = regs_.in_size / per_pair;
+
+  for (auto& aligner : aligners_) aligner->set_backtrace(regs_.backtrace);
+  extractor_->configure(regs_.max_read_len, num_pairs);
+  collector_->configure(regs_.backtrace, num_pairs);
+  dma_->configure_read(regs_.in_addr, regs_.in_size);
+  dma_->configure_write(regs_.out_addr);
+  running_ = true;
+  run_start_ = scheduler_.now();
+}
+
+bool Accelerator::work_complete() const {
+  if (!extractor_->done() || !collector_->done()) return false;
+  if (!dma_->read_done() || !input_fifo_.empty() || !output_fifo_.empty()) {
+    return false;
+  }
+  for (const auto& aligner : aligners_) {
+    if (!aligner->idle()) return false;
+  }
+  return true;
+}
+
+void Accelerator::step() {
+  scheduler_.step();
+  if (running_ && work_complete()) {
+    running_ = false;
+    last_run_cycles_ = scheduler_.now() - run_start_;
+    if (regs_.int_enable) int_pending_ = true;
+  }
+}
+
+std::uint64_t Accelerator::run_to_completion(std::uint64_t max_cycles) {
+  const sim::cycle_t begin = scheduler_.now();
+  while (running_) {
+    WFASIC_REQUIRE(scheduler_.now() - begin < max_cycles,
+                   "Accelerator::run_to_completion: cycle limit exceeded "
+                   "(likely deadlock)");
+    step();
+  }
+  return scheduler_.now() - begin;
+}
+
+std::vector<Aligner::PairRecord> Accelerator::all_records() const {
+  std::vector<Aligner::PairRecord> all;
+  for (const auto& aligner : aligners_) {
+    all.insert(all.end(), aligner->records().begin(),
+               aligner->records().end());
+  }
+  return all;
+}
+
+}  // namespace wfasic::hw

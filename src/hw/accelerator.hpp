@@ -1,0 +1,86 @@
+// The WFAsic accelerator top level (Figure 5): DMA + Input FIFO +
+// Extractor + N Aligners + Collector + Output FIFO, exposed to the CPU
+// through AXI-Lite registers (hw/regs.hpp) and to main memory through the
+// AXI-Full DMA.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/aligner.hpp"
+#include "hw/collector.hpp"
+#include "hw/config.hpp"
+#include "hw/extractor.hpp"
+#include "hw/input_format.hpp"
+#include "hw/regs.hpp"
+#include "mem/dma.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/fifo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::hw {
+
+class Accelerator {
+ public:
+  Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory);
+
+  // --- AXI-Lite interface ---------------------------------------------------
+  void write_reg(std::uint32_t offset, std::uint32_t value);
+  [[nodiscard]] std::uint32_t read_reg(std::uint32_t offset) const;
+
+  [[nodiscard]] bool idle() const { return !running_; }
+  [[nodiscard]] bool interrupt_pending() const { return int_pending_; }
+
+  // --- Simulation control ---------------------------------------------------
+  /// Advances the whole accelerator by one clock cycle.
+  void step();
+  /// Runs until idle; aborts after `max_cycles` (deadlock guard).
+  /// Returns the cycles elapsed during this call.
+  std::uint64_t run_to_completion(std::uint64_t max_cycles = 4'000'000'000ULL);
+
+  [[nodiscard]] sim::cycle_t now() const { return scheduler_.now(); }
+  [[nodiscard]] std::uint64_t last_run_cycles() const {
+    return last_run_cycles_;
+  }
+
+  // --- Introspection for tests and benches ----------------------------------
+  [[nodiscard]] const AcceleratorConfig& config() const { return cfg_; }
+  [[nodiscard]] const Extractor& extractor() const { return *extractor_; }
+  [[nodiscard]] const Collector& collector() const { return *collector_; }
+  [[nodiscard]] const mem::Dma& dma() const { return *dma_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Aligner>>& aligners() const {
+    return aligners_;
+  }
+  [[nodiscard]] const sim::ShowAheadFifo<mem::Beat>& input_fifo() const {
+    return input_fifo_;
+  }
+  [[nodiscard]] const sim::ShowAheadFifo<mem::Beat>& output_fifo() const {
+    return output_fifo_;
+  }
+  /// All pair results across all Aligners, in completion order per Aligner.
+  [[nodiscard]] std::vector<Aligner::PairRecord> all_records() const;
+
+ private:
+  void start();
+  [[nodiscard]] bool work_complete() const;
+
+  AcceleratorConfig cfg_;
+  mem::MainMemory& memory_;
+
+  sim::ShowAheadFifo<mem::Beat> input_fifo_;
+  sim::ShowAheadFifo<mem::Beat> output_fifo_;
+  std::unique_ptr<mem::Dma> dma_;
+  std::vector<std::unique_ptr<Aligner>> aligners_;
+  std::unique_ptr<Extractor> extractor_;
+  std::unique_ptr<Collector> collector_;
+  sim::Scheduler scheduler_;
+
+  RegValues regs_;
+  bool running_ = false;
+  bool int_pending_ = false;
+  sim::cycle_t run_start_ = 0;
+  std::uint64_t last_run_cycles_ = 0;
+};
+
+}  // namespace wfasic::hw

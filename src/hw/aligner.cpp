@@ -1,0 +1,286 @@
+#include "hw/aligner.hpp"
+
+#include <algorithm>
+
+#include "hw/bitpack.hpp"
+#include "hw/extend_unit.hpp"
+
+namespace wfasic::hw {
+
+Aligner::Aligner(std::string name, const AcceleratorConfig& cfg)
+    : sim::Component(std::move(name)),
+      cfg_(cfg),
+      window_(std::max(cfg.pen.mismatch, cfg.pen.open_total()) + 1) {
+  WFASIC_REQUIRE(cfg_.valid(), "Aligner: invalid configuration");
+  // A compute batch releases all its backtrace transactions at once; they
+  // must fit the Collector-facing queue or the Aligner could deadlock.
+  const std::size_t txns_per_block =
+      (packed_5bit_bytes(cfg_.parallel_sections) + kBtPayloadBytes - 1) /
+      kBtPayloadBytes;
+  WFASIC_REQUIRE(txns_per_block <= kBtQueueCapacity,
+                 "Aligner: parallel_sections too large for the backtrace "
+                 "queue depth");
+  ring_.resize(static_cast<std::size_t>(window_));
+}
+
+void Aligner::begin_load() {
+  WFASIC_REQUIRE(state_ == State::kIdle, "Aligner::begin_load while busy");
+  state_ = State::kLoading;
+}
+
+void Aligner::finish_load(AlignJob job, sim::cycle_t now) {
+  WFASIC_REQUIRE(state_ == State::kLoading,
+                 "Aligner::finish_load without begin_load");
+  job_ = std::move(job);
+  start_cycle_ = now;
+  state_ = State::kInit;
+  init_countdown_ = cfg_.timing.init_cycles;
+}
+
+core::Wavefront* Aligner::wavefront(score_t s) {
+  if (s < 0) return nullptr;
+  Slot& slot = ring_[static_cast<std::size_t>(s % window_)];
+  return slot.score == s ? slot.wf.get() : nullptr;
+}
+
+core::Wavefront& Aligner::make_wavefront(score_t s, diag_t lo, diag_t hi) {
+  Slot& slot = ring_[static_cast<std::size_t>(s % window_)];
+  slot.score = s;
+  slot.wf = std::make_unique<core::Wavefront>(lo, hi);
+  return *slot.wf;
+}
+
+core::WfCellSources Aligner::gather_sources(score_t s, diag_t k) {
+  core::WfCellSources src;
+  if (core::Wavefront* wx = wavefront(s - cfg_.pen.mismatch)) {
+    src.m_sub = wx->m(k);
+  }
+  if (core::Wavefront* woe = wavefront(s - cfg_.pen.open_total())) {
+    src.m_open_ins = woe->m(k - 1);
+    src.m_open_del = woe->m(k + 1);
+  }
+  if (core::Wavefront* we = wavefront(s - cfg_.pen.gap_extend)) {
+    src.i_ext = we->i(k - 1);
+    src.d_ext = we->d(k + 1);
+  }
+  return src;
+}
+
+void Aligner::start_alignment(sim::cycle_t now) {
+  n_ = static_cast<offset_t>(job_.a.size());
+  m_len_ = static_cast<offset_t>(job_.b.size());
+  k_align_ = m_len_ - n_;
+  s_ = 0;
+  txn_counter_ = 0;
+  done_ = false;
+  batches_.clear();
+  for (Slot& slot : ring_) {
+    slot.score = -1;
+    slot.wf.reset();
+  }
+
+  if (job_.unsupported) {
+    finish_alignment(false, 0, 0, now);
+    return;
+  }
+  // A band that cannot contain the final diagonal can never succeed; the
+  // Aligner bails out like a score overflow would.
+  if (k_align_ > cfg_.k_max || k_align_ < -cfg_.k_max) {
+    finish_alignment(false, 0, 0, now);
+    return;
+  }
+
+  geom_.emplace(n_, m_len_, cfg_.pen, cfg_.k_max);
+  core::Wavefront& wf0 = make_wavefront(0, 0, 0);
+  wf0.set_m(0, 0);
+  current_ = &wf0;
+  state_ = State::kRun;
+  step_score();
+}
+
+void Aligner::step_score() {
+  const AlignerTiming& t = cfg_.timing;
+  const unsigned P = cfg_.parallel_sections;
+
+  // ---- extend(s): advance every valid M cell of the current wavefront
+  // through the cycle-accurate Extend sub-module (Figure 7). Pipeline
+  // fills overlap across consecutive batches, so the phase charges
+  // extend_fill once and per-batch only the comparator blocks.
+  if (current_ != nullptr) {
+    const ExtendUnit unit(job_.a, job_.b);
+    std::vector<unsigned> block_counts;  // per valid cell: compare blocks
+    for (diag_t k = current_->lo(); k <= current_->hi(); ++k) {
+      const offset_t off = current_->m(k);
+      if (off == kOffsetNull) continue;
+      const ExtendUnit::Result ext = unit.extend(off - k, off);
+      if (ext.run > 0) current_->set_m(k, off + ext.run);
+      block_counts.push_back(ext.blocks);
+    }
+    if (!block_counts.empty()) {
+      unsigned cycles = t.extend_fill;
+      for (std::size_t base = 0; base < block_counts.size(); base += P) {
+        const std::size_t end = std::min(base + P, block_counts.size());
+        unsigned max_blocks = 0;
+        for (std::size_t idx = base; idx < end; ++idx) {
+          max_blocks = std::max(max_blocks, block_counts[idx]);
+        }
+        cycles += t.extend_batch_overhead + max_blocks;
+      }
+      phase_cycles_.extend += cycles;
+      batches_.push_back(Batch{cycles, {}});
+    }
+
+    // ---- end-of-alignment check (after extension, §2.3).
+    if (current_->m(k_align_) == m_len_) {
+      finish_alignment(true, s_, k_align_, 0);
+      return;
+    }
+  }
+
+  // ---- score overflow check (Eq. 6).
+  if (s_ + 1 > cfg_.score_max()) {
+    const diag_t k_reached = current_ != nullptr ? current_->hi() : 0;
+    finish_alignment(false, 0, k_reached, 0);
+    return;
+  }
+
+  // ---- compute(s+1): build the next wavefront batch by batch.
+  ++s_;
+  const WfBounds& bounds = geom_->bounds(s_);
+  if (!bounds.present()) {
+    current_ = nullptr;
+    phase_cycles_.overhead += 1;
+    batches_.push_back(Batch{1, {}});  // score-counter tick only
+    return;
+  }
+
+  core::Wavefront& out = make_wavefront(s_, bounds.lo, bounds.hi);
+  bool first_batch = true;
+  for (diag_t base = bounds.lo; base <= bounds.hi;
+       base += static_cast<diag_t>(P)) {
+    const diag_t last =
+        std::min(bounds.hi, base + static_cast<diag_t>(P) - 1);
+    std::vector<std::uint8_t> codes(P, 0);  // full block even when partial
+    for (diag_t k = base; k <= last; ++k) {
+      const core::WfCell cell =
+          core::compute_wf_cell(gather_sources(s_, k), k, n_, m_len_);
+      out.set_m(k, cell.m);
+      out.set_i(k, cell.i);
+      out.set_d(k, cell.d);
+      codes[static_cast<std::size_t>(k - base)] = core::pack_origin_bits(cell);
+    }
+    Batch batch;
+    batch.cycles = t.compute_batch_ii + (first_batch ? t.compute_pipeline : 0);
+    phase_cycles_.compute += batch.cycles;
+    first_batch = false;
+    if (bt_enabled_) {
+      const std::vector<std::uint8_t> payload = pack_5bit_stream(codes);
+      for (std::size_t pos = 0; pos < payload.size();
+           pos += kBtPayloadBytes) {
+        BtTransaction txn;
+        for (std::size_t idx = 0;
+             idx < kBtPayloadBytes && pos + idx < payload.size(); ++idx) {
+          txn.data[idx] = payload[pos + idx];
+        }
+        txn.counter = txn_counter_++;
+        txn.id = job_.id & kBtIdMask;
+        txn.last = false;
+        batch.txns.push_back(txn);
+      }
+    }
+    batches_.push_back(std::move(batch));
+  }
+  phase_cycles_.overhead += t.per_score_overhead;
+  batches_.push_back(Batch{t.per_score_overhead, {}});
+  current_ = &out;
+}
+
+void Aligner::queue_result(bool success, score_t score, diag_t k_reached) {
+  if (bt_enabled_) {
+    BtTransaction txn;
+    txn.data = pack_bt_score_record(
+        BtScoreRecord{success, static_cast<std::int16_t>(k_reached),
+                      static_cast<std::uint16_t>(
+                          std::min<score_t>(score, kNbtScoreMax))});
+    txn.counter = txn_counter_++;
+    txn.id = job_.id & kBtIdMask;
+    txn.last = true;
+    Batch batch;
+    batch.cycles = 1;
+    batch.txns.push_back(txn);
+    batches_.push_back(std::move(batch));
+  } else {
+    // NBT results bypass the batch schedule: queueing the 4-byte word takes
+    // the final cycle of the schedule's last batch.
+    Batch batch;
+    batch.cycles = 1;
+    batches_.push_back(std::move(batch));
+  }
+}
+
+void Aligner::finish_alignment(bool success, score_t score, diag_t k_reached,
+                               sim::cycle_t /*now*/) {
+  done_ = true;
+  pending_record_ = PairRecord{job_.id, success, score, 0};
+  state_ = State::kRun;  // drain remaining batches, then idle
+  queue_result(success, score, k_reached);
+}
+
+void Aligner::tick(sim::cycle_t now) {
+  switch (state_) {
+    case State::kIdle:
+    case State::kLoading:
+      return;
+    case State::kInit:
+      ++busy_cycles_;
+      if (init_countdown_ > 0) {
+        --init_countdown_;
+        return;
+      }
+      start_alignment(now);
+      return;
+    case State::kRun:
+      break;
+  }
+  ++busy_cycles_;
+
+  if (batches_.empty()) {
+    WFASIC_ASSERT(!done_, "Aligner: done with no final batch");
+    step_score();
+    return;
+  }
+
+  Batch& front = batches_.front();
+  ++countdown_;
+  if (countdown_ < front.cycles) return;
+  // Batch complete: release its transactions (respecting the queue bound —
+  // this is where Output-FIFO backpressure stalls the Aligner).
+  if (!front.txns.empty()) {
+    if (bt_queue_.size() + front.txns.size() > kBtQueueCapacity) {
+      ++output_stall_cycles_;
+      return;
+    }
+    for (BtTransaction& txn : front.txns) bt_queue_.push_back(txn);
+    front.txns.clear();
+  }
+  countdown_ = 0;
+  batches_.pop_front();
+
+  if (done_ && batches_.empty()) {
+    if (!bt_enabled_) {
+      nbt_queue_.push_back(
+          NbtResult{pending_record_.success,
+                    static_cast<std::uint32_t>(std::min<score_t>(
+                        std::max<score_t>(pending_record_.score, 0),
+                        kNbtScoreMax)),
+                    job_.id});
+    }
+    pending_record_.align_cycles = now - start_cycle_ + 1;
+    records_.push_back(pending_record_);
+    state_ = State::kIdle;
+    geom_.reset();
+    current_ = nullptr;
+  }
+}
+
+}  // namespace wfasic::hw

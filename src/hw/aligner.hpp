@@ -1,0 +1,155 @@
+// The Aligner module (§4.3): performs one pairwise alignment at a time with
+// `parallel_sections` Extend/Compute sub-module pairs working on wavefront
+// cells in parallel.
+//
+// The model is functionally exact (it shares the Eq.-3 kernel with the
+// software WFA, so scores and origins are bit-identical) and
+// cycle-approximate at batch granularity: every score iteration is turned
+// into a schedule of timed batches derived from the pipeline structure of
+// the Extend (Figure 7) and Compute sub-modules and the banked wavefront
+// RAM access pattern (Figure 6). Backtrace blocks are released at batch
+// boundaries and are subject to Collector/Output-FIFO backpressure.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/packed_seq.hpp"
+#include "common/types.hpp"
+#include "core/wavefront.hpp"
+#include "core/wfa_kernel.hpp"
+#include "hw/config.hpp"
+#include "hw/result_format.hpp"
+#include "hw/wavefront_geometry.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::hw {
+
+/// One extracted pair, handed to the Aligner by the Extractor.
+struct AlignJob {
+  std::uint32_t id = 0;
+  bool unsupported = false;  ///< 'N' base or length > MAX_READ_LEN (§4.2)
+  PackedSeq a;
+  PackedSeq b;
+};
+
+class Aligner final : public sim::Component {
+ public:
+  Aligner(std::string name, const AcceleratorConfig& cfg);
+
+  /// Per-run mode switch (the BT_ENABLE register).
+  void set_backtrace(bool enabled) { bt_enabled_ = enabled; }
+
+  // --- Extractor interface -------------------------------------------------
+  [[nodiscard]] bool idle() const { return state_ == State::kIdle; }
+  /// Reserves the Aligner while the Extractor streams a pair in.
+  void begin_load();
+  /// Completes the load; alignment starts next cycle.
+  void finish_load(AlignJob job, sim::cycle_t now);
+
+  // --- Collector interface -------------------------------------------------
+  [[nodiscard]] std::deque<BtTransaction>& bt_queue() { return bt_queue_; }
+  [[nodiscard]] std::deque<NbtResult>& nbt_queue() { return nbt_queue_; }
+  [[nodiscard]] const std::deque<BtTransaction>& bt_queue() const {
+    return bt_queue_;
+  }
+  [[nodiscard]] const std::deque<NbtResult>& nbt_queue() const {
+    return nbt_queue_;
+  }
+
+  // --- Statistics -----------------------------------------------------------
+  struct PairRecord {
+    std::uint32_t id = 0;
+    bool success = false;
+    score_t score = 0;
+    std::uint64_t align_cycles = 0;  ///< finish_load to result queued
+  };
+  [[nodiscard]] const std::vector<PairRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t output_stall_cycles() const {
+    return output_stall_cycles_;
+  }
+  [[nodiscard]] std::uint64_t busy_cycles() const { return busy_cycles_; }
+
+  /// Where the Aligner's scheduled cycles go, accumulated across pairs.
+  struct PhaseCycles {
+    std::uint64_t extend = 0;    ///< Extend sub-module batches
+    std::uint64_t compute = 0;   ///< Compute sub-module batches
+    std::uint64_t overhead = 0;  ///< per-score bookkeeping, null scores
+  };
+  [[nodiscard]] const PhaseCycles& phase_cycles() const {
+    return phase_cycles_;
+  }
+
+  void tick(sim::cycle_t now) override;
+
+ private:
+  enum class State { kIdle, kLoading, kInit, kRun };
+
+  /// One timed batch of work; its transactions are released when the
+  /// countdown expires.
+  struct Batch {
+    unsigned cycles = 1;
+    std::vector<BtTransaction> txns;
+  };
+
+  void start_alignment(sim::cycle_t now);
+  /// Runs one score iteration functionally and appends its batch schedule.
+  /// Sets done_ when the alignment finishes (success or overflow).
+  void step_score();
+  void finish_alignment(bool success, score_t score, diag_t k_reached,
+                        sim::cycle_t now);
+  void queue_result(bool success, score_t score, diag_t k_reached);
+
+  [[nodiscard]] core::Wavefront* wavefront(score_t s);
+  core::Wavefront& make_wavefront(score_t s, diag_t lo, diag_t hi);
+  [[nodiscard]] core::WfCellSources gather_sources(score_t s, diag_t k);
+
+  // Configuration.
+  const AcceleratorConfig cfg_;
+  bool bt_enabled_ = false;
+
+  // Job state.
+  State state_ = State::kIdle;
+  AlignJob job_;
+  offset_t n_ = 0;
+  offset_t m_len_ = 0;
+  diag_t k_align_ = 0;
+  std::optional<WavefrontGeometry> geom_;
+  score_t s_ = 0;
+  core::Wavefront* current_ = nullptr;
+  std::uint32_t txn_counter_ = 0;
+  sim::cycle_t start_cycle_ = 0;
+  bool done_ = false;
+  PairRecord pending_record_;
+
+  // Wavefront ring buffer (the rotating frame-column window of Figure 6).
+  struct Slot {
+    score_t score = -1;
+    std::unique_ptr<core::Wavefront> wf;
+  };
+  std::vector<Slot> ring_;
+  score_t window_;
+
+  // Timed batch schedule of the current score iteration.
+  std::deque<Batch> batches_;
+  unsigned countdown_ = 0;
+  unsigned init_countdown_ = 0;
+
+  // Output queues drained by the Collector.
+  std::deque<BtTransaction> bt_queue_;
+  std::deque<NbtResult> nbt_queue_;
+  static constexpr std::size_t kBtQueueCapacity = 16;
+
+  // Statistics.
+  std::vector<PairRecord> records_;
+  std::uint64_t output_stall_cycles_ = 0;
+  std::uint64_t busy_cycles_ = 0;
+  PhaseCycles phase_cycles_;
+};
+
+}  // namespace wfasic::hw

@@ -1,0 +1,118 @@
+// The Collector modules (§4.4): gather Aligner results and format them
+// into 16-byte memory transactions pushed to the Output FIFO.
+//
+//  - Collector BT (backtrace enabled): forwards BtTransactions, one per
+//    cycle, round-robin across Aligners.
+//  - Collector NBT (backtrace disabled): merges four 4-byte score words
+//    per transaction to economise accelerator-memory bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/aligner.hpp"
+#include "hw/result_format.hpp"
+#include "mem/axi.hpp"
+#include "sim/fifo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::hw {
+
+class Collector final : public sim::Component {
+ public:
+  Collector(sim::ShowAheadFifo<mem::Beat>& output_fifo,
+            std::vector<Aligner*> aligners)
+      : sim::Component("collector"),
+        fifo_(output_fifo),
+        aligners_(std::move(aligners)) {}
+
+  /// Arms the Collector for a run. `expected_pairs` lets the NBT variant
+  /// flush its final, partially-filled transaction.
+  void configure(bool backtrace, std::uint64_t expected_pairs) {
+    bt_mode_ = backtrace;
+    expected_pairs_ = expected_pairs;
+    results_seen_ = 0;
+    nbt_fill_ = 0;
+    nbt_buffer_ = mem::Beat{};
+    flushed_ = false;
+  }
+
+  /// True once every expected result has been pushed to the Output FIFO.
+  [[nodiscard]] bool done() const {
+    return results_seen_ == expected_pairs_ && pending_empty() &&
+           (bt_mode_ || flushed_ || nbt_fill_ == 0);
+  }
+
+  [[nodiscard]] std::uint64_t beats_produced() const { return beats_; }
+
+  void tick(sim::cycle_t /*now*/) override {
+    if (bt_mode_) {
+      tick_bt();
+    } else {
+      tick_nbt();
+    }
+  }
+
+ private:
+  [[nodiscard]] bool pending_empty() const {
+    for (const Aligner* a : aligners_) {
+      if (!a->bt_queue().empty() || !a->nbt_queue().empty()) return false;
+    }
+    return true;
+  }
+
+  void tick_bt() {
+    if (fifo_.full()) return;
+    // Round-robin arbitration across Aligners, one transaction per cycle.
+    for (std::size_t probe = 0; probe < aligners_.size(); ++probe) {
+      const std::size_t idx = (rr_ + probe) % aligners_.size();
+      auto& queue = aligners_[idx]->bt_queue();
+      if (queue.empty()) continue;
+      const BtTransaction txn = queue.front();
+      queue.pop_front();
+      fifo_.push(pack_bt_transaction(txn));
+      ++beats_;
+      if (txn.last) ++results_seen_;
+      rr_ = idx + 1;
+      return;
+    }
+  }
+
+  void tick_nbt() {
+    // Collect one result per cycle into the merge buffer.
+    for (std::size_t probe = 0; probe < aligners_.size(); ++probe) {
+      const std::size_t idx = (rr_ + probe) % aligners_.size();
+      auto& queue = aligners_[idx]->nbt_queue();
+      if (queue.empty()) continue;
+      if (nbt_fill_ == 4) break;  // buffer full, must flush first
+      nbt_buffer_.set_u32(nbt_fill_, pack_nbt_result(queue.front()));
+      queue.pop_front();
+      ++nbt_fill_;
+      ++results_seen_;
+      rr_ = idx + 1;
+      break;
+    }
+    const bool final_flush =
+        results_seen_ == expected_pairs_ && nbt_fill_ > 0;
+    if ((nbt_fill_ == 4 || final_flush) && !fifo_.full()) {
+      fifo_.push(nbt_buffer_);
+      ++beats_;
+      nbt_buffer_ = mem::Beat{};
+      nbt_fill_ = 0;
+      if (final_flush) flushed_ = true;
+    }
+  }
+
+  sim::ShowAheadFifo<mem::Beat>& fifo_;
+  std::vector<Aligner*> aligners_;
+  bool bt_mode_ = false;
+  std::uint64_t expected_pairs_ = 0;
+  std::uint64_t results_seen_ = 0;
+  std::size_t rr_ = 0;
+  mem::Beat nbt_buffer_;
+  std::size_t nbt_fill_ = 0;
+  bool flushed_ = false;
+  std::uint64_t beats_ = 0;
+};
+
+}  // namespace wfasic::hw

@@ -1,0 +1,69 @@
+#include "hw/extend_unit.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace wfasic::hw {
+
+ExtendUnit::Result ExtendUnit::extend(offset_t i, offset_t j) const {
+  WFASIC_REQUIRE(i >= 0 && j >= 0 &&
+                     i <= static_cast<offset_t>(a_.size()) &&
+                     j <= static_cast<offset_t>(b_.size()),
+                 "ExtendUnit::extend: start position out of range");
+  // Fast path: the packed-word comparison computes the same run the
+  // datapath produces (proven equivalent by extend_datapath() in the
+  // tests); blocks = ceil((run+1)/16) because the comparator activation
+  // that discovers the mismatch/end belongs to the last block.
+  Result result;
+  result.run = static_cast<offset_t>(a_.match_run(
+      static_cast<std::size_t>(i), b_, static_cast<std::size_t>(j)));
+  result.blocks = static_cast<unsigned>(
+      static_cast<std::size_t>(result.run) / PackedSeq::kBasesPerWord + 1);
+  result.cycles = kPipelineFill + result.blocks;
+  return result;
+}
+
+unsigned ExtendUnit::compare_block(offset_t i, offset_t j,
+                                   bool& terminated) const {
+  // One comparator activation sees up to 16 bases; bases beyond either
+  // sequence end terminate the extension within this block.
+  const auto n = static_cast<offset_t>(a_.size());
+  const auto m = static_cast<offset_t>(b_.size());
+  const offset_t limit = std::min<offset_t>(
+      {static_cast<offset_t>(PackedSeq::kBasesPerWord), n - i, m - j});
+  unsigned matched = 0;
+  for (offset_t lane = 0; lane < limit; ++lane) {
+    if (a_.code_at(static_cast<std::size_t>(i + lane)) !=
+        b_.code_at(static_cast<std::size_t>(j + lane))) {
+      terminated = true;
+      return matched;
+    }
+    ++matched;
+  }
+  terminated = limit < static_cast<offset_t>(PackedSeq::kBasesPerWord);
+  return matched;
+}
+
+ExtendUnit::Result ExtendUnit::extend_datapath(offset_t i, offset_t j) const {
+  WFASIC_REQUIRE(i >= 0 && j >= 0 &&
+                     i <= static_cast<offset_t>(a_.size()) &&
+                     j <= static_cast<offset_t>(b_.size()),
+                 "ExtendUnit::extend_datapath: start position out of range");
+  Result result;
+  result.cycles = kPipelineFill;  // RAM reads, REG_1/REG_2, align, compare
+  offset_t pi = i;
+  offset_t pj = j;
+  bool terminated = false;
+  do {
+    ++result.blocks;   // one comparator activation
+    ++result.cycles;   // one cycle per activation once the pipe is full
+    const unsigned matched = compare_block(pi, pj, terminated);
+    result.run += static_cast<offset_t>(matched);
+    pi += static_cast<offset_t>(matched);
+    pj += static_cast<offset_t>(matched);
+  } while (!terminated);
+  return result;
+}
+
+}  // namespace wfasic::hw

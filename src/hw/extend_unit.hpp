@@ -1,0 +1,57 @@
+// The Extend sub-module (§4.3.2, Figure 7), emulated cycle by cycle.
+//
+// Datapath: every cycle one 4-byte word (16 packed bases) is read from
+// each Input_Seq RAM into REG_1, whose previous value shifts to REG_2;
+// once both registers hold valid bases, the two words are concatenated to
+// 64 bits and shifted so the starting base sits at bit 0, and a 32-bit
+// comparator checks 16 bases per cycle. The pipeline delivers its first
+// comparison after kPipelineFill cycles; the comparison that discovers the
+// terminating mismatch (or sequence end) is part of the last block.
+//
+// The Aligner uses this unit both for the functional result (the match
+// run) and for the per-cell cycle count feeding the batch scheduler.
+#pragma once
+
+#include <cstdint>
+
+#include "common/packed_seq.hpp"
+#include "common/types.hpp"
+
+namespace wfasic::hw {
+
+class ExtendUnit {
+ public:
+  /// Cycles from start strobe to the first comparator result (Figure 7:
+  /// two RAM reads, register shift, concatenate/align, compare).
+  static constexpr unsigned kPipelineFill = 5;
+
+  /// Binds the unit to its two Input_Seq RAM replicas.
+  ExtendUnit(const PackedSeq& a, const PackedSeq& b) : a_(a), b_(b) {}
+
+  struct Result {
+    offset_t run = 0;        ///< matching bases consumed
+    unsigned blocks = 0;     ///< 16-base comparator activations
+    unsigned cycles = 0;     ///< standalone latency: fill + blocks
+  };
+
+  /// Extends from pattern position i / text position j until the bases
+  /// differ or either sequence ends (§2.3's extend operator for one cell).
+  /// Fast path used by the Aligner; equivalent to extend_datapath().
+  [[nodiscard]] Result extend(offset_t i, offset_t j) const;
+
+  /// Explicit lane-by-lane emulation of the Figure-7 datapath (register
+  /// shifts, one comparator activation per cycle). Slower; exists so the
+  /// tests can prove the fast path and the datapath agree exactly.
+  [[nodiscard]] Result extend_datapath(offset_t i, offset_t j) const;
+
+ private:
+  /// One comparator activation: compares up to 16 bases starting at
+  /// (i, j), returns how many matched before a mismatch/end.
+  [[nodiscard]] unsigned compare_block(offset_t i, offset_t j,
+                                       bool& terminated) const;
+
+  const PackedSeq& a_;
+  const PackedSeq& b_;
+};
+
+}  // namespace wfasic::hw

@@ -1,0 +1,96 @@
+#include "hw/extractor.hpp"
+
+#include "common/dna.hpp"
+
+namespace wfasic::hw {
+
+void Extractor::tick(sim::cycle_t now) {
+  if (done()) return;
+
+  if (!in_pair_) {
+    // A new pair needs an idle Aligner before its first word is consumed
+    // ("monitors the activity of the Aligner modules and, when one of them
+    // becomes idle, it starts extracting", §4.2).
+    if (fifo_.empty()) return;
+    Aligner* aligner = find_idle_aligner();
+    if (aligner == nullptr) {
+      ++wait_cycles_;
+      return;
+    }
+    aligner->begin_load();
+    target_ = aligner;
+    in_pair_ = true;
+    section_ = 0;
+    sections_total_ = pair_sections(max_read_len_);
+    invalid_base_ = false;
+    words_a_.assign(sequence_sections(max_read_len_), 0);
+    words_b_.assign(sequence_sections(max_read_len_), 0);
+    first_beat_cycle_ = now;
+  }
+
+  if (fifo_.empty()) return;
+  consume_beat(fifo_.pop(), now);
+}
+
+void Extractor::consume_beat(const mem::Beat& beat, sim::cycle_t now) {
+  const std::size_t seq_sections = sequence_sections(max_read_len_);
+  if (section_ == 0) {
+    id_ = beat.u32(0);
+  } else if (section_ == 1) {
+    len_a_ = beat.u32(0);
+  } else if (section_ == 2) {
+    len_b_ = beat.u32(0);
+  } else {
+    // Sequence payload: 16 ASCII bases per beat, packed to one 4-byte word
+    // ("the blocks of 16 bases fit in four bytes", §4.2). Dummy padding
+    // past the stored length is ignored.
+    const std::size_t payload_idx = section_ - kHeaderSections;
+    const bool is_a = payload_idx < seq_sections;
+    const std::size_t word_idx = is_a ? payload_idx : payload_idx - seq_sections;
+    const std::uint32_t len = is_a ? len_a_ : len_b_;
+    const std::size_t base_offset = word_idx * 16;
+    std::uint32_t word = 0;
+    for (std::size_t lane = 0; lane < 16; ++lane) {
+      const std::size_t pos = base_offset + lane;
+      if (pos >= len) break;  // dummy bases are detectable from the length
+      const std::uint8_t code =
+          encode_base(static_cast<char>(beat.data[lane]));
+      if (code == 0xff) {
+        invalid_base_ = true;  // 'N' or garbage: unsupported read
+        continue;
+      }
+      word |= static_cast<std::uint32_t>(code) << (2 * lane);
+    }
+    (is_a ? words_a_ : words_b_)[word_idx] = word;
+  }
+
+  ++section_;
+  if (section_ == sections_total_) finish_pair(now);
+}
+
+void Extractor::finish_pair(sim::cycle_t now) {
+  AlignJob job;
+  job.id = id_;
+  const bool too_long = len_a_ > max_read_len_ || len_b_ > max_read_len_;
+  job.unsupported = too_long || invalid_base_;
+  if (!job.unsupported) {
+    job.a = PackedSeq::from_words(words_a_, len_a_);
+    job.b = PackedSeq::from_words(words_b_, len_b_);
+  }
+  target_->finish_load(std::move(job), now);
+
+  PairReadRecord record;
+  record.id = id_;
+  record.reading_cycles = now - first_beat_cycle_ + 1;
+  record.beats = sections_total_;
+  record.wait_for_aligner_cycles = wait_cycles_;
+  records_.push_back(record);
+
+  in_pair_ = false;
+  target_ = nullptr;
+  wait_cycles_ = 0;
+  --pairs_left_;
+  ++pairs_done_;
+}
+
+}  // namespace wfasic::hw

@@ -1,0 +1,86 @@
+// The Extractor module (§4.2): pops one 16-byte word per cycle from the
+// Input FIFO, decodes the input-set layout (hw/input_format.hpp), packs
+// bases to 2 bits, detects unsupported reads ('N' bases, length >
+// MAX_READ_LEN) and dispatches complete pairs to idle Aligners.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/aligner.hpp"
+#include "hw/input_format.hpp"
+#include "mem/axi.hpp"
+#include "sim/fifo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::hw {
+
+class Extractor final : public sim::Component {
+ public:
+  Extractor(sim::ShowAheadFifo<mem::Beat>& input_fifo,
+            std::vector<Aligner*> aligners)
+      : sim::Component("extractor"),
+        fifo_(input_fifo),
+        aligners_(std::move(aligners)) {}
+
+  /// Arms the Extractor for a run (values from the AXI-Lite registers).
+  void configure(std::uint32_t max_read_len, std::uint64_t num_pairs) {
+    WFASIC_REQUIRE(max_read_len % 16 == 0,
+                   "Extractor: MAX_READ_LEN must be divisible by 16");
+    max_read_len_ = max_read_len;
+    pairs_left_ = num_pairs;
+    pairs_done_ = 0;
+    in_pair_ = false;
+  }
+
+  [[nodiscard]] bool done() const { return pairs_left_ == 0 && !in_pair_; }
+  [[nodiscard]] std::uint64_t pairs_done() const { return pairs_done_; }
+
+  /// Per-pair ingest statistics (Table 1's "Reading Cycles").
+  struct PairReadRecord {
+    std::uint32_t id = 0;
+    std::uint64_t reading_cycles = 0;  ///< first to last beat of the pair
+    std::uint64_t beats = 0;           ///< 16-byte transactions consumed
+    std::uint64_t wait_for_aligner_cycles = 0;
+  };
+  [[nodiscard]] const std::vector<PairReadRecord>& records() const {
+    return records_;
+  }
+
+  void tick(sim::cycle_t now) override;
+
+ private:
+  [[nodiscard]] Aligner* find_idle_aligner() const {
+    for (Aligner* a : aligners_) {
+      if (a->idle()) return a;
+    }
+    return nullptr;
+  }
+
+  void consume_beat(const mem::Beat& beat, sim::cycle_t now);
+  void finish_pair(sim::cycle_t now);
+
+  sim::ShowAheadFifo<mem::Beat>& fifo_;
+  std::vector<Aligner*> aligners_;
+  std::uint32_t max_read_len_ = 0;
+  std::uint64_t pairs_left_ = 0;
+  std::uint64_t pairs_done_ = 0;
+
+  // Per-pair decode state.
+  bool in_pair_ = false;
+  Aligner* target_ = nullptr;
+  std::size_t section_ = 0;      // index within the pair
+  std::size_t sections_total_ = 0;
+  std::uint32_t id_ = 0;
+  std::uint32_t len_a_ = 0;
+  std::uint32_t len_b_ = 0;
+  bool invalid_base_ = false;
+  std::vector<std::uint32_t> words_a_;
+  std::vector<std::uint32_t> words_b_;
+  sim::cycle_t first_beat_cycle_ = 0;
+  std::uint64_t wait_cycles_ = 0;
+
+  std::vector<PairReadRecord> records_;
+};
+
+}  // namespace wfasic::hw

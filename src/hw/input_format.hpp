@@ -1,0 +1,49 @@
+// In-memory layout of the accelerator's input set (§4.2).
+//
+// Every field lives in 16-byte sections. Per pair:
+//   section 0:              alignment ID   (4 bytes used)
+//   section 1:              length of a    (4 bytes used)
+//   section 2:              length of b    (4 bytes used)
+//   next MAX_READ_LEN/16:   bases of a, one ASCII byte per base, padded
+//                           with dummy bytes to MAX_READ_LEN
+//   next MAX_READ_LEN/16:   bases of b, same padding
+//
+// MAX_READ_LEN must be divisible by 16 (the AXI-Full data width); the CPU
+// pads every sequence of the set to it with dummy bases, which the
+// Extractor ignores based on the stored lengths.
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+#include "mem/axi.hpp"
+
+namespace wfasic::hw {
+
+inline constexpr std::size_t kSectionBytes = mem::kBeatBytes;  // 16
+inline constexpr std::size_t kHeaderSections = 3;  // id, len a, len b
+inline constexpr std::uint8_t kDummyBase = 0;      // padding byte
+
+/// Rounds a read length up to the next multiple of 16 (§4.2's
+/// MAX_READ_LEN divisibility rule).
+[[nodiscard]] constexpr std::uint32_t round_up_read_len(std::uint32_t len) {
+  return (len + 15u) & ~15u;
+}
+
+/// Sections occupied by one padded sequence.
+[[nodiscard]] constexpr std::size_t sequence_sections(
+    std::uint32_t max_read_len) {
+  return max_read_len / kSectionBytes;
+}
+
+/// Total 16-byte sections per pair.
+[[nodiscard]] constexpr std::size_t pair_sections(std::uint32_t max_read_len) {
+  return kHeaderSections + 2 * sequence_sections(max_read_len);
+}
+
+/// Total bytes per pair.
+[[nodiscard]] constexpr std::size_t pair_bytes(std::uint32_t max_read_len) {
+  return pair_sections(max_read_len) * kSectionBytes;
+}
+
+}  // namespace wfasic::hw

@@ -1,0 +1,36 @@
+// AXI-Lite memory-mapped register interface of the WFAsic accelerator
+// (§3): the CPU writes the run configuration (backtrace enable,
+// MAX_READ_LEN, DMA addresses/sizes), pulses Start, and polls Idle (or
+// enables the completion interrupt).
+#pragma once
+
+#include <cstdint>
+
+namespace wfasic::hw {
+
+enum RegOffset : std::uint32_t {
+  kRegCtrl = 0x00,        ///< write 1: start the accelerator
+  kRegStatus = 0x04,      ///< bit 0: idle
+  kRegBtEnable = 0x08,    ///< bit 0: backtrace functionality on/off
+  kRegMaxReadLen = 0x0c,  ///< MAX_READ_LEN (bases, divisible by 16)
+  kRegInAddrLo = 0x10,    ///< input set base address
+  kRegInAddrHi = 0x14,
+  kRegInSizeLo = 0x18,    ///< input set size in bytes
+  kRegInSizeHi = 0x1c,
+  kRegOutAddrLo = 0x20,   ///< result base address
+  kRegOutAddrHi = 0x24,
+  kRegIntEnable = 0x28,   ///< bit 0: raise interrupt on completion
+  kRegIntStatus = 0x2c,   ///< bit 0: interrupt pending; write 1 to clear
+};
+
+/// Latched register values (the accelerator samples them on Start).
+struct RegValues {
+  bool backtrace = false;
+  std::uint32_t max_read_len = 0;
+  std::uint64_t in_addr = 0;
+  std::uint64_t in_size = 0;
+  std::uint64_t out_addr = 0;
+  bool int_enable = false;
+};
+
+}  // namespace wfasic::hw

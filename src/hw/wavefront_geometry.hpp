@@ -1,0 +1,113 @@
+// Deterministic wavefront bounds shared by the Aligner and the CPU-side
+// backtrace decoder.
+//
+// Which scores have wavefronts, and each wavefront's [lo, hi] diagonal
+// range, depend only on the penalties, the sequence lengths and the band
+// k_max — never on the sequence contents. Presence is tracked per matrix
+// (M, I, D) so the score lattice matches the real algorithm: with
+// (x, o, e) = (4, 6, 2) wavefronts exist at scores 0, 4, 8, 10, 12, ...
+// exactly as in Figure 1(c) of the paper.
+//
+// The hardware emits backtrace blocks in (score, diagonal-batch) order, so
+// the CPU can reconstruct the exact block/cell index of any (s, k) cell by
+// replaying this recurrence (§4.5: "identifies these boundaries and
+// performs the backtrace").
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace wfasic::hw {
+
+struct WfBounds {
+  bool has_m = false;  ///< some diagonal can hold a valid M offset
+  bool has_i = false;
+  bool has_d = false;
+  diag_t lo = 0;
+  diag_t hi = -1;
+
+  [[nodiscard]] bool present() const { return has_m || has_i || has_d; }
+  [[nodiscard]] std::size_t width() const {
+    return present() ? static_cast<std::size_t>(hi - lo + 1) : 0;
+  }
+};
+
+class WavefrontGeometry {
+ public:
+  /// `pattern_len`/`text_len` bound the diagonal range to the DP matrix;
+  /// `k_max < 0` disables the band.
+  WavefrontGeometry(offset_t pattern_len, offset_t text_len,
+                    const Penalties& pen, diag_t k_max)
+      : pen_(pen), n_(pattern_len), m_(text_len), k_max_(k_max) {
+    WfBounds seed;
+    seed.has_m = true;  // the M_{0,0} = 0 seed cell
+    seed.lo = 0;
+    seed.hi = 0;
+    bounds_.push_back(seed);
+  }
+
+  /// Bounds of the wavefront for score s (memoised; O(1) amortised).
+  [[nodiscard]] const WfBounds& bounds(score_t s) {
+    WFASIC_REQUIRE(s >= 0, "WavefrontGeometry: negative score");
+    while (static_cast<score_t>(bounds_.size()) <= s) {
+      bounds_.push_back(next(static_cast<score_t>(bounds_.size())));
+    }
+    return bounds_[static_cast<std::size_t>(s)];
+  }
+
+ private:
+  [[nodiscard]] WfBounds source(score_t s) const {
+    if (s < 0 || s >= static_cast<score_t>(bounds_.size())) return WfBounds{};
+    return bounds_[static_cast<std::size_t>(s)];
+  }
+
+  [[nodiscard]] WfBounds next(score_t s) const {
+    const WfBounds sx = source(s - pen_.mismatch);
+    const WfBounds soe = source(s - pen_.open_total());
+    const WfBounds se = source(s - pen_.gap_extend);
+
+    WfBounds out;
+    // I_s[k] = max(M_{s-o-e}[k-1], I_{s-e}[k-1]) + 1; D symmetric.
+    out.has_i = soe.has_m || se.has_i;
+    out.has_d = soe.has_m || se.has_d;
+    // M_s[k] = max(M_{s-x}[k] + 1, I_s[k], D_s[k]).
+    out.has_m = sx.has_m || out.has_i || out.has_d;
+    if (!out.present()) return WfBounds{};
+
+    diag_t lo = kScoreInf;
+    diag_t hi = -kScoreInf;
+    if (sx.has_m) {
+      lo = std::min(lo, sx.lo);
+      hi = std::max(hi, sx.hi);
+    }
+    if (soe.has_m) {  // feeds I at k-1 and D at k+1: widens both sides
+      lo = std::min(lo, soe.lo - 1);
+      hi = std::max(hi, soe.hi + 1);
+    }
+    if (se.has_i || se.has_d) {
+      lo = std::min(lo, se.lo - 1);
+      hi = std::max(hi, se.hi + 1);
+    }
+    lo = std::max(lo, -n_);
+    hi = std::min(hi, m_);
+    if (k_max_ >= 0) {
+      lo = std::max(lo, -k_max_);
+      hi = std::min(hi, k_max_);
+    }
+    if (lo > hi) return WfBounds{};
+    out.lo = lo;
+    out.hi = hi;
+    return out;
+  }
+
+  Penalties pen_;
+  offset_t n_;
+  offset_t m_;
+  diag_t k_max_;
+  std::vector<WfBounds> bounds_;
+};
+
+}  // namespace wfasic::hw

@@ -1,0 +1,95 @@
+// The banked wavefront-RAM organisation of §4.3.1 / Figure 6.
+//
+// A wavefront window column holds one cell per diagonal; cells are
+// distributed row-interleaved over the P parallel sections' RAMs
+// (cell row r lives in RAM r mod P, at address col * rows_per_ram +
+// r / P). Computing an aligned batch of P frame-column cells requires,
+// from the M_{s-o-e} source column, parallel reads of rows
+// [base-1, base+P] — P+2 rows over P RAMs, which collides exactly on the
+// first and last RAM. Duplicating those two RAMs (the paper's RAM 1' and
+// RAM 4') gives them two read ports' worth of bandwidth and makes the
+// whole pattern single-cycle; the other source columns need only aligned
+// rows [base, base+P) and never conflict.
+//
+// This model exists to *prove* that property (tests/test_wavefront_ram)
+// and to let the Aligner's timing assumptions be audited: one access
+// round per source column with duplication, two without.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::hw {
+
+class WavefrontRamMapping {
+ public:
+  /// `parallel_sections` = number of RAMs per wavefront window;
+  /// `duplicate_edge_rams` = the RAM 1'/4' duplication (M window only in
+  /// the real design).
+  WavefrontRamMapping(unsigned parallel_sections, bool duplicate_edge_rams)
+      : p_(parallel_sections), duplicated_(duplicate_edge_rams) {
+    WFASIC_REQUIRE(p_ >= 2, "WavefrontRamMapping: need at least 2 RAMs");
+  }
+
+  [[nodiscard]] unsigned parallel_sections() const { return p_; }
+
+  /// RAM index of cell row `row` (rows may be negative: diagonals are
+  /// re-based by the caller; the mapping wraps like hardware modulo).
+  [[nodiscard]] unsigned ram_of(std::int64_t row) const {
+    const std::int64_t m = row % static_cast<std::int64_t>(p_);
+    return static_cast<unsigned>(m < 0 ? m + static_cast<std::int64_t>(p_)
+                                       : m);
+  }
+
+  /// Word address of cell (row, column) inside its RAM, for a window with
+  /// `rows_per_ram` words allocated per column.
+  [[nodiscard]] std::size_t address_of(std::int64_t row, unsigned column,
+                                       std::size_t rows_per_ram) const {
+    WFASIC_REQUIRE(row >= 0, "address_of: rebase rows to >= 0 first");
+    const auto word = static_cast<std::size_t>(row) / p_;
+    WFASIC_REQUIRE(word < rows_per_ram, "address_of: row beyond window");
+    return static_cast<std::size_t>(column) * rows_per_ram + word;
+  }
+
+  /// Read capacity of one RAM per cycle: duplicated edge RAMs (index 0
+  /// and P-1) serve two parallel reads, the rest one.
+  [[nodiscard]] unsigned ports_of(unsigned ram) const {
+    return duplicated_ && (ram == 0 || ram == p_ - 1) ? 2 : 1;
+  }
+
+  /// Number of sequential access rounds needed to read all `rows` in
+  /// parallel (ceil of per-RAM demand over its port count, §4.3.1).
+  [[nodiscard]] unsigned read_rounds(std::span<const std::int64_t> rows) const {
+    std::vector<unsigned> demand(p_, 0);
+    for (std::int64_t row : rows) ++demand[ram_of(row)];
+    unsigned rounds = 0;
+    for (unsigned ram = 0; ram < p_; ++ram) {
+      const unsigned ports = ports_of(ram);
+      rounds = std::max(rounds, (demand[ram] + ports - 1) / ports);
+    }
+    return rounds;
+  }
+
+  /// The rows a compute batch starting at aligned row `base` must read
+  /// from the M_{s-o-e} source column: the k-1 and k+1 neighbours of all
+  /// P cells, i.e. [base-1, base+P].
+  [[nodiscard]] std::vector<std::int64_t> open_source_rows(
+      std::int64_t base) const {
+    std::vector<std::int64_t> rows;
+    rows.reserve(p_ + 2);
+    for (std::int64_t r = base - 1; r <= base + static_cast<std::int64_t>(p_);
+         ++r) {
+      rows.push_back(r);
+    }
+    return rows;
+  }
+
+ private:
+  unsigned p_;
+  bool duplicated_;
+};
+
+}  // namespace wfasic::hw

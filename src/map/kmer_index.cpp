@@ -1,0 +1,51 @@
+#include "map/kmer_index.hpp"
+
+#include "common/assert.hpp"
+#include "common/dna.hpp"
+
+namespace wfasic::map {
+
+bool pack_kmer(std::string_view window, std::uint64_t& code) {
+  WFASIC_REQUIRE(window.size() <= 31, "pack_kmer: k must be <= 31");
+  std::uint64_t packed = 0;
+  for (char c : window) {
+    const std::uint8_t base = encode_base(c);
+    if (base == 0xff) return false;
+    packed = (packed << 2) | base;
+  }
+  // Set a sentinel bit above the payload so different k never collide.
+  code = packed | (1ULL << (2 * window.size()));
+  return true;
+}
+
+KmerIndex::KmerIndex(std::string_view reference, unsigned k,
+                     std::size_t max_occurrences)
+    : k_(k), ref_len_(reference.size()) {
+  WFASIC_REQUIRE(k >= 4 && k <= 31, "KmerIndex: k must be in [4, 31]");
+  if (reference.size() < k) return;
+  for (std::size_t pos = 0; pos + k <= reference.size(); ++pos) {
+    std::uint64_t code = 0;
+    if (!pack_kmer(reference.substr(pos, k), code)) continue;
+    index_[code].push_back(static_cast<std::uint32_t>(pos));
+  }
+  // Repeat masking: drop over-abundant k-mers entirely.
+  for (auto it = index_.begin(); it != index_.end();) {
+    if (it->second.size() > max_occurrences) {
+      it = index_.erase(it);
+      ++masked_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::span<const std::uint32_t> KmerIndex::lookup(std::string_view kmer) const {
+  WFASIC_REQUIRE(kmer.size() == k_, "KmerIndex::lookup: wrong k-mer length");
+  std::uint64_t code = 0;
+  if (!pack_kmer(kmer, code)) return {};
+  const auto it = index_.find(code);
+  if (it == index_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+}  // namespace wfasic::map

@@ -1,0 +1,47 @@
+// K-mer hash index over a reference sequence: the seeding substrate of a
+// read mapper (§2.1: "the Seeding step filters the possible locations of
+// the query sequences in the reference genome").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace wfasic::map {
+
+/// Packs a k-mer (k <= 31, A/C/G/T only) into a 64-bit code; returns false
+/// if the window contains an invalid base.
+[[nodiscard]] bool pack_kmer(std::string_view window, std::uint64_t& code);
+
+class KmerIndex {
+ public:
+  /// Indexes every k-mer position of `reference`. K-mers containing
+  /// non-ACGT characters are skipped. Positions of k-mers occurring more
+  /// than `max_occurrences` times are dropped (repeat masking), as real
+  /// mappers do to keep seeding selective.
+  KmerIndex(std::string_view reference, unsigned k,
+            std::size_t max_occurrences = 64);
+
+  [[nodiscard]] unsigned k() const { return k_; }
+  [[nodiscard]] std::size_t reference_length() const { return ref_len_; }
+  [[nodiscard]] std::size_t distinct_kmers() const { return index_.size(); }
+  [[nodiscard]] std::size_t masked_kmers() const { return masked_; }
+
+  /// Reference positions where this exact k-mer occurs (empty if unknown
+  /// or masked).
+  [[nodiscard]] std::span<const std::uint32_t> lookup(
+      std::string_view kmer) const;
+
+ private:
+  unsigned k_;
+  std::size_t ref_len_;
+  std::size_t masked_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+};
+
+}  // namespace wfasic::map

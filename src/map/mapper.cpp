@@ -1,0 +1,74 @@
+#include "map/mapper.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/assert.hpp"
+#include "core/swg_semiglobal.hpp"
+
+namespace wfasic::map {
+
+ReadMapper::ReadMapper(std::string reference, MapperConfig cfg)
+    : reference_(std::move(reference)),
+      cfg_(cfg),
+      index_(reference_, cfg.k) {
+  WFASIC_REQUIRE(cfg_.seed_stride >= 1, "ReadMapper: zero seed stride");
+  WFASIC_REQUIRE(cfg_.diagonal_bucket >= 1, "ReadMapper: zero bucket");
+}
+
+Mapping ReadMapper::map(std::string_view read) const {
+  Mapping result;
+  if (read.size() < cfg_.k) return result;
+
+  // --- Seeding: sample k-mers along the read and vote for the implied
+  // alignment start diagonal (hit position - read offset), bucketised to
+  // tolerate indels between seeds.
+  std::unordered_map<std::size_t, std::size_t> votes;  // bucket -> count
+  for (std::size_t off = 0; off + cfg_.k <= read.size();
+       off += cfg_.seed_stride) {
+    for (std::uint32_t hit : index_.lookup(read.substr(off, cfg_.k))) {
+      ++result.seed_hits;
+      if (hit < off) continue;  // read would start before the reference
+      const std::size_t start = hit - off;
+      ++votes[start / cfg_.diagonal_bucket];
+    }
+  }
+  if (votes.empty()) return result;
+
+  // --- Candidate selection: the most-voted buckets.
+  std::vector<std::pair<std::size_t, std::size_t>> ranked(votes.begin(),
+                                                          votes.end());
+  std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
+    return x.second != y.second ? x.second > y.second : x.first < y.first;
+  });
+
+  // --- Seed extension (the WFAsic step): semiglobal gap-affine alignment
+  // of the read inside each candidate window; keep the best score.
+  score_t best = kScoreInf;
+  for (std::size_t rank = 0;
+       rank < std::min<std::size_t>(ranked.size(), cfg_.max_candidates);
+       ++rank) {
+    if (ranked[rank].second < cfg_.min_votes) break;
+    ++result.candidates_extended;
+    const std::size_t start_guess =
+        ranked[rank].first * cfg_.diagonal_bucket;
+    const std::size_t begin =
+        start_guess > cfg_.window_slack ? start_guess - cfg_.window_slack : 0;
+    const std::size_t end = std::min(
+        reference_.size(), start_guess + read.size() + cfg_.window_slack);
+    if (end <= begin) continue;
+    const std::string_view window(reference_.data() + begin, end - begin);
+    const core::SemiglobalResult ext = core::align_swg_semiglobal(
+        read, window, cfg_.pen, core::Traceback::kEnabled);
+    if (ext.align.score < best) {
+      best = ext.align.score;
+      result.mapped = true;
+      result.score = ext.align.score;
+      result.position = begin + ext.text_begin;
+      result.cigar = ext.align.cigar;
+    }
+  }
+  return result;
+}
+
+}  // namespace wfasic::map

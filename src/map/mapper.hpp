@@ -1,0 +1,57 @@
+// A compact seed-and-extend read mapper: the application the paper's
+// introduction motivates (§2.1). Seeding uses the k-mer index; candidate
+// locations are ranked by diagonal voting; seed extension — the step
+// WFAsic accelerates — runs semiglobal gap-affine alignment of the read
+// inside the candidate reference window.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cigar.hpp"
+#include "common/types.hpp"
+#include "map/kmer_index.hpp"
+
+namespace wfasic::map {
+
+struct MapperConfig {
+  unsigned k = 15;               ///< seed length
+  unsigned seed_stride = 5;      ///< sample a seed every N read positions
+  unsigned max_candidates = 4;   ///< candidate windows to extend
+  std::size_t window_slack = 32; ///< extra reference bases around a window
+  std::size_t diagonal_bucket = 16;  ///< vote granularity (indel tolerance)
+  std::size_t min_votes = 2;     ///< seeds agreeing before extension
+  Penalties pen = kDefaultPenalties;
+};
+
+/// One mapped read.
+struct Mapping {
+  bool mapped = false;
+  std::size_t position = 0;  ///< reference offset of the alignment start
+  score_t score = 0;         ///< gap-affine distance of the best extension
+  Cigar cigar;               ///< read vs reference[position, ...)
+  std::size_t candidates_extended = 0;
+  std::size_t seed_hits = 0;
+};
+
+class ReadMapper {
+ public:
+  ReadMapper(std::string reference, MapperConfig cfg = {});
+
+  /// Maps one read; unmapped when no candidate gathers enough seed votes.
+  [[nodiscard]] Mapping map(std::string_view read) const;
+
+  [[nodiscard]] const KmerIndex& index() const { return index_; }
+  [[nodiscard]] const std::string& reference() const { return reference_; }
+  [[nodiscard]] const MapperConfig& config() const { return cfg_; }
+
+ private:
+  std::string reference_;
+  MapperConfig cfg_;
+  KmerIndex index_;
+};
+
+}  // namespace wfasic::map

@@ -1,0 +1,53 @@
+// AXI transfer vocabulary: 16-byte beats (the SoC's AXI-Full data width,
+// §4.1) and the timing parameters of the accelerator's memory path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/assert.hpp"
+
+namespace wfasic::mem {
+
+/// One AXI-Full data beat: 16 bytes.
+inline constexpr std::size_t kBeatBytes = 16;
+
+struct Beat {
+  std::array<std::uint8_t, kBeatBytes> data{};
+
+  [[nodiscard]] std::uint32_t u32(std::size_t word) const {
+    WFASIC_REQUIRE(word < 4, "Beat::u32 word index out of range");
+    std::uint32_t v = 0;
+    std::memcpy(&v, data.data() + 4 * word, 4);
+    return v;
+  }
+  void set_u32(std::size_t word, std::uint32_t value) {
+    WFASIC_REQUIRE(word < 4, "Beat::set_u32 word index out of range");
+    std::memcpy(data.data() + 4 * word, &value, 4);
+  }
+
+  friend bool operator==(const Beat&, const Beat&) = default;
+};
+
+/// Timing of the accelerator's AXI-Full memory path. Defaults are
+/// calibrated so the per-pair reading cycles land near Table 1 of the paper
+/// (75 / 376 / 3420 cycles for the 100 bp / 1 Kbp / 10 Kbp sets):
+/// bursts of 16 beats with a 27-cycle request-to-first-beat latency give
+///   ceil(beats/16) * 27 + beats
+/// which evaluates to 71 / 374 / 3482 for those sets.
+struct AxiTiming {
+  unsigned burst_beats = 16;    ///< beats per read burst
+  unsigned read_latency = 27;   ///< request-to-first-beat cycles per burst
+  unsigned write_latency = 0;   ///< posted writes: buffered, no stall
+
+  /// Idealised cycles to stream `beats` beats (no contention, no stalls).
+  [[nodiscard]] std::uint64_t stream_read_cycles(std::uint64_t beats) const {
+    if (beats == 0) return 0;
+    const std::uint64_t bursts = (beats + burst_beats - 1) / burst_beats;
+    return bursts * read_latency + beats;
+  }
+};
+
+}  // namespace wfasic::mem

@@ -1,0 +1,113 @@
+// The accelerator's DMA engine (Figure 5): streams the input set from main
+// memory into the Input FIFO and drains the Output FIFO back to memory,
+// sharing a single AXI-Full port (one 16-byte beat per cycle, writes have
+// priority so result/backtrace data is never backed up into the Aligners).
+#pragma once
+
+#include <cstdint>
+
+#include "mem/axi.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/fifo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::mem {
+
+class Dma final : public sim::Component {
+ public:
+  Dma(MainMemory& memory, sim::ShowAheadFifo<Beat>& input_fifo,
+      sim::ShowAheadFifo<Beat>& output_fifo, AxiTiming timing)
+      : sim::Component("dma"),
+        memory_(memory),
+        input_fifo_(input_fifo),
+        output_fifo_(output_fifo),
+        timing_(timing) {}
+
+  /// Arms the read stream: `bytes` must be a whole number of beats.
+  void configure_read(std::uint64_t addr, std::uint64_t bytes) {
+    WFASIC_REQUIRE(bytes % kBeatBytes == 0,
+                   "Dma::configure_read: size must be beat-aligned");
+    read_ptr_ = addr;
+    read_beats_left_ = bytes / kBeatBytes;
+    burst_beats_done_ = 0;
+    latency_left_ = read_beats_left_ > 0 ? timing_.read_latency : 0;
+  }
+
+  /// Sets the base address results are written to.
+  void configure_write(std::uint64_t addr) { write_ptr_ = addr; }
+
+  [[nodiscard]] bool read_done() const { return read_beats_left_ == 0; }
+  [[nodiscard]] std::uint64_t write_ptr() const { return write_ptr_; }
+
+  [[nodiscard]] std::uint64_t beats_read() const { return beats_read_; }
+  [[nodiscard]] std::uint64_t beats_written() const { return beats_written_; }
+  [[nodiscard]] std::uint64_t read_stalls_fifo_full() const {
+    return read_stalls_fifo_full_;
+  }
+  [[nodiscard]] std::uint64_t read_stalls_port_busy() const {
+    return read_stalls_port_busy_;
+  }
+
+  void tick(sim::cycle_t /*now*/) override {
+    bool port_used = false;
+
+    // Write side first: posted writes drain the Output FIFO at one beat per
+    // cycle so backtrace traffic never deadlocks the Aligners.
+    if (!output_fifo_.empty()) {
+      const Beat beat = output_fifo_.pop();
+      memory_.write(write_ptr_, std::span<const std::uint8_t>(
+                                    beat.data.data(), kBeatBytes));
+      write_ptr_ += kBeatBytes;
+      ++beats_written_;
+      port_used = true;
+    }
+
+    // Read side: the burst latency counter runs regardless of port
+    // arbitration (the memory controller pipelines the request), but the
+    // data beat itself needs the shared port and space in the Input FIFO.
+    if (read_beats_left_ == 0) return;
+    if (latency_left_ > 0) {
+      --latency_left_;
+      return;
+    }
+    if (port_used) {
+      ++read_stalls_port_busy_;
+      return;
+    }
+    if (input_fifo_.full()) {
+      ++read_stalls_fifo_full_;
+      return;
+    }
+    Beat beat;
+    memory_.read(read_ptr_,
+                 std::span<std::uint8_t>(beat.data.data(), kBeatBytes));
+    input_fifo_.push(beat);
+    read_ptr_ += kBeatBytes;
+    --read_beats_left_;
+    ++beats_read_;
+    ++burst_beats_done_;
+    if (burst_beats_done_ == timing_.burst_beats && read_beats_left_ > 0) {
+      burst_beats_done_ = 0;
+      latency_left_ = timing_.read_latency;
+    }
+  }
+
+ private:
+  MainMemory& memory_;
+  sim::ShowAheadFifo<Beat>& input_fifo_;
+  sim::ShowAheadFifo<Beat>& output_fifo_;
+  AxiTiming timing_;
+
+  std::uint64_t read_ptr_ = 0;
+  std::uint64_t read_beats_left_ = 0;
+  unsigned burst_beats_done_ = 0;
+  unsigned latency_left_ = 0;
+  std::uint64_t write_ptr_ = 0;
+
+  std::uint64_t beats_read_ = 0;
+  std::uint64_t beats_written_ = 0;
+  std::uint64_t read_stalls_fifo_full_ = 0;
+  std::uint64_t read_stalls_port_busy_ = 0;
+};
+
+}  // namespace wfasic::mem

@@ -1,0 +1,71 @@
+// Off-chip main memory model: a flat byte-addressable store with bounds
+// checking and little-endian word helpers. Timing lives in the DMA/AXI
+// models, not here.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::mem {
+
+class MainMemory {
+ public:
+  explicit MainMemory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+  void write(std::uint64_t addr, std::span<const std::uint8_t> data) {
+    WFASIC_REQUIRE(in_range(addr, data.size()), "MainMemory::write OOB");
+    std::memcpy(bytes_.data() + addr, data.data(), data.size());
+  }
+
+  void read(std::uint64_t addr, std::span<std::uint8_t> out) const {
+    WFASIC_REQUIRE(in_range(addr, out.size()), "MainMemory::read OOB");
+    std::memcpy(out.data(), bytes_.data() + addr, out.size());
+  }
+
+  [[nodiscard]] std::uint8_t read_u8(std::uint64_t addr) const {
+    WFASIC_REQUIRE(in_range(addr, 1), "MainMemory::read_u8 OOB");
+    return bytes_[addr];
+  }
+
+  void write_u8(std::uint64_t addr, std::uint8_t value) {
+    WFASIC_REQUIRE(in_range(addr, 1), "MainMemory::write_u8 OOB");
+    bytes_[addr] = value;
+  }
+
+  [[nodiscard]] std::uint32_t read_u32(std::uint64_t addr) const {
+    std::uint32_t v = 0;
+    read(addr, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(&v), 4));
+    return v;  // host is little-endian on all supported platforms
+  }
+
+  void write_u32(std::uint64_t addr, std::uint32_t value) {
+    write(addr, std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(&value), 4));
+  }
+
+  [[nodiscard]] std::uint64_t read_u64(std::uint64_t addr) const {
+    std::uint64_t v = 0;
+    read(addr, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(&v), 8));
+    return v;
+  }
+
+  void write_u64(std::uint64_t addr, std::uint64_t value) {
+    write(addr, std::span<const std::uint8_t>(
+                    reinterpret_cast<const std::uint8_t*>(&value), 8));
+  }
+
+ private:
+  [[nodiscard]] bool in_range(std::uint64_t addr, std::size_t len) const {
+    return addr <= bytes_.size() && len <= bytes_.size() - addr;
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace wfasic::mem

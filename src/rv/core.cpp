@@ -1,0 +1,207 @@
+#include "rv/core.hpp"
+
+#include <cstring>
+
+namespace wfasic::rv {
+
+std::uint64_t RvCore::load(std::uint64_t addr, unsigned bytes,
+                           bool sign_extend) {
+  WFASIC_REQUIRE(addr + bytes <= memory_.size(), "RvCore: load out of range");
+  std::uint64_t value = 0;
+  std::memcpy(&value, memory_.data() + addr, bytes);
+  if (sign_extend && bytes < 8) {
+    const unsigned shift = 64 - 8 * bytes;
+    value = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(value << shift) >> shift);
+  }
+  return value;
+}
+
+void RvCore::store(std::uint64_t addr, unsigned bytes, std::uint64_t value) {
+  WFASIC_REQUIRE(addr + bytes <= memory_.size(), "RvCore: store out of range");
+  std::memcpy(memory_.data() + addr, &value, bytes);
+}
+
+RunStats RvCore::run(const std::vector<Insn>& program,
+                     std::uint64_t max_instructions) {
+  RunStats stats;
+  std::size_t pc = 0;
+  int last_load_rd = -1;  // destination of the previous instruction's load
+  regs_[reg::zero] = 0;
+
+  while (true) {
+    WFASIC_REQUIRE(pc < program.size(), "RvCore: PC past program end");
+    WFASIC_REQUIRE(stats.instructions < max_instructions,
+                   "RvCore: instruction limit exceeded (runaway program)");
+    const Insn& insn = program[pc];
+    ++stats.instructions;
+    ++stats.cycles;
+
+    // Load-use interlock: one bubble if this instruction consumes the
+    // value a load produced last cycle.
+    if (last_load_rd > 0) {
+      const bool uses = insn.rs1 == last_load_rd ||
+                        (insn.rs2 == last_load_rd &&
+                         (is_store(insn.op) || is_branch(insn.op) ||
+                          (insn.op <= Op::kMul)));
+      if (uses) {
+        stats.cycles += timing_.load_use_stall;
+        ++stats.load_use_stalls;
+      }
+    }
+    last_load_rd = -1;
+
+    const std::int64_t s1 = regs_[insn.rs1];
+    const std::int64_t s2 = regs_[insn.rs2];
+    const auto u1 = static_cast<std::uint64_t>(s1);
+    const auto u2 = static_cast<std::uint64_t>(s2);
+    std::size_t next_pc = pc + 1;
+
+    switch (insn.op) {
+      case Op::kAdd:
+        set_reg(insn.rd, s1 + s2);
+        break;
+      case Op::kSub:
+        set_reg(insn.rd, s1 - s2);
+        break;
+      case Op::kAnd:
+        set_reg(insn.rd, s1 & s2);
+        break;
+      case Op::kOr:
+        set_reg(insn.rd, s1 | s2);
+        break;
+      case Op::kXor:
+        set_reg(insn.rd, s1 ^ s2);
+        break;
+      case Op::kSll:
+        set_reg(insn.rd, static_cast<std::int64_t>(u1 << (u2 & 63)));
+        break;
+      case Op::kSrl:
+        set_reg(insn.rd, static_cast<std::int64_t>(u1 >> (u2 & 63)));
+        break;
+      case Op::kSra:
+        set_reg(insn.rd, s1 >> (u2 & 63));
+        break;
+      case Op::kSlt:
+        set_reg(insn.rd, s1 < s2 ? 1 : 0);
+        break;
+      case Op::kSltu:
+        set_reg(insn.rd, u1 < u2 ? 1 : 0);
+        break;
+      case Op::kMul:
+        set_reg(insn.rd, s1 * s2);
+        stats.cycles += timing_.mul_latency;
+        break;
+      case Op::kAddi:
+        set_reg(insn.rd, s1 + insn.imm);
+        break;
+      case Op::kAndi:
+        set_reg(insn.rd, s1 & insn.imm);
+        break;
+      case Op::kOri:
+        set_reg(insn.rd, s1 | insn.imm);
+        break;
+      case Op::kXori:
+        set_reg(insn.rd, s1 ^ insn.imm);
+        break;
+      case Op::kSlli:
+        set_reg(insn.rd, static_cast<std::int64_t>(u1 << (insn.imm & 63)));
+        break;
+      case Op::kSrli:
+        set_reg(insn.rd, static_cast<std::int64_t>(u1 >> (insn.imm & 63)));
+        break;
+      case Op::kSrai:
+        set_reg(insn.rd, s1 >> (insn.imm & 63));
+        break;
+      case Op::kSlti:
+        set_reg(insn.rd, s1 < insn.imm ? 1 : 0);
+        break;
+      case Op::kLb:
+      case Op::kLbu:
+      case Op::kLw:
+      case Op::kLd: {
+        const unsigned bytes =
+            insn.op == Op::kLd ? 8 : (insn.op == Op::kLw ? 4 : 1);
+        const bool sign = insn.op == Op::kLb || insn.op == Op::kLw;
+        const auto addr = static_cast<std::uint64_t>(s1 + insn.imm);
+        set_reg(insn.rd,
+                static_cast<std::int64_t>(load(addr, bytes, sign)));
+        ++stats.loads;
+        last_load_rd = insn.rd;
+        if (hierarchy_ != nullptr) {
+          stats.cache_stall_cycles += hierarchy_->access(addr, bytes, false);
+        }
+        break;
+      }
+      case Op::kSb:
+      case Op::kSw:
+      case Op::kSd: {
+        const unsigned bytes =
+            insn.op == Op::kSd ? 8 : (insn.op == Op::kSw ? 4 : 1);
+        const auto addr = static_cast<std::uint64_t>(s1 + insn.imm);
+        store(addr, bytes, u2);
+        ++stats.stores;
+        if (hierarchy_ != nullptr) {
+          stats.cache_stall_cycles += hierarchy_->access(addr, bytes, true);
+        }
+        break;
+      }
+      case Op::kBeq:
+      case Op::kBne:
+      case Op::kBlt:
+      case Op::kBge:
+      case Op::kBltu:
+      case Op::kBgeu: {
+        ++stats.branches;
+        bool take = false;
+        switch (insn.op) {
+          case Op::kBeq:
+            take = s1 == s2;
+            break;
+          case Op::kBne:
+            take = s1 != s2;
+            break;
+          case Op::kBlt:
+            take = s1 < s2;
+            break;
+          case Op::kBge:
+            take = s1 >= s2;
+            break;
+          case Op::kBltu:
+            take = u1 < u2;
+            break;
+          case Op::kBgeu:
+            take = u1 >= u2;
+            break;
+          default:
+            WFASIC_UNREACHABLE("bad branch op");
+        }
+        if (take) {
+          next_pc = static_cast<std::size_t>(insn.imm);
+          ++stats.taken;
+          stats.cycles += timing_.taken_branch_penalty;
+        }
+        break;
+      }
+      case Op::kJal:
+        set_reg(insn.rd, static_cast<std::int64_t>(pc + 1));
+        next_pc = static_cast<std::size_t>(insn.imm);
+        stats.cycles += timing_.taken_branch_penalty;
+        break;
+      case Op::kJalr:
+        set_reg(insn.rd, static_cast<std::int64_t>(pc + 1));
+        next_pc = static_cast<std::size_t>(s1 + insn.imm);
+        stats.cycles += timing_.taken_branch_penalty;
+        break;
+      case Op::kLui:
+        set_reg(insn.rd, insn.imm << 12);
+        break;
+      case Op::kEbreak:
+        stats.cycles += stats.cache_stall_cycles;
+        return stats;
+    }
+    pc = next_pc;
+  }
+}
+
+}  // namespace wfasic::rv

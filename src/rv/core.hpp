@@ -1,0 +1,76 @@
+// In-order RV64 core interpreter with Sargantana-like timing (§3): 1 IPC
+// peak on a 7-stage pipeline, one-cycle load-use stall, taken-branch
+// redirect penalty, and data-cache stalls from the cache simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "common/assert.hpp"
+#include "rv/isa.hpp"
+
+namespace wfasic::rv {
+
+struct CoreTiming {
+  unsigned taken_branch_penalty = 2;  ///< front-end redirect bubbles
+  unsigned load_use_stall = 1;        ///< dependent instruction right after a load
+  unsigned mul_latency = 2;           ///< extra cycles for kMul results
+};
+
+struct RunStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t branches = 0;
+  std::uint64_t taken = 0;
+  std::uint64_t load_use_stalls = 0;
+  std::uint64_t cache_stall_cycles = 0;
+
+  [[nodiscard]] double cpi() const {
+    return instructions == 0
+               ? 0.0
+               : static_cast<double>(cycles) /
+                     static_cast<double>(instructions);
+  }
+};
+
+/// Flat little-endian data memory + interpreter.
+class RvCore {
+ public:
+  explicit RvCore(std::size_t memory_bytes, CoreTiming timing = {})
+      : memory_(memory_bytes, 0), timing_(timing) {}
+
+  [[nodiscard]] std::vector<std::uint8_t>& memory() { return memory_; }
+
+  /// Optional data-cache model; when set, every load/store adds its stall
+  /// cycles.
+  void attach_cache(cache::Hierarchy* hierarchy) { hierarchy_ = hierarchy; }
+
+  [[nodiscard]] std::int64_t reg(std::uint8_t index) const {
+    return regs_[index];
+  }
+  void set_reg(std::uint8_t index, std::int64_t value) {
+    if (index != 0) regs_[index] = value;
+  }
+
+  /// Executes `program` from instruction 0 until EBREAK. Registers keep
+  /// their values across run() calls; set arguments with set_reg().
+  /// Aborts after `max_instructions` (runaway guard).
+  RunStats run(const std::vector<Insn>& program,
+               std::uint64_t max_instructions = 100'000'000);
+
+ private:
+  [[nodiscard]] std::uint64_t load(std::uint64_t addr, unsigned bytes,
+                                   bool sign_extend);
+  void store(std::uint64_t addr, unsigned bytes, std::uint64_t value);
+
+  std::vector<std::uint8_t> memory_;
+  CoreTiming timing_;
+  cache::Hierarchy* hierarchy_ = nullptr;
+  std::array<std::int64_t, 32> regs_{};
+};
+
+}  // namespace wfasic::rv

@@ -1,0 +1,76 @@
+// A compact RV64IM subset: enough of the ISA to express the WFA inner
+// loops the paper's CPU baseline spends its time in. Programs are built
+// with the small assembler in rv/program.hpp and executed by rv/core.hpp
+// with in-order 7-stage timing (§3: Sargantana).
+//
+// This substrate exists to *ground* the per-event costs in
+// cpu/cost_model.hpp: the kernels in rv/kernels.cpp are the paper's C
+// inner loops hand-compiled to RISC-V, and tests/bench compare their
+// measured cycles per event against the cost-model constants.
+#pragma once
+
+#include <cstdint>
+
+namespace wfasic::rv {
+
+enum class Op : std::uint8_t {
+  // R-type ALU
+  kAdd, kSub, kAnd, kOr, kXor, kSll, kSrl, kSra, kSlt, kSltu, kMul,
+  // I-type ALU
+  kAddi, kAndi, kOri, kXori, kSlli, kSrli, kSrai, kSlti,
+  // loads / stores
+  kLb, kLbu, kLw, kLd, kSb, kSw, kSd,
+  // control flow (branch targets are instruction indices, label-resolved)
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu, kJal, kJalr,
+  // misc
+  kLui, kEbreak,
+};
+
+/// One decoded instruction. `imm` doubles as the branch/jump target
+/// (instruction index) for control flow.
+struct Insn {
+  Op op = Op::kEbreak;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int64_t imm = 0;
+};
+
+/// ABI register names.
+namespace reg {
+inline constexpr std::uint8_t zero = 0;
+inline constexpr std::uint8_t ra = 1;
+inline constexpr std::uint8_t sp = 2;
+inline constexpr std::uint8_t t0 = 5;
+inline constexpr std::uint8_t t1 = 6;
+inline constexpr std::uint8_t t2 = 7;
+inline constexpr std::uint8_t s0 = 8;
+inline constexpr std::uint8_t s1 = 9;
+inline constexpr std::uint8_t a0 = 10;
+inline constexpr std::uint8_t a1 = 11;
+inline constexpr std::uint8_t a2 = 12;
+inline constexpr std::uint8_t a3 = 13;
+inline constexpr std::uint8_t a4 = 14;
+inline constexpr std::uint8_t a5 = 15;
+inline constexpr std::uint8_t a6 = 16;
+inline constexpr std::uint8_t a7 = 17;
+inline constexpr std::uint8_t s2 = 18;
+inline constexpr std::uint8_t s3 = 19;
+inline constexpr std::uint8_t t3 = 28;
+inline constexpr std::uint8_t t4 = 29;
+inline constexpr std::uint8_t t5 = 30;
+inline constexpr std::uint8_t t6 = 31;
+}  // namespace reg
+
+[[nodiscard]] constexpr bool is_load(Op op) {
+  return op == Op::kLb || op == Op::kLbu || op == Op::kLw || op == Op::kLd;
+}
+[[nodiscard]] constexpr bool is_store(Op op) {
+  return op == Op::kSb || op == Op::kSw || op == Op::kSd;
+}
+[[nodiscard]] constexpr bool is_branch(Op op) {
+  return op == Op::kBeq || op == Op::kBne || op == Op::kBlt ||
+         op == Op::kBge || op == Op::kBltu || op == Op::kBgeu;
+}
+
+}  // namespace wfasic::rv

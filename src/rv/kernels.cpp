@@ -1,0 +1,140 @@
+#include "rv/kernels.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "rv/program.hpp"
+
+namespace wfasic::rv {
+namespace {
+
+using namespace reg;
+
+// Data-memory layout used by the kernel drivers. Sequence b follows a
+// (64-byte aligned) so arbitrarily long inputs fit any core memory size.
+constexpr std::uint64_t kSeqABase = 0x1000;
+constexpr std::uint64_t kCellBase = 0x400;  // five i32 sources, three i32 out
+
+[[nodiscard]] std::uint64_t seq_b_base(std::size_t a_len) {
+  return kSeqABase + ((a_len + 127) & ~std::uint64_t{63});
+}
+
+}  // namespace
+
+std::vector<Insn> build_extend_kernel() {
+  // void extend(const char* pa /*a0*/, const char* pb /*a1*/,
+  //             const char* ea /*a2*/, const char* eb /*a3*/)
+  //   -> run in a0
+  Program p;
+  const auto loop = p.make_label();
+  const auto done = p.make_label();
+  p.li(t2, 0);  // run = 0
+  p.bind(loop);
+  p.bgeu(a0, a2, done);  // i == |a| ?
+  p.bgeu(a1, a3, done);  // j == |b| ?
+  p.lbu(t0, a0, 0);      // a[i]
+  p.lbu(t1, a1, 0);      // b[j]
+  p.bne(t0, t1, done);   // mismatch ends the run
+  p.addi(a0, a0, 1);
+  p.addi(a1, a1, 1);
+  p.addi(t2, t2, 1);
+  p.jal(loop);
+  p.bind(done);
+  p.mv(a0, t2);
+  p.ebreak();
+  return p.finish();
+}
+
+ExtendKernelResult run_extend_kernel(RvCore& core, std::string_view a,
+                                     std::string_view b, std::int64_t i,
+                                     std::int64_t j) {
+  const std::uint64_t b_base = seq_b_base(a.size());
+  WFASIC_REQUIRE(b_base + b.size() <= core.memory().size(),
+                 "run_extend_kernel: sequences do not fit core memory");
+  std::memcpy(core.memory().data() + kSeqABase, a.data(), a.size());
+  std::memcpy(core.memory().data() + b_base, b.data(), b.size());
+  core.set_reg(a0, static_cast<std::int64_t>(kSeqABase) + i);
+  core.set_reg(a1, static_cast<std::int64_t>(b_base) + j);
+  core.set_reg(a2, static_cast<std::int64_t>(kSeqABase + a.size()));
+  core.set_reg(a3, static_cast<std::int64_t>(b_base + b.size()));
+  ExtendKernelResult result;
+  result.stats = core.run(build_extend_kernel());
+  result.run = core.reg(a0);
+  return result;
+}
+
+std::vector<Insn> build_compute_cell_kernel() {
+  // Sources at kCellBase (five i32: m_sub, m_open_ins, i_ext, m_open_del,
+  // d_ext; the base address arrives in a0), results stored at +20/+24/+28
+  // (i, d, m). Matches the reference C code:
+  //   ins = max(m_open_ins, i_ext) + 1;
+  //   del = max(m_open_del, d_ext);
+  //   mm  = max(m_sub + 1, max(ins, del));
+  Program p;
+  const auto ins_ok = p.make_label();
+  const auto del_ok = p.make_label();
+  const auto m_try_del = p.make_label();
+  const auto m_done = p.make_label();
+
+  p.lw(t0, a0, 0);   // m_sub
+  p.lw(t1, a0, 4);   // m_open_ins
+  p.lw(t2, a0, 8);   // i_ext
+  p.lw(t3, a0, 12);  // m_open_del
+  p.lw(t4, a0, 16);  // d_ext
+
+  // ins = max(m_open_ins, i_ext) + 1
+  p.bge(t1, t2, ins_ok);
+  p.mv(t1, t2);
+  p.bind(ins_ok);
+  p.addi(t1, t1, 1);
+  // del = max(m_open_del, d_ext)
+  p.bge(t3, t4, del_ok);
+  p.mv(t3, t4);
+  p.bind(del_ok);
+  // mm = max(m_sub + 1, ins, del)
+  p.addi(t0, t0, 1);
+  p.bge(t0, t1, m_try_del);
+  p.mv(t0, t1);
+  p.bind(m_try_del);
+  p.bge(t0, t3, m_done);
+  p.mv(t0, t3);
+  p.bind(m_done);
+
+  p.sw(t1, a0, 20);  // I
+  p.sw(t3, a0, 24);  // D
+  p.sw(t0, a0, 28);  // M
+  p.ebreak();
+  return p.finish();
+}
+
+ComputeCellResult run_compute_cell_kernel(RvCore& core,
+                                          const ComputeCellInputs& inputs) {
+  auto& memory = core.memory();
+  WFASIC_REQUIRE(kCellBase + 32 <= memory.size(),
+                 "run_compute_cell_kernel: memory too small");
+  const auto put = [&](std::uint64_t off, std::int64_t v) {
+    const auto v32 = static_cast<std::int32_t>(v);
+    std::memcpy(memory.data() + kCellBase + off, &v32, 4);
+  };
+  put(0, inputs.m_sub);
+  put(4, inputs.m_open_ins);
+  put(8, inputs.i_ext);
+  put(12, inputs.m_open_del);
+  put(16, inputs.d_ext);
+  core.set_reg(a0, static_cast<std::int64_t>(kCellBase));
+
+  ComputeCellResult result;
+  result.stats = core.run(build_compute_cell_kernel());
+  const auto get = [&](std::uint64_t off) {
+    std::int32_t v = 0;
+    std::memcpy(&v, memory.data() + kCellBase + off, 4);
+    return static_cast<std::int64_t>(v);
+  };
+  result.i = get(20);
+  result.d = get(24);
+  result.m = get(28);
+  return result;
+}
+
+}  // namespace wfasic::rv

@@ -1,0 +1,56 @@
+// The WFA inner loops hand-compiled to the RV64 subset — the instruction
+// streams the Sargantana core actually executes when running the paper's
+// WFA-CPU baseline. Used to validate the per-event constants of
+// cpu/cost_model.hpp against instruction-level simulation.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "rv/core.hpp"
+#include "rv/isa.hpp"
+
+namespace wfasic::rv {
+
+/// The scalar extend() inner loop: compares bytes a[i..], b[j..] until a
+/// mismatch or either end. Returns the program; run with
+/// run_extend_kernel().
+[[nodiscard]] std::vector<Insn> build_extend_kernel();
+
+struct ExtendKernelResult {
+  std::int64_t run = 0;  ///< matched characters
+  RunStats stats;
+};
+/// Loads both sequences into core memory and runs the extend kernel from
+/// (i, j).
+[[nodiscard]] ExtendKernelResult run_extend_kernel(RvCore& core,
+                                                   std::string_view a,
+                                                   std::string_view b,
+                                                   std::int64_t i,
+                                                   std::int64_t j);
+
+/// One Eq.-3 compute cell: loads the five source offsets, computes
+/// I/D/M with branch-based max selection, stores the three results —
+/// the body of the paper's per-cell compute loop (no boundary trimming,
+/// as in the reference C code).
+[[nodiscard]] std::vector<Insn> build_compute_cell_kernel();
+
+struct ComputeCellInputs {
+  std::int64_t m_sub;
+  std::int64_t m_open_ins;
+  std::int64_t i_ext;
+  std::int64_t m_open_del;
+  std::int64_t d_ext;
+};
+struct ComputeCellResult {
+  std::int64_t m = 0;
+  std::int64_t i = 0;
+  std::int64_t d = 0;
+  RunStats stats;
+};
+[[nodiscard]] ComputeCellResult run_compute_cell_kernel(
+    RvCore& core, const ComputeCellInputs& inputs);
+
+}  // namespace wfasic::rv

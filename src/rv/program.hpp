@@ -1,0 +1,126 @@
+// Tiny two-pass assembler: build RV64 programs in C++ with labels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "rv/isa.hpp"
+
+namespace wfasic::rv {
+
+class Program {
+ public:
+  using Label = std::size_t;
+
+  /// Creates an unbound label; bind() it at the target position.
+  [[nodiscard]] Label make_label() {
+    labels_.push_back(kUnbound);
+    return labels_.size() - 1;
+  }
+  /// Binds `label` to the next emitted instruction.
+  void bind(Label label) {
+    WFASIC_REQUIRE(labels_.at(label) == kUnbound,
+                   "Program: label bound twice");
+    labels_[label] = static_cast<std::int64_t>(insns_.size());
+    }
+
+  // --- ALU -------------------------------------------------------------
+  void add(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    emit({Op::kAdd, rd, rs1, rs2, 0});
+  }
+  void sub(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    emit({Op::kSub, rd, rs1, rs2, 0});
+  }
+  void and_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    emit({Op::kAnd, rd, rs1, rs2, 0});
+  }
+  void or_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    emit({Op::kOr, rd, rs1, rs2, 0});
+  }
+  void xor_(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    emit({Op::kXor, rd, rs1, rs2, 0});
+  }
+  void slt(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    emit({Op::kSlt, rd, rs1, rs2, 0});
+  }
+  void mul(std::uint8_t rd, std::uint8_t rs1, std::uint8_t rs2) {
+    emit({Op::kMul, rd, rs1, rs2, 0});
+  }
+  void addi(std::uint8_t rd, std::uint8_t rs1, std::int64_t imm) {
+    emit({Op::kAddi, rd, rs1, 0, imm});
+  }
+  void slli(std::uint8_t rd, std::uint8_t rs1, std::int64_t sh) {
+    emit({Op::kSlli, rd, rs1, 0, sh});
+  }
+  void srli(std::uint8_t rd, std::uint8_t rs1, std::int64_t sh) {
+    emit({Op::kSrli, rd, rs1, 0, sh});
+  }
+  void li(std::uint8_t rd, std::int64_t value) { addi(rd, reg::zero, value); }
+  void mv(std::uint8_t rd, std::uint8_t rs1) { addi(rd, rs1, 0); }
+
+  // --- memory ------------------------------------------------------------
+  void lbu(std::uint8_t rd, std::uint8_t rs1, std::int64_t off) {
+    emit({Op::kLbu, rd, rs1, 0, off});
+  }
+  void lw(std::uint8_t rd, std::uint8_t rs1, std::int64_t off) {
+    emit({Op::kLw, rd, rs1, 0, off});
+  }
+  void ld(std::uint8_t rd, std::uint8_t rs1, std::int64_t off) {
+    emit({Op::kLd, rd, rs1, 0, off});
+  }
+  void sw(std::uint8_t rs2, std::uint8_t rs1, std::int64_t off) {
+    emit({Op::kSw, 0, rs1, rs2, off});
+  }
+  void sd(std::uint8_t rs2, std::uint8_t rs1, std::int64_t off) {
+    emit({Op::kSd, 0, rs1, rs2, off});
+  }
+
+  // --- control flow --------------------------------------------------------
+  void beq(std::uint8_t rs1, std::uint8_t rs2, Label target) {
+    emit_branch(Op::kBeq, rs1, rs2, target);
+  }
+  void bne(std::uint8_t rs1, std::uint8_t rs2, Label target) {
+    emit_branch(Op::kBne, rs1, rs2, target);
+  }
+  void blt(std::uint8_t rs1, std::uint8_t rs2, Label target) {
+    emit_branch(Op::kBlt, rs1, rs2, target);
+  }
+  void bge(std::uint8_t rs1, std::uint8_t rs2, Label target) {
+    emit_branch(Op::kBge, rs1, rs2, target);
+  }
+  void bgeu(std::uint8_t rs1, std::uint8_t rs2, Label target) {
+    emit_branch(Op::kBgeu, rs1, rs2, target);
+  }
+  void jal(Label target) {
+    pending_.push_back({insns_.size(), target});
+    emit({Op::kJal, reg::zero, 0, 0, 0});
+  }
+  void ebreak() { emit({Op::kEbreak, 0, 0, 0, 0}); }
+
+  /// Resolves labels; call once after the last emit.
+  [[nodiscard]] std::vector<Insn> finish() {
+    for (const auto& [index, label] : pending_) {
+      WFASIC_REQUIRE(labels_.at(label) != kUnbound,
+                     "Program: unbound label referenced");
+      insns_[index].imm = labels_[label];
+    }
+    pending_.clear();
+    return insns_;
+  }
+
+ private:
+  static constexpr std::int64_t kUnbound = -1;
+
+  void emit(Insn insn) { insns_.push_back(insn); }
+  void emit_branch(Op op, std::uint8_t rs1, std::uint8_t rs2, Label target) {
+    pending_.push_back({insns_.size(), target});
+    emit({op, 0, rs1, rs2, 0});
+  }
+
+  std::vector<Insn> insns_;
+  std::vector<std::int64_t> labels_;
+  std::vector<std::pair<std::size_t, Label>> pending_;
+};
+
+}  // namespace wfasic::rv

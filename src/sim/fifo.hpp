@@ -1,0 +1,64 @@
+// Show-ahead FIFO model (§4.6): "the last unread data is available at the
+// output port of the FIFO and is cleared by triggering the read request".
+//
+// The accelerator's input and output FIFOs are 16 bytes wide and 256 words
+// deep; this template models any payload type. Occupancy statistics feed the
+// bandwidth analysis in the benches.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace wfasic::sim {
+
+template <typename T>
+class ShowAheadFifo {
+ public:
+  explicit ShowAheadFifo(std::size_t capacity) : capacity_(capacity) {
+    WFASIC_REQUIRE(capacity > 0, "ShowAheadFifo: capacity must be positive");
+  }
+
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+  [[nodiscard]] bool full() const { return data_.size() >= capacity_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Show-ahead output port: the oldest word, valid iff !empty().
+  [[nodiscard]] const T& front() const {
+    WFASIC_REQUIRE(!data_.empty(), "ShowAheadFifo::front on empty FIFO");
+    return data_.front();
+  }
+
+  /// Write port. Caller must check !full() first (hardware would deassert
+  /// ready); pushing into a full FIFO aborts.
+  void push(T value) {
+    WFASIC_REQUIRE(!full(), "ShowAheadFifo::push on full FIFO");
+    data_.push_back(std::move(value));
+    ++total_pushes_;
+    if (data_.size() > high_water_) high_water_ = data_.size();
+  }
+
+  /// Read-request: clears the word shown at the output port.
+  T pop() {
+    WFASIC_REQUIRE(!data_.empty(), "ShowAheadFifo::pop on empty FIFO");
+    T value = std::move(data_.front());
+    data_.pop_front();
+    ++total_pops_;
+    return value;
+  }
+
+  [[nodiscard]] std::uint64_t total_pushes() const { return total_pushes_; }
+  [[nodiscard]] std::uint64_t total_pops() const { return total_pops_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<T> data_;
+  std::uint64_t total_pushes_ = 0;
+  std::uint64_t total_pops_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace wfasic::sim

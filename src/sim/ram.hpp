@@ -1,0 +1,102 @@
+// On-chip RAM models.
+//
+// The FPGA prototype used dual-port RAMs (one read port, one write port);
+// the ASIC replaces them with high-performance *single-port* memory macros
+// behind a wrapper that preserves the dual-port protocol (§4.6). Both are
+// modelled here, with per-port access statistics and same-cycle conflict
+// accounting so the timing model can charge the wrapper's serialisation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::sim {
+
+/// Dual-port RAM: one independent read port and one write port; any number
+/// of accesses per call-site, but at most one read + one write per cycle is
+/// asserted when cycle stamps are supplied.
+template <typename Word>
+class DualPortRam {
+ public:
+  DualPortRam(std::string name, std::size_t depth, Word init = Word{})
+      : name_(std::move(name)), words_(depth, init), init_(init) {}
+
+  [[nodiscard]] std::size_t depth() const { return words_.size(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] Word read(std::size_t addr) const {
+    WFASIC_REQUIRE(addr < words_.size(), "DualPortRam::read out of range");
+    ++reads_;
+    return words_[addr];
+  }
+
+  void write(std::size_t addr, Word value) {
+    WFASIC_REQUIRE(addr < words_.size(), "DualPortRam::write out of range");
+    ++writes_;
+    words_[addr] = value;
+  }
+
+  void fill(Word value) {
+    for (Word& w : words_) w = value;
+  }
+  void reset() { fill(init_); }
+
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+  /// Storage bits (for the ASIC area model).
+  [[nodiscard]] std::uint64_t bits() const {
+    return static_cast<std::uint64_t>(words_.size()) * sizeof(Word) * 8;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Word> words_;
+  Word init_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Single-port RAM wrapped to look dual-ported (§4.6): a read and a write
+/// in the same cycle are serialised, costing one extra cycle. The wrapper
+/// counts conflicts so the Aligner timing model can charge them; the paper
+/// notes the design "ensure[s] that read and write requests to a RAM are
+/// not triggered simultaneously", so conflicts should be zero in normal
+/// operation — the counter is an invariant check.
+template <typename Word>
+class SinglePortRamWrapper {
+ public:
+  SinglePortRamWrapper(std::string name, std::size_t depth, Word init = Word{})
+      : ram_(std::move(name), depth, init) {}
+
+  [[nodiscard]] Word read(cycle_t cycle, std::size_t addr) {
+    note_access(cycle);
+    return ram_.read(addr);
+  }
+
+  void write(cycle_t cycle, std::size_t addr, Word value) {
+    note_access(cycle);
+    ram_.write(addr, value);
+  }
+
+  [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
+  [[nodiscard]] const DualPortRam<Word>& inner() const { return ram_; }
+  DualPortRam<Word>& inner() { return ram_; }
+
+ private:
+  void note_access(cycle_t cycle) {
+    if (have_last_ && cycle == last_cycle_) ++conflicts_;
+    have_last_ = true;
+    last_cycle_ = cycle;
+  }
+
+  DualPortRam<Word> ram_;
+  bool have_last_ = false;
+  cycle_t last_cycle_ = 0;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace wfasic::sim

@@ -1,0 +1,79 @@
+// Cycle-driven simulation kernel.
+//
+// Components register with a Scheduler and are ticked once per cycle in two
+// phases: tick() (combinational work / issue requests) then commit()
+// (sequential state update), which lets two components exchange data in the
+// same cycle without order-dependence bugs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::sim {
+
+using cycle_t = std::uint64_t;
+
+/// Base class for everything that owns per-cycle behaviour.
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// Phase 1: observe current state, issue requests.
+  virtual void tick(cycle_t now) = 0;
+  /// Phase 2: latch new state. Default: nothing.
+  virtual void commit(cycle_t now) { (void)now; }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+/// Advances a set of components cycle by cycle. Does not own them.
+class Scheduler {
+ public:
+  void add(Component* component) {
+    WFASIC_REQUIRE(component != nullptr, "Scheduler::add: null component");
+    components_.push_back(component);
+  }
+
+  [[nodiscard]] cycle_t now() const { return now_; }
+
+  /// Runs exactly one cycle.
+  void step() {
+    for (Component* c : components_) c->tick(now_);
+    for (Component* c : components_) c->commit(now_);
+    ++now_;
+  }
+
+  /// Runs until `done()` returns true (checked between cycles) or
+  /// `max_cycles` elapse. Returns the cycle count at exit and aborts the
+  /// program on timeout when `abort_on_timeout` (deadlock guard).
+  cycle_t run_until(const std::function<bool()>& done, cycle_t max_cycles,
+                    bool abort_on_timeout = true) {
+    while (!done()) {
+      if (now_ >= max_cycles) {
+        WFASIC_REQUIRE(!abort_on_timeout,
+                       "Scheduler::run_until: simulation timed out "
+                       "(likely deadlock)");
+        break;
+      }
+      step();
+    }
+    return now_;
+  }
+
+ private:
+  std::vector<Component*> components_;
+  cycle_t now_ = 0;
+};
+
+}  // namespace wfasic::sim

@@ -1,0 +1,86 @@
+// The full SoC (Figure 3/4): the RISC-V CPU timing model, the WFAsic
+// accelerator, and shared main memory, wired together behind the
+// co-designed batch flow the paper evaluates:
+//   CPU encodes input -> accelerator aligns (and streams backtrace data)
+//   -> CPU decodes results and performs the backtrace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cpu/cpu_model.hpp"
+#include "drv/backtrace_cpu.hpp"
+#include "drv/driver.hpp"
+#include "gen/seqgen.hpp"
+#include "hw/accelerator.hpp"
+#include "mem/main_memory.hpp"
+
+namespace wfasic::soc {
+
+struct SocConfig {
+  hw::AcceleratorConfig accel;
+  cpu::CpuModel::Config cpu;
+  std::size_t memory_bytes = 256ull << 20;
+  std::uint64_t in_addr = 0x0000'1000;
+  std::uint64_t out_addr = 0x0800'0000;  ///< 128 MB for backtrace streams
+};
+
+/// Outcome of one accelerator batch run.
+struct BatchResult {
+  std::uint64_t accel_cycles = 0;     ///< start to Idle
+  std::uint64_t cpu_bt_cycles = 0;    ///< CPU backtrace (0 when disabled)
+  [[nodiscard]] std::uint64_t total_cycles() const {
+    return accel_cycles + cpu_bt_cycles;
+  }
+
+  /// Per-pair accelerator measurements, indexed by alignment id.
+  std::vector<hw::Aligner::PairRecord> records;
+  std::vector<hw::Extractor::PairReadRecord> read_records;
+  /// Aligner cycle breakdown summed over all Aligners, this batch only.
+  hw::Aligner::PhaseCycles phase;
+  std::uint64_t output_stall_cycles = 0;
+  /// Decoded alignments, indexed by alignment id. With backtrace disabled
+  /// only ok/score are populated.
+  std::vector<core::AlignResult> alignments;
+  cpu::BtCpuCounters bt_counters;
+};
+
+class Soc {
+ public:
+  explicit Soc(SocConfig cfg = {});
+
+  /// Runs one batch through the co-design flow. `separate_data` selects
+  /// the multi-Aligner backtrace method (must be true when the accelerator
+  /// has more than one Aligner).
+  [[nodiscard]] BatchResult run_batch(
+      std::span<const gen::SequencePair> pairs, bool backtrace,
+      bool separate_data);
+
+  /// Processes an arbitrarily large dataset in batches of at most
+  /// `batch_pairs` (the driver re-encodes and re-launches per batch, as a
+  /// real deployment would to bound the input arena and the 16/23-bit
+  /// result-ID fields). Results are merged in dataset order; cycle
+  /// counters accumulate.
+  [[nodiscard]] BatchResult run_dataset(
+      std::span<const gen::SequencePair> pairs, std::size_t batch_pairs,
+      bool backtrace, bool separate_data);
+
+  /// The CPU software baseline for one pair (the paper's WFA-CPU).
+  [[nodiscard]] cpu::CpuModel::RunResult run_cpu_baseline(
+      const gen::SequencePair& pair, core::ExtendMode mode,
+      core::Traceback traceback) const;
+
+  [[nodiscard]] const SocConfig& config() const { return cfg_; }
+  [[nodiscard]] hw::Accelerator& accelerator() { return *accelerator_; }
+  [[nodiscard]] mem::MainMemory& memory() { return *memory_; }
+
+ private:
+  SocConfig cfg_;
+  std::unique_ptr<mem::MainMemory> memory_;
+  std::unique_ptr<hw::Accelerator> accelerator_;
+  cpu::CpuModel cpu_;
+};
+
+}  // namespace wfasic::soc

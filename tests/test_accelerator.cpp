@@ -1,0 +1,231 @@
+#include "hw/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/swg_affine.hpp"
+#include "drv/driver.hpp"
+#include "gen/seqgen.hpp"
+#include "mem/main_memory.hpp"
+
+namespace wfasic::hw {
+namespace {
+
+struct AccelFixture {
+  mem::MainMemory memory;
+  Accelerator accel;
+
+  explicit AccelFixture(AcceleratorConfig cfg = {})
+      : memory(64 << 20), accel(cfg, memory) {}
+
+  drv::BatchLayout run(const std::vector<gen::SequencePair>& pairs,
+                       bool backtrace) {
+    const drv::BatchLayout layout =
+        drv::encode_input_set(memory, pairs, 0x1000, 0x100000);
+    drv::Driver driver(accel);
+    driver.start(layout, backtrace);
+    (void)driver.wait_idle();
+    return layout;
+  }
+};
+
+TEST(Accelerator, StartsIdle) {
+  AccelFixture f;
+  EXPECT_TRUE(f.accel.idle());
+  EXPECT_EQ(f.accel.read_reg(kRegStatus), 1u);
+}
+
+TEST(Accelerator, RegisterReadback) {
+  AccelFixture f;
+  f.accel.write_reg(kRegMaxReadLen, 1024);
+  f.accel.write_reg(kRegInAddrLo, 0x1000);
+  f.accel.write_reg(kRegInAddrHi, 0x2);
+  f.accel.write_reg(kRegBtEnable, 1);
+  EXPECT_EQ(f.accel.read_reg(kRegMaxReadLen), 1024u);
+  EXPECT_EQ(f.accel.read_reg(kRegInAddrLo), 0x1000u);
+  EXPECT_EQ(f.accel.read_reg(kRegInAddrHi), 0x2u);
+  EXPECT_EQ(f.accel.read_reg(kRegBtEnable), 1u);
+}
+
+TEST(Accelerator, UnknownRegisterAborts) {
+  AccelFixture f;
+  EXPECT_DEATH(f.accel.write_reg(0x1000, 0), "unknown register");
+  EXPECT_DEATH((void)f.accel.read_reg(0x1000), "unknown register");
+}
+
+TEST(Accelerator, SingleAlignmentEndToEndNbt) {
+  AccelFixture f;
+  Prng prng(91);
+  const std::string a = gen::random_sequence(prng, 100);
+  const std::string b = gen::mutate_sequence(prng, a, 0.05);
+  const auto layout = f.run({{0, a, b}}, false);
+  EXPECT_TRUE(f.accel.idle());
+  const auto results = drv::decode_nbt_results(f.memory, layout);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].success);
+  EXPECT_EQ(results[0].score,
+            static_cast<std::uint32_t>(core::swg_score(a, b,
+                                                       kDefaultPenalties)));
+}
+
+TEST(Accelerator, BatchOfPairsAllScoresMatchSwg) {
+  AccelFixture f;
+  const auto pairs = gen::generate_input_set({120, 0.08, 8, 92});
+  const auto layout = f.run(pairs, false);
+  const auto results = drv::decode_nbt_results(f.memory, layout);
+  ASSERT_EQ(results.size(), 8u);
+  for (const NbtResult& r : results) {
+    ASSERT_TRUE(r.success);
+    const auto& pair = pairs[r.id];
+    EXPECT_EQ(r.score, static_cast<std::uint32_t>(core::swg_score(
+                           pair.a, pair.b, kDefaultPenalties)));
+  }
+}
+
+TEST(Accelerator, InterruptRaisedOnCompletionWhenEnabled) {
+  AccelFixture f;
+  const auto pairs = gen::generate_input_set({50, 0.05, 1, 93});
+  const auto layout =
+      drv::encode_input_set(f.memory, pairs, 0x1000, 0x100000);
+  drv::Driver driver(f.accel);
+  driver.start(layout, false, /*enable_interrupt=*/true);
+  (void)driver.wait_idle();
+  EXPECT_TRUE(f.accel.interrupt_pending());
+  f.accel.write_reg(kRegIntStatus, 1);  // write-1-to-clear
+  EXPECT_FALSE(f.accel.interrupt_pending());
+}
+
+TEST(Accelerator, InterruptDrivenWaitAcknowledges) {
+  AccelFixture f;
+  const auto pairs = gen::generate_input_set({60, 0.05, 2, 193});
+  const auto layout =
+      drv::encode_input_set(f.memory, pairs, 0x1000, 0x100000);
+  drv::Driver driver(f.accel);
+  driver.start(layout, false, /*enable_interrupt=*/true);
+  (void)driver.wait_interrupt();
+  EXPECT_TRUE(f.accel.idle());
+  EXPECT_FALSE(f.accel.interrupt_pending());  // acknowledged by the driver
+}
+
+TEST(Accelerator, WaitInterruptWithoutEnableAborts) {
+  AccelFixture f;
+  const auto pairs = gen::generate_input_set({60, 0.05, 1, 194});
+  const auto layout =
+      drv::encode_input_set(f.memory, pairs, 0x1000, 0x100000);
+  drv::Driver driver(f.accel);
+  driver.start(layout, false, /*enable_interrupt=*/false);
+  EXPECT_DEATH((void)driver.wait_interrupt(), "interrupt not enabled");
+  (void)driver.wait_idle();
+}
+
+TEST(Accelerator, NoInterruptWhenDisabled) {
+  AccelFixture f;
+  const auto pairs = gen::generate_input_set({50, 0.05, 1, 94});
+  f.run(pairs, false);
+  EXPECT_FALSE(f.accel.interrupt_pending());
+}
+
+TEST(Accelerator, ReadingCyclesMatchDmaStreamModel) {
+  // With one pair, reading time ~= the pure AXI stream time of the pair's
+  // beats (Extractor consumes at line rate).
+  AccelFixture f;
+  const auto pairs = gen::generate_input_set({100, 0.05, 1, 95});
+  const auto layout = f.run(pairs, false);
+  const auto& records = f.accel.extractor().records();
+  ASSERT_EQ(records.size(), 1u);
+  const std::uint64_t beats = layout.in_bytes / 16;
+  const std::uint64_t ideal = f.accel.config().axi.stream_read_cycles(beats);
+  EXPECT_GE(records[0].reading_cycles, beats);
+  EXPECT_LE(records[0].reading_cycles, ideal + 8);
+}
+
+TEST(Accelerator, MultiAlignerProcessesWholeBatch) {
+  AcceleratorConfig cfg;
+  cfg.num_aligners = 4;
+  AccelFixture f(cfg);
+  const auto pairs = gen::generate_input_set({200, 0.10, 12, 96});
+  const auto layout = f.run(pairs, false);
+  const auto results = drv::decode_nbt_results(f.memory, layout);
+  ASSERT_EQ(results.size(), 12u);
+  std::vector<bool> seen(12, false);
+  for (const NbtResult& r : results) {
+    EXPECT_TRUE(r.success);
+    seen[r.id] = true;
+    EXPECT_EQ(r.score, static_cast<std::uint32_t>(core::swg_score(
+                           pairs[r.id].a, pairs[r.id].b, kDefaultPenalties)));
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Accelerator, MultiAlignerIsFasterOnLongReads) {
+  const auto pairs = gen::generate_input_set({600, 0.10, 6, 97});
+  AccelFixture one;
+  one.run(pairs, false);
+  AcceleratorConfig cfg4;
+  cfg4.num_aligners = 4;
+  AccelFixture four(cfg4);
+  four.run(pairs, false);
+  EXPECT_LT(four.accel.last_run_cycles(), one.accel.last_run_cycles());
+}
+
+TEST(Accelerator, BrokenDataDoesNotHang) {
+  // Garbage input (random bytes) must flow through without deadlock; the
+  // alignments fail (invalid bases) but the accelerator reaches Idle —
+  // the paper's robustness test ("we did not observe any CPU freeze").
+  AccelFixture f;
+  Prng prng(98);
+  const std::uint32_t max_read_len = 64;
+  const std::size_t bytes = 2 * pair_bytes(max_read_len);
+  for (std::size_t i = 0; i < bytes; i += 4) {
+    f.memory.write_u32(0x1000 + i,
+                       static_cast<std::uint32_t>(prng.next_u64()));
+  }
+  // Patch the length sections to plausible values so the stream parses,
+  // leaving the base payloads as garbage.
+  for (int p = 0; p < 2; ++p) {
+    const std::uint64_t base = 0x1000 + p * pair_bytes(max_read_len);
+    f.memory.write_u32(base, static_cast<std::uint32_t>(p));  // id
+    f.memory.write_u32(base + 16, 60);                        // len a
+    f.memory.write_u32(base + 32, 60);                        // len b
+  }
+  drv::BatchLayout layout;
+  layout.in_addr = 0x1000;
+  layout.in_bytes = bytes;
+  layout.out_addr = 0x100000;
+  layout.max_read_len = max_read_len;
+  layout.num_pairs = 2;
+  drv::Driver driver(f.accel);
+  driver.start(layout, false);
+  (void)driver.wait_idle(50'000'000);
+  EXPECT_TRUE(f.accel.idle());
+  const auto results = drv::decode_nbt_results(f.memory, layout);
+  for (const NbtResult& r : results) EXPECT_FALSE(r.success);
+}
+
+TEST(Accelerator, RejectsOddInputSize) {
+  AccelFixture f;
+  f.accel.write_reg(kRegMaxReadLen, 64);
+  f.accel.write_reg(kRegInSizeLo, 100);  // not a whole number of pairs
+  EXPECT_DEATH(f.accel.write_reg(kRegCtrl, 1), "whole number of pairs");
+}
+
+TEST(Accelerator, RejectsMaxReadLenBeyondChipSupport) {
+  AccelFixture f;
+  f.accel.write_reg(kRegMaxReadLen, 20'000);
+  EXPECT_DEATH(f.accel.write_reg(kRegCtrl, 1), "exceeds chip support");
+}
+
+TEST(Accelerator, BacktraceRunReachesIdleAndWritesStream) {
+  AccelFixture f;
+  Prng prng(99);
+  const std::string a = gen::random_sequence(prng, 150);
+  const std::string b = gen::mutate_sequence(prng, a, 0.1);
+  f.run({{0, a, b}}, true);
+  EXPECT_TRUE(f.accel.idle());
+  EXPECT_GT(f.accel.dma().beats_written(), 1u);
+}
+
+}  // namespace
+}  // namespace wfasic::hw

@@ -1,0 +1,227 @@
+#include "hw/aligner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/swg_affine.hpp"
+#include "core/wfa.hpp"
+#include "gen/seqgen.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::hw {
+namespace {
+
+struct AlignerFixture {
+  AcceleratorConfig cfg;
+  Aligner aligner;
+  sim::Scheduler sched;
+
+  explicit AlignerFixture(AcceleratorConfig config = {})
+      : cfg(config), aligner("a0", cfg) {
+    sched.add(&aligner);
+  }
+
+  /// Loads a pair and runs until the result is queued. BT transactions are
+  /// drained into `bt_txns` (unbounded, standing in for the Collector).
+  Aligner::PairRecord run(const std::string& a, const std::string& b,
+                          bool backtrace, std::uint32_t id = 0) {
+    aligner.set_backtrace(backtrace);
+    AlignJob job;
+    job.id = id;
+    job.a = PackedSeq(a);
+    job.b = PackedSeq(b);
+    aligner.begin_load();
+    aligner.finish_load(std::move(job), sched.now());
+    sched.run_until(
+        [&] {
+          drain();
+          return aligner.idle();
+        },
+        200'000'000);
+    drain();
+    return aligner.records().back();
+  }
+
+  void drain() {
+    while (!aligner.bt_queue().empty()) {
+      bt_txns.push_back(aligner.bt_queue().front());
+      aligner.bt_queue().pop_front();
+    }
+  }
+
+  std::vector<BtTransaction> bt_txns;
+};
+
+score_t swg(const std::string& a, const std::string& b) {
+  return core::swg_score(a, b, kDefaultPenalties);
+}
+
+TEST(AlignerHw, IdenticalSequencesScoreZero) {
+  AlignerFixture f;
+  const auto rec = f.run("ACGTACGTACGT", "ACGTACGTACGT", false);
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(rec.score, 0);
+  // The 4-byte result waits in the NBT queue for the Collector.
+  ASSERT_EQ(f.aligner.nbt_queue().size(), 1u);
+  EXPECT_TRUE(f.aligner.nbt_queue().front().success);
+}
+
+TEST(AlignerHw, ScoreMatchesSwgOnRandomPairs) {
+  AlignerFixture f;
+  Prng prng(81);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::string a = gen::random_sequence(prng, 40 + prng.next_below(80));
+    const std::string b = gen::mutate_sequence(prng, a, 0.12);
+    const auto rec = f.run(a, b, false, static_cast<std::uint32_t>(trial));
+    ASSERT_TRUE(rec.success);
+    EXPECT_EQ(rec.score, swg(a, b)) << "trial " << trial;
+    // Result queue fills up; pop to keep it small.
+    f.aligner.nbt_queue().clear();
+  }
+}
+
+TEST(AlignerHw, UnsupportedJobFailsFast) {
+  AlignerFixture f;
+  f.aligner.set_backtrace(false);
+  AlignJob job;
+  job.id = 5;
+  job.unsupported = true;
+  f.aligner.begin_load();
+  f.aligner.finish_load(std::move(job), 0);
+  f.sched.run_until([&] { return f.aligner.idle(); }, 10'000);
+  const auto rec = f.aligner.records().back();
+  EXPECT_FALSE(rec.success);
+  ASSERT_EQ(f.aligner.nbt_queue().size(), 1u);
+  EXPECT_FALSE(f.aligner.nbt_queue().front().success);
+  EXPECT_EQ(f.aligner.nbt_queue().front().id, 5u);
+}
+
+TEST(AlignerHw, ScoreOverflowSetsSuccessZero) {
+  // A tiny band makes Score_max = 2*k_max + 4 small; very different
+  // sequences overflow it and must fail with Success = 0 (Eq. 6).
+  AcceleratorConfig cfg;
+  cfg.k_max = 3;  // Score_max = 10
+  AlignerFixture f(cfg);
+  const auto rec = f.run(std::string(30, 'A'), std::string(30, 'T'), false);
+  EXPECT_FALSE(rec.success);
+}
+
+TEST(AlignerHw, BandExcludesFinalDiagonal) {
+  AcceleratorConfig cfg;
+  cfg.k_max = 2;
+  AlignerFixture f(cfg);
+  const auto rec = f.run("AA", "AAAAAAAA", false);  // k_align = 6 > 2
+  EXPECT_FALSE(rec.success);
+}
+
+TEST(AlignerHw, AlignCyclesGrowWithErrorRate) {
+  AlignerFixture f;
+  Prng prng(82);
+  const std::string a = gen::random_sequence(prng, 500);
+  const std::string b5 = gen::mutate_sequence(prng, a, 0.05);
+  const std::string b10 = gen::mutate_sequence(prng, a, 0.10);
+  const auto rec5 = f.run(a, b5, false, 0);
+  const auto rec10 = f.run(a, b10, false, 1);
+  EXPECT_GT(rec10.align_cycles, rec5.align_cycles);
+}
+
+TEST(AlignerHw, AlignCyclesGrowSuperlinearlyWithLength) {
+  // O(n*s) with s proportional to n at fixed error rate => cycles roughly
+  // quadratic in length.
+  AlignerFixture f;
+  Prng prng(83);
+  const std::string a1 = gen::random_sequence(prng, 100);
+  const std::string b1 = gen::mutate_sequence(prng, a1, 0.1);
+  const std::string a2 = gen::random_sequence(prng, 1000);
+  const std::string b2 = gen::mutate_sequence(prng, a2, 0.1);
+  const auto rec1 = f.run(a1, b1, false, 0);
+  const auto rec2 = f.run(a2, b2, false, 1);
+  EXPECT_GT(rec2.align_cycles, 5 * rec1.align_cycles);
+}
+
+TEST(AlignerHw, BacktraceStreamStructure) {
+  AlignerFixture f;
+  Prng prng(84);
+  const std::string a = gen::random_sequence(prng, 120);
+  const std::string b = gen::mutate_sequence(prng, a, 0.1);
+  const auto rec = f.run(a, b, true, 9);
+  ASSERT_TRUE(rec.success);
+  ASSERT_FALSE(f.bt_txns.empty());
+  // Counters are sequential, ids constant, exactly one Last at the end.
+  for (std::size_t i = 0; i < f.bt_txns.size(); ++i) {
+    EXPECT_EQ(f.bt_txns[i].counter, i);
+    EXPECT_EQ(f.bt_txns[i].id, 9u);
+    EXPECT_EQ(f.bt_txns[i].last, i + 1 == f.bt_txns.size());
+  }
+  // The Last transaction carries the score record.
+  const BtScoreRecord record =
+      unpack_bt_score_record(f.bt_txns.back().data);
+  EXPECT_TRUE(record.success);
+  EXPECT_EQ(record.score, rec.score);
+  EXPECT_EQ(record.k_reached,
+            static_cast<std::int16_t>(b.size() - a.size()));
+}
+
+TEST(AlignerHw, BacktraceTxnsPerBlockMatchesParallelSections) {
+  // 64 parallel sections -> 40-byte blocks -> 4 transactions per computed
+  // batch (§4.3.3/§4.4): total payload txns divisible by 4.
+  AlignerFixture f;
+  const auto rec = f.run("ACGTACGTGGTTAACC", "ACGAACGTGGTTACCC", true);
+  ASSERT_TRUE(rec.success);
+  ASSERT_GT(f.bt_txns.size(), 1u);
+  EXPECT_EQ((f.bt_txns.size() - 1) % 4, 0u);
+}
+
+TEST(AlignerHw, BacktraceDisabledEmitsNoTxns) {
+  AlignerFixture f;
+  (void)f.run("ACGTACGT", "ACGAACGT", false);
+  EXPECT_TRUE(f.bt_txns.empty());
+}
+
+TEST(AlignerHw, WithBacktraceScoreUnchanged) {
+  AlignerFixture f;
+  Prng prng(85);
+  const std::string a = gen::random_sequence(prng, 200);
+  const std::string b = gen::mutate_sequence(prng, a, 0.08);
+  const auto nbt = f.run(a, b, false, 0);
+  const auto bt = f.run(a, b, true, 1);
+  EXPECT_EQ(nbt.score, bt.score);
+}
+
+TEST(AlignerHw, StallsWhenBtQueueNotDrained) {
+  // Without a Collector draining the queue, a backtrace run must stall
+  // rather than overflow or deadlock silently.
+  AlignerFixture f;
+  f.aligner.set_backtrace(true);
+  Prng prng(86);
+  const std::string a = gen::random_sequence(prng, 300);
+  const std::string b = gen::mutate_sequence(prng, a, 0.1);
+  AlignJob job;
+  job.a = PackedSeq(a);
+  job.b = PackedSeq(b);
+  f.aligner.begin_load();
+  f.aligner.finish_load(std::move(job), 0);
+  for (int i = 0; i < 20'000 && f.aligner.idle() == false; ++i) {
+    f.sched.step();  // never drain
+  }
+  EXPECT_GT(f.aligner.output_stall_cycles(), 0u);
+  EXPECT_FALSE(f.aligner.idle());
+}
+
+TEST(AlignerHw, EmptySequencesAlign) {
+  AlignerFixture f;
+  const auto rec = f.run("", "", false);
+  EXPECT_TRUE(rec.success);
+  EXPECT_EQ(rec.score, 0);
+}
+
+TEST(AlignerHw, BusyCyclesAccumulate) {
+  AlignerFixture f;
+  (void)f.run("ACGTACGT", "ACGTACGT", false);
+  EXPECT_GT(f.aligner.busy_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace wfasic::hw

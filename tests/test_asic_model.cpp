@@ -1,0 +1,106 @@
+#include "asic/area_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfasic::asic {
+namespace {
+
+hw::AcceleratorConfig default_cfg() { return {}; }
+
+TEST(AsicModel, MWindowColumnsForDefaultPenalties) {
+  // Figure 6 shows 5 live M columns for (x, o, e) = (4, 6, 2).
+  EXPECT_EQ(m_window_columns(kDefaultPenalties), 5u);
+}
+
+TEST(AsicModel, DefaultMacroCountMatchesPaper) {
+  // Figure 8: "There are 260 memory macros".
+  const MemoryInventory inv = memory_inventory(default_cfg());
+  EXPECT_EQ(inv.macro_count, 260u);
+}
+
+TEST(AsicModel, DefaultMemoryBytesNearHalfMegabyte) {
+  // §5.2: "uses 0.48MB of memory".
+  const MemoryInventory inv = memory_inventory(default_cfg());
+  EXPECT_NEAR(static_cast<double>(inv.total_bytes()), 0.48e6, 0.03e6);
+}
+
+TEST(AsicModel, DefaultAreaMatchesPaper) {
+  const AreaEstimate est = estimate(default_cfg());
+  EXPECT_NEAR(est.total_area_mm2, 1.6, 0.05);
+  EXPECT_NEAR(est.memory_area_mm2 / est.total_area_mm2, 0.85, 0.02);
+}
+
+TEST(AsicModel, DefaultFrequencyAndPowerMatchPaper) {
+  const AreaEstimate est = estimate(default_cfg());
+  EXPECT_NEAR(est.frequency_ghz, 1.1, 0.02);
+  EXPECT_NEAR(est.power_mw, 312.0, 10.0);
+}
+
+TEST(AsicModel, HalfSectionsAlignerIsAboutOnePointFiveTimesSmaller) {
+  // §5.4: "One Aligner with 32 parallel sections is only 1.5x smaller
+  // than one Aligner with 64 parallel sections."
+  hw::AcceleratorConfig cfg64 = default_cfg();
+  hw::AcceleratorConfig cfg32 = default_cfg();
+  cfg32.parallel_sections = 32;
+  const double a64 = estimate(cfg64).total_area_mm2;
+  const double a32 = estimate(cfg32).total_area_mm2;
+  EXPECT_NEAR(a64 / a32, 1.5, 0.15);
+}
+
+TEST(AsicModel, TwoAlignersOf32CostMoreThanOneOf64) {
+  // The §5.4 argument for the chosen configuration.
+  hw::AcceleratorConfig one64 = default_cfg();
+  hw::AcceleratorConfig two32 = default_cfg();
+  two32.num_aligners = 2;
+  two32.parallel_sections = 32;
+  EXPECT_GT(estimate(two32).total_area_mm2, estimate(one64).total_area_mm2);
+}
+
+TEST(AsicModel, AreaScalesWithAligners) {
+  hw::AcceleratorConfig cfg2 = default_cfg();
+  cfg2.num_aligners = 2;
+  const double a1 = estimate(default_cfg()).total_area_mm2;
+  const double a2 = estimate(cfg2).total_area_mm2;
+  EXPECT_GT(a2, 1.8 * a1);
+  EXPECT_LT(a2, 2.1 * a1);
+}
+
+TEST(AsicModel, FrequencyDegradesWithMoreMacros) {
+  hw::AcceleratorConfig big = default_cfg();
+  big.num_aligners = 4;
+  EXPECT_LT(estimate(big).frequency_ghz,
+            estimate(default_cfg()).frequency_ghz);
+}
+
+TEST(AsicModel, GcupsComputation) {
+  // 10^9 cells in 10^9 cycles at 1 GHz = 1 second -> 1 GCUPS.
+  EXPECT_DOUBLE_EQ(gcups(1'000'000'000ull, 1'000'000'000ull, 1.0), 1.0);
+  // Twice the frequency, same cycles: twice the GCUPS.
+  EXPECT_DOUBLE_EQ(gcups(1'000'000'000ull, 1'000'000'000ull, 2.0), 2.0);
+}
+
+TEST(AsicModel, FpgaEstimateScalesWithInstances) {
+  // Every RAM instance costs at least one BRAM: the default design's 260
+  // macros need at least 260 BRAM36s, fitting the U280's 2016 with room
+  // for the multi-Aligner experiments of Figure 10.
+  const FpgaEstimate one = estimate_fpga(default_cfg());
+  EXPECT_GE(one.bram36, 260u);
+  EXPECT_LT(one.bram_fraction, 0.5);
+  hw::AcceleratorConfig ten = default_cfg();
+  ten.num_aligners = 10;
+  const FpgaEstimate big = estimate_fpga(ten);
+  EXPECT_GT(big.bram36, 9 * one.bram36 / 2);
+  EXPECT_LE(big.bram_fraction, 2.0);  // may exceed 1.0: URAMs absorb it
+}
+
+TEST(AsicModel, InventoryBreakdownDominatedByInputSeq) {
+  // Input_Seq replication (2 x 64 copies of a 10K-base sequence) is the
+  // biggest memory consumer in the default design.
+  const MemoryInventory inv = memory_inventory(default_cfg());
+  EXPECT_GT(inv.input_seq_bytes, inv.wavefront_m_bytes);
+  EXPECT_GT(inv.input_seq_bytes, inv.wavefront_id_bytes);
+  EXPECT_GT(inv.input_seq_bytes, inv.fifo_bytes);
+}
+
+}  // namespace
+}  // namespace wfasic::asic

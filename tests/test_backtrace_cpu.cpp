@@ -1,0 +1,193 @@
+// End-to-end check of the co-designed backtrace: the accelerator's origin
+// stream, decoded by the CPU driver, must reproduce *exactly* the CIGAR the
+// software WFA computes (both share the Eq.-3 kernel and tie-breaks).
+#include "drv/backtrace_cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/swg_affine.hpp"
+#include "core/wfa.hpp"
+#include "drv/driver.hpp"
+#include "gen/seqgen.hpp"
+#include "hw/accelerator.hpp"
+#include "mem/main_memory.hpp"
+
+namespace wfasic::drv {
+namespace {
+
+struct BtFixture {
+  mem::MainMemory memory;
+  hw::AcceleratorConfig cfg;
+  hw::Accelerator accel;
+
+  explicit BtFixture(hw::AcceleratorConfig config = {})
+      : memory(256 << 20), cfg(config), accel(cfg, memory) {}
+
+  BatchLayout run(const std::vector<gen::SequencePair>& pairs) {
+    const BatchLayout layout =
+        encode_input_set(memory, pairs, 0x1000, 0x1000000);
+    Driver driver(accel);
+    driver.start(layout, /*backtrace=*/true);
+    (void)driver.wait_idle();
+    return layout;
+  }
+};
+
+core::AlignResult software_wfa(const std::string& a, const std::string& b) {
+  core::WfaAligner aligner;
+  return aligner.align(a, b);
+}
+
+TEST(BacktraceCpu, SinglePairMatchesSoftwareCigar) {
+  BtFixture f;
+  Prng prng(21);
+  const std::string a = gen::random_sequence(prng, 150);
+  const std::string b = gen::mutate_sequence(prng, a, 0.1);
+  const BatchLayout layout = f.run({{0, a, b}});
+  const auto parsed =
+      parse_bt_stream(f.memory, layout.out_addr, 1, /*separate=*/false);
+  ASSERT_EQ(parsed.size(), 1u);
+  const core::AlignResult rebuilt =
+      reconstruct_alignment(parsed[0], a, b, f.cfg);
+  const core::AlignResult sw = software_wfa(a, b);
+  ASSERT_TRUE(rebuilt.ok);
+  EXPECT_EQ(rebuilt.score, sw.score);
+  EXPECT_EQ(rebuilt.cigar, sw.cigar);  // exact transcript equality
+}
+
+TEST(BacktraceCpu, SweepOfLengthsAndRates) {
+  Prng prng(22);
+  for (const auto& [len, rate] :
+       std::vector<std::pair<std::size_t, double>>{
+           {1, 1.0}, {10, 0.3}, {64, 0.1}, {100, 0.05}, {100, 0.10},
+           {300, 0.10}, {500, 0.02}}) {
+    BtFixture f;
+    const std::string a = gen::random_sequence(prng, len);
+    const std::string b = gen::mutate_sequence(prng, a, rate);
+    const BatchLayout layout = f.run({{0, a, b}});
+    const auto parsed =
+        parse_bt_stream(f.memory, layout.out_addr, 1, false);
+    ASSERT_EQ(parsed.size(), 1u);
+    const core::AlignResult rebuilt =
+        reconstruct_alignment(parsed[0], a, b, f.cfg);
+    const core::AlignResult sw = software_wfa(a, b);
+    ASSERT_TRUE(rebuilt.ok) << "len=" << len << " rate=" << rate;
+    EXPECT_EQ(rebuilt.score, sw.score);
+    EXPECT_EQ(rebuilt.cigar, sw.cigar) << "len=" << len << " rate=" << rate;
+    EXPECT_TRUE(rebuilt.cigar.is_valid_for(a, b));
+  }
+}
+
+TEST(BacktraceCpu, BatchSingleAlignerNoSeparation) {
+  BtFixture f;
+  const auto pairs = gen::generate_input_set({120, 0.08, 6, 23});
+  const BatchLayout layout = f.run(pairs);
+  cpu::BtCpuCounters counters;
+  const auto parsed =
+      parse_bt_stream(f.memory, layout.out_addr, 6, false, &counters);
+  ASSERT_EQ(parsed.size(), 6u);
+  EXPECT_EQ(counters.blocks_copied, 0u);
+  EXPECT_GT(counters.blocks_scanned, 0u);
+  for (const BtAlignment& bt : parsed) {
+    const auto& pair = pairs[bt.id];
+    const core::AlignResult rebuilt =
+        reconstruct_alignment(bt, pair.a, pair.b, f.cfg, &counters);
+    EXPECT_EQ(rebuilt.cigar, software_wfa(pair.a, pair.b).cigar);
+  }
+  EXPECT_GT(counters.path_steps, 0u);
+  EXPECT_GT(counters.match_chars, 0u);
+}
+
+TEST(BacktraceCpu, MultiAlignerRequiresSeparation) {
+  hw::AcceleratorConfig cfg;
+  cfg.num_aligners = 3;
+  BtFixture f(cfg);
+  const auto pairs = gen::generate_input_set({200, 0.10, 9, 24});
+  const BatchLayout layout = f.run(pairs);
+  cpu::BtCpuCounters counters;
+  const auto parsed = parse_bt_stream(f.memory, layout.out_addr, 9,
+                                      /*separate=*/true, &counters);
+  ASSERT_EQ(parsed.size(), 9u);
+  EXPECT_EQ(counters.blocks_copied, counters.blocks_scanned);
+  for (const BtAlignment& bt : parsed) {
+    const auto& pair = pairs[bt.id];
+    const core::AlignResult rebuilt =
+        reconstruct_alignment(bt, pair.a, pair.b, f.cfg, &counters);
+    EXPECT_EQ(rebuilt.cigar, software_wfa(pair.a, pair.b).cigar)
+        << "pair " << bt.id;
+  }
+}
+
+TEST(BacktraceCpu, FailedAlignmentCarriesSuccessZero) {
+  hw::AcceleratorConfig cfg;
+  cfg.k_max = 3;  // Score_max = 10: almost everything overflows
+  BtFixture f(cfg);
+  const std::string a(50, 'A');
+  const std::string b(50, 'T');
+  const BatchLayout layout = f.run({{0, a, b}});
+  const auto parsed = parse_bt_stream(f.memory, layout.out_addr, 1, false);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_FALSE(parsed[0].success);
+  const core::AlignResult rebuilt =
+      reconstruct_alignment(parsed[0], a, b, f.cfg);
+  EXPECT_FALSE(rebuilt.ok);
+}
+
+TEST(BacktraceCpu, NonInterleavedParserRejectsInterleavedStream) {
+  hw::AcceleratorConfig cfg;
+  cfg.num_aligners = 2;
+  cfg.parallel_sections = 16;
+  BtFixture f(cfg);
+  // Long enough pairs that two Aligners interleave transactions.
+  const auto pairs = gen::generate_input_set({400, 0.1, 4, 25});
+  const BatchLayout layout = f.run(pairs);
+  EXPECT_DEATH((void)parse_bt_stream(f.memory, layout.out_addr, 4, false),
+               "data-separation");
+}
+
+TEST(BacktraceCpu, SmallParallelSectionConfigs) {
+  // Block/transaction geometry must hold for P != 64 too.
+  for (unsigned P : {8u, 16u, 32u}) {
+    hw::AcceleratorConfig cfg;
+    cfg.parallel_sections = P;
+    BtFixture f(cfg);
+    Prng prng(26 + P);
+    const std::string a = gen::random_sequence(prng, 120);
+    const std::string b = gen::mutate_sequence(prng, a, 0.1);
+    const BatchLayout layout = f.run({{0, a, b}});
+    const auto parsed = parse_bt_stream(f.memory, layout.out_addr, 1, false);
+    ASSERT_EQ(parsed.size(), 1u);
+    const core::AlignResult rebuilt =
+        reconstruct_alignment(parsed[0], a, b, cfg);
+    EXPECT_EQ(rebuilt.cigar, software_wfa(a, b).cigar) << "P=" << P;
+  }
+}
+
+TEST(BacktraceCpu, IdenticalSequencesAllMatches) {
+  BtFixture f;
+  const std::string a = "ACGTACGTACGTACGT";
+  const BatchLayout layout = f.run({{0, a, a}});
+  const auto parsed = parse_bt_stream(f.memory, layout.out_addr, 1, false);
+  const core::AlignResult rebuilt =
+      reconstruct_alignment(parsed[0], a, a, f.cfg);
+  EXPECT_EQ(rebuilt.score, 0);
+  EXPECT_EQ(rebuilt.cigar.str(), std::string(16, 'M'));
+}
+
+TEST(BacktraceCpu, PureGapAlignment) {
+  BtFixture f;
+  const std::string a = "ACGT";
+  const std::string b = "ACGTTTTT";  // 4 inserted bases
+  const BatchLayout layout = f.run({{0, a, b}});
+  const auto parsed = parse_bt_stream(f.memory, layout.out_addr, 1, false);
+  const core::AlignResult rebuilt =
+      reconstruct_alignment(parsed[0], a, b, f.cfg);
+  EXPECT_EQ(rebuilt.cigar, software_wfa(a, b).cigar);
+  EXPECT_EQ(rebuilt.cigar.counts().insertions, 4u);
+}
+
+}  // namespace
+}  // namespace wfasic::drv

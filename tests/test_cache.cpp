@@ -1,0 +1,121 @@
+#include "cache/cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfasic::cache {
+namespace {
+
+CacheConfig tiny_cache() { return {"tiny", 1024, 2, 64}; }  // 8 sets, 2 ways
+
+TEST(Cache, ColdMissThenHit) {
+  Cache cache(tiny_cache());
+  EXPECT_FALSE(cache.access(0x1000, false));
+  EXPECT_TRUE(cache.access(0x1000, false));
+  EXPECT_TRUE(cache.access(0x1010, false));  // same 64B line
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(Cache, SetIndexing) {
+  Cache cache(tiny_cache());
+  EXPECT_EQ(cache.num_sets(), 8u);
+  // Lines 64 bytes apart land in adjacent sets: no conflict.
+  EXPECT_FALSE(cache.access(0x0, false));
+  EXPECT_FALSE(cache.access(0x40, false));
+  EXPECT_TRUE(cache.access(0x0, false));
+  EXPECT_TRUE(cache.access(0x40, false));
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache cache(tiny_cache());
+  // Three lines mapping to set 0 (stride = sets * line = 512).
+  EXPECT_FALSE(cache.access(0 * 512, false));
+  EXPECT_FALSE(cache.access(1 * 512, false));
+  EXPECT_FALSE(cache.access(2 * 512, false));  // evicts line 0 (LRU)
+  EXPECT_FALSE(cache.access(0 * 512, false));  // line 0 gone
+  EXPECT_TRUE(cache.access(2 * 512, false));   // line 2 still resident
+}
+
+TEST(Cache, LruUpdatedOnHit) {
+  Cache cache(tiny_cache());
+  (void)cache.access(0 * 512, false);
+  (void)cache.access(1 * 512, false);
+  (void)cache.access(0 * 512, false);          // refresh line 0
+  (void)cache.access(2 * 512, false);          // evicts line 1 now
+  EXPECT_TRUE(cache.access(0 * 512, false));
+  EXPECT_FALSE(cache.access(1 * 512, false));
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback) {
+  Cache cache(tiny_cache());
+  (void)cache.access(0 * 512, true);  // dirty
+  (void)cache.access(1 * 512, false);
+  (void)cache.access(2 * 512, false);  // evicts dirty line 0
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback) {
+  Cache cache(tiny_cache());
+  (void)cache.access(0 * 512, false);
+  (void)cache.access(1 * 512, false);
+  (void)cache.access(2 * 512, false);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(Cache, FlushForgetsEverything) {
+  Cache cache(tiny_cache());
+  (void)cache.access(0x1000, false);
+  cache.flush();
+  EXPECT_FALSE(cache.access(0x1000, false));
+}
+
+TEST(Cache, MissRate) {
+  Cache cache(tiny_cache());
+  (void)cache.access(0, false);
+  (void)cache.access(0, false);
+  (void)cache.access(0, false);
+  (void)cache.access(0, false);
+  EXPECT_DOUBLE_EQ(cache.stats().miss_rate(), 0.25);
+}
+
+TEST(Hierarchy, L1HitCostsNothingExtra) {
+  Hierarchy h = Hierarchy::make_soc();
+  (void)h.access(0x100, 4, false);  // cold: L1+L2 miss
+  EXPECT_EQ(h.access(0x100, 4, false), 0u);
+}
+
+TEST(Hierarchy, ColdMissPaysL2AndMemory) {
+  Hierarchy h = Hierarchy::make_soc();
+  const auto lat = h.latencies();
+  EXPECT_EQ(h.access(0x100, 4, false), lat.l2_hit + lat.memory);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction) {
+  Hierarchy h = Hierarchy::make_soc();
+  const auto lat = h.latencies();
+  (void)h.access(0x0, 4, false);
+  // Evict line 0 from the 32KB/8-way L1 by touching 9 lines in its set
+  // (stride = 64 sets... L1 has 64 sets, so stride 64*64 = 4096).
+  for (int i = 1; i <= 8; ++i) (void)h.access(i * 4096ull, 4, false);
+  // Line 0 is out of L1 but still in the 512KB L2.
+  EXPECT_EQ(h.access(0x0, 4, false), lat.l2_hit);
+}
+
+TEST(Hierarchy, AccessSpanningTwoLines) {
+  Hierarchy h = Hierarchy::make_soc();
+  const auto lat = h.latencies();
+  // 8 bytes starting 4 bytes before a line boundary touch two lines.
+  EXPECT_EQ(h.access(60, 8, false), 2u * (lat.l2_hit + lat.memory));
+}
+
+TEST(Hierarchy, StreamingMissesEveryLine) {
+  Hierarchy h = Hierarchy::make_soc();
+  h.reset_stats();
+  for (std::uint64_t addr = 0; addr < 64 * 1024; addr += 64) {
+    (void)h.access(addr, 4, false);
+  }
+  EXPECT_EQ(h.l1().stats().misses, 1024u);
+}
+
+}  // namespace
+}  // namespace wfasic::cache

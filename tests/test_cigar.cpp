@@ -1,0 +1,122 @@
+#include "common/cigar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace wfasic {
+namespace {
+
+TEST(Cigar, OpCharRoundTrip) {
+  for (char c : {'M', 'X', 'I', 'D'}) {
+    EXPECT_EQ(cigar_op_char(cigar_op_from_char(c)), c);
+  }
+}
+
+TEST(Cigar, FromStringAndStr) {
+  const Cigar cig = Cigar::from_string("MMXMIID");
+  EXPECT_EQ(cig.str(), "MMXMIID");
+  EXPECT_EQ(cig.size(), 7u);
+  EXPECT_FALSE(cig.empty());
+}
+
+TEST(Cigar, EmptyBehaviour) {
+  const Cigar cig;
+  EXPECT_TRUE(cig.empty());
+  EXPECT_EQ(cig.str(), "");
+  EXPECT_EQ(cig.rle(), "");
+  EXPECT_EQ(cig.score(kDefaultPenalties), 0);
+  EXPECT_TRUE(cig.is_valid_for("", ""));
+}
+
+TEST(Cigar, RleEncoding) {
+  const Cigar cig = Cigar::from_string("MMMXXIMMDD");
+  EXPECT_EQ(cig.rle(), "3M2X1I2M2D");
+  const auto runs = cig.runs();
+  ASSERT_EQ(runs.size(), 5u);
+  EXPECT_EQ(runs[0], (CigarRun{CigarOp::kMatch, 3}));
+  EXPECT_EQ(runs[4], (CigarRun{CigarOp::kDeletion, 2}));
+}
+
+TEST(Cigar, PushWithCount) {
+  Cigar cig;
+  cig.push(CigarOp::kMatch, 3);
+  cig.push(CigarOp::kInsertion, 2);
+  EXPECT_EQ(cig.str(), "MMMII");
+}
+
+TEST(Cigar, PushZeroCountIsNoop) {
+  Cigar cig;
+  cig.push(CigarOp::kMatch, 0);
+  EXPECT_TRUE(cig.empty());
+}
+
+TEST(Cigar, Reverse) {
+  Cigar cig = Cigar::from_string("MID");
+  cig.reverse();
+  EXPECT_EQ(cig.str(), "DIM");
+}
+
+TEST(Cigar, PatternAndTextLengths) {
+  const Cigar cig = Cigar::from_string("MMXIID");
+  // a consumed by M/X/D = 4; b consumed by M/X/I = 5.
+  EXPECT_EQ(cig.pattern_length(), 4u);
+  EXPECT_EQ(cig.text_length(), 5u);
+}
+
+TEST(Cigar, GapAffineScore) {
+  const Penalties pen{4, 6, 2};
+  EXPECT_EQ(Cigar::from_string("MMMM").score(pen), 0);
+  EXPECT_EQ(Cigar::from_string("MXM").score(pen), 4);
+  EXPECT_EQ(Cigar::from_string("MIM").score(pen), 8);    // open = o + e
+  EXPECT_EQ(Cigar::from_string("MIIM").score(pen), 10);  // o + 2e
+  EXPECT_EQ(Cigar::from_string("MIIIM").score(pen), 12);
+  EXPECT_EQ(Cigar::from_string("MDDM").score(pen), 10);
+  // An I run followed by a D run opens two gaps.
+  EXPECT_EQ(Cigar::from_string("IIDD").score(pen), 20);
+  // Gap interrupted by a match re-opens.
+  EXPECT_EQ(Cigar::from_string("IMI").score(pen), 16);
+}
+
+TEST(Cigar, ScoreWithDifferentPenalties) {
+  const Penalties pen{1, 0, 3};  // zero gap-open is legal
+  EXPECT_EQ(Cigar::from_string("X").score(pen), 1);
+  EXPECT_EQ(Cigar::from_string("II").score(pen), 6);
+}
+
+TEST(Cigar, Counts) {
+  const auto counts = Cigar::from_string("MMXXXIID").counts();
+  EXPECT_EQ(counts.matches, 2u);
+  EXPECT_EQ(counts.mismatches, 3u);
+  EXPECT_EQ(counts.insertions, 2u);
+  EXPECT_EQ(counts.deletions, 1u);
+}
+
+TEST(Cigar, IsValidForAcceptsCorrectTranscript) {
+  // a = "GATTACA" vs b = "GCATTAC": insert C, match ..., delete final A.
+  EXPECT_TRUE(
+      Cigar::from_string("MIMMMMMD").is_valid_for("GATTACA", "GCATTAC"));
+}
+
+TEST(Cigar, IsValidForRejectsWrongConsumption) {
+  EXPECT_FALSE(Cigar::from_string("MM").is_valid_for("AAA", "AAA"));
+  EXPECT_FALSE(Cigar::from_string("MMMM").is_valid_for("AAA", "AAA"));
+}
+
+TEST(Cigar, IsValidForRejectsMatchOnDifferingBases) {
+  EXPECT_FALSE(Cigar::from_string("M").is_valid_for("A", "C"));
+  EXPECT_FALSE(Cigar::from_string("X").is_valid_for("A", "A"));
+}
+
+TEST(Cigar, IsValidForRejectsOverrun) {
+  EXPECT_FALSE(Cigar::from_string("I").is_valid_for("A", ""));
+  EXPECT_FALSE(Cigar::from_string("D").is_valid_for("", "A"));
+}
+
+TEST(Cigar, EqualityOperator) {
+  EXPECT_EQ(Cigar::from_string("MID"), Cigar::from_string("MID"));
+  EXPECT_NE(Cigar::from_string("MID"), Cigar::from_string("MDI"));
+}
+
+}  // namespace
+}  // namespace wfasic

@@ -1,0 +1,145 @@
+#include "cpu/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/prng.hpp"
+#include "core/swg_affine.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::cpu {
+namespace {
+
+TEST(CpuModel, ProducesCorrectAlignment) {
+  CpuModel model;
+  Prng prng(11);
+  const std::string a = gen::random_sequence(prng, 200);
+  const std::string b = gen::mutate_sequence(prng, a, 0.1);
+  const auto run = model.run_wfa(a, b, kDefaultPenalties,
+                                 core::ExtendMode::kScalar,
+                                 core::Traceback::kEnabled);
+  ASSERT_TRUE(run.align.ok);
+  EXPECT_EQ(run.align.score, core::swg_score(a, b, kDefaultPenalties));
+  EXPECT_TRUE(run.align.cigar.is_valid_for(a, b));
+}
+
+TEST(CpuModel, CyclesArePositiveAndDecomposed) {
+  CpuModel model;
+  const auto run = model.run_wfa("ACGTACGTAA", "ACCTACGTAA",
+                                 kDefaultPenalties,
+                                 core::ExtendMode::kScalar,
+                                 core::Traceback::kEnabled);
+  EXPECT_GT(run.stats.op_cycles, 0u);
+  EXPECT_EQ(run.stats.total(), run.stats.op_cycles + run.stats.stall_cycles);
+}
+
+TEST(CpuModel, CyclesGrowWithErrorRate) {
+  CpuModel model;
+  Prng prng(12);
+  const std::string a = gen::random_sequence(prng, 500);
+  const std::string b5 = gen::mutate_sequence(prng, a, 0.05);
+  const std::string b10 = gen::mutate_sequence(prng, a, 0.10);
+  const auto r5 = model.run_wfa(a, b5, kDefaultPenalties,
+                                core::ExtendMode::kScalar,
+                                core::Traceback::kDisabled);
+  const auto r10 = model.run_wfa(a, b10, kDefaultPenalties,
+                                 core::ExtendMode::kScalar,
+                                 core::Traceback::kDisabled);
+  EXPECT_GT(r10.stats.total(), r5.stats.total());
+}
+
+TEST(CpuModel, CyclesGrowSuperlinearlyWithLength) {
+  CpuModel model;
+  Prng prng(13);
+  const std::string a1 = gen::random_sequence(prng, 100);
+  const std::string b1 = gen::mutate_sequence(prng, a1, 0.1);
+  const std::string a2 = gen::random_sequence(prng, 800);
+  const std::string b2 = gen::mutate_sequence(prng, a2, 0.1);
+  const auto r1 = model.run_wfa(a1, b1, kDefaultPenalties,
+                                core::ExtendMode::kScalar,
+                                core::Traceback::kDisabled);
+  const auto r2 = model.run_wfa(a2, b2, kDefaultPenalties,
+                                core::ExtendMode::kScalar,
+                                core::Traceback::kDisabled);
+  EXPECT_GT(r2.stats.total(), 8 * r1.stats.total());
+}
+
+TEST(CpuModel, VectorFasterThanScalarOnShortReads) {
+  // Short reads fit in cache: vector speedup comes from the op costs
+  // (paper Figure 9: ~1.7-1.8x at 100 bp).
+  CpuModel model;
+  Prng prng(14);
+  const std::string a = gen::random_sequence(prng, 100);
+  const std::string b = gen::mutate_sequence(prng, a, 0.05);
+  const auto scalar = model.run_wfa(a, b, kDefaultPenalties,
+                                    core::ExtendMode::kScalar,
+                                    core::Traceback::kDisabled);
+  const auto vec = model.run_wfa(a, b, kDefaultPenalties,
+                                 core::ExtendMode::kBlocked,
+                                 core::Traceback::kDisabled);
+  EXPECT_LT(vec.stats.total(), scalar.stats.total());
+  const double speedup = static_cast<double>(scalar.stats.total()) /
+                         static_cast<double>(vec.stats.total());
+  EXPECT_GT(speedup, 1.2);
+  EXPECT_LT(speedup, 3.0);
+}
+
+TEST(CpuModel, VectorAdvantageShrinksForLongReads) {
+  CpuModel model;
+  Prng prng(15);
+  const std::string a_s = gen::random_sequence(prng, 100);
+  const std::string b_s = gen::mutate_sequence(prng, a_s, 0.1);
+  const std::string a_l = gen::random_sequence(prng, 2000);
+  const std::string b_l = gen::mutate_sequence(prng, a_l, 0.1);
+  const auto speedup = [&](const std::string& a, const std::string& b) {
+    const auto scalar = model.run_wfa(a, b, kDefaultPenalties,
+                                      core::ExtendMode::kScalar,
+                                      core::Traceback::kDisabled);
+    const auto vec = model.run_wfa(a, b, kDefaultPenalties,
+                                   core::ExtendMode::kBlocked,
+                                   core::Traceback::kDisabled);
+    return static_cast<double>(scalar.stats.total()) /
+           static_cast<double>(vec.stats.total());
+  };
+  EXPECT_GT(speedup(a_s, b_s), speedup(a_l, b_l));
+}
+
+TEST(CpuModel, CacheStallsAppearForLargeWorkingSets) {
+  CpuModel model;
+  Prng prng(16);
+  const std::string a = gen::random_sequence(prng, 2000);
+  const std::string b = gen::mutate_sequence(prng, a, 0.1);
+  const auto run = model.run_wfa(a, b, kDefaultPenalties,
+                                 core::ExtendMode::kScalar,
+                                 core::Traceback::kDisabled);
+  EXPECT_GT(run.stats.stall_cycles, 0u);
+  EXPECT_GT(run.stats.l1.misses, 0u);
+}
+
+TEST(CpuModel, BacktraceCyclesScaleWithStream) {
+  CpuModel model;
+  BtCpuCounters small;
+  small.alignments = 1;
+  small.blocks_scanned = 100;
+  small.path_steps = 10;
+  small.match_chars = 100;
+  BtCpuCounters large = small;
+  large.blocks_scanned = 100'000;
+  large.path_steps = 1'000;
+  large.match_chars = 10'000;
+  EXPECT_GT(model.backtrace_cycles(large), model.backtrace_cycles(small));
+}
+
+TEST(CpuModel, DataSeparationCostsMore) {
+  CpuModel model;
+  BtCpuCounters no_sep;
+  no_sep.alignments = 4;
+  no_sep.blocks_scanned = 50'000;
+  no_sep.path_steps = 2'000;
+  no_sep.match_chars = 40'000;
+  BtCpuCounters sep = no_sep;
+  sep.blocks_copied = no_sep.blocks_scanned;
+  EXPECT_GT(model.backtrace_cycles(sep), model.backtrace_cycles(no_sep));
+}
+
+}  // namespace
+}  // namespace wfasic::cpu

@@ -1,0 +1,134 @@
+#include "mem/dma.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mem/main_memory.hpp"
+#include "sim/fifo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::mem {
+namespace {
+
+struct DmaFixture {
+  MainMemory memory{1 << 20};
+  sim::ShowAheadFifo<Beat> in{256};
+  sim::ShowAheadFifo<Beat> out{256};
+  AxiTiming timing;
+  Dma dma{memory, in, out, timing};
+  sim::Scheduler sched;
+
+  DmaFixture() { sched.add(&dma); }
+};
+
+TEST(MainMemory, ByteAndWordAccess) {
+  MainMemory memory(256);
+  memory.write_u32(8, 0x11223344);
+  EXPECT_EQ(memory.read_u32(8), 0x11223344u);
+  EXPECT_EQ(memory.read_u8(8), 0x44);  // little endian
+  memory.write_u64(16, 0x0102030405060708ull);
+  EXPECT_EQ(memory.read_u64(16), 0x0102030405060708ull);
+}
+
+TEST(MainMemory, OutOfBoundsAborts) {
+  MainMemory memory(16);
+  EXPECT_DEATH(memory.write_u32(13, 0), "OOB");
+  EXPECT_DEATH((void)memory.read_u8(16), "OOB");
+}
+
+TEST(Dma, ReadStreamsAllBeatsInOrder) {
+  DmaFixture f;
+  for (std::uint32_t i = 0; i < 64; ++i) f.memory.write_u8(i, i);
+  f.dma.configure_read(0, 64);  // 4 beats
+  f.sched.run_until([&] { return f.dma.read_done() && f.in.size() == 4; },
+                    10'000);
+  for (int beat = 0; beat < 4; ++beat) {
+    const Beat b = f.in.pop();
+    for (int byte = 0; byte < 16; ++byte) {
+      EXPECT_EQ(b.data[byte], beat * 16 + byte);
+    }
+  }
+}
+
+TEST(Dma, ReadLatencyDelaysFirstBeat) {
+  DmaFixture f;
+  f.dma.configure_read(0, 16);
+  for (unsigned c = 0; c < f.timing.read_latency; ++c) {
+    f.sched.step();
+    EXPECT_TRUE(f.in.empty());
+  }
+  f.sched.step();
+  EXPECT_EQ(f.in.size(), 1u);
+}
+
+TEST(Dma, BurstLatencyBetweenBursts) {
+  DmaFixture f;
+  const std::uint64_t beats = 2 * f.timing.burst_beats;  // two full bursts
+  f.dma.configure_read(0, beats * kBeatBytes);
+  const auto done = [&] { return f.dma.read_done(); };
+  const auto cycles = f.sched.run_until(done, 10'000);
+  EXPECT_EQ(cycles, f.timing.stream_read_cycles(beats));
+}
+
+TEST(Dma, StreamReadCyclesFormula) {
+  AxiTiming t;
+  EXPECT_EQ(t.stream_read_cycles(0), 0u);
+  EXPECT_EQ(t.stream_read_cycles(1), t.read_latency + 1);
+  EXPECT_EQ(t.stream_read_cycles(16), t.read_latency + 16);
+  EXPECT_EQ(t.stream_read_cycles(17), 2 * t.read_latency + 17);
+}
+
+TEST(Dma, ReadStallsWhenInputFifoFull) {
+  MainMemory memory{1 << 16};
+  sim::ShowAheadFifo<Beat> in{2};
+  sim::ShowAheadFifo<Beat> out{4};
+  Dma dma(memory, in, out, AxiTiming{});
+  sim::Scheduler sched;
+  sched.add(&dma);
+  dma.configure_read(0, 16 * 8);
+  sched.run_until([&] { return in.full(); }, 10'000);
+  const auto stalls_before = dma.read_stalls_fifo_full();
+  sched.step();
+  sched.step();
+  EXPECT_GT(dma.read_stalls_fifo_full(), stalls_before);
+  EXPECT_FALSE(dma.read_done());
+  // Draining the FIFO lets the stream finish.
+  while (!dma.read_done()) {
+    if (!in.empty()) (void)in.pop();
+    sched.step();
+  }
+  EXPECT_EQ(dma.beats_read(), 8u);
+}
+
+TEST(Dma, WriteDrainsOutputFifo) {
+  DmaFixture f;
+  f.dma.configure_write(0x100);
+  Beat b;
+  for (int i = 0; i < 16; ++i) b.data[i] = static_cast<std::uint8_t>(i + 1);
+  f.out.push(b);
+  f.sched.step();
+  EXPECT_TRUE(f.out.empty());
+  EXPECT_EQ(f.memory.read_u8(0x100), 1);
+  EXPECT_EQ(f.memory.read_u8(0x10f), 16);
+  EXPECT_EQ(f.dma.write_ptr(), 0x110u);
+}
+
+TEST(Dma, WritePriorityOverRead) {
+  DmaFixture f;
+  f.dma.configure_read(0, 16 * 4);
+  f.dma.configure_write(0x8000);
+  // Let the read-burst latency elapse with an idle port.
+  for (unsigned c = 0; c < f.timing.read_latency; ++c) f.sched.step();
+  EXPECT_EQ(f.dma.beats_read(), 0u);
+  // Now keep the output FIFO non-empty: the write side owns the shared
+  // port every cycle and the ready read beats must wait.
+  for (int c = 0; c < 4; ++c) {
+    f.out.push(Beat{});
+    f.sched.step();
+  }
+  EXPECT_GT(f.dma.read_stalls_port_busy(), 0u);
+  EXPECT_EQ(f.dma.beats_written(), 4u);
+  EXPECT_EQ(f.dma.beats_read(), 0u);
+}
+
+}  // namespace
+}  // namespace wfasic::mem

@@ -1,0 +1,43 @@
+#include "common/dna.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfasic {
+namespace {
+
+TEST(Dna, EncodeDecodeRoundTrip) {
+  for (std::uint8_t code = 0; code < 4; ++code) {
+    EXPECT_EQ(encode_base(decode_base(code)), code);
+  }
+}
+
+TEST(Dna, EncodeKnownValues) {
+  EXPECT_EQ(encode_base('A'), 0);
+  EXPECT_EQ(encode_base('C'), 1);
+  EXPECT_EQ(encode_base('G'), 2);
+  EXPECT_EQ(encode_base('T'), 3);
+}
+
+TEST(Dna, UnknownBasesHaveNoCode) {
+  EXPECT_EQ(encode_base('N'), 0xff);
+  EXPECT_EQ(encode_base('a'), 0xff);  // lower case is not canonical
+  EXPECT_EQ(encode_base('\0'), 0xff);
+  EXPECT_EQ(encode_base('Z'), 0xff);
+}
+
+TEST(Dna, IsValidBase) {
+  EXPECT_TRUE(is_valid_base('A'));
+  EXPECT_TRUE(is_valid_base('T'));
+  EXPECT_FALSE(is_valid_base('N'));
+  EXPECT_FALSE(is_valid_base(' '));
+}
+
+TEST(Dna, IsValidSequence) {
+  EXPECT_TRUE(is_valid_sequence(""));
+  EXPECT_TRUE(is_valid_sequence("ACGTACGT"));
+  EXPECT_FALSE(is_valid_sequence("ACGNACGT"));
+  EXPECT_FALSE(is_valid_sequence("acgt"));
+}
+
+}  // namespace
+}  // namespace wfasic

@@ -1,0 +1,108 @@
+#include "drv/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/seqgen.hpp"
+#include "hw/input_format.hpp"
+#include "mem/main_memory.hpp"
+
+namespace wfasic::drv {
+namespace {
+
+TEST(InputFormat, RoundUpReadLen) {
+  EXPECT_EQ(hw::round_up_read_len(1), 16u);
+  EXPECT_EQ(hw::round_up_read_len(16), 16u);
+  EXPECT_EQ(hw::round_up_read_len(17), 32u);
+  EXPECT_EQ(hw::round_up_read_len(9010), 9024u);  // the paper's example
+}
+
+TEST(InputFormat, PairSections) {
+  // 3 header sections + 2 sequences of MAX_READ_LEN/16 sections each.
+  EXPECT_EQ(hw::pair_sections(16), 3u + 2u);
+  EXPECT_EQ(hw::pair_sections(160), 3u + 20u);
+  EXPECT_EQ(hw::pair_bytes(16), 5u * 16);
+}
+
+TEST(EncodeInputSet, LayoutFields) {
+  mem::MainMemory memory(1 << 20);
+  const std::vector<gen::SequencePair> pairs = {
+      {0, "ACGTACGTACGTACGTA", "ACGT"}};  // longest = 17 -> MAX 32
+  const BatchLayout layout = encode_input_set(memory, pairs, 0x100, 0x9000);
+  EXPECT_EQ(layout.max_read_len, 32u);
+  EXPECT_EQ(layout.num_pairs, 1u);
+  EXPECT_EQ(layout.in_bytes, hw::pair_bytes(32));
+  EXPECT_EQ(layout.in_addr, 0x100u);
+  EXPECT_EQ(layout.out_addr, 0x9000u);
+}
+
+TEST(EncodeInputSet, HeaderSectionsHoldIdAndLengths) {
+  mem::MainMemory memory(1 << 20);
+  const std::vector<gen::SequencePair> pairs = {{42, "ACGTA", "AC"}};
+  encode_input_set(memory, pairs, 0, 0x9000);
+  EXPECT_EQ(memory.read_u32(0), 42u);    // id
+  EXPECT_EQ(memory.read_u32(16), 5u);    // len a
+  EXPECT_EQ(memory.read_u32(32), 2u);    // len b
+}
+
+TEST(EncodeInputSet, SequenceBytesAreAsciiWithDummyPadding) {
+  mem::MainMemory memory(1 << 20);
+  const std::vector<gen::SequencePair> pairs = {{0, "ACGT", "TT"}};
+  encode_input_set(memory, pairs, 0, 0x9000);
+  // Sequence a starts after the 3 header sections.
+  EXPECT_EQ(memory.read_u8(48), 'A');
+  EXPECT_EQ(memory.read_u8(49), 'C');
+  EXPECT_EQ(memory.read_u8(50), 'G');
+  EXPECT_EQ(memory.read_u8(51), 'T');
+  EXPECT_EQ(memory.read_u8(52), hw::kDummyBase);
+  // Sequence b in the next 16-byte-aligned region.
+  EXPECT_EQ(memory.read_u8(64), 'T');
+  EXPECT_EQ(memory.read_u8(65), 'T');
+  EXPECT_EQ(memory.read_u8(66), hw::kDummyBase);
+}
+
+TEST(EncodeInputSet, MultiplePairsAreContiguous) {
+  mem::MainMemory memory(1 << 20);
+  const std::vector<gen::SequencePair> pairs = {{0, "AAAA", "CCCC"},
+                                                {1, "GGGG", "TTTT"}};
+  const BatchLayout layout = encode_input_set(memory, pairs, 0, 0x9000);
+  EXPECT_EQ(layout.in_bytes, 2 * hw::pair_bytes(16));
+  const std::uint64_t second = hw::pair_bytes(16);
+  EXPECT_EQ(memory.read_u32(second), 1u);
+  EXPECT_EQ(memory.read_u8(second + 48), 'G');
+}
+
+TEST(EncodeInputSet, ForcedMaxReadLenTruncatesStorageKeepsLength) {
+  mem::MainMemory memory(1 << 20);
+  const std::vector<gen::SequencePair> pairs = {
+      {0, std::string(40, 'A'), "CC"}};
+  const BatchLayout layout = encode_input_set(memory, pairs, 0, 0x9000, 16);
+  EXPECT_EQ(layout.max_read_len, 16u);
+  EXPECT_EQ(memory.read_u32(16), 40u);  // true length preserved
+}
+
+TEST(EncodeInputSet, NBasesStoredVerbatim) {
+  mem::MainMemory memory(1 << 20);
+  const std::vector<gen::SequencePair> pairs = {{0, "ACNT", "ACGT"}};
+  encode_input_set(memory, pairs, 0, 0x9000);
+  EXPECT_EQ(memory.read_u8(50), 'N');
+}
+
+TEST(DecodeNbt, ReadsPackedWordsInStreamOrder) {
+  mem::MainMemory memory(1 << 16);
+  BatchLayout layout;
+  layout.out_addr = 0x200;
+  layout.num_pairs = 5;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    memory.write_u32(0x200 + i * 4,
+                     hw::pack_nbt_result({true, 100 + i, i}));
+  }
+  const auto results = decode_nbt_results(memory, layout);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].score, 100 + i);
+    EXPECT_EQ(results[i].id, i);
+  }
+}
+
+}  // namespace
+}  // namespace wfasic::drv

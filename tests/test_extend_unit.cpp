@@ -1,0 +1,99 @@
+#include "hw/extend_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::hw {
+namespace {
+
+ExtendUnit::Result fast(const std::string& a, const std::string& b,
+                        offset_t i, offset_t j) {
+  const PackedSeq pa(a);
+  const PackedSeq pb(b);
+  return ExtendUnit(pa, pb).extend(i, j);
+}
+
+TEST(ExtendUnit, ImmediateMismatchCostsOneBlock) {
+  const auto r = fast("T", "C", 0, 0);
+  EXPECT_EQ(r.run, 0);
+  EXPECT_EQ(r.blocks, 1u);
+  EXPECT_EQ(r.cycles, ExtendUnit::kPipelineFill + 1);
+}
+
+TEST(ExtendUnit, StartAtSequenceEnd) {
+  const auto r = fast("ACGT", "ACGT", 4, 4);
+  EXPECT_EQ(r.run, 0);
+  EXPECT_EQ(r.blocks, 1u);
+}
+
+TEST(ExtendUnit, BlockBoundaryCycleCounts) {
+  // runs of 15/16/17 matched bases need 1/2/2 comparator blocks: the
+  // activation that discovers the mismatch is part of the count (§4.3.2).
+  const std::string base(40, 'A');
+  for (const auto& [run, blocks] :
+       std::vector<std::pair<int, unsigned>>{
+           {0, 1}, {1, 1}, {15, 1}, {16, 2}, {17, 2}, {31, 2}, {32, 3}}) {
+    std::string mutated = base;
+    mutated[static_cast<std::size_t>(run)] = 'C';
+    const auto r = fast(base, mutated, 0, 0);
+    EXPECT_EQ(r.run, run);
+    EXPECT_EQ(r.blocks, blocks) << "run " << run;
+    EXPECT_EQ(r.cycles, ExtendUnit::kPipelineFill + blocks);
+  }
+}
+
+TEST(ExtendUnit, FullMatchToSequenceEnd) {
+  const std::string s(33, 'G');
+  const auto r = fast(s, s, 0, 0);
+  EXPECT_EQ(r.run, 33);
+  // 33 matched bases then end-of-sequence discovery: ceil(34/16) = 3.
+  EXPECT_EQ(r.blocks, 3u);
+}
+
+TEST(ExtendUnit, UnalignedStartPositions) {
+  const std::string core(50, 'T');
+  const std::string a = "ACG" + core + "A";
+  const std::string b = "GGGGGGG" + core + "C";
+  const auto r = fast(a, b, 3, 7);
+  EXPECT_EQ(r.run, 50);
+}
+
+TEST(ExtendUnit, FastPathEqualsDatapathEverywhere) {
+  // The load-bearing equivalence: the packed-word fast path must agree
+  // with the lane-by-lane Figure-7 emulation in run, blocks AND cycles.
+  Prng prng(131);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::size_t len_a = 1 + prng.next_below(80);
+    const std::size_t len_b = 1 + prng.next_below(80);
+    std::string a = gen::random_sequence(prng, len_a);
+    std::string b = gen::random_sequence(prng, len_b);
+    if (prng.next_bool(0.7)) {
+      const std::size_t shared = std::min(len_a, len_b) / 2;
+      b.replace(0, shared, a.substr(0, shared));
+    }
+    const PackedSeq pa(a);
+    const PackedSeq pb(b);
+    const ExtendUnit unit(pa, pb);
+    const auto i = static_cast<offset_t>(prng.next_below(len_a + 1));
+    const auto j = static_cast<offset_t>(prng.next_below(len_b + 1));
+    const auto f = unit.extend(i, j);
+    const auto d = unit.extend_datapath(i, j);
+    EXPECT_EQ(f.run, d.run) << "trial " << trial;
+    EXPECT_EQ(f.blocks, d.blocks) << "trial " << trial;
+    EXPECT_EQ(f.cycles, d.cycles) << "trial " << trial;
+  }
+}
+
+TEST(ExtendUnit, OutOfRangeStartAborts) {
+  const PackedSeq pa(std::string("ACGT"));
+  const PackedSeq pb(std::string("ACGT"));
+  const ExtendUnit unit(pa, pb);
+  EXPECT_DEATH((void)unit.extend(5, 0), "out of range");
+}
+
+}  // namespace
+}  // namespace wfasic::hw

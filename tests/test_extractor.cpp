@@ -1,0 +1,163 @@
+#include "hw/extractor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "drv/driver.hpp"
+#include "gen/seqgen.hpp"
+#include "hw/aligner.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/fifo.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::hw {
+namespace {
+
+// The real Aligner serves as the sink: unless ticked, a dispatched job
+// stays latched in its kInit state, which lets these tests observe the
+// Extractor in isolation.
+struct ExtractorFixture {
+  mem::MainMemory memory{1 << 20};
+  sim::ShowAheadFifo<mem::Beat> fifo{256};
+  AcceleratorConfig cfg;
+  Aligner aligner{"a0", cfg};
+  Extractor extractor{fifo, {&aligner}};
+  sim::Scheduler sched;
+
+  ExtractorFixture() { sched.add(&extractor); }
+
+  /// Encodes pairs into memory and pushes every beat into the FIFO.
+  drv::BatchLayout feed(const std::vector<gen::SequencePair>& pairs,
+                        std::uint32_t force_max_read_len = 0) {
+    const drv::BatchLayout layout = drv::encode_input_set(
+        memory, pairs, 0, 0x80000, force_max_read_len);
+    for (std::uint64_t off = 0; off < layout.in_bytes; off += 16) {
+      mem::Beat beat;
+      memory.read(off, std::span<std::uint8_t>(beat.data.data(), 16));
+      fifo.push(beat);
+    }
+    extractor.configure(layout.max_read_len, layout.num_pairs);
+    return layout;
+  }
+
+  void run() {
+    sched.run_until([&] { return extractor.done(); }, 100'000);
+  }
+};
+
+TEST(Extractor, DecodesSinglePair) {
+  ExtractorFixture f;
+  f.feed({{7, "ACGTACGTACGT", "ACGTACGAACGT"}});
+  f.run();
+  ASSERT_EQ(f.extractor.pairs_done(), 1u);
+  // The Aligner latched the job (kInit state = not idle).
+  EXPECT_FALSE(f.aligner.idle());
+}
+
+TEST(Extractor, OneBeatPerCycle) {
+  ExtractorFixture f;
+  const auto layout = f.feed({{0, std::string(100, 'A'), std::string(96, 'C')}});
+  const std::uint64_t beats = layout.in_bytes / 16;
+  f.run();
+  ASSERT_EQ(f.extractor.records().size(), 1u);
+  // With the FIFO pre-filled the pair must take exactly one cycle per beat.
+  EXPECT_EQ(f.extractor.records()[0].reading_cycles, beats);
+}
+
+TEST(Extractor, ReadingCyclesIndependentOfErrors) {
+  // Reading time depends only on MAX_READ_LEN (dummy-padded layout), which
+  // is why Table 1 shows identical reading cycles for 5% and 10% sets.
+  ExtractorFixture f1;
+  ExtractorFixture f2;
+  gen::InputSetSpec spec5{200, 0.05, 1, 9};
+  gen::InputSetSpec spec10{200, 0.10, 1, 9};
+  const auto p5 = gen::generate_input_set(spec5);
+  const auto p10 = gen::generate_input_set(spec10);
+  f1.feed(p5, 256);   // same forced MAX_READ_LEN
+  f2.feed(p10, 256);
+  f1.run();
+  f2.run();
+  EXPECT_EQ(f1.extractor.records()[0].reading_cycles,
+            f2.extractor.records()[0].reading_cycles);
+}
+
+TEST(Extractor, RejectsNBases) {
+  ExtractorFixture f;
+  f.feed({{0, "ACGTNCGT", "ACGTACGT"}});
+  f.run();
+  // The job reached the Aligner flagged unsupported; tick the Aligner and
+  // it must fail the alignment without running it.
+  f.aligner.set_backtrace(false);
+  sim::Scheduler s2;
+  s2.add(&f.aligner);
+  s2.run_until([&] { return !f.aligner.nbt_queue().empty(); }, 1000);
+  EXPECT_FALSE(f.aligner.nbt_queue().front().success);
+}
+
+TEST(Extractor, DummyPaddingIgnored) {
+  // 'N'-free pair shorter than MAX_READ_LEN: padding must not poison it.
+  ExtractorFixture f;
+  f.feed({{0, "ACGT", "ACGT"}}, 64);
+  f.run();
+  f.aligner.set_backtrace(false);
+  sim::Scheduler s2;
+  s2.add(&f.aligner);
+  s2.run_until([&] { return !f.aligner.nbt_queue().empty(); }, 10'000);
+  const NbtResult r = f.aligner.nbt_queue().front();
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.score, 0u);  // identical sequences
+}
+
+TEST(Extractor, RejectsTooLongRead) {
+  // Force MAX_READ_LEN below the sequence length: the encoder stores the
+  // true length, the Extractor must flag the pair unsupported (§4.2).
+  ExtractorFixture f;
+  f.feed({{0, std::string(100, 'A'), std::string(100, 'A')}}, 64);
+  f.run();
+  f.aligner.set_backtrace(false);
+  sim::Scheduler s2;
+  s2.add(&f.aligner);
+  s2.run_until([&] { return !f.aligner.nbt_queue().empty(); }, 1000);
+  EXPECT_FALSE(f.aligner.nbt_queue().front().success);
+}
+
+TEST(Extractor, MultiplePairsSequentially) {
+  ExtractorFixture f;
+  // Single Aligner never ticked: the second pair must wait for an idle
+  // Aligner, so only one pair is extracted.
+  f.feed({{0, "ACGT", "ACGT"}, {1, "ACGT", "TGCA"}});
+  f.sched.run_until([&] { return f.extractor.pairs_done() == 1; }, 100'000);
+  for (int i = 0; i < 100; ++i) f.sched.step();
+  EXPECT_EQ(f.extractor.pairs_done(), 1u);
+  EXPECT_FALSE(f.extractor.done());
+}
+
+TEST(Extractor, WaitsForIdleAlignerThenProceeds) {
+  ExtractorFixture f;
+  f.feed({{0, "ACGT", "ACGT"}, {1, "ACGT", "TGCA"}});
+  // Tick both extractor and aligner: pairs flow one after the other.
+  f.sched.add(&f.aligner);
+  f.aligner.set_backtrace(false);
+  f.sched.run_until([&] { return f.aligner.nbt_queue().size() == 2; },
+                    100'000);
+  EXPECT_EQ(f.extractor.pairs_done(), 2u);
+  EXPECT_TRUE(f.extractor.done());
+}
+
+TEST(Extractor, MaxReadLenMustBeDivisibleBy16) {
+  ExtractorFixture f;
+  EXPECT_DEATH(f.extractor.configure(100, 1), "divisible");
+}
+
+TEST(Extractor, PreservesAlignmentIds) {
+  ExtractorFixture f;
+  f.feed({{42, "ACGT", "ACGT"}});
+  f.run();
+  ASSERT_EQ(f.extractor.records().size(), 1u);
+  EXPECT_EQ(f.extractor.records()[0].id, 42u);
+}
+
+}  // namespace
+}  // namespace wfasic::hw

@@ -1,0 +1,67 @@
+#include "sim/fifo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfasic::sim {
+namespace {
+
+TEST(ShowAheadFifo, StartsEmpty) {
+  ShowAheadFifo<int> fifo(4);
+  EXPECT_TRUE(fifo.empty());
+  EXPECT_FALSE(fifo.full());
+  EXPECT_EQ(fifo.size(), 0u);
+  EXPECT_EQ(fifo.capacity(), 4u);
+}
+
+TEST(ShowAheadFifo, ShowAheadSemantics) {
+  ShowAheadFifo<int> fifo(4);
+  fifo.push(10);
+  fifo.push(20);
+  // The oldest word is visible without popping (show-ahead, §4.6).
+  EXPECT_EQ(fifo.front(), 10);
+  EXPECT_EQ(fifo.front(), 10);
+  EXPECT_EQ(fifo.pop(), 10);
+  EXPECT_EQ(fifo.front(), 20);
+}
+
+TEST(ShowAheadFifo, FifoOrder) {
+  ShowAheadFifo<int> fifo(8);
+  for (int i = 0; i < 8; ++i) fifo.push(i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(fifo.pop(), i);
+  EXPECT_TRUE(fifo.empty());
+}
+
+TEST(ShowAheadFifo, FullAtCapacity) {
+  ShowAheadFifo<int> fifo(2);
+  fifo.push(1);
+  EXPECT_FALSE(fifo.full());
+  fifo.push(2);
+  EXPECT_TRUE(fifo.full());
+  (void)fifo.pop();
+  EXPECT_FALSE(fifo.full());
+}
+
+TEST(ShowAheadFifo, PushOnFullAborts) {
+  ShowAheadFifo<int> fifo(1);
+  fifo.push(1);
+  EXPECT_DEATH(fifo.push(2), "full");
+}
+
+TEST(ShowAheadFifo, PopOnEmptyAborts) {
+  ShowAheadFifo<int> fifo(1);
+  EXPECT_DEATH((void)fifo.pop(), "empty");
+}
+
+TEST(ShowAheadFifo, Statistics) {
+  ShowAheadFifo<int> fifo(4);
+  fifo.push(1);
+  fifo.push(2);
+  fifo.push(3);
+  (void)fifo.pop();
+  EXPECT_EQ(fifo.total_pushes(), 3u);
+  EXPECT_EQ(fifo.total_pops(), 1u);
+  EXPECT_EQ(fifo.high_water(), 3u);
+}
+
+}  // namespace
+}  // namespace wfasic::sim

@@ -1,0 +1,143 @@
+#include "map/mapper.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "gen/seqgen.hpp"
+#include "map/kmer_index.hpp"
+
+namespace wfasic::map {
+namespace {
+
+TEST(KmerIndex, PackKmerRejectsInvalidBases) {
+  std::uint64_t code = 0;
+  EXPECT_TRUE(pack_kmer("ACGT", code));
+  EXPECT_FALSE(pack_kmer("ACNT", code));
+}
+
+TEST(KmerIndex, PackKmerDistinguishesLengths) {
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  ASSERT_TRUE(pack_kmer("AA", a));
+  ASSERT_TRUE(pack_kmer("AAA", b));
+  EXPECT_NE(a, b);  // same payload bits, different sentinel position
+}
+
+TEST(KmerIndex, LookupFindsAllOccurrences) {
+  const std::string ref = "ACGTACGTACGT";
+  KmerIndex index(ref, 4, 64);
+  const auto hits = index.lookup("ACGT");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_EQ(hits[1], 4u);
+  EXPECT_EQ(hits[2], 8u);
+}
+
+TEST(KmerIndex, UnknownKmerEmpty) {
+  KmerIndex index("ACGTACGTACGT", 4);
+  EXPECT_TRUE(index.lookup("TTTT").empty());
+  EXPECT_TRUE(index.lookup("ACNT").empty());
+}
+
+TEST(KmerIndex, RepeatMaskingDropsAbundantKmers) {
+  const std::string ref(100, 'A');  // "AAAA" occurs 97 times
+  KmerIndex masked(ref, 4, /*max_occurrences=*/16);
+  EXPECT_TRUE(masked.lookup("AAAA").empty());
+  EXPECT_EQ(masked.masked_kmers(), 1u);
+  KmerIndex unmasked(ref, 4, 1000);
+  EXPECT_EQ(unmasked.lookup("AAAA").size(), 97u);
+}
+
+TEST(KmerIndex, ShortReferenceIsEmpty) {
+  KmerIndex index("ACG", 4);
+  EXPECT_EQ(index.distinct_kmers(), 0u);
+}
+
+class MapperFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    Prng prng(404);
+    reference_ = gen::random_sequence(prng, 20'000);
+    mapper_ = std::make_unique<ReadMapper>(reference_);
+  }
+
+  std::string reference_;
+  std::unique_ptr<ReadMapper> mapper_;
+};
+
+TEST_F(MapperFixture, ExactReadMapsToOrigin) {
+  const std::size_t origin = 5'000;
+  const Mapping m = mapper_->map(reference_.substr(origin, 150));
+  ASSERT_TRUE(m.mapped);
+  EXPECT_EQ(m.position, origin);
+  EXPECT_EQ(m.score, 0);
+  EXPECT_EQ(m.cigar.counts().matches, 150u);
+}
+
+TEST_F(MapperFixture, MutatedReadsMapNearOrigin) {
+  Prng prng(405);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t origin = 100 + prng.next_below(19'000);
+    const std::string read = gen::mutate_sequence(
+        prng, reference_.substr(origin, 200), 0.05);
+    const Mapping m = mapper_->map(read);
+    ASSERT_TRUE(m.mapped) << "trial " << trial;
+    EXPECT_NEAR(static_cast<double>(m.position),
+                static_cast<double>(origin), 24.0)
+        << "trial " << trial;
+    // 10 errors, each at worst one opened gap.
+    EXPECT_LE(m.score, 10 * kDefaultPenalties.open_total());
+  }
+}
+
+TEST_F(MapperFixture, CigarCoversWholeRead) {
+  Prng prng(406);
+  const std::size_t origin = 8'000;
+  const std::string read =
+      gen::mutate_sequence(prng, reference_.substr(origin, 300), 0.08);
+  const Mapping m = mapper_->map(read);
+  ASSERT_TRUE(m.mapped);
+  EXPECT_EQ(m.cigar.pattern_length(), read.size());
+  const std::string_view window(reference_.data() + m.position,
+                                m.cigar.text_length());
+  EXPECT_TRUE(m.cigar.is_valid_for(read, window));
+}
+
+TEST_F(MapperFixture, RandomReadDoesNotMap) {
+  // A read unrelated to the reference should gather no consistent votes.
+  Prng prng(407);
+  const std::string junk = gen::random_sequence(prng, 200);
+  const Mapping m = mapper_->map(junk);
+  EXPECT_FALSE(m.mapped);
+}
+
+TEST_F(MapperFixture, TooShortReadUnmapped) {
+  EXPECT_FALSE(mapper_->map("ACGTACGT").mapped);  // shorter than k
+}
+
+TEST_F(MapperFixture, ReadAtReferenceEdges) {
+  const Mapping head = mapper_->map(reference_.substr(0, 120));
+  ASSERT_TRUE(head.mapped);
+  EXPECT_EQ(head.position, 0u);
+  const Mapping tail = mapper_->map(reference_.substr(20'000 - 120, 120));
+  ASSERT_TRUE(tail.mapped);
+  EXPECT_EQ(tail.position, 20'000u - 120u);
+}
+
+TEST(Mapper, RepetitiveReferenceStillMapsUniqueRegion) {
+  Prng prng(408);
+  const std::string unique = gen::random_sequence(prng, 500);
+  std::string reference;
+  for (int i = 0; i < 8; ++i) reference += gen::random_sequence(prng, 50);
+  const std::size_t origin = reference.size();
+  reference += unique;
+  ReadMapper mapper(reference);
+  const Mapping m = mapper.map(unique.substr(100, 200));
+  ASSERT_TRUE(m.mapped);
+  EXPECT_EQ(m.position, origin + 100);
+}
+
+}  // namespace
+}  // namespace wfasic::map

@@ -1,0 +1,126 @@
+#include "common/packed_seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic {
+namespace {
+
+TEST(PackedSeq, EmptySequence) {
+  const PackedSeq seq("");
+  EXPECT_EQ(seq.size(), 0u);
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.word_count(), 0u);
+  EXPECT_EQ(seq.str(), "");
+}
+
+TEST(PackedSeq, RoundTripShort) {
+  const std::string s = "ACGTTGCA";
+  const PackedSeq seq(s);
+  EXPECT_EQ(seq.size(), s.size());
+  EXPECT_EQ(seq.str(), s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(seq.char_at(i), s[i]);
+  }
+}
+
+TEST(PackedSeq, RoundTripRandomLengths) {
+  Prng prng(11);
+  for (std::size_t len : {1u, 15u, 16u, 17u, 31u, 32u, 33u, 100u, 1000u}) {
+    const std::string s = gen::random_sequence(prng, len);
+    EXPECT_EQ(PackedSeq(s).str(), s) << "len=" << len;
+  }
+}
+
+TEST(PackedSeq, WordLayoutLittleEndianPerBase) {
+  // Base 0 occupies the least-significant 2 bits of word 0 (§4.2 layout).
+  const PackedSeq seq("CAAA");  // C=1 at position 0
+  EXPECT_EQ(seq.word(0) & 3u, 1u);
+  const PackedSeq seq2("AT");  // T=3 at position 1 -> bits [3:2]
+  EXPECT_EQ((seq2.word(0) >> 2) & 3u, 3u);
+}
+
+TEST(PackedSeq, WordCount) {
+  EXPECT_EQ(PackedSeq("A").word_count(), 1u);
+  EXPECT_EQ(PackedSeq(std::string(16, 'A')).word_count(), 1u);
+  EXPECT_EQ(PackedSeq(std::string(17, 'A')).word_count(), 2u);
+}
+
+TEST(PackedSeq, WordPastEndIsZero) {
+  const PackedSeq seq("ACGT");
+  EXPECT_EQ(seq.word(5), 0u);
+}
+
+TEST(PackedSeq, FromWordsRoundTrip) {
+  const std::string s = "ACGTACGTACGTACGTTT";
+  const PackedSeq original(s);
+  const PackedSeq rebuilt =
+      PackedSeq::from_words(original.words(), original.size());
+  EXPECT_EQ(rebuilt.str(), s);
+}
+
+TEST(PackedSeq, MatchRunIdentical) {
+  const std::string s = "ACGTACGTACGTACGTACGTACGTACGTACGTACG";  // 35 bases
+  const PackedSeq seq(s);
+  EXPECT_EQ(seq.match_run(0, seq, 0), s.size());
+}
+
+TEST(PackedSeq, MatchRunStopsAtMismatch) {
+  const PackedSeq a("AAAAAAAAAAAAAAAAAAAT");  // mismatch at 19
+  const PackedSeq b("AAAAAAAAAAAAAAAAAAAC");
+  EXPECT_EQ(a.match_run(0, b, 0), 19u);
+}
+
+TEST(PackedSeq, MatchRunImmediateMismatch) {
+  const PackedSeq a("T");
+  const PackedSeq b("C");
+  EXPECT_EQ(a.match_run(0, b, 0), 0u);
+}
+
+TEST(PackedSeq, MatchRunAtUnalignedOffsets) {
+  // Equal substrings at offsets that are not multiples of 16.
+  const std::string core = "GATTACAGATTACAGATTACAGATTACA";
+  const std::string sa = "TTT" + core + "C";
+  const std::string sb = "G" + core + "A";
+  const PackedSeq a(sa);
+  const PackedSeq b(sb);
+  EXPECT_EQ(a.match_run(3, b, 1), core.size());
+}
+
+TEST(PackedSeq, MatchRunBoundedBySequenceEnd) {
+  const PackedSeq a("ACGTACGT");
+  const PackedSeq b("ACGTACGTACGT");
+  EXPECT_EQ(a.match_run(0, b, 0), 8u);  // a ends first
+  EXPECT_EQ(a.match_run(8, b, 8), 0u);  // start at a's end
+}
+
+TEST(PackedSeq, MatchRunAgainstScalarOracle) {
+  Prng prng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t len_a = 1 + prng.next_below(120);
+    const std::size_t len_b = 1 + prng.next_below(120);
+    std::string sa = gen::random_sequence(prng, len_a);
+    std::string sb = gen::random_sequence(prng, len_b);
+    // Seed a shared region to make long runs likely.
+    if (len_a > 10 && len_b > 10 && prng.next_bool(0.7)) {
+      const std::size_t shared = std::min(len_a, len_b) / 2;
+      sb.replace(0, shared, sa.substr(0, shared));
+    }
+    const std::size_t i = prng.next_below(len_a);
+    const std::size_t j = prng.next_below(len_b);
+    std::size_t expect = 0;
+    while (i + expect < len_a && j + expect < len_b &&
+           sa[i + expect] == sb[j + expect]) {
+      ++expect;
+    }
+    EXPECT_EQ(PackedSeq(sa).match_run(i, PackedSeq(sb), j), expect)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace wfasic

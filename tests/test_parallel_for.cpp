@@ -1,0 +1,48 @@
+#include "common/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace wfasic {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(1000, [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, ZeroCountIsNoop) {
+  bool called = false;
+  parallel_for(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleThreadFallback) {
+  std::vector<int> order;
+  parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); },
+               /*threads=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, MoreThreadsThanWork) {
+  std::atomic<int> total{0};
+  parallel_for(3, [&](std::size_t i) { total += static_cast<int>(i); }, 64);
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelFor, SumMatchesSerial) {
+  std::vector<std::uint64_t> out(5000, 0);
+  parallel_for(out.size(), [&](std::size_t i) { out[i] = i * i; }, 8);
+  const std::uint64_t sum = std::accumulate(out.begin(), out.end(),
+                                            std::uint64_t{0});
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) expect += i * i;
+  EXPECT_EQ(sum, expect);
+}
+
+}  // namespace
+}  // namespace wfasic

@@ -1,0 +1,102 @@
+#include "common/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace wfasic {
+namespace {
+
+TEST(Prng, DeterministicForSameSeed) {
+  Prng a(1234);
+  Prng b(1234);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Prng, DifferentSeedsDiffer) {
+  Prng a(1);
+  Prng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Prng, ReseedRestartsStream) {
+  Prng a(99);
+  const std::uint64_t first = a.next_u64();
+  a.next_u64();
+  a.reseed(99);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Prng, NextBelowStaysInRange) {
+  Prng prng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(prng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, NextBelowOneIsAlwaysZero) {
+  Prng prng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(prng.next_below(1), 0u);
+}
+
+TEST(Prng, NextBelowCoversAllValues) {
+  Prng prng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(prng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Prng, NextRangeInclusive) {
+  Prng prng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = prng.next_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, NextDoubleInUnitInterval) {
+  Prng prng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = prng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, NextBoolApproximatesProbability) {
+  Prng prng(7);
+  int hits = 0;
+  const int trials = 10000;
+  for (int i = 0; i < trials; ++i) {
+    if (prng.next_bool(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.03);
+}
+
+TEST(Prng, RoughUniformityOfLowBits) {
+  Prng prng(424242);
+  std::vector<int> buckets(16, 0);
+  const int trials = 16000;
+  for (int i = 0; i < trials; ++i) {
+    ++buckets[prng.next_u64() & 15];
+  }
+  for (int count : buckets) {
+    EXPECT_NEAR(count, trials / 16, trials / 64);
+  }
+}
+
+}  // namespace
+}  // namespace wfasic

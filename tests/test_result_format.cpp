@@ -1,0 +1,88 @@
+#include "hw/result_format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfasic::hw {
+namespace {
+
+TEST(NbtFormat, RoundTrip) {
+  const NbtResult r{true, 1234, 77};
+  EXPECT_EQ(unpack_nbt_result(pack_nbt_result(r)), r);
+}
+
+TEST(NbtFormat, FailureFlag) {
+  const NbtResult r{false, 0, 3};
+  const NbtResult back = unpack_nbt_result(pack_nbt_result(r));
+  EXPECT_FALSE(back.success);
+  EXPECT_EQ(back.id, 3u);
+}
+
+TEST(NbtFormat, ScoreSaturatesAt15Bits) {
+  const NbtResult r{true, 0x12345, 0};
+  EXPECT_EQ(unpack_nbt_result(pack_nbt_result(r)).score, kNbtScoreMax);
+}
+
+TEST(NbtFormat, IdTruncatesTo16Bits) {
+  const NbtResult r{true, 1, 0x1ffff};
+  EXPECT_EQ(unpack_nbt_result(pack_nbt_result(r)).id, 0xffffu);
+}
+
+TEST(NbtFormat, MaxLegalValuesRoundTrip) {
+  const NbtResult r{true, kNbtScoreMax, 0xffff};
+  EXPECT_EQ(unpack_nbt_result(pack_nbt_result(r)), r);
+}
+
+TEST(BtFormat, TransactionRoundTrip) {
+  BtTransaction t;
+  for (std::size_t i = 0; i < kBtPayloadBytes; ++i) {
+    t.data[i] = static_cast<std::uint8_t>(0xa0 + i);
+  }
+  t.counter = 0x123456;
+  t.last = true;
+  t.id = 0x7abcde;
+  EXPECT_EQ(unpack_bt_transaction(pack_bt_transaction(t)), t);
+}
+
+TEST(BtFormat, LastFlagIsBit23) {
+  BtTransaction t;
+  t.id = kBtIdMask;  // all id bits set, last = false
+  t.last = false;
+  const BtTransaction back = unpack_bt_transaction(pack_bt_transaction(t));
+  EXPECT_FALSE(back.last);
+  EXPECT_EQ(back.id, kBtIdMask);
+}
+
+TEST(BtFormat, CounterIs24Bits) {
+  BtTransaction t;
+  t.counter = (1u << 24) - 1;
+  EXPECT_EQ(unpack_bt_transaction(pack_bt_transaction(t)).counter,
+            (1u << 24) - 1);
+  t.counter = 1u << 24;
+  EXPECT_DEATH((void)pack_bt_transaction(t), "overflow");
+}
+
+TEST(BtFormat, PayloadAndInfoDoNotOverlap) {
+  BtTransaction t;
+  t.data.fill(0xff);
+  t.counter = 0;
+  t.last = false;
+  t.id = 0;
+  const mem::Beat beat = pack_bt_transaction(t);
+  for (std::size_t i = 0; i < kBtPayloadBytes; ++i) EXPECT_EQ(beat.data[i], 0xff);
+  for (std::size_t i = kBtPayloadBytes; i < 16; ++i) EXPECT_EQ(beat.data[i], 0);
+}
+
+TEST(BtFormat, ScoreRecordRoundTrip) {
+  const BtScoreRecord r{true, -1234, 7999};
+  EXPECT_EQ(unpack_bt_score_record(pack_bt_score_record(r)), r);
+  const BtScoreRecord fail{false, 42, 0};
+  EXPECT_EQ(unpack_bt_score_record(pack_bt_score_record(fail)), fail);
+}
+
+TEST(BtFormat, ScoreRecordNegativeKExtremes) {
+  const BtScoreRecord r{true, -32768, 65535};
+  EXPECT_EQ(unpack_bt_score_record(pack_bt_score_record(r)), r);
+}
+
+}  // namespace
+}  // namespace wfasic::hw

@@ -1,0 +1,179 @@
+#include "rv/core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "cpu/cost_model.hpp"
+#include "gen/seqgen.hpp"
+#include "rv/kernels.hpp"
+#include "rv/program.hpp"
+
+namespace wfasic::rv {
+namespace {
+
+using namespace reg;
+
+TEST(RvCore, BasicAluAndControlFlow) {
+  // sum = 0; for (i = 5; i != 0; --i) sum += i;  -> 15
+  Program p;
+  const auto loop = p.make_label();
+  const auto done = p.make_label();
+  p.li(t0, 5);
+  p.li(t1, 0);
+  p.bind(loop);
+  p.beq(t0, zero, done);
+  p.add(t1, t1, t0);
+  p.addi(t0, t0, -1);
+  p.jal(loop);
+  p.bind(done);
+  p.ebreak();
+  RvCore core(4096);
+  const RunStats stats = core.run(p.finish());
+  EXPECT_EQ(core.reg(t1), 15);
+  EXPECT_GT(stats.cycles, stats.instructions);  // taken-branch penalties
+}
+
+TEST(RvCore, X0IsHardwiredZero) {
+  Program p;
+  p.li(zero, 42);
+  p.mv(t0, zero);
+  p.ebreak();
+  RvCore core(64);
+  (void)core.run(p.finish());
+  EXPECT_EQ(core.reg(t0), 0);
+}
+
+TEST(RvCore, LoadStoreRoundTrip) {
+  Program p;
+  p.li(t0, 0x1234);
+  p.li(t1, 0x100);
+  p.sd(t0, t1, 0);
+  p.ld(t2, t1, 0);
+  p.ebreak();
+  RvCore core(4096);
+  const RunStats stats = core.run(p.finish());
+  EXPECT_EQ(core.reg(t2), 0x1234);
+  EXPECT_EQ(stats.loads, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(RvCore, LoadUseInterlockCostsACycle) {
+  Program with_use;
+  with_use.li(t1, 0x100);
+  with_use.ld(t0, t1, 0);
+  with_use.addi(t2, t0, 1);  // consumes the load result immediately
+  with_use.ebreak();
+  Program without_use;
+  without_use.li(t1, 0x100);
+  without_use.ld(t0, t1, 0);
+  without_use.addi(t2, t1, 1);  // independent
+  without_use.ebreak();
+  RvCore c1(4096);
+  RvCore c2(4096);
+  const RunStats s1 = c1.run(with_use.finish());
+  const RunStats s2 = c2.run(without_use.finish());
+  EXPECT_EQ(s1.instructions, s2.instructions);
+  EXPECT_EQ(s1.cycles, s2.cycles + 1);
+  EXPECT_EQ(s1.load_use_stalls, 1u);
+}
+
+TEST(RvCore, RunawayProgramAborts) {
+  Program p;
+  const auto self = p.make_label();
+  p.bind(self);
+  p.jal(self);
+  RvCore core(64);
+  auto insns = p.finish();
+  EXPECT_DEATH((void)core.run(insns, 1000), "runaway");
+}
+
+TEST(RvKernels, ExtendKernelMatchesScalarSemantics) {
+  Prng prng(171);
+  RvCore core(64 * 1024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string a = gen::random_sequence(prng, 1 + prng.next_below(60));
+    std::string b = gen::random_sequence(prng, 1 + prng.next_below(60));
+    if (prng.next_bool(0.7)) {
+      const std::size_t shared = std::min(a.size(), b.size()) / 2;
+      b.replace(0, shared, a.substr(0, shared));
+    }
+    const auto i = static_cast<std::int64_t>(prng.next_below(a.size()));
+    const auto j = static_cast<std::int64_t>(prng.next_below(b.size()));
+    std::int64_t expect = 0;
+    while (i + expect < static_cast<std::int64_t>(a.size()) &&
+           j + expect < static_cast<std::int64_t>(b.size()) &&
+           a[static_cast<std::size_t>(i + expect)] ==
+               b[static_cast<std::size_t>(j + expect)]) {
+      ++expect;
+    }
+    const ExtendKernelResult r = run_extend_kernel(core, a, b, i, j);
+    EXPECT_EQ(r.run, expect) << "trial " << trial;
+  }
+}
+
+TEST(RvKernels, ComputeCellKernelMatchesReferenceArithmetic) {
+  Prng prng(172);
+  RvCore core(4096);
+  for (int trial = 0; trial < 100; ++trial) {
+    ComputeCellInputs in;
+    in.m_sub = prng.next_range(-100, 100);
+    in.m_open_ins = prng.next_range(-100, 100);
+    in.i_ext = prng.next_range(-100, 100);
+    in.m_open_del = prng.next_range(-100, 100);
+    in.d_ext = prng.next_range(-100, 100);
+    const ComputeCellResult r = run_compute_cell_kernel(core, in);
+    const std::int64_t ins = std::max(in.m_open_ins, in.i_ext) + 1;
+    const std::int64_t del = std::max(in.m_open_del, in.d_ext);
+    EXPECT_EQ(r.i, ins);
+    EXPECT_EQ(r.d, del);
+    EXPECT_EQ(r.m, std::max({in.m_sub + 1, ins, del}));
+  }
+}
+
+TEST(RvKernels, ExtendCostPerCharacterGroundsCostModel) {
+  // Long matching run. The naive byte loop costs ~12 cycles/char (9
+  // instructions + load-use interlock + taken back-edge); the cost
+  // model's per_extend_char (6) assumes the compiler's word-wise compare,
+  // which halves it. Assert the measured cost sits in that relationship.
+  RvCore core(64 * 1024);
+  const std::string s(2000, 'A');
+  const ExtendKernelResult r = run_extend_kernel(core, s, s, 0, 0);
+  ASSERT_EQ(r.run, 2000);
+  const double per_char =
+      static_cast<double>(r.stats.cycles) / static_cast<double>(r.run);
+  const cpu::ScalarCosts costs;
+  EXPECT_GT(per_char, 8.0);
+  EXPECT_LT(per_char, 16.0);
+  EXPECT_GT(per_char, costs.per_extend_char);      // model assumes word ops
+  EXPECT_LT(per_char, 3 * costs.per_extend_char);  // but not 3x cheaper
+}
+
+TEST(RvKernels, ComputeCellCostGroundsCostModel) {
+  // One Eq.-3 cell: 5 loads + branch-based max selection + 3 stores. The
+  // cost model charges per_compute_cell = 22 per cell including the
+  // surrounding loop bookkeeping; the bare kernel must land nearby.
+  RvCore core(4096);
+  const ComputeCellResult r = run_compute_cell_kernel(
+      core, ComputeCellInputs{5, 4, 6, 3, 7});
+  const cpu::ScalarCosts costs;
+  EXPECT_NEAR(static_cast<double>(r.stats.cycles), costs.per_compute_cell,
+              8.0);
+}
+
+TEST(RvKernels, CacheAttachedAddsStalls) {
+  RvCore cold(64 * 1024);
+  cache::Hierarchy hierarchy = cache::Hierarchy::make_soc();
+  cold.attach_cache(&hierarchy);
+  const std::string s(512, 'G');
+  const ExtendKernelResult with_cache = run_extend_kernel(cold, s, s, 0, 0);
+  EXPECT_GT(with_cache.stats.cache_stall_cycles, 0u);
+
+  RvCore ideal(64 * 1024);
+  const ExtendKernelResult no_cache = run_extend_kernel(ideal, s, s, 0, 0);
+  EXPECT_GT(with_cache.stats.cycles, no_cache.stats.cycles);
+}
+
+}  // namespace
+}  // namespace wfasic::rv

@@ -1,0 +1,93 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace wfasic::sim {
+namespace {
+
+class Counter final : public Component {
+ public:
+  explicit Counter(std::string name) : Component(std::move(name)) {}
+  void tick(cycle_t now) override {
+    last_tick = now;
+    ++ticks;
+  }
+  void commit(cycle_t) override { ++commits; }
+  int ticks = 0;
+  int commits = 0;
+  cycle_t last_tick = 0;
+};
+
+TEST(Scheduler, StepAdvancesTime) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), 0u);
+  sched.step();
+  sched.step();
+  EXPECT_EQ(sched.now(), 2u);
+}
+
+TEST(Scheduler, TicksAllComponents) {
+  Scheduler sched;
+  Counter a("a");
+  Counter b("b");
+  sched.add(&a);
+  sched.add(&b);
+  sched.step();
+  sched.step();
+  sched.step();
+  EXPECT_EQ(a.ticks, 3);
+  EXPECT_EQ(b.ticks, 3);
+  EXPECT_EQ(a.commits, 3);
+  EXPECT_EQ(a.last_tick, 2u);
+}
+
+TEST(Scheduler, TwoPhaseOrderWithinCycle) {
+  // All ticks happen before any commit in the same cycle.
+  Scheduler sched;
+  std::vector<int> order;
+  class Probe final : public Component {
+   public:
+    Probe(std::string n, std::vector<int>& log, int id)
+        : Component(std::move(n)), log_(log), id_(id) {}
+    void tick(cycle_t) override { log_.push_back(id_); }
+    void commit(cycle_t) override { log_.push_back(id_ + 100); }
+    std::vector<int>& log_;
+    int id_;
+  };
+  Probe p1("p1", order, 1);
+  Probe p2("p2", order, 2);
+  sched.add(&p1);
+  sched.add(&p2);
+  sched.step();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 101, 102}));
+}
+
+TEST(Scheduler, RunUntilStopsOnPredicate) {
+  Scheduler sched;
+  Counter c("c");
+  sched.add(&c);
+  const cycle_t end = sched.run_until([&] { return c.ticks >= 5; }, 1000);
+  EXPECT_EQ(end, 5u);
+  EXPECT_EQ(c.ticks, 5);
+}
+
+TEST(Scheduler, RunUntilTimeoutAborts) {
+  Scheduler sched;
+  EXPECT_DEATH(sched.run_until([] { return false; }, 10), "timed out");
+}
+
+TEST(Scheduler, RunUntilTimeoutSoftReturn) {
+  Scheduler sched;
+  const cycle_t end = sched.run_until([] { return false; }, 10, false);
+  EXPECT_EQ(end, 10u);
+}
+
+TEST(Scheduler, AddNullAborts) {
+  Scheduler sched;
+  EXPECT_DEATH(sched.add(nullptr), "null");
+}
+
+}  // namespace
+}  // namespace wfasic::sim

@@ -1,0 +1,129 @@
+#include "gen/seqgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/dna.hpp"
+#include "gen/pairfile.hpp"
+
+namespace wfasic::gen {
+namespace {
+
+TEST(SeqGen, RandomSequenceLengthAndAlphabet) {
+  Prng prng(1);
+  const std::string s = random_sequence(prng, 500);
+  EXPECT_EQ(s.size(), 500u);
+  EXPECT_TRUE(is_valid_sequence(s));
+}
+
+TEST(SeqGen, RandomSequenceUsesAllBases) {
+  Prng prng(2);
+  const std::string s = random_sequence(prng, 1000);
+  for (char base : {'A', 'C', 'G', 'T'}) {
+    EXPECT_NE(s.find(base), std::string::npos);
+  }
+}
+
+TEST(SeqGen, MutateZeroRateIsIdentity) {
+  Prng prng(3);
+  const std::string s = random_sequence(prng, 200);
+  EXPECT_EQ(mutate_sequence(prng, s, 0.0), s);
+}
+
+TEST(SeqGen, MutateChangesSequence) {
+  Prng prng(4);
+  const std::string s = random_sequence(prng, 200);
+  const std::string m = mutate_sequence(prng, s, 0.1);
+  EXPECT_NE(m, s);
+  EXPECT_TRUE(is_valid_sequence(m));
+}
+
+TEST(SeqGen, MutateLengthStaysClose) {
+  // Insertions and deletions are balanced in expectation: length drift is
+  // bounded by the error count.
+  Prng prng(5);
+  const std::string s = random_sequence(prng, 1000);
+  const std::string m = mutate_sequence(prng, s, 0.10);
+  EXPECT_NEAR(static_cast<double>(m.size()), 1000.0, 100.0);
+}
+
+TEST(SeqGen, MutationIsDeterministicGivenPrngState) {
+  Prng p1(6);
+  Prng p2(6);
+  const std::string s = "ACGTACGTACGTACGTACGT";
+  EXPECT_EQ(mutate_sequence(p1, s, 0.3), mutate_sequence(p2, s, 0.3));
+}
+
+TEST(SeqGen, GenerateInputSetShape) {
+  const InputSetSpec spec{150, 0.05, 5, 77};
+  const auto pairs = generate_input_set(spec);
+  ASSERT_EQ(pairs.size(), 5u);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(pairs[i].id, i);
+    EXPECT_EQ(pairs[i].a.size(), 150u);
+    EXPECT_TRUE(is_valid_sequence(pairs[i].b));
+  }
+}
+
+TEST(SeqGen, GenerateInputSetDeterministic) {
+  const InputSetSpec spec{100, 0.1, 3, 123};
+  const auto p1 = generate_input_set(spec);
+  const auto p2 = generate_input_set(spec);
+  ASSERT_EQ(p1.size(), p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) {
+    EXPECT_EQ(p1[i].a, p2[i].a);
+    EXPECT_EQ(p1[i].b, p2[i].b);
+  }
+}
+
+TEST(SeqGen, SpecName) {
+  EXPECT_EQ((InputSetSpec{100, 0.05, 1, 0}).name(), "100-5%");
+  EXPECT_EQ((InputSetSpec{1000, 0.10, 1, 0}).name(), "1K-10%");
+  EXPECT_EQ((InputSetSpec{10000, 0.05, 1, 0}).name(), "10K-5%");
+}
+
+TEST(SeqGen, PaperInputSetsMatchTable1) {
+  const auto sets = paper_input_sets(2, 2, 2);
+  ASSERT_EQ(sets.size(), 6u);
+  EXPECT_EQ(sets[0].name(), "100-5%");
+  EXPECT_EQ(sets[1].name(), "100-10%");
+  EXPECT_EQ(sets[2].name(), "1K-5%");
+  EXPECT_EQ(sets[3].name(), "1K-10%");
+  EXPECT_EQ(sets[4].name(), "10K-5%");
+  EXPECT_EQ(sets[5].name(), "10K-10%");
+}
+
+TEST(PairFile, WriteReadRoundTrip) {
+  const std::vector<SequencePair> pairs = {
+      {0, "ACGT", "ACGA"}, {1, "GGGG", "GGG"}, {2, "", "A"}};
+  std::stringstream stream;
+  write_pairs(stream, pairs);
+  const auto back = read_pairs(stream);
+  ASSERT_EQ(back.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back[i].id, i);
+    EXPECT_EQ(back[i].a, pairs[i].a);
+    EXPECT_EQ(back[i].b, pairs[i].b);
+  }
+}
+
+TEST(PairFile, HandlesCrLfAndBlankLines) {
+  std::stringstream stream(">ACGT\r\n\n<ACGA\r\n");
+  const auto pairs = read_pairs(stream);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].a, "ACGT");
+  EXPECT_EQ(pairs[0].b, "ACGA");
+}
+
+TEST(PairFile, MalformedInputAborts) {
+  std::stringstream missing_text(">ACGT\n>ACGT\n");
+  EXPECT_DEATH((void)read_pairs(missing_text), "two '>' lines");
+  std::stringstream dangling(">ACGT\n");
+  EXPECT_DEATH((void)read_pairs(dangling), "dangling");
+  std::stringstream garbage("hello\n");
+  EXPECT_DEATH((void)read_pairs(garbage), "must start");
+}
+
+}  // namespace
+}  // namespace wfasic::gen

@@ -1,0 +1,72 @@
+#include "core/sw_linear.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfasic::core {
+namespace {
+
+const LinearPenalties kPen{4, 2};
+
+TEST(SwLinear, IdenticalSequences) {
+  const AlignResult r =
+      align_sw_linear("GATTACA", "GATTACA", kPen, Traceback::kEnabled);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.score, 0);
+  EXPECT_EQ(r.cigar.str(), "MMMMMMM");
+}
+
+TEST(SwLinear, BothEmpty) {
+  const AlignResult r = align_sw_linear("", "", kPen, Traceback::kEnabled);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.score, 0);
+  EXPECT_TRUE(r.cigar.empty());
+}
+
+TEST(SwLinear, OneEmptyIsAllGaps) {
+  const AlignResult r = align_sw_linear("", "ACGT", kPen, Traceback::kEnabled);
+  EXPECT_EQ(r.score, 4 * kPen.gap);
+  EXPECT_EQ(r.cigar.str(), "IIII");
+  const AlignResult r2 = align_sw_linear("ACG", "", kPen, Traceback::kEnabled);
+  EXPECT_EQ(r2.score, 3 * kPen.gap);
+  EXPECT_EQ(r2.cigar.str(), "DDD");
+}
+
+TEST(SwLinear, SingleMismatchVersusTwoGaps) {
+  // With x=4 and g=2, one substitution (4) equals I+D (4): either is
+  // optimal, the score must be 4.
+  const AlignResult r = align_sw_linear("A", "C", kPen, Traceback::kEnabled);
+  EXPECT_EQ(r.score, 4);
+  EXPECT_TRUE(r.cigar.is_valid_for("A", "C"));
+}
+
+TEST(SwLinear, PrefersGapsWhenCheap) {
+  const LinearPenalties cheap_gap{10, 1};
+  const AlignResult r = align_sw_linear("A", "C", cheap_gap,
+                                        Traceback::kEnabled);
+  EXPECT_EQ(r.score, 2);  // delete + insert beats a mismatch of 10
+}
+
+TEST(SwLinear, KnownAlignment) {
+  // GATTACA vs GATCACA: one substitution at position 3.
+  const AlignResult r =
+      align_sw_linear("GATTACA", "GATCACA", kPen, Traceback::kEnabled);
+  EXPECT_EQ(r.score, 4);
+  EXPECT_EQ(r.cigar.str(), "MMMXMMM");
+}
+
+TEST(SwLinear, CigarAlwaysValid) {
+  const AlignResult r =
+      align_sw_linear("ACGTGGA", "AGTGGCA", kPen, Traceback::kEnabled);
+  EXPECT_TRUE(r.cigar.is_valid_for("ACGTGGA", "AGTGGCA"));
+}
+
+TEST(SwLinear, ScoreOnlyModeSkipsCigar) {
+  const AlignResult r =
+      align_sw_linear("ACGT", "AGGT", kPen, Traceback::kDisabled);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.score, 4);
+  EXPECT_TRUE(r.cigar.empty());
+}
+
+}  // namespace
+}  // namespace wfasic::core

@@ -1,0 +1,110 @@
+#include "core/swg_affine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/brute_force.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::core {
+namespace {
+
+const Penalties kPen = kDefaultPenalties;  // (4, 6, 2)
+
+TEST(SwgAffine, IdenticalSequences) {
+  const AlignResult r = align_swg("GATTACA", "GATTACA", kPen,
+                                  Traceback::kEnabled);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.score, 0);
+  EXPECT_EQ(r.cigar.str(), "MMMMMMM");
+}
+
+TEST(SwgAffine, BothEmpty) {
+  const AlignResult r = align_swg("", "", kPen, Traceback::kEnabled);
+  EXPECT_EQ(r.score, 0);
+  EXPECT_TRUE(r.cigar.empty());
+}
+
+TEST(SwgAffine, OneEmptyUsesOneAffineGap) {
+  const AlignResult r = align_swg("", "ACGTA", kPen, Traceback::kEnabled);
+  // One gap of 5: o + 5e = 6 + 10.
+  EXPECT_EQ(r.score, kPen.gap_open + 5 * kPen.gap_extend);
+  EXPECT_EQ(r.cigar.str(), "IIIII");
+}
+
+TEST(SwgAffine, SingleMismatch) {
+  const AlignResult r = align_swg("GATTACA", "GATCACA", kPen,
+                                  Traceback::kEnabled);
+  EXPECT_EQ(r.score, 4);
+  EXPECT_EQ(r.cigar.str(), "MMMXMMM");
+}
+
+TEST(SwgAffine, AffinityPrefersOneLongGapOverTwoShort) {
+  // Removing "CC" as one 2-gap costs o+2e = 10; two separated 1-gaps would
+  // cost 2(o+e) = 16.
+  const AlignResult r = align_swg("AGTTCCGTTA", "AGTTGTTA", kPen,
+                                  Traceback::kEnabled);
+  EXPECT_EQ(r.score, kPen.gap_open + 2 * kPen.gap_extend);
+  EXPECT_TRUE(r.cigar.is_valid_for("AGTTCCGTTA", "AGTTGTTA"));
+  EXPECT_EQ(r.cigar.counts().deletions, 2u);
+}
+
+TEST(SwgAffine, CigarScoreMatchesReportedScore) {
+  const std::string a = "ACGTGGATTTCAGGA";
+  const std::string b = "ACGGGATTCAGGTTA";
+  const AlignResult r = align_swg(a, b, kPen, Traceback::kEnabled);
+  EXPECT_TRUE(r.cigar.is_valid_for(a, b));
+  EXPECT_EQ(r.cigar.score(kPen), r.score);
+}
+
+TEST(SwgAffine, MatchesBruteForceOnTinyInputs) {
+  Prng prng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    const std::string a = gen::random_sequence(prng, prng.next_below(7));
+    const std::string b = gen::random_sequence(prng, prng.next_below(7));
+    const score_t expect = brute_force_score(a, b, kPen);
+    const AlignResult r = align_swg(a, b, kPen, Traceback::kEnabled);
+    EXPECT_EQ(r.score, expect) << "a=" << a << " b=" << b;
+    EXPECT_TRUE(r.cigar.is_valid_for(a, b));
+    EXPECT_EQ(r.cigar.score(kPen), expect);
+  }
+}
+
+TEST(SwgAffine, MatchesBruteForceWithOtherPenalties) {
+  const Penalties pens[] = {{2, 3, 1}, {5, 1, 1}, {1, 10, 1}, {3, 0, 2}};
+  Prng prng(32);
+  for (const Penalties& pen : pens) {
+    for (int trial = 0; trial < 60; ++trial) {
+      const std::string a = gen::random_sequence(prng, prng.next_below(6));
+      const std::string b = gen::random_sequence(prng, prng.next_below(6));
+      EXPECT_EQ(align_swg(a, b, pen, Traceback::kDisabled).score,
+                brute_force_score(a, b, pen))
+          << "a=" << a << " b=" << b << " pen=" << pen.str();
+    }
+  }
+}
+
+TEST(SwgAffine, ScoreOnlyRollingRowsAgreesWithFull) {
+  Prng prng(33);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::string a = gen::random_sequence(prng, prng.next_below(40));
+    const std::string b = gen::random_sequence(prng, prng.next_below(40));
+    EXPECT_EQ(swg_score(a, b, kPen),
+              align_swg(a, b, kPen, Traceback::kDisabled).score);
+  }
+}
+
+TEST(SwgAffine, MutatedSequenceScoreBounded) {
+  Prng prng(34);
+  const std::string a = gen::random_sequence(prng, 200);
+  const std::string b = gen::mutate_sequence(prng, a, 0.05);
+  const AlignResult r = align_swg(a, b, kPen, Traceback::kEnabled);
+  // 10 errors, each at most one opened gap or mismatch: score <= 10 * (o+e).
+  EXPECT_LE(r.score, 10 * kPen.open_total());
+  EXPECT_GT(r.score, 0);
+}
+
+}  // namespace
+}  // namespace wfasic::core

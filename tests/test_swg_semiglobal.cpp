@@ -1,0 +1,101 @@
+#include "core/swg_semiglobal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/swg_affine.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::core {
+namespace {
+
+const Penalties kPen = kDefaultPenalties;
+
+TEST(SwgSemiglobal, ExactSubstringScoresZero) {
+  const SemiglobalResult r = align_swg_semiglobal(
+      "GATTACA", "CCCGATTACATTT", kPen, Traceback::kEnabled);
+  EXPECT_TRUE(r.align.ok);
+  EXPECT_EQ(r.align.score, 0);
+  EXPECT_EQ(r.text_begin, 3u);
+  EXPECT_EQ(r.text_end, 10u);
+  EXPECT_EQ(r.align.cigar.str(), "MMMMMMM");
+}
+
+TEST(SwgSemiglobal, PatternAtTextStartAndEnd) {
+  const SemiglobalResult start =
+      align_swg_semiglobal("ACGT", "ACGTTTTT", kPen, Traceback::kEnabled);
+  EXPECT_EQ(start.align.score, 0);
+  EXPECT_EQ(start.text_begin, 0u);
+  const SemiglobalResult end =
+      align_swg_semiglobal("ACGT", "TTTTACGT", kPen, Traceback::kEnabled);
+  EXPECT_EQ(end.align.score, 0);
+  EXPECT_EQ(end.text_begin, 4u);
+  EXPECT_EQ(end.text_end, 8u);
+}
+
+TEST(SwgSemiglobal, MismatchInsideWindow) {
+  const SemiglobalResult r = align_swg_semiglobal(
+      "GATTACA", "GGGGATCACAGGG", kPen, Traceback::kEnabled);
+  EXPECT_EQ(r.align.score, kPen.mismatch);
+  EXPECT_EQ(r.align.cigar.counts().mismatches, 1u);
+}
+
+TEST(SwgSemiglobal, EmptyPattern) {
+  const SemiglobalResult r =
+      align_swg_semiglobal("", "ACGT", kPen, Traceback::kEnabled);
+  EXPECT_TRUE(r.align.ok);
+  EXPECT_EQ(r.align.score, 0);
+  EXPECT_EQ(r.text_begin, r.text_end);
+}
+
+TEST(SwgSemiglobal, EmptyTextForcesDeletion) {
+  const SemiglobalResult r =
+      align_swg_semiglobal("ACG", "", kPen, Traceback::kEnabled);
+  EXPECT_EQ(r.align.score, kPen.open_total() + 2 * kPen.gap_extend);
+  EXPECT_EQ(r.align.cigar.str(), "DDD");
+}
+
+TEST(SwgSemiglobal, NeverWorseThanGlobal) {
+  Prng prng(91);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::string a = gen::random_sequence(prng, 20 + prng.next_below(30));
+    const std::string b = gen::random_sequence(prng, 20 + prng.next_below(60));
+    const SemiglobalResult semi =
+        align_swg_semiglobal(a, b, kPen, Traceback::kDisabled);
+    const AlignResult global = align_swg(a, b, kPen, Traceback::kDisabled);
+    EXPECT_LE(semi.align.score, global.score);
+  }
+}
+
+TEST(SwgSemiglobal, CigarConsistentWithWindow) {
+  Prng prng(92);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::string pattern = gen::random_sequence(prng, 30);
+    const std::string mutated = gen::mutate_sequence(prng, pattern, 0.1);
+    const std::string text = gen::random_sequence(prng, 20) + mutated +
+                             gen::random_sequence(prng, 20);
+    const SemiglobalResult r =
+        align_swg_semiglobal(pattern, text, kPen, Traceback::kEnabled);
+    ASSERT_TRUE(r.align.ok);
+    const std::string_view window(text.data() + r.text_begin,
+                                  r.text_end - r.text_begin);
+    EXPECT_TRUE(r.align.cigar.is_valid_for(pattern, window));
+    EXPECT_EQ(r.align.cigar.score(kPen), r.align.score);
+  }
+}
+
+TEST(SwgSemiglobal, FindsPlantedOccurrence) {
+  Prng prng(93);
+  const std::string pattern = gen::random_sequence(prng, 40);
+  const std::string text = gen::random_sequence(prng, 200) + pattern +
+                           gen::random_sequence(prng, 200);
+  const SemiglobalResult r =
+      align_swg_semiglobal(pattern, text, kPen, Traceback::kDisabled);
+  EXPECT_EQ(r.align.score, 0);
+  EXPECT_EQ(r.text_begin, 200u);
+}
+
+}  // namespace
+}  // namespace wfasic::core

@@ -1,0 +1,116 @@
+#include "hw/wavefront_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/wfa.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::hw {
+namespace {
+
+TEST(WavefrontGeometry, ScoreZeroIsSeedCell) {
+  WavefrontGeometry geom(10, 10, kDefaultPenalties, -1);
+  const WfBounds& b = geom.bounds(0);
+  EXPECT_TRUE(b.present());
+  EXPECT_EQ(b.lo, 0);
+  EXPECT_EQ(b.hi, 0);
+  EXPECT_EQ(b.width(), 1u);
+}
+
+TEST(WavefrontGeometry, UnreachableScoresAbsent) {
+  // With (4, 6, 2) the reachable score lattice from 0 is {0, 4, 8, 10,
+  // 12, ...}: scores 1, 2, 3, 5, 6, 7, 9 have no wavefront.
+  WavefrontGeometry geom(100, 100, kDefaultPenalties, -1);
+  for (score_t s : {1, 2, 3, 5, 6, 7, 9}) {
+    EXPECT_FALSE(geom.bounds(s).present()) << "score " << s;
+  }
+  for (score_t s : {4, 8, 10, 12, 14, 16}) {
+    EXPECT_TRUE(geom.bounds(s).present()) << "score " << s;
+  }
+}
+
+TEST(WavefrontGeometry, MismatchChainKeepsWidthOne) {
+  // Score 4 comes only from s-x: same diagonal, no widening.
+  WavefrontGeometry geom(100, 100, kDefaultPenalties, -1);
+  EXPECT_EQ(geom.bounds(4).lo, 0);
+  EXPECT_EQ(geom.bounds(4).hi, 0);
+  // Score 8 gets gap contributions (s - o - e = 0): widens by 1 each side.
+  EXPECT_EQ(geom.bounds(8).lo, -1);
+  EXPECT_EQ(geom.bounds(8).hi, 1);
+}
+
+TEST(WavefrontGeometry, ClampedToMatrixBounds) {
+  WavefrontGeometry geom(2, 3, kDefaultPenalties, -1);
+  // Wide scores can never exceed [-n, m] = [-2, 3].
+  const WfBounds& b = geom.bounds(40);
+  ASSERT_TRUE(b.present());
+  EXPECT_GE(b.lo, -2);
+  EXPECT_LE(b.hi, 3);
+}
+
+TEST(WavefrontGeometry, ClampedToBand) {
+  WavefrontGeometry banded(1000, 1000, kDefaultPenalties, 5);
+  const WfBounds& b = banded.bounds(60);
+  ASSERT_TRUE(b.present());
+  EXPECT_GE(b.lo, -5);
+  EXPECT_LE(b.hi, 5);
+}
+
+TEST(WavefrontGeometry, MatchesSoftwareWavefronts) {
+  // The geometry recurrence must predict exactly the wavefronts the
+  // software WFA materialises — this is what the CPU backtrace decode
+  // relies on.
+  Prng prng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string a = gen::random_sequence(prng, 30 + prng.next_below(50));
+    const std::string b = gen::mutate_sequence(prng, a, 0.2);
+
+    core::WfaAligner aligner;
+    const core::AlignResult r = aligner.align(a, b);
+    ASSERT_TRUE(r.ok);
+
+    WavefrontGeometry geom(static_cast<offset_t>(a.size()),
+                           static_cast<offset_t>(b.size()),
+                           kDefaultPenalties, -1);
+    // Reconstruct presence by re-running a reference recurrence over the
+    // scores up to the final one; widths grow monotonically with score
+    // among present wavefronts of the same parity chain.
+    std::size_t present = 0;
+    for (score_t s = 0; s <= r.score; ++s) {
+      if (geom.bounds(s).present()) ++present;
+    }
+    EXPECT_GT(present, 0u);
+    // The final score's wavefront must exist and contain k_align.
+    const WfBounds& last = geom.bounds(r.score);
+    ASSERT_TRUE(last.present());
+    const diag_t k_align = static_cast<diag_t>(b.size()) -
+                           static_cast<diag_t>(a.size());
+    EXPECT_GE(k_align, last.lo);
+    EXPECT_LE(k_align, last.hi);
+  }
+}
+
+TEST(WavefrontGeometry, WidthNeverShrinksOnGapChain) {
+  WavefrontGeometry geom(10000, 10000, kDefaultPenalties, -1);
+  std::size_t prev = 0;
+  for (score_t s = 0; s <= 200; ++s) {
+    const WfBounds& b = geom.bounds(s);
+    if (!b.present()) continue;
+    EXPECT_GE(b.width() + 2, prev);  // can only widen by <= 2 per level
+    prev = b.width();
+  }
+}
+
+TEST(WavefrontGeometry, DifferentPenaltiesChangeLattice) {
+  WavefrontGeometry geom(100, 100, Penalties{1, 0, 1}, -1);
+  // x = 1 makes every score reachable.
+  for (score_t s = 0; s <= 10; ++s) {
+    EXPECT_TRUE(geom.bounds(s).present()) << s;
+  }
+}
+
+}  // namespace
+}  // namespace wfasic::hw

@@ -1,0 +1,109 @@
+// Tests of the adaptive wavefront-reduction heuristic (WfaHeuristic).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/swg_affine.hpp"
+#include "core/wfa.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::core {
+namespace {
+
+WfaConfig adaptive_cfg() {
+  WfaConfig cfg;
+  cfg.heuristic.enabled = true;
+  return cfg;
+}
+
+TEST(WfaAdaptive, ExactOnSimilarSequences) {
+  // For reads with localized errors the heuristic should not change the
+  // result at all (the dropped diagonals never carry the optimum).
+  Prng prng(71);
+  WfaAligner exact;
+  WfaAligner adaptive(adaptive_cfg());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string a = gen::random_sequence(prng, 300);
+    const std::string b = gen::mutate_sequence(prng, a, 0.05);
+    const AlignResult e = exact.align(a, b);
+    const AlignResult h = adaptive.align(a, b);
+    ASSERT_TRUE(h.ok);
+    EXPECT_EQ(h.score, e.score) << "trial " << trial;
+    EXPECT_TRUE(h.cigar.is_valid_for(a, b));
+  }
+}
+
+TEST(WfaAdaptive, NeverBeatsExactScore) {
+  // A heuristic can only lose: its score is an upper bound on the optimum.
+  Prng prng(72);
+  WfaAligner adaptive(adaptive_cfg());
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string a = gen::random_sequence(prng, 150);
+    const std::string b = gen::random_sequence(prng, 150);
+    const AlignResult h = adaptive.align(a, b);
+    if (!h.ok) continue;  // heuristic may fail outright; that is legal
+    EXPECT_GE(h.score, swg_score(a, b, kDefaultPenalties));
+    EXPECT_TRUE(h.cigar.is_valid_for(a, b));
+    EXPECT_EQ(h.cigar.score(kDefaultPenalties), h.score);
+  }
+}
+
+TEST(WfaAdaptive, ComputesFewerCellsOnDivergentSequences) {
+  Prng prng(73);
+  const std::string a = gen::random_sequence(prng, 800);
+  const std::string b = gen::random_sequence(prng, 800);
+  WfaAligner exact;
+  WfaAligner adaptive(adaptive_cfg());
+  (void)exact.align(a, b);
+  (void)adaptive.align(a, b);
+  EXPECT_LT(adaptive.probe().cells_computed, exact.probe().cells_computed);
+}
+
+TEST(WfaAdaptive, RespectsMinWavefrontLength) {
+  WfaConfig cfg = adaptive_cfg();
+  cfg.heuristic.min_wavefront_length = 1'000'000;  // effectively disabled
+  Prng prng(74);
+  const std::string a = gen::random_sequence(prng, 200);
+  const std::string b = gen::mutate_sequence(prng, a, 0.2);
+  WfaAligner exact;
+  WfaAligner adaptive(cfg);
+  EXPECT_EQ(adaptive.align(a, b).score, exact.align(a, b).score);
+}
+
+TEST(WfaAdaptive, TightThresholdStaysValid) {
+  WfaConfig cfg = adaptive_cfg();
+  cfg.heuristic.max_distance_threshold = 5;
+  cfg.heuristic.min_wavefront_length = 3;
+  Prng prng(75);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::string a = gen::random_sequence(prng, 120);
+    const std::string b = gen::mutate_sequence(prng, a, 0.15);
+    WfaAligner adaptive(cfg);
+    const AlignResult h = adaptive.align(a, b);
+    if (!h.ok) continue;
+    EXPECT_TRUE(h.cigar.is_valid_for(a, b));
+    EXPECT_GE(h.score, swg_score(a, b, kDefaultPenalties));
+  }
+}
+
+TEST(WfaAdaptive, WavefrontTrimBasics) {
+  Wavefront w(-5, 5);
+  w.set_m(-5, 1);
+  w.set_m(0, 2);
+  w.set_m(5, 3);
+  EXPECT_EQ(w.width(), 11u);
+  EXPECT_EQ(w.storage_width(), 11u);
+  w.trim(-2, 4);
+  EXPECT_EQ(w.lo(), -2);
+  EXPECT_EQ(w.hi(), 4);
+  EXPECT_EQ(w.width(), 7u);
+  EXPECT_EQ(w.storage_width(), 11u);
+  // Outside the trimmed view reads null; inside keeps its value.
+  EXPECT_EQ(w.m(-5), kOffsetNull);
+  EXPECT_EQ(w.m(5), kOffsetNull);
+  EXPECT_EQ(w.m(0), 2);
+}
+
+}  // namespace
+}  // namespace wfasic::core

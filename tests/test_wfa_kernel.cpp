@@ -1,0 +1,154 @@
+// Unit tests of the shared Eq.-3 cell kernel (core/wfa_kernel.hpp) — the
+// one piece of logic the software WFA and the hardware Compute sub-module
+// must agree on bit for bit.
+#include "core/wfa_kernel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wfasic::core {
+namespace {
+
+constexpr offset_t kN = 100;  // pattern length
+constexpr offset_t kM = 100;  // text length
+
+TEST(WfaKernel, OffsetInMatrix) {
+  EXPECT_TRUE(offset_in_matrix(0, 0, kN, kM));
+  EXPECT_TRUE(offset_in_matrix(kM, 0, kN, kM));
+  EXPECT_FALSE(offset_in_matrix(kM + 1, 0, kN, kM));
+  EXPECT_FALSE(offset_in_matrix(-1, 0, kN, kM));
+  EXPECT_TRUE(offset_in_matrix(0, -1, kN, kM));  // i = 1: inside
+  EXPECT_FALSE(offset_in_matrix(kOffsetNull, 0, kN, kM));
+}
+
+TEST(WfaKernel, OffsetInMatrixDiagonalBounds) {
+  // offset 5 on diagonal 10 means i = -5: invalid.
+  EXPECT_FALSE(offset_in_matrix(5, 10, kN, kM));
+  // offset 5 on diagonal -96 means i = 101 > n: invalid.
+  EXPECT_FALSE(offset_in_matrix(5, -96, kN, kM));
+  // offset 5 on diagonal -95 means i = 100 = n: valid.
+  EXPECT_TRUE(offset_in_matrix(5, -95, kN, kM));
+}
+
+TEST(WfaKernel, AllNullSourcesGiveNullCell) {
+  const WfCell cell = compute_wf_cell(WfCellSources{}, 0, kN, kM);
+  EXPECT_EQ(cell.m, kOffsetNull);
+  EXPECT_EQ(cell.i, kOffsetNull);
+  EXPECT_EQ(cell.d, kOffsetNull);
+}
+
+TEST(WfaKernel, SubstitutionAdvancesOffset) {
+  WfCellSources src;
+  src.m_sub = 10;
+  const WfCell cell = compute_wf_cell(src, 0, kN, kM);
+  EXPECT_EQ(cell.m, 11);
+  EXPECT_EQ(cell.m_origin, MOrigin::kSub);
+  EXPECT_EQ(cell.i, kOffsetNull);
+  EXPECT_EQ(cell.d, kOffsetNull);
+}
+
+TEST(WfaKernel, InsertionOpenAndExtend) {
+  WfCellSources src;
+  src.m_open_ins = 10;  // open would give 11
+  src.i_ext = 12;       // extend gives 13
+  const WfCell cell = compute_wf_cell(src, 0, kN, kM);
+  EXPECT_EQ(cell.i, 13);
+  EXPECT_TRUE(cell.i_from_ext);
+  EXPECT_EQ(cell.m, 13);
+  EXPECT_EQ(cell.m_origin, MOrigin::kInsExt);
+}
+
+TEST(WfaKernel, InsertionTiePrefersOpen) {
+  WfCellSources src;
+  src.m_open_ins = 12;
+  src.i_ext = 12;
+  const WfCell cell = compute_wf_cell(src, 0, kN, kM);
+  EXPECT_EQ(cell.i, 13);
+  EXPECT_FALSE(cell.i_from_ext);
+  EXPECT_EQ(cell.m_origin, MOrigin::kInsOpen);
+}
+
+TEST(WfaKernel, DeletionKeepsOffset) {
+  WfCellSources src;
+  src.m_open_del = 9;
+  src.d_ext = 7;
+  const WfCell cell = compute_wf_cell(src, 0, kN, kM);
+  EXPECT_EQ(cell.d, 9);
+  EXPECT_FALSE(cell.d_from_ext);
+  EXPECT_EQ(cell.m, 9);
+  EXPECT_EQ(cell.m_origin, MOrigin::kDelOpen);
+}
+
+TEST(WfaKernel, MTieBreakOrderSubInsDel) {
+  // All three paths reach offset 11: sub wins, then ins, then del.
+  WfCellSources all;
+  all.m_sub = 10;
+  all.m_open_ins = 10;
+  all.m_open_del = 11;
+  const WfCell cell = compute_wf_cell(all, 0, kN, kM);
+  EXPECT_EQ(cell.m, 11);
+  EXPECT_EQ(cell.m_origin, MOrigin::kSub);
+
+  WfCellSources no_sub = all;
+  no_sub.m_sub = kOffsetNull;
+  EXPECT_EQ(compute_wf_cell(no_sub, 0, kN, kM).m_origin, MOrigin::kInsOpen);
+
+  WfCellSources only_del = no_sub;
+  only_del.m_open_ins = kOffsetNull;
+  EXPECT_EQ(compute_wf_cell(only_del, 0, kN, kM).m_origin, MOrigin::kDelOpen);
+}
+
+TEST(WfaKernel, TrimsOutOfMatrixCandidatesBeforeMax) {
+  // Open insertion would land past the text end while the extension stays
+  // inside: the kernel must keep the (smaller) valid candidate.
+  WfCellSources src;
+  src.m_open_ins = kM;      // open -> kM + 1: out of matrix
+  src.i_ext = kM - 2;       // extend -> kM - 1: valid
+  const WfCell cell = compute_wf_cell(src, 0, kN, kM);
+  EXPECT_EQ(cell.i, kM - 1);
+  EXPECT_TRUE(cell.i_from_ext);
+}
+
+TEST(WfaKernel, SubstitutionPastEndIsNull) {
+  WfCellSources src;
+  src.m_sub = kM;  // sub would give kM + 1
+  const WfCell cell = compute_wf_cell(src, 0, kN, kM);
+  EXPECT_EQ(cell.m, kOffsetNull);
+}
+
+TEST(WfaKernel, DiagonalTrimming) {
+  // On diagonal k = kM, offset kM means i = 0 (valid); on k = kM the
+  // offset kM - 1 would mean i = -1 (invalid).
+  WfCellSources src;
+  src.m_sub = kM - 1;  // sub -> kM on diagonal kM: i = 0, valid
+  EXPECT_EQ(compute_wf_cell(src, kM, kN, kM).m, kM);
+  src.m_sub = kM - 2;  // sub -> kM - 1 on diagonal kM: i = -1, invalid
+  EXPECT_EQ(compute_wf_cell(src, kM, kN, kM).m, kOffsetNull);
+}
+
+TEST(WfaKernel, OriginBitsRoundTrip) {
+  for (std::uint8_t m_origin = 0; m_origin < 5; ++m_origin) {
+    for (bool i_ext : {false, true}) {
+      for (bool d_ext : {false, true}) {
+        WfCell cell;
+        cell.m_origin = static_cast<MOrigin>(m_origin);
+        cell.i_from_ext = i_ext;
+        cell.d_from_ext = d_ext;
+        const OriginBits bits = unpack_origin_bits(pack_origin_bits(cell));
+        EXPECT_EQ(bits.m_origin, cell.m_origin);
+        EXPECT_EQ(bits.i_from_ext, cell.i_from_ext);
+        EXPECT_EQ(bits.d_from_ext, cell.d_from_ext);
+      }
+    }
+  }
+}
+
+TEST(WfaKernel, OriginBitsFitInFiveBits) {
+  WfCell cell;
+  cell.m_origin = MOrigin::kDelExt;
+  cell.i_from_ext = true;
+  cell.d_from_ext = true;
+  EXPECT_LT(pack_origin_bits(cell), 32);
+}
+
+}  // namespace
+}  // namespace wfasic::core

@@ -1,0 +1,130 @@
+#include "core/wfa_linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/prng.hpp"
+#include "core/sw_linear.hpp"
+#include "core/swg_affine.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::core {
+namespace {
+
+TEST(WfaLinear, IdenticalSequences) {
+  WfaLinearAligner aligner;
+  const AlignResult r = aligner.align("GATTACA", "GATTACA");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.score, 0);
+  EXPECT_EQ(r.cigar.str(), "MMMMMMM");
+}
+
+TEST(WfaLinear, BothEmpty) {
+  WfaLinearAligner aligner;
+  const AlignResult r = aligner.align("", "");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.score, 0);
+}
+
+TEST(WfaLinear, PureGap) {
+  WfaLinearAligner aligner;  // g = 2
+  const AlignResult r = aligner.align("", "ACGT");
+  EXPECT_EQ(r.score, 8);
+  EXPECT_EQ(r.cigar.str(), "IIII");
+}
+
+TEST(WfaLinear, SingleMismatch) {
+  WfaLinearAligner aligner;
+  const AlignResult r = aligner.align("GATTACA", "GATCACA");
+  EXPECT_EQ(r.score, 4);
+  EXPECT_TRUE(r.cigar.is_valid_for("GATTACA", "GATCACA"));
+}
+
+TEST(WfaLinear, EquivalentToLinearDp) {
+  Prng prng(151);
+  const LinearPenalties pens[] = {{4, 2}, {1, 1}, {3, 5}, {2, 1}};
+  for (const LinearPenalties& pen : pens) {
+    WfaLinearConfig cfg;
+    cfg.pen = pen;
+    WfaLinearAligner aligner(cfg);
+    for (int trial = 0; trial < 40; ++trial) {
+      const std::string a =
+          gen::random_sequence(prng, prng.next_below(80));
+      const std::string b = gen::mutate_sequence(prng, a, 0.2);
+      const AlignResult wfa = aligner.align(a, b);
+      const AlignResult dp =
+          align_sw_linear(a, b, pen, Traceback::kDisabled);
+      ASSERT_TRUE(wfa.ok);
+      EXPECT_EQ(wfa.score, dp.score)
+          << "a=" << a << " b=" << b << " x=" << pen.mismatch
+          << " g=" << pen.gap;
+      EXPECT_TRUE(wfa.cigar.is_valid_for(a, b));
+    }
+  }
+}
+
+TEST(WfaLinear, UnrelatedSequencesStillExact) {
+  Prng prng(152);
+  WfaLinearAligner aligner;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string a = gen::random_sequence(prng, prng.next_below(50));
+    const std::string b = gen::random_sequence(prng, prng.next_below(50));
+    const AlignResult wfa = aligner.align(a, b);
+    const AlignResult dp =
+        align_sw_linear(a, b, LinearPenalties{4, 2}, Traceback::kDisabled);
+    EXPECT_EQ(wfa.score, dp.score) << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(WfaLinear, EditDistanceKnownValues) {
+  EXPECT_EQ(WfaLinearAligner::edit_distance("", ""), 0);
+  EXPECT_EQ(WfaLinearAligner::edit_distance("A", ""), 1);
+  EXPECT_EQ(WfaLinearAligner::edit_distance("GATTACA", "GATTACA"), 0);
+  EXPECT_EQ(WfaLinearAligner::edit_distance("GATTACA", "GCTTACA"), 1);
+  // "kitten"/"sitting" in DNA letters: classic distance-3 shape.
+  EXPECT_EQ(WfaLinearAligner::edit_distance("GCTTAG", "GATTAGA"), 2);
+}
+
+TEST(WfaLinear, MaxScoreCapFailsGracefully) {
+  WfaLinearConfig cfg;
+  cfg.max_score = 3;
+  WfaLinearAligner aligner(cfg);
+  EXPECT_FALSE(aligner.align("A", "C").ok);
+}
+
+TEST(WfaLinear, AffineWithZeroOpenMatchesLinear) {
+  // Cross-model property: gap-affine with o = 0 and e = g is the
+  // gap-linear model (Eq. 2 degenerates to Eq. 1).
+  Prng prng(153);
+  const Penalties affine{4, 0, 2};
+  const LinearPenalties linear{4, 2};
+  WfaLinearAligner lin(WfaLinearConfig{linear, Traceback::kDisabled, -1});
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string a = gen::random_sequence(prng, prng.next_below(60));
+    const std::string b = gen::mutate_sequence(prng, a, 0.15);
+    EXPECT_EQ(lin.align(a, b).score, swg_score(a, b, affine))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(WfaLinear, CigarScoreMatchesReportedScore) {
+  Prng prng(154);
+  WfaLinearAligner aligner;
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string a = gen::random_sequence(prng, 40 + prng.next_below(40));
+    const std::string b = gen::mutate_sequence(prng, a, 0.15);
+    const AlignResult r = aligner.align(a, b);
+    ASSERT_TRUE(r.ok);
+    // Score a gap-linear CIGAR by hand: x per X, g per I/D.
+    score_t total = 0;
+    for (CigarOp op : r.cigar.ops()) {
+      if (op == CigarOp::kMismatch) total += 4;
+      if (op == CigarOp::kInsertion || op == CigarOp::kDeletion) total += 2;
+    }
+    EXPECT_EQ(total, r.score);
+  }
+}
+
+}  // namespace
+}  // namespace wfasic::core
