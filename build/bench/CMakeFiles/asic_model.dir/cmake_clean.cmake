@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asic_model.dir/asic_model.cpp.o"
+  "CMakeFiles/asic_model.dir/asic_model.cpp.o.d"
+  "asic_model"
+  "asic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_microarch.dir/cpu_microarch.cpp.o"
+  "CMakeFiles/cpu_microarch.dir/cpu_microarch.cpp.o.d"
+  "cpu_microarch"
+  "cpu_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure10_scaling.dir/figure10_scaling.cpp.o"
+  "CMakeFiles/figure10_scaling.dir/figure10_scaling.cpp.o.d"
+  "figure10_scaling"
+  "figure10_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure10_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

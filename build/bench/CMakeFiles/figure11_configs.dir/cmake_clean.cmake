@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure11_configs.dir/figure11_configs.cpp.o"
+  "CMakeFiles/figure11_configs.dir/figure11_configs.cpp.o.d"
+  "figure11_configs"
+  "figure11_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure11_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure9_speedup.dir/figure9_speedup.cpp.o"
+  "CMakeFiles/figure9_speedup.dir/figure9_speedup.cpp.o.d"
+  "figure9_speedup"
+  "figure9_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure9_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

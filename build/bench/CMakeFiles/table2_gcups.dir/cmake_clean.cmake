@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_gcups.dir/table2_gcups.cpp.o"
+  "CMakeFiles/table2_gcups.dir/table2_gcups.cpp.o.d"
+  "table2_gcups"
+  "table2_gcups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_gcups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

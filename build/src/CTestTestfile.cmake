@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("core")
+subdirs("sim")
+subdirs("mem")
+subdirs("cache")
+subdirs("cpu")
+subdirs("hw")
+subdirs("drv")
+subdirs("soc")
+subdirs("gen")
+subdirs("map")
+subdirs("verify")
+subdirs("rv")
+subdirs("asic")

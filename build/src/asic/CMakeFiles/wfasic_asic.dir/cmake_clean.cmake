@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_asic.dir/area_model.cpp.o"
+  "CMakeFiles/wfasic_asic.dir/area_model.cpp.o.d"
+  "libwfasic_asic.a"
+  "libwfasic_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

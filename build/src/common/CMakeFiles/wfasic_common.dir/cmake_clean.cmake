@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_common.dir/cigar.cpp.o"
+  "CMakeFiles/wfasic_common.dir/cigar.cpp.o.d"
+  "CMakeFiles/wfasic_common.dir/packed_seq.cpp.o"
+  "CMakeFiles/wfasic_common.dir/packed_seq.cpp.o.d"
+  "libwfasic_common.a"
+  "libwfasic_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force.cpp" "src/core/CMakeFiles/wfasic_core.dir/brute_force.cpp.o" "gcc" "src/core/CMakeFiles/wfasic_core.dir/brute_force.cpp.o.d"
+  "/root/repo/src/core/sw_linear.cpp" "src/core/CMakeFiles/wfasic_core.dir/sw_linear.cpp.o" "gcc" "src/core/CMakeFiles/wfasic_core.dir/sw_linear.cpp.o.d"
+  "/root/repo/src/core/swg_affine.cpp" "src/core/CMakeFiles/wfasic_core.dir/swg_affine.cpp.o" "gcc" "src/core/CMakeFiles/wfasic_core.dir/swg_affine.cpp.o.d"
+  "/root/repo/src/core/swg_semiglobal.cpp" "src/core/CMakeFiles/wfasic_core.dir/swg_semiglobal.cpp.o" "gcc" "src/core/CMakeFiles/wfasic_core.dir/swg_semiglobal.cpp.o.d"
+  "/root/repo/src/core/wfa.cpp" "src/core/CMakeFiles/wfasic_core.dir/wfa.cpp.o" "gcc" "src/core/CMakeFiles/wfasic_core.dir/wfa.cpp.o.d"
+  "/root/repo/src/core/wfa_linear.cpp" "src/core/CMakeFiles/wfasic_core.dir/wfa_linear.cpp.o" "gcc" "src/core/CMakeFiles/wfasic_core.dir/wfa_linear.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfasic_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

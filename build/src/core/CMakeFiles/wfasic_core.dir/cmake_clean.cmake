@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_core.dir/brute_force.cpp.o"
+  "CMakeFiles/wfasic_core.dir/brute_force.cpp.o.d"
+  "CMakeFiles/wfasic_core.dir/sw_linear.cpp.o"
+  "CMakeFiles/wfasic_core.dir/sw_linear.cpp.o.d"
+  "CMakeFiles/wfasic_core.dir/swg_affine.cpp.o"
+  "CMakeFiles/wfasic_core.dir/swg_affine.cpp.o.d"
+  "CMakeFiles/wfasic_core.dir/swg_semiglobal.cpp.o"
+  "CMakeFiles/wfasic_core.dir/swg_semiglobal.cpp.o.d"
+  "CMakeFiles/wfasic_core.dir/wfa.cpp.o"
+  "CMakeFiles/wfasic_core.dir/wfa.cpp.o.d"
+  "CMakeFiles/wfasic_core.dir/wfa_linear.cpp.o"
+  "CMakeFiles/wfasic_core.dir/wfa_linear.cpp.o.d"
+  "libwfasic_core.a"
+  "libwfasic_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_cpu.dir/cpu_model.cpp.o"
+  "CMakeFiles/wfasic_cpu.dir/cpu_model.cpp.o.d"
+  "libwfasic_cpu.a"
+  "libwfasic_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

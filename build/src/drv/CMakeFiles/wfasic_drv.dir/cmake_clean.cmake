@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_drv.dir/backtrace_cpu.cpp.o"
+  "CMakeFiles/wfasic_drv.dir/backtrace_cpu.cpp.o.d"
+  "CMakeFiles/wfasic_drv.dir/driver.cpp.o"
+  "CMakeFiles/wfasic_drv.dir/driver.cpp.o.d"
+  "libwfasic_drv.a"
+  "libwfasic_drv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

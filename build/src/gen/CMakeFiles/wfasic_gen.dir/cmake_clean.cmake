@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_gen.dir/pairfile.cpp.o"
+  "CMakeFiles/wfasic_gen.dir/pairfile.cpp.o.d"
+  "CMakeFiles/wfasic_gen.dir/seqgen.cpp.o"
+  "CMakeFiles/wfasic_gen.dir/seqgen.cpp.o.d"
+  "libwfasic_gen.a"
+  "libwfasic_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/accelerator.cpp" "src/hw/CMakeFiles/wfasic_hw.dir/accelerator.cpp.o" "gcc" "src/hw/CMakeFiles/wfasic_hw.dir/accelerator.cpp.o.d"
+  "/root/repo/src/hw/aligner.cpp" "src/hw/CMakeFiles/wfasic_hw.dir/aligner.cpp.o" "gcc" "src/hw/CMakeFiles/wfasic_hw.dir/aligner.cpp.o.d"
+  "/root/repo/src/hw/extend_unit.cpp" "src/hw/CMakeFiles/wfasic_hw.dir/extend_unit.cpp.o" "gcc" "src/hw/CMakeFiles/wfasic_hw.dir/extend_unit.cpp.o.d"
+  "/root/repo/src/hw/extractor.cpp" "src/hw/CMakeFiles/wfasic_hw.dir/extractor.cpp.o" "gcc" "src/hw/CMakeFiles/wfasic_hw.dir/extractor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfasic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wfasic_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

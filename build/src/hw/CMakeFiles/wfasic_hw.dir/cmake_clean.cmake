@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_hw.dir/accelerator.cpp.o"
+  "CMakeFiles/wfasic_hw.dir/accelerator.cpp.o.d"
+  "CMakeFiles/wfasic_hw.dir/aligner.cpp.o"
+  "CMakeFiles/wfasic_hw.dir/aligner.cpp.o.d"
+  "CMakeFiles/wfasic_hw.dir/extend_unit.cpp.o"
+  "CMakeFiles/wfasic_hw.dir/extend_unit.cpp.o.d"
+  "CMakeFiles/wfasic_hw.dir/extractor.cpp.o"
+  "CMakeFiles/wfasic_hw.dir/extractor.cpp.o.d"
+  "libwfasic_hw.a"
+  "libwfasic_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

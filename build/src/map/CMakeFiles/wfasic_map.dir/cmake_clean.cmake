@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_map.dir/kmer_index.cpp.o"
+  "CMakeFiles/wfasic_map.dir/kmer_index.cpp.o.d"
+  "CMakeFiles/wfasic_map.dir/mapper.cpp.o"
+  "CMakeFiles/wfasic_map.dir/mapper.cpp.o.d"
+  "libwfasic_map.a"
+  "libwfasic_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

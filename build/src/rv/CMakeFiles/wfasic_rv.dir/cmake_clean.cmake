@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_rv.dir/core.cpp.o"
+  "CMakeFiles/wfasic_rv.dir/core.cpp.o.d"
+  "CMakeFiles/wfasic_rv.dir/kernels.cpp.o"
+  "CMakeFiles/wfasic_rv.dir/kernels.cpp.o.d"
+  "libwfasic_rv.a"
+  "libwfasic_rv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_rv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

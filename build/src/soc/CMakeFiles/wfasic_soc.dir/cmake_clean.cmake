@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_soc.dir/soc.cpp.o"
+  "CMakeFiles/wfasic_soc.dir/soc.cpp.o.d"
+  "libwfasic_soc.a"
+  "libwfasic_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

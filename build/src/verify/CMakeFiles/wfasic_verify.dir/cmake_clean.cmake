@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic_verify.dir/differential.cpp.o"
+  "CMakeFiles/wfasic_verify.dir/differential.cpp.o.d"
+  "libwfasic_verify.a"
+  "libwfasic_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_cigar.cpp.o"
+  "CMakeFiles/test_common.dir/test_cigar.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_dna.cpp.o"
+  "CMakeFiles/test_common.dir/test_dna.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_packed_seq.cpp.o"
+  "CMakeFiles/test_common.dir/test_packed_seq.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_parallel_for.cpp.o"
+  "CMakeFiles/test_common.dir/test_parallel_for.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_prng.cpp.o"
+  "CMakeFiles/test_common.dir/test_prng.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_sw_linear.cpp.o"
+  "CMakeFiles/test_core.dir/test_sw_linear.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_swg_affine.cpp.o"
+  "CMakeFiles/test_core.dir/test_swg_affine.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_swg_semiglobal.cpp.o"
+  "CMakeFiles/test_core.dir/test_swg_semiglobal.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_wfa.cpp.o"
+  "CMakeFiles/test_core.dir/test_wfa.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_wfa_adaptive.cpp.o"
+  "CMakeFiles/test_core.dir/test_wfa_adaptive.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_wfa_kernel.cpp.o"
+  "CMakeFiles/test_core.dir/test_wfa_kernel.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_wfa_linear.cpp.o"
+  "CMakeFiles/test_core.dir/test_wfa_linear.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_wfa_properties.cpp.o"
+  "CMakeFiles/test_core.dir/test_wfa_properties.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_accelerator.cpp" "tests/CMakeFiles/test_hw.dir/test_accelerator.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_accelerator.cpp.o.d"
+  "/root/repo/tests/test_aligner_hw.cpp" "tests/CMakeFiles/test_hw.dir/test_aligner_hw.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_aligner_hw.cpp.o.d"
+  "/root/repo/tests/test_bitpack.cpp" "tests/CMakeFiles/test_hw.dir/test_bitpack.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_bitpack.cpp.o.d"
+  "/root/repo/tests/test_collector.cpp" "tests/CMakeFiles/test_hw.dir/test_collector.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_collector.cpp.o.d"
+  "/root/repo/tests/test_extend_unit.cpp" "tests/CMakeFiles/test_hw.dir/test_extend_unit.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_extend_unit.cpp.o.d"
+  "/root/repo/tests/test_extractor.cpp" "tests/CMakeFiles/test_hw.dir/test_extractor.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_extractor.cpp.o.d"
+  "/root/repo/tests/test_hw_sweeps.cpp" "tests/CMakeFiles/test_hw.dir/test_hw_sweeps.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_hw_sweeps.cpp.o.d"
+  "/root/repo/tests/test_result_format.cpp" "tests/CMakeFiles/test_hw.dir/test_result_format.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_result_format.cpp.o.d"
+  "/root/repo/tests/test_wavefront_geometry.cpp" "tests/CMakeFiles/test_hw.dir/test_wavefront_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_wavefront_geometry.cpp.o.d"
+  "/root/repo/tests/test_wavefront_ram.cpp" "tests/CMakeFiles/test_hw.dir/test_wavefront_ram.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/test_wavefront_ram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfasic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wfasic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/wfasic_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wfasic_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/wfasic_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/wfasic_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/wfasic_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/wfasic_asic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/test_accelerator.cpp.o"
+  "CMakeFiles/test_hw.dir/test_accelerator.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_aligner_hw.cpp.o"
+  "CMakeFiles/test_hw.dir/test_aligner_hw.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_bitpack.cpp.o"
+  "CMakeFiles/test_hw.dir/test_bitpack.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_collector.cpp.o"
+  "CMakeFiles/test_hw.dir/test_collector.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_extend_unit.cpp.o"
+  "CMakeFiles/test_hw.dir/test_extend_unit.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_extractor.cpp.o"
+  "CMakeFiles/test_hw.dir/test_extractor.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_hw_sweeps.cpp.o"
+  "CMakeFiles/test_hw.dir/test_hw_sweeps.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_result_format.cpp.o"
+  "CMakeFiles/test_hw.dir/test_result_format.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_wavefront_geometry.cpp.o"
+  "CMakeFiles/test_hw.dir/test_wavefront_geometry.cpp.o.d"
+  "CMakeFiles/test_hw.dir/test_wavefront_ram.cpp.o"
+  "CMakeFiles/test_hw.dir/test_wavefront_ram.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rv.dir/test_rv.cpp.o"
+  "CMakeFiles/test_rv.dir/test_rv.cpp.o.d"
+  "test_rv"
+  "test_rv.pdb"
+  "test_rv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_cache.cpp.o"
+  "CMakeFiles/test_sim.dir/test_cache.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_dma.cpp.o"
+  "CMakeFiles/test_sim.dir/test_dma.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_fifo.cpp.o"
+  "CMakeFiles/test_sim.dir/test_fifo.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_ram.cpp.o"
+  "CMakeFiles/test_sim.dir/test_ram.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_scheduler.cpp.o"
+  "CMakeFiles/test_sim.dir/test_scheduler.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

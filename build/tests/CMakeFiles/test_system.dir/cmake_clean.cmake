@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system.dir/test_asic_model.cpp.o"
+  "CMakeFiles/test_system.dir/test_asic_model.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_backtrace_cpu.cpp.o"
+  "CMakeFiles/test_system.dir/test_backtrace_cpu.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_cpu_model.cpp.o"
+  "CMakeFiles/test_system.dir/test_cpu_model.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_driver.cpp.o"
+  "CMakeFiles/test_system.dir/test_driver.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_seqgen.cpp.o"
+  "CMakeFiles/test_system.dir/test_seqgen.cpp.o.d"
+  "CMakeFiles/test_system.dir/test_soc.cpp.o"
+  "CMakeFiles/test_system.dir/test_soc.cpp.o.d"
+  "test_system"
+  "test_system.pdb"
+  "test_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

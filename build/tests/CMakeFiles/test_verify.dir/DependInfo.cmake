@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/test_verify.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/test_verify.dir/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wfasic_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wfasic_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/wfasic_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/wfasic_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/wfasic_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/wfasic_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/wfasic_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/wfasic_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/wfasic_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

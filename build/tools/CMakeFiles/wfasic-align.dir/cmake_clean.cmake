@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic-align.dir/wfasic_align.cpp.o"
+  "CMakeFiles/wfasic-align.dir/wfasic_align.cpp.o.d"
+  "wfasic-align"
+  "wfasic-align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic-align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic-gen.dir/wfasic_gen.cpp.o"
+  "CMakeFiles/wfasic-gen.dir/wfasic_gen.cpp.o.d"
+  "wfasic-gen"
+  "wfasic-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

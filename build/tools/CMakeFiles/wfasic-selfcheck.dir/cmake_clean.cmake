@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wfasic-selfcheck.dir/wfasic_selfcheck.cpp.o"
+  "CMakeFiles/wfasic-selfcheck.dir/wfasic_selfcheck.cpp.o.d"
+  "wfasic-selfcheck"
+  "wfasic-selfcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wfasic-selfcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
