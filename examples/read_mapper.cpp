@@ -3,13 +3,22 @@
 // Builds a synthetic reference genome, samples reads with sequencing
 // errors, maps them with the seed-and-extend mapper (k-mer seeding +
 // gap-affine seed extension — the step WFAsic accelerates), and reports
-// mapping accuracy.
+// mapping accuracy. A second phase replays the mapped read/window pairs
+// on the simulated accelerator while a seeded fault campaign is active,
+// demonstrating that the resilient driver path still completes the batch
+// with the mapper's scores.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/prng.hpp"
+#include "drv/driver.hpp"
 #include "gen/seqgen.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/regs.hpp"
 #include "map/mapper.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/fault_injector.hpp"
 
 int main(int argc, char** argv) {
   using namespace wfasic;
@@ -33,6 +42,8 @@ int main(int argc, char** argv) {
   std::size_t mapped = 0;
   std::size_t correct = 0;
   std::size_t total_score = 0;
+  std::vector<gen::SequencePair> accel_pairs;   // read vs mapped window
+  std::vector<wfasic::score_t> mapper_scores;   // reference answers
   for (std::size_t r = 0; r < num_reads; ++r) {
     const std::size_t origin =
         prng.next_below(ref_len - read_len);
@@ -41,6 +52,14 @@ int main(int argc, char** argv) {
     const map::Mapping m = mapper.map(read);
     if (!m.mapped) continue;
     ++mapped;
+    if (accel_pairs.size() < 64) {
+      // Global alignment of the read against exactly the window the
+      // extension consumed reproduces the semiglobal extension score.
+      accel_pairs.push_back(
+          {static_cast<std::uint32_t>(accel_pairs.size()), read,
+           mapper.reference().substr(m.position, m.ref_end - m.position)});
+      mapper_scores.push_back(m.score);
+    }
     total_score += static_cast<std::size_t>(m.score);
     const std::size_t delta = m.position > origin ? m.position - origin
                                                   : origin - m.position;
@@ -60,5 +79,50 @@ int main(int argc, char** argv) {
                                static_cast<double>(mapped)
                          : 0.0);
   // Reads at this error rate should essentially always map back home.
-  return (mapped >= num_reads * 9 / 10 && correct >= mapped * 9 / 10) ? 0 : 1;
+  if (mapped < num_reads * 9 / 10 || correct < mapped * 9 / 10) return 1;
+
+  // --- Phase 2: replay the extensions on the accelerator under faults.
+  //
+  // The same read/window pairs go through the simulated WFAsic with a
+  // seeded fault campaign active (bit flips in the input region, a bus
+  // error, a dropped beat, FIFO stalls). The resilient driver path must
+  // still resolve every pair, with the scores the mapper computed.
+  std::printf("\nReplaying %zu extensions on the accelerator under a "
+              "seeded fault campaign...\n",
+              accel_pairs.size());
+  mem::MainMemory memory(64 << 20);
+  hw::AcceleratorConfig accel_cfg;
+  hw::Accelerator accel(accel_cfg, memory);
+
+  const std::uint64_t in_addr = 0x1000;
+  sim::FaultInjector::CampaignConfig campaign;
+  campaign.mem_begin = in_addr;
+  campaign.mem_end = in_addr + 16'384;
+  campaign.mem_bit_flips = 3;
+  campaign.axi_errors = 1;
+  campaign.dropped_beats = 1;
+  campaign.fifo_stalls = 1;
+  sim::FaultInjector injector =
+      sim::FaultInjector::make_campaign(0xbeef, campaign);
+  accel.attach_fault_injector(&injector);
+  accel.write_reg(hw::kRegWatchdog, 50'000);
+
+  drv::Driver driver(accel);
+  const drv::Driver::ResilientReport report =
+      driver.run_batch_resilient(memory, accel_pairs, in_addr, 0x2000000);
+
+  std::size_t score_matches = 0;
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    if (report.outcomes[i].resolved &&
+        report.outcomes[i].result.score == mapper_scores[i]) {
+      ++score_matches;
+    }
+  }
+  std::printf("  %u launches (%u retries), %u CPU fallbacks, %u faults "
+              "fired\n",
+              report.launches, report.retries, report.cpu_fallbacks,
+              static_cast<unsigned>(injector.fired_count()));
+  std::printf("  %zu/%zu pairs resolved with the mapper's score\n",
+              score_matches, accel_pairs.size());
+  return (report.complete() && score_matches == accel_pairs.size()) ? 0 : 1;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <span>
 
 #include "common/assert.hpp"
@@ -18,6 +19,16 @@ std::size_t txns_per_block(unsigned parallel_sections) {
   return (hw::packed_5bit_bytes(parallel_sections) + hw::kBtPayloadBytes - 1) /
          hw::kBtPayloadBytes;
 }
+
+/// Consistency check of the non-aborting reconstruction: on failure,
+/// records the message and bails out with nullopt instead of aborting.
+#define WFASIC_BT_CHECK(cond, msg)            \
+  do {                                        \
+    if (!(cond)) {                            \
+      if (why != nullptr) *why = (msg);       \
+      return std::nullopt;                    \
+    }                                         \
+  } while (0)
 
 }  // namespace
 
@@ -105,11 +116,10 @@ std::vector<BtAlignment> parse_bt_stream(const mem::MainMemory& memory,
   return done;
 }
 
-core::AlignResult reconstruct_alignment(const BtAlignment& bt,
-                                        std::string_view a,
-                                        std::string_view b,
-                                        const hw::AcceleratorConfig& cfg,
-                                        cpu::BtCpuCounters* counters) {
+std::optional<core::AlignResult> try_reconstruct_alignment(
+    const BtAlignment& bt, std::string_view a, std::string_view b,
+    const hw::AcceleratorConfig& cfg, const char** why,
+    cpu::BtCpuCounters* counters) {
   core::AlignResult result;
   if (!bt.success) return result;  // ok = false
 
@@ -120,9 +130,9 @@ core::AlignResult reconstruct_alignment(const BtAlignment& bt,
   const std::size_t tpb = txns_per_block(P);
   const score_t score = bt.score;
 
-  WFASIC_REQUIRE(bt.k_reached == k_align,
-                 "reconstruct_alignment: score record k does not match the "
-                 "sequence lengths");
+  WFASIC_BT_CHECK(bt.k_reached == k_align,
+                  "reconstruct_alignment: score record k does not match the "
+                  "sequence lengths");
 
   // Block index base per present score, replaying the geometry (§4.5).
   hw::WavefrontGeometry geom(n, m_len, cfg.pen, cfg.k_max);
@@ -133,15 +143,17 @@ core::AlignResult reconstruct_alignment(const BtAlignment& bt,
     const hw::WfBounds& bounds = geom.bounds(s);
     if (bounds.present()) total_blocks += (bounds.width() + P - 1) / P;
   }
-  WFASIC_REQUIRE(bt.payload.size() ==
-                     total_blocks * tpb * hw::kBtPayloadBytes,
-                 "reconstruct_alignment: payload size does not match the "
-                 "wavefront geometry");
+  WFASIC_BT_CHECK(bt.payload.size() ==
+                      total_blocks * tpb * hw::kBtPayloadBytes,
+                  "reconstruct_alignment: payload size does not match the "
+                  "wavefront geometry");
 
-  const auto origin_at = [&](score_t s, diag_t k) -> core::OriginBits {
+  const auto origin_at =
+      [&](score_t s, diag_t k) -> std::optional<core::OriginBits> {
     const hw::WfBounds& bounds = geom.bounds(s);
-    WFASIC_REQUIRE(bounds.present() && k >= bounds.lo && k <= bounds.hi,
-                   "reconstruct_alignment: path cell outside wavefront");
+    if (!bounds.present() || k < bounds.lo || k > bounds.hi) {
+      return std::nullopt;
+    }
     const auto cell_idx = static_cast<std::size_t>(k - bounds.lo);
     const std::size_t block =
         block_base[static_cast<std::size_t>(s)] + cell_idx / P;
@@ -175,12 +187,15 @@ core::AlignResult reconstruct_alignment(const BtAlignment& bt,
       break;
     }
     if (counters != nullptr) ++counters->path_steps;
-    const core::OriginBits origin = origin_at(s, k);
+    const std::optional<core::OriginBits> cell = origin_at(s, k);
+    WFASIC_BT_CHECK(cell.has_value(),
+                    "reconstruct_alignment: path cell outside wavefront");
+    const core::OriginBits origin = *cell;
     // Only codes 0..4 are legal M origins (§4.3.3); 5..7 can only appear
     // in a corrupted stream and must not be walked.
-    WFASIC_REQUIRE(static_cast<std::uint8_t>(origin.m_origin) <=
-                       static_cast<std::uint8_t>(core::MOrigin::kDelExt),
-                   "reconstruct_alignment: invalid origin code in stream");
+    WFASIC_BT_CHECK(static_cast<std::uint8_t>(origin.m_origin) <=
+                        static_cast<std::uint8_t>(core::MOrigin::kDelExt),
+                    "reconstruct_alignment: invalid origin code in stream");
     switch (mat) {
       case Mat::kM:
         switch (origin.m_origin) {
@@ -233,9 +248,9 @@ core::AlignResult reconstruct_alignment(const BtAlignment& bt,
         }
         break;
     }
-    WFASIC_REQUIRE(s >= 0, "reconstruct_alignment: walked past score 0");
+    WFASIC_BT_CHECK(s >= 0, "reconstruct_alignment: walked past score 0");
   }
-  WFASIC_REQUIRE(k == 0, "reconstruct_alignment: walk did not reach k = 0");
+  WFASIC_BT_CHECK(k == 0, "reconstruct_alignment: walk did not reach k = 0");
   std::reverse(items.begin(), items.end());
 
   // Match insertion: "the CPU traverses the two sequences and inserts all
@@ -258,19 +273,19 @@ core::AlignResult reconstruct_alignment(const BtAlignment& bt,
   for (const Item& item : items) {
     switch (item.op) {
       case CigarOp::kMismatch:
-        WFASIC_REQUIRE(i < a.size() && j < b.size() && a[i] != b[j],
-                       "reconstruct_alignment: mismatch op on equal bases");
+        WFASIC_BT_CHECK(i < a.size() && j < b.size() && a[i] != b[j],
+                        "reconstruct_alignment: mismatch op on equal bases");
         ++i;
         ++j;
         break;
       case CigarOp::kInsertion:
-        WFASIC_REQUIRE(j < b.size(),
-                       "reconstruct_alignment: insertion past text end");
+        WFASIC_BT_CHECK(j < b.size(),
+                        "reconstruct_alignment: insertion past text end");
         ++j;
         break;
       case CigarOp::kDeletion:
-        WFASIC_REQUIRE(i < a.size(),
-                       "reconstruct_alignment: deletion past pattern end");
+        WFASIC_BT_CHECK(i < a.size(),
+                        "reconstruct_alignment: deletion past pattern end");
         ++i;
         break;
       case CigarOp::kMatch:
@@ -279,12 +294,75 @@ core::AlignResult reconstruct_alignment(const BtAlignment& bt,
     cig.push(item.op);
     if (item.match_run_follows) take_matches();
   }
-  WFASIC_REQUIRE(i == a.size() && j == b.size(),
-                 "reconstruct_alignment: sequences not fully consumed");
+  WFASIC_BT_CHECK(i == a.size() && j == b.size(),
+                  "reconstruct_alignment: sequences not fully consumed");
 
   result.ok = true;
   result.score = score;
   return result;
+}
+
+core::AlignResult reconstruct_alignment(const BtAlignment& bt,
+                                        std::string_view a,
+                                        std::string_view b,
+                                        const hw::AcceleratorConfig& cfg,
+                                        cpu::BtCpuCounters* counters) {
+  const char* why = nullptr;
+  const std::optional<core::AlignResult> result =
+      try_reconstruct_alignment(bt, a, b, cfg, &why, counters);
+  WFASIC_REQUIRE(result.has_value(), why);
+  return *result;
+}
+
+BtStreamScan try_parse_bt_stream(const mem::MainMemory& memory,
+                                 std::uint64_t out_addr,
+                                 std::uint64_t max_bytes,
+                                 std::size_t num_pairs) {
+  BtStreamScan scan;
+  std::map<std::uint32_t, BtAlignment> open;  // id -> in-flight alignment
+  std::set<std::uint32_t> poisoned;           // ids with counter anomalies
+  std::uint64_t addr = out_addr;
+  const std::uint64_t end =
+      out_addr + (max_bytes / mem::kBeatBytes) * mem::kBeatBytes;
+  std::size_t complete = 0;
+
+  while (complete < num_pairs && addr + mem::kBeatBytes <= end) {
+    mem::Beat beat;
+    memory.read(addr,
+                std::span<std::uint8_t>(beat.data.data(), mem::kBeatBytes));
+    addr += mem::kBeatBytes;
+    const hw::BtTransaction txn = hw::unpack_bt_transaction(beat);
+
+    BtAlignment& alignment = open[txn.id];
+    alignment.id = txn.id;
+    const std::size_t expected_counter =
+        alignment.payload.size() / hw::kBtPayloadBytes;
+    if (txn.last) {
+      if (!poisoned.contains(txn.id) && txn.counter == expected_counter) {
+        const hw::BtScoreRecord record =
+            hw::unpack_bt_score_record(txn.data);
+        alignment.success = record.success;
+        alignment.score = record.score;
+        alignment.k_reached = record.k_reached;
+        scan.alignments.push_back(std::move(alignment));
+      } else {
+        scan.clean = false;  // drop the damaged alignment
+      }
+      open.erase(txn.id);
+      poisoned.erase(txn.id);
+      ++complete;
+    } else if (txn.counter != expected_counter) {
+      // Counter gap: a beat of this alignment was lost, duplicated, or
+      // corrupted. Poison the id so its eventual score record is dropped.
+      scan.clean = false;
+      poisoned.insert(txn.id);
+    } else if (!poisoned.contains(txn.id)) {
+      alignment.payload.insert(alignment.payload.end(), txn.data.begin(),
+                               txn.data.end());
+    }
+  }
+  if (!open.empty() || complete < num_pairs) scan.clean = false;
+  return scan;
 }
 
 }  // namespace wfasic::drv

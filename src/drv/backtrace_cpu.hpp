@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -46,11 +47,34 @@ struct BtAlignment {
     std::size_t num_pairs, bool separate_data,
     cpu::BtCpuCounters* counters = nullptr);
 
+/// Tolerant stream scan for the resilient driver (error-path recovery):
+/// unlike parse_bt_stream it never aborts — it reads at most `max_bytes`
+/// (bound it by the beats the DMA actually wrote), drops alignments whose
+/// transactions are inconsistent, and reports whether anomalies were seen.
+struct BtStreamScan {
+  std::vector<BtAlignment> alignments;  ///< complete, internally consistent
+  bool clean = true;  ///< false: counter gaps, truncation, or dropped data
+};
+[[nodiscard]] BtStreamScan try_parse_bt_stream(const mem::MainMemory& memory,
+                                               std::uint64_t out_addr,
+                                               std::uint64_t max_bytes,
+                                               std::size_t num_pairs);
+
 /// Rebuilds the full alignment (score + CIGAR) of (a, b) from backtrace
 /// data, replaying the wavefront geometry to locate each cell's origin
 /// bits and inserting matches by traversing the sequences.
 [[nodiscard]] core::AlignResult reconstruct_alignment(
     const BtAlignment& bt, std::string_view a, std::string_view b,
     const hw::AcceleratorConfig& cfg, cpu::BtCpuCounters* counters = nullptr);
+
+/// Non-aborting variant for the resilient driver: returns std::nullopt
+/// (with the failing check's message in *why, if given) when the backtrace
+/// data is inconsistent with the sequences or the wavefront geometry. The
+/// deep self-checks double as corruption detectors: a stream damaged in
+/// flight is rejected here instead of killing the process.
+[[nodiscard]] std::optional<core::AlignResult> try_reconstruct_alignment(
+    const BtAlignment& bt, std::string_view a, std::string_view b,
+    const hw::AcceleratorConfig& cfg, const char** why = nullptr,
+    cpu::BtCpuCounters* counters = nullptr);
 
 }  // namespace wfasic::drv

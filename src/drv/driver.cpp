@@ -1,8 +1,12 @@
 #include "drv/driver.hpp"
 
 #include <algorithm>
+#include <deque>
+#include <optional>
 
 #include "common/assert.hpp"
+#include "core/wfa.hpp"
+#include "drv/backtrace_cpu.hpp"
 
 namespace wfasic::drv {
 
@@ -75,21 +79,212 @@ void Driver::start(const BatchLayout& batch, bool backtrace,
   accelerator_.write_reg(hw::kRegOutAddrHi,
                          static_cast<std::uint32_t>(batch.out_addr >> 32));
   accelerator_.write_reg(hw::kRegIntEnable, enable_interrupt ? 1u : 0u);
-  accelerator_.write_reg(hw::kRegCtrl, 1u);
+  // Stale error causes from a previous run would mis-classify this one.
+  accelerator_.write_reg(hw::kRegErrStatus, 0xffffffffu);
+  accelerator_.write_reg(hw::kRegCtrl, hw::kCtrlStart);
 }
 
-std::uint64_t Driver::wait_idle(std::uint64_t max_cycles) {
-  return accelerator_.run_to_completion(max_cycles);
+RunStatus Driver::classify(std::uint64_t cycles, bool completed) const {
+  RunStatus status;
+  status.cycles = cycles;
+  status.err_status = accelerator_.read_reg(hw::kRegErrStatus);
+  if (!completed) {
+    status.outcome = RunOutcome::kTimeout;
+  } else if ((status.err_status & hw::kErrDma) != 0) {
+    status.outcome = RunOutcome::kDmaError;
+  } else if ((status.err_status & hw::kErrWatchdog) != 0) {
+    status.outcome = RunOutcome::kTimeout;
+  } else if ((status.err_status & hw::kErrUnsupported) != 0) {
+    status.outcome = RunOutcome::kPartial;
+  }
+  return status;
 }
 
-std::uint64_t Driver::wait_interrupt(std::uint64_t max_cycles) {
+RunStatus Driver::wait_idle(std::uint64_t max_cycles) {
+  const sim::cycle_t begin = accelerator_.now();
+  while (!accelerator_.idle() && accelerator_.now() - begin < max_cycles) {
+    accelerator_.step();
+  }
+  return classify(accelerator_.now() - begin, accelerator_.idle());
+}
+
+RunStatus Driver::wait_interrupt(std::uint64_t max_cycles) {
   WFASIC_REQUIRE(accelerator_.read_reg(hw::kRegIntEnable) == 1u,
                  "Driver::wait_interrupt: interrupt not enabled at start");
-  const std::uint64_t cycles = accelerator_.run_to_completion(max_cycles);
-  WFASIC_REQUIRE(accelerator_.interrupt_pending(),
-                 "Driver::wait_interrupt: completion without interrupt");
-  accelerator_.write_reg(hw::kRegIntStatus, 1u);  // acknowledge
-  return cycles;
+  const sim::cycle_t begin = accelerator_.now();
+  while (!accelerator_.interrupt_pending() &&
+         accelerator_.now() - begin < max_cycles) {
+    accelerator_.step();
+  }
+  const bool fired = accelerator_.interrupt_pending();
+  if (fired) accelerator_.write_reg(hw::kRegIntStatus, 1u);  // acknowledge
+  return classify(accelerator_.now() - begin, fired);
+}
+
+Driver::ResilientReport Driver::run_batch_resilient(
+    mem::MainMemory& memory, std::span<const gen::SequencePair> pairs,
+    std::uint64_t in_addr, std::uint64_t out_addr,
+    const ResilientConfig& cfg) {
+  const hw::AcceleratorConfig& hw_cfg = accelerator_.config();
+  WFASIC_REQUIRE(pairs.size() <= (cfg.backtrace ? (1u << 23) : (1u << 16)),
+                 "run_batch_resilient: batch exceeds the result-ID width");
+
+  ResilientReport report;
+  report.outcomes.resize(pairs.size());
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    report.outcomes[idx].id = pairs[idx].id;
+  }
+
+  // The software fallback: scalar WFA (copes with 'N' bases) without the
+  // hardware's band and score cap, so it completes every pair the chip
+  // cannot. Where the band does not bind, scores and CIGARs match the
+  // hardware bit for bit (shared Eq.-3 kernel).
+  core::WfaConfig ref_cfg;
+  ref_cfg.pen = hw_cfg.pen;
+  ref_cfg.traceback = cfg.backtrace ? core::Traceback::kEnabled
+                                    : core::Traceback::kDisabled;
+  ref_cfg.extend = core::ExtendMode::kScalar;
+  core::WfaAligner fallback(ref_cfg);
+  const auto resolve_on_cpu = [&](std::size_t idx) {
+    PairOutcome& out = report.outcomes[idx];
+    out.result = fallback.align(pairs[idx].a, pairs[idx].b);
+    out.resolved = true;
+    out.cpu_fallback = true;
+    ++report.cpu_fallbacks;
+  };
+
+  // Pre-screen: a pair too long for the chip would make Accelerator::start
+  // reject the whole launch; it goes straight to the software path.
+  std::vector<std::size_t> initial;
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    const std::size_t longest =
+        std::max(pairs[idx].a.size(), pairs[idx].b.size());
+    const std::uint32_t rounded = hw::round_up_read_len(
+        std::max<std::uint32_t>(static_cast<std::uint32_t>(longest), 16));
+    if (rounded > hw_cfg.max_supported_read_len) {
+      resolve_on_cpu(idx);
+    } else {
+      initial.push_back(idx);
+    }
+  }
+
+  std::deque<std::vector<std::size_t>> work;
+  if (!initial.empty()) work.push_back(std::move(initial));
+  std::vector<unsigned> isolated_tries(pairs.size(), 0);
+
+  while (!work.empty() && report.launches < cfg.max_launches) {
+    const std::vector<std::size_t> seg = std::move(work.front());
+    work.pop_front();
+    if (seg.size() == 1) ++isolated_tries[seg[0]];
+
+    // Re-encoding every launch is deliberate: it repairs any bit flips a
+    // campaign event landed in the input region. Pairs get launch-local
+    // ids 0..n-1, mapped back through `seg` (the hardware ID fields are
+    // narrow and caller ids need not be dense).
+    std::vector<gen::SequencePair> launch_pairs;
+    launch_pairs.reserve(seg.size());
+    for (std::size_t local = 0; local < seg.size(); ++local) {
+      launch_pairs.push_back({static_cast<std::uint32_t>(local),
+                              pairs[seg[local]].a, pairs[seg[local]].b});
+    }
+    const BatchLayout layout =
+        encode_input_set(memory, launch_pairs, in_addr, out_addr);
+    const std::uint64_t beats_before = accelerator_.dma().beats_written();
+    if (report.launches > 0) ++report.retries;
+    ++report.launches;
+    for (std::size_t idx : seg) ++report.outcomes[idx].hw_attempts;
+
+    start(layout, cfg.backtrace);
+    const RunStatus status = wait_idle(cfg.launch_cycle_budget);
+    report.total_cycles += status.cycles;
+    // A watchdog/DMA abort leaves the accelerator flushed and idle; only a
+    // wait-budget timeout needs an explicit soft reset before relaunching.
+    if (!accelerator_.idle()) soft_reset();
+
+    // Harvest every verifiable result the run managed to write out —
+    // bounded by the beats the DMA actually wrote, so an aborted run never
+    // decodes stale memory.
+    std::vector<bool> resolved_local(seg.size(), false);
+    const std::uint64_t beat_delta =
+        accelerator_.dma().beats_written() - beats_before;
+    if (cfg.backtrace) {
+      const BtStreamScan scan = try_parse_bt_stream(
+          memory, layout.out_addr, beat_delta * mem::kBeatBytes, seg.size());
+      for (const BtAlignment& bt : scan.alignments) {
+        if (bt.id >= seg.size()) continue;  // corrupted id field
+        const std::size_t idx = seg[bt.id];
+        if (report.outcomes[idx].resolved) continue;
+        if (!bt.success) {
+          // The hardware inspected the pair and gave up (unsupported
+          // read, band/score overflow). That is deterministic — retrying
+          // cannot help, the software path can.
+          resolve_on_cpu(idx);
+          resolved_local[bt.id] = true;
+          continue;
+        }
+        const std::optional<core::AlignResult> rebuilt =
+            try_reconstruct_alignment(bt, pairs[idx].a, pairs[idx].b,
+                                      hw_cfg);
+        if (rebuilt.has_value() && rebuilt->ok &&
+            rebuilt->cigar.score(hw_cfg.pen) == rebuilt->score) {
+          report.outcomes[idx].result = *rebuilt;
+          report.outcomes[idx].resolved = true;
+          resolved_local[bt.id] = true;
+        }
+        // else: stream damage slipped past the parser; retry the pair.
+      }
+    } else {
+      for (const hw::NbtResult& nbt :
+           decode_nbt_results_partial(memory, layout, beat_delta)) {
+        if (nbt.id >= seg.size()) continue;
+        const std::size_t idx = seg[nbt.id];
+        if (report.outcomes[idx].resolved) continue;
+        if (!nbt.success) {
+          resolve_on_cpu(idx);
+        } else {
+          report.outcomes[idx].result.ok = true;
+          report.outcomes[idx].result.score =
+              static_cast<score_t>(nbt.score);
+          report.outcomes[idx].resolved = true;
+        }
+        resolved_local[nbt.id] = true;
+      }
+    }
+
+    std::vector<std::size_t> unresolved;
+    for (std::size_t local = 0; local < seg.size(); ++local) {
+      if (!resolved_local[local] &&
+          !report.outcomes[seg[local]].resolved) {
+        unresolved.push_back(seg[local]);
+      }
+    }
+    if (unresolved.empty()) continue;
+    if (unresolved.size() == 1) {
+      // Isolated pair: a few more hardware tries (transient faults fade;
+      // the schedule is finite), then degrade to the software path.
+      const std::size_t idx = unresolved[0];
+      if (isolated_tries[idx] >= cfg.singleton_attempts) {
+        resolve_on_cpu(idx);
+      } else {
+        work.push_back({idx});
+      }
+    } else {
+      // Bisect: split the failing segment until the poisoned pair is
+      // isolated. Healthy halves complete on the next launch.
+      const auto mid =
+          unresolved.begin() +
+          static_cast<std::ptrdiff_t>(unresolved.size() / 2);
+      work.emplace_back(unresolved.begin(), mid);
+      work.emplace_back(mid, unresolved.end());
+    }
+  }
+
+  // Launch guard exhausted (or pathological schedule): whatever is still
+  // unresolved completes in software. The batch never fails as a whole.
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    if (!report.outcomes[idx].resolved) resolve_on_cpu(idx);
+  }
+  return report;
 }
 
 std::vector<hw::NbtResult> decode_nbt_results(const mem::MainMemory& memory,
@@ -97,6 +292,21 @@ std::vector<hw::NbtResult> decode_nbt_results(const mem::MainMemory& memory,
   std::vector<hw::NbtResult> results;
   results.reserve(batch.num_pairs);
   for (std::size_t idx = 0; idx < batch.num_pairs; ++idx) {
+    const std::uint64_t addr = batch.out_addr + idx * 4;
+    results.push_back(hw::unpack_nbt_result(memory.read_u32(addr)));
+  }
+  return results;
+}
+
+std::vector<hw::NbtResult> decode_nbt_results_partial(
+    const mem::MainMemory& memory, const BatchLayout& batch,
+    std::uint64_t beats_written) {
+  const std::uint64_t available = beats_written * (mem::kBeatBytes / 4);
+  const std::size_t count = static_cast<std::size_t>(
+      std::min<std::uint64_t>(batch.num_pairs, available));
+  std::vector<hw::NbtResult> results;
+  results.reserve(count);
+  for (std::size_t idx = 0; idx < count; ++idx) {
     const std::uint64_t addr = batch.out_addr + idx * 4;
     results.push_back(hw::unpack_nbt_result(memory.read_u32(addr)));
   }

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/align_result.hpp"
 #include "gen/seqgen.hpp"
 #include "hw/accelerator.hpp"
 #include "hw/input_format.hpp"
@@ -41,31 +42,120 @@ struct BatchLayout {
     std::uint64_t in_addr, std::uint64_t out_addr,
     std::uint32_t force_max_read_len = 0);
 
+/// Typed outcome of a driver wait. Replaces the old bare cycle count,
+/// which made a hung accelerator indistinguishable from a long run.
+enum class RunOutcome {
+  kOk,        ///< completed cleanly
+  kPartial,   ///< completed, but some pairs were flagged unsupported
+  kDmaError,  ///< aborted on an AXI SLVERR/DECERR on the memory path
+  kTimeout,   ///< watchdog abort, or the wait-loop cycle budget ran out
+};
+
+struct RunStatus {
+  RunOutcome outcome = RunOutcome::kOk;
+  std::uint64_t cycles = 0;      ///< cycles elapsed during the wait
+  std::uint32_t err_status = 0;  ///< kRegErrStatus snapshot (hw::ErrBits)
+
+  [[nodiscard]] bool ok() const { return outcome == RunOutcome::kOk; }
+  /// The accelerator reached Idle and produced results (possibly with
+  /// unsupported pairs flagged) — the result area is safe to decode.
+  [[nodiscard]] bool completed() const {
+    return outcome == RunOutcome::kOk || outcome == RunOutcome::kPartial;
+  }
+};
+
 class Driver {
  public:
   explicit Driver(hw::Accelerator& accelerator)
       : accelerator_(accelerator) {}
 
-  /// Programs the registers and pulses Start.
+  /// Programs the registers, clears stale error status and pulses Start.
   void start(const BatchLayout& batch, bool backtrace,
              bool enable_interrupt = false);
 
-  /// Polls the Idle register until the run completes, stepping the
-  /// simulated accelerator. Returns cycles elapsed.
-  std::uint64_t wait_idle(std::uint64_t max_cycles = 4'000'000'000ULL);
+  /// Polls the Idle register until the run completes or `max_cycles`
+  /// elapse, stepping the simulated accelerator, then classifies the run
+  /// from kRegErrStatus. A hung accelerator comes back kTimeout — loudly
+  /// distinguishable from a long run — never a bare cycle count.
+  RunStatus wait_idle(std::uint64_t max_cycles = 4'000'000'000ULL);
 
   /// Interrupt-driven completion: runs until the completion interrupt is
-  /// pending (requires start(..., enable_interrupt=true)), acknowledges
-  /// it, and returns cycles elapsed.
-  std::uint64_t wait_interrupt(std::uint64_t max_cycles = 4'000'000'000ULL);
+  /// pending (requires start(..., enable_interrupt=true)) or `max_cycles`
+  /// elapse. Acknowledges the interrupt when it fired; classifies like
+  /// wait_idle (an interrupt that never fires is kTimeout, not a hang).
+  RunStatus wait_interrupt(std::uint64_t max_cycles = 4'000'000'000ULL);
 
   /// Convenience: start + wait_idle.
-  std::uint64_t run(const BatchLayout& batch, bool backtrace) {
+  RunStatus run(const BatchLayout& batch, bool backtrace) {
     start(batch, backtrace);
     return wait_idle();
   }
 
+  /// Issues a hardware soft reset: aborts any in-flight run and flushes
+  /// the datapath. Error registers survive for post-mortem reads.
+  void soft_reset() {
+    accelerator_.write_reg(hw::kRegCtrl, hw::kCtrlSoftReset);
+  }
+
+  // --- Resilient batch execution --------------------------------------------
+
+  /// One pair's final outcome from run_batch_resilient.
+  struct PairOutcome {
+    std::uint32_t id = 0;
+    bool resolved = false;      ///< a trustworthy result was produced
+    core::AlignResult result;   ///< score + CIGAR (CIGAR in BT mode only)
+    bool cpu_fallback = false;  ///< resolved by the software WFA
+    unsigned hw_attempts = 0;   ///< hardware launches that included it
+  };
+
+  struct ResilientConfig {
+    bool backtrace = true;  ///< BT mode: CIGARs + deep stream self-checks
+    /// Per-launch wait budget; generous, the watchdog usually fires first.
+    std::uint64_t launch_cycle_budget = 50'000'000;
+    unsigned max_launches = 256;      ///< overall guard across retries
+    unsigned singleton_attempts = 2;  ///< hw tries for an isolated pair
+  };
+
+  struct ResilientReport {
+    std::vector<PairOutcome> outcomes;  ///< one per input pair, in order
+    std::uint64_t total_cycles = 0;     ///< accelerator cycles, all launches
+    unsigned launches = 0;
+    unsigned retries = 0;  ///< launches beyond the first
+    unsigned cpu_fallbacks = 0;
+
+    [[nodiscard]] bool complete() const {
+      for (const PairOutcome& o : outcomes) {
+        if (!o.resolved) return false;
+      }
+      return true;
+    }
+  };
+
+  /// Runs `pairs` to completion in the face of faults: launches the batch,
+  /// harvests every verifiable result, bisects failing segments until the
+  /// poisoned pairs are isolated (re-encoding each launch, which repairs
+  /// input-region corruption), and falls back to the software WFA for
+  /// pairs the hardware cannot complete (unsupported reads, band
+  /// overflows, persistent faults). Every pair ends up resolved; the
+  /// CIGARs of hardware- and CPU-resolved pairs agree with the core::wfa
+  /// reference. Deterministic given a deterministic fault schedule.
+  ResilientReport run_batch_resilient(mem::MainMemory& memory,
+                                      std::span<const gen::SequencePair> pairs,
+                                      std::uint64_t in_addr,
+                                      std::uint64_t out_addr,
+                                      const ResilientConfig& cfg);
+  ResilientReport run_batch_resilient(mem::MainMemory& memory,
+                                      std::span<const gen::SequencePair> pairs,
+                                      std::uint64_t in_addr,
+                                      std::uint64_t out_addr) {
+    return run_batch_resilient(memory, pairs, in_addr, out_addr,
+                               ResilientConfig{});
+  }
+
  private:
+  [[nodiscard]] RunStatus classify(std::uint64_t cycles,
+                                   bool completed) const;
+
   hw::Accelerator& accelerator_;
 };
 
@@ -74,5 +164,12 @@ class Driver {
 /// returned in stream order (not sorted by id).
 [[nodiscard]] std::vector<hw::NbtResult> decode_nbt_results(
     const mem::MainMemory& memory, const BatchLayout& batch);
+
+/// Tolerant variant for the resilient path: decodes at most the words the
+/// DMA actually wrote (`beats_written * 4`), so a truncated or aborted run
+/// never decodes stale/unwritten result memory as results.
+[[nodiscard]] std::vector<hw::NbtResult> decode_nbt_results_partial(
+    const mem::MainMemory& memory, const BatchLayout& batch,
+    std::uint64_t beats_written);
 
 }  // namespace wfasic::drv

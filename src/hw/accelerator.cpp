@@ -27,10 +27,25 @@ Accelerator::Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory)
   scheduler_.add(dma_.get());
 }
 
+void Accelerator::attach_fault_injector(sim::FaultInjector* injector) {
+  injector_ = injector;
+  dma_->set_fault_injector(injector);
+  if (injector != nullptr) {
+    input_fifo_.set_stall_probe(
+        [injector] { return injector->fifo_stalled(sim::FaultFifo::kInput); });
+    output_fifo_.set_stall_probe(
+        [injector] { return injector->fifo_stalled(sim::FaultFifo::kOutput); });
+  } else {
+    input_fifo_.set_stall_probe(nullptr);
+    output_fifo_.set_stall_probe(nullptr);
+  }
+}
+
 void Accelerator::write_reg(std::uint32_t offset, std::uint32_t value) {
   switch (offset) {
     case kRegCtrl:
-      if ((value & 1u) != 0) start();
+      if ((value & kCtrlSoftReset) != 0) soft_reset();
+      if ((value & kCtrlStart) != 0) start();
       break;
     case kRegBtEnable:
       regs_.backtrace = (value & 1u) != 0;
@@ -65,6 +80,15 @@ void Accelerator::write_reg(std::uint32_t offset, std::uint32_t value) {
     case kRegIntStatus:
       if ((value & 1u) != 0) int_pending_ = false;
       break;
+    case kRegErrStatus:
+      err_status_ &= ~value;  // write-1-to-clear
+      break;
+    case kRegErrCount:
+      err_count_ = 0;  // any write clears
+      break;
+    case kRegWatchdog:
+      regs_.watchdog = value;
+      break;
     default:
       WFASIC_REQUIRE(false, "Accelerator::write_reg: unknown register");
   }
@@ -96,6 +120,12 @@ std::uint32_t Accelerator::read_reg(std::uint32_t offset) const {
       return regs_.int_enable ? 1u : 0u;
     case kRegIntStatus:
       return int_pending_ ? 1u : 0u;
+    case kRegErrStatus:
+      return err_status_;
+    case kRegErrCount:
+      return err_count_;
+    case kRegWatchdog:
+      return regs_.watchdog;
     default:
       WFASIC_REQUIRE(false, "Accelerator::read_reg: unknown register");
       return 0;
@@ -114,13 +144,59 @@ void Accelerator::start() {
                  "pairs");
   const std::uint64_t num_pairs = regs_.in_size / per_pair;
 
-  for (auto& aligner : aligners_) aligner->set_backtrace(regs_.backtrace);
+  for (auto& aligner : aligners_) {
+    aligner->set_backtrace(regs_.backtrace);
+    aligner->clear_errors();  // kErrUnsupported reflects the current run
+  }
   extractor_->configure(regs_.max_read_len, num_pairs);
   collector_->configure(regs_.backtrace, num_pairs);
   dma_->configure_read(regs_.in_addr, regs_.in_size);
   dma_->configure_write(regs_.out_addr);
   running_ = true;
   run_start_ = scheduler_.now();
+  last_progress_sig_ = progress_signature();
+  last_progress_cycle_ = scheduler_.now();
+}
+
+void Accelerator::soft_reset() {
+  flush_pipeline();
+  running_ = false;
+  int_pending_ = false;
+  // kRegErrStatus/kRegErrCount survive the reset so the CPU can still read
+  // the cause; they clear through their own write semantics.
+}
+
+void Accelerator::latch_error(std::uint32_t cause) {
+  err_status_ |= cause;
+  ++err_count_;
+}
+
+void Accelerator::abort_run(std::uint32_t cause) {
+  latch_error(cause);
+  flush_pipeline();
+  running_ = false;
+  last_run_cycles_ = scheduler_.now() - run_start_;
+  if (regs_.int_enable) int_pending_ = true;
+}
+
+void Accelerator::flush_pipeline() {
+  dma_->abort();
+  input_fifo_.clear();
+  output_fifo_.clear();
+  for (auto& aligner : aligners_) aligner->abort();
+  extractor_->abort();
+  collector_->abort();
+}
+
+std::uint64_t Accelerator::progress_signature() const {
+  // Sum of monotone per-stage counters: strictly increases whenever any
+  // stage does useful work, stands still on a genuine pipeline hang.
+  std::uint64_t sig = dma_->beats_read() + dma_->beats_written() +
+                      extractor_->pairs_done() +
+                      collector_->beats_produced() +
+                      collector_->results_seen();
+  for (const auto& aligner : aligners_) sig += aligner->progress();
+  return sig;
 }
 
 bool Accelerator::work_complete() const {
@@ -135,11 +211,37 @@ bool Accelerator::work_complete() const {
 }
 
 void Accelerator::step() {
+  if (injector_ != nullptr) {
+    injector_->set_now(scheduler_.now());
+    for (const auto& [addr, bit] : injector_->due_memory_flips()) {
+      memory_.flip_bit(addr, bit);
+    }
+  }
   scheduler_.step();
-  if (running_ && work_complete()) {
+  if (!running_) return;
+  if (dma_->bus_error()) {
+    abort_run(kErrDma);
+    return;
+  }
+  if (work_complete()) {
+    // Informational errors (unsupported reads) do not abort the run; they
+    // are latched at completion so the CPU sees them alongside the results.
+    const std::uint32_t flags = collector_->error_flags();
+    if (flags != 0) latch_error(flags);
     running_ = false;
     last_run_cycles_ = scheduler_.now() - run_start_;
     if (regs_.int_enable) int_pending_ = true;
+    return;
+  }
+  if (regs_.watchdog != 0) {
+    const std::uint64_t sig = progress_signature();
+    if (sig != last_progress_sig_) {
+      last_progress_sig_ = sig;
+      last_progress_cycle_ = scheduler_.now();
+    } else if (scheduler_.now() - last_progress_cycle_ >=
+               sim::cycle_t{regs_.watchdog}) {
+      abort_run(kErrWatchdog);
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 #include "hw/regs.hpp"
 #include "mem/dma.hpp"
 #include "mem/main_memory.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/fifo.hpp"
 #include "sim/scheduler.hpp"
 
@@ -31,6 +32,13 @@ class Accelerator {
 
   [[nodiscard]] bool idle() const { return !running_; }
   [[nodiscard]] bool interrupt_pending() const { return int_pending_; }
+  [[nodiscard]] std::uint32_t err_status() const { return err_status_; }
+
+  // --- Fault injection -------------------------------------------------------
+  /// Attaches (or detaches, with nullptr) a deterministic fault injector:
+  /// wires the DMA beat-fault hook and the FIFO stall probes, and makes
+  /// step() apply due memory bit flips and advance the injector clock.
+  void attach_fault_injector(sim::FaultInjector* injector);
 
   // --- Simulation control ---------------------------------------------------
   /// Advances the whole accelerator by one clock cycle.
@@ -63,7 +71,17 @@ class Accelerator {
 
  private:
   void start();
+  void soft_reset();
+  /// Latches `cause` into kRegErrStatus/kRegErrCount.
+  void latch_error(std::uint32_t cause);
+  /// Terminal error path: latch the cause, flush the datapath, go idle and
+  /// raise the completion interrupt (if enabled) so the CPU wakes up.
+  void abort_run(std::uint32_t cause);
+  void flush_pipeline();
   [[nodiscard]] bool work_complete() const;
+  /// Monotone counter that advances whenever any pipeline stage does
+  /// useful work; standing still feeds the no-progress watchdog.
+  [[nodiscard]] std::uint64_t progress_signature() const;
 
   AcceleratorConfig cfg_;
   mem::MainMemory& memory_;
@@ -81,6 +99,13 @@ class Accelerator {
   bool int_pending_ = false;
   sim::cycle_t run_start_ = 0;
   std::uint64_t last_run_cycles_ = 0;
+
+  // Error architecture + fault injection.
+  sim::FaultInjector* injector_ = nullptr;
+  std::uint32_t err_status_ = 0;
+  std::uint32_t err_count_ = 0;
+  std::uint64_t last_progress_sig_ = 0;
+  sim::cycle_t last_progress_cycle_ = 0;
 };
 
 }  // namespace wfasic::hw

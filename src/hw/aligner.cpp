@@ -4,6 +4,7 @@
 
 #include "hw/bitpack.hpp"
 #include "hw/extend_unit.hpp"
+#include "hw/regs.hpp"
 
 namespace wfasic::hw {
 
@@ -26,6 +27,22 @@ Aligner::Aligner(std::string name, const AcceleratorConfig& cfg)
 void Aligner::begin_load() {
   WFASIC_REQUIRE(state_ == State::kIdle, "Aligner::begin_load while busy");
   state_ = State::kLoading;
+}
+
+void Aligner::abort() {
+  state_ = State::kIdle;
+  batches_.clear();
+  bt_queue_.clear();
+  nbt_queue_.clear();
+  countdown_ = 0;
+  init_countdown_ = 0;
+  done_ = false;
+  geom_.reset();
+  current_ = nullptr;
+  for (Slot& slot : ring_) {
+    slot.score = -1;
+    slot.wf.reset();
+  }
 }
 
 void Aligner::finish_load(AlignJob job, sim::cycle_t now) {
@@ -80,6 +97,7 @@ void Aligner::start_alignment(sim::cycle_t now) {
   }
 
   if (job_.unsupported) {
+    error_flags_ |= kErrUnsupported;
     finish_alignment(false, 0, 0, now);
     return;
   }

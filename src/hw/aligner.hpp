@@ -50,6 +50,21 @@ class Aligner final : public sim::Component {
   /// Completes the load; alignment starts next cycle.
   void finish_load(AlignJob job, sim::cycle_t now);
 
+  // --- Error architecture ---------------------------------------------------
+  /// Drops the in-flight job and output queues (hardware soft reset /
+  /// error abort). Records of finished pairs are preserved.
+  void abort();
+  /// Sticky error-cause bits (hw/regs.hpp ErrBits) latched since the last
+  /// clear_errors(); surfaced to the CPU through the Collector.
+  [[nodiscard]] std::uint32_t error_flags() const { return error_flags_; }
+  void clear_errors() { error_flags_ = 0; }
+  /// Monotone progress indicator for the watchdog: advances every cycle
+  /// the Aligner does useful work, stands still while it is idle or
+  /// stalled on Output-FIFO backpressure.
+  [[nodiscard]] std::uint64_t progress() const {
+    return busy_cycles_ - output_stall_cycles_;
+  }
+
   // --- Collector interface -------------------------------------------------
   [[nodiscard]] std::deque<BtTransaction>& bt_queue() { return bt_queue_; }
   [[nodiscard]] std::deque<NbtResult>& nbt_queue() { return nbt_queue_; }
@@ -150,6 +165,7 @@ class Aligner final : public sim::Component {
   std::uint64_t output_stall_cycles_ = 0;
   std::uint64_t busy_cycles_ = 0;
   PhaseCycles phase_cycles_;
+  std::uint32_t error_flags_ = 0;
 };
 
 }  // namespace wfasic::hw

@@ -44,6 +44,24 @@ class Collector final : public sim::Component {
   }
 
   [[nodiscard]] std::uint64_t beats_produced() const { return beats_; }
+  [[nodiscard]] std::uint64_t results_seen() const { return results_seen_; }
+
+  /// Sticky error-cause bits (hw/regs.hpp ErrBits) aggregated across all
+  /// Aligners — how per-Aligner error latches reach the CPU.
+  [[nodiscard]] std::uint32_t error_flags() const {
+    std::uint32_t flags = 0;
+    for (const Aligner* a : aligners_) flags |= a->error_flags();
+    return flags;
+  }
+
+  /// Drops merge/arbitration state (hardware soft reset / error abort).
+  void abort() {
+    expected_pairs_ = 0;
+    results_seen_ = 0;
+    nbt_fill_ = 0;
+    nbt_buffer_ = mem::Beat{};
+    flushed_ = false;
+  }
 
   void tick(sim::cycle_t /*now*/) override {
     if (bt_mode_) {

@@ -36,6 +36,15 @@ class Extractor final : public sim::Component {
   [[nodiscard]] bool done() const { return pairs_left_ == 0 && !in_pair_; }
   [[nodiscard]] std::uint64_t pairs_done() const { return pairs_done_; }
 
+  /// Drops the in-flight pair and any remaining work (hardware soft reset
+  /// / error abort). Records of fully ingested pairs are preserved.
+  void abort() {
+    in_pair_ = false;
+    target_ = nullptr;
+    wait_cycles_ = 0;
+    pairs_left_ = 0;
+  }
+
   /// Per-pair ingest statistics (Table 1's "Reading Cycles").
   struct PairReadRecord {
     std::uint32_t id = 0;

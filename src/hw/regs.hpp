@@ -21,7 +21,31 @@ enum RegOffset : std::uint32_t {
   kRegOutAddrHi = 0x24,
   kRegIntEnable = 0x28,   ///< bit 0: raise interrupt on completion
   kRegIntStatus = 0x2c,   ///< bit 0: interrupt pending; write 1 to clear
+  kRegErrStatus = 0x30,   ///< error-cause bits (ErrBits); write 1 to clear
+  kRegErrCount = 0x34,    ///< errors latched since reset; any write clears
+  kRegWatchdog = 0x38,    ///< no-progress watchdog in cycles; 0 disables
 };
+
+/// Control-register command bits (kRegCtrl).
+enum CtrlBits : std::uint32_t {
+  kCtrlStart = 1u << 0,      ///< start a run
+  kCtrlSoftReset = 1u << 1,  ///< abort the run, flush the datapath
+};
+
+/// Error-cause bits of kRegErrStatus. dma/watchdog abort the run (and
+/// raise the interrupt when enabled); unsupported is informational — the
+/// run completes, but at least one pair was rejected by the Extractor.
+enum ErrBits : std::uint32_t {
+  kErrDma = 1u << 0,          ///< AXI SLVERR/DECERR on the memory path
+  kErrWatchdog = 1u << 1,     ///< no datapath progress for watchdog cycles
+  kErrUnsupported = 1u << 2,  ///< 'N' base or length > MAX_READ_LEN seen
+};
+
+/// Reset value of kRegWatchdog: generous enough that a fault-free run
+/// (which always makes progress within a DMA burst latency or one Aligner
+/// batch) never trips it, small enough that a hang surfaces in
+/// milliseconds of simulated time rather than the 4-billion-cycle guard.
+inline constexpr std::uint32_t kDefaultWatchdogCycles = 100'000;
 
 /// Latched register values (the accelerator samples them on Start).
 struct RegValues {
@@ -31,6 +55,7 @@ struct RegValues {
   std::uint64_t in_size = 0;
   std::uint64_t out_addr = 0;
   bool int_enable = false;
+  std::uint32_t watchdog = kDefaultWatchdogCycles;
 };
 
 }  // namespace wfasic::hw

@@ -65,6 +65,7 @@ Mapping ReadMapper::map(std::string_view read) const {
       result.mapped = true;
       result.score = ext.align.score;
       result.position = begin + ext.text_begin;
+      result.ref_end = begin + ext.text_end;
       result.cigar = ext.align.cigar;
     }
   }

@@ -31,8 +31,9 @@ struct MapperConfig {
 struct Mapping {
   bool mapped = false;
   std::size_t position = 0;  ///< reference offset of the alignment start
+  std::size_t ref_end = 0;   ///< one past the last reference base consumed
   score_t score = 0;         ///< gap-affine distance of the best extension
-  Cigar cigar;               ///< read vs reference[position, ...)
+  Cigar cigar;               ///< read vs reference[position, ref_end)
   std::size_t candidates_extended = 0;
   std::size_t seed_hits = 0;
 };

@@ -2,12 +2,18 @@
 // memory into the Input FIFO and drains the Output FIFO back to memory,
 // sharing a single AXI-Full port (one 16-byte beat per cycle, writes have
 // priority so result/backtrace data is never backed up into the Aligners).
+//
+// Error path: an attached fault injector can corrupt, drop, duplicate, or
+// error-terminate read beats. An AXI SLVERR/DECERR latches bus_error() and
+// kills the read stream; the Accelerator turns that into the dma-error
+// interrupt (hw/regs.hpp) instead of letting the pipeline starve.
 #pragma once
 
 #include <cstdint>
 
 #include "mem/axi.hpp"
 #include "mem/main_memory.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/fifo.hpp"
 #include "sim/scheduler.hpp"
 
@@ -24,6 +30,7 @@ class Dma final : public sim::Component {
         timing_(timing) {}
 
   /// Arms the read stream: `bytes` must be a whole number of beats.
+  /// Clears any latched bus error from the previous run.
   void configure_read(std::uint64_t addr, std::uint64_t bytes) {
     WFASIC_REQUIRE(bytes % kBeatBytes == 0,
                    "Dma::configure_read: size must be beat-aligned");
@@ -31,12 +38,30 @@ class Dma final : public sim::Component {
     read_beats_left_ = bytes / kBeatBytes;
     burst_beats_done_ = 0;
     latency_left_ = read_beats_left_ > 0 ? timing_.read_latency : 0;
+    bus_error_ = false;
+    duplicate_pending_ = false;
   }
 
   /// Sets the base address results are written to.
   void configure_write(std::uint64_t addr) { write_ptr_ = addr; }
 
+  /// Abandons the in-flight read stream (hardware soft reset / error
+  /// abort). The latched bus error, if any, survives until the next
+  /// configure_read so the CPU can still read the cause.
+  void abort() {
+    read_beats_left_ = 0;
+    latency_left_ = 0;
+    burst_beats_done_ = 0;
+    duplicate_pending_ = false;
+  }
+
+  /// Fault-injection hook (nullptr: fault-free operation).
+  void set_fault_injector(sim::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
   [[nodiscard]] bool read_done() const { return read_beats_left_ == 0; }
+  [[nodiscard]] bool bus_error() const { return bus_error_; }
   [[nodiscard]] std::uint64_t write_ptr() const { return write_ptr_; }
 
   [[nodiscard]] std::uint64_t beats_read() const { return beats_read_; }
@@ -78,10 +103,37 @@ class Dma final : public sim::Component {
       ++read_stalls_fifo_full_;
       return;
     }
+    if (duplicate_pending_) {
+      // Second delivery of a duplicated beat: re-send the previous data
+      // without advancing the stream.
+      input_fifo_.push(duplicate_beat_);
+      duplicate_pending_ = false;
+      return;
+    }
+    sim::DmaBeatFault fault;
+    if (injector_ != nullptr) {
+      fault = injector_->dma_read_beat_fault(beats_read_);
+    }
+    if (fault.bus_error) {
+      // SLVERR/DECERR: the transfer is dead; latch the error and stop
+      // issuing beats. The Accelerator surfaces this via kRegErrStatus.
+      bus_error_ = true;
+      read_beats_left_ = 0;
+      return;
+    }
     Beat beat;
     memory_.read(read_ptr_,
                  std::span<std::uint8_t>(beat.data.data(), kBeatBytes));
-    input_fifo_.push(beat);
+    if (fault.corrupt_mask != 0) {
+      beat.data[fault.corrupt_byte] ^= fault.corrupt_mask;
+    }
+    if (!fault.drop) {
+      input_fifo_.push(beat);
+      if (fault.duplicate) {
+        duplicate_pending_ = true;
+        duplicate_beat_ = beat;
+      }
+    }
     read_ptr_ += kBeatBytes;
     --read_beats_left_;
     ++beats_read_;
@@ -97,12 +149,16 @@ class Dma final : public sim::Component {
   sim::ShowAheadFifo<Beat>& input_fifo_;
   sim::ShowAheadFifo<Beat>& output_fifo_;
   AxiTiming timing_;
+  sim::FaultInjector* injector_ = nullptr;
 
   std::uint64_t read_ptr_ = 0;
   std::uint64_t read_beats_left_ = 0;
   unsigned burst_beats_done_ = 0;
   unsigned latency_left_ = 0;
   std::uint64_t write_ptr_ = 0;
+  bool bus_error_ = false;
+  bool duplicate_pending_ = false;
+  Beat duplicate_beat_;
 
   std::uint64_t beats_read_ = 0;
   std::uint64_t beats_written_ = 0;

@@ -38,6 +38,13 @@ class MainMemory {
     bytes_[addr] = value;
   }
 
+  /// Fault-injection hook: flips one bit in place (models a DRAM upset in
+  /// the input/output regions). bit must be 0..7.
+  void flip_bit(std::uint64_t addr, unsigned bit) {
+    WFASIC_REQUIRE(in_range(addr, 1) && bit < 8, "MainMemory::flip_bit OOB");
+    bytes_[addr] ^= static_cast<std::uint8_t>(1u << bit);
+  }
+
   [[nodiscard]] std::uint32_t read_u32(std::uint64_t addr) const {
     std::uint32_t v = 0;
     read(addr, std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(&v), 4));

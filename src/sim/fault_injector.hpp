@@ -1,0 +1,231 @@
+// Deterministic, seeded fault-injection framework for the accelerator
+// model (the verification-campaign methodology of §5.1's broken-data test,
+// generalised). Faults are scheduled up front from a (seed, config) pair,
+// so a campaign replays bit-identically: the same seed produces the same
+// fault schedule, and — because every hook keys off deterministic
+// simulator state (cycle counts and DMA beat indices) — the same outcome.
+//
+// Supported fault classes:
+//  - kMemBitFlip:     flip one bit of one byte of main memory at a cycle
+//                     (models DRAM corruption of the input/output regions);
+//  - kAxiError:       an AXI SLVERR/DECERR response on a DMA read beat;
+//  - kDropBeat:       a DMA read beat is lost on the bus;
+//  - kDuplicateBeat:  a DMA read beat is delivered twice;
+//  - kBeatCorrupt:    in-flight bit flip on a DMA read beat's payload;
+//  - kFifoStall:      a FIFO's ready deasserts for a window of cycles
+//                     (duration 0 = forever: a hard hang the watchdog must
+//                     catch).
+//
+// The injector is passive: the Accelerator drives set_now() once per cycle
+// and asks for due events; the DMA and FIFOs consult it through narrow
+// hooks. A null injector everywhere means zero-overhead normal operation.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::sim {
+
+enum class FaultClass : std::uint8_t {
+  kMemBitFlip,
+  kAxiError,
+  kDropBeat,
+  kDuplicateBeat,
+  kBeatCorrupt,
+  kFifoStall,
+};
+
+/// Which FIFO a kFifoStall event throttles.
+enum class FaultFifo : std::uint8_t { kInput, kOutput };
+
+/// One scheduled fault. Cycle-keyed events (`at`) fire when the simulator
+/// reaches that cycle; beat-keyed events (`beat`) fire when the DMA issues
+/// that read beat index, regardless of when that happens.
+struct FaultEvent {
+  FaultClass cls = FaultClass::kMemBitFlip;
+  cycle_t at = 0;            ///< kMemBitFlip / kFifoStall activation cycle
+  std::uint64_t addr = 0;    ///< kMemBitFlip: byte address
+  std::uint64_t beat = 0;    ///< beat-keyed classes: DMA read beat index
+  unsigned bit = 0;          ///< bit index for flips (0..7)
+  unsigned duration = 0;     ///< kFifoStall: cycles; 0 = stalled forever
+  FaultFifo fifo = FaultFifo::kInput;
+  bool fired = false;        ///< set once the event has been applied
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Outcome of asking the injector about one DMA read beat.
+struct DmaBeatFault {
+  bool bus_error = false;  ///< respond SLVERR/DECERR instead of data
+  bool drop = false;       ///< the beat is lost
+  bool duplicate = false;  ///< the beat is delivered twice
+  unsigned corrupt_byte = 0;
+  std::uint8_t corrupt_mask = 0;  ///< non-zero: XOR into data[corrupt_byte]
+};
+
+class FaultInjector {
+ public:
+  /// Knobs of a randomly generated campaign. Counts select how many events
+  /// of each class are drawn; positions/cycles are drawn uniformly from
+  /// the given windows with the campaign PRNG.
+  struct CampaignConfig {
+    std::uint64_t mem_begin = 0;   ///< bit-flip target region [begin, end)
+    std::uint64_t mem_end = 0;
+    cycle_t cycle_window = 50'000; ///< cycle-keyed events land in [0, window)
+    std::uint64_t beat_window = 256;  ///< beat-keyed events land in [0, window)
+    unsigned mem_bit_flips = 0;
+    unsigned axi_errors = 0;
+    unsigned dropped_beats = 0;
+    unsigned duplicated_beats = 0;
+    unsigned beat_corruptions = 0;
+    unsigned fifo_stalls = 0;
+    unsigned stall_cycles = 64;    ///< duration of each transient stall
+  };
+
+  FaultInjector() = default;
+
+  /// Deterministically expands (seed, config) into a fault schedule. Two
+  /// calls with equal arguments produce bit-identical schedules.
+  static FaultInjector make_campaign(std::uint64_t seed,
+                                     const CampaignConfig& cfg) {
+    FaultInjector injector;
+    Prng prng(seed);
+    const auto draw_cycle = [&] {
+      return cfg.cycle_window > 0 ? prng.next_below(cfg.cycle_window) : 0;
+    };
+    const auto draw_beat = [&] {
+      return cfg.beat_window > 0 ? prng.next_below(cfg.beat_window) : 0;
+    };
+    for (unsigned i = 0; i < cfg.mem_bit_flips; ++i) {
+      WFASIC_REQUIRE(cfg.mem_end > cfg.mem_begin,
+                     "FaultInjector: bit-flip campaign needs a memory region");
+      FaultEvent ev;
+      ev.cls = FaultClass::kMemBitFlip;
+      ev.at = draw_cycle();
+      ev.addr =
+          cfg.mem_begin + prng.next_below(cfg.mem_end - cfg.mem_begin);
+      ev.bit = static_cast<unsigned>(prng.next_below(8));
+      injector.schedule(ev);
+    }
+    for (unsigned i = 0; i < cfg.axi_errors; ++i) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kAxiError;
+      ev.beat = draw_beat();
+      injector.schedule(ev);
+    }
+    for (unsigned i = 0; i < cfg.dropped_beats; ++i) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kDropBeat;
+      ev.beat = draw_beat();
+      injector.schedule(ev);
+    }
+    for (unsigned i = 0; i < cfg.duplicated_beats; ++i) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kDuplicateBeat;
+      ev.beat = draw_beat();
+      injector.schedule(ev);
+    }
+    for (unsigned i = 0; i < cfg.beat_corruptions; ++i) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kBeatCorrupt;
+      ev.beat = draw_beat();
+      ev.bit = static_cast<unsigned>(prng.next_below(128));
+      injector.schedule(ev);
+    }
+    for (unsigned i = 0; i < cfg.fifo_stalls; ++i) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kFifoStall;
+      ev.at = draw_cycle();
+      ev.duration = cfg.stall_cycles;
+      ev.fifo = prng.next_bool(0.5) ? FaultFifo::kInput : FaultFifo::kOutput;
+      injector.schedule(ev);
+    }
+    return injector;
+  }
+
+  void schedule(FaultEvent event) { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t fired_count() const {
+    std::size_t fired = 0;
+    for (const FaultEvent& ev : events_) fired += ev.fired ? 1 : 0;
+    return fired;
+  }
+
+  // --- hooks ---------------------------------------------------------------
+
+  /// Time base, driven once per cycle by the component owner.
+  void set_now(cycle_t now) { now_ = now; }
+  [[nodiscard]] cycle_t now() const { return now_; }
+
+  /// Memory bit flips whose cycle has arrived. Each is returned once
+  /// (marked fired); the caller applies them to its memory model.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, unsigned>>
+  due_memory_flips() {
+    std::vector<std::pair<std::uint64_t, unsigned>> due;
+    for (FaultEvent& ev : events_) {
+      if (ev.cls != FaultClass::kMemBitFlip || ev.fired || ev.at > now_) {
+        continue;
+      }
+      ev.fired = true;
+      due.emplace_back(ev.addr, ev.bit);
+    }
+    return due;
+  }
+
+  /// Consulted by the DMA as it issues read beat `beat_index` (a running
+  /// count of beats transferred). Consumes all matching beat-keyed events.
+  [[nodiscard]] DmaBeatFault dma_read_beat_fault(std::uint64_t beat_index) {
+    DmaBeatFault fault;
+    for (FaultEvent& ev : events_) {
+      if (ev.fired || ev.beat != beat_index) continue;
+      switch (ev.cls) {
+        case FaultClass::kAxiError:
+          fault.bus_error = true;
+          break;
+        case FaultClass::kDropBeat:
+          fault.drop = true;
+          break;
+        case FaultClass::kDuplicateBeat:
+          fault.duplicate = true;
+          break;
+        case FaultClass::kBeatCorrupt:
+          fault.corrupt_byte = (ev.bit / 8) % 16;
+          fault.corrupt_mask = static_cast<std::uint8_t>(1u << (ev.bit % 8));
+          break;
+        default:
+          continue;  // cycle-keyed classes are not beat faults
+      }
+      ev.fired = true;
+    }
+    return fault;
+  }
+
+  /// True while a kFifoStall window for `fifo` covers the current cycle.
+  /// Fired is latched on first activation (for campaign statistics); the
+  /// stall itself stays in force for the whole window.
+  [[nodiscard]] bool fifo_stalled(FaultFifo fifo) {
+    bool stalled = false;
+    for (FaultEvent& ev : events_) {
+      if (ev.cls != FaultClass::kFifoStall || ev.fifo != fifo) continue;
+      if (now_ < ev.at) continue;
+      if (ev.duration != 0 && now_ >= ev.at + ev.duration) continue;
+      ev.fired = true;
+      stalled = true;
+    }
+    return stalled;
+  }
+
+ private:
+  std::vector<FaultEvent> events_;
+  cycle_t now_ = 0;
+};
+
+}  // namespace wfasic::sim

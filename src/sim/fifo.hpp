@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <utility>
 
 #include "common/assert.hpp"
 
@@ -21,7 +23,13 @@ class ShowAheadFifo {
   }
 
   [[nodiscard]] bool empty() const { return data_.empty(); }
-  [[nodiscard]] bool full() const { return data_.size() >= capacity_; }
+  /// Write-side ready. An installed stall probe (fault injection) deasserts
+  /// ready exactly like a full FIFO would: producers see full() and hold
+  /// their beat, which is how transient FIFO stalls are modelled.
+  [[nodiscard]] bool full() const {
+    if (data_.size() >= capacity_) return true;
+    return stall_probe_ && stall_probe_();
+  }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
@@ -53,12 +61,24 @@ class ShowAheadFifo {
   [[nodiscard]] std::uint64_t total_pops() const { return total_pops_; }
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
+  /// Installs (or clears, with an empty function) an external stall probe:
+  /// while it returns true, full() reports the FIFO as not-ready. Used by
+  /// the fault injector for transient/permanent FIFO stalls.
+  void set_stall_probe(std::function<bool()> probe) {
+    stall_probe_ = std::move(probe);
+  }
+
+  /// Drops all buffered words (a hardware soft reset). Statistics are
+  /// preserved; occupancy goes to zero.
+  void clear() { data_.clear(); }
+
  private:
   std::size_t capacity_;
   std::deque<T> data_;
   std::uint64_t total_pushes_ = 0;
   std::uint64_t total_pops_ = 0;
   std::size_t high_water_ = 0;
+  std::function<bool()> stall_probe_;
 };
 
 }  // namespace wfasic::sim

@@ -48,7 +48,12 @@ BatchResult Soc::run_batch(std::span<const gen::SequencePair> pairs,
 
   drv::Driver driver(*accelerator_);
   BatchResult result;
-  result.accel_cycles = driver.run(layout, backtrace);
+  const drv::RunStatus status = driver.run(layout, backtrace);
+  // A fault-free SoC batch must complete; kPartial (unsupported pairs) is
+  // legitimate — the affected alignments simply come back ok = false.
+  WFASIC_REQUIRE(status.completed(),
+                 "Soc::run_batch: accelerator run did not complete");
+  result.accel_cycles = status.cycles;
 
   result.records.resize(pairs.size());
   for (std::size_t idx = 0; idx < accelerator_->aligners().size(); ++idx) {

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "gen/seqgen.hpp"
+#include "hw/accelerator.hpp"
 #include "hw/input_format.hpp"
+#include "hw/regs.hpp"
 #include "mem/main_memory.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace wfasic::drv {
 namespace {
@@ -87,6 +90,69 @@ TEST(EncodeInputSet, NBasesStoredVerbatim) {
   EXPECT_EQ(memory.read_u8(50), 'N');
 }
 
+// --- Robustness: loud timeouts and tolerant result decoding ----------------
+
+// Regression: wait_idle used to return a bare cycle count, so a hung
+// accelerator was indistinguishable from a long run — callers happily
+// decoded stale result memory. A hang must now come back kTimeout.
+TEST(DriverTimeout, WaitIdleReportsHangLoudly) {
+  mem::MainMemory memory(16 << 20);
+  hw::AcceleratorConfig cfg;
+  hw::Accelerator accel(cfg, memory);
+  // A permanently stalled input FIFO with the watchdog disabled: the
+  // hardware can neither finish nor abort, so only the wait budget ends it.
+  sim::FaultInjector injector;
+  sim::FaultEvent ev;
+  ev.cls = sim::FaultClass::kFifoStall;
+  ev.at = 0;
+  ev.duration = 0;
+  ev.fifo = sim::FaultFifo::kInput;
+  injector.schedule(ev);
+  accel.attach_fault_injector(&injector);
+  accel.write_reg(hw::kRegWatchdog, 0);
+
+  const std::vector<gen::SequencePair> pairs = {{0, "ACGTACGT", "ACGGACGT"}};
+  const BatchLayout layout = encode_input_set(memory, pairs, 0x1000, 0x9000);
+  Driver driver(accel);
+  driver.start(layout, /*backtrace=*/false);
+  const RunStatus status = driver.wait_idle(20'000);
+
+  EXPECT_EQ(status.outcome, RunOutcome::kTimeout);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(status.completed());
+  EXPECT_EQ(status.cycles, 20'000u);
+  EXPECT_FALSE(accel.idle());  // genuinely stuck, not silently "done"
+
+  // soft reset recovers the device for the next batch.
+  driver.soft_reset();
+  EXPECT_TRUE(accel.idle());
+}
+
+TEST(DriverTimeout, WaitInterruptReportsMissingInterruptAsTimeout) {
+  mem::MainMemory memory(16 << 20);
+  hw::AcceleratorConfig cfg;
+  hw::Accelerator accel(cfg, memory);
+  sim::FaultInjector injector;
+  sim::FaultEvent ev;
+  ev.cls = sim::FaultClass::kFifoStall;
+  ev.at = 0;
+  ev.duration = 0;
+  ev.fifo = sim::FaultFifo::kInput;
+  injector.schedule(ev);
+  accel.attach_fault_injector(&injector);
+  accel.write_reg(hw::kRegWatchdog, 0);
+
+  const std::vector<gen::SequencePair> pairs = {{0, "ACGTACGT", "ACGGACGT"}};
+  const BatchLayout layout = encode_input_set(memory, pairs, 0x1000, 0x9000);
+  Driver driver(accel);
+  driver.start(layout, /*backtrace=*/false, /*enable_interrupt=*/true);
+  const RunStatus status = driver.wait_interrupt(20'000);
+
+  EXPECT_EQ(status.outcome, RunOutcome::kTimeout);
+  EXPECT_FALSE(status.completed());
+  EXPECT_FALSE(accel.interrupt_pending());
+}
+
 TEST(DecodeNbt, ReadsPackedWordsInStreamOrder) {
   mem::MainMemory memory(1 << 16);
   BatchLayout layout;
@@ -102,6 +168,39 @@ TEST(DecodeNbt, ReadsPackedWordsInStreamOrder) {
     EXPECT_EQ(results[i].score, 100 + i);
     EXPECT_EQ(results[i].id, i);
   }
+}
+
+// An aborted run leaves the tail of the result area unwritten; the
+// tolerant decoder must stop at what the DMA actually delivered instead of
+// decoding stale memory as results.
+TEST(DecodeNbt, PartialDecodeStopsAtWrittenBeats) {
+  mem::MainMemory memory(1 << 16);
+  BatchLayout layout;
+  layout.out_addr = 0x200;
+  layout.num_pairs = 5;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    memory.write_u32(0x200 + i * 4,
+                     hw::pack_nbt_result({true, 100 + i, i}));
+  }
+  // One 16-byte beat written = four decodable words, not five.
+  const auto partial = decode_nbt_results_partial(memory, layout, 1);
+  ASSERT_EQ(partial.size(), 4u);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(partial[i].id, i);
+  }
+  // Zero beats written decodes nothing; enough beats decodes everything.
+  EXPECT_TRUE(decode_nbt_results_partial(memory, layout, 0).empty());
+  EXPECT_EQ(decode_nbt_results_partial(memory, layout, 2).size(), 5u);
+}
+
+// The strict decoder trusts num_pairs; aiming it past the end of memory
+// must die on the memory bounds check, not read garbage.
+TEST(DecodeNbtDeathTest, ShortResultAreaIsLoud) {
+  mem::MainMemory memory(1 << 12);
+  BatchLayout layout;
+  layout.out_addr = (1 << 12) - 8;  // room for two words, not five
+  layout.num_pairs = 5;
+  EXPECT_DEATH((void)decode_nbt_results(memory, layout), "OOB");
 }
 
 }  // namespace

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the seeded fault-injection campaign suite against a build of the
+# simulator — by default many times over with GTEST_RANDOM-independent,
+# fully deterministic schedules, so a red run is always replayable.
+#
+# Usage:
+#   tools/run_fault_campaign.sh [build-dir] [repeats]
+#
+#   build-dir  CMake build tree (default: build). Configure one first:
+#                cmake -B build -S . && cmake --build build -j
+#              For memory-error coverage, configure with
+#                -DWFASIC_SANITIZE=ON
+#   repeats    How many times to repeat the campaign tests (default: 100).
+#              Each repeat replays the same seeded schedules; combined with
+#              the determinism tests this catches any nondeterminism or
+#              state leakage between runs.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+REPEATS="${2:-100}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "error: build dir '${BUILD_DIR}' not found; run cmake first" >&2
+  exit 1
+fi
+
+cmake --build "${BUILD_DIR}" -j --target test_fault_injection test_system
+
+echo "== fault campaign: ${REPEATS} repeats =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'FaultInjection|DriverTimeout|DecodeNbt' \
+  --repeat until-fail:"${REPEATS}"
