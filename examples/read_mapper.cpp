@@ -3,21 +3,18 @@
 // Builds a synthetic reference genome, samples reads with sequencing
 // errors, maps them with the seed-and-extend mapper (k-mer seeding +
 // gap-affine seed extension — the step WFAsic accelerates), and reports
-// mapping accuracy. A second phase replays the mapped read/window pairs
-// on the simulated accelerator while a seeded fault campaign is active,
-// demonstrating that the resilient driver path still completes the batch
-// with the mapper's scores.
+// mapping accuracy. A second phase submits the mapped read/window pairs
+// to the asynchronous alignment engine while a seeded fault campaign is
+// active, demonstrating that the engine's resilient path still completes
+// the batch with the mapper's scores.
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/prng.hpp"
-#include "drv/driver.hpp"
+#include "engine/engine.hpp"
 #include "gen/seqgen.hpp"
-#include "hw/accelerator.hpp"
-#include "hw/regs.hpp"
 #include "map/mapper.hpp"
-#include "mem/main_memory.hpp"
 #include "sim/fault_injector.hpp"
 
 int main(int argc, char** argv) {
@@ -81,35 +78,39 @@ int main(int argc, char** argv) {
   // Reads at this error rate should essentially always map back home.
   if (mapped < num_reads * 9 / 10 || correct < mapped * 9 / 10) return 1;
 
-  // --- Phase 2: replay the extensions on the accelerator under faults.
+  // --- Phase 2: submit the extensions to the alignment engine under
+  // faults.
   //
-  // The same read/window pairs go through the simulated WFAsic with a
-  // seeded fault campaign active (bit flips in the input region, a bus
-  // error, a dropped beat, FIFO stalls). The resilient driver path must
-  // still resolve every pair, with the scores the mapper computed.
-  std::printf("\nReplaying %zu extensions on the accelerator under a "
-              "seeded fault campaign...\n",
+  // The same read/window pairs go through the engine's asynchronous
+  // resilient path with a seeded fault campaign active on its device (bit
+  // flips in the input region, a bus error, a dropped beat, FIFO stalls):
+  // damaged launches requeue through the bisect path, and anything the
+  // hardware cannot complete falls back to the software backend. Every
+  // pair must still resolve with the scores the mapper computed.
+  std::printf("\nSubmitting %zu extensions to the alignment engine under "
+              "a seeded fault campaign...\n",
               accel_pairs.size());
-  mem::MainMemory memory(64 << 20);
-  hw::AcceleratorConfig accel_cfg;
-  hw::Accelerator accel(accel_cfg, memory);
+  engine::EngineConfig engine_cfg;
+  engine_cfg.num_devices = 1;
+  engine_cfg.device.memory_bytes = 64 << 20;
+  engine_cfg.device.in_addr = 0x1000;
+  engine_cfg.device.out_addr = 0x2000000;
+  engine_cfg.device.watchdog = 50'000;
+  engine::Engine eng(engine_cfg);
 
-  const std::uint64_t in_addr = 0x1000;
   sim::FaultInjector::CampaignConfig campaign;
-  campaign.mem_begin = in_addr;
-  campaign.mem_end = in_addr + 16'384;
+  campaign.mem_begin = engine_cfg.device.in_addr;
+  campaign.mem_end = engine_cfg.device.in_addr + 16'384;
   campaign.mem_bit_flips = 3;
   campaign.axi_errors = 1;
   campaign.dropped_beats = 1;
   campaign.fifo_stalls = 1;
   sim::FaultInjector injector =
       sim::FaultInjector::make_campaign(0xbeef, campaign);
-  accel.attach_fault_injector(&injector);
-  accel.write_reg(hw::kRegWatchdog, 50'000);
+  eng.device(0).attach_fault_injector(&injector);
 
-  drv::Driver driver(accel);
-  const drv::Driver::ResilientReport report =
-      driver.run_batch_resilient(memory, accel_pairs, in_addr, 0x2000000);
+  const engine::Engine::ResilientReport report =
+      eng.run_resilient(accel_pairs);
 
   std::size_t score_matches = 0;
   for (std::size_t i = 0; i < report.outcomes.size(); ++i) {

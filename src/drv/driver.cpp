@@ -100,25 +100,28 @@ RunStatus Driver::classify(std::uint64_t cycles, bool completed) const {
   return status;
 }
 
-RunStatus Driver::wait_idle(std::uint64_t max_cycles) {
+RunStatus Driver::wait_core(const std::function<bool()>& done,
+                            std::uint64_t max_cycles) {
   const sim::cycle_t begin = accelerator_.now();
-  while (!accelerator_.idle() && accelerator_.now() - begin < max_cycles) {
+  while (!done() && accelerator_.now() - begin < max_cycles) {
     accelerator_.step();
   }
-  return classify(accelerator_.now() - begin, accelerator_.idle());
+  return classify(accelerator_.now() - begin, done());
+}
+
+RunStatus Driver::wait_idle(std::uint64_t max_cycles) {
+  return wait_core([this] { return accelerator_.idle(); }, max_cycles);
 }
 
 RunStatus Driver::wait_interrupt(std::uint64_t max_cycles) {
   WFASIC_REQUIRE(accelerator_.read_reg(hw::kRegIntEnable) == 1u,
                  "Driver::wait_interrupt: interrupt not enabled at start");
-  const sim::cycle_t begin = accelerator_.now();
-  while (!accelerator_.interrupt_pending() &&
-         accelerator_.now() - begin < max_cycles) {
-    accelerator_.step();
+  const RunStatus status = wait_core(
+      [this] { return accelerator_.interrupt_pending(); }, max_cycles);
+  if (accelerator_.interrupt_pending()) {
+    accelerator_.write_reg(hw::kRegIntStatus, 1u);  // acknowledge
   }
-  const bool fired = accelerator_.interrupt_pending();
-  if (fired) accelerator_.write_reg(hw::kRegIntStatus, 1u);  // acknowledge
-  return classify(accelerator_.now() - begin, fired);
+  return status;
 }
 
 Driver::ResilientReport Driver::run_batch_resilient(
@@ -207,48 +210,21 @@ Driver::ResilientReport Driver::run_batch_resilient(
     std::vector<bool> resolved_local(seg.size(), false);
     const std::uint64_t beat_delta =
         accelerator_.dma().beats_written() - beats_before;
-    if (cfg.backtrace) {
-      const BtStreamScan scan = try_parse_bt_stream(
-          memory, layout.out_addr, beat_delta * mem::kBeatBytes, seg.size());
-      for (const BtAlignment& bt : scan.alignments) {
-        if (bt.id >= seg.size()) continue;  // corrupted id field
-        const std::size_t idx = seg[bt.id];
-        if (report.outcomes[idx].resolved) continue;
-        if (!bt.success) {
-          // The hardware inspected the pair and gave up (unsupported
-          // read, band/score overflow). That is deterministic — retrying
-          // cannot help, the software path can.
-          resolve_on_cpu(idx);
-          resolved_local[bt.id] = true;
-          continue;
-        }
-        const std::optional<core::AlignResult> rebuilt =
-            try_reconstruct_alignment(bt, pairs[idx].a, pairs[idx].b,
-                                      hw_cfg);
-        if (rebuilt.has_value() && rebuilt->ok &&
-            rebuilt->cigar.score(hw_cfg.pen) == rebuilt->score) {
-          report.outcomes[idx].result = *rebuilt;
-          report.outcomes[idx].resolved = true;
-          resolved_local[bt.id] = true;
-        }
-        // else: stream damage slipped past the parser; retry the pair.
+    for (const HarvestedPair& h : harvest_verified_results(
+             memory, layout, beat_delta, cfg.backtrace, launch_pairs,
+             hw_cfg)) {
+      const std::size_t idx = seg[h.local_id];
+      if (report.outcomes[idx].resolved) continue;
+      if (h.hw_rejected) {
+        // The hardware inspected the pair and gave up (unsupported read,
+        // band/score overflow). That is deterministic — retrying cannot
+        // help, the software path can.
+        resolve_on_cpu(idx);
+      } else {
+        report.outcomes[idx].result = h.result;
+        report.outcomes[idx].resolved = true;
       }
-    } else {
-      for (const hw::NbtResult& nbt :
-           decode_nbt_results_partial(memory, layout, beat_delta)) {
-        if (nbt.id >= seg.size()) continue;
-        const std::size_t idx = seg[nbt.id];
-        if (report.outcomes[idx].resolved) continue;
-        if (!nbt.success) {
-          resolve_on_cpu(idx);
-        } else {
-          report.outcomes[idx].result.ok = true;
-          report.outcomes[idx].result.score =
-              static_cast<score_t>(nbt.score);
-          report.outcomes[idx].resolved = true;
-        }
-        resolved_local[nbt.id] = true;
-      }
+      resolved_local[h.local_id] = true;
     }
 
     std::vector<std::size_t> unresolved;
@@ -298,6 +274,16 @@ std::vector<hw::NbtResult> decode_nbt_results(const mem::MainMemory& memory,
   return results;
 }
 
+std::vector<hw::NbtResult> decode_nbt_results_sorted(
+    const mem::MainMemory& memory, const BatchLayout& batch) {
+  std::vector<hw::NbtResult> results = decode_nbt_results(memory, batch);
+  std::stable_sort(results.begin(), results.end(),
+                   [](const hw::NbtResult& x, const hw::NbtResult& y) {
+                     return x.id < y.id;
+                   });
+  return results;
+}
+
 std::vector<hw::NbtResult> decode_nbt_results_partial(
     const mem::MainMemory& memory, const BatchLayout& batch,
     std::uint64_t beats_written) {
@@ -311,6 +297,47 @@ std::vector<hw::NbtResult> decode_nbt_results_partial(
     results.push_back(hw::unpack_nbt_result(memory.read_u32(addr)));
   }
   return results;
+}
+
+std::vector<HarvestedPair> harvest_verified_results(
+    const mem::MainMemory& memory, const BatchLayout& layout,
+    std::uint64_t beat_delta, bool backtrace,
+    std::span<const gen::SequencePair> pairs,
+    const hw::AcceleratorConfig& cfg) {
+  std::vector<HarvestedPair> harvested;
+  if (backtrace) {
+    const BtStreamScan scan = try_parse_bt_stream(
+        memory, layout.out_addr, beat_delta * mem::kBeatBytes, pairs.size());
+    for (const BtAlignment& bt : scan.alignments) {
+      if (bt.id >= pairs.size()) continue;  // corrupted id field
+      if (!bt.success) {
+        harvested.push_back({bt.id, true, {}});
+        continue;
+      }
+      const std::optional<core::AlignResult> rebuilt =
+          try_reconstruct_alignment(bt, pairs[bt.id].a, pairs[bt.id].b, cfg);
+      if (rebuilt.has_value() && rebuilt->ok &&
+          rebuilt->cigar.score(cfg.pen) == rebuilt->score) {
+        harvested.push_back({bt.id, false, *rebuilt});
+      }
+      // else: stream damage slipped past the parser; the pair retries.
+    }
+  } else {
+    for (const hw::NbtResult& nbt :
+         decode_nbt_results_partial(memory, layout, beat_delta)) {
+      if (nbt.id >= pairs.size()) continue;
+      HarvestedPair h;
+      h.local_id = nbt.id;
+      if (!nbt.success) {
+        h.hw_rejected = true;
+      } else {
+        h.result.ok = true;
+        h.result.score = static_cast<score_t>(nbt.score);
+      }
+      harvested.push_back(std::move(h));
+    }
+  }
+  return harvested;
 }
 
 }  // namespace wfasic::drv

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -85,6 +86,15 @@ class Driver {
   /// wait_idle (an interrupt that never fires is kTimeout, not a hang).
   RunStatus wait_interrupt(std::uint64_t max_cycles = 4'000'000'000ULL);
 
+  /// Classifies the accelerator's current error state into a RunStatus —
+  /// the single source of truth wait_idle/wait_interrupt and the engine's
+  /// non-blocking poll path share. `completed` is the caller's completion
+  /// signal (Idle reached / interrupt fired); `cycles` the wait span.
+  [[nodiscard]] RunStatus classify_run(std::uint64_t cycles,
+                                       bool completed) const {
+    return classify(cycles, completed);
+  }
+
   /// Convenience: start + wait_idle.
   RunStatus run(const BatchLayout& batch, bool backtrace) {
     start(batch, backtrace);
@@ -155,6 +165,11 @@ class Driver {
  private:
   [[nodiscard]] RunStatus classify(std::uint64_t cycles,
                                    bool completed) const;
+  /// The one polling loop behind wait_idle and wait_interrupt: steps the
+  /// simulated accelerator until `done()` or the cycle budget runs out,
+  /// then classifies.
+  RunStatus wait_core(const std::function<bool()>& done,
+                      std::uint64_t max_cycles);
 
   hw::Accelerator& accelerator_;
 };
@@ -165,11 +180,40 @@ class Driver {
 [[nodiscard]] std::vector<hw::NbtResult> decode_nbt_results(
     const mem::MainMemory& memory, const BatchLayout& batch);
 
+/// Id-ordered view of the NBT result area: decode_nbt_results re-sorted by
+/// alignment id (stable for equal ids, which only corruption produces).
+/// Callers that index results by id use this instead of re-sorting the
+/// Collector-completion-order stream ad hoc.
+[[nodiscard]] std::vector<hw::NbtResult> decode_nbt_results_sorted(
+    const mem::MainMemory& memory, const BatchLayout& batch);
+
 /// Tolerant variant for the resilient path: decodes at most the words the
 /// DMA actually wrote (`beats_written * 4`), so a truncated or aborted run
 /// never decodes stale/unwritten result memory as results.
 [[nodiscard]] std::vector<hw::NbtResult> decode_nbt_results_partial(
     const mem::MainMemory& memory, const BatchLayout& batch,
     std::uint64_t beats_written);
+
+/// One pair harvested from a (possibly faulted) run by
+/// harvest_verified_results: either a verified alignment or a
+/// deterministic hardware rejection (unsupported read, band/score
+/// overflow) the caller should resolve in software.
+struct HarvestedPair {
+  std::uint32_t local_id = 0;  ///< launch-local alignment id
+  bool hw_rejected = false;    ///< hardware inspected the pair and gave up
+  core::AlignResult result;    ///< valid when !hw_rejected
+};
+
+/// Tolerant post-run harvest shared by Driver::run_batch_resilient and the
+/// engine's requeue path: decodes at most what the DMA actually wrote
+/// (`beat_delta` 16-byte beats past `layout.out_addr`) and keeps only
+/// results that verify — in BT mode the reconstructed CIGAR must re-score
+/// to the reported score; entries with out-of-range ids are dropped.
+/// `pairs` are the launch-local pairs (ids 0..n-1).
+[[nodiscard]] std::vector<HarvestedPair> harvest_verified_results(
+    const mem::MainMemory& memory, const BatchLayout& layout,
+    std::uint64_t beat_delta, bool backtrace,
+    std::span<const gen::SequencePair> pairs,
+    const hw::AcceleratorConfig& cfg);
 
 }  // namespace wfasic::drv

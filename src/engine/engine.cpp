@@ -1,0 +1,440 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+#include "hw/input_format.hpp"
+
+namespace wfasic::engine {
+
+std::uint64_t pipelined_makespan(std::span<const PhaseSample> jobs,
+                                 unsigned num_devices,
+                                 unsigned slots_per_device) {
+  WFASIC_REQUIRE(num_devices > 0 && slots_per_device > 0,
+                 "pipelined_makespan: empty machine");
+  const std::size_t n = jobs.size();
+  std::vector<std::uint64_t> align_end(n, 0);
+  std::vector<std::uint64_t> device_free(num_devices, 0);
+  std::vector<unsigned> in_flight(num_devices, 0);
+  std::vector<char> encoded(n, 0);
+  std::vector<char> decoded(n, 0);
+
+  std::uint64_t cpu_t = 0;
+  std::size_t next_encode = 0;
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    // Earliest-finishing aligned-but-undecoded job (ties: lowest index).
+    std::size_t decode_pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (encoded[i] && !decoded[i] &&
+          (decode_pick == n || align_end[i] < align_end[decode_pick])) {
+        decode_pick = i;
+      }
+    }
+    const bool can_encode =
+        next_encode < n &&
+        in_flight[jobs[next_encode].device] < slots_per_device;
+
+    if (decode_pick < n && (align_end[decode_pick] <= cpu_t || !can_encode)) {
+      // Decode: preferred when ready (frees an arena slot), or forced when
+      // the next encode is blocked on a full arena.
+      const PhaseSample& job = jobs[decode_pick];
+      WFASIC_REQUIRE(job.device < num_devices,
+                     "pipelined_makespan: device index out of range");
+      cpu_t = std::max(cpu_t, align_end[decode_pick]) + job.decode;
+      decoded[decode_pick] = 1;
+      --in_flight[job.device];
+      --remaining;
+    } else if (can_encode) {
+      const std::size_t i = next_encode++;
+      const PhaseSample& job = jobs[i];
+      WFASIC_REQUIRE(job.device < num_devices,
+                     "pipelined_makespan: device index out of range");
+      cpu_t += job.encode;
+      const std::uint64_t align_start =
+          std::max(device_free[job.device], cpu_t);
+      align_end[i] = align_start + job.accel;
+      device_free[job.device] = align_end[i];
+      ++in_flight[job.device];
+      encoded[i] = 1;
+    } else {
+      WFASIC_REQUIRE(false, "pipelined_makespan: schedule wedged");
+    }
+  }
+  return cpu_t;
+}
+
+namespace {
+
+// The software fallback must score with the device's penalties, or the
+// resilient path's CPU-resolved pairs would disagree with the hardware.
+SwBackendConfig software_config(const EngineConfig& cfg) {
+  SwBackendConfig sw = cfg.software;
+  sw.pen = cfg.device.accel.pen;
+  return sw;
+}
+
+}  // namespace
+
+Engine::Engine(const EngineConfig& cfg)
+    : cfg_(cfg), software_(software_config(cfg)) {
+  WFASIC_REQUIRE(cfg_.num_devices > 0, "Engine: needs at least one device");
+  cfg_.software = software_.config();
+  for (unsigned d = 0; d < cfg_.num_devices; ++d) {
+    devices_.push_back(std::make_unique<HwBackend>(cfg_.device));
+  }
+  local_to_engine_.resize(devices_.size() + 1);
+}
+
+Engine::Engine(const EngineConfig& cfg, mem::MainMemory& memory,
+               hw::Accelerator& accelerator)
+    : cfg_(cfg), software_(software_config(cfg)) {
+  WFASIC_REQUIRE(cfg_.num_devices > 0, "Engine: needs at least one device");
+  cfg_.software = software_.config();
+  devices_.push_back(
+      std::make_unique<HwBackend>(cfg_.device, memory, accelerator));
+  for (unsigned d = 1; d < cfg_.num_devices; ++d) {
+    devices_.push_back(std::make_unique<HwBackend>(cfg_.device));
+  }
+  local_to_engine_.resize(devices_.size() + 1);
+}
+
+AlignmentBackend& Engine::backend(unsigned idx) {
+  return idx < devices_.size()
+             ? static_cast<AlignmentBackend&>(*devices_[idx])
+             : static_cast<AlignmentBackend&>(software_);
+}
+
+unsigned Engine::least_loaded_device() const {
+  unsigned best = 0;
+  for (unsigned d = 1; d < devices_.size(); ++d) {
+    if (devices_[d]->pending() < devices_[best]->pending()) best = d;
+  }
+  return best;
+}
+
+JobHandle Engine::file_submission(unsigned backend_idx, JobHandle local) {
+  const JobHandle handle{next_ticket_++};
+  tickets_.emplace(handle.value,
+                   Ticket{backend_idx, local, next_seq_++});
+  local_to_engine_[backend_idx].emplace(local.value, handle.value);
+  return handle;
+}
+
+JobHandle Engine::submit(BatchJob job) {
+  const unsigned dev = least_loaded_device();
+  const JobHandle local = devices_[dev]->submit(std::move(job));
+  return file_submission(dev, local);
+}
+
+JobHandle Engine::submit_software(BatchJob job) {
+  const JobHandle local = software_.submit(std::move(job));
+  return file_submission(static_cast<unsigned>(devices_.size()), local);
+}
+
+bool Engine::poll_once() {
+  bool any = false;
+  const auto service = [&](unsigned idx, AlignmentBackend& b) {
+    if (b.pending() > 0) any = b.poll() || any;
+    for (Completion& c : b.drain()) {
+      auto& map = local_to_engine_[idx];
+      const auto it = map.find(c.handle.value);
+      WFASIC_REQUIRE(it != map.end(), "Engine: completion for unknown job");
+      const std::uint64_t engine_handle = it->second;
+      map.erase(it);
+      c.handle = JobHandle{engine_handle};
+      completed_.emplace(engine_handle, std::move(c));
+    }
+  };
+  for (unsigned d = 0; d < devices_.size(); ++d) service(d, *devices_[d]);
+  service(static_cast<unsigned>(devices_.size()), software_);
+  return any;
+}
+
+bool Engine::poll() {
+  poll_once();
+  return in_flight() > 0;
+}
+
+std::size_t Engine::in_flight() const {
+  return tickets_.size() - completed_.size();
+}
+
+std::optional<Completion> Engine::try_take(JobHandle handle) {
+  const auto it = completed_.find(handle.value);
+  if (it == completed_.end()) return std::nullopt;
+  Completion out = std::move(it->second);
+  completed_.erase(it);
+  tickets_.erase(handle.value);
+  return out;
+}
+
+Completion Engine::wait(JobHandle handle) {
+  WFASIC_REQUIRE(tickets_.find(handle.value) != tickets_.end(),
+                 "Engine::wait: unknown handle");
+  while (true) {
+    if (std::optional<Completion> done = try_take(handle)) {
+      return std::move(*done);
+    }
+    const bool progressed = poll_once();
+    WFASIC_REQUIRE(progressed || completed_.count(handle.value) != 0,
+                   "Engine::wait: backends idle but the job never finished");
+  }
+}
+
+bool Engine::cancel(JobHandle handle) {
+  const auto it = tickets_.find(handle.value);
+  if (it == tickets_.end()) return false;
+  const Ticket ticket = it->second;
+  if (!backend(ticket.device).cancel(ticket.local)) return false;
+  local_to_engine_[ticket.device].erase(ticket.local.value);
+  tickets_.erase(it);
+  return true;
+}
+
+BatchResult Engine::run_batch(std::span<const gen::SequencePair> pairs,
+                              bool backtrace, bool separate_data) {
+  BatchJob job;
+  job.pairs.assign(pairs.begin(), pairs.end());
+  job.backtrace = backtrace;
+  job.separate_data = separate_data;
+  Completion completion = wait(submit(std::move(job)));
+  WFASIC_REQUIRE(completion.outcome == drv::RunOutcome::kOk ||
+                     completion.outcome == drv::RunOutcome::kPartial,
+                 "Engine::run_batch: accelerator run did not complete");
+  // Single batch: nothing overlaps, keep the serial accounting.
+  return std::move(completion.result);
+}
+
+BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
+                                std::size_t batch_pairs, bool backtrace,
+                                bool separate_data) {
+  WFASIC_REQUIRE(batch_pairs > 0, "Engine::run_dataset: zero batch size");
+
+  // Shard: submit every chunk up front so the devices stream through them
+  // back to back while earlier chunks are decoded and merged.
+  std::vector<JobHandle> handles;
+  std::vector<unsigned> device_of;
+  for (std::size_t base = 0; base < pairs.size(); base += batch_pairs) {
+    const std::size_t count = std::min(batch_pairs, pairs.size() - base);
+    BatchJob job;
+    job.backtrace = backtrace;
+    job.separate_data = separate_data;
+    job.pairs.assign(pairs.begin() + static_cast<std::ptrdiff_t>(base),
+                     pairs.begin() + static_cast<std::ptrdiff_t>(base + count));
+    for (std::size_t i = 0; i < job.pairs.size(); ++i) {
+      job.pairs[i].id = static_cast<std::uint32_t>(i);
+    }
+    const JobHandle handle = submit(std::move(job));
+    device_of.push_back(tickets_.at(handle.value).device);
+    handles.push_back(handle);
+  }
+
+  // In-order merge: completions are consumed in submission (= dataset)
+  // order regardless of which device finished first.
+  BatchResult merged;
+  merged.alignments.reserve(pairs.size());
+  merged.records.reserve(pairs.size());
+  std::vector<PhaseSample> samples;
+  samples.reserve(handles.size());
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    Completion completion = wait(handles[i]);
+    WFASIC_REQUIRE(completion.outcome == drv::RunOutcome::kOk ||
+                       completion.outcome == drv::RunOutcome::kPartial,
+                   "Engine::run_dataset: accelerator run did not complete");
+    const BatchResult& part = completion.result;
+    merged.accel_cycles += part.accel_cycles;
+    merged.cpu_bt_cycles += part.cpu_bt_cycles;
+    merged.encode_cycles += part.encode_cycles;
+    merged.alignments.insert(merged.alignments.end(),
+                             part.alignments.begin(), part.alignments.end());
+    merged.records.insert(merged.records.end(), part.records.begin(),
+                          part.records.end());
+    merged.read_records.insert(merged.read_records.end(),
+                               part.read_records.begin(),
+                               part.read_records.end());
+    merged.phase.extend += part.phase.extend;
+    merged.phase.compute += part.phase.compute;
+    merged.phase.overhead += part.phase.overhead;
+    merged.output_stall_cycles += part.output_stall_cycles;
+    merged.bt_counters.alignments += part.bt_counters.alignments;
+    merged.bt_counters.blocks_scanned += part.bt_counters.blocks_scanned;
+    merged.bt_counters.blocks_copied += part.bt_counters.blocks_copied;
+    merged.bt_counters.path_steps += part.bt_counters.path_steps;
+    merged.bt_counters.match_chars += part.bt_counters.match_chars;
+    samples.push_back(PhaseSample{completion.encode_cycles,
+                                  completion.accel_cycles,
+                                  completion.decode_cycles, device_of[i]});
+  }
+  if (cfg_.pipelined_accounting && !samples.empty()) {
+    merged.pipeline_cycles =
+        pipelined_makespan(samples, num_devices());
+  }
+  return merged;
+}
+
+Engine::ResilientReport Engine::run_resilient(
+    std::span<const gen::SequencePair> pairs, const ResilientConfig& cfg) {
+  const hw::AcceleratorConfig& hw_cfg = cfg_.device.accel;
+  WFASIC_REQUIRE(pairs.size() <= (cfg.backtrace ? (1u << 23) : (1u << 16)),
+                 "Engine::run_resilient: batch exceeds the result-ID width");
+
+  ResilientReport report;
+  report.outcomes.resize(pairs.size());
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    report.outcomes[idx].id = pairs[idx].id;
+  }
+
+  // Pairs destined for the software backend (oversized reads, hardware
+  // rejections, launch-guard leftovers), resolved in one batch at the end.
+  std::vector<std::size_t> sw_queue;
+  std::vector<char> sent_to_sw(pairs.size(), 0);
+  const auto route_to_sw = [&](std::size_t idx) {
+    if (sent_to_sw[idx] != 0 || report.outcomes[idx].resolved) return;
+    sent_to_sw[idx] = 1;
+    sw_queue.push_back(idx);
+  };
+
+  // Pre-screen: a pair too long for the chip would make the launch itself
+  // reject; it goes straight to the software path.
+  std::vector<std::size_t> initial;
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    const std::size_t longest =
+        std::max(pairs[idx].a.size(), pairs[idx].b.size());
+    const std::uint32_t rounded = hw::round_up_read_len(
+        std::max<std::uint32_t>(static_cast<std::uint32_t>(longest), 16));
+    if (rounded > hw_cfg.max_supported_read_len) {
+      route_to_sw(idx);
+    } else {
+      initial.push_back(idx);
+    }
+  }
+
+  std::deque<std::vector<std::size_t>> work;
+  if (!initial.empty()) work.push_back(std::move(initial));
+  std::vector<unsigned> isolated_tries(pairs.size(), 0);
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> in_flight_segs;
+
+  const auto dispatch = [&]() {
+    while (!work.empty() && report.launches < cfg.max_launches) {
+      std::vector<std::size_t> seg = std::move(work.front());
+      work.pop_front();
+      if (seg.size() == 1) ++isolated_tries[seg[0]];
+
+      // Re-encoding every launch is deliberate: it repairs any bit flips
+      // a campaign event landed in the input region. Launch-local ids
+      // 0..n-1 map back through `seg`.
+      BatchJob job;
+      job.backtrace = cfg.backtrace;
+      job.tolerant = true;
+      job.cycle_budget = cfg.launch_cycle_budget;
+      job.pairs.reserve(seg.size());
+      for (std::size_t local = 0; local < seg.size(); ++local) {
+        job.pairs.push_back({static_cast<std::uint32_t>(local),
+                             pairs[seg[local]].a, pairs[seg[local]].b});
+      }
+      if (report.launches > 0) ++report.retries;
+      ++report.launches;
+      for (const std::size_t idx : seg) ++report.outcomes[idx].hw_attempts;
+
+      const JobHandle handle = submit(std::move(job));
+      in_flight_segs.emplace(handle.value, std::move(seg));
+    }
+  };
+
+  dispatch();
+  while (!in_flight_segs.empty()) {
+    poll_once();
+
+    // Consume ready completions in submission order — the same order the
+    // blocking driver processed its launches, so requeue decisions (and
+    // with them the whole campaign outcome) stay deterministic.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ready;  // (seq, h)
+    for (const auto& [handle_value, seg] : in_flight_segs) {
+      if (completed_.count(handle_value) != 0) {
+        ready.emplace_back(tickets_.at(handle_value).seq, handle_value);
+      }
+    }
+    std::sort(ready.begin(), ready.end());
+
+    for (const auto& [seq, handle_value] : ready) {
+      std::vector<std::size_t> seg =
+          std::move(in_flight_segs.at(handle_value));
+      in_flight_segs.erase(handle_value);
+      Completion completion = *try_take(JobHandle{handle_value});
+      report.total_cycles += completion.accel_cycles;
+
+      std::vector<bool> resolved_local(seg.size(), false);
+      for (const drv::HarvestedPair& h : completion.harvest) {
+        const std::size_t idx = seg[h.local_id];
+        if (report.outcomes[idx].resolved || sent_to_sw[idx] != 0) continue;
+        if (h.hw_rejected) {
+          // Deterministic hardware rejection (unsupported read, band or
+          // score overflow): retrying cannot help, the software path can.
+          route_to_sw(idx);
+        } else {
+          report.outcomes[idx].result = h.result;
+          report.outcomes[idx].resolved = true;
+        }
+        resolved_local[h.local_id] = true;
+      }
+
+      std::vector<std::size_t> unresolved;
+      for (std::size_t local = 0; local < seg.size(); ++local) {
+        const std::size_t idx = seg[local];
+        if (!resolved_local[local] && !report.outcomes[idx].resolved &&
+            sent_to_sw[idx] == 0) {
+          unresolved.push_back(idx);
+        }
+      }
+      if (unresolved.empty()) continue;
+      if (unresolved.size() == 1) {
+        // Isolated pair: a few more hardware tries (transient faults
+        // fade; the schedule is finite), then degrade to software.
+        const std::size_t idx = unresolved[0];
+        if (isolated_tries[idx] >= cfg.singleton_attempts) {
+          route_to_sw(idx);
+        } else {
+          work.push_back({idx});
+        }
+      } else {
+        // Bisect: split the failing segment until the poisoned pair is
+        // isolated. Healthy halves complete on the next launch.
+        const auto mid = unresolved.begin() +
+                         static_cast<std::ptrdiff_t>(unresolved.size() / 2);
+        work.emplace_back(unresolved.begin(), mid);
+        work.emplace_back(mid, unresolved.end());
+      }
+    }
+    dispatch();
+  }
+
+  // Launch guard exhausted (or pathological schedule): whatever is still
+  // unresolved completes in software. The batch never fails as a whole.
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    if (!report.outcomes[idx].resolved) route_to_sw(idx);
+  }
+
+  if (!sw_queue.empty()) {
+    BatchJob job;
+    job.backtrace = cfg.backtrace;
+    job.pairs.reserve(sw_queue.size());
+    for (std::size_t local = 0; local < sw_queue.size(); ++local) {
+      job.pairs.push_back({static_cast<std::uint32_t>(local),
+                           pairs[sw_queue[local]].a,
+                           pairs[sw_queue[local]].b});
+    }
+    Completion completion = wait(submit_software(std::move(job)));
+    for (std::size_t local = 0; local < sw_queue.size(); ++local) {
+      PairOutcome& out = report.outcomes[sw_queue[local]];
+      out.result = completion.result.alignments[local];
+      out.resolved = true;
+      out.cpu_fallback = true;
+      ++report.cpu_fallbacks;
+    }
+  }
+  return report;
+}
+
+}  // namespace wfasic::engine

@@ -1,0 +1,151 @@
+// The asynchronous alignment engine: submission/completion queues over a
+// fleet of AlignmentBackends.
+//
+// The engine replaces the SoC's blocking run_batch loop as the host-side
+// orchestrator (Soc stays as a thin facade over a K=1 engine):
+//   - submit() assigns each batch to the least-loaded hardware device
+//     (ties break to the lowest index — deterministic) and returns an
+//     engine-level handle; poll()/wait() advance all devices in bounded
+//     interleaved quanta and collect completions;
+//   - run_dataset() shards an arbitrarily large dataset across the K
+//     devices, merges results back in submission (= dataset) order, and
+//     accounts the run as a three-stage pipeline: encode batch N+1 and
+//     decode batch N-1 overlap the aligning of batch N, so the reported
+//     pipeline_cycles is the makespan of that schedule, not the serial
+//     sum (pipelined_makespan below);
+//   - run_resilient() rehomes the driver's fault-tolerant flow onto the
+//     queues: kTimeout/kDmaError completions requeue through bisection
+//     across whichever device is free, and pairs the hardware cannot
+//     complete land on the SwBackend as the terminal fallback.
+// See docs/ENGINE.md for the full design.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/backend.hpp"
+#include "engine/hw_backend.hpp"
+#include "engine/sw_backend.hpp"
+#include "gen/seqgen.hpp"
+
+namespace wfasic::engine {
+
+struct EngineConfig {
+  /// Simulated accelerator devices to shard over.
+  unsigned num_devices = 1;
+  /// Template for every device (each gets its own memory + accelerator).
+  HwBackendConfig device;
+  SwBackendConfig software;
+  /// Report run_dataset() totals as the pipelined makespan instead of the
+  /// serial encode+align+decode sum.
+  bool pipelined_accounting = true;
+};
+
+/// Per-job phase durations feeding the pipelined schedule.
+struct PhaseSample {
+  std::uint64_t encode = 0;  ///< CPU input staging
+  std::uint64_t accel = 0;   ///< device busy time
+  std::uint64_t decode = 0;  ///< CPU result decode + backtrace
+  unsigned device = 0;       ///< which accelerator ran the batch
+};
+
+/// Makespan of the three-stage pipeline: one CPU (encoding and decoding,
+/// decode preferred when both are ready) feeding `num_devices`
+/// accelerators, each with `slots_per_device` input arena slots bounding
+/// how far encode may run ahead. Greedy list schedule in submission
+/// order — the schedule HwBackend's double-buffered staging actually
+/// executes.
+[[nodiscard]] std::uint64_t pipelined_makespan(
+    std::span<const PhaseSample> jobs, unsigned num_devices,
+    unsigned slots_per_device = 2);
+
+class Engine {
+ public:
+  explicit Engine(const EngineConfig& cfg);
+  /// Borrowing: device 0 drives an externally owned memory/accelerator
+  /// (the Soc facade); additional devices are engine-owned.
+  Engine(const EngineConfig& cfg, mem::MainMemory& memory,
+         hw::Accelerator& accelerator);
+
+  // --- Asynchronous surface -------------------------------------------------
+  /// Queues a batch on the least-loaded device and returns an engine-level
+  /// handle. Pair ids must be launch-local 0..n-1.
+  JobHandle submit(BatchJob job);
+  /// Queues a batch on the software backend instead (the resilient path's
+  /// terminal fallback; also usable as a baseline).
+  JobHandle submit_software(BatchJob job);
+  /// Advances every backend by one bounded quantum and collects finished
+  /// completions. Returns true while any submitted work remains.
+  bool poll();
+  /// Polls until `handle` completes, then moves its completion out.
+  Completion wait(JobHandle handle);
+  /// Cancels a still-queued job. Returns true when it was removed.
+  bool cancel(JobHandle handle);
+  [[nodiscard]] std::size_t in_flight() const;
+
+  // --- Batch facades --------------------------------------------------------
+  /// One batch through the co-design flow (what Soc::run_batch always
+  /// did). Serial accounting: pipeline_cycles stays 0.
+  [[nodiscard]] BatchResult run_batch(std::span<const gen::SequencePair> pairs,
+                                      bool backtrace, bool separate_data);
+  /// An arbitrarily large dataset in batches of at most `batch_pairs`,
+  /// sharded across the devices, merged in dataset order. With
+  /// pipelined_accounting the result's pipeline_cycles is the overlapped
+  /// makespan.
+  [[nodiscard]] BatchResult run_dataset(
+      std::span<const gen::SequencePair> pairs, std::size_t batch_pairs,
+      bool backtrace, bool separate_data);
+
+  // --- Resilient execution --------------------------------------------------
+  using PairOutcome = drv::Driver::PairOutcome;
+  using ResilientConfig = drv::Driver::ResilientConfig;
+  using ResilientReport = drv::Driver::ResilientReport;
+
+  /// Runs `pairs` to completion in the face of faults, on the engine's
+  /// queues: tolerant jobs harvest every verifiable result; failing
+  /// segments bisect and requeue (re-encoding repairs input corruption);
+  /// pairs the hardware cannot complete fall back to the SwBackend.
+  /// Semantics match drv::Driver::run_batch_resilient.
+  ResilientReport run_resilient(std::span<const gen::SequencePair> pairs,
+                                const ResilientConfig& cfg = {});
+
+  [[nodiscard]] unsigned num_devices() const {
+    return static_cast<unsigned>(devices_.size());
+  }
+  [[nodiscard]] HwBackend& device(unsigned idx) { return *devices_[idx]; }
+  [[nodiscard]] SwBackend& software() { return software_; }
+  [[nodiscard]] const EngineConfig& config() const { return cfg_; }
+
+ private:
+  struct Ticket {
+    unsigned device = 0;       ///< index into devices_
+    JobHandle local;           ///< the backend's handle
+    std::uint64_t seq = 0;     ///< submission order
+  };
+
+  [[nodiscard]] unsigned least_loaded_device() const;
+  JobHandle file_submission(unsigned backend_idx, JobHandle local);
+  [[nodiscard]] AlignmentBackend& backend(unsigned idx);
+  /// One engine tick: polls every backend, drains, and files completions
+  /// under their engine handles.
+  bool poll_once();
+  /// Non-blocking completion pickup; erases the ticket when found.
+  std::optional<Completion> try_take(JobHandle handle);
+
+  EngineConfig cfg_;
+  std::vector<std::unique_ptr<HwBackend>> devices_;
+  SwBackend software_;
+
+  std::uint64_t next_ticket_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, Ticket> tickets_;  ///< by engine handle
+  /// Per backend (devices, then software): local handle -> engine handle.
+  std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> local_to_engine_;
+  std::unordered_map<std::uint64_t, Completion> completed_;
+};
+
+}  // namespace wfasic::engine

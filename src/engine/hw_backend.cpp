@@ -1,0 +1,282 @@
+#include "engine/hw_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "drv/backtrace_cpu.hpp"
+#include "hw/input_format.hpp"
+
+namespace wfasic::engine {
+
+HwBackend::HwBackend(const HwBackendConfig& cfg)
+    : cfg_(cfg),
+      owned_memory_(std::make_unique<mem::MainMemory>(cfg.memory_bytes)),
+      owned_accelerator_(
+          std::make_unique<hw::Accelerator>(cfg.accel, *owned_memory_)),
+      memory_(owned_memory_.get()),
+      accelerator_(owned_accelerator_.get()),
+      driver_(*accelerator_),
+      cpu_(cfg.cpu) {
+  WFASIC_REQUIRE(cfg_.in_addr < cfg_.out_addr &&
+                     cfg_.out_addr < cfg_.memory_bytes,
+                 "HwBackend: arena addresses out of order");
+  if (cfg_.watchdog != 0) {
+    accelerator_->write_reg(hw::kRegWatchdog, cfg_.watchdog);
+  }
+}
+
+HwBackend::HwBackend(const HwBackendConfig& cfg, mem::MainMemory& memory,
+                     hw::Accelerator& accelerator)
+    : cfg_(cfg),
+      memory_(&memory),
+      accelerator_(&accelerator),
+      driver_(accelerator),
+      cpu_(cfg.cpu) {
+  WFASIC_REQUIRE(cfg_.in_addr < cfg_.out_addr,
+                 "HwBackend: arena addresses out of order");
+  if (cfg_.watchdog != 0) {
+    accelerator_->write_reg(hw::kRegWatchdog, cfg_.watchdog);
+  }
+}
+
+void HwBackend::attach_fault_injector(sim::FaultInjector* injector) {
+  accelerator_->attach_fault_injector(injector);
+}
+
+std::uint64_t HwBackend::predicted_in_bytes(const BatchJob& job) const {
+  std::uint32_t longest = 0;
+  for (const gen::SequencePair& pair : job.pairs) {
+    longest = std::max<std::uint32_t>(
+        longest,
+        static_cast<std::uint32_t>(std::max(pair.a.size(), pair.b.size())));
+  }
+  const std::uint32_t rounded =
+      hw::round_up_read_len(std::max(longest, 16u));
+  return job.pairs.size() * hw::pair_bytes(rounded);
+}
+
+JobHandle HwBackend::submit(BatchJob job) {
+  WFASIC_REQUIRE(!job.pairs.empty(), "HwBackend::submit: empty batch");
+  WFASIC_REQUIRE(
+      !job.backtrace || job.separate_data || cfg_.accel.num_aligners == 1,
+      "HwBackend::submit: multi-Aligner accelerators require the "
+      "data-separation backtrace method");
+  WFASIC_REQUIRE(
+      job.pairs.size() <= (job.backtrace ? (1u << 23) : (1u << 16)),
+      "HwBackend::submit: batch exceeds the result-ID width");
+  for (std::size_t idx = 0; idx < job.pairs.size(); ++idx) {
+    WFASIC_REQUIRE(job.pairs[idx].id == idx,
+                   "HwBackend::submit: pair ids must be launch-local 0..n-1");
+  }
+  WFASIC_REQUIRE(predicted_in_bytes(job) <= cfg_.out_addr - cfg_.in_addr,
+                 "HwBackend::submit: batch exceeds the input region");
+
+  const JobHandle handle{next_handle_++};
+  queue_.emplace_back(handle, std::move(job));
+  return handle;
+}
+
+HwBackend::StagedJob HwBackend::encode_front(unsigned slot) {
+  StagedJob staged;
+  staged.handle = queue_.front().first;
+  staged.job = std::move(queue_.front().second);
+  queue_.pop_front();
+
+  const std::uint64_t need = predicted_in_bytes(staged.job);
+  staged.exclusive = need > input_slot_bytes();
+  staged.slot = staged.exclusive ? 0 : slot;
+  const std::uint64_t in_addr =
+      cfg_.in_addr + staged.slot * input_slot_bytes();
+  staged.layout = drv::encode_input_set(*memory_, staged.job.pairs, in_addr,
+                                        cfg_.out_addr);
+  staged.encode_cycles = static_cast<std::uint64_t>(std::llround(
+      static_cast<double>(staged.layout.in_bytes) *
+      cfg_.encode_cycles_per_byte));
+  return staged;
+}
+
+void HwBackend::launch(StagedJob&& staged) {
+  ActiveJob active;
+  active.staged = std::move(staged);
+
+  // Device stats accumulate across runs of the same accelerator; remember
+  // where this run starts (same snapshot the blocking SoC flow took).
+  for (const auto& aligner : accelerator_->aligners()) {
+    active.aligner_cursors.push_back(aligner->records().size());
+    active.phase_before.extend += aligner->phase_cycles().extend;
+    active.phase_before.compute += aligner->phase_cycles().compute;
+    active.phase_before.overhead += aligner->phase_cycles().overhead;
+    active.stalls_before += aligner->output_stall_cycles();
+  }
+  active.read_cursor = accelerator_->extractor().records().size();
+  active.beats_before = accelerator_->dma().beats_written();
+  active.budget = active.staged.job.cycle_budget != 0
+                      ? active.staged.job.cycle_budget
+                      : cfg_.launch_cycle_budget;
+
+  driver_.start(active.staged.layout, active.staged.job.backtrace);
+  active.start_cycle = accelerator_->now();
+  active_ = std::move(active);
+}
+
+bool HwBackend::poll() {
+  if (!active_.has_value()) {
+    if (staged_.has_value()) {
+      StagedJob staged = std::move(*staged_);
+      staged_.reset();
+      launch(std::move(staged));
+    } else if (!queue_.empty()) {
+      // Device drained and nothing staged: encode straight into slot 0
+      // (the legacy blocking addresses) and launch.
+      launch(encode_front(0));
+    }
+  }
+  if (active_.has_value()) {
+    // Stage the next batch into the other arena slot while the device
+    // runs — the overlap the double-buffered input arena exists for. An
+    // exclusive (oversized) job cannot share the region, in either role.
+    if (!staged_.has_value() && !queue_.empty() &&
+        !active_->staged.exclusive &&
+        predicted_in_bytes(queue_.front().second) <= input_slot_bytes()) {
+      staged_ = encode_front(1 - active_->staged.slot);
+    }
+
+    accelerator_->step_many(cfg_.poll_quantum);
+    const std::uint64_t elapsed =
+        accelerator_->now() - active_->start_cycle;
+    if (accelerator_->idle() || elapsed >= active_->budget) {
+      complete_active();
+      // Keep the device busy inside the same poll: the staged successor
+      // launches as soon as its predecessor is decoded.
+      if (!active_.has_value() && staged_.has_value()) {
+        StagedJob staged = std::move(*staged_);
+        staged_.reset();
+        launch(std::move(staged));
+      }
+    }
+  }
+  return pending() > 0;
+}
+
+void HwBackend::complete_active() {
+  ActiveJob active = std::move(*active_);
+  active_.reset();
+
+  const std::uint64_t elapsed = accelerator_->now() - active.start_cycle;
+  const drv::RunStatus status =
+      driver_.classify_run(elapsed, accelerator_->idle());
+  // A watchdog/DMA abort leaves the device flushed and idle; only a
+  // wait-budget timeout needs an explicit soft reset before relaunching.
+  if (!accelerator_->idle()) driver_.soft_reset();
+
+  Completion completion;
+  completion.handle = active.staged.handle;
+  completion.outcome = status.outcome;
+  completion.encode_cycles = active.staged.encode_cycles;
+  completion.accel_cycles = elapsed;
+
+  if (active.staged.job.tolerant) {
+    // Resilient path: salvage every verifiable result the run managed to
+    // write, bounded by the beats the DMA actually moved.
+    const std::uint64_t beat_delta =
+        accelerator_->dma().beats_written() - active.beats_before;
+    completion.harvest = drv::harvest_verified_results(
+        *memory_, active.staged.layout, beat_delta,
+        active.staged.job.backtrace, active.staged.job.pairs,
+        accelerator_->config());
+  } else if (status.completed()) {
+    decode_into(completion, active, status);
+  }
+  done_.push_back(std::move(completion));
+}
+
+void HwBackend::decode_into(Completion& completion, const ActiveJob& active,
+                            const drv::RunStatus& status) {
+  const BatchJob& job = active.staged.job;
+  const drv::BatchLayout& layout = active.staged.layout;
+  BatchResult& result = completion.result;
+  result.accel_cycles = status.cycles;
+  result.encode_cycles = active.staged.encode_cycles;
+
+  result.records.resize(job.pairs.size());
+  for (std::size_t idx = 0; idx < accelerator_->aligners().size(); ++idx) {
+    const auto& records = accelerator_->aligners()[idx]->records();
+    for (std::size_t r = active.aligner_cursors[idx]; r < records.size();
+         ++r) {
+      WFASIC_REQUIRE(records[r].id < result.records.size(),
+                     "HwBackend: unexpected alignment id in records");
+      result.records[records[r].id] = records[r];
+    }
+  }
+  result.read_records.assign(
+      accelerator_->extractor().records().begin() +
+          static_cast<std::ptrdiff_t>(active.read_cursor),
+      accelerator_->extractor().records().end());
+  for (const auto& aligner : accelerator_->aligners()) {
+    result.phase.extend += aligner->phase_cycles().extend;
+    result.phase.compute += aligner->phase_cycles().compute;
+    result.phase.overhead += aligner->phase_cycles().overhead;
+    result.output_stall_cycles += aligner->output_stall_cycles();
+  }
+  result.phase.extend -= active.phase_before.extend;
+  result.phase.compute -= active.phase_before.compute;
+  result.phase.overhead -= active.phase_before.overhead;
+  result.output_stall_cycles -= active.stalls_before;
+
+  result.alignments.resize(job.pairs.size());
+  if (job.backtrace) {
+    const std::vector<drv::BtAlignment> parsed =
+        drv::parse_bt_stream(*memory_, layout.out_addr, layout.num_pairs,
+                             job.separate_data, &result.bt_counters);
+    for (const drv::BtAlignment& bt : parsed) {
+      WFASIC_REQUIRE(bt.id < job.pairs.size(),
+                     "HwBackend: unexpected alignment id in stream");
+      result.alignments[bt.id] = drv::reconstruct_alignment(
+          bt, job.pairs[bt.id].a, job.pairs[bt.id].b, accelerator_->config(),
+          &result.bt_counters);
+    }
+    result.cpu_bt_cycles = cpu_.backtrace_cycles(result.bt_counters);
+    completion.decode_cycles = result.cpu_bt_cycles;
+  } else {
+    for (const hw::NbtResult& nbt :
+         drv::decode_nbt_results_sorted(*memory_, layout)) {
+      WFASIC_REQUIRE(nbt.id < job.pairs.size(),
+                     "HwBackend: unexpected alignment id in results");
+      core::AlignResult& out = result.alignments[nbt.id];
+      out.ok = nbt.success;
+      out.score = static_cast<score_t>(nbt.score);
+    }
+    completion.decode_cycles = static_cast<std::uint64_t>(std::llround(
+        static_cast<double>(layout.num_pairs) *
+        cfg_.nbt_decode_cycles_per_pair));
+  }
+}
+
+bool HwBackend::cancel(JobHandle handle) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first == handle) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  if (staged_.has_value() && staged_->handle == handle) {
+    staged_.reset();
+    return true;
+  }
+  return false;
+}
+
+std::size_t HwBackend::pending() const {
+  return queue_.size() + (staged_.has_value() ? 1 : 0) +
+         (active_.has_value() ? 1 : 0);
+}
+
+std::vector<Completion> HwBackend::drain() {
+  std::vector<Completion> out = std::move(done_);
+  done_.clear();
+  return out;
+}
+
+}  // namespace wfasic::engine

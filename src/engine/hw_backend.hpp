@@ -1,0 +1,133 @@
+// AlignmentBackend over one simulated WFAsic device.
+//
+// The backend owns (or borrows, for the Soc facade) a MainMemory and an
+// Accelerator, drives them through drv::Driver, and turns the blocking
+// encode -> start -> wait_idle -> decode flow into a polled state machine:
+//   - the input region [in_addr, out_addr) is split into two arena slots;
+//     while batch N aligns out of one slot, batch N+1 is encoded into the
+//     other (functional overlap — the memory writes really do interleave
+//     with the device simulation);
+//   - poll() advances the device by a bounded cycle quantum, so a host
+//     can interleave several devices instead of blocking on one;
+//   - completions carry per-phase cycle samples (encode / accel / decode)
+//     that the engine's pipelined makespan accounting consumes.
+// Results are decoded at completion, before the next launch; the *decode*
+// overlap of the three-stage pipeline is therefore modelled by the
+// engine's accounting rather than interleaved functionally (the decode is
+// instantaneous host code — there is no simulated time it could occupy).
+//
+// A batch whose encoded input does not fit one arena slot takes the whole
+// input region instead; such an exclusive launch waits for the device to
+// drain and suppresses staging while it runs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cpu/cpu_model.hpp"
+#include "drv/driver.hpp"
+#include "engine/backend.hpp"
+#include "hw/accelerator.hpp"
+#include "hw/config.hpp"
+#include "mem/main_memory.hpp"
+
+namespace wfasic::engine {
+
+struct HwBackendConfig {
+  hw::AcceleratorConfig accel;
+  cpu::CpuModel::Config cpu;
+  std::size_t memory_bytes = 256ull << 20;
+  std::uint64_t in_addr = 0x0000'1000;
+  std::uint64_t out_addr = 0x0800'0000;
+  /// Device cycles simulated per poll() call.
+  std::uint64_t poll_quantum = 16'384;
+  /// Default per-launch cycle budget (BatchJob::cycle_budget overrides).
+  std::uint64_t launch_cycle_budget = 4'000'000'000ULL;
+  /// No-progress watchdog programmed into the device (0 = disabled).
+  std::uint32_t watchdog = 0;
+  /// CPU input-staging cost model: cycles per encoded byte (header +
+  /// padded sequences), a streaming-store estimate on the in-order core.
+  double encode_cycles_per_byte = 1.0;
+  /// CPU NBT decode cost model: cycles per 4-byte result word decoded.
+  double nbt_decode_cycles_per_pair = 16.0;
+};
+
+class HwBackend final : public AlignmentBackend {
+ public:
+  /// Owning: builds a private MainMemory + Accelerator from the config.
+  explicit HwBackend(const HwBackendConfig& cfg);
+  /// Borrowing: drives an externally owned device (the Soc facade keeps
+  /// owning its memory/accelerator so introspection APIs stay valid).
+  HwBackend(const HwBackendConfig& cfg, mem::MainMemory& memory,
+            hw::Accelerator& accelerator);
+
+  JobHandle submit(BatchJob job) override;
+  bool poll() override;
+  bool cancel(JobHandle handle) override;
+  [[nodiscard]] std::size_t pending() const override;
+  std::vector<Completion> drain() override;
+  [[nodiscard]] const char* kind() const override { return "hw"; }
+
+  [[nodiscard]] mem::MainMemory& memory() { return *memory_; }
+  [[nodiscard]] hw::Accelerator& accelerator() { return *accelerator_; }
+  [[nodiscard]] const HwBackendConfig& config() const { return cfg_; }
+  /// Forwards to hw::Accelerator::attach_fault_injector.
+  void attach_fault_injector(sim::FaultInjector* injector);
+
+  /// Bytes one arena slot holds (half the input region).
+  [[nodiscard]] std::uint64_t input_slot_bytes() const {
+    return (cfg_.out_addr - cfg_.in_addr) / 2;
+  }
+
+ private:
+  /// A job encoded into memory, its registers not yet programmed.
+  struct StagedJob {
+    JobHandle handle;
+    BatchJob job;
+    drv::BatchLayout layout;
+    unsigned slot = 0;
+    bool exclusive = false;
+    std::uint64_t encode_cycles = 0;
+  };
+  /// The job the device is currently running.
+  struct ActiveJob {
+    StagedJob staged;
+    std::uint64_t start_cycle = 0;
+    std::uint64_t budget = 0;
+    std::uint64_t beats_before = 0;
+    // Device stats vectors accumulate across runs; these cursors mark
+    // where this run starts.
+    std::vector<std::size_t> aligner_cursors;
+    hw::Aligner::PhaseCycles phase_before;
+    std::uint64_t stalls_before = 0;
+    std::size_t read_cursor = 0;
+  };
+
+  [[nodiscard]] std::uint64_t predicted_in_bytes(const BatchJob& job) const;
+  /// Encodes the queue front into arena slot `slot` (or the full region
+  /// when it needs an exclusive launch).
+  [[nodiscard]] StagedJob encode_front(unsigned slot);
+  void launch(StagedJob&& staged);
+  void complete_active();
+  void decode_into(Completion& completion, const ActiveJob& active,
+                   const drv::RunStatus& status);
+
+  HwBackendConfig cfg_;
+  std::unique_ptr<mem::MainMemory> owned_memory_;
+  std::unique_ptr<hw::Accelerator> owned_accelerator_;
+  mem::MainMemory* memory_ = nullptr;
+  hw::Accelerator* accelerator_ = nullptr;
+  drv::Driver driver_;
+  cpu::CpuModel cpu_;
+
+  std::deque<std::pair<JobHandle, BatchJob>> queue_;
+  std::optional<StagedJob> staged_;
+  std::optional<ActiveJob> active_;
+  std::vector<Completion> done_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace wfasic::engine

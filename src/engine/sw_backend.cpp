@@ -1,0 +1,80 @@
+#include "engine/sw_backend.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/parallel_for.hpp"
+#include "core/wfa.hpp"
+
+namespace wfasic::engine {
+
+JobHandle SwBackend::submit(BatchJob job) {
+  WFASIC_REQUIRE(!job.pairs.empty(), "SwBackend::submit: empty batch");
+  for (std::size_t idx = 0; idx < job.pairs.size(); ++idx) {
+    WFASIC_REQUIRE(job.pairs[idx].id == idx,
+                   "SwBackend::submit: pair ids must be launch-local 0..n-1");
+  }
+  const JobHandle handle{next_handle_++};
+  queue_.emplace_back(handle, std::move(job));
+  return handle;
+}
+
+bool SwBackend::poll() {
+  if (queue_.empty()) return false;
+  auto [handle, job] = std::move(queue_.front());
+  queue_.pop_front();
+
+  core::WfaConfig wfa_cfg;
+  wfa_cfg.pen = cfg_.pen;
+  wfa_cfg.traceback = job.backtrace ? core::Traceback::kEnabled
+                                    : core::Traceback::kDisabled;
+  wfa_cfg.extend = core::ExtendMode::kScalar;
+
+  const std::size_t n = job.pairs.size();
+  std::vector<core::AlignResult> results(n);
+  std::vector<std::uint64_t> cycles(n, 0);
+  parallel_for(
+      n,
+      [&](std::size_t idx) {
+        core::WfaAligner aligner(wfa_cfg);
+        results[idx] = aligner.align(job.pairs[idx].a, job.pairs[idx].b);
+        const core::WfaProbe& p = aligner.probe();
+        const cpu::ScalarCosts& c = cfg_.costs;
+        double ops = c.per_alignment;
+        ops += c.per_compute_cell * static_cast<double>(p.cells_computed);
+        ops += c.per_extend_char * static_cast<double>(p.chars_compared);
+        ops += c.per_extend_cell * static_cast<double>(p.extend_cells);
+        ops += c.per_score_iteration *
+               static_cast<double>(p.score_iterations);
+        ops += c.per_wavefront * static_cast<double>(p.wavefronts_computed);
+        ops += c.per_bt_step * static_cast<double>(p.bt_steps);
+        cycles[idx] = static_cast<std::uint64_t>(std::llround(ops));
+      },
+      cfg_.threads);
+
+  Completion completion;
+  completion.handle = handle;
+  completion.outcome = drv::RunOutcome::kOk;
+  completion.result.alignments = std::move(results);
+  for (const std::uint64_t c : cycles) completion.sw_align_cycles += c;
+  done_.push_back(std::move(completion));
+  return !queue_.empty();
+}
+
+bool SwBackend::cancel(JobHandle handle) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->first == handle) {
+      queue_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Completion> SwBackend::drain() {
+  std::vector<Completion> out = std::move(done_);
+  done_.clear();
+  return out;
+}
+
+}  // namespace wfasic::engine

@@ -1,0 +1,53 @@
+// AlignmentBackend over the software WFA reference (core::wfa).
+//
+// The terminal fallback of the engine's resilient path — and a baseline
+// backend in its own right: scalar extension (copes with 'N' bases), no
+// band or score cap, so it completes every pair the chip cannot. Where
+// the hardware's band does not bind, scores and CIGARs match the ASIC bit
+// for bit (shared Eq.-3 kernel). Pairs of a job run concurrently over
+// common/parallel_for; cycles are a stall-free estimate from the aligner's
+// instrumentation probe and the scalar cost model (the full CpuModel adds
+// cache simulation, which the fallback path does not need).
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "cpu/cost_model.hpp"
+#include "engine/backend.hpp"
+
+namespace wfasic::engine {
+
+struct SwBackendConfig {
+  Penalties pen = kDefaultPenalties;
+  cpu::ScalarCosts costs;
+  unsigned threads = 0;  ///< parallel_for workers (0 = hardware concurrency)
+};
+
+class SwBackend final : public AlignmentBackend {
+ public:
+  explicit SwBackend(const SwBackendConfig& cfg = {}) : cfg_(cfg) {}
+
+  JobHandle submit(BatchJob job) override;
+  /// Runs one queued job to completion per call (software work has no
+  /// cycle-accurate substrate to slice; one job is the natural quantum).
+  bool poll() override;
+  bool cancel(JobHandle handle) override;
+  [[nodiscard]] std::size_t pending() const override {
+    return queue_.size();
+  }
+  std::vector<Completion> drain() override;
+  [[nodiscard]] const char* kind() const override { return "sw"; }
+
+  [[nodiscard]] const SwBackendConfig& config() const { return cfg_; }
+
+ private:
+  SwBackendConfig cfg_;
+  std::deque<std::pair<JobHandle, BatchJob>> queue_;
+  std::vector<Completion> done_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace wfasic::engine

@@ -245,6 +245,15 @@ void Accelerator::step() {
   }
 }
 
+std::uint64_t Accelerator::step_many(std::uint64_t max_cycles) {
+  std::uint64_t stepped = 0;
+  while (running_ && stepped < max_cycles) {
+    step();
+    ++stepped;
+  }
+  return stepped;
+}
+
 std::uint64_t Accelerator::run_to_completion(std::uint64_t max_cycles) {
   const sim::cycle_t begin = scheduler_.now();
   while (running_) {

@@ -43,6 +43,11 @@ class Accelerator {
   // --- Simulation control ---------------------------------------------------
   /// Advances the whole accelerator by one clock cycle.
   void step();
+  /// Steps at most `max_cycles` cycles, stopping early once idle. Returns
+  /// the cycles actually stepped. This is the engine's poll quantum: the
+  /// asynchronous host interleaves bounded slices of several device
+  /// simulations instead of blocking on any one of them.
+  std::uint64_t step_many(std::uint64_t max_cycles);
   /// Runs until idle; aborts after `max_cycles` (deadlock guard).
   /// Returns the cycles elapsed during this call.
   std::uint64_t run_to_completion(std::uint64_t max_cycles = 4'000'000'000ULL);

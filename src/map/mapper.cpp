@@ -16,9 +16,9 @@ ReadMapper::ReadMapper(std::string reference, MapperConfig cfg)
   WFASIC_REQUIRE(cfg_.diagonal_bucket >= 1, "ReadMapper: zero bucket");
 }
 
-Mapping ReadMapper::map(std::string_view read) const {
-  Mapping result;
-  if (read.size() < cfg_.k) return result;
+MapPlan ReadMapper::plan(std::string_view read) const {
+  MapPlan plan;
+  if (read.size() < cfg_.k) return plan;
 
   // --- Seeding: sample k-mers along the read and vote for the implied
   // alignment start diagonal (hit position - read offset), bucketised to
@@ -27,29 +27,24 @@ Mapping ReadMapper::map(std::string_view read) const {
   for (std::size_t off = 0; off + cfg_.k <= read.size();
        off += cfg_.seed_stride) {
     for (std::uint32_t hit : index_.lookup(read.substr(off, cfg_.k))) {
-      ++result.seed_hits;
+      ++plan.seed_hits;
       if (hit < off) continue;  // read would start before the reference
       const std::size_t start = hit - off;
       ++votes[start / cfg_.diagonal_bucket];
     }
   }
-  if (votes.empty()) return result;
+  if (votes.empty()) return plan;
 
-  // --- Candidate selection: the most-voted buckets.
+  // --- Candidate selection: the most-voted buckets become extension jobs.
   std::vector<std::pair<std::size_t, std::size_t>> ranked(votes.begin(),
                                                           votes.end());
   std::sort(ranked.begin(), ranked.end(), [](const auto& x, const auto& y) {
     return x.second != y.second ? x.second > y.second : x.first < y.first;
   });
-
-  // --- Seed extension (the WFAsic step): semiglobal gap-affine alignment
-  // of the read inside each candidate window; keep the best score.
-  score_t best = kScoreInf;
   for (std::size_t rank = 0;
        rank < std::min<std::size_t>(ranked.size(), cfg_.max_candidates);
        ++rank) {
     if (ranked[rank].second < cfg_.min_votes) break;
-    ++result.candidates_extended;
     const std::size_t start_guess =
         ranked[rank].first * cfg_.diagonal_bucket;
     const std::size_t begin =
@@ -57,19 +52,49 @@ Mapping ReadMapper::map(std::string_view read) const {
     const std::size_t end = std::min(
         reference_.size(), start_guess + read.size() + cfg_.window_slack);
     if (end <= begin) continue;
-    const std::string_view window(reference_.data() + begin, end - begin);
-    const core::SemiglobalResult ext = core::align_swg_semiglobal(
-        read, window, cfg_.pen, core::Traceback::kEnabled);
+    plan.jobs.push_back(ExtensionJob{begin, end, ranked[rank].second});
+  }
+  return plan;
+}
+
+Mapping ReadMapper::finish(
+    const MapPlan& plan,
+    std::span<const core::SemiglobalResult> extensions) const {
+  WFASIC_REQUIRE(extensions.size() == plan.jobs.size(),
+                 "ReadMapper::finish: one extension per planned job");
+  Mapping result;
+  result.seed_hits = plan.seed_hits;
+  score_t best = kScoreInf;
+  for (std::size_t idx = 0; idx < plan.jobs.size(); ++idx) {
+    const ExtensionJob& job = plan.jobs[idx];
+    const core::SemiglobalResult& ext = extensions[idx];
+    ++result.candidates_extended;
     if (ext.align.score < best) {
       best = ext.align.score;
       result.mapped = true;
       result.score = ext.align.score;
-      result.position = begin + ext.text_begin;
-      result.ref_end = begin + ext.text_end;
+      result.position = job.window_begin + ext.text_begin;
+      result.ref_end = job.window_begin + ext.text_end;
       result.cigar = ext.align.cigar;
     }
   }
   return result;
+}
+
+Mapping ReadMapper::map(std::string_view read) const {
+  // --- Seed extension (the WFAsic step): semiglobal gap-affine alignment
+  // of the read inside each candidate window; keep the best score. The
+  // inline form of plan() + extensions + finish().
+  const MapPlan mapping_plan = plan(read);
+  std::vector<core::SemiglobalResult> extensions;
+  extensions.reserve(mapping_plan.jobs.size());
+  for (const ExtensionJob& job : mapping_plan.jobs) {
+    const std::string_view window(reference_.data() + job.window_begin,
+                                  job.window_end - job.window_begin);
+    extensions.push_back(core::align_swg_semiglobal(
+        read, window, cfg_.pen, core::Traceback::kEnabled));
+  }
+  return finish(mapping_plan, extensions);
 }
 
 }  // namespace wfasic::map

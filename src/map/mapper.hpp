@@ -7,12 +7,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/cigar.hpp"
 #include "common/types.hpp"
+#include "core/swg_semiglobal.hpp"
 #include "map/kmer_index.hpp"
 
 namespace wfasic::map {
@@ -38,12 +40,37 @@ struct Mapping {
   std::size_t seed_hits = 0;
 };
 
+/// One candidate reference window awaiting seed extension — the step
+/// WFAsic accelerates. Windows come out of plan() ranked best-first.
+struct ExtensionJob {
+  std::size_t window_begin = 0;  ///< reference offset of the window start
+  std::size_t window_end = 0;    ///< one past the window end
+  std::size_t votes = 0;         ///< diagonal votes behind this candidate
+};
+
+/// The seeding half of map(): candidate windows without their extensions,
+/// so a host can batch the extension jobs of many reads and submit them
+/// to the alignment engine asynchronously instead of extending inline.
+struct MapPlan {
+  std::vector<ExtensionJob> jobs;
+  std::size_t seed_hits = 0;
+};
+
 class ReadMapper {
  public:
   ReadMapper(std::string reference, MapperConfig cfg = {});
 
   /// Maps one read; unmapped when no candidate gathers enough seed votes.
+  /// Equivalent to plan() + inline semiglobal extension + finish().
   [[nodiscard]] Mapping map(std::string_view read) const;
+
+  /// Seeding + candidate selection only; extension deferred to the caller.
+  [[nodiscard]] MapPlan plan(std::string_view read) const;
+  /// Folds extension results (one per plan job, same order — e.g. decoded
+  /// from an engine completion) into the final Mapping.
+  [[nodiscard]] Mapping finish(
+      const MapPlan& plan,
+      std::span<const core::SemiglobalResult> extensions) const;
 
   [[nodiscard]] const KmerIndex& index() const { return index_; }
   [[nodiscard]] const std::string& reference() const { return reference_; }

@@ -37,6 +37,21 @@ class Component {
   std::string name_;
 };
 
+/// How a bounded Scheduler::run_until ended.
+enum class RunUntilStatus : std::uint8_t {
+  kDone,     ///< the predicate became true
+  kTimeout,  ///< `max_cycles` elapsed first (likely deadlock)
+};
+
+struct RunUntilResult {
+  RunUntilStatus status = RunUntilStatus::kDone;
+  cycle_t now = 0;  ///< scheduler time at exit
+
+  [[nodiscard]] bool timed_out() const {
+    return status == RunUntilStatus::kTimeout;
+  }
+};
+
 /// Advances a set of components cycle by cycle. Does not own them.
 class Scheduler {
  public:
@@ -55,20 +70,18 @@ class Scheduler {
   }
 
   /// Runs until `done()` returns true (checked between cycles) or
-  /// `max_cycles` elapse. Returns the cycle count at exit and aborts the
-  /// program on timeout when `abort_on_timeout` (deadlock guard).
-  cycle_t run_until(const std::function<bool()>& done, cycle_t max_cycles,
-                    bool abort_on_timeout = true) {
+  /// `max_cycles` elapse. A timeout is reported as a typed status, never
+  /// an abort — library code must not kill the process on a deadlock
+  /// guard; callers (engine, driver, tests) decide how loud to be.
+  RunUntilResult run_until(const std::function<bool()>& done,
+                           cycle_t max_cycles) {
     while (!done()) {
       if (now_ >= max_cycles) {
-        WFASIC_REQUIRE(!abort_on_timeout,
-                       "Scheduler::run_until: simulation timed out "
-                       "(likely deadlock)");
-        break;
+        return {RunUntilStatus::kTimeout, now_};
       }
       step();
     }
-    return now_;
+    return {RunUntilStatus::kDone, now_};
   }
 
  private:

@@ -1,7 +1,5 @@
 #include "soc/soc.hpp"
 
-#include <algorithm>
-
 #include "common/assert.hpp"
 
 namespace wfasic::soc {
@@ -9,6 +7,20 @@ namespace wfasic::soc {
 Soc::Soc(SocConfig cfg) : cfg_(cfg), cpu_(cfg.cpu) {
   memory_ = std::make_unique<mem::MainMemory>(cfg_.memory_bytes);
   accelerator_ = std::make_unique<hw::Accelerator>(cfg_.accel, *memory_);
+
+  // The SoC is a thin facade over a K=1 engine whose device 0 borrows this
+  // SoC's memory and accelerator: direct register access, fault injection
+  // and engine runs all see the same device.
+  engine::EngineConfig engine_cfg;
+  engine_cfg.num_devices = 1;
+  engine_cfg.device.accel = cfg_.accel;
+  engine_cfg.device.cpu = cfg_.cpu;
+  engine_cfg.device.memory_bytes = cfg_.memory_bytes;
+  engine_cfg.device.in_addr = cfg_.in_addr;
+  engine_cfg.device.out_addr = cfg_.out_addr;
+  engine_cfg.pipelined_accounting = cfg_.pipelined_accounting;
+  engine_ = std::make_unique<engine::Engine>(engine_cfg, *memory_,
+                                             *accelerator_);
 }
 
 BatchResult Soc::run_batch(std::span<const gen::SequencePair> pairs,
@@ -26,122 +38,14 @@ BatchResult Soc::run_batch(std::span<const gen::SequencePair> pairs,
     WFASIC_REQUIRE(pairs[idx].id == idx,
                    "Soc::run_batch: pair ids must be 0..n-1");
   }
-
-  // Step 1 (Figure 4): the CPU parses inputs into main memory.
-  const drv::BatchLayout layout = drv::encode_input_set(
-      *memory_, pairs, cfg_.in_addr, cfg_.out_addr);
-
-  // Step 2: configure and start the accelerator, wait for Idle. Stats
-  // vectors accumulate across runs of the same accelerator, so remember
-  // where this run starts.
-  std::vector<std::size_t> aligner_cursors;
-  hw::Aligner::PhaseCycles phase_before;
-  std::uint64_t stalls_before = 0;
-  for (const auto& aligner : accelerator_->aligners()) {
-    aligner_cursors.push_back(aligner->records().size());
-    phase_before.extend += aligner->phase_cycles().extend;
-    phase_before.compute += aligner->phase_cycles().compute;
-    phase_before.overhead += aligner->phase_cycles().overhead;
-    stalls_before += aligner->output_stall_cycles();
-  }
-  const std::size_t read_cursor = accelerator_->extractor().records().size();
-
-  drv::Driver driver(*accelerator_);
-  BatchResult result;
-  const drv::RunStatus status = driver.run(layout, backtrace);
-  // A fault-free SoC batch must complete; kPartial (unsupported pairs) is
-  // legitimate — the affected alignments simply come back ok = false.
-  WFASIC_REQUIRE(status.completed(),
-                 "Soc::run_batch: accelerator run did not complete");
-  result.accel_cycles = status.cycles;
-
-  result.records.resize(pairs.size());
-  for (std::size_t idx = 0; idx < accelerator_->aligners().size(); ++idx) {
-    const auto& records = accelerator_->aligners()[idx]->records();
-    for (std::size_t r = aligner_cursors[idx]; r < records.size(); ++r) {
-      WFASIC_REQUIRE(records[r].id < result.records.size(),
-                     "Soc::run_batch: unexpected alignment id in records");
-      result.records[records[r].id] = records[r];
-    }
-  }
-  result.read_records.assign(
-      accelerator_->extractor().records().begin() +
-          static_cast<std::ptrdiff_t>(read_cursor),
-      accelerator_->extractor().records().end());
-  for (const auto& aligner : accelerator_->aligners()) {
-    result.phase.extend += aligner->phase_cycles().extend;
-    result.phase.compute += aligner->phase_cycles().compute;
-    result.phase.overhead += aligner->phase_cycles().overhead;
-    result.output_stall_cycles += aligner->output_stall_cycles();
-  }
-  result.phase.extend -= phase_before.extend;
-  result.phase.compute -= phase_before.compute;
-  result.phase.overhead -= phase_before.overhead;
-  result.output_stall_cycles -= stalls_before;
-
-  // Step 3: the CPU decodes results (and performs the backtrace).
-  result.alignments.resize(pairs.size());
-  if (backtrace) {
-    const std::vector<drv::BtAlignment> parsed =
-        drv::parse_bt_stream(*memory_, layout.out_addr, layout.num_pairs,
-                             separate_data, &result.bt_counters);
-    for (const drv::BtAlignment& bt : parsed) {
-      WFASIC_REQUIRE(bt.id < pairs.size(),
-                     "Soc::run_batch: unexpected alignment id in stream");
-      result.alignments[bt.id] = drv::reconstruct_alignment(
-          bt, pairs[bt.id].a, pairs[bt.id].b, cfg_.accel,
-          &result.bt_counters);
-    }
-    result.cpu_bt_cycles = cpu_.backtrace_cycles(result.bt_counters);
-  } else {
-    for (const hw::NbtResult& nbt :
-         drv::decode_nbt_results(*memory_, layout)) {
-      WFASIC_REQUIRE(nbt.id < pairs.size(),
-                     "Soc::run_batch: unexpected alignment id in results");
-      core::AlignResult& out = result.alignments[nbt.id];
-      out.ok = nbt.success;
-      out.score = static_cast<score_t>(nbt.score);
-    }
-  }
-  return result;
+  return engine_->run_batch(pairs, backtrace, separate_data);
 }
 
 BatchResult Soc::run_dataset(std::span<const gen::SequencePair> pairs,
                              std::size_t batch_pairs, bool backtrace,
                              bool separate_data) {
   WFASIC_REQUIRE(batch_pairs > 0, "Soc::run_dataset: zero batch size");
-  BatchResult merged;
-  merged.alignments.reserve(pairs.size());
-  merged.records.reserve(pairs.size());
-  for (std::size_t base = 0; base < pairs.size(); base += batch_pairs) {
-    const std::size_t count = std::min(batch_pairs, pairs.size() - base);
-    // Per-batch ids restart at 0 (the hardware ID fields are narrow).
-    std::vector<gen::SequencePair> batch(pairs.begin() + base,
-                                         pairs.begin() + base + count);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i].id = static_cast<std::uint32_t>(i);
-    }
-    const BatchResult part = run_batch(batch, backtrace, separate_data);
-    merged.accel_cycles += part.accel_cycles;
-    merged.cpu_bt_cycles += part.cpu_bt_cycles;
-    merged.alignments.insert(merged.alignments.end(),
-                             part.alignments.begin(), part.alignments.end());
-    merged.records.insert(merged.records.end(), part.records.begin(),
-                          part.records.end());
-    merged.read_records.insert(merged.read_records.end(),
-                               part.read_records.begin(),
-                               part.read_records.end());
-    merged.phase.extend += part.phase.extend;
-    merged.phase.compute += part.phase.compute;
-    merged.phase.overhead += part.phase.overhead;
-    merged.output_stall_cycles += part.output_stall_cycles;
-    merged.bt_counters.alignments += part.bt_counters.alignments;
-    merged.bt_counters.blocks_scanned += part.bt_counters.blocks_scanned;
-    merged.bt_counters.blocks_copied += part.bt_counters.blocks_copied;
-    merged.bt_counters.path_steps += part.bt_counters.path_steps;
-    merged.bt_counters.match_chars += part.bt_counters.match_chars;
-  }
-  return merged;
+  return engine_->run_dataset(pairs, batch_pairs, backtrace, separate_data);
 }
 
 cpu::CpuModel::RunResult Soc::run_cpu_baseline(

@@ -3,6 +3,10 @@
 // co-designed batch flow the paper evaluates:
 //   CPU encodes input -> accelerator aligns (and streams backtrace data)
 //   -> CPU decodes results and performs the backtrace.
+// Since the engine refactor the Soc is a facade over a single-device
+// engine::Engine (engine/engine.hpp) — the blocking run_batch/run_dataset
+// API is preserved, but datasets execute on the asynchronous
+// submission/completion queues with pipelined phase accounting.
 #pragma once
 
 #include <cstdint>
@@ -13,6 +17,7 @@
 #include "cpu/cpu_model.hpp"
 #include "drv/backtrace_cpu.hpp"
 #include "drv/driver.hpp"
+#include "engine/engine.hpp"
 #include "gen/seqgen.hpp"
 #include "hw/accelerator.hpp"
 #include "mem/main_memory.hpp"
@@ -25,27 +30,15 @@ struct SocConfig {
   std::size_t memory_bytes = 256ull << 20;
   std::uint64_t in_addr = 0x0000'1000;
   std::uint64_t out_addr = 0x0800'0000;  ///< 128 MB for backtrace streams
+  /// run_dataset: report the pipelined makespan (encode/align/decode
+  /// overlapped) in BatchResult::pipeline_cycles. Single batches always
+  /// keep the serial accounting.
+  bool pipelined_accounting = true;
 };
 
-/// Outcome of one accelerator batch run.
-struct BatchResult {
-  std::uint64_t accel_cycles = 0;     ///< start to Idle
-  std::uint64_t cpu_bt_cycles = 0;    ///< CPU backtrace (0 when disabled)
-  [[nodiscard]] std::uint64_t total_cycles() const {
-    return accel_cycles + cpu_bt_cycles;
-  }
-
-  /// Per-pair accelerator measurements, indexed by alignment id.
-  std::vector<hw::Aligner::PairRecord> records;
-  std::vector<hw::Extractor::PairReadRecord> read_records;
-  /// Aligner cycle breakdown summed over all Aligners, this batch only.
-  hw::Aligner::PhaseCycles phase;
-  std::uint64_t output_stall_cycles = 0;
-  /// Decoded alignments, indexed by alignment id. With backtrace disabled
-  /// only ok/score are populated.
-  std::vector<core::AlignResult> alignments;
-  cpu::BtCpuCounters bt_counters;
-};
+/// Outcome of one accelerator batch run (engine/backend.hpp). Legacy
+/// fields are unchanged; engine runs add encode_cycles/pipeline_cycles.
+using BatchResult = engine::BatchResult;
 
 class Soc {
  public:
@@ -75,11 +68,16 @@ class Soc {
   [[nodiscard]] const SocConfig& config() const { return cfg_; }
   [[nodiscard]] hw::Accelerator& accelerator() { return *accelerator_; }
   [[nodiscard]] mem::MainMemory& memory() { return *memory_; }
+  /// The engine behind the facade (device 0 borrows this SoC's memory and
+  /// accelerator, so engine runs and direct register access see the same
+  /// device state).
+  [[nodiscard]] engine::Engine& engine() { return *engine_; }
 
  private:
   SocConfig cfg_;
   std::unique_ptr<mem::MainMemory> memory_;
   std::unique_ptr<hw::Accelerator> accelerator_;
+  std::unique_ptr<engine::Engine> engine_;
   cpu::CpuModel cpu_;
 };
 

@@ -65,8 +65,9 @@ TEST(Dma, BurstLatencyBetweenBursts) {
   const std::uint64_t beats = 2 * f.timing.burst_beats;  // two full bursts
   f.dma.configure_read(0, beats * kBeatBytes);
   const auto done = [&] { return f.dma.read_done(); };
-  const auto cycles = f.sched.run_until(done, 10'000);
-  EXPECT_EQ(cycles, f.timing.stream_read_cycles(beats));
+  const auto run = f.sched.run_until(done, 10'000);
+  EXPECT_FALSE(run.timed_out());
+  EXPECT_EQ(run.now, f.timing.stream_read_cycles(beats));
 }
 
 TEST(Dma, StreamReadCyclesFormula) {

@@ -170,6 +170,27 @@ TEST(DecodeNbt, ReadsPackedWordsInStreamOrder) {
   }
 }
 
+// Multi-aligner collection interleaves completion order; the sorted
+// decoder restores id order so callers can index results by pair id.
+TEST(DecodeNbt, SortedDecoderRestoresIdOrder) {
+  mem::MainMemory memory(1 << 16);
+  BatchLayout layout;
+  layout.out_addr = 0x200;
+  layout.num_pairs = 5;
+  const std::uint32_t stream_ids[5] = {3, 0, 4, 1, 2};
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    memory.write_u32(0x200 + i * 4,
+                     hw::pack_nbt_result({true, 100 + stream_ids[i],
+                                          stream_ids[i]}));
+  }
+  const auto results = decode_nbt_results_sorted(memory, layout);
+  ASSERT_EQ(results.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(results[i].id, i);
+    EXPECT_EQ(results[i].score, 100 + i);
+  }
+}
+
 // An aborted run leaves the tail of the result area unwritten; the
 // tolerant decoder must stop at what the DMA actually delivered instead of
 // decoding stale memory as results.

@@ -1,0 +1,353 @@
+// The asynchronous alignment engine (src/engine): K=1 equivalence with
+// the legacy blocking flow, the async submit/poll/wait/cancel surface,
+// pipelined phase accounting, K-device sharding determinism, and the
+// resilient requeue path under an active fault campaign.
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/wfa.hpp"
+#include "drv/backtrace_cpu.hpp"
+#include "drv/driver.hpp"
+#include "gen/seqgen.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace wfasic::engine {
+namespace {
+
+core::AlignResult reference_alignment(const gen::SequencePair& pair,
+                                      const Penalties& pen,
+                                      bool traceback = true) {
+  core::WfaConfig cfg;
+  cfg.pen = pen;
+  cfg.traceback =
+      traceback ? core::Traceback::kEnabled : core::Traceback::kDisabled;
+  cfg.extend = core::ExtendMode::kScalar;  // copes with 'N' bases
+  core::WfaAligner aligner(cfg);
+  return aligner.align(pair.a, pair.b);
+}
+
+// The pre-engine blocking flow, inlined: encode -> start -> wait_idle ->
+// decode, straight through the driver with no queues, staging or slots.
+// This is the reference the engine's K=1 path must match bit for bit.
+struct LegacyRun {
+  std::uint64_t accel_cycles = 0;
+  std::vector<core::AlignResult> alignments;
+};
+
+LegacyRun legacy_blocking_run(const std::vector<gen::SequencePair>& pairs,
+                              bool backtrace) {
+  const HwBackendConfig cfg;  // the defaults every engine device uses
+  mem::MainMemory memory(cfg.memory_bytes);
+  hw::Accelerator accelerator(cfg.accel, memory);
+  drv::Driver driver(accelerator);
+  const drv::BatchLayout layout =
+      drv::encode_input_set(memory, pairs, cfg.in_addr, cfg.out_addr);
+  const drv::RunStatus status = driver.run(layout, backtrace);
+  EXPECT_TRUE(status.completed());
+
+  LegacyRun run;
+  run.accel_cycles = status.cycles;
+  run.alignments.resize(pairs.size());
+  if (backtrace) {
+    for (const drv::BtAlignment& bt : drv::parse_bt_stream(
+             memory, layout.out_addr, layout.num_pairs, false)) {
+      run.alignments[bt.id] = drv::reconstruct_alignment(
+          bt, pairs[bt.id].a, pairs[bt.id].b, cfg.accel);
+    }
+  } else {
+    for (const hw::NbtResult& nbt :
+         drv::decode_nbt_results_sorted(memory, layout)) {
+      run.alignments[nbt.id].ok = nbt.success;
+      run.alignments[nbt.id].score = static_cast<score_t>(nbt.score);
+    }
+  }
+  return run;
+}
+
+TEST(Engine, K1BitIdenticalToLegacyBlockingFlow) {
+  const auto pairs = gen::generate_input_set({220, 0.1, 12, 91});
+  for (const bool backtrace : {false, true}) {
+    Engine engine{EngineConfig{}};
+    const BatchResult result = engine.run_batch(pairs, backtrace, false);
+    const LegacyRun legacy = legacy_blocking_run(pairs, backtrace);
+
+    EXPECT_EQ(result.accel_cycles, legacy.accel_cycles)
+        << "backtrace=" << backtrace;
+    ASSERT_EQ(result.alignments.size(), pairs.size());
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      EXPECT_EQ(result.alignments[i].ok, legacy.alignments[i].ok) << i;
+      EXPECT_EQ(result.alignments[i].score, legacy.alignments[i].score) << i;
+      if (backtrace) {
+        EXPECT_EQ(result.alignments[i].cigar.rle(),
+                  legacy.alignments[i].cigar.rle())
+            << i;
+      }
+    }
+    // Single batch keeps the serial accounting.
+    EXPECT_EQ(result.pipeline_cycles, 0u);
+    EXPECT_EQ(result.total_cycles(),
+              result.accel_cycles + result.cpu_bt_cycles);
+  }
+}
+
+TEST(Engine, AsyncSubmitPollWaitCancel) {
+  const auto pairs = gen::generate_input_set({120, 0.08, 4, 92});
+  Engine engine{EngineConfig{}};
+  EXPECT_FALSE(engine.poll());  // nothing submitted
+
+  BatchJob first;
+  first.pairs = pairs;
+  BatchJob second;
+  second.pairs = pairs;
+  second.backtrace = true;
+  const JobHandle h1 = engine.submit(std::move(first));
+  const JobHandle h2 = engine.submit(std::move(second));
+  EXPECT_NE(h1.value, h2.value);
+  EXPECT_EQ(engine.in_flight(), 2u);
+
+  // The second job is still queued (nothing has been polled): cancellable.
+  EXPECT_TRUE(engine.cancel(h2));
+  EXPECT_EQ(engine.in_flight(), 1u);
+  EXPECT_FALSE(engine.cancel(h2));  // already gone
+
+  const Completion done = engine.wait(h1);
+  EXPECT_EQ(done.outcome, drv::RunOutcome::kOk);
+  EXPECT_GT(done.accel_cycles, 0u);
+  EXPECT_GT(done.encode_cycles, 0u);
+  ASSERT_EQ(done.result.alignments.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(done.result.alignments[i].score,
+              reference_alignment(pairs[i], kDefaultPenalties).score);
+  }
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_FALSE(engine.cancel(h1));  // completed jobs cannot be cancelled
+}
+
+TEST(Engine, RunDatasetMergesInDatasetOrderAcrossBatchBoundaries) {
+  const auto pairs = gen::generate_input_set({180, 0.1, 10, 93});
+  Engine engine{EngineConfig{}};
+  // 10 pairs in batches of 4: boundaries at 4 and 8, final batch ragged.
+  const BatchResult merged = engine.run_dataset(pairs, 4, true, false);
+
+  ASSERT_EQ(merged.alignments.size(), pairs.size());
+  ASSERT_EQ(merged.records.size(), pairs.size());
+  ASSERT_EQ(merged.read_records.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const core::AlignResult ref =
+        reference_alignment(pairs[i], kDefaultPenalties);
+    ASSERT_TRUE(merged.alignments[i].ok) << i;
+    EXPECT_EQ(merged.alignments[i].score, ref.score) << i;
+    EXPECT_EQ(merged.alignments[i].cigar.rle(), ref.cigar.rle()) << i;
+    // Per-batch ids restart at 0: the merged record at dataset position i
+    // carries its launch-local id.
+    EXPECT_EQ(merged.records[i].id, i % 4) << i;
+  }
+
+  // Cycle counters accumulate across batches: the dataset totals equal
+  // the sum of the same batches run individually.
+  std::uint64_t accel_sum = 0;
+  std::uint64_t bt_sum = 0;
+  for (std::size_t base = 0; base < pairs.size(); base += 4) {
+    const std::size_t count = std::min<std::size_t>(4, pairs.size() - base);
+    std::vector<gen::SequencePair> batch(pairs.begin() + base,
+                                         pairs.begin() + base + count);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch[i].id = static_cast<std::uint32_t>(i);
+    }
+    Engine single{EngineConfig{}};
+    const BatchResult part = single.run_batch(batch, true, false);
+    accel_sum += part.accel_cycles;
+    bt_sum += part.cpu_bt_cycles;
+  }
+  EXPECT_EQ(merged.accel_cycles, accel_sum);
+  EXPECT_EQ(merged.cpu_bt_cycles, bt_sum);
+}
+
+TEST(Engine, PipelinedDatasetBeatsSerialSum) {
+  const auto pairs = gen::generate_input_set({500, 0.15, 16, 94});
+  Engine engine{EngineConfig{}};
+  const BatchResult merged = engine.run_dataset(pairs, 4, true, false);
+
+  // The acceptance inequality: with encode N+1 and decode N-1 overlapping
+  // the aligning of batch N, the modelled makespan must beat the serial
+  // encode+align+decode sum — and even the legacy accel+bt sum alone.
+  ASSERT_GT(merged.pipeline_cycles, 0u);
+  EXPECT_LT(merged.pipeline_cycles,
+            merged.accel_cycles + merged.cpu_bt_cycles);
+  EXPECT_EQ(merged.total_cycles(), merged.pipeline_cycles);
+  // And it stays physical: no shorter than either resource's busy time.
+  EXPECT_GT(merged.pipeline_cycles, merged.accel_cycles / 2);
+  EXPECT_GE(merged.pipeline_cycles, merged.cpu_bt_cycles);
+}
+
+TEST(Engine, ShardingIsDeterministicAcrossDeviceCounts) {
+  const auto pairs = gen::generate_input_set({200, 0.1, 20, 95});
+  auto run_with_devices = [&](unsigned devices) {
+    EngineConfig cfg;
+    cfg.num_devices = devices;
+    Engine engine(cfg);
+    return engine.run_dataset(pairs, 5, true, false);
+  };
+
+  const BatchResult k1 = run_with_devices(1);
+  for (const unsigned k : {2u, 4u}) {
+    const BatchResult shard = run_with_devices(k);
+    ASSERT_EQ(shard.alignments.size(), k1.alignments.size()) << "K=" << k;
+    for (std::size_t i = 0; i < k1.alignments.size(); ++i) {
+      EXPECT_EQ(shard.alignments[i].score, k1.alignments[i].score)
+          << "K=" << k << " pair " << i;
+      EXPECT_EQ(shard.alignments[i].cigar.rle(), k1.alignments[i].cigar.rle())
+          << "K=" << k << " pair " << i;
+    }
+    // Every device starts from identical reset state, so per-batch device
+    // cycles — and their merged sum — do not depend on the shard count.
+    EXPECT_EQ(shard.accel_cycles, k1.accel_cycles) << "K=" << k;
+    EXPECT_EQ(shard.cpu_bt_cycles, k1.cpu_bt_cycles) << "K=" << k;
+
+    // Bit-identical replay: the same config and dataset reproduce the
+    // same outcome, including the pipelined makespan.
+    const BatchResult replay = run_with_devices(k);
+    EXPECT_EQ(replay.accel_cycles, shard.accel_cycles) << "K=" << k;
+    EXPECT_EQ(replay.pipeline_cycles, shard.pipeline_cycles) << "K=" << k;
+  }
+
+  // More devices shorten the modelled makespan on this accel-heavy set.
+  const BatchResult k4 = run_with_devices(4);
+  EXPECT_LT(k4.pipeline_cycles, k1.pipeline_cycles);
+}
+
+TEST(Engine, ResilientCompletesUnderFaultCampaignWithRequeues) {
+  auto make_pairs = [](std::size_t count) {
+    Prng prng(777);
+    std::vector<gen::SequencePair> pairs;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::string a = gen::random_sequence(prng, 150 + i);
+      const std::string b = gen::mutate_sequence(prng, a, 0.08);
+      pairs.push_back({static_cast<std::uint32_t>(i), std::move(a), b});
+    }
+    return pairs;
+  };
+  const auto pairs = make_pairs(12);
+
+  auto run_campaign = [&]() {
+    EngineConfig cfg;
+    cfg.device.watchdog = 20'000;
+    Engine engine(cfg);
+
+    sim::FaultInjector::CampaignConfig campaign;
+    campaign.mem_begin = cfg.device.in_addr;
+    campaign.mem_end = cfg.device.in_addr + 16'384;
+    campaign.mem_bit_flips = 4;
+    campaign.axi_errors = 1;
+    campaign.dropped_beats = 1;
+    campaign.fifo_stalls = 1;
+    sim::FaultInjector injector =
+        sim::FaultInjector::make_campaign(0x5eed, campaign);
+    engine.device(0).attach_fault_injector(&injector);
+
+    Engine::ResilientConfig rc;
+    rc.launch_cycle_budget = 2'000'000;
+    return engine.run_resilient(pairs, rc);
+  };
+
+  const Engine::ResilientReport report = run_campaign();
+  EXPECT_TRUE(report.complete());
+  EXPECT_GT(report.launches, 1u);  // the campaign forced requeues
+  EXPECT_GT(report.retries, 0u);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const core::AlignResult ref =
+        reference_alignment(pairs[i], kDefaultPenalties);
+    EXPECT_TRUE(report.outcomes[i].resolved) << i;
+    EXPECT_EQ(report.outcomes[i].result.score, ref.score) << i;
+    EXPECT_EQ(report.outcomes[i].result.cigar.rle(), ref.cigar.rle()) << i;
+  }
+
+  // The campaign and the requeue schedule replay bit-identically.
+  const Engine::ResilientReport replay = run_campaign();
+  EXPECT_EQ(replay.launches, report.launches);
+  EXPECT_EQ(replay.retries, report.retries);
+  EXPECT_EQ(replay.cpu_fallbacks, report.cpu_fallbacks);
+  EXPECT_EQ(replay.total_cycles, report.total_cycles);
+}
+
+TEST(Engine, ResilientRoutesOversizedPairsToSoftwareBackend) {
+  Prng prng(4242);
+  std::vector<gen::SequencePair> pairs;
+  std::string a0 = gen::random_sequence(prng, 180);
+  const std::string b0 = gen::mutate_sequence(prng, a0, 0.05);
+  pairs.push_back({0, std::move(a0), b0});
+  // Longer than max_supported_read_len: the chip cannot launch it at all.
+  std::string a1 = gen::random_sequence(prng, 10'500);
+  const std::string b1 = gen::mutate_sequence(prng, a1, 0.002);
+  pairs.push_back({1, std::move(a1), b1});
+
+  Engine engine{EngineConfig{}};
+  const Engine::ResilientReport report = engine.run_resilient(pairs);
+  EXPECT_TRUE(report.complete());
+  EXPECT_FALSE(report.outcomes[0].cpu_fallback);
+  EXPECT_TRUE(report.outcomes[1].cpu_fallback);
+  EXPECT_EQ(report.outcomes[1].hw_attempts, 0u);
+  EXPECT_EQ(report.cpu_fallbacks, 1u);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(report.outcomes[i].result.score,
+              reference_alignment(pairs[i], kDefaultPenalties).score)
+        << i;
+  }
+}
+
+TEST(Engine, SwBackendMatchesHardwareScores) {
+  const auto pairs = gen::generate_input_set({160, 0.1, 6, 96});
+  Engine engine{EngineConfig{}};
+
+  BatchJob hw_job;
+  hw_job.pairs = pairs;
+  hw_job.backtrace = true;
+  BatchJob sw_job;
+  sw_job.pairs = pairs;
+  sw_job.backtrace = true;
+  const JobHandle hw_handle = engine.submit(std::move(hw_job));
+  const JobHandle sw_handle = engine.submit_software(std::move(sw_job));
+
+  const Completion hw_done = engine.wait(hw_handle);
+  const Completion sw_done = engine.wait(sw_handle);
+  EXPECT_GT(sw_done.sw_align_cycles, 0u);
+  ASSERT_EQ(sw_done.result.alignments.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(sw_done.result.alignments[i].score,
+              hw_done.result.alignments[i].score)
+        << i;
+    EXPECT_EQ(sw_done.result.alignments[i].cigar.rle(),
+              hw_done.result.alignments[i].cigar.rle())
+        << i;
+  }
+}
+
+TEST(PipelinedMakespan, OverlapsPhasesAndRespectsBounds) {
+  // Three identical jobs on one device: enc=10, accel=100, dec=20.
+  std::vector<PhaseSample> jobs(3, PhaseSample{10, 100, 20, 0});
+  const std::uint64_t makespan = pipelined_makespan(jobs, 1);
+  // Serial sum would be 390. Device-bound pipeline: first encode (10),
+  // three back-to-back aligns (300), last decode (20) = 330.
+  EXPECT_EQ(makespan, 330u);
+  EXPECT_LT(makespan, 390u);
+
+  // Two devices halve the align backbone; the single CPU serialises the
+  // encodes and decodes around it.
+  const std::uint64_t two_dev = pipelined_makespan(
+      std::vector<PhaseSample>{{10, 100, 20, 0}, {10, 100, 20, 1}}, 2);
+  // enc0(10) enc1(20); aligns end at 110 and 120; decodes at 130 and 150.
+  EXPECT_EQ(two_dev, 150u);
+
+  // A single job cannot overlap with anything: pure serial.
+  const std::uint64_t one = pipelined_makespan(
+      std::vector<PhaseSample>{{10, 100, 20, 0}}, 4);
+  EXPECT_EQ(one, 130u);
+}
+
+}  // namespace
+}  // namespace wfasic::engine

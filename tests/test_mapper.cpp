@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/prng.hpp"
+#include "core/swg_semiglobal.hpp"
 #include "gen/seqgen.hpp"
 #include "map/kmer_index.hpp"
 
@@ -124,6 +127,45 @@ TEST_F(MapperFixture, ReadAtReferenceEdges) {
   const Mapping tail = mapper_->map(reference_.substr(20'000 - 120, 120));
   ASSERT_TRUE(tail.mapped);
   EXPECT_EQ(tail.position, 20'000u - 120u);
+}
+
+TEST_F(MapperFixture, PlanExtendFinishMatchesInlineMap) {
+  // The split surface a host uses to batch extensions onto the engine:
+  // plan() -> extend each window -> finish() must reproduce map() exactly.
+  Prng prng(406);
+  for (int r = 0; r < 6; ++r) {
+    const std::size_t origin = 1'000 + static_cast<std::size_t>(r) * 2'500;
+    const std::string read = gen::mutate_sequence(
+        prng, reference_.substr(origin, 160), 0.06);
+    const Mapping inline_mapping = mapper_->map(read);
+
+    const MapPlan plan = mapper_->plan(read);
+    std::vector<core::SemiglobalResult> extensions;
+    for (const ExtensionJob& job : plan.jobs) {
+      const std::string_view window(
+          mapper_->reference().data() + job.window_begin,
+          job.window_end - job.window_begin);
+      extensions.push_back(core::align_swg_semiglobal(
+          read, window, mapper_->config().pen, core::Traceback::kEnabled));
+    }
+    const Mapping split_mapping = mapper_->finish(plan, extensions);
+
+    ASSERT_EQ(split_mapping.mapped, inline_mapping.mapped) << r;
+    if (!inline_mapping.mapped) continue;
+    EXPECT_EQ(split_mapping.position, inline_mapping.position) << r;
+    EXPECT_EQ(split_mapping.ref_end, inline_mapping.ref_end) << r;
+    EXPECT_EQ(split_mapping.score, inline_mapping.score) << r;
+    EXPECT_EQ(split_mapping.cigar, inline_mapping.cigar) << r;
+    EXPECT_EQ(split_mapping.seed_hits, inline_mapping.seed_hits) << r;
+  }
+}
+
+TEST_F(MapperFixture, FinishWithWrongExtensionCountAborts) {
+  const MapPlan plan = mapper_->plan(reference_.substr(3'000, 150));
+  ASSERT_FALSE(plan.jobs.empty());
+  const std::vector<core::SemiglobalResult> none;
+  EXPECT_DEATH((void)mapper_->finish(plan, none),
+               "one extension per planned job");
 }
 
 TEST(Mapper, RepetitiveReferenceStillMapsUniqueRegion) {

@@ -68,20 +68,22 @@ TEST(Scheduler, RunUntilStopsOnPredicate) {
   Scheduler sched;
   Counter c("c");
   sched.add(&c);
-  const cycle_t end = sched.run_until([&] { return c.ticks >= 5; }, 1000);
-  EXPECT_EQ(end, 5u);
+  const RunUntilResult end = sched.run_until([&] { return c.ticks >= 5; },
+                                             1000);
+  EXPECT_EQ(end.status, RunUntilStatus::kDone);
+  EXPECT_FALSE(end.timed_out());
+  EXPECT_EQ(end.now, 5u);
   EXPECT_EQ(c.ticks, 5);
 }
 
-TEST(Scheduler, RunUntilTimeoutAborts) {
+// Regression: run_until used to hard-abort the process on timeout. Library
+// code must instead return a typed status and let the caller decide.
+TEST(Scheduler, RunUntilTimeoutReturnsTypedStatus) {
   Scheduler sched;
-  EXPECT_DEATH(sched.run_until([] { return false; }, 10), "timed out");
-}
-
-TEST(Scheduler, RunUntilTimeoutSoftReturn) {
-  Scheduler sched;
-  const cycle_t end = sched.run_until([] { return false; }, 10, false);
-  EXPECT_EQ(end, 10u);
+  const RunUntilResult end = sched.run_until([] { return false; }, 10);
+  EXPECT_EQ(end.status, RunUntilStatus::kTimeout);
+  EXPECT_TRUE(end.timed_out());
+  EXPECT_EQ(end.now, 10u);
 }
 
 TEST(Scheduler, AddNullAborts) {

@@ -157,5 +157,54 @@ TEST(Soc, ReadRecordsEqualForBothErrorRatesAtFixedLength) {
   EXPECT_NEAR(m5 / m10, 1.0, 0.2);
 }
 
+TEST(Soc, RunDatasetMatchesSingleBatchAcrossBoundaries) {
+  // 11 pairs in batches of 4: two full launches plus a ragged tail of 3.
+  // The dataset path must merge to exactly what one big launch produces.
+  Soc dataset_soc;
+  Soc batch_soc;
+  const auto pairs = gen::generate_input_set({150, 0.1, 11, 61});
+  const BatchResult merged = dataset_soc.run_dataset(pairs, 4, true, false);
+  const BatchResult whole = batch_soc.run_batch(pairs, true, false);
+
+  ASSERT_EQ(merged.alignments.size(), pairs.size());
+  ASSERT_EQ(merged.records.size(), pairs.size());
+  ASSERT_EQ(merged.read_records.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_TRUE(merged.alignments[i].ok) << i;
+    EXPECT_EQ(merged.alignments[i].score, whole.alignments[i].score) << i;
+    EXPECT_EQ(merged.alignments[i].cigar, whole.alignments[i].cigar) << i;
+    // Records carry launch-local ids, restarting at every batch boundary.
+    EXPECT_EQ(merged.records[i].id, i % 4) << i;
+  }
+  EXPECT_GT(merged.accel_cycles, 0u);
+  EXPECT_GT(merged.cpu_bt_cycles, 0u);
+}
+
+TEST(Soc, RunDatasetPipelinedAccountingOverlapsPhases) {
+  const auto pairs = gen::generate_input_set({400, 0.12, 12, 62});
+
+  SocConfig pipelined_cfg;
+  Soc pipelined(pipelined_cfg);
+  const BatchResult overlapped = pipelined.run_dataset(pairs, 3, true, false);
+  ASSERT_GT(overlapped.pipeline_cycles, 0u);
+  EXPECT_EQ(overlapped.total_cycles(), overlapped.pipeline_cycles);
+  // Encode and decode hide behind the accelerator: the makespan beats the
+  // serial align+backtrace sum.
+  EXPECT_LT(overlapped.pipeline_cycles,
+            overlapped.accel_cycles + overlapped.cpu_bt_cycles);
+
+  SocConfig serial_cfg;
+  serial_cfg.pipelined_accounting = false;
+  Soc serial(serial_cfg);
+  const BatchResult flat = serial.run_dataset(pairs, 3, true, false);
+  EXPECT_EQ(flat.pipeline_cycles, 0u);
+  EXPECT_EQ(flat.total_cycles(), flat.accel_cycles + flat.cpu_bt_cycles);
+  // Accounting mode must not change what the hardware actually did.
+  EXPECT_EQ(flat.accel_cycles, overlapped.accel_cycles);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(flat.alignments[i].score, overlapped.alignments[i].score);
+  }
+}
+
 }  // namespace
 }  // namespace wfasic::soc
