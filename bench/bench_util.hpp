@@ -3,9 +3,11 @@
 // table printing.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/wfa.hpp"
@@ -105,6 +107,63 @@ inline std::uint64_t equivalent_cells(
   }
   return cells;
 }
+
+/// Host wall-clock stopwatch for the perf-regression harness.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  /// Nanoseconds since construction.
+  [[nodiscard]] std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Machine-readable bench output: collects named numeric metrics and
+/// writes them as `BENCH_<name>.json` in the working directory, the
+/// format tools/bench_compare.py diffs against the checked-in baselines
+/// (bench/baselines/). Keep simulated-cycle and ratio metrics in here for
+/// regression gating; raw wall-clock nanoseconds are recorded too but are
+/// machine-dependent — compare ratios, not nanoseconds, across hosts.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Writes BENCH_<name>.json; returns false (with a message) on I/O
+  /// failure so benches can fail loudly instead of silently skipping the
+  /// artifact.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+                 name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.6f%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void print_rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');

@@ -42,9 +42,11 @@ int main(int argc, char** argv) {
   base.device.out_addr = 16ull << 20;
   const asic::AreaEstimate est = asic::estimate(base.device.accel);
 
-  auto run_devices = [&](unsigned devices, bool backtrace) {
+  auto run_devices = [&](unsigned devices, bool backtrace,
+                         bool idle_skip = true) {
     engine::EngineConfig cfg = base;
     cfg.num_devices = devices;
+    cfg.device.accel.idle_skip = idle_skip;
     engine::Engine eng(cfg);
     return eng.run_dataset(pairs, batch_pairs, backtrace,
                            /*separate_data=*/false);
@@ -107,6 +109,49 @@ int main(int argc, char** argv) {
       }
     }
   }
+
+  // --- Host wall-clock: idle-skip fast path vs exact reference stepping ---
+  // The same K=4 score-only run, timed twice. Simulated results must be
+  // bit-identical (checked here, live); only host wall-clock may differ.
+  // The wall_speedup ratio is machine-independent enough to gate on in CI,
+  // unlike raw nanoseconds.
+  print_header("Host wall-clock: idle-skip fast path vs exact stepping",
+               "(identical simulated cycles, K=4 score-only)");
+  WallTimer t_ref;
+  const engine::BatchResult ref = run_devices(4, false, /*idle_skip=*/false);
+  const std::uint64_t wall_ns_reference = t_ref.elapsed_ns();
+  WallTimer t_fast;
+  const engine::BatchResult fast = run_devices(4, false, /*idle_skip=*/true);
+  const std::uint64_t wall_ns_fast = t_fast.elapsed_ns();
+  if (fast.pipeline_cycles != ref.pipeline_cycles ||
+      fast.accel_cycles != ref.accel_cycles) {
+    std::printf("FAIL: idle-skip changed simulated cycles (fast %llu/%llu "
+                "vs reference %llu/%llu)\n",
+                static_cast<unsigned long long>(fast.pipeline_cycles),
+                static_cast<unsigned long long>(fast.accel_cycles),
+                static_cast<unsigned long long>(ref.pipeline_cycles),
+                static_cast<unsigned long long>(ref.accel_cycles));
+    ok = false;
+  }
+  const double wall_speedup = static_cast<double>(wall_ns_reference) /
+                              static_cast<double>(wall_ns_fast);
+  const double k4_gcups = asic::gcups(cells, fast.pipeline_cycles,
+                                      est.frequency_ghz);
+  std::printf("reference stepping: %10.3f ms\n",
+              static_cast<double>(wall_ns_reference) / 1e6);
+  std::printf("idle-skip fast path:%10.3f ms   (%.2fx wall-clock)\n",
+              static_cast<double>(wall_ns_fast) / 1e6, wall_speedup);
+
+  BenchReport report("engine_throughput");
+  report.metric("k4_nbt_sim_cycles",
+                static_cast<double>(fast.pipeline_cycles));
+  report.metric("k4_nbt_gcups", k4_gcups);
+  report.metric("bt_pipeline_speedup", bt_pipeline_speedup);
+  report.metric("nbt_shard_speedup", nbt_shard_speedup);
+  report.metric("wall_ns_fast", static_cast<double>(wall_ns_fast));
+  report.metric("wall_ns_reference", static_cast<double>(wall_ns_reference));
+  report.metric("wall_speedup", wall_speedup);
+  if (!report.write()) ok = false;
 
   if (ok) {
     std::printf("\nOK: pipelining hides the CPU phases (%.2fx with BT); "

@@ -8,7 +8,8 @@
 namespace wfasic {
 
 PackedSeq::PackedSeq(std::string_view seq) : length_(seq.size()) {
-  words_.assign((seq.size() + kBasesPerWord - 1) / kBasesPerWord, 0u);
+  const std::size_t logical = (seq.size() + kBasesPerWord - 1) / kBasesPerWord;
+  words_.assign(logical + kPadWords, 0u);
   for (std::size_t pos = 0; pos < seq.size(); ++pos) {
     const std::uint8_t code = encode_base(seq[pos]);
     WFASIC_REQUIRE(code != 0xff, "PackedSeq: invalid base character");
@@ -23,6 +24,7 @@ PackedSeq PackedSeq::from_words(std::vector<std::uint32_t> words,
                  "PackedSeq::from_words: not enough words for length");
   PackedSeq seq;
   seq.words_ = std::move(words);
+  seq.words_.resize(seq.words_.size() + kPadWords, 0u);
   seq.length_ = length;
   return seq;
 }
@@ -68,20 +70,6 @@ std::string PackedSeq::str() const {
   out.reserve(length_);
   for (std::size_t pos = 0; pos < length_; ++pos) out.push_back(char_at(pos));
   return out;
-}
-
-std::uint64_t PackedSeq::window64(const PackedSeq& seq, std::size_t pos) {
-  // 32 bases starting at `pos`, assembled from two words and shifted so the
-  // base at `pos` sits in the least significant 2 bits.
-  const std::size_t word_idx = pos / kBasesPerWord;
-  const std::size_t bit_off = 2 * (pos % kBasesPerWord);
-  const std::uint64_t lo = seq.word(word_idx);
-  const std::uint64_t mid = seq.word(word_idx + 1);
-  const std::uint64_t hi = seq.word(word_idx + 2);
-  const std::uint64_t combined = lo | (mid << 32);
-  std::uint64_t window = combined >> bit_off;
-  if (bit_off != 0) window |= hi << (64 - bit_off);
-  return window;
 }
 
 }  // namespace wfasic

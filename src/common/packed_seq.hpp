@@ -7,6 +7,8 @@
 // bases at a time by XOR-ing words).
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -44,15 +46,29 @@ class PackedSeq {
     return idx < words_.size() ? words_[idx] : 0u;
   }
 
-  [[nodiscard]] std::size_t word_count() const { return words_.size(); }
-  [[nodiscard]] const std::vector<std::uint32_t>& words() const {
-    return words_;
+  /// Logical word count: exactly the words needed for size() bases (the
+  /// internal buffer carries extra zero padding; see kPadWords).
+  [[nodiscard]] std::size_t word_count() const {
+    return (length_ + kBasesPerWord - 1) / kBasesPerWord;
+  }
+  /// The word_count() logical packed words (internal padding excluded).
+  [[nodiscard]] std::vector<std::uint32_t> words() const {
+    return {words_.begin(),
+            words_.begin() + static_cast<std::ptrdiff_t>(word_count())};
   }
 
   /// Number of consecutive equal bases of *this at position i and other at
   /// position j (the WFA extend primitive), compared 16 bases per step.
   [[nodiscard]] std::size_t match_run(std::size_t i, const PackedSeq& other,
                                       std::size_t j) const;
+
+  /// Same result as match_run(), computed 32 bases per step: full 64-bit
+  /// window XOR + countr_zero with a single bounds clamp at the mismatch.
+  /// The host-side fast kernel behind core::wfa's default extend path.
+  /// Defined inline below — it runs once per wavefront cell, the hottest
+  /// call site in the whole simulator.
+  [[nodiscard]] std::size_t match_run64(std::size_t i, const PackedSeq& other,
+                                        std::size_t j) const;
 
   /// Unpacks back to an A/C/G/T string.
   [[nodiscard]] std::string str() const;
@@ -63,13 +79,58 @@ class PackedSeq {
                                             std::size_t length);
 
  private:
+  /// Trailing zero words kept past word_count() so window64() can read
+  /// three consecutive words for any base position without per-read
+  /// bounds checks. Zero padding encodes 'A', which the match kernels
+  /// already treat as "mask by length".
+  static constexpr std::size_t kPadWords = 2;
+
   /// 32 bases starting at `pos` as a 64-bit word, base `pos` in the least
   /// significant 2 bits (the Extend datapath's shifted comparator input).
+  /// Requires pos < seq.size().
   [[nodiscard]] static std::uint64_t window64(const PackedSeq& seq,
                                               std::size_t pos);
 
   std::vector<std::uint32_t> words_;
   std::size_t length_ = 0;
 };
+
+inline std::uint64_t PackedSeq::window64(const PackedSeq& seq,
+                                         std::size_t pos) {
+  // 32 bases starting at `pos`, assembled from two words and shifted so the
+  // base at `pos` sits in the least significant 2 bits. The kPadWords
+  // trailing zeros guarantee all three reads are in range for pos < size().
+  const std::size_t word_idx = pos / kBasesPerWord;
+  const std::size_t bit_off = 2 * (pos % kBasesPerWord);
+  const std::uint32_t* w = seq.words_.data() + word_idx;
+  const std::uint64_t combined =
+      w[0] | (static_cast<std::uint64_t>(w[1]) << 32);
+  std::uint64_t window = combined >> bit_off;
+  if (bit_off != 0) window |= static_cast<std::uint64_t>(w[2]) << (64 - bit_off);
+  return window;
+}
+
+inline std::size_t PackedSeq::match_run64(std::size_t i,
+                                          const PackedSeq& other,
+                                          std::size_t j) const {
+  if (i >= length_ || j >= other.length_) return 0;
+  // Compare full 64-bit windows (32 bases per step). Bases past either
+  // sequence end are zero padding; padding can only fake *matches*, never
+  // mismatches, so one clamp of the result against the remaining length
+  // replaces the per-step masking of match_run().
+  const std::size_t max_run = std::min(length_ - i, other.length_ - j);
+  std::size_t run = 0;
+  while (run < max_run) {
+    const std::uint64_t diff =
+        window64(*this, i + run) ^ window64(other, j + run);
+    if (diff != 0) {
+      const std::size_t matched =
+          static_cast<std::size_t>(std::countr_zero(diff)) / 2;
+      return std::min(run + matched, max_run);
+    }
+    run += 32;
+  }
+  return max_run;
+}
 
 }  // namespace wfasic

@@ -43,4 +43,48 @@ inline void parallel_for(std::size_t count,
   for (std::thread& t : pool) t.join();
 }
 
+/// Number of workers parallel_for/parallel_for_workers will actually use
+/// for `count` items with a `threads` request — lets callers size
+/// per-worker state (aligner pools, accumulators) before dispatch.
+[[nodiscard]] inline unsigned parallel_for_worker_count(std::size_t count,
+                                                        unsigned threads = 0) {
+  if (count == 0) return 0;
+  unsigned workers = threads != 0 ? threads
+                                  : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > count) workers = static_cast<unsigned>(count);
+  return workers;
+}
+
+/// parallel_for variant whose body also receives the worker index
+/// (0..workers-1, workers = parallel_for_worker_count(count, threads)).
+/// Distinct indices may share a worker, but one worker never runs two
+/// bodies concurrently — per-worker scratch state (e.g. a pooled aligner)
+/// needs no locking.
+inline void parallel_for_workers(
+    std::size_t count,
+    const std::function<void(unsigned worker, std::size_t index)>& body,
+    unsigned threads = 0) {
+  const unsigned workers = parallel_for_worker_count(count, threads);
+  if (workers == 0) return;
+  if (workers == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(0, i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        body(w, i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
 }  // namespace wfasic

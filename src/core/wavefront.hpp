@@ -25,6 +25,38 @@ class Wavefront {
     WFASIC_REQUIRE(lo <= hi, "Wavefront: empty diagonal range");
   }
 
+  /// Re-initialises this wavefront for a new [lo, hi] range, reusing the
+  /// existing vector capacity (arena/pool recycling: equivalent to
+  /// constructing a fresh Wavefront(lo, hi) without the allocations).
+  void reset(diag_t lo, diag_t hi) {
+    WFASIC_REQUIRE(lo <= hi, "Wavefront: empty diagonal range");
+    base_lo_ = lo;
+    lo_ = lo;
+    hi_ = hi;
+    const std::size_t w = static_cast<std::size_t>(hi - lo + 1);
+    m_.assign(w, kOffsetNull);
+    i_.assign(w, kOffsetNull);
+    d_.assign(w, kOffsetNull);
+    trace_base = 0;
+  }
+
+  /// reset() without the kOffsetNull fill, for callers that overwrite every
+  /// cell of [lo, hi] (all three of M/I/D) before any read — e.g. the hw
+  /// Aligner's compute phase, which writes the full row batch by batch.
+  /// Row sizes (and therefore storage_width() and the trace layout) match
+  /// reset() exactly; only the redundant fill is skipped.
+  void reset_unfilled(diag_t lo, diag_t hi) {
+    WFASIC_REQUIRE(lo <= hi, "Wavefront: empty diagonal range");
+    base_lo_ = lo;
+    lo_ = lo;
+    hi_ = hi;
+    const std::size_t w = static_cast<std::size_t>(hi - lo + 1);
+    m_.resize(w);
+    i_.resize(w);
+    d_.resize(w);
+    trace_base = 0;
+  }
+
   /// Narrows the live diagonal range (adaptive wavefront reduction). The
   /// storage keeps its original extent; only the visible bounds shrink.
   void trim(diag_t new_lo, diag_t new_hi) {
@@ -50,6 +82,23 @@ class Wavefront {
   void set_m(diag_t k, offset_t v) { at(m_, k) = v; }
   void set_i(diag_t k, offset_t v) { at(i_, k) = v; }
   void set_d(diag_t k, offset_t v) { at(d_, k) = v; }
+
+  // Raw row access for hot kernels: row[0] is diagonal lo(), valid through
+  // diagonal hi(). Hoisting these pointers (plus lo()/hi()) into locals
+  // lets per-cell loops avoid re-reading the bounds after every store —
+  // the m/i/d accessors above stay the safe default elsewhere.
+  [[nodiscard]] const offset_t* row_m() const {
+    return m_.data() + (lo_ - base_lo_);
+  }
+  [[nodiscard]] const offset_t* row_i() const {
+    return i_.data() + (lo_ - base_lo_);
+  }
+  [[nodiscard]] const offset_t* row_d() const {
+    return d_.data() + (lo_ - base_lo_);
+  }
+  [[nodiscard]] offset_t* row_m() { return m_.data() + (lo_ - base_lo_); }
+  [[nodiscard]] offset_t* row_i() { return i_.data() + (lo_ - base_lo_); }
+  [[nodiscard]] offset_t* row_d() { return d_.data() + (lo_ - base_lo_); }
 
   /// Bytes of offset payload (for footprint accounting / tracing).
   [[nodiscard]] std::size_t payload_bytes() const {

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/dna.hpp"
 
 namespace wfasic::core {
 namespace {
@@ -33,6 +34,7 @@ score_t WfaAligner::worst_case_score(std::size_t a_len, std::size_t b_len,
 struct WfaAligner::Run {
   const WfaConfig& cfg;
   WfaProbe& probe;
+  WavefrontArena& arena;
   std::string_view a;
   std::string_view b;
   offset_t n;       // |a|, pattern length
@@ -40,8 +42,10 @@ struct WfaAligner::Run {
   diag_t k_align;   // m_len - n: the diagonal the alignment ends on
   score_t score_cap;
   bool keep_all;    // store every wavefront (traceback) vs ring buffer
+  bool tracing;     // probe.mem_trace attached (hoisted out of hot loops)
+  bool word_extend; // 64-bit XOR+ctz extend kernel usable for this pair
 
-  PackedSeq pa, pb;  // blocked-extend mode only
+  PackedSeq pa, pb;  // blocked-extend or word-parallel mode
 
   struct Slot {
     score_t score = -1;
@@ -54,10 +58,11 @@ struct WfaAligner::Run {
   std::uint64_t bump_addr = kTraceWfBase;
   std::uint64_t live_bytes = 0;
 
-  Run(const WfaConfig& config, WfaProbe& prb, std::string_view sa,
-      std::string_view sb)
+  Run(const WfaConfig& config, WfaProbe& prb, WavefrontArena& pool,
+      std::string_view sa, std::string_view sb)
       : cfg(config),
         probe(prb),
+        arena(pool),
         a(sa),
         b(sb),
         n(static_cast<offset_t>(sa.size())),
@@ -68,16 +73,30 @@ struct WfaAligner::Run {
                       ? config.max_score
                       : worst_case_score(sa.size(), sb.size(), config.pen)),
         keep_all(config.traceback == Traceback::kEnabled),
+        tracing(static_cast<bool>(prb.mem_trace)),
+        word_extend(false),
         window(std::max(config.pen.mismatch, config.pen.open_total()) + 1) {
-    if (cfg.extend == ExtendMode::kBlocked) {
+    // The word-parallel kernel needs packable (A/C/G/T) sequences and no
+    // memory trace (a trace must replay the reference kernel's exact
+    // access pattern). Blocked mode packs unconditionally — it always
+    // required valid bases.
+    const bool packable = cfg.extend == ExtendMode::kBlocked ||
+                          (is_valid_sequence(a) && is_valid_sequence(b));
+    word_extend = !cfg.reference_extend && !tracing && packable;
+    if (cfg.extend == ExtendMode::kBlocked || word_extend) {
       pa = PackedSeq(a);
       pb = PackedSeq(b);
     }
     if (!keep_all) ring.resize(static_cast<std::size_t>(window));
   }
 
+  ~Run() {
+    for (Slot& slot : ring) arena.release(std::move(slot.wf));
+    for (auto& wavefront : all) arena.release(std::move(wavefront));
+  }
+
   void trace(std::uint64_t addr, std::uint32_t size, bool is_write) {
-    if (probe.mem_trace) probe.mem_trace(addr, size, is_write);
+    if (tracing) probe.mem_trace(addr, size, is_write);
   }
 
   /// Wavefront for score s, or nullptr if absent / already recycled.
@@ -92,7 +111,7 @@ struct WfaAligner::Run {
   }
 
   Wavefront& make_wf(score_t s, diag_t lo, diag_t hi) {
-    auto wavefront = std::make_unique<Wavefront>(lo, hi);
+    std::unique_ptr<Wavefront> wavefront = arena.acquire(lo, hi);
     wavefront->trace_base = bump_addr;
     bump_addr += wavefront->payload_bytes();
     probe.wf_bytes_allocated += wavefront->payload_bytes();
@@ -104,7 +123,10 @@ struct WfaAligner::Run {
       all[static_cast<std::size_t>(s)] = std::move(wavefront);
     } else {
       Slot& slot = ring[static_cast<std::size_t>(s % window)];
-      if (slot.wf) live_bytes -= slot.wf->payload_bytes();
+      if (slot.wf) {
+        live_bytes -= slot.wf->payload_bytes();
+        arena.release(std::move(slot.wf));
+      }
       slot.score = s;
       slot.wf = std::move(wavefront);
     }
@@ -113,7 +135,10 @@ struct WfaAligner::Run {
   }
 
   /// extend(): advance every valid M offset along its diagonal while the
-  /// sequences match (§2.3).
+  /// sequences match (§2.3). The match run is found by the word-parallel
+  /// kernel when eligible; the probe counters always follow the selected
+  /// ExtendMode's cost model, so the kernel choice is invisible to both
+  /// results and instrumentation.
   void extend(Wavefront& w) {
     for (diag_t k = w.lo(); k <= w.hi(); ++k) {
       const offset_t off = w.m(k);
@@ -121,15 +146,31 @@ struct WfaAligner::Run {
       ++probe.extend_cells;
       const offset_t i0 = off - k;
       std::size_t run = 0;
-      if (cfg.extend == ExtendMode::kScalar) {
+      if (word_extend) {
+        run = pa.match_run64(static_cast<std::size_t>(i0), pb,
+                             static_cast<std::size_t>(off));
+        if (cfg.extend == ExtendMode::kScalar) {
+          probe.chars_compared += run + 1;
+        } else {
+          probe.blocks_compared += run / PackedSeq::kBasesPerWord + 1;
+        }
+      } else if (cfg.extend == ExtendMode::kScalar) {
         std::size_t i = static_cast<std::size_t>(i0);
         std::size_t j = static_cast<std::size_t>(off);
-        while (i < a.size() && j < b.size() && a[i] == b[j]) {
-          trace(kTraceSeqABase + i, 1, false);
-          trace(kTraceSeqBBase + j, 1, false);
-          ++run;
-          ++i;
-          ++j;
+        if (tracing) {
+          while (i < a.size() && j < b.size() && a[i] == b[j]) {
+            probe.mem_trace(kTraceSeqABase + i, 1, false);
+            probe.mem_trace(kTraceSeqBBase + j, 1, false);
+            ++run;
+            ++i;
+            ++j;
+          }
+        } else {
+          while (i < a.size() && j < b.size() && a[i] == b[j]) {
+            ++run;
+            ++i;
+            ++j;
+          }
         }
         probe.chars_compared += run + 1;
       } else {
@@ -137,7 +178,7 @@ struct WfaAligner::Run {
                            static_cast<std::size_t>(off));
         const std::size_t blocks = run / PackedSeq::kBasesPerWord + 1;
         probe.blocks_compared += blocks;
-        if (probe.mem_trace) {
+        if (tracing) {
           // One 4-byte word load per sequence per block.
           for (std::size_t blk = 0; blk < blocks; ++blk) {
             trace(kTraceSeqABase + (static_cast<std::size_t>(i0) / 16 + blk) * 4,
@@ -182,31 +223,45 @@ struct WfaAligner::Run {
   }
 
   /// Gathers the five Eq.-3 source offsets for diagonal k of score s.
-  [[nodiscard]] WfCellSources gather_sources(score_t s, diag_t k) {
+  /// Templated on whether a memory trace is attached so probe-less runs
+  /// pay zero per-access overhead (the compile-time branch folds away).
+  template <bool kTraced>
+  [[nodiscard]] WfCellSources gather_sources_impl(score_t s, diag_t k) {
     WfCellSources src;
     if (Wavefront* wx = wf(s - cfg.pen.mismatch)) {
       src.m_sub = wx->m(k);
-      trace(wx->trace_addr_m(std::clamp(k, wx->lo(), wx->hi())),
-            sizeof(offset_t), false);
+      if constexpr (kTraced) {
+        trace(wx->trace_addr_m(std::clamp(k, wx->lo(), wx->hi())),
+              sizeof(offset_t), false);
+      }
     }
     if (Wavefront* woe = wf(s - cfg.pen.open_total())) {
       src.m_open_ins = woe->m(k - 1);
       src.m_open_del = woe->m(k + 1);
-      trace(woe->trace_addr_m(std::clamp(k - 1, woe->lo(), woe->hi())),
-            sizeof(offset_t), false);
-      trace(woe->trace_addr_m(std::clamp(k + 1, woe->lo(), woe->hi())),
-            sizeof(offset_t), false);
+      if constexpr (kTraced) {
+        trace(woe->trace_addr_m(std::clamp(k - 1, woe->lo(), woe->hi())),
+              sizeof(offset_t), false);
+        trace(woe->trace_addr_m(std::clamp(k + 1, woe->lo(), woe->hi())),
+              sizeof(offset_t), false);
+      }
     }
     if (Wavefront* we = wf(s - cfg.pen.gap_extend)) {
       src.i_ext = we->i(k - 1);
       src.d_ext = we->d(k + 1);
-      trace(we->trace_addr_i(std::clamp(k - 1, we->lo(), we->hi())),
-            sizeof(offset_t), false);
-      trace(we->trace_addr_d(std::clamp(k + 1, we->lo(), we->hi())),
-            sizeof(offset_t), false);
+      if constexpr (kTraced) {
+        trace(we->trace_addr_i(std::clamp(k - 1, we->lo(), we->hi())),
+              sizeof(offset_t), false);
+        trace(we->trace_addr_d(std::clamp(k + 1, we->lo(), we->hi())),
+              sizeof(offset_t), false);
+      }
     }
     probe.wf_cells_read += 5;
     return src;
+  }
+
+  [[nodiscard]] WfCellSources gather_sources(score_t s, diag_t k) {
+    return tracing ? gather_sources_impl<true>(s, k)
+                   : gather_sources_impl<false>(s, k);
   }
 
   /// compute(): builds the wavefront of score s from s-x, s-o-e, s-e.
@@ -241,19 +296,33 @@ struct WfaAligner::Run {
     if (lo > hi) return nullptr;
 
     Wavefront& out = make_wf(s, lo, hi);
+    if (tracing) {
+      compute_cells<true>(out, s, lo, hi);
+    } else {
+      compute_cells<false>(out, s, lo, hi);
+    }
+    ++probe.wavefronts_computed;
+    return &out;
+  }
+
+  /// The per-cell compute loop, dispatched once per wavefront on the
+  /// tracing flag.
+  template <bool kTraced>
+  void compute_cells(Wavefront& out, score_t s, diag_t lo, diag_t hi) {
     for (diag_t k = lo; k <= hi; ++k) {
-      const WfCell cell = compute_wf_cell(gather_sources(s, k), k, n, m_len);
+      const WfCell cell =
+          compute_wf_cell(gather_sources_impl<kTraced>(s, k), k, n, m_len);
       out.set_m(k, cell.m);
       out.set_i(k, cell.i);
       out.set_d(k, cell.d);
       ++probe.cells_computed;
       probe.wf_cells_written += 3;
-      trace(out.trace_addr_m(k), sizeof(offset_t), true);
-      trace(out.trace_addr_i(k), sizeof(offset_t), true);
-      trace(out.trace_addr_d(k), sizeof(offset_t), true);
+      if constexpr (kTraced) {
+        trace(out.trace_addr_m(k), sizeof(offset_t), true);
+        trace(out.trace_addr_i(k), sizeof(offset_t), true);
+        trace(out.trace_addr_d(k), sizeof(offset_t), true);
+      }
     }
-    ++probe.wavefronts_computed;
-    return &out;
   }
 
   /// Recomputes the kernel result for a stored cell (backtrace provenance).
@@ -355,8 +424,13 @@ WfaAligner::WfaAligner(WfaConfig cfg) : cfg_(cfg) {
   WFASIC_REQUIRE(cfg_.pen.valid(), "WfaAligner: invalid penalties");
 }
 
+void WfaAligner::reconfigure(const WfaConfig& cfg) {
+  WFASIC_REQUIRE(cfg.pen.valid(), "WfaAligner: invalid penalties");
+  cfg_ = cfg;
+}
+
 AlignResult WfaAligner::align(std::string_view a, std::string_view b) {
-  Run run(cfg_, probe_, a, b);
+  Run run(cfg_, probe_, arena_, a, b);
   AlignResult result;
 
   // A band that cannot even contain the final diagonal can never succeed.

@@ -20,6 +20,7 @@
 #include "common/types.hpp"
 #include "core/align_result.hpp"
 #include "core/wavefront.hpp"
+#include "core/wavefront_arena.hpp"
 #include "core/wfa_kernel.hpp"
 
 namespace wfasic::core {
@@ -46,6 +47,14 @@ struct WfaConfig {
   Penalties pen = kDefaultPenalties;
   Traceback traceback = Traceback::kEnabled;
   ExtendMode extend = ExtendMode::kScalar;
+  /// Force the reference extend kernels (byte-wise for kScalar, 16-base
+  /// blocks for kBlocked) instead of the default 64-bit XOR+ctz
+  /// word-parallel kernel. Scores, CIGARs and every probe counter are
+  /// bit-identical either way (enforced by tests/test_perf_equivalence);
+  /// the flag exists for differential testing and exists only on the
+  /// host — the ExtendMode still selects whose cost model the probe
+  /// counters follow.
+  bool reference_extend = false;
   /// Maximum alignment score before giving up (< 0: derive the always-
   /// sufficient bound from the sequence lengths).
   score_t max_score = -1;
@@ -83,7 +92,10 @@ struct WfaProbe {
   }
 };
 
-/// Exact gap-affine pairwise aligner based on wavefronts.
+/// Exact gap-affine pairwise aligner based on wavefronts. Wavefront
+/// buffers are recycled through a per-aligner arena across align() calls,
+/// so a long-lived aligner amortises its allocations; aligners are cheap
+/// to keep around and are not thread-safe (use one per worker thread).
 class WfaAligner {
  public:
   explicit WfaAligner(WfaConfig cfg = {});
@@ -92,9 +104,14 @@ class WfaAligner {
   /// (horizontal axis, consumed by M/X/I).
   [[nodiscard]] AlignResult align(std::string_view a, std::string_view b);
 
+  /// Replaces the configuration, keeping the probe and the wavefront arena
+  /// (pooled-aligner reuse across jobs with differing traceback modes).
+  void reconfigure(const WfaConfig& cfg);
+
   [[nodiscard]] const WfaConfig& config() const { return cfg_; }
   [[nodiscard]] const WfaProbe& probe() const { return probe_; }
   [[nodiscard]] WfaProbe& probe() { return probe_; }
+  [[nodiscard]] const WavefrontArena& arena() const { return arena_; }
 
   /// The always-sufficient score bound for sequences of these lengths:
   /// delete all of a, insert all of b.
@@ -107,6 +124,7 @@ class WfaAligner {
 
   WfaConfig cfg_;
   WfaProbe probe_;
+  WavefrontArena arena_;
 };
 
 }  // namespace wfasic::core

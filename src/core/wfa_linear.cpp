@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/dna.hpp"
+#include "common/packed_seq.hpp"
 
 namespace wfasic::core {
 namespace {
@@ -92,16 +94,32 @@ AlignResult WfaLinearAligner::align(std::string_view a, std::string_view b) {
     c.best = std::max({c.sub, c.ins, c.del});
     return c;
   };
+  // Word-parallel extend: 2-bit packed bases compared 32 at a time via a
+  // 64-bit XOR + count-trailing-zeros. Same match runs as the byte loop
+  // (differentially tested); restricted to plain-ACGT inputs since packing
+  // is lossy for anything else.
+  const bool word_extend = !cfg_.reference_extend && is_valid_sequence(a) &&
+                           is_valid_sequence(b);
+  PackedSeq pa;
+  PackedSeq pb;
+  if (word_extend) {
+    pa = PackedSeq(a);
+    pb = PackedSeq(b);
+  }
   const auto extend = [&](LinearWavefront& w) {
     for (diag_t k = w.lo; k <= w.hi; ++k) {
       offset_t off = w.get(k);
       if (off == kOffsetNull) continue;
       std::size_t i = static_cast<std::size_t>(off - k);
       std::size_t j = static_cast<std::size_t>(off);
-      while (i < a.size() && j < b.size() && a[i] == b[j]) {
-        ++i;
-        ++j;
-        ++off;
+      if (word_extend) {
+        off += static_cast<offset_t>(pa.match_run64(i, pb, j));
+      } else {
+        while (i < a.size() && j < b.size() && a[i] == b[j]) {
+          ++i;
+          ++j;
+          ++off;
+        }
       }
       w.set(k, off);
     }

@@ -24,6 +24,12 @@ struct WfaLinearConfig {
   Traceback traceback = Traceback::kEnabled;
   /// Maximum score before giving up (< 0: derive the safe bound).
   score_t max_score = -1;
+  /// Force the byte-at-a-time reference extend loop instead of the
+  /// word-parallel (64-bit packed-base) kernel. Results are bit-identical
+  /// either way (enforced by tests/test_perf_equivalence); the reference
+  /// path exists for differential testing. The word kernel only engages
+  /// for plain-ACGT inputs — anything else falls back automatically.
+  bool reference_extend = false;
 };
 
 /// Exact gap-linear pairwise aligner based on wavefronts; O(n*s) time.

@@ -102,9 +102,19 @@ RunStatus Driver::classify(std::uint64_t cycles, bool completed) const {
 
 RunStatus Driver::wait_core(const std::function<bool()>& done,
                             std::uint64_t max_cycles) {
+  // Chunked polling instead of one virtual step() per cycle. This is
+  // cycle-exact: both wait conditions (Idle, interrupt pending) can only
+  // change when the accelerator leaves the running state, which is
+  // precisely where step_many stops early. While already idle, advance()
+  // burns the remaining budget in bulk, as the per-cycle loop would.
   const sim::cycle_t begin = accelerator_.now();
   while (!done() && accelerator_.now() - begin < max_cycles) {
-    accelerator_.step();
+    const std::uint64_t remaining = max_cycles - (accelerator_.now() - begin);
+    if (accelerator_.idle()) {
+      accelerator_.advance(remaining);
+    } else {
+      accelerator_.step_many(remaining);
+    }
   }
   return classify(accelerator_.now() - begin, done());
 }

@@ -30,13 +30,24 @@ bool SwBackend::poll() {
                                     : core::Traceback::kDisabled;
   wfa_cfg.extend = core::ExtendMode::kScalar;
 
+  // Persistent per-worker aligners: wavefront buffers recycle through each
+  // aligner's arena across pairs and jobs instead of being reallocated per
+  // pair. The probe resets before every pair, so the per-pair cycle
+  // estimate is identical to the old fresh-aligner-per-pair code.
   const std::size_t n = job.pairs.size();
+  const unsigned workers = parallel_for_worker_count(n, cfg_.threads);
+  while (aligners_.size() < workers) {
+    aligners_.push_back(std::make_unique<core::WfaAligner>(wfa_cfg));
+  }
+  for (unsigned w = 0; w < workers; ++w) aligners_[w]->reconfigure(wfa_cfg);
+
   std::vector<core::AlignResult> results(n);
   std::vector<std::uint64_t> cycles(n, 0);
-  parallel_for(
+  parallel_for_workers(
       n,
-      [&](std::size_t idx) {
-        core::WfaAligner aligner(wfa_cfg);
+      [&](unsigned worker, std::size_t idx) {
+        core::WfaAligner& aligner = *aligners_[worker];
+        aligner.probe().reset();
         results[idx] = aligner.align(job.pairs[idx].a, job.pairs[idx].b);
         const core::WfaProbe& p = aligner.probe();
         const cpu::ScalarCosts& c = cfg_.costs;

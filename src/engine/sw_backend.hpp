@@ -11,10 +11,12 @@
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
+#include "core/wfa.hpp"
 #include "cpu/cost_model.hpp"
 #include "engine/backend.hpp"
 
@@ -48,6 +50,10 @@ class SwBackend final : public AlignmentBackend {
   std::deque<std::pair<JobHandle, BatchJob>> queue_;
   std::vector<Completion> done_;
   std::uint64_t next_handle_ = 1;
+  /// One long-lived aligner per parallel_for worker, grown on demand:
+  /// wavefront buffers recycle through each aligner's arena across pairs
+  /// and jobs. Indexed by worker id, so no locking is needed.
+  std::vector<std::unique_ptr<core::WfaAligner>> aligners_;
 };
 
 }  // namespace wfasic::engine

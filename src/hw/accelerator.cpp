@@ -20,11 +20,16 @@ Accelerator::Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory)
   collector_ = std::make_unique<Collector>(output_fifo_, aligner_ptrs);
 
   // Tick order: drain first (collector), then producers, then ingest, so a
-  // full pipeline moves one step everywhere within a cycle.
-  scheduler_.add(collector_.get());
-  for (auto& aligner : aligners_) scheduler_.add(aligner.get());
-  scheduler_.add(extractor_.get());
-  scheduler_.add(dma_.get());
+  // full pipeline moves one step everywhere within a cycle. None of the
+  // pipeline stages uses the commit phase, so they register off the
+  // commit list (needs_commit = false) and the scheduler never pays the
+  // empty virtual calls.
+  scheduler_.add(collector_.get(), /*needs_commit=*/false);
+  for (auto& aligner : aligners_) {
+    scheduler_.add(aligner.get(), /*needs_commit=*/false);
+  }
+  scheduler_.add(extractor_.get(), /*needs_commit=*/false);
+  scheduler_.add(dma_.get(), /*needs_commit=*/false);
 }
 
 void Accelerator::attach_fault_injector(sim::FaultInjector* injector) {
@@ -245,23 +250,63 @@ void Accelerator::step() {
   }
 }
 
-std::uint64_t Accelerator::step_many(std::uint64_t max_cycles) {
+std::uint64_t Accelerator::advance_core(std::uint64_t max_cycles,
+                                        bool stop_when_idle) {
   std::uint64_t stepped = 0;
-  while (running_ && stepped < max_cycles) {
-    step();
-    ++stepped;
+  std::uint64_t stride = 1;
+  // While running, step()'s post-tick checks (bus error, completion,
+  // watchdog) must have validated the current state before a span may be
+  // skipped: none of their conditions can flip during a quiescent span,
+  // but one could already hold at entry (e.g. an empty input set
+  // completes on the very first step).
+  bool checked = false;
+  while (stepped < max_cycles) {
+    if (stop_when_idle && !running_) break;
+    if (!idle_skip_allowed() || (running_ && !checked)) {
+      step();
+      ++stepped;
+      checked = true;
+      continue;
+    }
+    const sim::cycle_t quiet = scheduler_.quiescent_cycles();
+    if (quiet > 0) {
+      const std::uint64_t span =
+          std::min<std::uint64_t>(quiet, max_cycles - stepped);
+      scheduler_.skip(span);
+      stepped += span;
+      stride = 1;
+      continue;
+    }
+    // Non-quiescent boundary: replay exactly. Consecutive failed probes
+    // widen the replay burst (up to 64 cycles) so boundary-dense phases
+    // are not dominated by quiescence probing; a burst only delays the
+    // next skip opportunity, never changes what is simulated.
+    std::uint64_t burst = std::min<std::uint64_t>(stride, max_cycles - stepped);
+    for (; burst > 0; --burst) {
+      step();
+      ++stepped;
+      checked = true;
+      if (stop_when_idle && !running_) return stepped;
+    }
+    if (stride < 64) stride *= 2;
   }
   return stepped;
 }
 
+std::uint64_t Accelerator::step_many(std::uint64_t max_cycles) {
+  return advance_core(max_cycles, /*stop_when_idle=*/true);
+}
+
+std::uint64_t Accelerator::advance(std::uint64_t cycles) {
+  return advance_core(cycles, /*stop_when_idle=*/false);
+}
+
 std::uint64_t Accelerator::run_to_completion(std::uint64_t max_cycles) {
   const sim::cycle_t begin = scheduler_.now();
-  while (running_) {
-    WFASIC_REQUIRE(scheduler_.now() - begin < max_cycles,
-                   "Accelerator::run_to_completion: cycle limit exceeded "
-                   "(likely deadlock)");
-    step();
-  }
+  advance_core(max_cycles, /*stop_when_idle=*/true);
+  WFASIC_REQUIRE(!running_,
+                 "Accelerator::run_to_completion: cycle limit exceeded "
+                 "(likely deadlock)");
   return scheduler_.now() - begin;
 }
 

@@ -43,11 +43,16 @@ class Accelerator {
   // --- Simulation control ---------------------------------------------------
   /// Advances the whole accelerator by one clock cycle.
   void step();
-  /// Steps at most `max_cycles` cycles, stopping early once idle. Returns
-  /// the cycles actually stepped. This is the engine's poll quantum: the
-  /// asynchronous host interleaves bounded slices of several device
-  /// simulations instead of blocking on any one of them.
+  /// Advances at most `max_cycles` cycles, stopping early once idle.
+  /// Returns the cycles actually advanced (skipped quiescent cycles
+  /// count). This is the engine's poll quantum: the asynchronous host
+  /// interleaves bounded slices of several device simulations instead of
+  /// blocking on any one of them.
   std::uint64_t step_many(std::uint64_t max_cycles);
+  /// Advances exactly `max_cycles` cycles (no early stop) — the batched
+  /// stepper behind driver wait loops that burn simulated time while the
+  /// device is idle. Bit-identical to calling step() that many times.
+  std::uint64_t advance(std::uint64_t cycles);
   /// Runs until idle; aborts after `max_cycles` (deadlock guard).
   /// Returns the cycles elapsed during this call.
   std::uint64_t run_to_completion(std::uint64_t max_cycles = 4'000'000'000ULL);
@@ -77,6 +82,20 @@ class Accelerator {
  private:
   void start();
   void soft_reset();
+  /// True when the idle-skip fast path may replace exact stepping: never
+  /// with a fault injector attached (per-cycle beat faults, memory flips
+  /// and FIFO stall probes need every cycle), never while a run has the
+  /// no-progress watchdog armed (its firing cycle must stay exact).
+  [[nodiscard]] bool idle_skip_allowed() const {
+    return cfg_.idle_skip && injector_ == nullptr &&
+           !(running_ && regs_.watchdog != 0);
+  }
+  /// Shared fast-path loop behind step_many/advance/run_to_completion:
+  /// skips system-wide quiescent spans, replays boundary cycles exactly
+  /// via step(), and re-probes quiescence on a coarser grid (doubling
+  /// stride, capped) after failed probes so boundary-dense phases do not
+  /// pay the probe on every cycle.
+  std::uint64_t advance_core(std::uint64_t max_cycles, bool stop_when_idle);
   /// Latches `cause` into kRegErrStatus/kRegErrCount.
   void latch_error(std::uint32_t cause);
   /// Terminal error path: latch the cause, flush the datapath, go idle and

@@ -29,6 +29,12 @@ void Aligner::begin_load() {
   state_ = State::kLoading;
 }
 
+void Aligner::clear_ring() {
+  // Buffers stay allocated: make_wavefront reinitialises a slot's storage
+  // when its score is claimed, so stale contents are never observable.
+  for (Slot& slot : ring_) slot.score = -1;
+}
+
 void Aligner::abort() {
   state_ = State::kIdle;
   batches_.clear();
@@ -39,10 +45,7 @@ void Aligner::abort() {
   done_ = false;
   geom_.reset();
   current_ = nullptr;
-  for (Slot& slot : ring_) {
-    slot.score = -1;
-    slot.wf.reset();
-  }
+  clear_ring();
 }
 
 void Aligner::finish_load(AlignJob job, sim::cycle_t now) {
@@ -60,27 +63,18 @@ core::Wavefront* Aligner::wavefront(score_t s) {
   return slot.score == s ? slot.wf.get() : nullptr;
 }
 
-core::Wavefront& Aligner::make_wavefront(score_t s, diag_t lo, diag_t hi) {
+core::Wavefront& Aligner::make_wavefront(score_t s, diag_t lo, diag_t hi,
+                                         bool fill) {
   Slot& slot = ring_[static_cast<std::size_t>(s % window_)];
   slot.score = s;
-  slot.wf = std::make_unique<core::Wavefront>(lo, hi);
+  if (slot.wf == nullptr) {
+    slot.wf = std::make_unique<core::Wavefront>(lo, hi);
+  } else if (fill) {
+    slot.wf->reset(lo, hi);
+  } else {
+    slot.wf->reset_unfilled(lo, hi);
+  }
   return *slot.wf;
-}
-
-core::WfCellSources Aligner::gather_sources(score_t s, diag_t k) {
-  core::WfCellSources src;
-  if (core::Wavefront* wx = wavefront(s - cfg_.pen.mismatch)) {
-    src.m_sub = wx->m(k);
-  }
-  if (core::Wavefront* woe = wavefront(s - cfg_.pen.open_total())) {
-    src.m_open_ins = woe->m(k - 1);
-    src.m_open_del = woe->m(k + 1);
-  }
-  if (core::Wavefront* we = wavefront(s - cfg_.pen.gap_extend)) {
-    src.i_ext = we->i(k - 1);
-    src.d_ext = we->d(k + 1);
-  }
-  return src;
 }
 
 void Aligner::start_alignment(sim::cycle_t now) {
@@ -91,10 +85,7 @@ void Aligner::start_alignment(sim::cycle_t now) {
   txn_counter_ = 0;
   done_ = false;
   batches_.clear();
-  for (Slot& slot : ring_) {
-    slot.score = -1;
-    slot.wf.reset();
-  }
+  clear_ring();
 
   if (job_.unsupported) {
     error_flags_ |= kErrUnsupported;
@@ -126,12 +117,18 @@ void Aligner::step_score() {
   // extend_fill once and per-batch only the comparator blocks.
   if (current_ != nullptr) {
     const ExtendUnit unit(job_.a, job_.b);
-    std::vector<unsigned> block_counts;  // per valid cell: compare blocks
-    for (diag_t k = current_->lo(); k <= current_->hi(); ++k) {
-      const offset_t off = current_->m(k);
+    std::vector<unsigned>& block_counts = scratch_blocks_;  // per valid cell
+    block_counts.clear();
+    block_counts.reserve(current_->width());
+    offset_t* const cm = current_->row_m();
+    const diag_t clo = current_->lo();
+    const std::size_t cw = current_->width();
+    for (std::size_t idx = 0; idx < cw; ++idx) {
+      const offset_t off = cm[idx];
       if (off == kOffsetNull) continue;
+      const diag_t k = clo + static_cast<diag_t>(idx);
       const ExtendUnit::Result ext = unit.extend(off - k, off);
-      if (ext.run > 0) current_->set_m(k, off + ext.run);
+      if (ext.run > 0) cm[idx] = off + ext.run;
       block_counts.push_back(ext.blocks);
     }
     if (!block_counts.empty()) {
@@ -172,20 +169,79 @@ void Aligner::step_score() {
     return;
   }
 
-  core::Wavefront& out = make_wavefront(s_, bounds.lo, bounds.hi);
+  // fill = false: the batch loop below writes every M/I/D cell of
+  // [bounds.lo, bounds.hi] before the wavefront is read.
+  core::Wavefront& out = make_wavefront(s_, bounds.lo, bounds.hi,
+                                        /*fill=*/false);
+  // The three source wavefronts are per-score invariants; resolving them
+  // once here (instead of three ring lookups per cell via
+  // gather_sources) is observationally identical.
+  core::Wavefront* const wx = wavefront(s_ - cfg_.pen.mismatch);
+  core::Wavefront* const woe = wavefront(s_ - cfg_.pen.open_total());
+  core::Wavefront* const we = wavefront(s_ - cfg_.pen.gap_extend);
+  // Hoisted row/bounds views of the sources and the output: same values
+  // as the Wavefront accessors, but the bounds live in locals so the
+  // compiler need not re-read them after every output store. An absent
+  // source gets an empty view (lo > hi), which yields kOffsetNull for
+  // every diagonal — exactly what the null-pointer checks produced.
+  struct SrcView {
+    const offset_t* m = nullptr;
+    const offset_t* i = nullptr;
+    const offset_t* d = nullptr;
+    diag_t lo = 0;
+    diag_t hi = -1;
+  };
+  const auto view_of = [](const core::Wavefront* wf) {
+    SrcView v;
+    if (wf != nullptr) {
+      v.m = wf->row_m();
+      v.i = wf->row_i();
+      v.d = wf->row_d();
+      v.lo = wf->lo();
+      v.hi = wf->hi();
+    }
+    return v;
+  };
+  const SrcView vx = view_of(wx);
+  const SrcView voe = view_of(woe);
+  const SrcView ve = view_of(we);
+  const auto at_m = [](const SrcView& v, diag_t k) {
+    return k >= v.lo && k <= v.hi ? v.m[k - v.lo] : kOffsetNull;
+  };
+  const auto at_i = [](const SrcView& v, diag_t k) {
+    return k >= v.lo && k <= v.hi ? v.i[k - v.lo] : kOffsetNull;
+  };
+  const auto at_d = [](const SrcView& v, diag_t k) {
+    return k >= v.lo && k <= v.hi ? v.d[k - v.lo] : kOffsetNull;
+  };
+  offset_t* const om = out.row_m();
+  offset_t* const oi = out.row_i();
+  offset_t* const od = out.row_d();
   bool first_batch = true;
   for (diag_t base = bounds.lo; base <= bounds.hi;
        base += static_cast<diag_t>(P)) {
     const diag_t last =
         std::min(bounds.hi, base + static_cast<diag_t>(P) - 1);
-    std::vector<std::uint8_t> codes(P, 0);  // full block even when partial
+    std::vector<std::uint8_t> codes;  // full block even when partial
+    if (bt_enabled_) codes.assign(P, 0);
     for (diag_t k = base; k <= last; ++k) {
-      const core::WfCell cell =
-          core::compute_wf_cell(gather_sources(s_, k), k, n_, m_len_);
-      out.set_m(k, cell.m);
-      out.set_i(k, cell.i);
-      out.set_d(k, cell.d);
-      codes[static_cast<std::size_t>(k - base)] = core::pack_origin_bits(cell);
+      core::WfCellSources src;
+      src.m_sub = at_m(vx, k);
+      src.m_open_ins = at_m(voe, k - 1);
+      src.m_open_del = at_m(voe, k + 1);
+      src.i_ext = at_i(ve, k - 1);
+      src.d_ext = at_d(ve, k + 1);
+      const core::WfCell cell = core::compute_wf_cell(src, k, n_, m_len_);
+      const auto oidx = static_cast<std::size_t>(k - bounds.lo);
+      om[oidx] = cell.m;
+      oi[oidx] = cell.i;
+      od[oidx] = cell.d;
+      // Origin codes feed only the backtrace stream; NBT runs skip the
+      // packing work entirely.
+      if (bt_enabled_) {
+        codes[static_cast<std::size_t>(k - base)] =
+            core::pack_origin_bits(cell);
+      }
     }
     Batch batch;
     batch.cycles = t.compute_batch_ii + (first_batch ? t.compute_pipeline : 0);
@@ -242,6 +298,68 @@ void Aligner::finish_alignment(bool success, score_t score, diag_t k_reached,
   pending_record_ = PairRecord{job_.id, success, score, 0};
   state_ = State::kRun;  // drain remaining batches, then idle
   queue_result(success, score, k_reached);
+}
+
+sim::cycle_t Aligner::quiet_for(sim::cycle_t /*now*/) const {
+  switch (state_) {
+    case State::kIdle:
+    case State::kLoading:
+      return kQuietForever;  // woken by the Extractor, not by a tick
+    case State::kInit:
+      return init_countdown_;  // pure countdown; boundary starts alignment
+    case State::kRun:
+      break;
+  }
+  if (batches_.empty()) return 0;  // step_score() runs this tick
+  // Walk the schedule: ticks that only raise a countdown are quiet. A
+  // batch releasing transactions (or the final batch of a finished
+  // alignment) makes its completion tick a boundary; a txn-free batch's
+  // completion tick only pops the deque, which nothing observes.
+  sim::cycle_t quiet = 0;
+  unsigned cd = countdown_;
+  for (std::size_t idx = 0; idx < batches_.size(); ++idx) {
+    const Batch& batch = batches_[idx];
+    if (batch.cycles <= cd) return quiet;  // stalled txn retry every tick
+    const sim::cycle_t remaining = batch.cycles - cd;
+    cd = 0;
+    const bool last = idx + 1 == batches_.size();
+    if (!batch.txns.empty() || (last && done_)) {
+      return quiet + remaining - 1;
+    }
+    quiet += remaining;
+    if (last) return quiet;  // next tick after the pop is step_score()
+  }
+  return quiet;
+}
+
+void Aligner::skip_quiet(sim::cycle_t n) {
+  if (n == 0) return;
+  switch (state_) {
+    case State::kIdle:
+    case State::kLoading:
+      return;
+    case State::kInit:
+      busy_cycles_ += n;
+      init_countdown_ -= static_cast<unsigned>(n);
+      return;
+    case State::kRun:
+      break;
+  }
+  busy_cycles_ += n;
+  while (n > 0) {
+    WFASIC_ASSERT(!batches_.empty(), "Aligner::skip_quiet past schedule");
+    Batch& front = batches_.front();
+    const sim::cycle_t remaining = front.cycles - countdown_;
+    if (n < remaining) {
+      countdown_ += static_cast<unsigned>(n);
+      return;
+    }
+    WFASIC_ASSERT(front.txns.empty(),
+                  "Aligner::skip_quiet through a transaction batch");
+    n -= remaining;
+    countdown_ = 0;
+    batches_.pop_front();
+  }
 }
 
 void Aligner::tick(sim::cycle_t now) {

@@ -102,6 +102,14 @@ class Aligner final : public sim::Component {
 
   void tick(sim::cycle_t now) override;
 
+  // Idle-skip quiescence (see sim::Component): ticks that only burn a
+  // batch countdown (or the init countdown) are pure counter updates and
+  // can be bulk-applied; any tick that releases transactions, pops a
+  // batch with observable consequences, or runs step_score() is a
+  // boundary and reports 0.
+  [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t now) const override;
+  void skip_quiet(sim::cycle_t n) override;
+
  private:
   enum class State { kIdle, kLoading, kInit, kRun };
 
@@ -121,8 +129,14 @@ class Aligner final : public sim::Component {
   void queue_result(bool success, score_t score, diag_t k_reached);
 
   [[nodiscard]] core::Wavefront* wavefront(score_t s);
-  core::Wavefront& make_wavefront(score_t s, diag_t lo, diag_t hi);
-  [[nodiscard]] core::WfCellSources gather_sources(score_t s, diag_t k);
+  /// Activates the ring slot for score s, recycling the slot's previous
+  /// buffer (core::Wavefront::reset) instead of reallocating. Pass
+  /// fill = false only when every cell of [lo, hi] is written before any
+  /// read (the compute phase does; see Wavefront::reset_unfilled).
+  core::Wavefront& make_wavefront(score_t s, diag_t lo, diag_t hi,
+                                  bool fill = true);
+  /// Invalidates all ring slots, keeping their buffers for reuse.
+  void clear_ring();
 
   // Configuration.
   const AcceleratorConfig cfg_;
@@ -154,6 +168,9 @@ class Aligner final : public sim::Component {
   std::deque<Batch> batches_;
   unsigned countdown_ = 0;
   unsigned init_countdown_ = 0;
+  /// Extend-phase scratch (per-cell comparator block counts), kept across
+  /// step_score calls to avoid a per-score allocation.
+  std::vector<unsigned> scratch_blocks_;
 
   // Output queues drained by the Collector.
   std::deque<BtTransaction> bt_queue_;

@@ -71,6 +71,28 @@ class Collector final : public sim::Component {
     }
   }
 
+  // Idle-skip quiescence (see sim::Component): the Collector acts only
+  // when an Aligner queue holds work or its merge buffer must flush; both
+  // appear via non-quiet Aligner boundaries, so "nothing to do" means
+  // quiet until woken. No counters accrue while idle (skip_quiet is the
+  // inherited no-op).
+  [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
+    if (bt_mode_) {
+      for (const Aligner* a : aligners_) {
+        if (!a->bt_queue().empty()) return 0;
+      }
+      return kQuietForever;
+    }
+    for (const Aligner* a : aligners_) {
+      if (!a->nbt_queue().empty()) return 0;
+    }
+    if (nbt_fill_ == 4) return 0;  // a flush is pending
+    if (results_seen_ == expected_pairs_ && nbt_fill_ > 0 && !flushed_) {
+      return 0;  // final partial flush is pending
+    }
+    return kQuietForever;
+  }
+
  private:
   [[nodiscard]] bool pending_empty() const {
     for (const Aligner* a : aligners_) {

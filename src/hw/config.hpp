@@ -47,6 +47,15 @@ struct AcceleratorConfig {
   /// reads whose mutations drift past 10,000 bases still fit.
   std::uint32_t max_supported_read_len = 10'240;
 
+  /// Host-simulation knob (not a hardware parameter): fast-forward spans
+  /// of cycles where every pipeline stage is quiescent instead of ticking
+  /// through them. Bit-identical to exact stepping — simulated cycle
+  /// counts, records and memory contents do not change (enforced by
+  /// tests/test_perf_equivalence); only host wall-clock does. Ignored
+  /// (exact stepping) whenever a fault injector is attached or the
+  /// watchdog is armed during a run.
+  bool idle_skip = true;
+
   /// Eq. 6: the maximum alignment score the band supports.
   [[nodiscard]] score_t score_max() const { return k_max * 2 + 4; }
 

@@ -6,24 +6,6 @@
 
 namespace wfasic::hw {
 
-ExtendUnit::Result ExtendUnit::extend(offset_t i, offset_t j) const {
-  WFASIC_REQUIRE(i >= 0 && j >= 0 &&
-                     i <= static_cast<offset_t>(a_.size()) &&
-                     j <= static_cast<offset_t>(b_.size()),
-                 "ExtendUnit::extend: start position out of range");
-  // Fast path: the packed-word comparison computes the same run the
-  // datapath produces (proven equivalent by extend_datapath() in the
-  // tests); blocks = ceil((run+1)/16) because the comparator activation
-  // that discovers the mismatch/end belongs to the last block.
-  Result result;
-  result.run = static_cast<offset_t>(a_.match_run(
-      static_cast<std::size_t>(i), b_, static_cast<std::size_t>(j)));
-  result.blocks = static_cast<unsigned>(
-      static_cast<std::size_t>(result.run) / PackedSeq::kBasesPerWord + 1);
-  result.cycles = kPipelineFill + result.blocks;
-  return result;
-}
-
 unsigned ExtendUnit::compare_block(offset_t i, offset_t j,
                                    bool& terminated) const {
   // One comparator activation sees up to 16 bases; bases beyond either

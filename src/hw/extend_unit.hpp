@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "common/assert.hpp"
 #include "common/packed_seq.hpp"
 #include "common/types.hpp"
 
@@ -37,7 +38,24 @@ class ExtendUnit {
   /// Extends from pattern position i / text position j until the bases
   /// differ or either sequence ends (§2.3's extend operator for one cell).
   /// Fast path used by the Aligner; equivalent to extend_datapath().
-  [[nodiscard]] Result extend(offset_t i, offset_t j) const;
+  /// Inline: runs once per valid wavefront cell, the Aligner's hottest
+  /// call. The packed-word comparison computes the same run the datapath
+  /// produces (proven by the extend_datapath() cross-check in the tests);
+  /// blocks = ceil((run+1)/16) because the comparator activation that
+  /// discovers the mismatch/end belongs to the last block.
+  [[nodiscard]] Result extend(offset_t i, offset_t j) const {
+    WFASIC_REQUIRE(i >= 0 && j >= 0 &&
+                       i <= static_cast<offset_t>(a_.size()) &&
+                       j <= static_cast<offset_t>(b_.size()),
+                   "ExtendUnit::extend: start position out of range");
+    Result result;
+    result.run = static_cast<offset_t>(a_.match_run64(
+        static_cast<std::size_t>(i), b_, static_cast<std::size_t>(j)));
+    result.blocks = static_cast<unsigned>(
+        static_cast<std::size_t>(result.run) / PackedSeq::kBasesPerWord + 1);
+    result.cycles = kPipelineFill + result.blocks;
+    return result;
+  }
 
   /// Explicit lane-by-lane emulation of the Figure-7 datapath (register
   /// shifts, one comparator activation per cycle). Slower; exists so the

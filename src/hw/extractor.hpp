@@ -58,6 +58,22 @@ class Extractor final : public sim::Component {
 
   void tick(sim::cycle_t now) override;
 
+  // Idle-skip quiescence (see sim::Component): the Extractor has no
+  // self-scheduled events — it is driven entirely by Input-FIFO pushes
+  // (DMA) and Aligners going idle, both of which are non-quiet boundaries
+  // of their own components. The only per-cycle effect while waiting for
+  // an Aligner is the wait counter, bulk-applied by skip_quiet.
+  [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
+    if (done() || fifo_.empty()) return kQuietForever;
+    if (!in_pair_ && find_idle_aligner() == nullptr) return kQuietForever;
+    return 0;  // a beat is consumed this cycle
+  }
+
+  void skip_quiet(sim::cycle_t n) override {
+    if (done() || fifo_.empty()) return;
+    if (!in_pair_) wait_cycles_ += n;
+  }
+
  private:
   [[nodiscard]] Aligner* find_idle_aligner() const {
     for (Aligner* a : aligners_) {

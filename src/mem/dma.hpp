@@ -73,6 +73,27 @@ class Dma final : public sim::Component {
     return read_stalls_port_busy_;
   }
 
+  // Idle-skip quiescence (see sim::Component): the DMA is quiet while it
+  // burns burst latency (a pure countdown) or has nothing to move — the
+  // only other per-cycle effects are the stall counters, which skip_quiet
+  // bulk-applies. Any cycle that touches a FIFO or memory reports 0.
+  [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
+    if (!output_fifo_.empty()) return 0;  // a write beat moves this cycle
+    if (read_beats_left_ == 0) return kQuietForever;  // both streams idle
+    if (latency_left_ > 0) return latency_left_;
+    if (input_fifo_.full()) return kQuietForever;  // stall until a pop
+    return 0;  // a read beat (or duplicate) is ready to issue
+  }
+
+  void skip_quiet(sim::cycle_t n) override {
+    if (!output_fifo_.empty() || read_beats_left_ == 0) return;
+    if (latency_left_ > 0) {
+      latency_left_ -= static_cast<unsigned>(n);
+      return;
+    }
+    if (input_fifo_.full()) read_stalls_fifo_full_ += n;
+  }
+
   void tick(sim::cycle_t /*now*/) override {
     bool port_used = false;
 

@@ -46,9 +46,52 @@ std::vector<Insn> build_extend_kernel() {
   return p.finish();
 }
 
-ExtendKernelResult run_extend_kernel(RvCore& core, std::string_view a,
+std::vector<Insn> build_extend_kernel_word() {
+  // Same contract as build_extend_kernel, 8 bytes per iteration: while
+  // both cursors are >= 8 bytes from their ends, one ld/ld/bne compares a
+  // whole word; a differing or short word falls through to the byte loop,
+  // which pins down the exact mismatch position. Bytes agree iff the
+  // 64-bit words agree, so the returned run is identical to the byte
+  // kernel's.
+  Program p;
+  const auto word_loop = p.make_label();
+  const auto tail = p.make_label();
+  const auto done = p.make_label();
+  p.li(t2, 0);           // run = 0
+  p.addi(t3, a2, -7);    // last address where an 8-byte load of a fits
+  p.addi(t4, a3, -7);    // last address where an 8-byte load of b fits
+  p.bind(word_loop);
+  p.bgeu(a0, t3, tail);  // fewer than 8 bytes of a left?
+  p.bgeu(a1, t4, tail);  // fewer than 8 bytes of b left?
+  p.ld(t0, a0, 0);
+  p.ld(t1, a1, 0);
+  p.bne(t0, t1, tail);   // some byte differs within this word
+  p.addi(a0, a0, 8);
+  p.addi(a1, a1, 8);
+  p.addi(t2, t2, 8);
+  p.jal(word_loop);
+  p.bind(tail);
+  p.bgeu(a0, a2, done);  // i == |a| ?
+  p.bgeu(a1, a3, done);  // j == |b| ?
+  p.lbu(t0, a0, 0);
+  p.lbu(t1, a1, 0);
+  p.bne(t0, t1, done);
+  p.addi(a0, a0, 1);
+  p.addi(a1, a1, 1);
+  p.addi(t2, t2, 1);
+  p.jal(tail);
+  p.bind(done);
+  p.mv(a0, t2);
+  p.ebreak();
+  return p.finish();
+}
+
+namespace {
+
+ExtendKernelResult run_extend_common(RvCore& core, std::string_view a,
                                      std::string_view b, std::int64_t i,
-                                     std::int64_t j) {
+                                     std::int64_t j,
+                                     const std::vector<Insn>& program) {
   const std::uint64_t b_base = seq_b_base(a.size());
   WFASIC_REQUIRE(b_base + b.size() <= core.memory().size(),
                  "run_extend_kernel: sequences do not fit core memory");
@@ -59,9 +102,23 @@ ExtendKernelResult run_extend_kernel(RvCore& core, std::string_view a,
   core.set_reg(a2, static_cast<std::int64_t>(kSeqABase + a.size()));
   core.set_reg(a3, static_cast<std::int64_t>(b_base + b.size()));
   ExtendKernelResult result;
-  result.stats = core.run(build_extend_kernel());
+  result.stats = core.run(program);
   result.run = core.reg(a0);
   return result;
+}
+
+}  // namespace
+
+ExtendKernelResult run_extend_kernel(RvCore& core, std::string_view a,
+                                     std::string_view b, std::int64_t i,
+                                     std::int64_t j) {
+  return run_extend_common(core, a, b, i, j, build_extend_kernel());
+}
+
+ExtendKernelResult run_extend_kernel_word(RvCore& core, std::string_view a,
+                                          std::string_view b, std::int64_t i,
+                                          std::int64_t j) {
+  return run_extend_common(core, a, b, i, j, build_extend_kernel_word());
 }
 
 std::vector<Insn> build_compute_cell_kernel() {

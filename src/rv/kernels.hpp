@@ -31,6 +31,20 @@ struct ExtendKernelResult {
                                                    std::int64_t i,
                                                    std::int64_t j);
 
+/// Word-parallel extend: compares 8 bytes per iteration with ld/ld/bne
+/// while both cursors are at least 8 bytes from their ends, then finishes
+/// with the byte loop. Returns the same run as the byte kernel in fewer
+/// retired instructions — the RV-side analogue of the host's 64-bit
+/// XOR+ctz extend path.
+[[nodiscard]] std::vector<Insn> build_extend_kernel_word();
+
+/// run_extend_kernel with the word-parallel kernel.
+[[nodiscard]] ExtendKernelResult run_extend_kernel_word(RvCore& core,
+                                                        std::string_view a,
+                                                        std::string_view b,
+                                                        std::int64_t i,
+                                                        std::int64_t j);
+
 /// One Eq.-3 compute cell: loads the five source offsets, computes
 /// I/D/M with branch-based max selection, stores the three results —
 /// the body of the paper's per-cell compute loop (no boundary trimming,

@@ -4,10 +4,21 @@
 // phases: tick() (combinational work / issue requests) then commit()
 // (sequential state update), which lets two components exchange data in the
 // same cycle without order-dependence bugs.
+//
+// Idle-skip fast path: a component may additionally report quiescence —
+// a span of upcoming cycles whose ticks are no-ops or pure linear counter
+// updates (countdowns, stall counters). When every component is quiescent
+// the Scheduler can fast-forward `now_` in one skip() call instead of
+// ticking through the span, applying the counter updates in bulk. Skipping
+// is bit-identical to stepping by construction: quiet_for()/skip_quiet()
+// contracts require that the skipped ticks would not have changed any
+// observable state differently.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -20,6 +31,11 @@ using cycle_t = std::uint64_t;
 /// Base class for everything that owns per-cycle behaviour.
 class Component {
  public:
+  /// quiet_for() return value meaning "idle until some other component
+  /// wakes me" (no self-scheduled event of my own).
+  static constexpr cycle_t kQuietForever =
+      std::numeric_limits<cycle_t>::max();
+
   explicit Component(std::string name) : name_(std::move(name)) {}
   virtual ~Component() = default;
 
@@ -30,6 +46,22 @@ class Component {
   virtual void tick(cycle_t now) = 0;
   /// Phase 2: latch new state. Default: nothing.
   virtual void commit(cycle_t now) { (void)now; }
+
+  /// Quiescence report: the number of upcoming cycles for which this
+  /// component's tick is a no-op or a pure linear counter update — no
+  /// FIFO/queue push or pop, no state-machine transition, no interaction
+  /// with another component. 0 means "I must tick this cycle" (the safe
+  /// default); kQuietForever means "idle until another component acts".
+  /// The report is only valid for the current cycle: any non-quiet tick
+  /// anywhere in the system invalidates it.
+  [[nodiscard]] virtual cycle_t quiet_for(cycle_t now) const {
+    (void)now;
+    return 0;
+  }
+  /// Applies `n` ticks' worth of quiet updates in bulk. Called only with
+  /// n <= the component's own quiet_for() report, and only when every
+  /// other component was simultaneously quiescent for at least n cycles.
+  virtual void skip_quiet(cycle_t n) { (void)n; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -55,37 +87,90 @@ struct RunUntilResult {
 /// Advances a set of components cycle by cycle. Does not own them.
 class Scheduler {
  public:
-  void add(Component* component) {
+  /// Registers a component. `needs_commit = false` keeps it off the
+  /// commit-phase list (most components never override commit(); skipping
+  /// the empty virtual call halves the per-cycle dispatch cost).
+  void add(Component* component, bool needs_commit = true) {
     WFASIC_REQUIRE(component != nullptr, "Scheduler::add: null component");
     components_.push_back(component);
+    if (needs_commit) commit_list_.push_back(component);
   }
 
   [[nodiscard]] cycle_t now() const { return now_; }
 
   /// Runs exactly one cycle.
-  void step() {
-    for (Component* c : components_) c->tick(now_);
-    for (Component* c : components_) c->commit(now_);
-    ++now_;
+  void step() { step_n(1); }
+
+  /// Runs exactly `n` cycles with the dispatch lists hoisted out of the
+  /// per-cycle loop (the batched stepper behind driver/engine wait loops).
+  void step_n(cycle_t n) {
+    Component* const* tick_list = components_.data();
+    const std::size_t tick_count = components_.size();
+    Component* const* commit_list = commit_list_.data();
+    const std::size_t commit_count = commit_list_.size();
+    for (cycle_t c = 0; c < n; ++c) {
+      for (std::size_t i = 0; i < tick_count; ++i) tick_list[i]->tick(now_);
+      for (std::size_t i = 0; i < commit_count; ++i) {
+        commit_list[i]->commit(now_);
+      }
+      ++now_;
+    }
+  }
+
+  /// The number of cycles every component reports quiescent from now
+  /// (minimum over components, early-exit on 0). 0 means some component
+  /// must tick this cycle; kQuietForever means nothing is self-scheduled.
+  [[nodiscard]] cycle_t quiescent_cycles() const {
+    cycle_t quiet = Component::kQuietForever;
+    for (const Component* c : components_) {
+      const cycle_t q = c->quiet_for(now_);
+      if (q == 0) return 0;
+      quiet = std::min(quiet, q);
+    }
+    return quiet;
+  }
+
+  /// Fast-forwards `n` cycles of system-wide quiescence: bulk-applies the
+  /// quiet counter updates and advances now_. Only valid for
+  /// n <= quiescent_cycles().
+  void skip(cycle_t n) {
+    if (n == 0) return;
+    for (Component* c : components_) c->skip_quiet(n);
+    now_ += n;
   }
 
   /// Runs until `done()` returns true (checked between cycles) or
   /// `max_cycles` elapse. A timeout is reported as a typed status, never
   /// an abort — library code must not kill the process on a deadlock
   /// guard; callers (engine, driver, tests) decide how loud to be.
+  ///
+  /// With `skip_quiescent` the predicate is instead checked on the coarser
+  /// grid of non-quiescent cycles: spans where every component is quiet
+  /// are fast-forwarded in one skip() and the boundary cycle is replayed
+  /// exactly. Only valid for predicates that can flip solely on non-quiet
+  /// ticks (e.g. FIFO/queue occupancy, state-machine phase) — not for
+  /// predicates on now() or linear counters.
   RunUntilResult run_until(const std::function<bool()>& done,
-                           cycle_t max_cycles) {
+                           cycle_t max_cycles, bool skip_quiescent = false) {
     while (!done()) {
       if (now_ >= max_cycles) {
         return {RunUntilStatus::kTimeout, now_};
       }
-      step();
+      if (skip_quiescent) {
+        const cycle_t quiet = quiescent_cycles();
+        if (quiet > 0) {
+          skip(std::min(quiet, max_cycles - now_));
+          continue;
+        }
+      }
+      step_n(1);
     }
     return {RunUntilStatus::kDone, now_};
   }
 
  private:
   std::vector<Component*> components_;
+  std::vector<Component*> commit_list_;
   cycle_t now_ = 0;
 };
 

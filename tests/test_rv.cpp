@@ -113,6 +113,40 @@ TEST(RvKernels, ExtendKernelMatchesScalarSemantics) {
   }
 }
 
+TEST(RvKernels, WordExtendKernelMatchesByteKernel) {
+  // The ld/ld/bne word-parallel kernel must return exactly the byte
+  // kernel's run on arbitrary (mis)aligned starts and mismatch positions.
+  Prng prng(271);
+  RvCore core(64 * 1024);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::string a = gen::random_sequence(prng, 1 + prng.next_below(80));
+    std::string b = gen::random_sequence(prng, 1 + prng.next_below(80));
+    if (prng.next_bool(0.7)) {
+      const std::size_t shared = std::min(a.size(), b.size()) * 3 / 4;
+      b.replace(0, shared, a.substr(0, shared));
+    }
+    const auto i = static_cast<std::int64_t>(prng.next_below(a.size()));
+    const auto j = static_cast<std::int64_t>(prng.next_below(b.size()));
+    const ExtendKernelResult byte_r = run_extend_kernel(core, a, b, i, j);
+    const ExtendKernelResult word_r = run_extend_kernel_word(core, a, b, i, j);
+    EXPECT_EQ(word_r.run, byte_r.run) << "trial " << trial;
+  }
+}
+
+TEST(RvKernels, WordExtendKernelRetiresFewerInstructions) {
+  // On a long matching run the word kernel touches 8 bytes per ld/ld/bne
+  // iteration; it must retire far fewer instructions (and cycles) than
+  // the byte loop for the same result.
+  RvCore core(64 * 1024);
+  const std::string s(2000, 'C');
+  const ExtendKernelResult byte_r = run_extend_kernel(core, s, s, 0, 0);
+  const ExtendKernelResult word_r = run_extend_kernel_word(core, s, s, 0, 0);
+  ASSERT_EQ(byte_r.run, 2000);
+  ASSERT_EQ(word_r.run, 2000);
+  EXPECT_LT(word_r.stats.instructions * 2, byte_r.stats.instructions);
+  EXPECT_LT(word_r.stats.cycles, byte_r.stats.cycles);
+}
+
 TEST(RvKernels, ComputeCellKernelMatchesReferenceArithmetic) {
   Prng prng(172);
   RvCore core(4096);

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
 namespace wfasic::sim {
@@ -89,6 +90,95 @@ TEST(Scheduler, RunUntilTimeoutReturnsTypedStatus) {
 TEST(Scheduler, AddNullAborts) {
   Scheduler sched;
   EXPECT_DEATH(sched.add(nullptr), "null");
+}
+
+TEST(Scheduler, StepNMatchesRepeatedStep) {
+  Scheduler looped;
+  Scheduler batched;
+  Counter a("a");
+  Counter b("b");
+  looped.add(&a);
+  batched.add(&b);
+  for (int i = 0; i < 7; ++i) looped.step();
+  batched.step_n(7);
+  EXPECT_EQ(looped.now(), batched.now());
+  EXPECT_EQ(a.ticks, b.ticks);
+  EXPECT_EQ(a.commits, b.commits);
+  EXPECT_EQ(a.last_tick, b.last_tick);
+}
+
+/// A component that is quiet for a programmable countdown, then must tick
+/// (models a batch countdown / DMA stall counter).
+class Quiescent final : public Component {
+ public:
+  Quiescent(std::string name, cycle_t quiet)
+      : Component(std::move(name)), quiet_(quiet) {}
+  void tick(cycle_t) override {
+    if (quiet_ > 0) --quiet_;
+    ++ticks;
+  }
+  [[nodiscard]] cycle_t quiet_for(cycle_t) const override { return quiet_; }
+  void skip_quiet(cycle_t n) override {
+    quiet_ -= n;
+    skipped += n;
+  }
+  cycle_t quiet_;
+  cycle_t skipped = 0;
+  int ticks = 0;
+};
+
+TEST(Scheduler, QuiescentCyclesIsMinOverComponents) {
+  Scheduler sched;
+  Quiescent a("a", 12);
+  Quiescent b("b", 5);
+  Quiescent idle("idle", Component::kQuietForever);
+  sched.add(&a);
+  sched.add(&b);
+  sched.add(&idle);
+  EXPECT_EQ(sched.quiescent_cycles(), 5u);
+}
+
+TEST(Scheduler, QuiescentCyclesZeroWhenAnyComponentMustTick) {
+  Scheduler sched;
+  Quiescent a("a", 12);
+  Counter busy("busy");  // default quiet_for() == 0
+  sched.add(&a);
+  sched.add(&busy);
+  EXPECT_EQ(sched.quiescent_cycles(), 0u);
+}
+
+TEST(Scheduler, QuiescentCyclesForeverWhenNothingScheduled) {
+  Scheduler sched;
+  Quiescent idle("idle", Component::kQuietForever);
+  sched.add(&idle);
+  EXPECT_EQ(sched.quiescent_cycles(), Component::kQuietForever);
+}
+
+TEST(Scheduler, SkipBulkAppliesQuietUpdatesWithoutTicking) {
+  Scheduler sched;
+  Quiescent a("a", 10);
+  sched.add(&a);
+  sched.skip(4);
+  EXPECT_EQ(sched.now(), 4u);
+  EXPECT_EQ(a.skipped, 4u);
+  EXPECT_EQ(a.ticks, 0);       // no tick() during a skip
+  EXPECT_EQ(a.quiet_, 6u);     // countdown advanced in bulk
+  EXPECT_EQ(sched.quiescent_cycles(), 6u);
+}
+
+TEST(Scheduler, RunUntilSkipQuiescentMatchesExactStepping) {
+  // The same system run both ways must detect the predicate at the same
+  // cycle with the same component state: skipping only compresses the
+  // quiet spans, it never changes what is simulated.
+  auto run = [](bool skip_quiescent) {
+    Scheduler sched;
+    Quiescent countdown("countdown", 37);
+    sched.add(&countdown);
+    const RunUntilResult end = sched.run_until(
+        [&] { return countdown.quiet_ == 0; }, 1000, skip_quiescent);
+    return std::pair<cycle_t, cycle_t>(end.now, countdown.quiet_);
+  };
+  EXPECT_EQ(run(false), run(true));
 }
 
 }  // namespace

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files (bench/bench_util.hpp's BenchReport format)
+and fail on regressions beyond a threshold.
+
+Usage:
+    bench_compare.py BASELINE.json CURRENT.json [--threshold 0.20]
+                     [--key wall_speedup --key k4_nbt_gcups]
+
+Semantics:
+  - Exact-match keys (default: every key ending in `_sim_cycles`) must be
+    bit-identical: simulated cycle counts are deterministic, any drift is
+    a functional change, not noise.
+  - Ratio keys (--key, default: wall_speedup and every `*_gcups` key
+    present in the baseline) are higher-is-better and may regress by at
+    most `threshold` (fraction, default 0.20) relative to the baseline.
+  - Raw wall-clock keys (`wall_ns_*`) are machine-dependent and are
+    reported but never gated on.
+
+Exit status: 0 when everything passes, 1 on any regression or missing key.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        raise ValueError(f"{path}: no 'metrics' object")
+    return doc.get("bench", "?"), metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="max fractional regression for ratio keys")
+    parser.add_argument("--key", action="append", default=[],
+                        help="extra higher-is-better key to gate on")
+    args = parser.parse_args()
+
+    base_name, base = load_metrics(args.baseline)
+    cur_name, cur = load_metrics(args.current)
+    if base_name != cur_name:
+        print(f"FAIL: comparing different benches: "
+              f"{base_name!r} vs {cur_name!r}")
+        return 1
+
+    ratio_keys = set(args.key) | {"wall_speedup"} | {
+        k for k in base if k.endswith("_gcups")}
+    exact_keys = {k for k in base if k.endswith("_sim_cycles")}
+
+    failed = False
+    for key in sorted(base):
+        if key not in cur:
+            print(f"FAIL: {key}: missing from {args.current}")
+            failed = True
+            continue
+        b, c = base[key], cur[key]
+        if key in exact_keys:
+            if b != c:
+                print(f"FAIL: {key}: expected exactly {b}, got {c} "
+                      f"(simulated cycles must not drift)")
+                failed = True
+            else:
+                print(f"  ok: {key}: {c} (exact)")
+        elif key in ratio_keys:
+            floor = b * (1.0 - args.threshold)
+            if c < floor:
+                print(f"FAIL: {key}: {c:.4f} < {floor:.4f} "
+                      f"(baseline {b:.4f}, threshold {args.threshold:.0%})")
+                failed = True
+            else:
+                print(f"  ok: {key}: {c:.4f} (baseline {b:.4f})")
+        else:
+            print(f"info: {key}: {c:.4f} (baseline {b:.4f}, not gated)")
+
+    if failed:
+        print("bench_compare: REGRESSION")
+        return 1
+    print("bench_compare: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
