@@ -1,0 +1,75 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) with an optional
+// launch salt.
+//
+// The hardware Collector appends a CRC footer to every result record and
+// the Extractor verifies one over every input descriptor (see
+// docs/RELIABILITY.md). Both sides seed the CRC with a per-launch salt the
+// driver programs into kRegCrcSalt: a record produced by launch N can then
+// never alias as a valid record of launch N+1, which matters after a
+// dropped write beat leaves stale-but-well-formed bytes in the output
+// window.
+//
+// The salt folds into the CRC init value (crc0 = 0xFFFFFFFF ^ salt), so a
+// salt of zero is the plain IEEE CRC-32 and the table/update logic is
+// untouched — the checker just has to agree on the salt.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace wfasic {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+
+}  // namespace detail
+
+/// Incremental, salted CRC-32 accumulator.
+class Crc32 {
+ public:
+  explicit Crc32(std::uint32_t salt = 0) : crc_(0xFFFFFFFFu ^ salt) {}
+
+  void update(const std::uint8_t* data, std::size_t size) {
+    std::uint32_t c = crc_;
+    for (std::size_t i = 0; i < size; ++i) {
+      c = detail::kCrc32Table[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    }
+    crc_ = c;
+  }
+
+  void update(std::span<const std::uint8_t> data) {
+    update(data.data(), data.size());
+  }
+
+  /// Final (inverted) CRC value; the accumulator stays usable.
+  [[nodiscard]] std::uint32_t value() const { return ~crc_; }
+
+ private:
+  std::uint32_t crc_;
+};
+
+/// One-shot helper.
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                         std::uint32_t salt = 0) {
+  Crc32 crc(salt);
+  crc.update(data);
+  return crc.value();
+}
+
+}  // namespace wfasic

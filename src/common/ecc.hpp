@@ -1,0 +1,103 @@
+// SECDED (single-error-correct, double-error-detect) codec over 64-bit
+// words — the classic Hamming(71,64) code extended with an overall parity
+// bit, i.e. the (72,64) layout DDR and on-chip SRAM macros use.
+//
+// The simulator does not store real codewords: data stays in its natural
+// byte layout and each protected 8-byte granule carries one side-band
+// check byte (7 Hamming check bits + 1 overall parity bit). Encoding and
+// decoding work on the logical codeword positions:
+//
+//   position 1..71   : powers of two hold check bits, the 64 remaining
+//                      positions hold data bits in ascending order
+//   position 0       : overall parity over the whole codeword
+//
+// Decode recomputes the 7-bit syndrome and the overall parity:
+//   syndrome == 0, parity even  -> clean
+//   parity odd                  -> exactly one bit flipped; the syndrome
+//                                  names it (0 = the parity bit itself,
+//                                  a power of two = a check bit, anything
+//                                  else = a data bit) -> corrected
+//   syndrome != 0, parity even  -> two bits flipped -> uncorrectable
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace wfasic::ecc {
+
+namespace detail {
+
+/// Codeword position of data bit j: the j-th non-power-of-two in [3, 71].
+constexpr std::array<std::uint8_t, 64> make_data_positions() {
+  std::array<std::uint8_t, 64> pos{};
+  int j = 0;
+  for (int p = 1; p <= 71; ++p) {
+    if ((p & (p - 1)) != 0) pos[j++] = static_cast<std::uint8_t>(p);
+  }
+  return pos;
+}
+
+inline constexpr std::array<std::uint8_t, 64> kDataPos = make_data_positions();
+
+/// Reverse map: codeword position -> data bit index (0xff for check bits).
+constexpr std::array<std::uint8_t, 72> make_position_to_bit() {
+  std::array<std::uint8_t, 72> map{};
+  for (auto& entry : map) entry = 0xff;
+  for (int j = 0; j < 64; ++j) map[kDataPos[j]] = static_cast<std::uint8_t>(j);
+  return map;
+}
+
+inline constexpr std::array<std::uint8_t, 72> kPosToBit =
+    make_position_to_bit();
+
+}  // namespace detail
+
+/// Check byte for a 64-bit data word: bits 0..6 are the Hamming check
+/// bits, bit 7 makes the overall codeword parity even.
+[[nodiscard]] inline std::uint8_t secded_encode(std::uint64_t data) {
+  unsigned syndrome = 0;
+  std::uint64_t bits = data;
+  while (bits != 0) {
+    const int j = std::countr_zero(bits);
+    bits &= bits - 1;
+    syndrome ^= detail::kDataPos[j];
+  }
+  const unsigned parity = (std::popcount(data) ^ std::popcount(syndrome)) & 1;
+  return static_cast<std::uint8_t>(syndrome | (parity << 7));
+}
+
+enum class EccState : std::uint8_t {
+  kClean,          ///< data and check byte agree
+  kCorrected,      ///< one bit flipped; `data` holds the corrected word
+  kUncorrectable,  ///< two bits flipped; `data` is the raw (bad) word
+};
+
+struct EccDecode {
+  EccState state = EccState::kClean;
+  std::uint64_t data = 0;
+};
+
+/// Decode a (data, check byte) pair, correcting a single flipped bit.
+[[nodiscard]] inline EccDecode secded_decode(std::uint64_t data,
+                                             std::uint8_t check) {
+  const std::uint8_t recomputed = secded_encode(data);
+  const unsigned diff = static_cast<unsigned>(recomputed ^ check);
+  if (diff == 0) return {EccState::kClean, data};
+  const unsigned syndrome = diff & 0x7fu;
+  // Overall parity of the stored codeword flips iff an odd number of bits
+  // (i.e. exactly one, within SECDED's guarantee) flipped anywhere.
+  const bool odd = ((std::popcount(diff & 0x7fu) + (diff >> 7)) & 1u) != 0;
+  if (!odd) return {EccState::kUncorrectable, data};
+  if (syndrome != 0 && detail::kPosToBit[syndrome] != 0xff) {
+    data ^= std::uint64_t{1} << detail::kPosToBit[syndrome];
+  }
+  // syndrome == 0 (parity bit) or a power-of-two syndrome (check bit):
+  // the flip was in the side-band byte, the data word is already good.
+  return {EccState::kCorrected, data};
+}
+
+/// Side-band bits per protected 64-bit word (for area accounting).
+inline constexpr unsigned kSecdedCheckBitsPerWord = 8;
+
+}  // namespace wfasic::ecc

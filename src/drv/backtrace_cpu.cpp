@@ -6,6 +6,7 @@
 #include <span>
 
 #include "common/assert.hpp"
+#include "common/crc32.hpp"
 #include "core/wfa_kernel.hpp"
 #include "hw/bitpack.hpp"
 #include "hw/result_format.hpp"
@@ -36,25 +37,45 @@ std::vector<BtAlignment> parse_bt_stream(const mem::MainMemory& memory,
                                          std::uint64_t out_addr,
                                          std::size_t num_pairs,
                                          bool separate_data,
-                                         cpu::BtCpuCounters* counters) {
+                                         cpu::BtCpuCounters* counters,
+                                         bool crc, std::uint32_t crc_salt) {
   std::vector<BtAlignment> done;
   std::map<std::uint32_t, BtAlignment> open;  // id -> in-flight alignment
+  std::map<std::uint32_t, Crc32> crcs;        // id -> running stream CRC
   std::size_t last_seen = 0;
   std::uint64_t addr = out_addr;
   std::uint32_t current_id = 0;
   bool have_current = false;
 
-  while (last_seen < num_pairs) {
-    mem::Beat beat;
+  const auto read_txn = [&](mem::Beat& beat) {
     memory.read(addr, std::span<std::uint8_t>(beat.data.data(),
                                               mem::kBeatBytes));
     addr += mem::kBeatBytes;
-    const hw::BtTransaction txn = hw::unpack_bt_transaction(beat);
+    return hw::unpack_bt_transaction(beat);
+  };
+
+  while (last_seen < num_pairs) {
+    mem::Beat beat;
+    const hw::BtTransaction txn = read_txn(beat);
     if (counters != nullptr && separate_data) {
       // Multi-Aligner method: the CPU touches and copies every
       // transaction while separating the interleaved stream by id (§4.5).
       ++counters->blocks_scanned;
       ++counters->blocks_copied;
+    }
+    if (crc) {
+      if (hw::is_bt_crc_footer(txn)) {
+        const auto it = crcs.find(txn.id);
+        WFASIC_REQUIRE(it != crcs.end() &&
+                           hw::bt_crc_footer_value(txn) == it->second.value(),
+                       "parse_bt_stream: alignment failed its stream CRC");
+        crcs.erase(it);
+        continue;  // footers carry no payload
+      }
+      // Mirrors the Collector: every packed beat of the alignment,
+      // including the Last one, folds into the per-alignment accumulator.
+      crcs.try_emplace(txn.id, Crc32(crc_salt))
+          .first->second.update(beat.data.data(), mem::kBeatBytes);
     }
 
     if (!separate_data) {
@@ -112,6 +133,23 @@ std::vector<BtAlignment> parse_bt_stream(const mem::MainMemory& memory,
   }
   WFASIC_REQUIRE(open.empty(),
                  "parse_bt_stream: stream ended with incomplete alignments");
+  // The final alignments' CRC footers trail their Last beats; drain and
+  // verify them before declaring the stream good.
+  while (crc && !crcs.empty()) {
+    mem::Beat beat;
+    const hw::BtTransaction txn = read_txn(beat);
+    if (counters != nullptr && separate_data) {
+      ++counters->blocks_scanned;
+      ++counters->blocks_copied;
+    }
+    WFASIC_REQUIRE(hw::is_bt_crc_footer(txn),
+                   "parse_bt_stream: expected a trailing CRC footer");
+    const auto it = crcs.find(txn.id);
+    WFASIC_REQUIRE(it != crcs.end() &&
+                       hw::bt_crc_footer_value(txn) == it->second.value(),
+                   "parse_bt_stream: alignment failed its stream CRC");
+    crcs.erase(it);
+  }
   if (counters != nullptr) counters->alignments += done.size();
   return done;
 }
@@ -317,21 +355,46 @@ core::AlignResult reconstruct_alignment(const BtAlignment& bt,
 BtStreamScan try_parse_bt_stream(const mem::MainMemory& memory,
                                  std::uint64_t out_addr,
                                  std::uint64_t max_bytes,
-                                 std::size_t num_pairs) {
+                                 std::size_t num_pairs, bool crc,
+                                 std::uint32_t crc_salt) {
   BtStreamScan scan;
   std::map<std::uint32_t, BtAlignment> open;  // id -> in-flight alignment
   std::set<std::uint32_t> poisoned;           // ids with counter anomalies
+  std::map<std::uint32_t, Crc32> crcs;        // id -> running stream CRC
+  std::map<std::uint32_t, BtAlignment> awaiting;  // Last seen, need footer
   std::uint64_t addr = out_addr;
   const std::uint64_t end =
       out_addr + (max_bytes / mem::kBeatBytes) * mem::kBeatBytes;
   std::size_t complete = 0;
 
-  while (complete < num_pairs && addr + mem::kBeatBytes <= end) {
+  while ((complete < num_pairs || (crc && !awaiting.empty())) &&
+         addr + mem::kBeatBytes <= end) {
     mem::Beat beat;
     memory.read(addr,
                 std::span<std::uint8_t>(beat.data.data(), mem::kBeatBytes));
     addr += mem::kBeatBytes;
     const hw::BtTransaction txn = hw::unpack_bt_transaction(beat);
+
+    if (crc) {
+      if (hw::is_bt_crc_footer(txn)) {
+        // An alignment is only accepted once its footer CRC matches the
+        // accumulator over every beat that reached memory — corrupted,
+        // dropped, and stale-from-an-earlier-launch beats all diverge.
+        const auto acc = crcs.find(txn.id);
+        const auto wait = awaiting.find(txn.id);
+        if (acc != crcs.end() && wait != awaiting.end() &&
+            hw::bt_crc_footer_value(txn) == acc->second.value()) {
+          scan.alignments.push_back(std::move(wait->second));
+        } else {
+          scan.clean = false;  // drop the damaged alignment
+        }
+        if (acc != crcs.end()) crcs.erase(acc);
+        if (wait != awaiting.end()) awaiting.erase(wait);
+        continue;
+      }
+      crcs.try_emplace(txn.id, Crc32(crc_salt))
+          .first->second.update(beat.data.data(), mem::kBeatBytes);
+    }
 
     BtAlignment& alignment = open[txn.id];
     alignment.id = txn.id;
@@ -344,7 +407,14 @@ BtStreamScan try_parse_bt_stream(const mem::MainMemory& memory,
         alignment.success = record.success;
         alignment.score = record.score;
         alignment.k_reached = record.k_reached;
-        scan.alignments.push_back(std::move(alignment));
+        if (crc) {
+          // Hold the alignment until its footer confirms the stream; a
+          // second Last for the same id (corruption) drops the first.
+          if (awaiting.contains(txn.id)) scan.clean = false;
+          awaiting.insert_or_assign(txn.id, std::move(alignment));
+        } else {
+          scan.alignments.push_back(std::move(alignment));
+        }
       } else {
         scan.clean = false;  // drop the damaged alignment
       }
@@ -362,6 +432,7 @@ BtStreamScan try_parse_bt_stream(const mem::MainMemory& memory,
     }
   }
   if (!open.empty() || complete < num_pairs) scan.clean = false;
+  if (crc && !awaiting.empty()) scan.clean = false;  // footer never arrived
   return scan;
 }
 

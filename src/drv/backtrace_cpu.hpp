@@ -42,10 +42,17 @@ struct BtAlignment {
 /// `separate_data == false` is the single-Aligner method and *requires* a
 /// non-interleaved stream (aborts otherwise); `true` is the multi-Aligner
 /// method and charges the separation copies to `counters`.
+///
+/// With `crc` (AcceleratorConfig::crc), every alignment's beats are
+/// accumulated into a salted CRC-32 and checked against the footer
+/// transaction the Collector emitted after its Last beat; a mismatch or a
+/// missing footer aborts (this is the strict parser — use
+/// try_parse_bt_stream for tolerant recovery).
 [[nodiscard]] std::vector<BtAlignment> parse_bt_stream(
     const mem::MainMemory& memory, std::uint64_t out_addr,
     std::size_t num_pairs, bool separate_data,
-    cpu::BtCpuCounters* counters = nullptr);
+    cpu::BtCpuCounters* counters = nullptr, bool crc = false,
+    std::uint32_t crc_salt = 0);
 
 /// Tolerant stream scan for the resilient driver (error-path recovery):
 /// unlike parse_bt_stream it never aborts — it reads at most `max_bytes`
@@ -55,10 +62,17 @@ struct BtStreamScan {
   std::vector<BtAlignment> alignments;  ///< complete, internally consistent
   bool clean = true;  ///< false: counter gaps, truncation, or dropped data
 };
+/// With `crc`, an alignment is only accepted once a footer transaction
+/// carrying the matching salted CRC-32 over all its beats has been seen —
+/// write-path corruption and dropped beats (including stale beats of an
+/// earlier launch, defeated by the per-launch salt) are then rejected here
+/// instead of escaping as silently wrong CIGARs.
 [[nodiscard]] BtStreamScan try_parse_bt_stream(const mem::MainMemory& memory,
                                                std::uint64_t out_addr,
                                                std::uint64_t max_bytes,
-                                               std::size_t num_pairs);
+                                               std::size_t num_pairs,
+                                               bool crc = false,
+                                               std::uint32_t crc_salt = 0);
 
 /// Rebuilds the full alignment (score + CIGAR) of (a, b) from backtrace
 /// data, replaying the wavefront geometry to locate each cell's origin

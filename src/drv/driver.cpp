@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/assert.hpp"
+#include "common/crc32.hpp"
 #include "core/wfa.hpp"
 #include "drv/backtrace_cpu.hpp"
 
@@ -13,7 +14,8 @@ namespace wfasic::drv {
 BatchLayout encode_input_set(mem::MainMemory& memory,
                              std::span<const gen::SequencePair> pairs,
                              std::uint64_t in_addr, std::uint64_t out_addr,
-                             std::uint32_t force_max_read_len) {
+                             std::uint32_t force_max_read_len, bool crc,
+                             std::uint32_t crc_salt) {
   std::uint32_t longest = 0;
   for (const gen::SequencePair& pair : pairs) {
     longest = std::max<std::uint32_t>(
@@ -29,33 +31,47 @@ BatchLayout encode_input_set(mem::MainMemory& memory,
   layout.out_addr = out_addr;
   layout.max_read_len = max_read_len;
   layout.num_pairs = pairs.size();
-  layout.in_bytes = pairs.size() * hw::pair_bytes(max_read_len);
+  layout.crc = crc;
+  layout.crc_salt = crc_salt;
+  layout.in_bytes = pairs.size() * hw::pair_bytes(max_read_len, crc);
 
+  // One pair's payload sections are staged in a scratch buffer so the
+  // footer CRC covers exactly the section bytes the Extractor will hash.
+  const std::size_t payload_bytes = hw::pair_bytes(max_read_len, false);
+  std::vector<std::uint8_t> scratch(payload_bytes);
   std::uint64_t addr = in_addr;
-  const auto write_section_u32 = [&](std::uint32_t value) {
-    std::uint8_t section[hw::kSectionBytes] = {};
-    std::memcpy(section, &value, 4);
-    memory.write(addr, section);
-    addr += hw::kSectionBytes;
-  };
-  const auto write_sequence = [&](const std::string& seq) {
-    // One ASCII byte per base, dummy-padded to MAX_READ_LEN. A sequence
-    // longer than MAX_READ_LEN (only possible with force_max_read_len) is
-    // stored truncated; its true length in the header makes the Extractor
-    // reject it.
-    std::vector<std::uint8_t> padded(max_read_len, hw::kDummyBase);
-    const std::size_t stored = std::min<std::size_t>(seq.size(), max_read_len);
-    std::memcpy(padded.data(), seq.data(), stored);
-    memory.write(addr, padded);
-    addr += max_read_len;
-  };
-
   for (const gen::SequencePair& pair : pairs) {
-    write_section_u32(pair.id);
-    write_section_u32(static_cast<std::uint32_t>(pair.a.size()));
-    write_section_u32(static_cast<std::uint32_t>(pair.b.size()));
-    write_sequence(pair.a);
-    write_sequence(pair.b);
+    std::fill(scratch.begin(), scratch.end(), hw::kDummyBase);
+    std::size_t off = 0;
+    const auto put_section_u32 = [&](std::uint32_t value) {
+      std::memcpy(scratch.data() + off, &value, 4);
+      off += hw::kSectionBytes;
+    };
+    const auto put_sequence = [&](const std::string& seq) {
+      // One ASCII byte per base, dummy-padded to MAX_READ_LEN. A sequence
+      // longer than MAX_READ_LEN (only possible with force_max_read_len)
+      // is stored truncated; its true length in the header makes the
+      // Extractor reject it.
+      const std::size_t stored =
+          std::min<std::size_t>(seq.size(), max_read_len);
+      std::memcpy(scratch.data() + off, seq.data(), stored);
+      off += max_read_len;
+    };
+    put_section_u32(pair.id);
+    put_section_u32(static_cast<std::uint32_t>(pair.a.size()));
+    put_section_u32(static_cast<std::uint32_t>(pair.b.size()));
+    put_sequence(pair.a);
+    put_sequence(pair.b);
+    WFASIC_ASSERT(off == payload_bytes, "encode_input_set: section overrun");
+    memory.write(addr, scratch);
+    addr += payload_bytes;
+    if (crc) {
+      std::uint8_t footer[hw::kSectionBytes] = {};
+      const std::uint32_t value = crc32(scratch, crc_salt);
+      std::memcpy(footer, &value, 4);
+      memory.write(addr, footer);
+      addr += hw::kSectionBytes;
+    }
   }
   WFASIC_ASSERT(addr == in_addr + layout.in_bytes,
                 "encode_input_set: layout size mismatch");
@@ -64,6 +80,9 @@ BatchLayout encode_input_set(mem::MainMemory& memory,
 
 void Driver::start(const BatchLayout& batch, bool backtrace,
                    bool enable_interrupt) {
+  WFASIC_REQUIRE(batch.crc == accelerator_.config().crc,
+                 "Driver::start: batch CRC mode disagrees with the device");
+  accelerator_.write_reg(hw::kRegCrcSalt, batch.crc_salt);
   accelerator_.write_reg(hw::kRegBtEnable, backtrace ? 1u : 0u);
   accelerator_.write_reg(hw::kRegMaxReadLen, batch.max_read_len);
   accelerator_.write_reg(hw::kRegInAddrLo,
@@ -79,8 +98,10 @@ void Driver::start(const BatchLayout& batch, bool backtrace,
   accelerator_.write_reg(hw::kRegOutAddrHi,
                          static_cast<std::uint32_t>(batch.out_addr >> 32));
   accelerator_.write_reg(hw::kRegIntEnable, enable_interrupt ? 1u : 0u);
-  // Stale error causes from a previous run would mis-classify this one.
+  // Stale error causes from a previous run would mis-classify this one;
+  // clearing the counter too makes RunStatus::err_count a per-run figure.
   accelerator_.write_reg(hw::kRegErrStatus, 0xffffffffu);
+  accelerator_.write_reg(hw::kRegErrCount, 0);
   accelerator_.write_reg(hw::kRegCtrl, hw::kCtrlStart);
 }
 
@@ -88,13 +109,16 @@ RunStatus Driver::classify(std::uint64_t cycles, bool completed) const {
   RunStatus status;
   status.cycles = cycles;
   status.err_status = accelerator_.read_reg(hw::kRegErrStatus);
+  status.err_count = accelerator_.read_reg(hw::kRegErrCount);
   if (!completed) {
     status.outcome = RunOutcome::kTimeout;
   } else if ((status.err_status & hw::kErrDma) != 0) {
     status.outcome = RunOutcome::kDmaError;
+  } else if ((status.err_status & hw::kErrEccUnc) != 0) {
+    status.outcome = RunOutcome::kDataError;
   } else if ((status.err_status & hw::kErrWatchdog) != 0) {
     status.outcome = RunOutcome::kTimeout;
-  } else if ((status.err_status & hw::kErrUnsupported) != 0) {
+  } else if ((status.err_status & (hw::kErrUnsupported | hw::kErrCrc)) != 0) {
     status.outcome = RunOutcome::kPartial;
   }
   return status;
@@ -200,8 +224,13 @@ Driver::ResilientReport Driver::run_batch_resilient(
       launch_pairs.push_back({static_cast<std::uint32_t>(local),
                               pairs[seg[local]].a, pairs[seg[local]].b});
     }
+    // A fresh salt per launch: stale-but-well-formed result records left
+    // by an earlier launch (e.g. after a dropped write beat) can then
+    // never verify against this launch's CRCs.
     const BatchLayout layout =
-        encode_input_set(memory, launch_pairs, in_addr, out_addr);
+        encode_input_set(memory, launch_pairs, in_addr, out_addr,
+                         /*force_max_read_len=*/0, hw_cfg.crc,
+                         /*crc_salt=*/report.launches + 1);
     const std::uint64_t beats_before = accelerator_.dma().beats_written();
     if (report.launches > 0) ++report.retries;
     ++report.launches;
@@ -273,13 +302,34 @@ Driver::ResilientReport Driver::run_batch_resilient(
   return report;
 }
 
+namespace {
+
+/// Salted CRC-32 over one packed NBT result word, as the Collector
+/// computes it for the 8-byte record format.
+std::uint32_t nbt_record_crc(std::uint32_t word, std::uint32_t salt) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(word), static_cast<std::uint8_t>(word >> 8),
+      static_cast<std::uint8_t>(word >> 16),
+      static_cast<std::uint8_t>(word >> 24)};
+  return crc32(std::span<const std::uint8_t>(bytes, 4), salt);
+}
+
+}  // namespace
+
 std::vector<hw::NbtResult> decode_nbt_results(const mem::MainMemory& memory,
                                               const BatchLayout& batch) {
+  const std::size_t stride = hw::nbt_record_bytes(batch.crc);
   std::vector<hw::NbtResult> results;
   results.reserve(batch.num_pairs);
   for (std::size_t idx = 0; idx < batch.num_pairs; ++idx) {
-    const std::uint64_t addr = batch.out_addr + idx * 4;
-    results.push_back(hw::unpack_nbt_result(memory.read_u32(addr)));
+    const std::uint64_t addr = batch.out_addr + idx * stride;
+    const std::uint32_t word = memory.read_u32(addr);
+    if (batch.crc) {
+      WFASIC_REQUIRE(
+          memory.read_u32(addr + 4) == nbt_record_crc(word, batch.crc_salt),
+          "decode_nbt_results: result record failed its CRC");
+    }
+    results.push_back(hw::unpack_nbt_result(word));
   }
   return results;
 }
@@ -297,14 +347,23 @@ std::vector<hw::NbtResult> decode_nbt_results_sorted(
 std::vector<hw::NbtResult> decode_nbt_results_partial(
     const mem::MainMemory& memory, const BatchLayout& batch,
     std::uint64_t beats_written) {
-  const std::uint64_t available = beats_written * (mem::kBeatBytes / 4);
+  const std::size_t stride = hw::nbt_record_bytes(batch.crc);
+  const std::uint64_t available =
+      beats_written * hw::nbt_records_per_beat(batch.crc);
   const std::size_t count = static_cast<std::size_t>(
       std::min<std::uint64_t>(batch.num_pairs, available));
   std::vector<hw::NbtResult> results;
   results.reserve(count);
   for (std::size_t idx = 0; idx < count; ++idx) {
-    const std::uint64_t addr = batch.out_addr + idx * 4;
-    results.push_back(hw::unpack_nbt_result(memory.read_u32(addr)));
+    const std::uint64_t addr = batch.out_addr + idx * stride;
+    const std::uint32_t word = memory.read_u32(addr);
+    if (batch.crc &&
+        memory.read_u32(addr + 4) != nbt_record_crc(word, batch.crc_salt)) {
+      // A corrupted or dropped write beat (the salt also defeats stale
+      // records of an earlier launch): drop the record, the pair retries.
+      continue;
+    }
+    results.push_back(hw::unpack_nbt_result(word));
   }
   return results;
 }
@@ -317,7 +376,8 @@ std::vector<HarvestedPair> harvest_verified_results(
   std::vector<HarvestedPair> harvested;
   if (backtrace) {
     const BtStreamScan scan = try_parse_bt_stream(
-        memory, layout.out_addr, beat_delta * mem::kBeatBytes, pairs.size());
+        memory, layout.out_addr, beat_delta * mem::kBeatBytes, pairs.size(),
+        layout.crc, layout.crc_salt);
     for (const BtAlignment& bt : scan.alignments) {
       if (bt.id >= pairs.size()) continue;  // corrupted id field
       if (!bt.success) {

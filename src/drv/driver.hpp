@@ -28,6 +28,11 @@ struct BatchLayout {
   std::uint64_t out_addr = 0;
   std::uint32_t max_read_len = 0;
   std::size_t num_pairs = 0;
+  /// CRC transport protection (must agree with AcceleratorConfig::crc):
+  /// the input set carries per-pair footer sections, the result stream
+  /// carries per-record/per-alignment CRCs, all salted with `crc_salt`.
+  bool crc = false;
+  std::uint32_t crc_salt = 0;
 };
 
 /// Encodes `pairs` at `in_addr` in the accelerator input layout.
@@ -37,25 +42,30 @@ struct BatchLayout {
 /// value stores truncated bases but the true length, which the Extractor
 /// must flag as unsupported (used by the robustness tests). Sequences are
 /// stored verbatim, so 'N' bases reach the Extractor and trip its
-/// unsupported-read detection.
+/// unsupported-read detection. With `crc` each pair gains a footer
+/// section carrying the salted CRC-32 over the pair's preceding bytes;
+/// the Extractor verifies it and fails mismatching pairs with kErrCrc.
 [[nodiscard]] BatchLayout encode_input_set(
     mem::MainMemory& memory, std::span<const gen::SequencePair> pairs,
     std::uint64_t in_addr, std::uint64_t out_addr,
-    std::uint32_t force_max_read_len = 0);
+    std::uint32_t force_max_read_len = 0, bool crc = false,
+    std::uint32_t crc_salt = 0);
 
 /// Typed outcome of a driver wait. Replaces the old bare cycle count,
 /// which made a hung accelerator indistinguishable from a long run.
 enum class RunOutcome {
-  kOk,        ///< completed cleanly
-  kPartial,   ///< completed, but some pairs were flagged unsupported
-  kDmaError,  ///< aborted on an AXI SLVERR/DECERR on the memory path
-  kTimeout,   ///< watchdog abort, or the wait-loop cycle budget ran out
+  kOk,         ///< completed cleanly
+  kPartial,    ///< completed, but some pairs were flagged unsupported
+  kDmaError,   ///< aborted on an AXI SLVERR/DECERR on the memory path
+  kDataError,  ///< aborted on an uncorrectable ECC error (kErrEccUnc)
+  kTimeout,    ///< watchdog abort, or the wait-loop cycle budget ran out
 };
 
 struct RunStatus {
   RunOutcome outcome = RunOutcome::kOk;
   std::uint64_t cycles = 0;      ///< cycles elapsed during the wait
   std::uint32_t err_status = 0;  ///< kRegErrStatus snapshot (hw::ErrBits)
+  std::uint32_t err_count = 0;   ///< kRegErrCount snapshot (this run)
 
   [[nodiscard]] bool ok() const { return outcome == RunOutcome::kOk; }
   /// The accelerator reached Idle and produced results (possibly with
@@ -124,6 +134,14 @@ class Driver {
     std::uint64_t launch_cycle_budget = 50'000'000;
     unsigned max_launches = 256;      ///< overall guard across retries
     unsigned singleton_attempts = 2;  ///< hw tries for an isolated pair
+    /// Per-pair hardware launch budget (0 = unlimited): a pair included
+    /// in this many launches without a verified result degrades to the
+    /// software path. Engine-level knob (drv ignores it).
+    unsigned pair_attempt_budget = 0;
+    /// Per-pair accelerator-cycle deadline (0 = off): once the launches a
+    /// pair rode have spent this many device cycles without resolving
+    /// it, it degrades to the software path. Engine-level knob.
+    std::uint64_t pair_cycle_deadline = 0;
   };
 
   struct ResilientReport {

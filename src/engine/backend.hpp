@@ -82,6 +82,13 @@ struct BatchResult {
 struct Completion {
   JobHandle handle;
   drv::RunOutcome outcome = drv::RunOutcome::kOk;
+
+  /// The run completed and its results are decodable (mirrors
+  /// drv::RunStatus::completed()).
+  [[nodiscard]] bool completed_run() const {
+    return outcome == drv::RunOutcome::kOk ||
+           outcome == drv::RunOutcome::kPartial;
+  }
   /// Fully decoded batch (non-tolerant jobs whose run completed).
   BatchResult result;
   /// Tolerant jobs: the verified per-pair harvest (launch-local ids);

@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "common/assert.hpp"
+#include "core/wfa.hpp"
 #include "hw/input_format.hpp"
 
 namespace wfasic::engine {
@@ -78,18 +79,23 @@ SwBackendConfig software_config(const EngineConfig& cfg) {
 }  // namespace
 
 Engine::Engine(const EngineConfig& cfg)
-    : cfg_(cfg), software_(software_config(cfg)) {
+    : cfg_(cfg),
+      software_(software_config(cfg)),
+      health_(cfg.health, cfg.num_devices) {
   WFASIC_REQUIRE(cfg_.num_devices > 0, "Engine: needs at least one device");
   cfg_.software = software_.config();
   for (unsigned d = 0; d < cfg_.num_devices; ++d) {
     devices_.push_back(std::make_unique<HwBackend>(cfg_.device));
   }
   local_to_engine_.resize(devices_.size() + 1);
+  init_health();
 }
 
 Engine::Engine(const EngineConfig& cfg, mem::MainMemory& memory,
                hw::Accelerator& accelerator)
-    : cfg_(cfg), software_(software_config(cfg)) {
+    : cfg_(cfg),
+      software_(software_config(cfg)),
+      health_(cfg.health, cfg.num_devices) {
   WFASIC_REQUIRE(cfg_.num_devices > 0, "Engine: needs at least one device");
   cfg_.software = software_.config();
   devices_.push_back(
@@ -98,6 +104,72 @@ Engine::Engine(const EngineConfig& cfg, mem::MainMemory& memory,
     devices_.push_back(std::make_unique<HwBackend>(cfg_.device));
   }
   local_to_engine_.resize(devices_.size() + 1);
+  init_health();
+}
+
+void Engine::init_health() {
+  if (!cfg_.health.enabled) return;
+  gen::InputSetSpec spec;
+  spec.length = cfg_.health.golden_length;
+  spec.error_rate = cfg_.health.golden_error_rate;
+  spec.num_pairs = cfg_.health.golden_pairs;
+  spec.seed = cfg_.health.golden_seed;
+  golden_ = gen::generate_input_set(spec);
+  // Expected scores come from the software reference with the device's
+  // penalties — the same ground truth the resilient path verifies against.
+  core::WfaConfig wfa;
+  wfa.pen = cfg_.device.accel.pen;
+  wfa.traceback = core::Traceback::kDisabled;
+  core::WfaAligner aligner(wfa);
+  golden_scores_.reserve(golden_.size());
+  for (const gen::SequencePair& pair : golden_) {
+    golden_scores_.push_back(aligner.align(pair.a, pair.b).score);
+  }
+}
+
+bool Engine::probe_device(unsigned dev) {
+  WFASIC_REQUIRE(dev < devices_.size(), "Engine::probe_device: bad device");
+  WFASIC_REQUIRE(!golden_.empty(),
+                 "Engine::probe_device: health management is disabled");
+  // Tolerant + NBT: a faulted device yields a short/empty harvest (a
+  // failed probe), never an aborting decode.
+  BatchJob job;
+  job.pairs = golden_;
+  job.backtrace = false;
+  job.tolerant = true;
+  job.cycle_budget = cfg_.health.probe_cycle_budget;
+  const JobHandle local = devices_[dev]->submit(std::move(job));
+  const Completion completion = wait(file_submission(dev, local));
+  if (completion.harvest.size() != golden_.size()) return false;
+  std::vector<char> seen(golden_.size(), 0);
+  for (const drv::HarvestedPair& h : completion.harvest) {
+    if (h.local_id >= golden_.size() || seen[h.local_id] != 0 ||
+        h.hw_rejected) {
+      return false;
+    }
+    seen[h.local_id] = 1;
+    if (!h.result.ok || h.result.score != golden_scores_[h.local_id]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::note_device_outcome(unsigned dev, drv::RunOutcome outcome) {
+  if (!cfg_.health.enabled || dev >= devices_.size()) return;
+  const bool failed = outcome == drv::RunOutcome::kTimeout ||
+                      outcome == drv::RunOutcome::kDmaError ||
+                      outcome == drv::RunOutcome::kDataError;
+  if (!failed) {
+    health_.record_success(dev);
+    return;
+  }
+  if (!health_.record_failure(dev)) return;
+  // Quarantine tripped: golden probes decide readmission or retirement.
+  // record_probe always leaves kQuarantined within probe_attempts calls.
+  while (health_.board(dev).health == DeviceHealth::kQuarantined) {
+    health_.record_probe(dev, probe_device(dev));
+  }
 }
 
 AlignmentBackend& Engine::backend(unsigned idx) {
@@ -107,9 +179,23 @@ AlignmentBackend& Engine::backend(unsigned idx) {
 }
 
 unsigned Engine::least_loaded_device() const {
+  // Quarantined/retired devices receive no scheduled work. If every
+  // device is unusable the plain rule applies — submit() must still file
+  // the job somewhere; resilient callers check any_usable() and degrade
+  // to software instead of submitting.
   unsigned best = 0;
+  bool best_usable = health_.usable(0);
   for (unsigned d = 1; d < devices_.size(); ++d) {
-    if (devices_[d]->pending() < devices_[best]->pending()) best = d;
+    const bool usable = health_.usable(d);
+    if (usable && !best_usable) {
+      best = d;
+      best_usable = true;
+      continue;
+    }
+    if (usable == best_usable &&
+        devices_[d]->pending() < devices_[best]->pending()) {
+      best = d;
+    }
   }
   return best;
 }
@@ -214,10 +300,7 @@ BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
 
   // Shard: submit every chunk up front so the devices stream through them
   // back to back while earlier chunks are decoded and merged.
-  std::vector<JobHandle> handles;
-  std::vector<unsigned> device_of;
-  for (std::size_t base = 0; base < pairs.size(); base += batch_pairs) {
-    const std::size_t count = std::min(batch_pairs, pairs.size() - base);
+  const auto shard_job = [&](std::size_t base, std::size_t count) {
     BatchJob job;
     job.backtrace = backtrace;
     job.separate_data = separate_data;
@@ -226,9 +309,17 @@ BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
     for (std::size_t i = 0; i < job.pairs.size(); ++i) {
       job.pairs[i].id = static_cast<std::uint32_t>(i);
     }
-    const JobHandle handle = submit(std::move(job));
+    return job;
+  };
+  std::vector<JobHandle> handles;
+  std::vector<unsigned> device_of;
+  std::vector<std::pair<std::size_t, std::size_t>> shards;  // (base, count)
+  for (std::size_t base = 0; base < pairs.size(); base += batch_pairs) {
+    const std::size_t count = std::min(batch_pairs, pairs.size() - base);
+    const JobHandle handle = submit(shard_job(base, count));
     device_of.push_back(tickets_.at(handle.value).device);
     handles.push_back(handle);
+    shards.emplace_back(base, count);
   }
 
   // In-order merge: completions are consumed in submission (= dataset)
@@ -238,11 +329,33 @@ BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
   merged.records.reserve(pairs.size());
   std::vector<PhaseSample> samples;
   samples.reserve(handles.size());
+  bool used_software = false;
   for (std::size_t i = 0; i < handles.size(); ++i) {
     Completion completion = wait(handles[i]);
-    WFASIC_REQUIRE(completion.outcome == drv::RunOutcome::kOk ||
-                       completion.outcome == drv::RunOutcome::kPartial,
-                   "Engine::run_dataset: accelerator run did not complete");
+    unsigned dev = device_of[i];
+    note_device_outcome(dev, completion.outcome);
+    // A shard whose run failed (fault, timeout) retries on a healthy
+    // device; when the budget or the fleet is exhausted it degrades onto
+    // the software backend — the dataset always completes.
+    unsigned attempts = 0;
+    while (!completion.completed_run()) {
+      if (attempts < cfg_.dataset_retry_budget && health_.any_usable()) {
+        ++attempts;
+        dev = least_loaded_device();
+        const JobHandle local =
+            devices_[dev]->submit(shard_job(shards[i].first, shards[i].second));
+        completion = wait(file_submission(dev, local));
+        note_device_outcome(dev, completion.outcome);
+      } else {
+        completion = wait(
+            submit_software(shard_job(shards[i].first, shards[i].second)));
+        dev = num_devices();  // the CPU lane of the pipeline schedule
+        used_software = true;
+        break;
+      }
+    }
+    WFASIC_REQUIRE(completion.completed_run(),
+                   "Engine::run_dataset: shard never completed");
     const BatchResult& part = completion.result;
     merged.accel_cycles += part.accel_cycles;
     merged.cpu_bt_cycles += part.cpu_bt_cycles;
@@ -251,6 +364,12 @@ BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
                              part.alignments.begin(), part.alignments.end());
     merged.records.insert(merged.records.end(), part.records.begin(),
                           part.records.end());
+    if (part.records.size() < shards[i].second) {
+      // Software-degraded shard: no per-pair device measurements; pad so
+      // records stay index-aligned with alignments.
+      merged.records.resize(merged.records.size() +
+                            (shards[i].second - part.records.size()));
+    }
     merged.read_records.insert(merged.read_records.end(),
                                part.read_records.begin(),
                                part.read_records.end());
@@ -265,11 +384,13 @@ BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
     merged.bt_counters.match_chars += part.bt_counters.match_chars;
     samples.push_back(PhaseSample{completion.encode_cycles,
                                   completion.accel_cycles,
-                                  completion.decode_cycles, device_of[i]});
+                                  completion.decode_cycles, dev});
   }
   if (cfg_.pipelined_accounting && !samples.empty()) {
-    merged.pipeline_cycles =
-        pipelined_makespan(samples, num_devices());
+    // A software-degraded shard occupies an extra "device" lane in the
+    // schedule (the CPU pool aligning while the accelerators run).
+    merged.pipeline_cycles = pipelined_makespan(
+        samples, used_software ? num_devices() + 1 : num_devices());
   }
   return merged;
 }
@@ -314,10 +435,23 @@ Engine::ResilientReport Engine::run_resilient(
   std::deque<std::vector<std::size_t>> work;
   if (!initial.empty()) work.push_back(std::move(initial));
   std::vector<unsigned> isolated_tries(pairs.size(), 0);
+  /// Device cycles spent by launches each pair rode (the per-ticket
+  /// deadline's clock).
+  std::vector<std::uint64_t> pair_spent(pairs.size(), 0);
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> in_flight_segs;
 
   const auto dispatch = [&]() {
     while (!work.empty() && report.launches < cfg.max_launches) {
+      if (!health_.any_usable()) {
+        // Every device quarantined/retired: the remaining hardware work
+        // degrades onto the software backend instead of queueing on a
+        // fleet that cannot run it.
+        for (const std::vector<std::size_t>& seg : work) {
+          for (const std::size_t idx : seg) route_to_sw(idx);
+        }
+        work.clear();
+        break;
+      }
       std::vector<std::size_t> seg = std::move(work.front());
       work.pop_front();
       if (seg.size() == 1) ++isolated_tries[seg[0]];
@@ -362,8 +496,14 @@ Engine::ResilientReport Engine::run_resilient(
       std::vector<std::size_t> seg =
           std::move(in_flight_segs.at(handle_value));
       in_flight_segs.erase(handle_value);
+      // The ticket dies inside try_take — capture its device first.
+      const unsigned dev = tickets_.at(handle_value).device;
       Completion completion = *try_take(JobHandle{handle_value});
       report.total_cycles += completion.accel_cycles;
+      note_device_outcome(dev, completion.outcome);
+      for (const std::size_t idx : seg) {
+        pair_spent[idx] += completion.accel_cycles;
+      }
 
       std::vector<bool> resolved_local(seg.size(), false);
       for (const drv::HarvestedPair& h : completion.harvest) {
@@ -383,10 +523,21 @@ Engine::ResilientReport Engine::run_resilient(
       std::vector<std::size_t> unresolved;
       for (std::size_t local = 0; local < seg.size(); ++local) {
         const std::size_t idx = seg[local];
-        if (!resolved_local[local] && !report.outcomes[idx].resolved &&
-            sent_to_sw[idx] == 0) {
-          unresolved.push_back(idx);
+        if (resolved_local[local] || report.outcomes[idx].resolved ||
+            sent_to_sw[idx] != 0) {
+          continue;
         }
+        // Per-ticket budgets: a pair that exhausted its hardware attempt
+        // budget or its accelerator-cycle deadline stops retrying and
+        // degrades to software now.
+        if ((cfg.pair_attempt_budget != 0 &&
+             report.outcomes[idx].hw_attempts >= cfg.pair_attempt_budget) ||
+            (cfg.pair_cycle_deadline != 0 &&
+             pair_spent[idx] >= cfg.pair_cycle_deadline)) {
+          route_to_sw(idx);
+          continue;
+        }
+        unresolved.push_back(idx);
       }
       if (unresolved.empty()) continue;
       if (unresolved.size() == 1) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "engine/backend.hpp"
+#include "engine/health.hpp"
 #include "engine/hw_backend.hpp"
 #include "engine/sw_backend.hpp"
 #include "gen/seqgen.hpp"
@@ -43,6 +44,13 @@ struct EngineConfig {
   /// Report run_dataset() totals as the pipelined makespan instead of the
   /// serial encode+align+decode sum.
   bool pipelined_accounting = true;
+  /// Device health management: error scoreboards, quarantine after
+  /// repeated failures, golden-pair self-test probes for re-admission
+  /// (see engine/health.hpp and docs/RELIABILITY.md).
+  HealthConfig health;
+  /// run_dataset(): hardware retries a failed shard gets on healthy
+  /// devices before it degrades onto the software backend.
+  unsigned dataset_retry_budget = 2;
 };
 
 /// Per-job phase durations feeding the pipelined schedule.
@@ -120,6 +128,14 @@ class Engine {
   [[nodiscard]] SwBackend& software() { return software_; }
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
 
+  // --- Device health --------------------------------------------------------
+  /// Scoreboards, quarantine state and probe history (health.hpp).
+  [[nodiscard]] const HealthMonitor& health() const { return health_; }
+  /// Runs one golden-pair self-test batch on device `dev` and compares
+  /// the scores against the software-computed expectation. Does not touch
+  /// the scoreboard — callers feed the verdict to HealthMonitor.
+  [[nodiscard]] bool probe_device(unsigned dev);
+
  private:
   struct Ticket {
     unsigned device = 0;       ///< index into devices_
@@ -135,10 +151,19 @@ class Engine {
   bool poll_once();
   /// Non-blocking completion pickup; erases the ticket when found.
   std::optional<Completion> try_take(JobHandle handle);
+  /// Generates the golden probe batch and its software-expected scores.
+  void init_health();
+  /// Feeds one scheduled completion's outcome into the scoreboard; when
+  /// it trips quarantine, runs golden probes until the device is either
+  /// readmitted or retired. Probe completions never re-enter here.
+  void note_device_outcome(unsigned dev, drv::RunOutcome outcome);
 
   EngineConfig cfg_;
   std::vector<std::unique_ptr<HwBackend>> devices_;
   SwBackend software_;
+  HealthMonitor health_;
+  std::vector<gen::SequencePair> golden_;  ///< probe batch (launch-local)
+  std::vector<score_t> golden_scores_;     ///< software-expected scores
 
   std::uint64_t next_ticket_ = 1;
   std::uint64_t next_seq_ = 0;

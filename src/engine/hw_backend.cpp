@@ -54,7 +54,7 @@ std::uint64_t HwBackend::predicted_in_bytes(const BatchJob& job) const {
   }
   const std::uint32_t rounded =
       hw::round_up_read_len(std::max(longest, 16u));
-  return job.pairs.size() * hw::pair_bytes(rounded);
+  return job.pairs.size() * hw::pair_bytes(rounded, cfg_.accel.crc);
 }
 
 JobHandle HwBackend::submit(BatchJob job) {
@@ -89,8 +89,12 @@ HwBackend::StagedJob HwBackend::encode_front(unsigned slot) {
   staged.slot = staged.exclusive ? 0 : slot;
   const std::uint64_t in_addr =
       cfg_.in_addr + staged.slot * input_slot_bytes();
-  staged.layout = drv::encode_input_set(*memory_, staged.job.pairs, in_addr,
-                                        cfg_.out_addr);
+  // Each launch gets a fresh CRC salt so stale result beats of an earlier
+  // launch can never verify against this one's footers.
+  staged.layout =
+      drv::encode_input_set(*memory_, staged.job.pairs, in_addr,
+                            cfg_.out_addr, /*force_max_read_len=*/0,
+                            cfg_.accel.crc, next_salt_++);
   staged.encode_cycles = static_cast<std::uint64_t>(std::llround(
       static_cast<double>(staged.layout.in_bytes) *
       cfg_.encode_cycles_per_byte));
@@ -187,9 +191,46 @@ void HwBackend::complete_active() {
         active.staged.job.backtrace, active.staged.job.pairs,
         accelerator_->config());
   } else if (status.completed()) {
-    decode_into(completion, active, status);
+    // With CRC transport protection on, pre-validate the result stream
+    // before the strict decoders see it: a record that fails its CRC
+    // should surface as a kDataError completion the engine can retry, not
+    // abort the host process inside parse/decode.
+    if (active.staged.layout.crc && !stream_verifies(active)) {
+      completion.outcome = drv::RunOutcome::kDataError;
+    } else {
+      decode_into(completion, active, status);
+    }
   }
   done_.push_back(std::move(completion));
+}
+
+bool HwBackend::stream_verifies(const ActiveJob& active) const {
+  const drv::BatchLayout& layout = active.staged.layout;
+  const std::uint64_t beat_delta =
+      accelerator_->dma().beats_written() - active.beats_before;
+  if (active.staged.job.backtrace) {
+    const drv::BtStreamScan scan = drv::try_parse_bt_stream(
+        *memory_, layout.out_addr, beat_delta * mem::kBeatBytes,
+        layout.num_pairs, layout.crc, layout.crc_salt);
+    if (!scan.clean || scan.alignments.size() != layout.num_pairs) {
+      return false;
+    }
+    std::vector<bool> seen(layout.num_pairs, false);
+    for (const drv::BtAlignment& bt : scan.alignments) {
+      if (bt.id >= layout.num_pairs || seen[bt.id]) return false;
+      seen[bt.id] = true;
+    }
+    return true;
+  }
+  const std::vector<hw::NbtResult> words =
+      drv::decode_nbt_results_partial(*memory_, layout, beat_delta);
+  if (words.size() != layout.num_pairs) return false;
+  std::vector<bool> seen(layout.num_pairs, false);
+  for (const hw::NbtResult& nbt : words) {
+    if (nbt.id >= layout.num_pairs || seen[nbt.id]) return false;
+    seen[nbt.id] = true;
+  }
+  return true;
 }
 
 void HwBackend::decode_into(Completion& completion, const ActiveJob& active,
@@ -227,9 +268,9 @@ void HwBackend::decode_into(Completion& completion, const ActiveJob& active,
 
   result.alignments.resize(job.pairs.size());
   if (job.backtrace) {
-    const std::vector<drv::BtAlignment> parsed =
-        drv::parse_bt_stream(*memory_, layout.out_addr, layout.num_pairs,
-                             job.separate_data, &result.bt_counters);
+    const std::vector<drv::BtAlignment> parsed = drv::parse_bt_stream(
+        *memory_, layout.out_addr, layout.num_pairs, job.separate_data,
+        &result.bt_counters, layout.crc, layout.crc_salt);
     for (const drv::BtAlignment& bt : parsed) {
       WFASIC_REQUIRE(bt.id < job.pairs.size(),
                      "HwBackend: unexpected alignment id in stream");

@@ -112,6 +112,11 @@ class HwBackend final : public AlignmentBackend {
   [[nodiscard]] StagedJob encode_front(unsigned slot);
   void launch(StagedJob&& staged);
   void complete_active();
+  /// With CRC on: tolerant pre-scan of the result stream (bounded by the
+  /// beats the DMA actually wrote). False means a record failed its CRC or
+  /// the stream is inconsistent — the completion becomes kDataError
+  /// instead of feeding the strict (aborting) decoders.
+  [[nodiscard]] bool stream_verifies(const ActiveJob& active) const;
   void decode_into(Completion& completion, const ActiveJob& active,
                    const drv::RunStatus& status);
 
@@ -128,6 +133,8 @@ class HwBackend final : public AlignmentBackend {
   std::optional<ActiveJob> active_;
   std::vector<Completion> done_;
   std::uint64_t next_handle_ = 1;
+  /// Per-launch CRC salt counter (only consumed when cfg_.accel.crc).
+  std::uint32_t next_salt_ = 1;
 };
 
 }  // namespace wfasic::engine

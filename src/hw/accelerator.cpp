@@ -8,6 +8,7 @@ Accelerator::Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory)
       input_fifo_(cfg.input_fifo_depth),
       output_fifo_(cfg.output_fifo_depth) {
   WFASIC_REQUIRE(cfg_.valid(), "Accelerator: invalid configuration");
+  if (cfg_.ecc) memory_.enable_ecc();
   dma_ = std::make_unique<mem::Dma>(memory_, input_fifo_, output_fifo_,
                                     cfg_.axi);
   std::vector<Aligner*> aligner_ptrs;
@@ -94,6 +95,12 @@ void Accelerator::write_reg(std::uint32_t offset, std::uint32_t value) {
     case kRegWatchdog:
       regs_.watchdog = value;
       break;
+    case kRegEccCount:
+      ecc_count_base_ = ecc_corrected_total();  // any write clears
+      break;
+    case kRegCrcSalt:
+      regs_.crc_salt = value;
+      break;
     default:
       WFASIC_REQUIRE(false, "Accelerator::write_reg: unknown register");
   }
@@ -131,6 +138,11 @@ std::uint32_t Accelerator::read_reg(std::uint32_t offset) const {
       return err_count_;
     case kRegWatchdog:
       return regs_.watchdog;
+    case kRegEccCount:
+      return static_cast<std::uint32_t>(ecc_corrected_total() -
+                                        ecc_count_base_);
+    case kRegCrcSalt:
+      return regs_.crc_salt;
     default:
       WFASIC_REQUIRE(false, "Accelerator::read_reg: unknown register");
       return 0;
@@ -143,7 +155,7 @@ void Accelerator::start() {
                  "Accelerator::start: MAX_READ_LEN must be divisible by 16");
   WFASIC_REQUIRE(regs_.max_read_len <= cfg_.max_supported_read_len,
                  "Accelerator::start: MAX_READ_LEN exceeds chip support");
-  const std::size_t per_pair = pair_bytes(regs_.max_read_len);
+  const std::size_t per_pair = pair_bytes(regs_.max_read_len, cfg_.crc);
   WFASIC_REQUIRE(per_pair > 0 && regs_.in_size % per_pair == 0,
                  "Accelerator::start: input size is not a whole number of "
                  "pairs");
@@ -153,8 +165,10 @@ void Accelerator::start() {
     aligner->set_backtrace(regs_.backtrace);
     aligner->clear_errors();  // kErrUnsupported reflects the current run
   }
-  extractor_->configure(regs_.max_read_len, num_pairs);
-  collector_->configure(regs_.backtrace, num_pairs);
+  extractor_->configure(regs_.max_read_len, num_pairs, cfg_.crc,
+                        regs_.crc_salt);
+  collector_->configure(regs_.backtrace, num_pairs, cfg_.crc,
+                        regs_.crc_salt);
   dma_->configure_read(regs_.in_addr, regs_.in_size);
   dma_->configure_write(regs_.out_addr);
   running_ = true;
@@ -218,14 +232,25 @@ bool Accelerator::work_complete() const {
 void Accelerator::step() {
   if (injector_ != nullptr) {
     injector_->set_now(scheduler_.now());
-    for (const auto& [addr, bit] : injector_->due_memory_flips()) {
-      memory_.flip_bit(addr, bit);
+    for (const auto& flip : injector_->due_memory_flips()) {
+      for (unsigned n = 0; n < flip.bits; ++n) {
+        memory_.flip_bit(flip.addr, (flip.bit + n) % 8);
+      }
+    }
+    for (const auto& flip : injector_->due_ram_flips()) {
+      auto& aligner = aligners_[static_cast<std::size_t>(
+          flip.target % aligners_.size())];
+      aligner->inject_ram_flip(flip.row, flip.bit, flip.double_bit);
     }
   }
   scheduler_.step();
   if (!running_) return;
   if (dma_->bus_error()) {
     abort_run(kErrDma);
+    return;
+  }
+  if (dma_->ecc_fault()) {
+    abort_run(kErrEccUnc);
     return;
   }
   if (work_complete()) {

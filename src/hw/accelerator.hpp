@@ -33,6 +33,12 @@ class Accelerator {
   [[nodiscard]] bool idle() const { return !running_; }
   [[nodiscard]] bool interrupt_pending() const { return int_pending_; }
   [[nodiscard]] std::uint32_t err_status() const { return err_status_; }
+  /// Total single-bit ECC corrections (main memory + wavefront RAMs).
+  [[nodiscard]] std::uint64_t ecc_corrected_total() const {
+    std::uint64_t total = memory_.ecc_corrected();
+    for (const auto& aligner : aligners_) total += aligner->ecc_corrected();
+    return total;
+  }
 
   // --- Fault injection -------------------------------------------------------
   /// Attaches (or detaches, with nullptr) a deterministic fault injector:
@@ -128,6 +134,10 @@ class Accelerator {
   sim::FaultInjector* injector_ = nullptr;
   std::uint32_t err_status_ = 0;
   std::uint32_t err_count_ = 0;
+  /// kRegEccCount baseline: a write sets it to the current total so the
+  /// register reads zero ("any write clears") without losing the
+  /// monotone hardware counters.
+  std::uint64_t ecc_count_base_ = 0;
   std::uint64_t last_progress_sig_ = 0;
   sim::cycle_t last_progress_cycle_ = 0;
 };

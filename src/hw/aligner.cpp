@@ -43,9 +43,41 @@ void Aligner::abort() {
   countdown_ = 0;
   init_countdown_ = 0;
   done_ = false;
+  ecc_poisoned_ = false;
   geom_.reset();
   current_ = nullptr;
   clear_ring();
+}
+
+void Aligner::inject_ram_flip(std::uint64_t row, unsigned bit,
+                              bool double_bit) {
+  if (state_ != State::kRun || done_ || current_ == nullptr) return;
+  if (cfg_.ecc) {
+    if (double_bit) {
+      // SECDED detects but cannot correct: poison the alignment — the
+      // next tick fails it cleanly instead of consuming bad offsets.
+      error_flags_ |= kErrEccUnc;
+      ecc_poisoned_ = true;
+    } else {
+      ++ecc_corrected_;  // scrubbed in place; the datapath never sees it
+    }
+    return;
+  }
+  // Unprotected RAM: the upset lands in the live M/I/D offsets and
+  // propagates silently — the escape the integrity campaigns measure.
+  const std::size_t width = current_->width();
+  if (width == 0) return;
+  const auto idx = static_cast<std::size_t>(row % width);
+  offset_t* const rows[3] = {current_->row_m(), current_->row_i(),
+                             current_->row_d()};
+  const unsigned word = (bit / 32) % 3;
+  const unsigned b = bit % 32;
+  const auto flip = [&](unsigned which) {
+    rows[word][idx] = static_cast<offset_t>(
+        static_cast<std::uint32_t>(rows[word][idx]) ^ (1u << which));
+  };
+  flip(b);
+  if (double_bit) flip((b + 1) % 32);
 }
 
 void Aligner::finish_load(AlignJob job, sim::cycle_t now) {
@@ -87,6 +119,12 @@ void Aligner::start_alignment(sim::cycle_t now) {
   batches_.clear();
   clear_ring();
 
+  if (job_.crc_error) {
+    // The descriptor failed its footer CRC: nothing in it can be trusted.
+    error_flags_ |= kErrCrc;
+    finish_alignment(false, 0, 0, now);
+    return;
+  }
   if (job_.unsupported) {
     error_flags_ |= kErrUnsupported;
     finish_alignment(false, 0, 0, now);
@@ -310,6 +348,7 @@ sim::cycle_t Aligner::quiet_for(sim::cycle_t /*now*/) const {
     case State::kRun:
       break;
   }
+  if (ecc_poisoned_) return 0;  // the poison is handled this tick
   if (batches_.empty()) return 0;  // step_score() runs this tick
   // Walk the schedule: ticks that only raise a countdown are quiet. A
   // batch releasing transactions (or the final batch of a finished
@@ -379,6 +418,17 @@ void Aligner::tick(sim::cycle_t now) {
       break;
   }
   ++busy_cycles_;
+
+  if (ecc_poisoned_) {
+    // An uncorrectable wavefront-RAM upset: the remaining schedule would
+    // consume poisoned offsets, so drop it and fail the alignment. Any
+    // transactions already released leave a counter gap the tolerant
+    // parser detects and drops.
+    ecc_poisoned_ = false;
+    batches_.clear();
+    countdown_ = 0;
+    finish_alignment(false, 0, 0, now);
+  }
 
   if (batches_.empty()) {
     WFASIC_ASSERT(!done_, "Aligner: done with no final batch");

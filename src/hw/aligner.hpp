@@ -32,6 +32,7 @@ namespace wfasic::hw {
 struct AlignJob {
   std::uint32_t id = 0;
   bool unsupported = false;  ///< 'N' base or length > MAX_READ_LEN (§4.2)
+  bool crc_error = false;    ///< input footer CRC mismatch (kErrCrc)
   PackedSeq a;
   PackedSeq b;
 };
@@ -64,6 +65,14 @@ class Aligner final : public sim::Component {
   [[nodiscard]] std::uint64_t progress() const {
     return busy_cycles_ - output_stall_cycles_;
   }
+  /// Fault-injection hook: an SRAM upset in the wavefront RAM banks. Only
+  /// flips landing in the live window of a running alignment have any
+  /// effect (idle banks are rewritten before reuse). With cfg_.ecc a
+  /// single bit is scrubbed (counted in ecc_corrected()); a double flip
+  /// poisons the alignment and latches kErrEccUnc. Without ECC the upset
+  /// silently lands in the stored M/I/D offsets.
+  void inject_ram_flip(std::uint64_t row, unsigned bit, bool double_bit);
+  [[nodiscard]] std::uint64_t ecc_corrected() const { return ecc_corrected_; }
 
   // --- Collector interface -------------------------------------------------
   [[nodiscard]] std::deque<BtTransaction>& bt_queue() { return bt_queue_; }
@@ -183,6 +192,8 @@ class Aligner final : public sim::Component {
   std::uint64_t busy_cycles_ = 0;
   PhaseCycles phase_cycles_;
   std::uint32_t error_flags_ = 0;
+  std::uint64_t ecc_corrected_ = 0;
+  bool ecc_poisoned_ = false;
 };
 
 }  // namespace wfasic::hw

@@ -5,11 +5,20 @@
 //    cycle, round-robin across Aligners.
 //  - Collector NBT (backtrace disabled): merges four 4-byte score words
 //    per transaction to economise accelerator-memory bandwidth.
+//
+// With the CRC knob on (AcceleratorConfig::crc) the Collector protects the
+// result path: NBT records grow to 8 bytes (word + salted CRC-32, two per
+// beat), and each BT alignment is followed by a footer transaction carrying
+// the CRC over all its packed beats (hw/result_format.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <span>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "hw/aligner.hpp"
 #include "hw/result_format.hpp"
 #include "mem/axi.hpp"
@@ -28,18 +37,25 @@ class Collector final : public sim::Component {
 
   /// Arms the Collector for a run. `expected_pairs` lets the NBT variant
   /// flush its final, partially-filled transaction.
-  void configure(bool backtrace, std::uint64_t expected_pairs) {
+  void configure(bool backtrace, std::uint64_t expected_pairs,
+                 bool crc = false, std::uint32_t crc_salt = 0) {
     bt_mode_ = backtrace;
     expected_pairs_ = expected_pairs;
     results_seen_ = 0;
     nbt_fill_ = 0;
     nbt_buffer_ = mem::Beat{};
     flushed_ = false;
+    crc_ = crc;
+    crc_salt_ = crc_salt;
+    nbt_slots_ = nbt_records_per_beat(crc);
+    bt_crc_.assign(aligners_.size(), Crc32(crc_salt));
+    footers_.clear();
   }
 
   /// True once every expected result has been pushed to the Output FIFO.
   [[nodiscard]] bool done() const {
     return results_seen_ == expected_pairs_ && pending_empty() &&
+           footers_.empty() &&
            (bt_mode_ || flushed_ || nbt_fill_ == 0);
   }
 
@@ -61,6 +77,7 @@ class Collector final : public sim::Component {
     nbt_fill_ = 0;
     nbt_buffer_ = mem::Beat{};
     flushed_ = false;
+    footers_.clear();
   }
 
   void tick(sim::cycle_t /*now*/) override {
@@ -78,6 +95,7 @@ class Collector final : public sim::Component {
   // inherited no-op).
   [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
     if (bt_mode_) {
+      if (!footers_.empty()) return 0;  // a CRC footer moves this cycle
       for (const Aligner* a : aligners_) {
         if (!a->bt_queue().empty()) return 0;
       }
@@ -86,7 +104,7 @@ class Collector final : public sim::Component {
     for (const Aligner* a : aligners_) {
       if (!a->nbt_queue().empty()) return 0;
     }
-    if (nbt_fill_ == 4) return 0;  // a flush is pending
+    if (nbt_fill_ == nbt_slots_) return 0;  // a flush is pending
     if (results_seen_ == expected_pairs_ && nbt_fill_ > 0 && !flushed_) {
       return 0;  // final partial flush is pending
     }
@@ -103,6 +121,14 @@ class Collector final : public sim::Component {
 
   void tick_bt() {
     if (fifo_.full()) return;
+    // Pending CRC footers take priority so an alignment's footer follows
+    // its Last transaction as closely as arbitration allows.
+    if (!footers_.empty()) {
+      fifo_.push(footers_.front());
+      footers_.pop_front();
+      ++beats_;
+      return;
+    }
     // Round-robin arbitration across Aligners, one transaction per cycle.
     for (std::size_t probe = 0; probe < aligners_.size(); ++probe) {
       const std::size_t idx = (rr_ + probe) % aligners_.size();
@@ -110,8 +136,19 @@ class Collector final : public sim::Component {
       if (queue.empty()) continue;
       const BtTransaction txn = queue.front();
       queue.pop_front();
-      fifo_.push(pack_bt_transaction(txn));
+      const mem::Beat beat = pack_bt_transaction(txn);
+      fifo_.push(beat);
       ++beats_;
+      if (crc_) {
+        // An alignment's first transaction (counter 0) restarts its
+        // per-Aligner accumulator; Last queues the footer.
+        if (txn.counter == 0) bt_crc_[idx] = Crc32(crc_salt_);
+        bt_crc_[idx].update(beat.data.data(), mem::kBeatBytes);
+        if (txn.last) {
+          footers_.push_back(pack_bt_transaction(
+              make_bt_crc_footer(txn.id, bt_crc_[idx].value())));
+        }
+      }
       if (txn.last) ++results_seen_;
       rr_ = idx + 1;
       return;
@@ -124,8 +161,22 @@ class Collector final : public sim::Component {
       const std::size_t idx = (rr_ + probe) % aligners_.size();
       auto& queue = aligners_[idx]->nbt_queue();
       if (queue.empty()) continue;
-      if (nbt_fill_ == 4) break;  // buffer full, must flush first
-      nbt_buffer_.set_u32(nbt_fill_, pack_nbt_result(queue.front()));
+      if (nbt_fill_ == nbt_slots_) break;  // buffer full, must flush first
+      const std::uint32_t word = pack_nbt_result(queue.front());
+      if (crc_) {
+        // 8-byte record: the packed word followed by its salted CRC.
+        const std::array<std::uint8_t, 4> bytes{
+            static_cast<std::uint8_t>(word),
+            static_cast<std::uint8_t>(word >> 8),
+            static_cast<std::uint8_t>(word >> 16),
+            static_cast<std::uint8_t>(word >> 24)};
+        nbt_buffer_.set_u32(2 * nbt_fill_, word);
+        nbt_buffer_.set_u32(2 * nbt_fill_ + 1,
+                            crc32(std::span<const std::uint8_t>(bytes),
+                                  crc_salt_));
+      } else {
+        nbt_buffer_.set_u32(nbt_fill_, word);
+      }
       queue.pop_front();
       ++nbt_fill_;
       ++results_seen_;
@@ -134,7 +185,7 @@ class Collector final : public sim::Component {
     }
     const bool final_flush =
         results_seen_ == expected_pairs_ && nbt_fill_ > 0;
-    if ((nbt_fill_ == 4 || final_flush) && !fifo_.full()) {
+    if ((nbt_fill_ == nbt_slots_ || final_flush) && !fifo_.full()) {
       fifo_.push(nbt_buffer_);
       ++beats_;
       nbt_buffer_ = mem::Beat{};
@@ -153,6 +204,11 @@ class Collector final : public sim::Component {
   std::size_t nbt_fill_ = 0;
   bool flushed_ = false;
   std::uint64_t beats_ = 0;
+  bool crc_ = false;
+  std::uint32_t crc_salt_ = 0;
+  std::size_t nbt_slots_ = 4;
+  std::vector<Crc32> bt_crc_;        ///< per-Aligner running CRC (BT mode)
+  std::deque<mem::Beat> footers_;    ///< packed CRC footer transactions
 };
 
 }  // namespace wfasic::hw

@@ -56,6 +56,19 @@ struct AcceleratorConfig {
   /// watchdog is armed during a run.
   bool idle_skip = true;
 
+  /// Data-integrity knobs (docs/RELIABILITY.md). Both default off so the
+  /// paper-fidelity data formats and cycle counts are untouched; fault
+  /// campaigns and the engine's health machinery turn them on.
+  /// SECDED ECC over main memory and the wavefront RAMs: single-bit
+  /// upsets are corrected and counted (kRegEccCount), double-bit upsets
+  /// raise kErrEccUnc.
+  bool ecc = false;
+  /// CRC32 footers: one extra input section per pair the Extractor
+  /// verifies (kErrCrc on mismatch), and a CRC the Collector appends to
+  /// every result record (NBT: 8-byte records; BT: a footer transaction),
+  /// salted per launch via kRegCrcSalt.
+  bool crc = false;
+
   /// Eq. 6: the maximum alignment score the band supports.
   [[nodiscard]] score_t score_max() const { return k_max * 2 + 4; }
 

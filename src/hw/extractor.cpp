@@ -21,8 +21,10 @@ void Extractor::tick(sim::cycle_t now) {
     target_ = aligner;
     in_pair_ = true;
     section_ = 0;
-    sections_total_ = pair_sections(max_read_len_);
+    sections_total_ = pair_sections(max_read_len_, crc_);
     invalid_base_ = false;
+    crc_acc_ = Crc32(crc_salt_);
+    crc_error_ = false;
     words_a_.assign(sequence_sections(max_read_len_), 0);
     words_b_.assign(sequence_sections(max_read_len_), 0);
     first_beat_cycle_ = now;
@@ -34,6 +36,14 @@ void Extractor::tick(sim::cycle_t now) {
 
 void Extractor::consume_beat(const mem::Beat& beat, sim::cycle_t now) {
   const std::size_t seq_sections = sequence_sections(max_read_len_);
+  if (crc_ && section_ == sections_total_ - 1) {
+    // Footer section: verify the running CRC over the pair's payload.
+    if (crc_acc_.value() != beat.u32(0)) crc_error_ = true;
+    ++section_;
+    finish_pair(now);
+    return;
+  }
+  if (crc_) crc_acc_.update(beat.data.data(), mem::kBeatBytes);
   if (section_ == 0) {
     id_ = beat.u32(0);
   } else if (section_ == 1) {
@@ -73,7 +83,10 @@ void Extractor::finish_pair(sim::cycle_t now) {
   job.id = id_;
   const bool too_long = len_a_ > max_read_len_ || len_b_ > max_read_len_;
   job.unsupported = too_long || invalid_base_;
-  if (!job.unsupported) {
+  job.crc_error = crc_error_;
+  // A CRC-failed pair's lengths/bases cannot be trusted; the Aligner
+  // fails it from the flags alone, so skip the sequence build too.
+  if (!job.unsupported && !job.crc_error) {
     job.a = PackedSeq::from_words(words_a_, len_a_);
     job.b = PackedSeq::from_words(words_b_, len_b_);
   }

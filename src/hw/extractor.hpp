@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "hw/aligner.hpp"
 #include "hw/input_format.hpp"
 #include "mem/axi.hpp"
@@ -24,13 +25,18 @@ class Extractor final : public sim::Component {
         aligners_(std::move(aligners)) {}
 
   /// Arms the Extractor for a run (values from the AXI-Lite registers).
-  void configure(std::uint32_t max_read_len, std::uint64_t num_pairs) {
+  /// With `crc`, every pair carries a footer section whose CRC is checked
+  /// against the salted CRC over the pair's preceding bytes.
+  void configure(std::uint32_t max_read_len, std::uint64_t num_pairs,
+                 bool crc = false, std::uint32_t crc_salt = 0) {
     WFASIC_REQUIRE(max_read_len % 16 == 0,
                    "Extractor: MAX_READ_LEN must be divisible by 16");
     max_read_len_ = max_read_len;
     pairs_left_ = num_pairs;
     pairs_done_ = 0;
     in_pair_ = false;
+    crc_ = crc;
+    crc_salt_ = crc_salt;
   }
 
   [[nodiscard]] bool done() const { return pairs_left_ == 0 && !in_pair_; }
@@ -100,6 +106,10 @@ class Extractor final : public sim::Component {
   std::uint32_t len_a_ = 0;
   std::uint32_t len_b_ = 0;
   bool invalid_base_ = false;
+  bool crc_ = false;
+  std::uint32_t crc_salt_ = 0;
+  Crc32 crc_acc_;
+  bool crc_error_ = false;
   std::vector<std::uint32_t> words_a_;
   std::vector<std::uint32_t> words_b_;
   sim::cycle_t first_beat_cycle_ = 0;

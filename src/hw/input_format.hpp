@@ -11,6 +11,11 @@
 // MAX_READ_LEN must be divisible by 16 (the AXI-Full data width); the CPU
 // pads every sequence of the set to it with dummy bases, which the
 // Extractor ignores based on the stored lengths.
+//
+// When the CRC knob is on (AcceleratorConfig::crc), one extra footer
+// section follows each pair: bytes 0..3 hold the salted CRC-32 over the
+// pair's preceding sections, the rest is padding. The Extractor verifies
+// it and fails the pair (kErrCrc) on mismatch.
 #pragma once
 
 #include <cstdint>
@@ -36,14 +41,16 @@ inline constexpr std::uint8_t kDummyBase = 0;      // padding byte
   return max_read_len / kSectionBytes;
 }
 
-/// Total 16-byte sections per pair.
-[[nodiscard]] constexpr std::size_t pair_sections(std::uint32_t max_read_len) {
-  return kHeaderSections + 2 * sequence_sections(max_read_len);
+/// Total 16-byte sections per pair (`crc` adds the footer section).
+[[nodiscard]] constexpr std::size_t pair_sections(std::uint32_t max_read_len,
+                                                  bool crc = false) {
+  return kHeaderSections + 2 * sequence_sections(max_read_len) + (crc ? 1 : 0);
 }
 
 /// Total bytes per pair.
-[[nodiscard]] constexpr std::size_t pair_bytes(std::uint32_t max_read_len) {
-  return pair_sections(max_read_len) * kSectionBytes;
+[[nodiscard]] constexpr std::size_t pair_bytes(std::uint32_t max_read_len,
+                                               bool crc = false) {
+  return pair_sections(max_read_len, crc) * kSectionBytes;
 }
 
 }  // namespace wfasic::hw

@@ -24,6 +24,8 @@ enum RegOffset : std::uint32_t {
   kRegErrStatus = 0x30,   ///< error-cause bits (ErrBits); write 1 to clear
   kRegErrCount = 0x34,    ///< errors latched since reset; any write clears
   kRegWatchdog = 0x38,    ///< no-progress watchdog in cycles; 0 disables
+  kRegEccCount = 0x3c,    ///< ECC single-bit corrections; any write clears
+  kRegCrcSalt = 0x40,     ///< CRC seed salt for input/result footers
 };
 
 /// Control-register command bits (kRegCtrl).
@@ -39,6 +41,8 @@ enum ErrBits : std::uint32_t {
   kErrDma = 1u << 0,          ///< AXI SLVERR/DECERR on the memory path
   kErrWatchdog = 1u << 1,     ///< no datapath progress for watchdog cycles
   kErrUnsupported = 1u << 2,  ///< 'N' base or length > MAX_READ_LEN seen
+  kErrEccUnc = 1u << 3,       ///< uncorrectable (double-bit) ECC error
+  kErrCrc = 1u << 4,          ///< input descriptor failed its CRC check
 };
 
 /// Reset value of kRegWatchdog: generous enough that a fault-free run
@@ -56,6 +60,7 @@ struct RegValues {
   std::uint64_t out_addr = 0;
   bool int_enable = false;
   std::uint32_t watchdog = kDefaultWatchdogCycles;
+  std::uint32_t crc_salt = 0;
 };
 
 }  // namespace wfasic::hw

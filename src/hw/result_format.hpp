@@ -98,6 +98,56 @@ struct BtTransaction {
   return t;
 }
 
+// ---------------------------------------------------------------------------
+// CRC footers (AcceleratorConfig::crc, docs/RELIABILITY.md).
+//
+// NBT: each result becomes an 8-byte record — the packed result word
+// followed by its salted CRC-32 — so two records merge per beat instead
+// of four.
+//
+// BT: after an alignment's Last transaction the Collector emits one extra
+// footer transaction with the sentinel counter 0xffffff (never reached by
+// real payload counters: that would be a 160 MB backtrace) whose data[0..3]
+// carry the salted CRC-32 over all packed beats of the alignment,
+// including the Last one.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint32_t kBtCrcFooterCounter = (1u << 24) - 1;
+
+/// Bytes of one NBT result record.
+[[nodiscard]] constexpr std::size_t nbt_record_bytes(bool crc) {
+  return crc ? 8 : 4;
+}
+
+/// NBT result records per 16-byte beat.
+[[nodiscard]] constexpr std::size_t nbt_records_per_beat(bool crc) {
+  return mem::kBeatBytes / nbt_record_bytes(crc);
+}
+
+[[nodiscard]] inline bool is_bt_crc_footer(const BtTransaction& t) {
+  return !t.last && t.counter == kBtCrcFooterCounter;
+}
+
+[[nodiscard]] inline BtTransaction make_bt_crc_footer(std::uint32_t id,
+                                                      std::uint32_t crc) {
+  BtTransaction t;
+  t.counter = kBtCrcFooterCounter;
+  t.last = false;
+  t.id = id;
+  t.data[0] = static_cast<std::uint8_t>(crc);
+  t.data[1] = static_cast<std::uint8_t>(crc >> 8);
+  t.data[2] = static_cast<std::uint8_t>(crc >> 16);
+  t.data[3] = static_cast<std::uint8_t>(crc >> 24);
+  return t;
+}
+
+[[nodiscard]] inline std::uint32_t bt_crc_footer_value(const BtTransaction& t) {
+  return static_cast<std::uint32_t>(t.data[0]) |
+         (static_cast<std::uint32_t>(t.data[1]) << 8) |
+         (static_cast<std::uint32_t>(t.data[2]) << 16) |
+         (static_cast<std::uint32_t>(t.data[3]) << 24);
+}
+
 /// Score record carried by the Last transaction's payload.
 struct BtScoreRecord {
   bool success = false;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/ecc.hpp"
 
 namespace wfasic::hw {
 
@@ -71,6 +72,22 @@ class WavefrontRamMapping {
       rounds = std::max(rounds, (demand[ram] + ports - 1) / ports);
     }
     return rounds;
+  }
+
+  /// Storage bits for one wavefront window of `rows_per_ram` words per
+  /// column over `columns` columns of `word_bits`-bit cells, across all P
+  /// RAMs (plus the duplicated edge RAMs). With `ecc`, every word carries
+  /// the SECDED side-band byte — the area model's cost of protecting the
+  /// wavefront RAMs (docs/RELIABILITY.md).
+  [[nodiscard]] std::uint64_t storage_bits(std::size_t rows_per_ram,
+                                           unsigned columns,
+                                           unsigned word_bits,
+                                           bool ecc) const {
+    const std::uint64_t rams =
+        static_cast<std::uint64_t>(p_) + (duplicated_ ? 2 : 0);
+    const std::uint64_t per_word =
+        word_bits + (ecc ? ecc::kSecdedCheckBitsPerWord : 0);
+    return rams * rows_per_ram * columns * per_word;
   }
 
   /// The rows a compute batch starting at aligned row `base` must read

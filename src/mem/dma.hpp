@@ -39,7 +39,11 @@ class Dma final : public sim::Component {
     burst_beats_done_ = 0;
     latency_left_ = read_beats_left_ > 0 ? timing_.read_latency : 0;
     bus_error_ = false;
+    ecc_fault_ = false;
     duplicate_pending_ = false;
+    // Drain any uncorrectable sticky flag a host-side read left behind so
+    // it cannot mis-attribute to this stream's first beat.
+    (void)memory_.take_uncorrectable();
   }
 
   /// Sets the base address results are written to.
@@ -62,6 +66,10 @@ class Dma final : public sim::Component {
 
   [[nodiscard]] bool read_done() const { return read_beats_left_ == 0; }
   [[nodiscard]] bool bus_error() const { return bus_error_; }
+  /// An uncorrectable ECC granule was hit by a read beat: the stream is
+  /// dead (the data cannot be trusted) and the Accelerator surfaces
+  /// kErrEccUnc.
+  [[nodiscard]] bool ecc_fault() const { return ecc_fault_; }
   [[nodiscard]] std::uint64_t write_ptr() const { return write_ptr_; }
 
   [[nodiscard]] std::uint64_t beats_read() const { return beats_read_; }
@@ -100,9 +108,21 @@ class Dma final : public sim::Component {
     // Write side first: posted writes drain the Output FIFO at one beat per
     // cycle so backtrace traffic never deadlocks the Aligners.
     if (!output_fifo_.empty()) {
-      const Beat beat = output_fifo_.pop();
-      memory_.write(write_ptr_, std::span<const std::uint8_t>(
-                                    beat.data.data(), kBeatBytes));
+      Beat beat = output_fifo_.pop();
+      sim::DmaBeatFault wfault;
+      if (injector_ != nullptr) {
+        wfault = injector_->dma_write_beat_fault(beats_written_);
+      }
+      if (wfault.corrupt_mask != 0) {
+        beat.data[wfault.corrupt_byte] ^= wfault.corrupt_mask;
+      }
+      if (!wfault.drop) {
+        // A dropped beat leaves the previous contents of this output slot
+        // in place; the stream pointer still advances (the bus lost the
+        // beat, the engine did not).
+        memory_.write(write_ptr_, std::span<const std::uint8_t>(
+                                      beat.data.data(), kBeatBytes));
+      }
       write_ptr_ += kBeatBytes;
       ++beats_written_;
       port_used = true;
@@ -145,6 +165,14 @@ class Dma final : public sim::Component {
     Beat beat;
     memory_.read(read_ptr_,
                  std::span<std::uint8_t>(beat.data.data(), kBeatBytes));
+    if (memory_.ecc_enabled() && memory_.take_uncorrectable()) {
+      // The granule under this beat is unrecoverably corrupt: poisoning
+      // the response and killing the stream models the controller's
+      // uncorrectable-error slave response.
+      ecc_fault_ = true;
+      read_beats_left_ = 0;
+      return;
+    }
     if (fault.corrupt_mask != 0) {
       beat.data[fault.corrupt_byte] ^= fault.corrupt_mask;
     }
@@ -178,6 +206,7 @@ class Dma final : public sim::Component {
   unsigned latency_left_ = 0;
   std::uint64_t write_ptr_ = 0;
   bool bus_error_ = false;
+  bool ecc_fault_ = false;
   bool duplicate_pending_ = false;
   Beat duplicate_beat_;
 

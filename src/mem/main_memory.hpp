@@ -1,14 +1,23 @@
 // Off-chip main memory model: a flat byte-addressable store with bounds
 // checking and little-endian word helpers. Timing lives in the DMA/AXI
 // models, not here.
+//
+// Optional SECDED ECC (enable_ecc): every 8-byte granule carries a
+// side-band check byte. Reads scrub — a single flipped bit is corrected in
+// place and counted; a double flip is left as-is, counted, and latched in
+// a sticky uncorrectable flag the DMA polls per beat (see
+// docs/RELIABILITY.md). ECC is off by default so the fault-free byte store
+// behaves exactly as before.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/ecc.hpp"
 
 namespace wfasic::mem {
 
@@ -21,25 +30,30 @@ class MainMemory {
   void write(std::uint64_t addr, std::span<const std::uint8_t> data) {
     WFASIC_REQUIRE(in_range(addr, data.size()), "MainMemory::write OOB");
     std::memcpy(bytes_.data() + addr, data.data(), data.size());
+    if (ecc_) refresh_checks(addr, data.size());
   }
 
   void read(std::uint64_t addr, std::span<std::uint8_t> out) const {
     WFASIC_REQUIRE(in_range(addr, out.size()), "MainMemory::read OOB");
+    if (ecc_) scrub_range(addr, out.size());
     std::memcpy(out.data(), bytes_.data() + addr, out.size());
   }
 
   [[nodiscard]] std::uint8_t read_u8(std::uint64_t addr) const {
     WFASIC_REQUIRE(in_range(addr, 1), "MainMemory::read_u8 OOB");
+    if (ecc_) scrub_range(addr, 1);
     return bytes_[addr];
   }
 
   void write_u8(std::uint64_t addr, std::uint8_t value) {
     WFASIC_REQUIRE(in_range(addr, 1), "MainMemory::write_u8 OOB");
     bytes_[addr] = value;
+    if (ecc_) refresh_checks(addr, 1);
   }
 
   /// Fault-injection hook: flips one bit in place (models a DRAM upset in
-  /// the input/output regions). bit must be 0..7.
+  /// the input/output regions). bit must be 0..7. Deliberately does NOT
+  /// refresh the ECC check byte — that is the whole point of the fault.
   void flip_bit(std::uint64_t addr, unsigned bit) {
     WFASIC_REQUIRE(in_range(addr, 1) && bit < 8, "MainMemory::flip_bit OOB");
     bytes_[addr] ^= static_cast<std::uint8_t>(1u << bit);
@@ -67,12 +81,94 @@ class MainMemory {
                     reinterpret_cast<const std::uint8_t*>(&value), 8));
   }
 
+  /// Turn on SECDED protection: builds check bytes over the current
+  /// contents. Idempotent.
+  void enable_ecc() {
+    if (ecc_) return;
+    ecc_ = true;
+    check_.assign((bytes_.size() + kGranule - 1) / kGranule, 0);
+    for (std::size_t g = 0; g < check_.size(); ++g) {
+      check_[g] = ecc::secded_encode(granule_word(g));
+    }
+  }
+
+  [[nodiscard]] bool ecc_enabled() const { return ecc_; }
+
+  /// Total single-bit corrections performed by read scrubbing.
+  [[nodiscard]] std::uint64_t ecc_corrected() const { return ecc_corrected_; }
+
+  /// Total uncorrectable (double-bit) granules observed by reads.
+  [[nodiscard]] std::uint64_t ecc_uncorrectable() const {
+    return ecc_uncorrectable_;
+  }
+
+  /// Sticky flag: set when any read since the last call touched an
+  /// uncorrectable granule. Consuming it clears it — the DMA polls this
+  /// after every beat so the error attributes to the stream that read it.
+  [[nodiscard]] bool take_uncorrectable() const {
+    const bool pending = pending_uncorrectable_;
+    pending_uncorrectable_ = false;
+    return pending;
+  }
+
  private:
+  static constexpr std::size_t kGranule = 8;
+
   [[nodiscard]] bool in_range(std::uint64_t addr, std::size_t len) const {
     return addr <= bytes_.size() && len <= bytes_.size() - addr;
   }
 
-  std::vector<std::uint8_t> bytes_;
+  [[nodiscard]] std::uint64_t granule_word(std::size_t g) const {
+    const std::size_t base = g * kGranule;
+    const std::size_t len = std::min(kGranule, bytes_.size() - base);
+    std::uint64_t word = 0;
+    std::memcpy(&word, bytes_.data() + base, len);
+    return word;
+  }
+
+  void store_granule(std::size_t g, std::uint64_t word) const {
+    const std::size_t base = g * kGranule;
+    const std::size_t len = std::min(kGranule, bytes_.size() - base);
+    std::memcpy(bytes_.data() + base, &word, len);
+  }
+
+  void refresh_checks(std::uint64_t addr, std::size_t len) {
+    const std::size_t first = addr / kGranule;
+    const std::size_t last = (addr + len - 1) / kGranule;
+    for (std::size_t g = first; g <= last; ++g) {
+      check_[g] = ecc::secded_encode(granule_word(g));
+    }
+  }
+
+  // Scrub-on-read is logically const: it repairs storage, it does not
+  // change the observable (corrected) contents. Hence the mutable store.
+  void scrub_range(std::uint64_t addr, std::size_t len) const {
+    const std::size_t first = addr / kGranule;
+    const std::size_t last = (addr + len - 1) / kGranule;
+    for (std::size_t g = first; g <= last; ++g) {
+      const ecc::EccDecode decode =
+          ecc::secded_decode(granule_word(g), check_[g]);
+      switch (decode.state) {
+        case ecc::EccState::kClean:
+          break;
+        case ecc::EccState::kCorrected:
+          store_granule(g, decode.data);
+          ++ecc_corrected_;
+          break;
+        case ecc::EccState::kUncorrectable:
+          ++ecc_uncorrectable_;
+          pending_uncorrectable_ = true;
+          break;
+      }
+    }
+  }
+
+  mutable std::vector<std::uint8_t> bytes_;
+  mutable std::vector<std::uint8_t> check_;
+  bool ecc_ = false;
+  mutable std::uint64_t ecc_corrected_ = 0;
+  mutable std::uint64_t ecc_uncorrectable_ = 0;
+  mutable bool pending_uncorrectable_ = false;
 };
 
 }  // namespace wfasic::mem

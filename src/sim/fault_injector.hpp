@@ -14,7 +14,16 @@
 //  - kBeatCorrupt:    in-flight bit flip on a DMA read beat's payload;
 //  - kFifoStall:      a FIFO's ready deasserts for a window of cycles
 //                     (duration 0 = forever: a hard hang the watchdog must
-//                     catch).
+//                     catch);
+//  - kRamBitFlip:     flip one bit (or an adjacent pair, bits = 2) of a
+//                     live wavefront-RAM cell inside an Aligner at a cycle
+//                     (models an SRAM upset; SECDED corrects singles,
+//                     detects doubles);
+//  - kWriteBeatCorrupt: in-flight bit flip on a DMA *write* beat's payload
+//                     (result path corruption — only the CRC footer can
+//                     catch it);
+//  - kWriteBeatDrop:  a DMA write beat is lost on the bus (the output
+//                     window keeps its previous contents at that slot).
 //
 // The injector is passive: the Accelerator drives set_now() once per cycle
 // and asks for due events; the DMA and FIFOs consult it through narrow
@@ -38,6 +47,9 @@ enum class FaultClass : std::uint8_t {
   kDuplicateBeat,
   kBeatCorrupt,
   kFifoStall,
+  kRamBitFlip,
+  kWriteBeatCorrupt,
+  kWriteBeatDrop,
 };
 
 /// Which FIFO a kFifoStall event throttles.
@@ -48,10 +60,15 @@ enum class FaultFifo : std::uint8_t { kInput, kOutput };
 /// that read beat index, regardless of when that happens.
 struct FaultEvent {
   FaultClass cls = FaultClass::kMemBitFlip;
-  cycle_t at = 0;            ///< kMemBitFlip / kFifoStall activation cycle
-  std::uint64_t addr = 0;    ///< kMemBitFlip: byte address
-  std::uint64_t beat = 0;    ///< beat-keyed classes: DMA read beat index
-  unsigned bit = 0;          ///< bit index for flips (0..7)
+  cycle_t at = 0;            ///< cycle-keyed classes: activation cycle
+  std::uint64_t addr = 0;    ///< kMemBitFlip: byte address;
+                             ///< kRamBitFlip: row selector (mod row count)
+  std::uint64_t beat = 0;    ///< beat-keyed classes: DMA beat index (read
+                             ///< or write path per class); kRamBitFlip:
+                             ///< target aligner ordinal (mod aligner count)
+  unsigned bit = 0;          ///< bit index for flips
+  unsigned bits = 1;         ///< flipped bits (2 = adjacent double flip,
+                             ///< uncorrectable under SECDED)
   unsigned duration = 0;     ///< kFifoStall: cycles; 0 = stalled forever
   FaultFifo fifo = FaultFifo::kInput;
   bool fired = false;        ///< set once the event has been applied
@@ -85,6 +102,15 @@ class FaultInjector {
     unsigned beat_corruptions = 0;
     unsigned fifo_stalls = 0;
     unsigned stall_cycles = 64;    ///< duration of each transient stall
+    // PR 4 classes. Drawn after the ones above so campaigns from earlier
+    // seeds replay bit-identically when these stay zero.
+    unsigned mem_double_flips = 0;       ///< kMemBitFlip with bits = 2
+    unsigned ram_bit_flips = 0;          ///< kRamBitFlip (single bit)
+    unsigned ram_double_flips = 0;       ///< kRamBitFlip with bits = 2
+    unsigned write_beat_corruptions = 0; ///< kWriteBeatCorrupt
+    unsigned write_beat_drops = 0;       ///< kWriteBeatDrop
+    std::uint64_t ram_row_window = 4096; ///< kRamBitFlip row selector range
+    unsigned ram_targets = 16;           ///< kRamBitFlip aligner draw range
   };
 
   FaultInjector() = default;
@@ -145,6 +171,44 @@ class FaultInjector {
       ev.fifo = prng.next_bool(0.5) ? FaultFifo::kInput : FaultFifo::kOutput;
       injector.schedule(ev);
     }
+    for (unsigned i = 0; i < cfg.mem_double_flips; ++i) {
+      WFASIC_REQUIRE(cfg.mem_end > cfg.mem_begin,
+                     "FaultInjector: bit-flip campaign needs a memory region");
+      FaultEvent ev;
+      ev.cls = FaultClass::kMemBitFlip;
+      ev.at = draw_cycle();
+      ev.addr =
+          cfg.mem_begin + prng.next_below(cfg.mem_end - cfg.mem_begin);
+      ev.bit = static_cast<unsigned>(prng.next_below(7));
+      ev.bits = 2;  // adjacent pair: uncorrectable under SECDED
+      injector.schedule(ev);
+    }
+    const auto draw_ram_flip = [&](unsigned bits) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kRamBitFlip;
+      ev.at = draw_cycle();
+      ev.addr = prng.next_below(cfg.ram_row_window);
+      ev.beat = prng.next_below(cfg.ram_targets);
+      // One wavefront cell = three 32-bit words (M, I, D).
+      ev.bit = static_cast<unsigned>(prng.next_below(bits == 2 ? 95 : 96));
+      ev.bits = bits;
+      injector.schedule(ev);
+    };
+    for (unsigned i = 0; i < cfg.ram_bit_flips; ++i) draw_ram_flip(1);
+    for (unsigned i = 0; i < cfg.ram_double_flips; ++i) draw_ram_flip(2);
+    for (unsigned i = 0; i < cfg.write_beat_corruptions; ++i) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kWriteBeatCorrupt;
+      ev.beat = draw_beat();
+      ev.bit = static_cast<unsigned>(prng.next_below(128));
+      injector.schedule(ev);
+    }
+    for (unsigned i = 0; i < cfg.write_beat_drops; ++i) {
+      FaultEvent ev;
+      ev.cls = FaultClass::kWriteBeatDrop;
+      ev.beat = draw_beat();
+      injector.schedule(ev);
+    }
     return injector;
   }
 
@@ -165,17 +229,47 @@ class FaultInjector {
   void set_now(cycle_t now) { now_ = now; }
   [[nodiscard]] cycle_t now() const { return now_; }
 
+  /// A due main-memory upset: flip `bits` adjacent bits starting at `bit`
+  /// of the byte at `addr` (bits = 2 defeats SECDED correction).
+  struct MemFlip {
+    std::uint64_t addr = 0;
+    unsigned bit = 0;
+    unsigned bits = 1;
+  };
+
+  /// A due wavefront-RAM upset inside aligner `target` (mod the actual
+  /// aligner count): `row` selects the cell (mod the live row count), and
+  /// `bit` indexes into the cell's 96-bit (M, I, D) word group.
+  struct RamFlip {
+    std::uint64_t target = 0;
+    std::uint64_t row = 0;
+    unsigned bit = 0;
+    bool double_bit = false;
+  };
+
   /// Memory bit flips whose cycle has arrived. Each is returned once
   /// (marked fired); the caller applies them to its memory model.
-  [[nodiscard]] std::vector<std::pair<std::uint64_t, unsigned>>
-  due_memory_flips() {
-    std::vector<std::pair<std::uint64_t, unsigned>> due;
+  [[nodiscard]] std::vector<MemFlip> due_memory_flips() {
+    std::vector<MemFlip> due;
     for (FaultEvent& ev : events_) {
       if (ev.cls != FaultClass::kMemBitFlip || ev.fired || ev.at > now_) {
         continue;
       }
       ev.fired = true;
-      due.emplace_back(ev.addr, ev.bit);
+      due.push_back({ev.addr, ev.bit, ev.bits});
+    }
+    return due;
+  }
+
+  /// Wavefront-RAM flips whose cycle has arrived; returned once each.
+  [[nodiscard]] std::vector<RamFlip> due_ram_flips() {
+    std::vector<RamFlip> due;
+    for (FaultEvent& ev : events_) {
+      if (ev.cls != FaultClass::kRamBitFlip || ev.fired || ev.at > now_) {
+        continue;
+      }
+      ev.fired = true;
+      due.push_back({ev.beat, ev.addr, ev.bit, ev.bits >= 2});
     }
     return due;
   }
@@ -202,6 +296,28 @@ class FaultInjector {
           break;
         default:
           continue;  // cycle-keyed classes are not beat faults
+      }
+      ev.fired = true;
+    }
+    return fault;
+  }
+
+  /// Consulted by the DMA as it commits write beat `beat_index` (a running
+  /// count of beats written). Consumes matching write-path events.
+  [[nodiscard]] DmaBeatFault dma_write_beat_fault(std::uint64_t beat_index) {
+    DmaBeatFault fault;
+    for (FaultEvent& ev : events_) {
+      if (ev.fired || ev.beat != beat_index) continue;
+      switch (ev.cls) {
+        case FaultClass::kWriteBeatDrop:
+          fault.drop = true;
+          break;
+        case FaultClass::kWriteBeatCorrupt:
+          fault.corrupt_byte = (ev.bit / 8) % 16;
+          fault.corrupt_mask = static_cast<std::uint8_t>(1u << (ev.bit % 8));
+          break;
+        default:
+          continue;  // read-path and cycle-keyed classes
       }
       ev.fired = true;
     }

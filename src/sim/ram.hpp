@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/ecc.hpp"
 #include "sim/scheduler.hpp"
 
 namespace wfasic::sim {
@@ -30,6 +33,7 @@ class DualPortRam {
   [[nodiscard]] Word read(std::size_t addr) const {
     WFASIC_REQUIRE(addr < words_.size(), "DualPortRam::read out of range");
     ++reads_;
+    if (ecc_) scrub(addr);
     return words_[addr];
   }
 
@@ -37,27 +41,102 @@ class DualPortRam {
     WFASIC_REQUIRE(addr < words_.size(), "DualPortRam::write out of range");
     ++writes_;
     words_[addr] = value;
+    if (ecc_) check_[addr] = ecc::secded_encode(word_image(addr));
   }
 
   void fill(Word value) {
     for (Word& w : words_) w = value;
+    if (ecc_) refresh_checks();
   }
   void reset() { fill(init_); }
 
   [[nodiscard]] std::uint64_t reads() const { return reads_; }
   [[nodiscard]] std::uint64_t writes() const { return writes_; }
 
-  /// Storage bits (for the ASIC area model).
+  /// Turn on per-word SECDED check bytes over the current contents.
+  /// Idempotent; requires a word type that fits the 64-bit codec.
+  void enable_ecc() {
+    static_assert(sizeof(Word) <= 8 && std::is_trivially_copyable_v<Word>,
+                  "DualPortRam ECC models words up to 64 bits");
+    if (ecc_) return;
+    ecc_ = true;
+    check_.assign(words_.size(), 0);
+    refresh_checks();
+  }
+
+  [[nodiscard]] bool ecc_enabled() const { return ecc_; }
+
+  /// Fault-injection hook: flips one bit of a word's stored image without
+  /// touching its check byte (an SRAM upset).
+  void corrupt_bit(std::size_t addr, unsigned bit) {
+    WFASIC_REQUIRE(addr < words_.size() && bit < sizeof(Word) * 8,
+                   "DualPortRam::corrupt_bit out of range");
+    auto* bytes = reinterpret_cast<std::uint8_t*>(&words_[addr]);
+    bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+
+  [[nodiscard]] std::uint64_t ecc_corrected() const { return ecc_corrected_; }
+  [[nodiscard]] std::uint64_t ecc_uncorrectable() const {
+    return ecc_uncorrectable_;
+  }
+
+  /// Sticky uncorrectable-read flag; consuming it clears it.
+  [[nodiscard]] bool take_uncorrectable() const {
+    const bool pending = pending_uncorrectable_;
+    pending_uncorrectable_ = false;
+    return pending;
+  }
+
+  /// Storage bits (for the ASIC area model), side-band check bits
+  /// included when ECC is on.
   [[nodiscard]] std::uint64_t bits() const {
-    return static_cast<std::uint64_t>(words_.size()) * sizeof(Word) * 8;
+    const std::uint64_t per_word =
+        sizeof(Word) * 8 + (ecc_ ? ecc::kSecdedCheckBitsPerWord : 0);
+    return static_cast<std::uint64_t>(words_.size()) * per_word;
   }
 
  private:
+  [[nodiscard]] std::uint64_t word_image(std::size_t addr) const {
+    std::uint64_t image = 0;
+    std::memcpy(&image, &words_[addr], sizeof(Word));
+    return image;
+  }
+
+  void refresh_checks() {
+    for (std::size_t addr = 0; addr < words_.size(); ++addr) {
+      check_[addr] = ecc::secded_encode(word_image(addr));
+    }
+  }
+
+  // Scrub-on-read repairs storage without changing the observable
+  // (corrected) contents, hence logically const.
+  void scrub(std::size_t addr) const {
+    const ecc::EccDecode decode =
+        ecc::secded_decode(word_image(addr), check_[addr]);
+    switch (decode.state) {
+      case ecc::EccState::kClean:
+        break;
+      case ecc::EccState::kCorrected:
+        std::memcpy(&words_[addr], &decode.data, sizeof(Word));
+        ++ecc_corrected_;
+        break;
+      case ecc::EccState::kUncorrectable:
+        ++ecc_uncorrectable_;
+        pending_uncorrectable_ = true;
+        break;
+    }
+  }
+
   std::string name_;
-  std::vector<Word> words_;
+  mutable std::vector<Word> words_;
   Word init_;
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  bool ecc_ = false;
+  mutable std::vector<std::uint8_t> check_;
+  mutable std::uint64_t ecc_corrected_ = 0;
+  mutable std::uint64_t ecc_uncorrectable_ = 0;
+  mutable bool pending_uncorrectable_ = false;
 };
 
 /// Single-port RAM wrapped to look dual-ported (§4.6): a read and a write

@@ -3,8 +3,18 @@
 # simulator — by default many times over with GTEST_RANDOM-independent,
 # fully deterministic schedules, so a red run is always replayable.
 #
+# Three layers, any failure exits non-zero (set -e):
+#   1. the seeded single-fault + campaign regression tests (read path,
+#      RAM upsets, write path, decode robustness), repeated to catch
+#      nondeterminism or state leakage between runs;
+#   2. the engine health-management tests (quarantine, re-admission,
+#      retirement, software degradation — deterministic across replays);
+#   3. the mixed-class escape campaign: wfasic-fault-campaign runs every
+#      fault class at once against a K-device engine with ECC + CRC on
+#      and exits non-zero on any silent corruption or unresolved pair.
+#
 # Usage:
-#   tools/run_fault_campaign.sh [build-dir] [repeats]
+#   tools/run_fault_campaign.sh [build-dir] [repeats] [seeds]
 #
 #   build-dir  CMake build tree (default: build). Configure one first:
 #                cmake -B build -S . && cmake --build build -j
@@ -14,19 +24,31 @@
 #              Each repeat replays the same seeded schedules; combined with
 #              the determinism tests this catches any nondeterminism or
 #              state leakage between runs.
+#   seeds      Seeds for the mixed escape campaign (default: 200, K=4).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 REPEATS="${2:-100}"
+SEEDS="${3:-200}"
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   echo "error: build dir '${BUILD_DIR}' not found; run cmake first" >&2
   exit 1
 fi
 
-cmake --build "${BUILD_DIR}" -j --target test_fault_injection test_system
+cmake --build "${BUILD_DIR}" -j --target \
+  test_fault_injection test_system test_data_integrity test_decode_fuzz \
+  test_health wfasic-fault-campaign
 
 echo "== fault campaign: ${REPEATS} repeats =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R 'FaultInjection|DriverTimeout|DecodeNbt' \
+  -R 'FaultInjection|DriverTimeout|DecodeNbt|RamEcc|WriteFaults|InputCrc|ResultCrc|MixedCampaign|DecodeFuzz|StreamFuzz|ErrRegs' \
   --repeat until-fail:"${REPEATS}"
+
+echo "== health management: quarantine / re-admission determinism =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'HealthMonitor|Health\.' \
+  --repeat until-fail:"${REPEATS}"
+
+echo "== mixed escape campaign: ${SEEDS} seeds, K=4, ECC+CRC on =="
+"${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 4

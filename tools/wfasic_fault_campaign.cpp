@@ -1,0 +1,166 @@
+// Mixed fault campaign driver (docs/RELIABILITY.md §5): every fault class
+// at once — memory/RAM single and double bit flips, AXI read errors,
+// dropped/duplicated/corrupted read beats, write-beat corruption and
+// drops, FIFO stalls — against a K-device engine with ECC and CRC on,
+// across many seeds.
+//
+// For every seed the resilient run's merged results are compared against
+// the fault-free software reference. Any divergence on a resolved pair is
+// a SILENT CORRUPTION (an escape: a fault survived ECC, CRC and the
+// verify layer and reached the caller as a plausible result); any
+// unresolved pair is a completion failure. Either makes the tool exit
+// non-zero, which is what tools/run_fault_campaign.sh and CI gate on.
+//
+// Usage: wfasic-fault-campaign [seeds] [devices] [pairs] [read_len]
+//   defaults: 200 seeds, K=4 devices, 12 pairs of ~130 bp per seed.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/wfa.hpp"
+#include "engine/engine.hpp"
+#include "gen/seqgen.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace {
+
+struct Options {
+  std::uint64_t seeds = 200;
+  unsigned devices = 4;
+  std::size_t pairs = 12;
+  std::size_t read_len = 130;
+};
+
+wfasic::sim::FaultInjector::CampaignConfig mixed_campaign(
+    const wfasic::engine::EngineConfig& cfg) {
+  wfasic::sim::FaultInjector::CampaignConfig campaign;
+  campaign.mem_begin = cfg.device.in_addr;
+  campaign.mem_end = cfg.device.in_addr + 16'384;
+  campaign.mem_bit_flips = 2;
+  campaign.mem_double_flips = 1;
+  campaign.axi_errors = 1;
+  campaign.dropped_beats = 1;
+  campaign.beat_corruptions = 1;
+  campaign.ram_bit_flips = 2;
+  campaign.ram_double_flips = 1;
+  campaign.write_beat_corruptions = 1;
+  campaign.write_beat_drops = 1;
+  return campaign;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (argc > 1) opt.seeds = std::strtoull(argv[1], nullptr, 10);
+  if (argc > 2) opt.devices = static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
+  if (argc > 3) opt.pairs = std::strtoull(argv[3], nullptr, 10);
+  if (argc > 4) opt.read_len = std::strtoull(argv[4], nullptr, 10);
+
+  using namespace wfasic;
+
+  const auto pairs = gen::generate_input_set(
+      {opt.read_len, 0.1, opt.pairs, /*seed=*/0xFA57});
+
+  // Fault-free software reference (scores + CIGARs).
+  core::WfaConfig ref_cfg;
+  ref_cfg.traceback = core::Traceback::kEnabled;
+  ref_cfg.extend = core::ExtendMode::kScalar;
+  core::WfaAligner ref(ref_cfg);
+  std::vector<core::AlignResult> expected;
+  expected.reserve(pairs.size());
+  for (const auto& pair : pairs) expected.push_back(ref.align(pair.a, pair.b));
+
+  std::uint64_t escapes = 0;
+  std::uint64_t incompletes = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t quarantines = 0;
+  std::uint64_t retirements = 0;
+  std::uint64_t cpu_fallbacks = 0;
+  std::uint64_t launches = 0;
+
+  for (std::uint64_t seed = 1; seed <= opt.seeds; ++seed) {
+    engine::EngineConfig cfg;
+    cfg.num_devices = opt.devices;
+    cfg.device.watchdog = 20'000;
+    cfg.device.accel.ecc = true;
+    cfg.device.accel.crc = true;
+
+    engine::Engine engine(cfg);
+    std::vector<sim::FaultInjector> injectors;
+    injectors.reserve(opt.devices);
+    for (unsigned dev = 0; dev < opt.devices; ++dev) {
+      injectors.push_back(sim::FaultInjector::make_campaign(
+          seed * 1000 + dev, mixed_campaign(cfg)));
+    }
+    for (unsigned dev = 0; dev < opt.devices; ++dev) {
+      engine.device(dev).attach_fault_injector(&injectors[dev]);
+    }
+
+    engine::Engine::ResilientConfig rc;
+    rc.launch_cycle_budget = 2'000'000;
+    const engine::Engine::ResilientReport report =
+        engine.run_resilient(pairs, rc);
+
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      if (!report.outcomes[i].resolved) {
+        ++incompletes;
+        std::fprintf(stderr, "seed %llu pair %zu: UNRESOLVED\n",
+                     static_cast<unsigned long long>(seed), i);
+        continue;
+      }
+      const bool score_ok =
+          report.outcomes[i].result.score == expected[i].score;
+      const bool cigar_ok =
+          report.outcomes[i].result.cigar.rle() == expected[i].cigar.rle();
+      if (!score_ok || !cigar_ok) {
+        ++escapes;
+        std::fprintf(
+            stderr,
+            "seed %llu pair %zu: SILENT CORRUPTION (score %d vs %d)\n",
+            static_cast<unsigned long long>(seed), i,
+            report.outcomes[i].result.score, expected[i].score);
+      }
+    }
+
+    for (const sim::FaultInjector& injector : injectors) {
+      faults_fired += injector.fired_count();
+    }
+    for (unsigned dev = 0; dev < opt.devices; ++dev) {
+      const engine::DeviceScoreboard& board = engine.health().board(dev);
+      quarantines += board.quarantines;
+      if (board.health == engine::DeviceHealth::kRetired) ++retirements;
+    }
+    cpu_fallbacks += report.cpu_fallbacks;
+    launches += report.launches;
+  }
+
+  std::printf(
+      "fault campaign: %llu seeds x K=%u devices, ECC+CRC on\n"
+      "  faults fired:      %llu\n"
+      "  launches:          %llu\n"
+      "  cpu fallbacks:     %llu\n"
+      "  quarantines:       %llu\n"
+      "  retirements:       %llu\n"
+      "  unresolved pairs:  %llu\n"
+      "  silent corruptions: %llu\n",
+      static_cast<unsigned long long>(opt.seeds), opt.devices,
+      static_cast<unsigned long long>(faults_fired),
+      static_cast<unsigned long long>(launches),
+      static_cast<unsigned long long>(cpu_fallbacks),
+      static_cast<unsigned long long>(quarantines),
+      static_cast<unsigned long long>(retirements),
+      static_cast<unsigned long long>(incompletes),
+      static_cast<unsigned long long>(escapes));
+
+  if (escapes != 0 || incompletes != 0) {
+    std::fprintf(stderr, "FAIL: %llu escapes, %llu unresolved\n",
+                 static_cast<unsigned long long>(escapes),
+                 static_cast<unsigned long long>(incompletes));
+    return 1;
+  }
+  std::puts("PASS: zero silent corruptions, every pair resolved");
+  return 0;
+}
