@@ -12,6 +12,7 @@
 
 #include "core/wfa.hpp"
 #include "cpu/cpu_model.hpp"
+#include "engine/metrics.hpp"
 #include "gen/seqgen.hpp"
 #include "soc/soc.hpp"
 
@@ -164,6 +165,42 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
+
+/// Adds an EngineMetrics export to a BenchReport under `prefix`_* keys
+/// (docs/OBSERVABILITY.md §4). The keys are informational — they are new
+/// relative to the checked-in baselines, and tools/bench_compare.py
+/// reports candidate-only keys without failing — so regression gating on
+/// the existing cycle/ratio metrics is unchanged.
+inline void report_engine_metrics(BenchReport& report,
+                                  const engine::EngineMetrics& metrics,
+                                  const std::string& prefix) {
+  report.metric(prefix + "_submits", static_cast<double>(metrics.submits));
+  report.metric(prefix + "_completions",
+                static_cast<double>(metrics.completions));
+  report.metric(prefix + "_inflight_high_water",
+                static_cast<double>(metrics.in_flight_high_water));
+  report.metric(prefix + "_latency_mean_cycles", metrics.latency.mean());
+  report.metric(prefix + "_latency_min_cycles",
+                static_cast<double>(metrics.latency.min));
+  report.metric(prefix + "_latency_max_cycles",
+                static_cast<double>(metrics.latency.max));
+  report.metric(prefix + "_health_transitions",
+                static_cast<double>(metrics.health_transitions.size()));
+  // Per-lane accounting: devices 0..K-1, then the software backend.
+  for (std::size_t d = 0; d < metrics.devices.size(); ++d) {
+    const engine::DeviceMetrics& dm = metrics.devices[d];
+    const std::string lane = d + 1 < metrics.devices.size()
+                                 ? prefix + "_dev" + std::to_string(d)
+                                 : prefix + "_sw";
+    report.metric(lane + "_jobs", static_cast<double>(dm.jobs_completed));
+    report.metric(lane + "_failures", static_cast<double>(dm.jobs_failed));
+    report.metric(lane + "_busy_cycles",
+                  static_cast<double>(dm.busy_cycles));
+    report.metric(lane + "_utilization", dm.utilization());
+    report.metric(lane + "_queue_high_water",
+                  static_cast<double>(dm.queue_depth_high_water));
+  }
+}
 
 inline void print_rule(int width) {
   for (int i = 0; i < width; ++i) std::putchar('-');

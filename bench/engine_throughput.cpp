@@ -121,7 +121,15 @@ int main(int argc, char** argv) {
   const engine::BatchResult ref = run_devices(4, false, /*idle_skip=*/false);
   const std::uint64_t wall_ns_reference = t_ref.elapsed_ns();
   WallTimer t_fast;
-  const engine::BatchResult fast = run_devices(4, false, /*idle_skip=*/true);
+  // The fast run keeps its engine alive so the observability export below
+  // can read per-device utilization and latency from it.
+  engine::EngineConfig fast_cfg = base;
+  fast_cfg.num_devices = 4;
+  fast_cfg.device.accel.idle_skip = true;
+  engine::Engine fast_eng(fast_cfg);
+  const engine::BatchResult fast =
+      fast_eng.run_dataset(pairs, batch_pairs, /*backtrace=*/false,
+                           /*separate_data=*/false);
   const std::uint64_t wall_ns_fast = t_fast.elapsed_ns();
   if (fast.pipeline_cycles != ref.pipeline_cycles ||
       fast.accel_cycles != ref.accel_cycles) {
@@ -151,6 +159,9 @@ int main(int argc, char** argv) {
   report.metric("wall_ns_fast", static_cast<double>(wall_ns_fast));
   report.metric("wall_ns_reference", static_cast<double>(wall_ns_reference));
   report.metric("wall_speedup", wall_speedup);
+  // Engine observability export (informational keys, not regression-gated;
+  // bench_compare.py reports candidate-only keys without failing).
+  report_engine_metrics(report, fast_eng.metrics(), "k4_nbt");
   if (!report.write()) ok = false;
 
   if (ok) {

@@ -1,0 +1,116 @@
+// Chrome trace-event JSON serialization for sim::TraceSink
+// (docs/OBSERVABILITY.md §3).
+//
+// Emits the "JSON object format" of the Trace Event spec — an object with a
+// `traceEvents` array — which chrome://tracing and Perfetto
+// (https://ui.perfetto.dev) both load directly. Simulated cycles are mapped
+// 1:1 onto the format's microsecond timestamps, so 1 us in the viewer is
+// one accelerator cycle. Each registered track is announced with a
+// thread_name metadata event so units show up by name.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace wfasic::common {
+
+namespace detail {
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes.
+/// Event/track names are ASCII identifiers today, but the writer must emit
+/// valid JSON for any input.
+inline void append_json_escaped(std::string& out, const std::string& in) {
+  for (const char c : in) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Serializes the sink's events as a Chrome trace-event JSON document.
+inline std::string to_chrome_trace_json(const sim::TraceSink& sink) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+
+  // Track-name metadata: pid 0 is the accelerator; tids are unit tracks.
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+         "\"args\":{\"name\":\"wfasic\"}}";
+  first = false;
+  for (std::uint32_t tid = 0; tid < sink.tracks().size(); ++tid) {
+    comma();
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":";
+    out += std::to_string(tid);
+    out += ",\"args\":{\"name\":\"";
+    detail::append_json_escaped(out, sink.tracks()[tid]);
+    out += "\"}}";
+  }
+
+  for (const sim::TraceEvent& ev : sink.events()) {
+    comma();
+    out += "{\"name\":\"";
+    detail::append_json_escaped(out, ev.name);
+    out += "\",\"cat\":\"";
+    detail::append_json_escaped(out, ev.cat);
+    out += "\",\"ph\":\"";
+    out += ev.ph;
+    out += "\",\"pid\":0,\"tid\":";
+    out += std::to_string(ev.track);
+    out += ",\"ts\":";
+    out += std::to_string(ev.ts);
+    if (ev.ph == 'X') {
+      out += ",\"dur\":";
+      out += std::to_string(ev.dur);
+    }
+    if (ev.ph == 'i') {
+      out += ",\"s\":\"t\"";  // instant scope: thread
+    }
+    if (ev.id != sim::TraceEvent::kNoId) {
+      out += ",\"args\":{\"id\":";
+      out += std::to_string(ev.id);
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+inline void write_chrome_trace(const sim::TraceSink& sink, std::ostream& os) {
+  os << to_chrome_trace_json(sink);
+}
+
+/// Writes the trace to `path`; returns false (without aborting) if the file
+/// cannot be opened — tracing failures must never kill an alignment run.
+inline bool write_chrome_trace_file(const sim::TraceSink& sink,
+                                    const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write_chrome_trace(sink, os);
+  return os.good();
+}
+
+}  // namespace wfasic::common

@@ -110,6 +110,10 @@ RunStatus Driver::classify(std::uint64_t cycles, bool completed) const {
   status.cycles = cycles;
   status.err_status = accelerator_.read_reg(hw::kRegErrStatus);
   status.err_count = accelerator_.read_reg(hw::kRegErrCount);
+  // Complete PMU snapshot on every path, error or clean: classify() is
+  // the only RunStatus producer, so no caller can return a stale or
+  // partial snapshot.
+  status.perf = read_perf_counters();
   if (!completed) {
     status.outcome = RunOutcome::kTimeout;
   } else if ((status.err_status & hw::kErrDma) != 0) {

@@ -66,6 +66,11 @@ struct RunStatus {
   std::uint64_t cycles = 0;      ///< cycles elapsed during the wait
   std::uint32_t err_status = 0;  ///< kRegErrStatus snapshot (hw::ErrBits)
   std::uint32_t err_count = 0;   ///< kRegErrCount snapshot (this run)
+  /// Full PMU snapshot taken when the run was classified. Every return
+  /// path — clean completion, watchdog, DMA abort, ECC-uncorrectable,
+  /// CRC, wait-budget timeout — carries it, because classify() is the
+  /// single producer (audited by tests/test_observability.cpp).
+  hw::PerfSnapshot perf;
 
   [[nodiscard]] bool ok() const { return outcome == RunOutcome::kOk; }
   /// The accelerator reached Idle and produced results (possibly with
@@ -115,6 +120,18 @@ class Driver {
   /// the datapath. Error registers survive for post-mortem reads.
   void soft_reset() {
     accelerator_.write_reg(hw::kRegCtrl, hw::kCtrlSoftReset);
+  }
+
+  /// Reads the whole PMU bank back through the kRegPerfBase register
+  /// window, 32 bits at a time, exactly as driver code on the SoC would.
+  [[nodiscard]] hw::PerfSnapshot read_perf_counters() const {
+    hw::PerfSnapshot snapshot;
+    for (std::uint32_t i = 0; i < hw::kNumPerfCounters; ++i) {
+      const std::uint64_t lo = accelerator_.read_reg(hw::perf_reg_lo(i));
+      const std::uint64_t hi = accelerator_.read_reg(hw::perf_reg_hi(i));
+      snapshot.set_counter(static_cast<hw::PerfIdx>(i), lo | (hi << 32));
+    }
+    return snapshot;
   }
 
   // --- Resilient batch execution --------------------------------------------

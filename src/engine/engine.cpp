@@ -88,6 +88,7 @@ Engine::Engine(const EngineConfig& cfg)
     devices_.push_back(std::make_unique<HwBackend>(cfg_.device));
   }
   local_to_engine_.resize(devices_.size() + 1);
+  metric_devices_.resize(devices_.size() + 1);
   init_health();
 }
 
@@ -104,6 +105,7 @@ Engine::Engine(const EngineConfig& cfg, mem::MainMemory& memory,
     devices_.push_back(std::make_unique<HwBackend>(cfg_.device));
   }
   local_to_engine_.resize(devices_.size() + 1);
+  metric_devices_.resize(devices_.size() + 1);
   init_health();
 }
 
@@ -205,6 +207,12 @@ JobHandle Engine::file_submission(unsigned backend_idx, JobHandle local) {
   tickets_.emplace(handle.value,
                    Ticket{backend_idx, local, next_seq_++});
   local_to_engine_[backend_idx].emplace(local.value, handle.value);
+  ++metric_submits_;
+  DeviceMetrics& dm = metric_devices_[backend_idx];
+  dm.queue_depth_high_water =
+      std::max(dm.queue_depth_high_water, backend(backend_idx).pending());
+  metric_inflight_high_water_ =
+      std::max(metric_inflight_high_water_, in_flight());
   return handle;
 }
 
@@ -230,6 +238,21 @@ bool Engine::poll_once() {
       const std::uint64_t engine_handle = it->second;
       map.erase(it);
       c.handle = JobHandle{engine_handle};
+      // Metrics: latency is the job's modelled cycle cost (encode + device
+      // + decode for hardware, the alignment cycles for software) — a
+      // deterministic function of the completion, not of host wall time.
+      const bool is_sw = idx == devices_.size();
+      DeviceMetrics& dm = metric_devices_[idx];
+      if (c.completed_run()) {
+        ++dm.jobs_completed;
+      } else {
+        ++dm.jobs_failed;
+      }
+      dm.busy_cycles += is_sw ? c.sw_align_cycles : c.accel_cycles;
+      metric_latency_.record(
+          is_sw ? c.sw_align_cycles
+                : c.encode_cycles + c.accel_cycles + c.decode_cycles);
+      ++metric_completions_;
       completed_.emplace(engine_handle, std::move(c));
     }
   };
@@ -245,6 +268,23 @@ bool Engine::poll() {
 
 std::size_t Engine::in_flight() const {
   return tickets_.size() - completed_.size();
+}
+
+EngineMetrics Engine::metrics() const {
+  EngineMetrics m;
+  m.devices = metric_devices_;
+  for (std::size_t d = 0; d < devices_.size(); ++d) {
+    m.devices[d].total_cycles = devices_[d]->accelerator().now();
+  }
+  // The software backend's clock only advances while it aligns (modelled
+  // CPU op cycles), so its lane is fully utilized over its own clock.
+  m.devices.back().total_cycles = m.devices.back().busy_cycles;
+  m.submits = metric_submits_;
+  m.completions = metric_completions_;
+  m.latency = metric_latency_;
+  m.in_flight_high_water = metric_inflight_high_water_;
+  m.health_transitions = health_.transitions();
+  return m;
 }
 
 std::optional<Completion> Engine::try_take(JobHandle handle) {

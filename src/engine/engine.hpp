@@ -30,6 +30,7 @@
 #include "engine/backend.hpp"
 #include "engine/health.hpp"
 #include "engine/hw_backend.hpp"
+#include "engine/metrics.hpp"
 #include "engine/sw_backend.hpp"
 #include "gen/seqgen.hpp"
 
@@ -128,6 +129,13 @@ class Engine {
   [[nodiscard]] SwBackend& software() { return software_; }
   [[nodiscard]] const EngineConfig& config() const { return cfg_; }
 
+  // --- Observability --------------------------------------------------------
+  /// Cumulative engine metrics (engine/metrics.hpp): per-backend job and
+  /// busy-cycle accounting, queue-depth and in-flight high-waters,
+  /// submit→complete latency histogram, health transition log. Purely
+  /// observational — reading it never perturbs scheduling or cycle counts.
+  [[nodiscard]] EngineMetrics metrics() const;
+
   // --- Device health --------------------------------------------------------
   /// Scoreboards, quarantine state and probe history (health.hpp).
   [[nodiscard]] const HealthMonitor& health() const { return health_; }
@@ -171,6 +179,14 @@ class Engine {
   /// Per backend (devices, then software): local handle -> engine handle.
   std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> local_to_engine_;
   std::unordered_map<std::uint64_t, Completion> completed_;
+
+  // Metrics accumulators (observational only; updated in file_submission
+  // and poll_once, never read by any scheduling decision).
+  std::vector<DeviceMetrics> metric_devices_;  ///< devices, then software
+  std::uint64_t metric_submits_ = 0;
+  std::uint64_t metric_completions_ = 0;
+  Log2Histogram metric_latency_;
+  std::size_t metric_inflight_high_water_ = 0;
 };
 
 }  // namespace wfasic::engine

@@ -57,6 +57,17 @@ struct HealthConfig {
   std::uint64_t probe_cycle_budget = 10'000'000;
 };
 
+/// One health-state change, appended to the monitor's transition log in
+/// the order it happened (observability: Engine::metrics() exports the
+/// log; deterministic because transitions are pure functions of the
+/// completion/probe sequence).
+struct HealthTransition {
+  unsigned device = 0;
+  DeviceHealth from = DeviceHealth::kHealthy;
+  DeviceHealth to = DeviceHealth::kHealthy;
+  std::uint64_t seq = 0;  ///< monotone event number across all devices
+};
+
 /// Per-device error accounting, exposed for tests and reports.
 struct DeviceScoreboard {
   DeviceHealth health = DeviceHealth::kHealthy;
@@ -113,6 +124,7 @@ class HealthMonitor {
     ++b.total_failures;
     if (!cfg_.enabled || b.health != DeviceHealth::kHealthy) return false;
     if (++b.consecutive_failures < cfg_.failure_threshold) return false;
+    log_transition(dev, b.health, DeviceHealth::kQuarantined);
     b.health = DeviceHealth::kQuarantined;
     ++b.quarantines;
     b.probes = 0;
@@ -131,19 +143,37 @@ class HealthMonitor {
     if (passed) {
       if (b.readmissions < cfg_.max_readmissions) {
         ++b.readmissions;
+        log_transition(dev, b.health, DeviceHealth::kHealthy);
         b.health = DeviceHealth::kHealthy;
         b.consecutive_failures = 0;
       } else {
+        log_transition(dev, b.health, DeviceHealth::kRetired);
         b.health = DeviceHealth::kRetired;
       }
       return;
     }
-    if (b.probes >= cfg_.probe_attempts) b.health = DeviceHealth::kRetired;
+    if (b.probes >= cfg_.probe_attempts) {
+      log_transition(dev, b.health, DeviceHealth::kRetired);
+      b.health = DeviceHealth::kRetired;
+    }
+  }
+
+  /// Every health-state change, in order (quarantines, readmissions,
+  /// retirements across all devices).
+  [[nodiscard]] const std::vector<HealthTransition>& transitions() const {
+    return transitions_;
   }
 
  private:
+  void log_transition(unsigned dev, DeviceHealth from, DeviceHealth to) {
+    transitions_.push_back(
+        HealthTransition{dev, from, to, next_transition_seq_++});
+  }
+
   HealthConfig cfg_;
   std::vector<DeviceScoreboard> boards_;
+  std::vector<HealthTransition> transitions_;
+  std::uint64_t next_transition_seq_ = 0;
 };
 
 }  // namespace wfasic::engine

@@ -73,6 +73,9 @@ class HwBackend final : public AlignmentBackend {
 
   [[nodiscard]] mem::MainMemory& memory() { return *memory_; }
   [[nodiscard]] hw::Accelerator& accelerator() { return *accelerator_; }
+  [[nodiscard]] const hw::Accelerator& accelerator() const {
+    return *accelerator_;
+  }
   [[nodiscard]] const HwBackendConfig& config() const { return cfg_; }
   /// Forwards to hw::Accelerator::attach_fault_injector.
   void attach_fault_injector(sim::FaultInjector* injector);

@@ -1,0 +1,94 @@
+// Engine-level metrics (docs/OBSERVABILITY.md §4): per-device utilization
+// and busy/idle accounting, queue-depth tracking, and submit→complete
+// latency histograms.
+//
+// All figures are derived from modelled cycle samples the completion
+// records already carry, so they are deterministic (the same dataset,
+// configuration and fault schedule reproduce them bit-for-bit) and cost
+// nothing when nobody reads them. Exported as Engine::metrics() and as
+// BENCH_*.json keys via bench/bench_util.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "engine/health.hpp"
+
+namespace wfasic::engine {
+
+/// Fixed-bucket log2 histogram: bucket 0 holds the value 0, bucket i>0
+/// holds values in [2^(i-1), 2^i). 64 buckets cover the full uint64
+/// range, so recording never saturates or rescales — deterministic shape
+/// regardless of input order.
+struct Log2Histogram {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets[bucket_of(v)];
+    if (count == 0 || v < min) min = v;
+    if (v > max) max = v;
+    ++count;
+    sum += v;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  bool operator==(const Log2Histogram&) const = default;
+};
+
+/// Per-device (plus one software-backend slot) accounting.
+struct DeviceMetrics {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_failed = 0;  ///< non-completed outcomes (timeout, DMA…)
+  /// Device cycles spent aligning (sum of per-job accel samples).
+  std::uint64_t busy_cycles = 0;
+  /// The device's total simulated cycles at metrics() time; busy/total is
+  /// the utilization. Idle time = total - busy.
+  std::uint64_t total_cycles = 0;
+  /// Deepest the device's submission queue ever got (sampled at submit).
+  std::size_t queue_depth_high_water = 0;
+
+  [[nodiscard]] double utilization() const {
+    return total_cycles == 0 ? 0.0
+                             : static_cast<double>(busy_cycles) /
+                                   static_cast<double>(total_cycles);
+  }
+};
+
+/// The engine's full observability export. Everything here is cumulative
+/// since construction.
+struct EngineMetrics {
+  /// One entry per hardware device, then one final entry for the
+  /// software backend (its busy/total cycles are modelled CPU op cycles).
+  std::vector<DeviceMetrics> devices;
+  std::uint64_t submits = 0;
+  std::uint64_t completions = 0;
+  /// submit→complete latency in modelled cycles (encode + accel + decode
+  /// for hardware jobs, the software alignment cycles for SwBackend jobs).
+  Log2Histogram latency;
+  /// Deepest the engine-wide in-flight set ever got (sampled at submit).
+  std::size_t in_flight_high_water = 0;
+  /// Health-state transition log (engine/health.hpp), in event order.
+  std::vector<HealthTransition> health_transitions;
+};
+
+}  // namespace wfasic::engine

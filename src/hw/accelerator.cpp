@@ -19,6 +19,7 @@ Accelerator::Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory)
   }
   extractor_ = std::make_unique<Extractor>(input_fifo_, aligner_ptrs);
   collector_ = std::make_unique<Collector>(output_fifo_, aligner_ptrs);
+  pmu_probe_ = std::make_unique<FifoOccupancyProbe>(input_fifo_, output_fifo_);
 
   // Tick order: drain first (collector), then producers, then ingest, so a
   // full pipeline moves one step everywhere within a cycle. None of the
@@ -31,6 +32,20 @@ Accelerator::Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory)
   }
   scheduler_.add(extractor_.get(), /*needs_commit=*/false);
   scheduler_.add(dma_.get(), /*needs_commit=*/false);
+  // The PMU probe samples FIFO occupancy after every pipeline stage has
+  // acted, so it registers last. It is always quiescent and never affects
+  // what the other components do.
+  scheduler_.add(pmu_probe_.get(), /*needs_commit=*/false);
+
+  // Observability wiring: one trace track per unit plus a top-level run
+  // track. The sink is enabled by config (or later at runtime); with it
+  // off every emit site is a single pointer-and-flag test.
+  trace_.set_enabled(cfg_.trace);
+  trace_track_ = trace_.register_track("accelerator");
+  dma_->set_trace(&trace_);
+  extractor_->set_trace(&trace_);
+  collector_->set_trace(&trace_);
+  for (auto& aligner : aligners_) aligner->set_trace(&trace_);
 }
 
 void Accelerator::attach_fault_injector(sim::FaultInjector* injector) {
@@ -102,6 +117,14 @@ void Accelerator::write_reg(std::uint32_t offset, std::uint32_t value) {
       regs_.crc_salt = value;
       break;
     default:
+      if (offset >= kRegPerfBase && offset < perf_reg_lo(kNumPerfCounters)) {
+        // Any write to the PMU window clears the bank (rebase, like
+        // kRegEccCount) and rearms the FIFO high-water marks.
+        perf_base_ = perf_counters_raw();
+        input_fifo_.reset_high_water();
+        output_fifo_.reset_high_water();
+        break;
+      }
       WFASIC_REQUIRE(false, "Accelerator::write_reg: unknown register");
   }
 }
@@ -144,9 +167,45 @@ std::uint32_t Accelerator::read_reg(std::uint32_t offset) const {
     case kRegCrcSalt:
       return regs_.crc_salt;
     default:
+      if (offset >= kRegPerfBase && offset < perf_reg_lo(kNumPerfCounters) &&
+          offset % 4 == 0) {
+        const std::uint32_t rel = offset - kRegPerfBase;
+        const auto idx = static_cast<PerfIdx>(rel / 8);
+        const std::uint64_t value = perf_counters().counter(idx);
+        return rel % 8 == 0 ? static_cast<std::uint32_t>(value)
+                            : static_cast<std::uint32_t>(value >> 32);
+      }
       WFASIC_REQUIRE(false, "Accelerator::read_reg: unknown register");
       return 0;
   }
+}
+
+PerfSnapshot Accelerator::perf_counters_raw() const {
+  PerfSnapshot s;
+  s.extractor_pairs_accepted = extractor_->pairs_accepted();
+  s.extractor_pairs_rejected = extractor_->pairs_rejected();
+  s.extractor_wait_cycles = extractor_->total_wait_cycles();
+  for (const auto& aligner : aligners_) {
+    s.extend_invocations += aligner->extend_invocations();
+    s.extend_matched_bases += aligner->extend_matched_bases();
+    s.aligner_wavefront_steps += aligner->wavefront_steps();
+    s.aligner_busy_cycles += aligner->busy_cycles();
+    s.aligner_stall_cycles += aligner->output_stall_cycles();
+  }
+  s.dma_beats_read = dma_->beats_read();
+  s.dma_beats_written = dma_->beats_written();
+  s.dma_stall_fifo_full = dma_->read_stalls_fifo_full();
+  s.dma_stall_port_busy = dma_->read_stalls_port_busy();
+  s.input_fifo_occupancy_cycles = pmu_probe_->input_occupancy_cycles();
+  s.input_fifo_high_water = input_fifo_.high_water();
+  s.output_fifo_occupancy_cycles = pmu_probe_->output_occupancy_cycles();
+  s.output_fifo_high_water = output_fifo_.high_water();
+  // Register mirrors (PerfSnapshot::is_absolute): same values the CPU
+  // reads at kRegEccCount / kRegErrCount.
+  s.ecc_corrected = ecc_corrected_total() - ecc_count_base_;
+  s.err_count = err_count_;
+  s.host_idle_skipped_cycles = host_skipped_cycles_;
+  return s;
 }
 
 void Accelerator::start() {
@@ -171,6 +230,11 @@ void Accelerator::start() {
                         regs_.crc_salt);
   dma_->configure_read(regs_.in_addr, regs_.in_size);
   dma_->configure_write(regs_.out_addr);
+  // PMU: the counter bank clears on Start (rebase against the current
+  // hardware totals; high-water marks rearm at the live occupancy).
+  perf_base_ = perf_counters_raw();
+  input_fifo_.reset_high_water();
+  output_fifo_.reset_high_water();
   running_ = true;
   run_start_ = scheduler_.now();
   last_progress_sig_ = progress_signature();
@@ -192,6 +256,15 @@ void Accelerator::latch_error(std::uint32_t cause) {
 
 void Accelerator::abort_run(std::uint32_t cause) {
   latch_error(cause);
+  if (trace_.enabled()) {
+    const char* name = "abort";
+    if ((cause & kErrWatchdog) != 0) name = "watchdog-abort";
+    else if ((cause & kErrDma) != 0) name = "dma-abort";
+    else if ((cause & kErrEccUnc) != 0) name = "ecc-abort";
+    trace_.instant(trace_track_, name, "error", scheduler_.now());
+    trace_.span(trace_track_, "run", "accelerator", run_start_,
+                scheduler_.now());
+  }
   flush_pipeline();
   running_ = false;
   last_run_cycles_ = scheduler_.now() - run_start_;
@@ -258,6 +331,10 @@ void Accelerator::step() {
     // are latched at completion so the CPU sees them alongside the results.
     const std::uint32_t flags = collector_->error_flags();
     if (flags != 0) latch_error(flags);
+    if (trace_.enabled()) {
+      trace_.span(trace_track_, "run", "accelerator", run_start_,
+                  scheduler_.now());
+    }
     running_ = false;
     last_run_cycles_ = scheduler_.now() - run_start_;
     if (regs_.int_enable) int_pending_ = true;
@@ -298,6 +375,7 @@ std::uint64_t Accelerator::advance_core(std::uint64_t max_cycles,
       const std::uint64_t span =
           std::min<std::uint64_t>(quiet, max_cycles - stepped);
       scheduler_.skip(span);
+      host_skipped_cycles_ += span;
       stepped += span;
       stride = 1;
       continue;

@@ -13,12 +13,14 @@
 #include "hw/config.hpp"
 #include "hw/extractor.hpp"
 #include "hw/input_format.hpp"
+#include "hw/perf.hpp"
 #include "hw/regs.hpp"
 #include "mem/dma.hpp"
 #include "mem/main_memory.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/fifo.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
 
 namespace wfasic::hw {
 
@@ -39,6 +41,18 @@ class Accelerator {
     for (const auto& aligner : aligners_) total += aligner->ecc_corrected();
     return total;
   }
+
+  // --- Observability ---------------------------------------------------------
+  /// The PMU bank, rebased to the current run (counters clear on Start).
+  /// The same values are exposed 32 bits at a time through the register
+  /// window at kRegPerfBase (Driver::read_perf_counters reads it back).
+  [[nodiscard]] PerfSnapshot perf_counters() const {
+    return perf_counters_raw().rebased(perf_base_);
+  }
+  /// The pipeline trace sink (enabled iff AcceleratorConfig::trace, or via
+  /// set_enabled at runtime). Emission is observational only.
+  [[nodiscard]] sim::TraceSink& trace() { return trace_; }
+  [[nodiscard]] const sim::TraceSink& trace() const { return trace_; }
 
   // --- Fault injection -------------------------------------------------------
   /// Attaches (or detaches, with nullptr) a deterministic fault injector:
@@ -86,8 +100,47 @@ class Accelerator {
   [[nodiscard]] std::vector<Aligner::PairRecord> all_records() const;
 
  private:
+  /// PMU helper component: integrates FIFO occupancy over time. It is
+  /// always quiet (kQuietForever) so it never perturbs idle-skip spans;
+  /// its tick and skip_quiet apply the same linear update, which keeps
+  /// occupancy-cycles bit-identical across stepping strategies (occupancy
+  /// is constant inside a quiescent span by the quiescence contract).
+  class FifoOccupancyProbe final : public sim::Component {
+   public:
+    FifoOccupancyProbe(const sim::ShowAheadFifo<mem::Beat>& input,
+                       const sim::ShowAheadFifo<mem::Beat>& output)
+        : sim::Component("pmu"), input_(input), output_(output) {}
+
+    void tick(sim::cycle_t /*now*/) override {
+      input_occupancy_cycles_ += input_.size();
+      output_occupancy_cycles_ += output_.size();
+    }
+    [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
+      return kQuietForever;
+    }
+    void skip_quiet(sim::cycle_t n) override {
+      input_occupancy_cycles_ += n * input_.size();
+      output_occupancy_cycles_ += n * output_.size();
+    }
+
+    [[nodiscard]] std::uint64_t input_occupancy_cycles() const {
+      return input_occupancy_cycles_;
+    }
+    [[nodiscard]] std::uint64_t output_occupancy_cycles() const {
+      return output_occupancy_cycles_;
+    }
+
+   private:
+    const sim::ShowAheadFifo<mem::Beat>& input_;
+    const sim::ShowAheadFifo<mem::Beat>& output_;
+    std::uint64_t input_occupancy_cycles_ = 0;
+    std::uint64_t output_occupancy_cycles_ = 0;
+  };
+
   void start();
   void soft_reset();
+  /// Gathers the monotone hardware counters (not yet rebased to the run).
+  [[nodiscard]] PerfSnapshot perf_counters_raw() const;
   /// True when the idle-skip fast path may replace exact stepping: never
   /// with a fault injector attached (per-cycle beat faults, memory flips
   /// and FIFO stall probes need every cycle), never while a run has the
@@ -122,7 +175,14 @@ class Accelerator {
   std::vector<std::unique_ptr<Aligner>> aligners_;
   std::unique_ptr<Extractor> extractor_;
   std::unique_ptr<Collector> collector_;
+  std::unique_ptr<FifoOccupancyProbe> pmu_probe_;
   sim::Scheduler scheduler_;
+
+  // Observability (all observational: never read by the datapath).
+  sim::TraceSink trace_;
+  std::uint32_t trace_track_ = 0;  ///< the top-level "accelerator" track
+  PerfSnapshot perf_base_;         ///< Start-time snapshot (counters clear)
+  std::uint64_t host_skipped_cycles_ = 0;
 
   RegValues regs_;
   bool running_ = false;

@@ -154,6 +154,7 @@ void Aligner::step_score() {
   // fills overlap across consecutive batches, so the phase charges
   // extend_fill once and per-batch only the comparator blocks.
   if (current_ != nullptr) {
+    ++wavefront_steps_;
     const ExtendUnit unit(job_.a, job_.b);
     std::vector<unsigned>& block_counts = scratch_blocks_;  // per valid cell
     block_counts.clear();
@@ -167,6 +168,8 @@ void Aligner::step_score() {
       const diag_t k = clo + static_cast<diag_t>(idx);
       const ExtendUnit::Result ext = unit.extend(off - k, off);
       if (ext.run > 0) cm[idx] = off + ext.run;
+      ++extend_invocations_;
+      extend_matched_bases_ += static_cast<std::uint64_t>(ext.run);
       block_counts.push_back(ext.blocks);
     }
     if (!block_counts.empty()) {
@@ -424,6 +427,10 @@ void Aligner::tick(sim::cycle_t now) {
     // consume poisoned offsets, so drop it and fail the alignment. Any
     // transactions already released leave a counter gap the tolerant
     // parser detects and drops.
+    if (tracing()) {
+      trace()->instant(trace_track(), "ecc-uncorrectable", "error", now,
+                       job_.id);
+    }
     ecc_poisoned_ = false;
     batches_.clear();
     countdown_ = 0;
@@ -462,6 +469,11 @@ void Aligner::tick(sim::cycle_t now) {
                     job_.id});
     }
     pending_record_.align_cycles = now - start_cycle_ + 1;
+    if (tracing()) {
+      trace()->span(trace_track(),
+                    pending_record_.success ? "align" : "align-failed",
+                    "pipeline", start_cycle_, now, job_.id);
+    }
     records_.push_back(pending_record_);
     state_ = State::kIdle;
     geom_.reset();

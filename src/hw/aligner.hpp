@@ -109,6 +109,20 @@ class Aligner final : public sim::Component {
     return phase_cycles_;
   }
 
+  // PMU counters (hw/perf.hpp): monotone, observational only.
+  /// Score iterations executed (step_score calls with a live wavefront).
+  [[nodiscard]] std::uint64_t wavefront_steps() const {
+    return wavefront_steps_;
+  }
+  /// ExtendUnit invocations (one per valid M cell per extend phase).
+  [[nodiscard]] std::uint64_t extend_invocations() const {
+    return extend_invocations_;
+  }
+  /// Total bases matched across all extend runs.
+  [[nodiscard]] std::uint64_t extend_matched_bases() const {
+    return extend_matched_bases_;
+  }
+
   void tick(sim::cycle_t now) override;
 
   // Idle-skip quiescence (see sim::Component): ticks that only burn a
@@ -190,6 +204,9 @@ class Aligner final : public sim::Component {
   std::vector<PairRecord> records_;
   std::uint64_t output_stall_cycles_ = 0;
   std::uint64_t busy_cycles_ = 0;
+  std::uint64_t wavefront_steps_ = 0;
+  std::uint64_t extend_invocations_ = 0;
+  std::uint64_t extend_matched_bases_ = 0;
   PhaseCycles phase_cycles_;
   std::uint32_t error_flags_ = 0;
   std::uint64_t ecc_corrected_ = 0;

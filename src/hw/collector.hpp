@@ -80,11 +80,11 @@ class Collector final : public sim::Component {
     footers_.clear();
   }
 
-  void tick(sim::cycle_t /*now*/) override {
+  void tick(sim::cycle_t now) override {
     if (bt_mode_) {
-      tick_bt();
+      tick_bt(now);
     } else {
-      tick_nbt();
+      tick_nbt(now);
     }
   }
 
@@ -119,7 +119,7 @@ class Collector final : public sim::Component {
     return true;
   }
 
-  void tick_bt() {
+  void tick_bt(sim::cycle_t now) {
     if (fifo_.full()) return;
     // Pending CRC footers take priority so an alignment's footer follows
     // its Last transaction as closely as arbitration allows.
@@ -149,19 +149,29 @@ class Collector final : public sim::Component {
               make_bt_crc_footer(txn.id, bt_crc_[idx].value())));
         }
       }
-      if (txn.last) ++results_seen_;
+      if (txn.last) {
+        ++results_seen_;
+        if (tracing()) {
+          trace()->instant(trace_track(), "collect", "pipeline", now,
+                           txn.id);
+        }
+      }
       rr_ = idx + 1;
       return;
     }
   }
 
-  void tick_nbt() {
+  void tick_nbt(sim::cycle_t now) {
     // Collect one result per cycle into the merge buffer.
     for (std::size_t probe = 0; probe < aligners_.size(); ++probe) {
       const std::size_t idx = (rr_ + probe) % aligners_.size();
       auto& queue = aligners_[idx]->nbt_queue();
       if (queue.empty()) continue;
       if (nbt_fill_ == nbt_slots_) break;  // buffer full, must flush first
+      if (tracing()) {
+        trace()->instant(trace_track(), "collect", "pipeline", now,
+                         queue.front().id);
+      }
       const std::uint32_t word = pack_nbt_result(queue.front());
       if (crc_) {
         // 8-byte record: the packed word followed by its salted CRC.

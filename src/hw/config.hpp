@@ -69,6 +69,15 @@ struct AcceleratorConfig {
   /// salted per launch via kRegCrcSalt.
   bool crc = false;
 
+  /// Cycle-level pipeline tracing (docs/OBSERVABILITY.md §3): when on,
+  /// components emit span/instant events into the accelerator's
+  /// sim::TraceSink for serialization as Chrome trace-event JSON. Purely
+  /// observational — simulated cycles, records and memory contents are
+  /// bit-identical with tracing on or off (enforced by
+  /// tests/test_observability); off by default so the disabled emit path
+  /// costs one pointer test.
+  bool trace = false;
+
   /// Eq. 6: the maximum alignment score the band supports.
   [[nodiscard]] score_t score_max() const { return k_max * 2 + 4; }
 

@@ -15,6 +15,7 @@ void Extractor::tick(sim::cycle_t now) {
     Aligner* aligner = find_idle_aligner();
     if (aligner == nullptr) {
       ++wait_cycles_;
+      ++total_wait_cycles_;
       return;
     }
     aligner->begin_load();
@@ -89,6 +90,21 @@ void Extractor::finish_pair(sim::cycle_t now) {
   if (!job.unsupported && !job.crc_error) {
     job.a = PackedSeq::from_words(words_a_, len_a_);
     job.b = PackedSeq::from_words(words_b_, len_b_);
+  }
+  const bool rejected = job.unsupported || job.crc_error;
+  if (rejected) {
+    ++pairs_rejected_;
+  } else {
+    ++pairs_accepted_;
+  }
+  if (tracing()) {
+    trace()->span(trace_track(), "extract", "pipeline", first_beat_cycle_,
+                  now, id_);
+    if (rejected) {
+      trace()->instant(trace_track(),
+                       crc_error_ ? "reject-crc" : "reject-unsupported",
+                       "error", now, id_);
+    }
   }
   target_->finish_load(std::move(job), now);
 

@@ -42,6 +42,18 @@ class Extractor final : public sim::Component {
   [[nodiscard]] bool done() const { return pairs_left_ == 0 && !in_pair_; }
   [[nodiscard]] std::uint64_t pairs_done() const { return pairs_done_; }
 
+  // PMU counters (hw/perf.hpp): monotone across runs, rebased by the
+  // accelerator's Start-time snapshot. Observational only.
+  [[nodiscard]] std::uint64_t pairs_accepted() const {
+    return pairs_accepted_;
+  }
+  [[nodiscard]] std::uint64_t pairs_rejected() const {
+    return pairs_rejected_;
+  }
+  [[nodiscard]] std::uint64_t total_wait_cycles() const {
+    return total_wait_cycles_;
+  }
+
   /// Drops the in-flight pair and any remaining work (hardware soft reset
   /// / error abort). Records of fully ingested pairs are preserved.
   void abort() {
@@ -77,7 +89,10 @@ class Extractor final : public sim::Component {
 
   void skip_quiet(sim::cycle_t n) override {
     if (done() || fifo_.empty()) return;
-    if (!in_pair_) wait_cycles_ += n;
+    if (!in_pair_) {
+      wait_cycles_ += n;
+      total_wait_cycles_ += n;
+    }
   }
 
  private:
@@ -114,6 +129,12 @@ class Extractor final : public sim::Component {
   std::vector<std::uint32_t> words_b_;
   sim::cycle_t first_beat_cycle_ = 0;
   std::uint64_t wait_cycles_ = 0;
+
+  // PMU counters (never reset by abort(): per-run views are produced by
+  // rebasing against the Start-time snapshot).
+  std::uint64_t pairs_accepted_ = 0;
+  std::uint64_t pairs_rejected_ = 0;
+  std::uint64_t total_wait_cycles_ = 0;
 
   std::vector<PairReadRecord> records_;
 };

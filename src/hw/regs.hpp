@@ -26,7 +26,19 @@ enum RegOffset : std::uint32_t {
   kRegWatchdog = 0x38,    ///< no-progress watchdog in cycles; 0 disables
   kRegEccCount = 0x3c,    ///< ECC single-bit corrections; any write clears
   kRegCrcSalt = 0x40,     ///< CRC seed salt for input/result footers
+  /// PMU counter window (hw/perf.hpp). Counter i is a 64-bit value split
+  /// across the lo/hi pair at kRegPerfBase + 8*i / + 8*i + 4; the bank is
+  /// cleared on Start and any write to the window rebases it to zero.
+  kRegPerfBase = 0x100,
 };
+
+/// Lo/hi register offsets of PMU counter `idx` (see hw/perf.hpp PerfIdx).
+[[nodiscard]] constexpr std::uint32_t perf_reg_lo(std::uint32_t idx) {
+  return kRegPerfBase + idx * 8u;
+}
+[[nodiscard]] constexpr std::uint32_t perf_reg_hi(std::uint32_t idx) {
+  return kRegPerfBase + idx * 8u + 4u;
+}
 
 /// Control-register command bits (kRegCtrl).
 enum CtrlBits : std::uint32_t {

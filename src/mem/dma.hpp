@@ -57,6 +57,7 @@ class Dma final : public sim::Component {
     latency_left_ = 0;
     burst_beats_done_ = 0;
     duplicate_pending_ = false;
+    read_stream_started_ = false;
   }
 
   /// Fault-injection hook (nullptr: fault-free operation).
@@ -102,7 +103,8 @@ class Dma final : public sim::Component {
     if (input_fifo_.full()) read_stalls_fifo_full_ += n;
   }
 
-  void tick(sim::cycle_t /*now*/) override {
+  void tick(sim::cycle_t now) override {
+    (void)now;  // only read by trace emission
     bool port_used = false;
 
     // Write side first: posted writes drain the Output FIFO at one beat per
@@ -160,6 +162,10 @@ class Dma final : public sim::Component {
       // issuing beats. The Accelerator surfaces this via kRegErrStatus.
       bus_error_ = true;
       read_beats_left_ = 0;
+      read_stream_started_ = false;
+      if (tracing()) {
+        trace()->instant(trace_track(), "dma-bus-error", "error", now);
+      }
       return;
     }
     Beat beat;
@@ -171,7 +177,16 @@ class Dma final : public sim::Component {
       // uncorrectable-error slave response.
       ecc_fault_ = true;
       read_beats_left_ = 0;
+      read_stream_started_ = false;
+      if (tracing()) {
+        trace()->instant(trace_track(), "dma-ecc-uncorrectable", "error",
+                         now);
+      }
       return;
+    }
+    if (!read_stream_started_) {
+      read_stream_started_ = true;
+      read_stream_start_ = now;
     }
     if (fault.corrupt_mask != 0) {
       beat.data[fault.corrupt_byte] ^= fault.corrupt_mask;
@@ -186,6 +201,13 @@ class Dma final : public sim::Component {
     read_ptr_ += kBeatBytes;
     --read_beats_left_;
     ++beats_read_;
+    if (read_beats_left_ == 0) {
+      read_stream_started_ = false;
+      if (tracing()) {
+        trace()->span(trace_track(), "dma-read-stream", "dma",
+                      read_stream_start_, now);
+      }
+    }
     ++burst_beats_done_;
     if (burst_beats_done_ == timing_.burst_beats && read_beats_left_ > 0) {
       burst_beats_done_ = 0;
@@ -209,6 +231,9 @@ class Dma final : public sim::Component {
   bool ecc_fault_ = false;
   bool duplicate_pending_ = false;
   Beat duplicate_beat_;
+  // Trace-only bookkeeping: never read by the datapath.
+  bool read_stream_started_ = false;
+  sim::cycle_t read_stream_start_ = 0;
 
   std::uint64_t beats_read_ = 0;
   std::uint64_t beats_written_ = 0;

@@ -61,6 +61,11 @@ class ShowAheadFifo {
   [[nodiscard]] std::uint64_t total_pops() const { return total_pops_; }
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
+  /// Rearms the high-water mark at the current occupancy. The PMU clears
+  /// per-run statistics on Start; a max cannot be rebased by subtraction
+  /// like the monotone counters, so it is rearmed here instead.
+  void reset_high_water() { high_water_ = data_.size(); }
+
   /// Installs (or clears, with an empty function) an external stall probe:
   /// while it returns true, full() reports the FIFO as not-ready. Used by
   /// the fault injector for transient/permanent FIFO stalls.

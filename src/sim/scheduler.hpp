@@ -23,10 +23,9 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "sim/trace.hpp"
 
 namespace wfasic::sim {
-
-using cycle_t = std::uint64_t;
 
 /// Base class for everything that owns per-cycle behaviour.
 class Component {
@@ -65,8 +64,28 @@ class Component {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// Wires a trace sink into this component. Each component gets a track
+  /// named after itself; emission is observational only, so wiring (or not)
+  /// never changes simulated behaviour. Passing nullptr unwires.
+  void set_trace(TraceSink* sink) {
+    trace_ = sink;
+    trace_track_ = sink != nullptr ? sink->register_track(name_) : 0;
+  }
+
+ protected:
+  /// Non-null and enabled iff this component should emit trace events.
+  /// The double test compiles to one pointer load + flag test — the no-op
+  /// fast path when tracing is off.
+  [[nodiscard]] bool tracing() const {
+    return trace_ != nullptr && trace_->enabled();
+  }
+  [[nodiscard]] TraceSink* trace() const { return trace_; }
+  [[nodiscard]] std::uint32_t trace_track() const { return trace_track_; }
+
  private:
   std::string name_;
+  TraceSink* trace_ = nullptr;
+  std::uint32_t trace_track_ = 0;
 };
 
 /// How a bounded Scheduler::run_until ended.

@@ -1,0 +1,106 @@
+// Cycle-level pipeline tracing (docs/OBSERVABILITY.md §3).
+//
+// A TraceSink collects typed span ("X") and instant ("i") events emitted by
+// simulator components as pairs move through the pipeline: fetch → extract →
+// extend/align → collect → DMA-out, plus error and watchdog events. Events
+// are purely observational — emitting them never changes simulated state or
+// timing — and the sink is compiled in but disabled by default: every emit
+// site is gated on `sink && sink->enabled()`, so the disabled path costs one
+// pointer test.
+//
+// Timestamps are simulated cycles. Serialization to Chrome trace-event JSON
+// (Perfetto-loadable) lives in common/trace_json.hpp so the sim layer stays
+// free of I/O.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wfasic::sim {
+
+using cycle_t = std::uint64_t;
+
+/// One trace event. `ph` follows the Chrome trace-event phase codes we use:
+/// 'X' = complete span [ts, ts+dur), 'i' = instant at ts.
+struct TraceEvent {
+  /// Sentinel for "no pair/object id attached to this event".
+  static constexpr std::uint64_t kNoId = ~std::uint64_t{0};
+
+  std::string name;        ///< event name ("extract", "align", "watchdog"...)
+  const char* cat = "";    ///< category ("pipeline", "error", "dma")
+  char ph = 'X';           ///< 'X' complete span, 'i' instant
+  std::uint32_t track = 0; ///< rendered as the Chrome "tid" (one per unit)
+  cycle_t ts = 0;          ///< start cycle
+  cycle_t dur = 0;         ///< span length in cycles ('X' only)
+  std::uint64_t id = kNoId;  ///< optional pair/record id (emitted as args.id)
+};
+
+/// Event collector shared by every component of one accelerator instance.
+/// Tracks (Chrome "threads") are registered by name; components cache their
+/// track id once at wiring time.
+class TraceSink {
+ public:
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+
+  /// Registers (or finds) a named track and returns its id. Idempotent per
+  /// name so re-wiring components is harmless.
+  std::uint32_t register_track(const std::string& name) {
+    for (std::uint32_t i = 0; i < tracks_.size(); ++i) {
+      if (tracks_[i] == name) return i;
+    }
+    tracks_.push_back(name);
+    return static_cast<std::uint32_t>(tracks_.size() - 1);
+  }
+
+  /// Emits a complete span covering [begin, end] (inclusive of the ending
+  /// cycle: dur = end - begin + 1, matching the "cycles N..M" convention of
+  /// the per-record cycle accounting).
+  void span(std::uint32_t track, std::string name, const char* cat,
+            cycle_t begin, cycle_t end, std::uint64_t id = TraceEvent::kNoId) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = cat;
+    ev.ph = 'X';
+    ev.track = track;
+    ev.ts = begin;
+    ev.dur = end >= begin ? end - begin + 1 : 0;
+    ev.id = id;
+    events_.push_back(std::move(ev));
+  }
+
+  /// Emits an instant event at `ts`.
+  void instant(std::uint32_t track, std::string name, const char* cat,
+               cycle_t ts, std::uint64_t id = TraceEvent::kNoId) {
+    if (!enabled_) return;
+    TraceEvent ev;
+    ev.name = std::move(name);
+    ev.cat = cat;
+    ev.ph = 'i';
+    ev.track = track;
+    ev.ts = ts;
+    ev.id = id;
+    events_.push_back(std::move(ev));
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<std::string>& tracks() const {
+    return tracks_;
+  }
+
+  /// Drops collected events (track registrations are kept — components
+  /// cache their ids).
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+  std::vector<std::string> tracks_;
+};
+
+}  // namespace wfasic::sim

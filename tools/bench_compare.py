@@ -15,6 +15,9 @@ Semantics:
     most `threshold` (fraction, default 0.20) relative to the baseline.
   - Raw wall-clock keys (`wall_ns_*`) are machine-dependent and are
     reported but never gated on.
+  - Keys present only in the candidate (new observability metrics a bench
+    started emitting after the baseline was frozen) are informational:
+    printed, never an error. Refreshing the baseline promotes them.
 
 Exit status: 0 when everything passes, 1 on any regression or missing key.
 """
@@ -78,6 +81,9 @@ def main():
                 print(f"  ok: {key}: {c:.4f} (baseline {b:.4f})")
         else:
             print(f"info: {key}: {c:.4f} (baseline {b:.4f}, not gated)")
+
+    for key in sorted(set(cur) - set(base)):
+        print(f"info: {key}: {cur[key]:.4f} (new in candidate, not gated)")
 
     if failed:
         print("bench_compare: REGRESSION")

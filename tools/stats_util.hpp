@@ -1,0 +1,67 @@
+// Shared --stats printers for the CLI tools (wfasic_align,
+// wfasic_fault_campaign): a PMU snapshot dump and an engine metrics dump,
+// both to stderr so they never pollute the tools' stdout result streams.
+#pragma once
+
+#include <cstdio>
+
+#include "engine/metrics.hpp"
+#include "hw/perf.hpp"
+
+namespace wfasic::tools {
+
+inline void print_perf_snapshot(const hw::PerfSnapshot& snapshot,
+                                std::FILE* out) {
+  std::fprintf(out, "# PMU counters (last run, rebased at Start):\n");
+  for (std::uint32_t i = 0; i < hw::kNumPerfCounters; ++i) {
+    const auto idx = static_cast<hw::PerfIdx>(i);
+    std::fprintf(out, "#   %-30s %llu\n", hw::perf_counter_name(idx),
+                 static_cast<unsigned long long>(snapshot.counter(idx)));
+  }
+}
+
+inline void print_engine_metrics(const engine::EngineMetrics& metrics,
+                                 std::FILE* out) {
+  std::fprintf(out,
+               "# engine: %llu submits, %llu completions, in-flight "
+               "high-water %zu\n",
+               static_cast<unsigned long long>(metrics.submits),
+               static_cast<unsigned long long>(metrics.completions),
+               metrics.in_flight_high_water);
+  std::fprintf(out,
+               "# latency (modelled cycles): mean %.1f min %llu max %llu "
+               "over %llu jobs\n",
+               metrics.latency.mean(),
+               static_cast<unsigned long long>(metrics.latency.min),
+               static_cast<unsigned long long>(metrics.latency.max),
+               static_cast<unsigned long long>(metrics.latency.count));
+  for (std::size_t d = 0; d < metrics.devices.size(); ++d) {
+    const engine::DeviceMetrics& dm = metrics.devices[d];
+    const bool is_sw = d + 1 == metrics.devices.size();
+    if (dm.jobs_completed == 0 && dm.jobs_failed == 0) continue;
+    std::fprintf(out,
+                 "# %s%zu: %llu jobs, %llu failures, busy %llu / %llu "
+                 "cycles (%.1f%% utilization), queue high-water %zu\n",
+                 is_sw ? "sw" : "dev", is_sw ? std::size_t{0} : d,
+                 static_cast<unsigned long long>(dm.jobs_completed),
+                 static_cast<unsigned long long>(dm.jobs_failed),
+                 static_cast<unsigned long long>(dm.busy_cycles),
+                 static_cast<unsigned long long>(dm.total_cycles),
+                 dm.utilization() * 100.0, dm.queue_depth_high_water);
+  }
+  for (const engine::HealthTransition& t : metrics.health_transitions) {
+    const auto name = [](engine::DeviceHealth h) {
+      switch (h) {
+        case engine::DeviceHealth::kHealthy: return "healthy";
+        case engine::DeviceHealth::kQuarantined: return "quarantined";
+        case engine::DeviceHealth::kRetired: return "retired";
+      }
+      return "?";
+    };
+    std::fprintf(out, "# health[%llu]: dev%u %s -> %s\n",
+                 static_cast<unsigned long long>(t.seq), t.device,
+                 name(t.from), name(t.to));
+  }
+}
+
+}  // namespace wfasic::tools

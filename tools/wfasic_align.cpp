@@ -3,17 +3,25 @@
 //
 //   wfasic_align <input.seq> [--engine wfa|wfa-adaptive|swg|accel]
 //                [--score-only] [--penalties x,o,e]
+//                [--stats] [--trace=<out.json>]
 //
 // The `accel` engine runs the full simulated SoC (accelerator + CPU
-// backtrace) and additionally reports accelerator cycles.
+// backtrace) and additionally reports accelerator cycles. With `accel`,
+// --stats dumps the PMU counter bank and the engine metrics to stderr,
+// and --trace writes a Chrome trace-event JSON of the run (load it at
+// https://ui.perfetto.dev — see docs/OBSERVABILITY.md). Both are
+// observational: the alignment output and cycle counts are bit-identical
+// with and without them.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/trace_json.hpp"
 #include "core/swg_affine.hpp"
 #include "core/wfa.hpp"
 #include "gen/pairfile.hpp"
 #include "soc/soc.hpp"
+#include "tools/stats_util.hpp"
 
 namespace {
 
@@ -22,7 +30,8 @@ using namespace wfasic;
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <input.seq> [--engine wfa|wfa-adaptive|swg|accel]"
-               " [--score-only] [--penalties x,o,e]\n",
+               " [--score-only] [--penalties x,o,e]"
+               " [--stats] [--trace=<out.json>]\n",
                argv0);
 }
 
@@ -56,12 +65,29 @@ int run_software(const std::vector<gen::SequencePair>& pairs,
 }
 
 int run_accelerator(const std::vector<gen::SequencePair>& pairs,
-                    const Penalties& pen, core::Traceback traceback) {
+                    const Penalties& pen, core::Traceback traceback,
+                    bool stats, const std::string& trace_path) {
   soc::SocConfig cfg;
   cfg.accel.pen = pen;
+  cfg.accel.trace = !trace_path.empty();
   soc::Soc soc(cfg);
   const bool backtrace = traceback == core::Traceback::kEnabled;
   const soc::BatchResult result = soc.run_batch(pairs, backtrace, false);
+  if (stats) {
+    drv::Driver driver(soc.accelerator());
+    tools::print_perf_snapshot(driver.read_perf_counters(), stderr);
+    tools::print_engine_metrics(soc.engine().metrics(), stderr);
+  }
+  if (!trace_path.empty()) {
+    if (!common::write_chrome_trace_file(soc.accelerator().trace(),
+                                         trace_path)) {
+      std::fprintf(stderr, "# trace: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# trace: wrote %s (%zu events)\n",
+                 trace_path.c_str(),
+                 soc.accelerator().trace().events().size());
+  }
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     const auto& alignment = result.alignments[i];
     if (!alignment.ok) {
@@ -89,11 +115,17 @@ int main(int argc, char** argv) {
   std::string engine = "wfa";
   Penalties pen = kDefaultPenalties;
   core::Traceback traceback = core::Traceback::kEnabled;
+  bool stats = false;
+  std::string trace_path;
   for (int arg = 2; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "--engine") == 0 && arg + 1 < argc) {
       engine = argv[++arg];
     } else if (std::strcmp(argv[arg], "--score-only") == 0) {
       traceback = core::Traceback::kDisabled;
+    } else if (std::strcmp(argv[arg], "--stats") == 0) {
+      stats = true;
+    } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
+      trace_path = argv[arg] + 8;
     } else if (std::strcmp(argv[arg], "--penalties") == 0 && arg + 1 < argc) {
       int x = 0;
       int o = 0;
@@ -113,10 +145,19 @@ int main(int argc, char** argv) {
     usage(argv[0]);
     return 2;
   }
+  if ((stats || !trace_path.empty()) && engine != "accel") {
+    std::fprintf(stderr,
+                 "%s: --stats/--trace need the simulated SoC "
+                 "(--engine accel)\n",
+                 argv[0]);
+    return 2;
+  }
 
   // Pair ids must be 0..n-1 for the accelerator path; load_pairs assigns
   // them sequentially already.
   const auto pairs = wfasic::gen::load_pairs(argv[1]);
-  if (engine == "accel") return run_accelerator(pairs, pen, traceback);
+  if (engine == "accel") {
+    return run_accelerator(pairs, pen, traceback, stats, trace_path);
+  }
   return run_software(pairs, engine, pen, traceback);
 }

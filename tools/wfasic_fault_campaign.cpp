@@ -12,17 +12,28 @@
 // non-zero, which is what tools/run_fault_campaign.sh and CI gate on.
 //
 // Usage: wfasic-fault-campaign [seeds] [devices] [pairs] [read_len]
+//                              [--stats] [--trace=<out.json>]
 //   defaults: 200 seeds, K=4 devices, 12 pairs of ~130 bp per seed.
+//
+// --stats dumps the last seed's engine metrics and device-0 PMU counters
+// to stderr; --trace writes a Chrome trace-event JSON of the last seed's
+// device 0 (the faulted runs themselves — the trace shows error instants
+// and aborted spans; see docs/OBSERVABILITY.md). Observational only: the
+// campaign verdict is bit-identical with and without them.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/trace_json.hpp"
 #include "core/wfa.hpp"
+#include "drv/driver.hpp"
 #include "engine/engine.hpp"
 #include "gen/seqgen.hpp"
 #include "sim/fault_injector.hpp"
+#include "tools/stats_util.hpp"
 
 namespace {
 
@@ -31,6 +42,8 @@ struct Options {
   unsigned devices = 4;
   std::size_t pairs = 12;
   std::size_t read_len = 130;
+  bool stats = false;
+  std::string trace_path;
 };
 
 wfasic::sim::FaultInjector::CampaignConfig mixed_campaign(
@@ -54,10 +67,28 @@ wfasic::sim::FaultInjector::CampaignConfig mixed_campaign(
 
 int main(int argc, char** argv) {
   Options opt;
-  if (argc > 1) opt.seeds = std::strtoull(argv[1], nullptr, 10);
-  if (argc > 2) opt.devices = static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10));
-  if (argc > 3) opt.pairs = std::strtoull(argv[3], nullptr, 10);
-  if (argc > 4) opt.read_len = std::strtoull(argv[4], nullptr, 10);
+  int positional = 0;
+  for (int arg = 1; arg < argc; ++arg) {
+    if (std::strcmp(argv[arg], "--stats") == 0) {
+      opt.stats = true;
+    } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
+      opt.trace_path = argv[arg] + 8;
+    } else {
+      const std::uint64_t value = std::strtoull(argv[arg], nullptr, 10);
+      switch (positional++) {
+        case 0: opt.seeds = value; break;
+        case 1: opt.devices = static_cast<unsigned>(value); break;
+        case 2: opt.pairs = value; break;
+        case 3: opt.read_len = value; break;
+        default:
+          std::fprintf(stderr,
+                       "usage: %s [seeds] [devices] [pairs] [read_len]"
+                       " [--stats] [--trace=<out.json>]\n",
+                       argv[0]);
+          return 2;
+      }
+    }
+  }
 
   using namespace wfasic;
 
@@ -82,11 +113,14 @@ int main(int argc, char** argv) {
   std::uint64_t launches = 0;
 
   for (std::uint64_t seed = 1; seed <= opt.seeds; ++seed) {
+    const bool last_seed = seed == opt.seeds;
     engine::EngineConfig cfg;
     cfg.num_devices = opt.devices;
     cfg.device.watchdog = 20'000;
     cfg.device.accel.ecc = true;
     cfg.device.accel.crc = true;
+    // Observability of the last seed only: one trace file, one stats dump.
+    cfg.device.accel.trace = last_seed && !opt.trace_path.empty();
 
     engine::Engine engine(cfg);
     std::vector<sim::FaultInjector> injectors;
@@ -135,6 +169,22 @@ int main(int argc, char** argv) {
     }
     cpu_fallbacks += report.cpu_fallbacks;
     launches += report.launches;
+
+    if (last_seed && opt.stats) {
+      drv::Driver driver(engine.device(0).accelerator());
+      tools::print_perf_snapshot(driver.read_perf_counters(), stderr);
+      tools::print_engine_metrics(engine.metrics(), stderr);
+    }
+    if (last_seed && !opt.trace_path.empty()) {
+      const sim::TraceSink& sink = engine.device(0).accelerator().trace();
+      if (!common::write_chrome_trace_file(sink, opt.trace_path)) {
+        std::fprintf(stderr, "# trace: cannot write %s\n",
+                     opt.trace_path.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "# trace: wrote %s (%zu events)\n",
+                   opt.trace_path.c_str(), sink.events().size());
+    }
   }
 
   std::printf(
