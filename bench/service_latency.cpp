@@ -1,0 +1,343 @@
+// Service latency under load: the alignment service driven by an
+// open-loop arrival process, reported as tail latency in modeled cycles.
+//
+// Four phases, all on the service's deterministic virtual clock:
+//   A  closed-loop saturation — every lane kept backlogged — measuring
+//      the sustainable service rate (requests per tick, saturation GCUPS
+//      at the modeled post-PnR frequency);
+//   B  open-loop Poisson arrivals at ~50% of that rate, with a length
+//      mixture (short/medium reads) and generous deadlines: p50/p99/p999
+//      modeled latency with zero sheds and zero deadline misses;
+//   C  the same arrival process at `overload_factor` x saturation with
+//      tight deadlines and small admission queues: bounded queue memory,
+//      explicit backpressure, deterministic load shedding — the service
+//      degrades by policy instead of collapsing;
+//   D  hedging demo on K devices: aggressive hedge thresholds on long
+//      reads, proving stragglers resolve exactly once.
+//
+// Self-verifying: exits non-zero when phase B sheds or misses deadlines,
+// when phase C fails to backpressure/shed or exceeds its queue bound,
+// when any accounting identity breaks, or when phase D duplicates a
+// completion. Emits BENCH_service_latency.json for tools/bench_compare.py
+// (candidate-only keys are informational there).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "asic/area_model.hpp"
+#include "bench/bench_util.hpp"
+#include "common/prng.hpp"
+#include "svc/service.hpp"
+
+namespace {
+
+using namespace wfasic;
+
+struct Workload {
+  std::vector<gen::SequencePair> pairs;
+  std::uint64_t cells = 0;
+};
+
+/// Length mixture: 80% short reads (150 bp), 20% medium (1 Kbp), both at
+/// 8% error — a service mix, not a single size class.
+Workload make_workload(std::size_t count, std::uint64_t seed) {
+  Prng prng(seed);
+  Workload w;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t len = i % 5 == 4 ? 1000 : 150;
+    std::string a = gen::random_sequence(prng, len);
+    std::string b = gen::mutate_sequence(prng, a, 0.08);
+    w.cells += static_cast<std::uint64_t>(a.size() + 1) *
+               static_cast<std::uint64_t>(b.size() + 1);
+    w.pairs.push_back({0, std::move(a), std::move(b)});
+  }
+  return w;
+}
+
+svc::ServiceConfig base_config(unsigned devices) {
+  svc::ServiceConfig cfg;
+  cfg.engine.num_devices = devices;
+  // Sized to the workload, not the default 256 MB per device.
+  cfg.engine.device.memory_bytes = 16ull << 20;
+  cfg.engine.device.out_addr = 12ull << 20;
+  cfg.max_batch_pairs = 4;
+  return cfg;
+}
+
+/// Exponential inter-arrival gap (Poisson process), inverse-CDF sampled
+/// from the deterministic xoshiro stream.
+double exp_gap(Prng& prng, double mean) {
+  return -mean * std::log(1.0 - prng.next_double());
+}
+
+double percentile(std::vector<std::uint64_t>& latencies, double p) {
+  if (latencies.empty()) return 0;
+  std::sort(latencies.begin(), latencies.end());
+  const std::size_t idx = std::min(
+      latencies.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+  return static_cast<double>(latencies[idx]);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace wfasic;
+  using bench::BenchReport;
+
+  const std::size_t num_requests = argc > 1 ? std::stoul(argv[1]) : 160;
+  const unsigned devices =
+      argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 2;
+  const double overload_factor = argc > 3 ? std::stod(argv[3]) : 10.0;
+
+  const asic::AreaEstimate est =
+      asic::estimate(base_config(devices).engine.device.accel);
+  bool ok = true;
+  BenchReport report("service_latency");
+
+  // --- Phase A: closed-loop saturation ------------------------------------
+  std::printf("\nService latency bench: %zu requests, K=%u, overload %.1fx\n",
+              num_requests, devices, overload_factor);
+  bench::print_header("Phase A: closed-loop saturation",
+                      "(every lane backlogged; sustainable service rate)");
+  const Workload sat = make_workload(num_requests, 101);
+  svc::ServiceConfig sat_cfg = base_config(devices);
+  sat_cfg.lanes.push_back(svc::LaneConfig{"tenant", 1, num_requests, 0, false});
+  svc::AlignService sat_svc(sat_cfg);
+  for (const auto& pair : sat.pairs) {
+    if (!sat_svc.submit(0, pair.a, pair.b).accepted()) {
+      std::printf("FAIL: saturation submit refused\n");
+      ok = false;
+    }
+  }
+  sat_svc.drain();
+  const std::uint64_t sat_cycles = sat_svc.now();
+  const double sat_gcups = asic::gcups(sat.cells, sat_cycles, est.frequency_ghz);
+  const double requests_per_tick =
+      static_cast<double>(num_requests) /
+      (static_cast<double>(sat_cycles) /
+       static_cast<double>(sat_cfg.engine.device.poll_quantum));
+  if (sat_svc.harvest().size() != num_requests) {
+    std::printf("FAIL: saturation run lost requests\n");
+    ok = false;
+  }
+  std::printf("%zu requests drained in %llu modeled cycles "
+              "(%.2f req/tick, %.2f GCUPS)\n",
+              num_requests, static_cast<unsigned long long>(sat_cycles),
+              requests_per_tick, sat_gcups);
+
+  // --- Phase B: open-loop Poisson at ~0.5x saturation ---------------------
+  bench::print_header("Phase B: open-loop Poisson at ~0.5x saturation",
+                      "(tail latency in modeled cycles; no sheds expected)");
+  const Workload open_w = make_workload(num_requests, 202);
+  svc::ServiceConfig open_cfg = base_config(devices);
+  open_cfg.lanes.push_back(
+      svc::LaneConfig{"tenant", 1, num_requests, 0, false});
+  // Deadline far beyond any sane latency: misses would flag a scheduler bug.
+  open_cfg.lanes[0].default_deadline_cycles = 50'000'000;
+  svc::AlignService open_svc(open_cfg);
+  const double tick =
+      static_cast<double>(open_cfg.engine.device.poll_quantum);
+  const double mean_gap = tick / (0.5 * requests_per_tick);
+  Prng arrivals(303);
+  double next_arrival = 0;
+  std::size_t submitted = 0;
+  std::vector<std::uint64_t> latencies;
+  while (submitted < num_requests || open_svc.busy()) {
+    while (submitted < num_requests &&
+           next_arrival <= static_cast<double>(open_svc.now())) {
+      const auto& pair = open_w.pairs[submitted];
+      if (!open_svc.submit(0, pair.a, pair.b).accepted()) {
+        std::printf("FAIL: open-loop submit refused at 0.5x load\n");
+        ok = false;
+      }
+      ++submitted;
+      next_arrival += exp_gap(arrivals, mean_gap);
+    }
+    if (open_svc.busy()) {
+      open_svc.pump();
+    } else {
+      open_svc.advance_to(static_cast<std::uint64_t>(next_arrival) + 1);
+    }
+  }
+  std::uint64_t open_sheds = 0;
+  std::uint64_t open_misses = 0;
+  for (const svc::ServiceCompletion& c : open_svc.harvest()) {
+    switch (c.outcome) {
+      case svc::RequestOutcome::kOk:
+        latencies.push_back(c.latency());
+        break;
+      case svc::RequestOutcome::kDeadlineMiss:
+        ++open_misses;
+        break;
+      case svc::RequestOutcome::kShed:
+        ++open_sheds;
+        break;
+    }
+  }
+  const double p50 = percentile(latencies, 0.50);
+  const double p99 = percentile(latencies, 0.99);
+  const double p999 = percentile(latencies, 0.999);
+  std::printf("p50 %12.0f cycles\np99 %12.0f cycles\np999%12.0f cycles\n",
+              p50, p99, p999);
+  if (open_sheds != 0 || open_misses != 0) {
+    std::printf("FAIL: %llu sheds / %llu misses at half load\n",
+                static_cast<unsigned long long>(open_sheds),
+                static_cast<unsigned long long>(open_misses));
+    ok = false;
+  }
+
+  // --- Phase C: overload --------------------------------------------------
+  bench::print_header("Phase C: overload",
+                      "(tight deadlines, bounded queues: degrade by policy)");
+  // Admission bound and deadline derived from the measured service rate,
+  // so the scenario stresses the same regime at any K and request count:
+  // the queue holds well over a deadline's worth of work — requests
+  // admitted into its back half cannot make their deadline and must be
+  // load-shed — and the 10x arrival process overflows it, forcing
+  // explicit backpressure too.
+  // Four ticks of service fit in the queue but only two fit the deadline
+  // (capped so the run can still overflow the queue).
+  const std::size_t queue_cap = std::max<std::size_t>(
+      16, std::min<std::size_t>(
+              static_cast<std::size_t>(std::llround(4 * requests_per_tick)),
+              num_requests / 2));
+  const std::uint64_t over_deadline =
+      2 * open_cfg.engine.device.poll_quantum;
+  const Workload over_w = make_workload(num_requests, 404);
+  svc::ServiceConfig over_cfg = base_config(devices);
+  over_cfg.lanes.push_back(
+      svc::LaneConfig{"tenant", 1, queue_cap, over_deadline, false});
+  svc::AlignService over_svc(over_cfg);
+  const double over_gap = tick / (overload_factor * requests_per_tick);
+  Prng over_arrivals(505);
+  next_arrival = 0;
+  submitted = 0;
+  std::uint64_t would_block = 0;
+  std::uint64_t admission_sheds = 0;
+  while (submitted < num_requests || over_svc.busy()) {
+    while (submitted < num_requests &&
+           next_arrival <= static_cast<double>(over_svc.now())) {
+      const auto& pair = over_w.pairs[submitted];
+      const svc::SubmitResult r = over_svc.submit(0, pair.a, pair.b);
+      if (r.admission == svc::Admission::kWouldBlock) ++would_block;
+      if (r.admission == svc::Admission::kShedExpired) ++admission_sheds;
+      ++submitted;
+      next_arrival += exp_gap(over_arrivals, over_gap);
+    }
+    if (over_svc.busy()) {
+      over_svc.pump();
+    } else {
+      over_svc.advance_to(static_cast<std::uint64_t>(next_arrival) + 1);
+    }
+  }
+  std::uint64_t over_ok = 0;
+  std::uint64_t over_miss = 0;
+  std::uint64_t over_shed = 0;
+  for (const svc::ServiceCompletion& c : over_svc.harvest()) {
+    over_ok += c.outcome == svc::RequestOutcome::kOk;
+    over_miss += c.outcome == svc::RequestOutcome::kDeadlineMiss;
+    over_shed += c.outcome == svc::RequestOutcome::kShed;
+  }
+  const svc::LaneStats& over_ls = over_svc.stats().lanes[0];
+  const double shed_rate =
+      static_cast<double>(over_shed) / static_cast<double>(num_requests);
+  const double block_rate =
+      static_cast<double>(would_block) / static_cast<double>(num_requests);
+  std::printf("ok %llu   miss %llu   shed %llu   backpressured %llu "
+              "(shed rate %.2f, block rate %.2f)\n",
+              static_cast<unsigned long long>(over_ok),
+              static_cast<unsigned long long>(over_miss),
+              static_cast<unsigned long long>(over_shed),
+              static_cast<unsigned long long>(would_block), shed_rate,
+              block_rate);
+  // Degradation must be explicit and bounded, not silent collapse: at 10x
+  // the service must both backpressure (full queue) and load-shed
+  // (queued work crossing its deadline).
+  if (would_block == 0 || over_shed == 0) {
+    std::printf("FAIL: overload produced no backpressure or no sheds\n");
+    ok = false;
+  }
+  if (over_ls.queue_high_water > queue_cap) {
+    std::printf("FAIL: admission queue exceeded its bound\n");
+    ok = false;
+  }
+  // Accounting closure: every submit accounted once, every admitted
+  // request resolved exactly once.
+  if (over_ls.submitted != over_ls.accepted + over_ls.would_block +
+                               over_ls.rejected + admission_sheds ||
+      over_ok + over_miss + over_shed != over_ls.accepted + admission_sheds) {
+    std::printf("FAIL: overload accounting identity broke\n");
+    ok = false;
+  }
+
+  // --- Phase D: hedged stragglers ----------------------------------------
+  bench::print_header("Phase D: hedged retries",
+                      "(aggressive hedging on long reads; exactly-once)");
+  svc::ServiceConfig hedge_cfg = base_config(std::max(devices, 2u));
+  hedge_cfg.lanes.push_back(svc::LaneConfig{"tenant", 1, 64, 0, false});
+  hedge_cfg.max_batch_pairs = 2;
+  hedge_cfg.hedge.min_cycles = 1;
+  hedge_cfg.hedge.latency_factor = 0;
+  svc::AlignService hedge_svc(hedge_cfg);
+  Prng hedge_prng(606);
+  const std::size_t hedge_reqs = 8;
+  for (std::size_t i = 0; i < hedge_reqs; ++i) {
+    std::string a = gen::random_sequence(hedge_prng, 1200);
+    const std::string b = gen::mutate_sequence(hedge_prng, a, 0.10);
+    hedge_svc.submit(0, a, b);
+  }
+  hedge_svc.drain();
+  const auto hedge_done = hedge_svc.harvest();
+  std::vector<svc::RequestId> seen;
+  for (const auto& c : hedge_done) seen.push_back(c.id);
+  std::sort(seen.begin(), seen.end());
+  const bool unique =
+      std::adjacent_find(seen.begin(), seen.end()) == seen.end();
+  const svc::ServiceStats& hst = hedge_svc.stats();
+  std::printf("hedges launched %llu, cancelled %llu, suppressed %llu; "
+              "%zu/%zu unique completions\n",
+              static_cast<unsigned long long>(hst.hedges_launched),
+              static_cast<unsigned long long>(hst.cancels_succeeded),
+              static_cast<unsigned long long>(hst.duplicates_suppressed),
+              seen.size(), hedge_reqs);
+  if (hedge_done.size() != hedge_reqs || !unique ||
+      hst.hedges_launched == 0) {
+    std::printf("FAIL: hedging did not resolve stragglers exactly once\n");
+    ok = false;
+  }
+
+  // --- Report -------------------------------------------------------------
+  report.metric("saturation_sim_cycles", static_cast<double>(sat_cycles));
+  report.metric("saturation_gcups", sat_gcups);
+  report.metric("halfload_p50_cycles", p50);
+  report.metric("halfload_p99_cycles", p99);
+  report.metric("halfload_p999_cycles", p999);
+  report.metric("halfload_shed_rate", static_cast<double>(open_sheds));
+  report.metric("halfload_miss_rate", static_cast<double>(open_misses));
+  report.metric("overload_shed_rate", shed_rate);
+  report.metric("overload_block_rate", block_rate);
+  report.metric("overload_ok", static_cast<double>(over_ok));
+  report.metric("overload_deadline_miss", static_cast<double>(over_miss));
+  report.metric("overload_queue_high_water",
+                static_cast<double>(over_ls.queue_high_water));
+  report.metric("hedges_launched",
+                static_cast<double>(hst.hedges_launched));
+  report.metric("duplicates_suppressed",
+                static_cast<double>(hst.duplicates_suppressed));
+  // Engine observability export (informational keys; bench_compare.py
+  // reports candidate-only keys without failing).
+  bench::report_engine_metrics(report, open_svc.engine().metrics(),
+                               "svc_halfload");
+  if (!report.write()) ok = false;
+
+  if (ok) {
+    std::printf("\nOK: %.2f GCUPS saturated; p99 %.0f cycles at half load; "
+                "overload degraded by policy (%.0f%% shed, %.0f%% "
+                "backpressured) with bounded queues; hedges exactly-once.\n",
+                sat_gcups, p99, 100 * shed_rate, 100 * block_rate);
+  }
+  return ok ? 0 : 1;
+}

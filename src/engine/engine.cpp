@@ -222,6 +222,18 @@ JobHandle Engine::submit(BatchJob job) {
   return file_submission(dev, local);
 }
 
+JobHandle Engine::submit_on(unsigned device, BatchJob job) {
+  WFASIC_REQUIRE(device < devices_.size(), "Engine::submit_on: bad device");
+  const JobHandle local = devices_[device]->submit(std::move(job));
+  return file_submission(device, local);
+}
+
+unsigned Engine::handle_device(JobHandle handle) const {
+  const auto it = tickets_.find(handle.value);
+  WFASIC_REQUIRE(it != tickets_.end(), "Engine::handle_device: unknown handle");
+  return it->second.device;
+}
+
 JobHandle Engine::submit_software(BatchJob job) {
   const JobHandle local = software_.submit(std::move(job));
   return file_submission(static_cast<unsigned>(devices_.size()), local);

@@ -87,13 +87,30 @@ class Engine {
   /// Queues a batch on the software backend instead (the resilient path's
   /// terminal fallback; also usable as a baseline).
   JobHandle submit_software(BatchJob job);
+  /// Directed submission: queues a batch on device `device` regardless of
+  /// load. The service layer's hedged retries use this to place a copy
+  /// away from the straggling device; plain submit() remains the
+  /// least-loaded default.
+  JobHandle submit_on(unsigned device, BatchJob job);
   /// Advances every backend by one bounded quantum and collects finished
   /// completions. Returns true while any submitted work remains.
   bool poll();
   /// Polls until `handle` completes, then moves its completion out.
   Completion wait(JobHandle handle);
+  /// True once `handle` has completed and its record awaits collection.
+  [[nodiscard]] bool ready(JobHandle handle) const {
+    return completed_.count(handle.value) != 0;
+  }
+  /// Non-blocking completion pickup: moves the record out when the job
+  /// has finished, nullopt while it is still queued or running.
+  std::optional<Completion> try_collect(JobHandle handle) {
+    return try_take(handle);
+  }
   /// Cancels a still-queued job. Returns true when it was removed.
   bool cancel(JobHandle handle);
+  /// The backend index a live handle was filed on (num_devices() = the
+  /// software backend). Valid until the completion is collected.
+  [[nodiscard]] unsigned handle_device(JobHandle handle) const;
   [[nodiscard]] std::size_t in_flight() const;
 
   // --- Batch facades --------------------------------------------------------
@@ -139,6 +156,14 @@ class Engine {
   // --- Device health --------------------------------------------------------
   /// Scoreboards, quarantine state and probe history (health.hpp).
   [[nodiscard]] const HealthMonitor& health() const { return health_; }
+  /// Feeds one completion outcome into the health scoreboard (quarantine
+  /// after repeated failures, golden probes to readmit or retire). The
+  /// batch facades call this themselves; callers that collect completions
+  /// through try_collect() — the service layer — report outcomes here so
+  /// the scoreboard keeps acting as their per-device circuit breaker.
+  void note_outcome(unsigned dev, drv::RunOutcome outcome) {
+    note_device_outcome(dev, outcome);
+  }
   /// Runs one golden-pair self-test batch on device `dev` and compares
   /// the scores against the software-computed expectation. Does not touch
   /// the scoreboard — callers feed the verdict to HealthMonitor.

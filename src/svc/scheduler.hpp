@@ -1,0 +1,70 @@
+// Deterministic weighted-fair lane scheduler (start-time fair queueing).
+//
+// Each lane carries a virtual finish tag. Dispatching a shard of cost c
+// from lane l advances l's tag by c/weight(l) (fixed-point, so the
+// arithmetic is exact and platform-independent); the next dispatch goes
+// to the backlogged lane with the smallest tag, ties broken to the lowest
+// lane index. A lane that went idle re-enters at the scheduler's virtual
+// clock rather than its stale tag, so it cannot hoard credit while empty.
+// Over any backlogged interval, lane l therefore receives cost in
+// proportion to weight(l) — and the whole decision sequence is a pure
+// function of the (cost, eligibility) history, which is what makes the
+// service's scheduling decisions replay bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace wfasic::svc {
+
+class WfqScheduler {
+ public:
+  explicit WfqScheduler(std::vector<unsigned> weights)
+      : weights_(std::move(weights)), vfinish_(weights_.size(), 0) {
+    for (const unsigned w : weights_) {
+      WFASIC_REQUIRE(w > 0, "WfqScheduler: lane weights must be positive");
+    }
+  }
+
+  /// The lane the next shard should come from, among lanes flagged
+  /// eligible (= backlogged). Returns lanes() when none is.
+  [[nodiscard]] std::size_t pick(const std::vector<bool>& eligible) const {
+    WFASIC_REQUIRE(eligible.size() == weights_.size(),
+                   "WfqScheduler::pick: eligibility size mismatch");
+    std::size_t best = weights_.size();
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+      if (!eligible[l]) continue;
+      if (best == weights_.size() || start_tag(l) < start_tag(best)) {
+        best = l;
+      }
+    }
+    return best;
+  }
+
+  /// Accounts a dispatched shard of `cost` (any additive work unit — the
+  /// service uses total bases) against `lane`.
+  void charge(std::size_t lane, std::uint64_t cost) {
+    WFASIC_REQUIRE(lane < weights_.size(), "WfqScheduler::charge: bad lane");
+    const std::uint64_t start = start_tag(lane);
+    vfinish_[lane] = start + cost * kScale / weights_[lane];
+    vclock_ = start;
+  }
+
+  [[nodiscard]] std::size_t lanes() const { return weights_.size(); }
+
+ private:
+  /// Fixed-point scale for cost/weight, keeping tags integral and exact.
+  static constexpr std::uint64_t kScale = 1024;
+
+  [[nodiscard]] std::uint64_t start_tag(std::size_t lane) const {
+    return vfinish_[lane] > vclock_ ? vfinish_[lane] : vclock_;
+  }
+
+  std::vector<unsigned> weights_;
+  std::vector<std::uint64_t> vfinish_;
+  std::uint64_t vclock_ = 0;
+};
+
+}  // namespace wfasic::svc

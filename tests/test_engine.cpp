@@ -128,6 +128,80 @@ TEST(Engine, AsyncSubmitPollWaitCancel) {
   EXPECT_FALSE(engine.cancel(h1));  // completed jobs cannot be cancelled
 }
 
+// Cancellation edge cases (the service layer's deadline recall leans on
+// these semantics): a job is cancellable only in the queued/staged window
+// before launch; double-cancel, cancel-in-flight and cancel-after-collect
+// all return false without perturbing anything.
+
+TEST(Engine, CancelBeforeAnyPollRemovesTheQueuedJob) {
+  const auto pairs = gen::generate_input_set({120, 0.08, 3, 97});
+  Engine engine{EngineConfig{}};
+  BatchJob job;
+  job.pairs = pairs;
+  const JobHandle h = engine.submit(std::move(job));
+  EXPECT_EQ(engine.in_flight(), 1u);
+
+  EXPECT_TRUE(engine.cancel(h));  // never polled: still queued
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_FALSE(engine.poll());     // nothing left to run
+  EXPECT_FALSE(engine.cancel(h));  // double-cancel: the handle is gone
+  EXPECT_FALSE(engine.ready(h));
+  EXPECT_FALSE(engine.try_collect(h).has_value());
+}
+
+TEST(Engine, CancelInFlightJobFailsAndTheJobStillCompletes) {
+  // One long pair: a single poll quantum cannot finish it, so after one
+  // poll the job is launched and past the point of recall.
+  Prng prng(4711);
+  std::string a = gen::random_sequence(prng, 4000);
+  const std::string b = gen::mutate_sequence(prng, a, 0.10);
+  std::vector<gen::SequencePair> pairs;
+  pairs.push_back({0, std::move(a), b});
+
+  auto run = [&]() {
+    Engine engine{EngineConfig{}};
+    BatchJob job;
+    job.pairs = pairs;
+    const JobHandle h = engine.submit(std::move(job));
+    EXPECT_TRUE(engine.poll());      // launched, not yet finished
+    EXPECT_FALSE(engine.cancel(h));  // in flight: cannot be recalled
+    const Completion done = engine.wait(h);
+    EXPECT_EQ(done.outcome, drv::RunOutcome::kOk);
+    EXPECT_EQ(done.result.alignments[0].score,
+              reference_alignment(pairs[0], kDefaultPenalties, false).score);
+    EXPECT_FALSE(engine.cancel(h));  // cancel-after-complete
+    return done.accel_cycles;
+  };
+  // The whole sequence — including the failed cancels — replays
+  // deterministically under the fixed seed.
+  const std::uint64_t cycles = run();
+  EXPECT_EQ(run(), cycles);
+}
+
+TEST(Engine, CancelOfAStagedSuccessorSucceedsBeforeItsLaunch) {
+  const auto pairs = gen::generate_input_set({150, 0.1, 4, 98});
+  Engine engine{EngineConfig{}};
+  // A long first job keeps the device busy; the second job is encoded
+  // into the other arena slot (staged) but not launched — still
+  // recallable, and cancelling it must not disturb the active job.
+  Prng prng(4712);
+  std::string a = gen::random_sequence(prng, 4000);
+  const std::string b = gen::mutate_sequence(prng, a, 0.10);
+  BatchJob big;
+  big.pairs.push_back({0, std::move(a), b});
+  BatchJob staged;
+  staged.pairs = pairs;
+  const JobHandle h_big = engine.submit(std::move(big));
+  const JobHandle h_staged = engine.submit(std::move(staged));
+  EXPECT_TRUE(engine.poll());  // launches big, stages the successor
+
+  EXPECT_TRUE(engine.cancel(h_staged));
+  EXPECT_FALSE(engine.cancel(h_staged));
+  const Completion done = engine.wait(h_big);
+  EXPECT_EQ(done.outcome, drv::RunOutcome::kOk);
+  EXPECT_EQ(engine.in_flight(), 0u);
+}
+
 TEST(Engine, RunDatasetMergesInDatasetOrderAcrossBatchBoundaries) {
   const auto pairs = gen::generate_input_set({180, 0.1, 10, 93});
   Engine engine{EngineConfig{}};

@@ -1,0 +1,647 @@
+// The alignment service (src/svc): request-centric resilience over the
+// engine. Covers the WFQ lane scheduler, admission control and
+// backpressure, deadline shedding/cancellation/miss marking, weighted
+// fair sharing, bit-identical replay across device counts, bounded-queue
+// behaviour at 10x overload, hedged retries with duplicate suppression,
+// failed-shard retry, and the health circuit breaker driving graceful
+// degradation.
+#include "svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "core/wfa.hpp"
+#include "sim/fault_injector.hpp"
+
+namespace wfasic::svc {
+namespace {
+
+score_t reference_score(const std::string& a, const std::string& b) {
+  core::WfaConfig cfg;
+  cfg.traceback = core::Traceback::kDisabled;
+  cfg.extend = core::ExtendMode::kScalar;
+  core::WfaAligner aligner(cfg);
+  return aligner.align(a, b).score;
+}
+
+core::AlignResult reference_alignment(const std::string& a,
+                                      const std::string& b) {
+  core::WfaConfig cfg;
+  cfg.traceback = core::Traceback::kEnabled;
+  cfg.extend = core::ExtendMode::kScalar;
+  core::WfaAligner aligner(cfg);
+  return aligner.align(a, b);
+}
+
+/// Score-only service sized like the benches: small per-device arenas so
+/// K=4 instantiations stay cheap.
+ServiceConfig small_config(unsigned devices = 1) {
+  ServiceConfig cfg;
+  cfg.engine.num_devices = devices;
+  cfg.engine.device.memory_bytes = 16ull << 20;
+  cfg.engine.device.out_addr = 12ull << 20;
+  return cfg;
+}
+
+void expect_lane_stats_eq(const LaneStats& a, const LaneStats& b,
+                          const char* what) {
+  EXPECT_EQ(a.submitted, b.submitted) << what;
+  EXPECT_EQ(a.accepted, b.accepted) << what;
+  EXPECT_EQ(a.would_block, b.would_block) << what;
+  EXPECT_EQ(a.rejected, b.rejected) << what;
+  EXPECT_EQ(a.shed, b.shed) << what;
+  EXPECT_EQ(a.completed_ok, b.completed_ok) << what;
+  EXPECT_EQ(a.deadline_miss, b.deadline_miss) << what;
+  EXPECT_EQ(a.hedges_launched, b.hedges_launched) << what;
+  EXPECT_EQ(a.hedges_won, b.hedges_won) << what;
+  EXPECT_EQ(a.retries, b.retries) << what;
+  EXPECT_EQ(a.sw_resolved, b.sw_resolved) << what;
+  EXPECT_EQ(a.device_cycles, b.device_cycles) << what;
+  EXPECT_EQ(a.sw_cycles, b.sw_cycles) << what;
+  EXPECT_TRUE(a.latency == b.latency) << what;
+  EXPECT_EQ(a.queue_high_water, b.queue_high_water) << what;
+}
+
+void expect_service_stats_eq(const ServiceStats& a, const ServiceStats& b) {
+  ASSERT_EQ(a.lanes.size(), b.lanes.size());
+  for (std::size_t l = 0; l < a.lanes.size(); ++l) {
+    expect_lane_stats_eq(a.lanes[l], b.lanes[l], "lane");
+  }
+  EXPECT_EQ(a.shards_dispatched, b.shards_dispatched);
+  EXPECT_EQ(a.shard_attempts, b.shard_attempts);
+  EXPECT_EQ(a.shards_failed, b.shards_failed);
+  EXPECT_EQ(a.hedges_launched, b.hedges_launched);
+  EXPECT_EQ(a.duplicates_suppressed, b.duplicates_suppressed);
+  EXPECT_EQ(a.cancels_attempted, b.cancels_attempted);
+  EXPECT_EQ(a.cancels_succeeded, b.cancels_succeeded);
+  EXPECT_EQ(a.sw_shards, b.sw_shards);
+  EXPECT_EQ(a.inflight_high_water, b.inflight_high_water);
+}
+
+// ---------------------------------------------------------------------------
+// WfqScheduler: exact start-time-fair sequences.
+
+TEST(WfqScheduler, TwoToOneWeightsYieldTwoToOnePicks) {
+  WfqScheduler wfq({2, 1});
+  const std::vector<bool> both{true, true};
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 9; ++i) {
+    const std::size_t lane = wfq.pick(both);
+    picks.push_back(lane);
+    wfq.charge(lane, 100);  // equal-cost shards
+  }
+  // Start-time fair queueing at weights 2:1, equal costs: lane 0 gets two
+  // dispatches for every one of lane 1, deterministically.
+  const std::vector<std::size_t> expected{0, 1, 0, 0, 1, 0, 0, 1, 0};
+  EXPECT_EQ(picks, expected);
+}
+
+TEST(WfqScheduler, IdleLaneReentersAtTheVirtualClock) {
+  WfqScheduler wfq({1, 1});
+  // Lane 0 runs alone for a while...
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(wfq.pick({true, false}), 0u);
+    wfq.charge(0, 100);
+  }
+  // ...then lane 1 arrives. It must not get 8 dispatches of back-credit:
+  // after its first catch-up pick the two lanes alternate.
+  std::vector<std::size_t> picks;
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t lane = wfq.pick({true, true});
+    picks.push_back(lane);
+    wfq.charge(lane, 100);
+  }
+  const std::vector<std::size_t> expected{1, 0, 1, 0, 1, 0};
+  EXPECT_EQ(picks, expected);
+}
+
+TEST(WfqScheduler, NoEligibleLaneReturnsLanes) {
+  WfqScheduler wfq({1, 1, 1});
+  EXPECT_EQ(wfq.pick({false, false, false}), 3u);
+  EXPECT_EQ(wfq.lanes(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Correctness of the request surface.
+
+TEST(Svc, ScoreOnlyRequestsResolveWithReferenceScores) {
+  const auto pairs = gen::generate_input_set({150, 0.08, 6, 41});
+  AlignService svc(small_config());
+
+  std::map<RequestId, std::size_t> by_id;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const SubmitResult r = svc.submit(0, pairs[i].a, pairs[i].b);
+    ASSERT_TRUE(r.accepted());
+    by_id[r.id] = i;
+  }
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), pairs.size());
+  for (const ServiceCompletion& c : done) {
+    ASSERT_TRUE(by_id.count(c.id));
+    const gen::SequencePair& pair = pairs[by_id[c.id]];
+    EXPECT_EQ(c.outcome, RequestOutcome::kOk);
+    EXPECT_TRUE(c.result.ok);
+    EXPECT_EQ(c.result.score, reference_score(pair.a, pair.b));
+    EXPECT_FALSE(c.software);
+  }
+  EXPECT_EQ(svc.stats().lanes[0].completed_ok, pairs.size());
+  EXPECT_GT(svc.stats().lanes[0].device_cycles, 0u);
+}
+
+TEST(Svc, BacktraceLaneDeliversCigars) {
+  const auto pairs = gen::generate_input_set({120, 0.08, 4, 42});
+  ServiceConfig cfg;
+  cfg.engine.device.memory_bytes = 64ull << 20;
+  cfg.engine.device.out_addr = 16ull << 20;
+  LaneConfig lane;
+  lane.backtrace = true;
+  cfg.lanes.push_back(lane);
+  AlignService svc(cfg);
+
+  std::map<RequestId, std::size_t> by_id;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    by_id[svc.submit(0, pairs[i].a, pairs[i].b).id] = i;
+  }
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), pairs.size());
+  for (const ServiceCompletion& c : done) {
+    const gen::SequencePair& pair = pairs[by_id[c.id]];
+    const core::AlignResult ref = reference_alignment(pair.a, pair.b);
+    EXPECT_EQ(c.result.score, ref.score);
+    EXPECT_EQ(c.result.cigar.rle(), ref.cigar.rle());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control and backpressure.
+
+TEST(Svc, FullLaneBackpressuresThenRecovers) {
+  ServiceConfig cfg = small_config();
+  LaneConfig lane;
+  lane.queue_capacity = 2;
+  cfg.lanes.push_back(lane);
+  cfg.max_batch_pairs = 2;
+  cfg.max_inflight_shards = 1;
+  AlignService svc(cfg);
+  const auto pairs = gen::generate_input_set({130, 0.08, 3, 43});
+
+  EXPECT_TRUE(svc.submit(0, pairs[0].a, pairs[0].b).accepted());
+  EXPECT_TRUE(svc.submit(0, pairs[1].a, pairs[1].b).accepted());
+  // Queue full: explicit backpressure, not blocking and not a drop.
+  const SubmitResult blocked = svc.submit(0, pairs[2].a, pairs[2].b);
+  EXPECT_EQ(blocked.admission, Admission::kWouldBlock);
+  EXPECT_EQ(blocked.id, 0u);
+  EXPECT_EQ(svc.stats().lanes[0].would_block, 1u);
+
+  // One pump dispatches the queue into a shard; admission space frees up.
+  svc.pump();
+  EXPECT_EQ(svc.queued(0), 0u);
+  EXPECT_TRUE(svc.submit(0, pairs[2].a, pairs[2].b).accepted());
+  svc.drain();
+
+  EXPECT_EQ(svc.harvest().size(), 3u);
+  EXPECT_EQ(svc.stats().lanes[0].submitted, 4u);
+  EXPECT_EQ(svc.stats().lanes[0].accepted, 3u);
+  EXPECT_EQ(svc.stats().lanes[0].queue_high_water, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines: admission shed, queue shed, miss marking.
+
+TEST(Svc, ExpiredDeadlineAtAdmissionShedsImmediately) {
+  AlignService svc(small_config());
+  svc.advance_to(1000);
+  const SubmitResult r = svc.submit(0, "ACGT", "ACGT", /*deadline=*/500);
+  EXPECT_EQ(r.admission, Admission::kShedExpired);
+  EXPECT_NE(r.id, 0u);
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(done[0].id, r.id);
+  EXPECT_EQ(done[0].outcome, RequestOutcome::kShed);
+  EXPECT_EQ(svc.stats().lanes[0].shed, 1u);
+  EXPECT_EQ(svc.stats().shards_dispatched, 0u);  // no device cycles spent
+}
+
+TEST(Svc, QueuedRequestsPastDeadlineAreShedBeforeDispatch) {
+  ServiceConfig cfg = small_config();
+  cfg.max_batch_pairs = 1;
+  cfg.max_inflight_shards = 1;
+  cfg.hedge.enabled = false;
+  AlignService svc(cfg);
+  const auto pairs = gen::generate_input_set({120, 0.08, 3, 44});
+
+  // All three carry a one-tick deadline; only one shard may be in flight,
+  // so the other two are still queued when the clock passes it.
+  const std::uint64_t tick = cfg.engine.device.poll_quantum;
+  std::vector<RequestId> ids;
+  for (const auto& pair : pairs) {
+    const SubmitResult r = svc.submit(0, pair.a, pair.b, tick);
+    ASSERT_TRUE(r.accepted());
+    ids.push_back(r.id);
+  }
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), 3u);
+  const LaneStats& ls = svc.stats().lanes[0];
+  EXPECT_EQ(ls.completed_ok, 1u);  // the dispatched one finished in time
+  EXPECT_EQ(ls.shed, 2u);          // the queued ones were load-shed
+  for (const ServiceCompletion& c : done) {
+    if (c.outcome == RequestOutcome::kShed) {
+      EXPECT_FALSE(c.result.ok);  // no result attached to a shed
+    }
+  }
+}
+
+TEST(Svc, LateCompletionIsMarkedDeadlineMissAndStillDelivers) {
+  ServiceConfig cfg = small_config();
+  cfg.max_batch_pairs = 2;
+  cfg.hedge.enabled = false;
+  AlignService svc(cfg);
+
+  // One long pair (several poll quanta of device time) rides in a shard
+  // with an undeadlined short pair, so the shard is neither budgeted nor
+  // cancellable — it must run to completion and come back late.
+  Prng prng(45);
+  std::string long_a = gen::random_sequence(prng, 1500);
+  const std::string long_b = gen::mutate_sequence(prng, long_a, 0.10);
+  std::string short_a = gen::random_sequence(prng, 120);
+  const std::string short_b = gen::mutate_sequence(prng, short_a, 0.05);
+
+  const std::uint64_t deadline = cfg.engine.device.poll_quantum / 2;
+  const SubmitResult late = svc.submit(0, long_a, long_b, deadline);
+  const SubmitResult ok = svc.submit(0, short_a, short_b);
+  ASSERT_TRUE(late.accepted());
+  ASSERT_TRUE(ok.accepted());
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), 2u);
+  for (const ServiceCompletion& c : done) {
+    if (c.id == late.id) {
+      EXPECT_EQ(c.outcome, RequestOutcome::kDeadlineMiss);
+      EXPECT_TRUE(c.result.ok);  // late, but the result is still valid
+      EXPECT_EQ(c.result.score, reference_score(long_a, long_b));
+      EXPECT_GT(c.complete_cycle, c.deadline);
+    } else {
+      EXPECT_EQ(c.outcome, RequestOutcome::kOk);
+    }
+  }
+  EXPECT_EQ(svc.stats().lanes[0].deadline_miss, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted fairness at the service level.
+
+TEST(Svc, LanesShareThroughputByWeight) {
+  ServiceConfig cfg = small_config();
+  LaneConfig heavy;
+  heavy.name = "heavy";
+  heavy.weight = 3;
+  heavy.queue_capacity = 128;
+  LaneConfig light;
+  light.name = "light";
+  light.weight = 1;
+  light.queue_capacity = 128;
+  cfg.lanes = {heavy, light};
+  cfg.max_batch_pairs = 1;
+  cfg.max_inflight_shards = 1;
+  cfg.hedge.enabled = false;
+  AlignService svc(cfg);
+
+  const auto pairs = gen::generate_input_set({110, 0.05, 80, 46});
+  for (std::size_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(svc.submit(0, pairs[i].a, pairs[i].b).accepted());
+    ASSERT_TRUE(svc.submit(1, pairs[40 + i].a, pairs[40 + i].b).accepted());
+  }
+  // Both lanes stay backlogged for the whole window: the completions
+  // realised inside it must honour the 3:1 weights.
+  for (int i = 0; i < 32; ++i) svc.pump();
+
+  const std::uint64_t heavy_done = svc.stats().lanes[0].completed_ok;
+  const std::uint64_t light_done = svc.stats().lanes[1].completed_ok;
+  EXPECT_GT(light_done, 0u);  // no starvation
+  EXPECT_GE(heavy_done, 2 * light_done);
+  EXPECT_LE(heavy_done, 4 * light_done);
+  svc.drain();
+  EXPECT_EQ(svc.harvest().size(), 80u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: replay of a fixed submit/advance trace is bit-identical.
+
+struct TraceResult {
+  std::vector<ServiceCompletion> completions;
+  ServiceStats stats;
+  std::uint64_t final_now = 0;
+};
+
+TraceResult run_trace(unsigned devices) {
+  ServiceConfig cfg = small_config(devices);
+  LaneConfig a;
+  a.weight = 2;
+  a.queue_capacity = 32;
+  LaneConfig b;
+  b.weight = 1;
+  b.queue_capacity = 32;
+  b.default_deadline_cycles = 120'000;
+  cfg.lanes = {a, b};
+  cfg.max_batch_pairs = 3;
+  AlignService svc(cfg);
+
+  Prng prng(4711);
+  std::vector<gen::SequencePair> pairs;
+  for (std::size_t i = 0; i < 24; ++i) {
+    std::string sa = gen::random_sequence(prng, 100 + 30 * (i % 5));
+    std::string sb = gen::mutate_sequence(prng, sa, 0.08);
+    pairs.push_back({0, std::move(sa), std::move(sb)});
+  }
+
+  TraceResult out;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const unsigned lane = i % 3 == 0 ? 1 : 0;
+    const std::uint64_t deadline =
+        i % 4 == 0 ? svc.now() + 80'000 : 0;  // mixed explicit deadlines
+    svc.submit(lane, pairs[i].a, pairs[i].b, deadline);
+    if (i % 5 == 4) svc.pump();
+    if (i == 12) svc.advance_to(svc.now() + 50'000);  // idle gap
+  }
+  svc.drain();
+  out.completions = svc.harvest();
+  out.stats = svc.stats();
+  out.final_now = svc.now();
+  return out;
+}
+
+TEST(Svc, ReplayOfTheSameTraceIsBitIdenticalForK124) {
+  for (const unsigned k : {1u, 2u, 4u}) {
+    const TraceResult first = run_trace(k);
+    const TraceResult replay = run_trace(k);
+    SCOPED_TRACE("K=" + std::to_string(k));
+
+    EXPECT_EQ(replay.final_now, first.final_now);
+    ASSERT_EQ(replay.completions.size(), first.completions.size());
+    for (std::size_t i = 0; i < first.completions.size(); ++i) {
+      const ServiceCompletion& x = first.completions[i];
+      const ServiceCompletion& y = replay.completions[i];
+      EXPECT_EQ(x.id, y.id) << i;
+      EXPECT_EQ(x.lane, y.lane) << i;
+      EXPECT_EQ(x.outcome, y.outcome) << i;
+      EXPECT_EQ(x.result.ok, y.result.ok) << i;
+      EXPECT_EQ(x.result.score, y.result.score) << i;
+      EXPECT_EQ(x.arrival_cycle, y.arrival_cycle) << i;
+      EXPECT_EQ(x.complete_cycle, y.complete_cycle) << i;
+      EXPECT_EQ(x.software, y.software) << i;
+      EXPECT_EQ(x.hedged, y.hedged) << i;
+    }
+    expect_service_stats_eq(first.stats, replay.stats);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overload: bounded queues and deterministic shedding at 10x saturation.
+
+struct OverloadResult {
+  ServiceStats stats;
+  std::set<RequestId> shed_ids;
+  std::uint64_t admission_sheds = 0;
+  std::uint64_t completions = 0;
+};
+
+OverloadResult run_overload() {
+  ServiceConfig cfg = small_config();
+  LaneConfig lane;
+  lane.queue_capacity = 16;
+  lane.default_deadline_cycles = 100'000;
+  cfg.lanes.push_back(lane);
+  cfg.max_batch_pairs = 1;   // service rate ~1 request per pump...
+  cfg.max_inflight_shards = 1;
+  cfg.hedge.enabled = false;
+  AlignService svc(cfg);
+
+  const auto pairs = gen::generate_input_set({140, 0.08, 10, 47});
+  OverloadResult out;
+  for (int round = 0; round < 60; ++round) {
+    for (const auto& pair : pairs) {  // ...offered 10 per pump: 10x load
+      const SubmitResult r = svc.submit(0, pair.a, pair.b);
+      if (r.admission == Admission::kShedExpired) ++out.admission_sheds;
+    }
+    svc.pump();
+  }
+  svc.drain();
+
+  for (const ServiceCompletion& c : svc.harvest()) {
+    ++out.completions;
+    if (c.outcome == RequestOutcome::kShed) out.shed_ids.insert(c.id);
+  }
+  out.stats = svc.stats();
+  return out;
+}
+
+TEST(Svc, TenXOverloadKeepsQueuesBoundedAndShedsDeterministically) {
+  const OverloadResult first = run_overload();
+  const LaneStats& ls = first.stats.lanes[0];
+
+  // Memory stays bounded no matter the offered load: the admission queue
+  // never exceeded its capacity, and the excess was refused explicitly.
+  EXPECT_LE(ls.queue_high_water, 16u);
+  EXPECT_GT(ls.would_block, 0u);
+  EXPECT_GT(ls.shed, 0u);
+  EXPECT_GT(ls.completed_ok, 0u);
+
+  // Exact accounting closure: every submit is accounted once, and every
+  // accepted (or admission-shed) request produced exactly one completion.
+  EXPECT_EQ(ls.submitted,
+            ls.accepted + ls.would_block + ls.rejected + first.admission_sheds);
+  EXPECT_EQ(first.completions, ls.accepted + first.admission_sheds);
+  EXPECT_EQ(ls.completed_ok + ls.deadline_miss + ls.shed,
+            ls.accepted + first.admission_sheds);
+
+  // The shed set and every counter replay bit for bit.
+  const OverloadResult replay = run_overload();
+  EXPECT_EQ(replay.shed_ids, first.shed_ids);
+  EXPECT_EQ(replay.admission_sheds, first.admission_sheds);
+  expect_service_stats_eq(first.stats, replay.stats);
+}
+
+// ---------------------------------------------------------------------------
+// Hedged retries: stragglers get a copy, the first completion wins, and
+// no request ever resolves twice.
+
+TEST(Svc, HedgedStragglersResolveExactlyOnce) {
+  ServiceConfig cfg = small_config(2);
+  cfg.max_batch_pairs = 2;
+  cfg.hedge.min_cycles = 1;      // hedge aggressively: any shard still in
+  cfg.hedge.latency_factor = 0;  // flight after one tick gets a copy
+  AlignService svc(cfg);
+
+  // Long pairs: several quanta of device time, so both primaries are
+  // still running when the hedge check fires.
+  Prng prng(48);
+  std::vector<RequestId> ids;
+  for (int i = 0; i < 4; ++i) {
+    std::string a = gen::random_sequence(prng, 1200);
+    const std::string b = gen::mutate_sequence(prng, a, 0.10);
+    const SubmitResult r = svc.submit(0, a, b);
+    ASSERT_TRUE(r.accepted());
+    ids.push_back(r.id);
+  }
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), ids.size());
+  std::set<RequestId> seen;
+  for (const ServiceCompletion& c : done) {
+    EXPECT_EQ(c.outcome, RequestOutcome::kOk);
+    EXPECT_TRUE(seen.insert(c.id).second) << "duplicate completion " << c.id;
+  }
+  for (const RequestId id : ids) EXPECT_TRUE(seen.count(id)) << id;
+
+  const ServiceStats& st = svc.stats();
+  EXPECT_GT(st.hedges_launched, 0u);
+  // Every losing attempt was either recalled before launch or suppressed
+  // on arrival — never surfaced to the client.
+  EXPECT_GE(st.cancels_succeeded + st.duplicates_suppressed,
+            st.hedges_launched);
+}
+
+// ---------------------------------------------------------------------------
+// Failed shards retry; the health scoreboard is the circuit breaker.
+
+engine::EngineConfig crc_engine(unsigned devices = 1) {
+  engine::EngineConfig cfg;
+  cfg.num_devices = devices;
+  cfg.device.accel.crc = true;
+  cfg.device.memory_bytes = 16ull << 20;
+  cfg.device.out_addr = 12ull << 20;
+  return cfg;
+}
+
+sim::FaultInjector drop_write_beats(std::initializer_list<std::uint64_t> beats) {
+  sim::FaultInjector injector;
+  for (const std::uint64_t beat : beats) {
+    sim::FaultEvent ev;
+    ev.cls = sim::FaultClass::kWriteBeatDrop;
+    ev.beat = beat;
+    injector.schedule(ev);
+  }
+  return injector;
+}
+
+TEST(Svc, FailedShardRetriesAndResolvesOnSoftware) {
+  ServiceConfig cfg;
+  cfg.engine = crc_engine();
+  cfg.max_batch_pairs = 4;
+  cfg.hedge.enabled = false;
+  AlignService svc(cfg);
+  // Drop the first result beat of launch 1: that shard comes back as
+  // kDataError. With K=1 the retry has no other device to go to, so it
+  // lands on the software backend and still completes.
+  sim::FaultInjector injector = drop_write_beats({0});
+  svc.engine().device(0).attach_fault_injector(&injector);
+
+  const auto pairs = gen::generate_input_set({100, 0.08, 4, 49});
+  std::map<RequestId, std::size_t> by_id;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    by_id[svc.submit(0, pairs[i].a, pairs[i].b).id] = i;
+  }
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), pairs.size());
+  for (const ServiceCompletion& c : done) {
+    const gen::SequencePair& pair = pairs[by_id[c.id]];
+    EXPECT_EQ(c.outcome, RequestOutcome::kOk);
+    EXPECT_EQ(c.result.score, reference_score(pair.a, pair.b));
+    EXPECT_TRUE(c.software);
+  }
+  EXPECT_EQ(svc.stats().shards_failed, 1u);
+  EXPECT_EQ(svc.stats().lanes[0].retries, 1u);
+  EXPECT_EQ(svc.stats().lanes[0].sw_resolved, pairs.size());
+  EXPECT_EQ(injector.fired_count(), 1u);
+}
+
+TEST(Svc, CircuitBreakerRetiresDeviceAndRejectNewTurnsAwayClients) {
+  ServiceConfig cfg;
+  cfg.engine = crc_engine();
+  // One failure quarantines; a passing probe cannot readmit (budget 0),
+  // so the only device retires — the whole fleet becomes unusable.
+  cfg.engine.health.failure_threshold = 1;
+  cfg.engine.health.max_readmissions = 0;
+  cfg.degrade = DegradeMode::kRejectNew;
+  cfg.hedge.enabled = false;
+  AlignService svc(cfg);
+  sim::FaultInjector injector = drop_write_beats({0});
+  svc.engine().device(0).attach_fault_injector(&injector);
+
+  const auto pairs = gen::generate_input_set({100, 0.08, 4, 50});
+  for (const auto& pair : pairs) {
+    ASSERT_TRUE(svc.submit(0, pair.a, pair.b).accepted());
+  }
+  svc.drain();
+
+  // The admitted work still drained — through the terminal software
+  // fallback — despite the fleet retiring mid-flight.
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), pairs.size());
+  for (const ServiceCompletion& c : done) {
+    EXPECT_EQ(c.outcome, RequestOutcome::kOk);
+    EXPECT_TRUE(c.software);
+  }
+  EXPECT_EQ(svc.engine().health().board(0).health,
+            engine::DeviceHealth::kRetired);
+
+  // New clients are now turned away by policy, deterministically.
+  const SubmitResult rejected = svc.submit(0, pairs[0].a, pairs[0].b);
+  EXPECT_EQ(rejected.admission, Admission::kRejected);
+  EXPECT_EQ(svc.stats().lanes[0].rejected, 1u);
+}
+
+TEST(Svc, DegradeToSoftwareKeepsAdmittingWhenTheFleetDies) {
+  ServiceConfig cfg;
+  cfg.engine = crc_engine();
+  cfg.engine.health.failure_threshold = 1;
+  cfg.engine.health.max_readmissions = 0;
+  cfg.degrade = DegradeMode::kDegradeToSoftware;
+  cfg.hedge.enabled = false;
+  AlignService svc(cfg);
+  sim::FaultInjector injector = drop_write_beats({0});
+  svc.engine().device(0).attach_fault_injector(&injector);
+
+  const auto pairs = gen::generate_input_set({100, 0.08, 4, 51});
+  for (const auto& pair : pairs) {
+    ASSERT_TRUE(svc.submit(0, pair.a, pair.b).accepted());
+  }
+  svc.drain();
+  ASSERT_EQ(svc.harvest().size(), pairs.size());
+  ASSERT_FALSE(svc.engine().health().any_usable());
+
+  // Same surface, different policy: submissions keep flowing and resolve
+  // on the software backend.
+  for (const auto& pair : pairs) {
+    ASSERT_TRUE(svc.submit(0, pair.a, pair.b).accepted());
+  }
+  svc.drain();
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), pairs.size());
+  for (const ServiceCompletion& c : done) {
+    EXPECT_EQ(c.outcome, RequestOutcome::kOk);
+    EXPECT_TRUE(c.software);
+  }
+  EXPECT_GT(svc.stats().lanes[0].sw_resolved, 0u);
+  EXPECT_EQ(svc.stats().lanes[0].rejected, 0u);
+}
+
+}  // namespace
+}  // namespace wfasic::svc

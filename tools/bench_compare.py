@@ -15,11 +15,16 @@ Semantics:
     most `threshold` (fraction, default 0.20) relative to the baseline.
   - Raw wall-clock keys (`wall_ns_*`) are machine-dependent and are
     reported but never gated on.
-  - Keys present only in the candidate (new observability metrics a bench
-    started emitting after the baseline was frozen) are informational:
-    printed, never an error. Refreshing the baseline promotes them.
+  - Keys present on only one side are informational, symmetrically:
+    candidate-only keys are new metrics the baseline has not frozen yet;
+    baseline-only keys are metrics a bench stopped emitting (usually a
+    baseline refreshed against a newer bench). Neither is an error —
+    refreshing the baseline reconciles both.
+  - A missing or malformed JSON file is a clear one-line diagnostic and
+    exit 1, never a traceback.
 
-Exit status: 0 when everything passes, 1 on any regression or missing key.
+Exit status: 0 when everything passes, 1 on any regression or unreadable
+input.
 """
 
 import argparse
@@ -30,10 +35,28 @@ import sys
 def load_metrics(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: not a bench report object")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         raise ValueError(f"{path}: no 'metrics' object")
     return doc.get("bench", "?"), metrics
+
+
+def load_or_diagnose(path):
+    """load_metrics with every failure mode turned into a one-line
+    diagnostic (missing file, unreadable file, malformed JSON, wrong
+    shape) instead of a traceback. Returns None on failure."""
+    try:
+        return load_metrics(path)
+    except OSError as err:
+        print(f"FAIL: cannot read bench report {path}: "
+              f"{err.strerror or err}")
+    except json.JSONDecodeError as err:
+        print(f"FAIL: malformed bench report {path}: {err}")
+    except ValueError as err:
+        print(f"FAIL: {err}")
+    return None
 
 
 def main():
@@ -46,8 +69,12 @@ def main():
                         help="extra higher-is-better key to gate on")
     args = parser.parse_args()
 
-    base_name, base = load_metrics(args.baseline)
-    cur_name, cur = load_metrics(args.current)
+    loaded_base = load_or_diagnose(args.baseline)
+    loaded_cur = load_or_diagnose(args.current)
+    if loaded_base is None or loaded_cur is None:
+        return 1
+    base_name, base = loaded_base
+    cur_name, cur = loaded_cur
     if base_name != cur_name:
         print(f"FAIL: comparing different benches: "
               f"{base_name!r} vs {cur_name!r}")
@@ -60,8 +87,10 @@ def main():
     failed = False
     for key in sorted(base):
         if key not in cur:
-            print(f"FAIL: {key}: missing from {args.current}")
-            failed = True
+            # Symmetric with candidate-only keys below: a metric one side
+            # does not carry is a baseline-refresh matter, not a failure.
+            print(f"info: {key}: {base[key]:.4f} "
+                  f"(baseline-only, absent from candidate, not gated)")
             continue
         b, c = base[key], cur[key]
         if key in exact_keys:

@@ -3,13 +3,17 @@
 # simulator — by default many times over with GTEST_RANDOM-independent,
 # fully deterministic schedules, so a red run is always replayable.
 #
-# Three layers, any failure exits non-zero (set -e):
+# Four layers; every layer runs even when an earlier one fails, each
+# failure is recorded and reported, and the script exits non-zero if ANY
+# layer failed (a red layer can never be masked by a green later one):
 #   1. the seeded single-fault + campaign regression tests (read path,
 #      RAM upsets, write path, decode robustness), repeated to catch
 #      nondeterminism or state leakage between runs;
 #   2. the engine health-management tests (quarantine, re-admission,
 #      retirement, software degradation — deterministic across replays);
-#   3. the mixed-class escape campaign: wfasic-fault-campaign runs every
+#   3. the service-resilience tests (deadline shedding, backpressure,
+#      hedged retries, circuit breaking — the svc layer over the engine);
+#   4. the mixed-class escape campaign: wfasic-fault-campaign runs every
 #      fault class at once against a K-device engine with ECC + CRC on
 #      and exits non-zero on any silent corruption or unresolved pair.
 #
@@ -25,7 +29,11 @@
 #              the determinism tests this catches any nondeterminism or
 #              state leakage between runs.
 #   seeds      Seeds for the mixed escape campaign (default: 200, K=4).
-set -euo pipefail
+#
+# Deliberately NOT `set -e`: layers must keep running after a failure so
+# one red run reports every broken layer at once. pipefail stays on so a
+# failure upstream of any pipe still fails that layer.
+set -uo pipefail
 
 BUILD_DIR="${1:-build}"
 REPEATS="${2:-100}"
@@ -36,19 +44,52 @@ if [[ ! -d "${BUILD_DIR}" ]]; then
   exit 1
 fi
 
+# The build is the one hard prerequisite: nothing below is meaningful
+# against stale or missing binaries, so a build failure exits immediately.
 cmake --build "${BUILD_DIR}" -j --target \
   test_fault_injection test_system test_data_integrity test_decode_fuzz \
-  test_health wfasic-fault-campaign
+  test_health test_svc wfasic-fault-campaign || exit 1
 
-echo "== fault campaign: ${REPEATS} repeats =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+FAILED_LAYERS=()
+
+# run_layer NAME CMD... — runs one layer to completion, records a
+# non-zero exit instead of aborting, and reports it at the end. This is
+# what guarantees an early failure propagates: the final exit status is
+# red if any layer was, no matter what ran afterwards.
+run_layer() {
+  local name="$1"
+  shift
+  echo "== ${name} =="
+  local status=0
+  "$@" || status=$?
+  if ((status == 0)); then
+    echo "-- ${name}: PASS"
+  else
+    echo "-- ${name}: FAIL (exit ${status})" >&2
+    FAILED_LAYERS+=("${name}")
+  fi
+}
+
+run_layer "fault campaign (${REPEATS} repeats)" \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -R 'FaultInjection|DriverTimeout|DecodeNbt|RamEcc|WriteFaults|InputCrc|ResultCrc|MixedCampaign|DecodeFuzz|StreamFuzz|ErrRegs' \
   --repeat until-fail:"${REPEATS}"
 
-echo "== health management: quarantine / re-admission determinism =="
-ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+run_layer "health management (quarantine / re-admission determinism)" \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -R 'HealthMonitor|Health\.' \
   --repeat until-fail:"${REPEATS}"
 
-echo "== mixed escape campaign: ${SEEDS} seeds, K=4, ECC+CRC on =="
-"${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 4
+run_layer "service resilience (shedding / backpressure / hedging)" \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'Svc\.|WfqScheduler' \
+  --repeat until-fail:"${REPEATS}"
+
+run_layer "mixed escape campaign (${SEEDS} seeds, K=4, ECC+CRC on)" \
+  "${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 4
+
+if ((${#FAILED_LAYERS[@]})); then
+  echo "run_fault_campaign: FAILED layers: ${FAILED_LAYERS[*]}" >&2
+  exit 1
+fi
+echo "run_fault_campaign: all layers passed"
