@@ -1,0 +1,293 @@
+// Microbench for the simulation kernel (sim/scheduler.hpp): exact
+// per-cycle stepping vs the legacy global-quiescence skip vs the
+// event-driven kernel, over synthetic component graphs with three
+// activity profiles:
+//
+//   idle    — one slow pulse source, a long relay chain: almost every
+//             cycle is globally quiet. Both fast paths should win big;
+//             the event kernel additionally avoids the O(N) quiescence
+//             poll at every boundary.
+//   steady  — several fast sources keep most components busy most
+//             cycles: the legacy skip almost never fires (global
+//             quiescence is rare) while the event kernel still elides
+//             the per-cycle ticks of whichever components are sleeping.
+//   bursty  — long quiet gaps separating dense bursts: the event kernel
+//             bulk-advances the gaps and pays dispatch only inside
+//             bursts.
+//
+// Self-verifying: all three stepping strategies must produce bit-identical
+// component state (pop traces, signatures, counters) — any divergence is
+// a kernel bug and exits non-zero. Emits BENCH_sim_kernel.json with the
+// deterministic work counts (gated exactly via *_sim_cycles) plus
+// machine-dependent wall-clock and derived events/sec / dispatch-overhead
+// metrics (informational; compare ratios across hosts, not nanoseconds).
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic {
+namespace {
+
+/// Emits `burst` tokens on consecutive cycles, then sleeps `gap` cycles.
+/// burst = 1 makes it a plain periodic source.
+class BurstSource final : public sim::Component {
+ public:
+  BurstSource(std::string name, sim::cycle_t burst, sim::cycle_t gap,
+              sim::cycle_t phase, std::deque<sim::cycle_t>* out)
+      : sim::Component(std::move(name)),
+        burst_(burst),
+        gap_(gap),
+        countdown_(phase),
+        out_(out) {}
+
+  void tick(sim::cycle_t now) override {
+    if (countdown_ > 0) {
+      --countdown_;
+      return;
+    }
+    out_->push_back(now);
+    ++emitted_;
+    ++in_burst_;
+    if (in_burst_ >= burst_) {
+      in_burst_ = 0;
+      countdown_ = gap_;
+    }
+  }
+  [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
+    return countdown_;
+  }
+  void skip_quiet(sim::cycle_t n) override { countdown_ -= n; }
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  sim::cycle_t burst_;
+  sim::cycle_t gap_;
+  sim::cycle_t countdown_;
+  sim::cycle_t in_burst_ = 0;
+  std::deque<sim::cycle_t>* out_;
+  std::uint64_t emitted_ = 0;
+};
+
+/// Pops one token per cycle, forwards downstream; order- and
+/// timing-sensitive signature so any stepping divergence is caught.
+class Relay final : public sim::Component {
+ public:
+  Relay(std::string name, std::deque<sim::cycle_t>* in,
+        std::deque<sim::cycle_t>* out)
+      : sim::Component(std::move(name)), in_(in), out_(out) {}
+
+  void tick(sim::cycle_t now) override {
+    if (in_->empty()) {
+      ++idle_cycles_;  // quiet-tick body: pure linear counter update
+      return;
+    }
+    const sim::cycle_t born = in_->front();
+    in_->pop_front();
+    ++popped_;
+    signature_ = signature_ * 1315423911u + now * 3u + born;
+    if (out_ != nullptr) out_->push_back(now);
+  }
+  [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
+    return in_->empty() ? kQuietForever : 0;
+  }
+  void skip_quiet(sim::cycle_t n) override { idle_cycles_ += n; }
+
+  [[nodiscard]] std::uint64_t popped() const { return popped_; }
+  [[nodiscard]] std::uint64_t signature() const { return signature_; }
+  [[nodiscard]] std::uint64_t idle_cycles() const { return idle_cycles_; }
+
+ private:
+  std::deque<sim::cycle_t>* in_;
+  std::deque<sim::cycle_t>* out_;
+  std::uint64_t popped_ = 0;
+  std::uint64_t signature_ = 0;
+  std::uint64_t idle_cycles_ = 0;
+};
+
+struct WorkloadSpec {
+  const char* name;
+  std::size_t sources;
+  sim::cycle_t burst;
+  sim::cycle_t gap;
+  std::size_t relays;
+  sim::cycle_t cycles;
+};
+
+// Graph sizes chosen so the whole bench (3 workloads x 3 strategies x
+// kReps) finishes well under a second as a smoke test while each timed
+// section is long enough to resolve.
+constexpr WorkloadSpec kWorkloads[] = {
+    {"idle", 1, 1, 5'000, 8, 1'000'000},
+    {"steady", 4, 1, 2, 8, 200'000},
+    {"bursty", 2, 32, 2'000, 8, 500'000},
+};
+
+enum class Strategy { kExact, kLegacySkip, kEventKernel };
+
+struct Graph {
+  sim::Scheduler sched;
+  std::vector<std::unique_ptr<std::deque<sim::cycle_t>>> queues;
+  std::vector<std::unique_ptr<BurstSource>> sources;
+  std::vector<std::unique_ptr<Relay>> relays;
+
+  explicit Graph(const WorkloadSpec& spec) {
+    for (std::size_t i = 0; i <= spec.relays; ++i) {
+      queues.push_back(std::make_unique<std::deque<sim::cycle_t>>());
+    }
+    for (std::size_t i = 0; i < spec.relays; ++i) {
+      relays.push_back(std::make_unique<Relay>(
+          "relay" + std::to_string(i), queues[i].get(),
+          i + 1 < spec.relays ? queues[i + 1].get() : nullptr));
+    }
+    for (std::size_t i = 0; i < spec.sources; ++i) {
+      sources.push_back(std::make_unique<BurstSource>(
+          "src" + std::to_string(i), spec.burst,
+          spec.gap + static_cast<sim::cycle_t>(i), /*phase=*/i,
+          queues[0].get()));
+    }
+    for (auto& s : sources) {
+      sched.add(s.get(), /*needs_commit=*/false);
+    }
+    for (auto& r : relays) {
+      sched.add(r.get(), /*needs_commit=*/false);
+    }
+    for (auto& s : sources) sched.add_wakeup(s.get(), relays[0].get());
+    for (std::size_t i = 0; i + 1 < spec.relays; ++i) {
+      sched.add_wakeup(relays[i].get(), relays[i + 1].get());
+    }
+  }
+
+  /// Everything observable, for cross-strategy bit-identity checks.
+  [[nodiscard]] std::vector<std::uint64_t> observation() const {
+    std::vector<std::uint64_t> obs{sched.now()};
+    for (const auto& s : sources) obs.push_back(s->emitted());
+    for (const auto& r : relays) {
+      obs.push_back(r->popped());
+      obs.push_back(r->signature());
+      obs.push_back(r->idle_cycles());
+    }
+    return obs;
+  }
+
+  /// Non-quiet ticks actually performed ("work events"): emissions plus
+  /// pops. Deterministic — identical under every stepping strategy.
+  [[nodiscard]] std::uint64_t work_events() const {
+    std::uint64_t n = 0;
+    for (const auto& s : sources) n += s->emitted();
+    for (const auto& r : relays) n += r->popped();
+    return n;
+  }
+};
+
+struct RunResult {
+  std::vector<std::uint64_t> observation;
+  std::uint64_t work_events = 0;
+  std::uint64_t wall_ns = 0;
+};
+
+RunResult run_workload(const WorkloadSpec& spec, Strategy strategy) {
+  Graph graph(spec);
+  const auto never = [] { return false; };
+  const bench::WallTimer timer;
+  switch (strategy) {
+    case Strategy::kExact:
+      graph.sched.step_n(spec.cycles);
+      break;
+    case Strategy::kLegacySkip:
+      (void)graph.sched.run_until(never, spec.cycles,
+                                  /*skip_quiescent=*/true);
+      break;
+    case Strategy::kEventKernel:
+      (void)graph.sched.run_until_events(never, spec.cycles);
+      break;
+  }
+  RunResult result;
+  result.wall_ns = timer.elapsed_ns();
+  result.observation = graph.observation();
+  result.work_events = graph.work_events();
+  return result;
+}
+
+int run() {
+  bench::BenchReport report("sim_kernel");
+  bool ok = true;
+  constexpr int kReps = 3;  // best-of-N: wall time is noisy, state is not
+
+  bench::print_header(
+      "Simulation-kernel dispatch: exact vs quiescence-skip vs event kernel",
+      "(identical component state; host wall-clock per strategy, best of 3)");
+  std::printf("%-10s %12s %12s %12s %12s %10s\n", "workload", "work events",
+              "exact ms", "legacy ms", "event ms", "speedup");
+  bench::print_rule(78);
+
+  for (const WorkloadSpec& spec : kWorkloads) {
+    std::uint64_t wall[3] = {~0ull, ~0ull, ~0ull};
+    std::vector<std::uint64_t> reference;
+    std::uint64_t work = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const Strategy s : {Strategy::kExact, Strategy::kLegacySkip,
+                               Strategy::kEventKernel}) {
+        const RunResult r = run_workload(spec, s);
+        wall[static_cast<int>(s)] =
+            std::min(wall[static_cast<int>(s)], r.wall_ns);
+        if (reference.empty()) {
+          reference = r.observation;
+          work = r.work_events;
+        } else if (r.observation != reference) {
+          std::fprintf(stderr,
+                       "FAIL: %s: strategy %d diverged from exact "
+                       "stepping (kernel bug)\n",
+                       spec.name, static_cast<int>(s));
+          ok = false;
+        }
+      }
+    }
+    const double exact_ms = static_cast<double>(wall[0]) / 1e6;
+    const double legacy_ms = static_cast<double>(wall[1]) / 1e6;
+    const double event_ms = static_cast<double>(wall[2]) / 1e6;
+    const double speedup =
+        static_cast<double>(wall[0]) / static_cast<double>(wall[2]);
+    std::printf("%-10s %12llu %12.3f %12.3f %12.3f %9.2fx\n", spec.name,
+                static_cast<unsigned long long>(work), exact_ms, legacy_ms,
+                event_ms, speedup);
+
+    const std::string p = spec.name;
+    // Deterministic keys (exact-gated): the simulated span and the work
+    // performed inside it must never drift.
+    report.metric(p + "_sim_cycles", static_cast<double>(spec.cycles));
+    report.metric(p + "_work_events_sim_cycles",
+                  static_cast<double>(work));
+    // Host wall-clock keys (informational, machine-dependent).
+    report.metric("wall_ns_" + p + "_exact", static_cast<double>(wall[0]));
+    report.metric("wall_ns_" + p + "_legacy", static_cast<double>(wall[1]));
+    report.metric("wall_ns_" + p + "_event", static_cast<double>(wall[2]));
+    report.metric("host_wall_" + p + "_event_speedup", speedup);
+    report.metric("host_wall_" + p + "_events_per_sec",
+                  static_cast<double>(work) /
+                      (static_cast<double>(wall[2]) / 1e9));
+    report.metric("host_wall_" + p + "_dispatch_ns_per_event",
+                  static_cast<double>(wall[2]) /
+                      static_cast<double>(std::max<std::uint64_t>(work, 1)));
+  }
+  bench::print_rule(78);
+
+  if (!report.write()) ok = false;
+  if (ok) {
+    std::printf(
+        "OK: all three stepping strategies produced bit-identical state.\n");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace wfasic
+
+int main() { return wfasic::run(); }

@@ -130,20 +130,17 @@ RunStatus Driver::classify(std::uint64_t cycles, bool completed) const {
 
 RunStatus Driver::wait_core(const std::function<bool()>& done,
                             std::uint64_t max_cycles) {
-  // Chunked polling instead of one virtual step() per cycle. This is
-  // cycle-exact: both wait conditions (Idle, interrupt pending) can only
-  // change when the accelerator leaves the running state, which is
-  // precisely where step_many stops early. While already idle, advance()
-  // burns the remaining budget in bulk, as the per-cycle loop would.
+  // Event-driven wait instead of one virtual step() per cycle: the
+  // accelerator advances event to event (bulk-advancing quiet spans) and
+  // evaluates the predicate wherever simulated state can change, so the
+  // stop cycle is identical to per-cycle polling while a wait costs
+  // O(events). Both wait conditions (Idle, interrupt pending) flip only
+  // when the accelerator leaves the running state — an active-cycle
+  // boundary by definition. While already idle with nothing scheduled,
+  // the remaining budget is burned in one bulk advance, exactly as the
+  // per-cycle loop would count it.
   const sim::cycle_t begin = accelerator_.now();
-  while (!done() && accelerator_.now() - begin < max_cycles) {
-    const std::uint64_t remaining = max_cycles - (accelerator_.now() - begin);
-    if (accelerator_.idle()) {
-      accelerator_.advance(remaining);
-    } else {
-      accelerator_.step_many(remaining);
-    }
-  }
+  accelerator_.run_until_event(done, max_cycles);
   return classify(accelerator_.now() - begin, done());
 }
 

@@ -147,6 +147,11 @@ bool HwBackend::poll() {
       staged_ = encode_front(1 - active_->staged.slot);
     }
 
+    // One bounded run-until-idle slice. The quantum caps how much device
+    // time one poll may consume (the engine interleaves several device
+    // simulations); inside the slice the accelerator's event kernel
+    // advances event to event, so a quantum costs O(events), not
+    // O(poll_quantum) virtual ticks.
     accelerator_->step_many(cfg_.poll_quantum);
     const std::uint64_t elapsed =
         accelerator_->now() - active_->start_cycle;

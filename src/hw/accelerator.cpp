@@ -37,6 +37,34 @@ Accelerator::Accelerator(AcceleratorConfig cfg, mem::MainMemory& memory)
   // what the other components do.
   scheduler_.add(pmu_probe_.get(), /*needs_commit=*/false);
 
+  // Wakeup graph for the event kernel: an edge from every component whose
+  // non-quiet tick can invalidate another's quiet_for() report. Delays
+  // (same cycle vs next) fall out of the registration order above.
+  //  - DMA pushes the Input FIFO: the Extractor (earlier in order, sees it
+  //    next cycle) and the occupancy probe depend on it.
+  scheduler_.add_wakeup(dma_.get(), extractor_.get());
+  scheduler_.add_wakeup(dma_.get(), pmu_probe_.get());
+  //  - The Extractor pops the Input FIFO (DMA read stream un-stalls, probe
+  //    occupancy changes, both same cycle) and loads Aligners (visible to
+  //    each Aligner next cycle).
+  scheduler_.add_wakeup(extractor_.get(), dma_.get());
+  scheduler_.add_wakeup(extractor_.get(), pmu_probe_.get());
+  for (auto& aligner : aligners_) {
+    scheduler_.add_wakeup(extractor_.get(), aligner.get());
+    //  - An Aligner releases result transactions into its Collector-facing
+    //    queues (Collector is earlier: next cycle) and can go idle, which
+    //    un-blocks the Extractor's wait-for-aligner sleep (same cycle).
+    //    No Collector->Aligner edge is needed: an Aligner stalled on a
+    //    full queue reports quiet_for() == 0 and never sleeps through the
+    //    stall.
+    scheduler_.add_wakeup(aligner.get(), collector_.get());
+    scheduler_.add_wakeup(aligner.get(), extractor_.get());
+  }
+  //  - The Collector pushes the Output FIFO: the DMA write side drains it
+  //    the same cycle; the probe samples it.
+  scheduler_.add_wakeup(collector_.get(), dma_.get());
+  scheduler_.add_wakeup(collector_.get(), pmu_probe_.get());
+
   // Observability wiring: one trace track per unit plus a top-level run
   // track. The sink is enabled by config (or later at runtime); with it
   // off every emit site is a single pointer-and-flag test.
@@ -272,6 +300,10 @@ void Accelerator::abort_run(std::uint32_t cause) {
 }
 
 void Accelerator::flush_pipeline() {
+  // Mid-run flushes (abort paths) mutate component state outside any tick:
+  // settle pending lazy catch-ups against the pre-flush state first, and
+  // drop sleep schedules that the flush is about to invalidate.
+  scheduler_.resync_events();
   dma_->abort();
   input_fifo_.clear();
   output_fifo_.clear();
@@ -317,6 +349,10 @@ void Accelerator::step() {
     }
   }
   scheduler_.step();
+  post_cycle_checks();
+}
+
+void Accelerator::post_cycle_checks() {
   if (!running_) return;
   if (dma_->bus_error()) {
     abort_run(kErrDma);
@@ -353,21 +389,48 @@ void Accelerator::step() {
 }
 
 std::uint64_t Accelerator::advance_core(std::uint64_t max_cycles,
-                                        bool stop_when_idle) {
+                                        bool stop_when_idle,
+                                        const std::function<bool()>* done) {
   std::uint64_t stepped = 0;
   std::uint64_t stride = 1;
-  // While running, step()'s post-tick checks (bus error, completion,
-  // watchdog) must have validated the current state before a span may be
-  // skipped: none of their conditions can flip during a quiescent span,
-  // but one could already hold at entry (e.g. an empty input set
-  // completes on the very first step).
+  // While running, the post-tick checks (bus error, completion, watchdog)
+  // must have validated the current state before a span may be skipped:
+  // none of their conditions can flip during a quiescent span, but one
+  // could already hold at entry (e.g. an empty input set completes on the
+  // very first step).
   bool checked = false;
   while (stepped < max_cycles) {
     if (stop_when_idle && !running_) break;
+    if (done != nullptr && (*done)()) break;
     if (!idle_skip_allowed() || (running_ && !checked)) {
+      // Exact per-cycle stepping: forced mode (injector / armed watchdog)
+      // or the not-yet-checked entry cycle. step_n inside flushes any
+      // armed event bookkeeping first, so mixing modes within one call
+      // (e.g. watchdog-armed run, then event-kernel idle burn) stays
+      // bit-identical.
       step();
       ++stepped;
       checked = true;
+      continue;
+    }
+    if (cfg_.event_kernel) {
+      scheduler_.arm_events();
+      const sim::cycle_t next = scheduler_.next_event_cycle();
+      const sim::cycle_t now = scheduler_.now();
+      if (next > now) {
+        // Every component sleeps until `next` (or forever): bulk-advance.
+        // The skipped quiet cycles are accounted lazily at each
+        // component's next wake, or at the flush below.
+        const std::uint64_t span = std::min<std::uint64_t>(
+            next - now, max_cycles - stepped);
+        scheduler_.advance_to(now + span);
+        host_skipped_cycles_ += span;
+        stepped += span;
+        continue;
+      }
+      scheduler_.run_event_cycle();
+      post_cycle_checks();
+      ++stepped;
       continue;
     }
     const sim::cycle_t quiet = scheduler_.quiescent_cycles();
@@ -389,10 +452,15 @@ std::uint64_t Accelerator::advance_core(std::uint64_t max_cycles,
       step();
       ++stepped;
       checked = true;
-      if (stop_when_idle && !running_) return stepped;
+      if (stop_when_idle && !running_) break;
+      if (done != nullptr && (*done)()) break;
     }
+    if (burst > 0) break;  // inner early-stop
     if (stride < 64) stride *= 2;
   }
+  // External observers (register reads, PMU snapshots, test introspection)
+  // must see fully-synced component state between advance calls.
+  scheduler_.flush_events();
   return stepped;
 }
 
@@ -402,6 +470,11 @@ std::uint64_t Accelerator::step_many(std::uint64_t max_cycles) {
 
 std::uint64_t Accelerator::advance(std::uint64_t cycles) {
   return advance_core(cycles, /*stop_when_idle=*/false);
+}
+
+std::uint64_t Accelerator::run_until_event(const std::function<bool()>& done,
+                                           std::uint64_t max_cycles) {
+  return advance_core(max_cycles, /*stop_when_idle=*/false, &done);
 }
 
 std::uint64_t Accelerator::run_to_completion(std::uint64_t max_cycles) {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -76,6 +77,15 @@ class Accelerator {
   /// Runs until idle; aborts after `max_cycles` (deadlock guard).
   /// Returns the cycles elapsed during this call.
   std::uint64_t run_to_completion(std::uint64_t max_cycles = 4'000'000'000ULL);
+  /// Advances until `done()` returns true or `max_cycles` elapse, and
+  /// returns the cycles advanced. The predicate is evaluated wherever
+  /// simulated state can change — after every active cycle and around
+  /// bulk-advanced quiet spans — against fully-synced component state, so
+  /// the stop cycle is bit-identical to checking after every step(). This
+  /// is the driver wait-loop primitive: under the event kernel a wait
+  /// costs O(events), not O(cycles).
+  std::uint64_t run_until_event(const std::function<bool()>& done,
+                                std::uint64_t max_cycles);
 
   [[nodiscard]] sim::cycle_t now() const { return scheduler_.now(); }
   [[nodiscard]] std::uint64_t last_run_cycles() const {
@@ -141,20 +151,30 @@ class Accelerator {
   void soft_reset();
   /// Gathers the monotone hardware counters (not yet rebased to the run).
   [[nodiscard]] PerfSnapshot perf_counters_raw() const;
-  /// True when the idle-skip fast path may replace exact stepping: never
+  /// True when a stepping fast path may replace exact stepping: never
   /// with a fault injector attached (per-cycle beat faults, memory flips
   /// and FIFO stall probes need every cycle), never while a run has the
-  /// no-progress watchdog armed (its firing cycle must stay exact).
+  /// no-progress watchdog armed (its firing cycle must stay exact). Which
+  /// fast path — event kernel or legacy quiescence skip — is then chosen
+  /// by AcceleratorConfig::event_kernel.
   [[nodiscard]] bool idle_skip_allowed() const {
     return cfg_.idle_skip && injector_ == nullptr &&
            !(running_ && regs_.watchdog != 0);
   }
-  /// Shared fast-path loop behind step_many/advance/run_to_completion:
-  /// skips system-wide quiescent spans, replays boundary cycles exactly
-  /// via step(), and re-probes quiescence on a coarser grid (doubling
-  /// stride, capped) after failed probes so boundary-dense phases do not
-  /// pay the probe on every cycle.
-  std::uint64_t advance_core(std::uint64_t max_cycles, bool stop_when_idle);
+  /// step()'s post-tick checks (DMA bus error, uncorrectable ECC, work
+  /// completion, watchdog), shared with the event-kernel cycle path.
+  void post_cycle_checks();
+  /// Shared fast-path loop behind step_many/advance/run_to_completion/
+  /// run_until_event. Under the event kernel: evaluates only due
+  /// components at active cycles and bulk-advances between events. Under
+  /// the legacy kernel: skips system-wide quiescent spans, replays
+  /// boundary cycles exactly via step(), and re-probes quiescence on a
+  /// coarser grid (doubling stride, capped) after failed probes. Exact
+  /// per-cycle stepping whenever no fast path is allowed. `done`, when
+  /// non-null, is an additional stop predicate checked wherever simulated
+  /// state can change.
+  std::uint64_t advance_core(std::uint64_t max_cycles, bool stop_when_idle,
+                             const std::function<bool()>* done = nullptr);
   /// Latches `cause` into kRegErrStatus/kRegErrCount.
   void latch_error(std::uint32_t cause);
   /// Terminal error path: latch the cause, flush the datapath, go idle and

@@ -125,11 +125,15 @@ class Aligner final : public sim::Component {
 
   void tick(sim::cycle_t now) override;
 
-  // Idle-skip quiescence (see sim::Component): ticks that only burn a
+  // Quiescence contract (see sim::Component): ticks that only burn a
   // batch countdown (or the init countdown) are pure counter updates and
   // can be bulk-applied; any tick that releases transactions, pops a
   // batch with observable consequences, or runs step_score() is a
-  // boundary and reports 0.
+  // boundary and reports 0. Finite reports depend only on this Aligner's
+  // own schedule, so they cannot be invalidated early; kIdle/kLoading
+  // sleeps end only via the Extractor's dispatch, a declared wakeup edge.
+  // A stall on a full Collector-facing queue reports 0 (not forever), so
+  // no Collector->Aligner edge is needed.
   [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t now) const override;
   void skip_quiet(sim::cycle_t n) override;
 

@@ -88,11 +88,13 @@ class Collector final : public sim::Component {
     }
   }
 
-  // Idle-skip quiescence (see sim::Component): the Collector acts only
+  // Quiescence contract (see sim::Component): the Collector acts only
   // when an Aligner queue holds work or its merge buffer must flush; both
   // appear via non-quiet Aligner boundaries, so "nothing to do" means
-  // quiet until woken. No counters accrue while idle (skip_quiet is the
-  // inherited no-op).
+  // quiet until woken — every Aligner is a declared waker in the event
+  // kernel's wakeup graph, so the kQuietForever report stays valid for
+  // exactly as long as the contract requires. No counters accrue while
+  // idle (skip_quiet is the inherited no-op).
   [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
     if (bt_mode_) {
       if (!footers_.empty()) return 0;  // a CRC footer moves this cycle

@@ -2,12 +2,22 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
 #include "mem/axi.hpp"
 
 namespace wfasic::hw {
+
+/// Build-time default for AcceleratorConfig::event_kernel, overridable via
+/// the WFASIC_EVENT_KERNEL environment variable ("0" forces the legacy
+/// global-quiescence skip, anything else forces the event kernel) so CI can
+/// run the whole test suite under both kernels without code changes.
+[[nodiscard]] inline bool event_kernel_default() {
+  const char* const env = std::getenv("WFASIC_EVENT_KERNEL");
+  return env == nullptr || env[0] != '0';
+}
 
 /// Microarchitectural timing of one Aligner, calibrated against Table 1 of
 /// the paper (see DESIGN.md §4 for the calibration):
@@ -47,14 +57,25 @@ struct AcceleratorConfig {
   /// reads whose mutations drift past 10,000 bases still fit.
   std::uint32_t max_supported_read_len = 10'240;
 
-  /// Host-simulation knob (not a hardware parameter): fast-forward spans
-  /// of cycles where every pipeline stage is quiescent instead of ticking
-  /// through them. Bit-identical to exact stepping — simulated cycle
-  /// counts, records and memory contents do not change (enforced by
+  /// Host-simulation knob (not a hardware parameter): master switch for
+  /// the stepping fast paths. Off = exact per-cycle stepping (the
+  /// differential-testing reference). On, the kernel selected by
+  /// `event_kernel` below replaces exact stepping wherever allowed.
+  /// Bit-identical either way — simulated cycle counts, records, memory
+  /// contents and PMU counters do not change (enforced by
   /// tests/test_perf_equivalence); only host wall-clock does. Ignored
   /// (exact stepping) whenever a fault injector is attached or the
   /// watchdog is armed during a run.
   bool idle_skip = true;
+
+  /// Which fast path `idle_skip` uses: true = event-driven kernel
+  /// (components self-schedule activations, wakeup graph, bulk-advance
+  /// between events — O(active components) per cycle); false = legacy
+  /// global-quiescence skip (O(N) quiet_for poll, skips only when every
+  /// component is simultaneously quiet). Both bit-identical to exact
+  /// stepping; the event kernel is strictly faster under load. See
+  /// docs/PERFORMANCE.md §1.
+  bool event_kernel = event_kernel_default();
 
   /// Data-integrity knobs (docs/RELIABILITY.md). Both default off so the
   /// paper-fidelity data formats and cycle counts are untouched; fault

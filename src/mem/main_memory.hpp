@@ -18,12 +18,16 @@
 
 #include "common/assert.hpp"
 #include "common/ecc.hpp"
+#include "mem/zero_pages.hpp"
 
 namespace wfasic::mem {
 
 class MainMemory {
  public:
-  explicit MainMemory(std::size_t size_bytes) : bytes_(size_bytes, 0) {}
+  // ZeroPages defers zero-filling to first touch, so constructing a large
+  // memory (and with it an Engine or Soc) is O(1) host work instead of a
+  // multi-millisecond page-fault storm. Contents are identical: all zeros.
+  explicit MainMemory(std::size_t size_bytes) : bytes_(size_bytes) {}
 
   [[nodiscard]] std::size_t size() const { return bytes_.size(); }
 
@@ -163,7 +167,7 @@ class MainMemory {
     }
   }
 
-  mutable std::vector<std::uint8_t> bytes_;
+  mutable ZeroPages bytes_;
   mutable std::vector<std::uint8_t> check_;
   bool ecc_ = false;
   mutable std::uint64_t ecc_corrected_ = 0;

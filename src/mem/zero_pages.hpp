@@ -1,0 +1,80 @@
+// Lazily-faulted zero-initialized byte buffer for large memory models.
+//
+// A simulated main memory is sized for the worst case (tens to hundreds of
+// MB) but a typical launch touches a small fraction of it. Backing it with
+// std::vector zero-fills every page at construction, so building an Engine
+// costs tens of milliseconds of kernel page-fault time per device — enough
+// to swamp short benches in sys time before a single cycle is simulated.
+//
+// An anonymous private mmap has the same observable contents (every byte
+// reads zero until written) but the kernel materializes pages on first
+// touch, so untouched memory costs nothing. Behavior is bit-identical to a
+// zero-filled vector; only host-side cost moves. Non-POSIX builds fall back
+// to the vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define WFASIC_ZERO_PAGES_MMAP 1
+#endif
+
+#include "common/assert.hpp"
+
+namespace wfasic::mem {
+
+class ZeroPages {
+ public:
+  explicit ZeroPages(std::size_t size) : size_(size) {
+#ifdef WFASIC_ZERO_PAGES_MMAP
+    if (size_ > 0) {
+      // MAP_NORESERVE: the model intentionally over-provisions; only pages
+      // actually written should ever consume memory.
+      void* mapped =
+          ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                 MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+      WFASIC_REQUIRE(mapped != MAP_FAILED, "ZeroPages: mmap failed");
+      data_ = static_cast<std::uint8_t*>(mapped);
+    }
+#else
+    fallback_.assign(size_, 0);
+    data_ = fallback_.data();
+#endif
+  }
+
+  ~ZeroPages() {
+#ifdef WFASIC_ZERO_PAGES_MMAP
+    if (data_ != nullptr) ::munmap(data_, size_);
+#endif
+  }
+
+  ZeroPages(const ZeroPages&) = delete;
+  ZeroPages& operator=(const ZeroPages&) = delete;
+  ZeroPages(ZeroPages&& other) noexcept
+      : size_(other.size_),
+        data_(other.data_),
+        fallback_(std::move(other.fallback_)) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+#ifndef WFASIC_ZERO_PAGES_MMAP
+    data_ = fallback_.data();
+#endif
+  }
+  ZeroPages& operator=(ZeroPages&&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::uint8_t& operator[](std::size_t i) const {
+    return data_[i];
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::uint8_t* data_ = nullptr;
+  std::vector<std::uint8_t> fallback_;  ///< used only without mmap
+};
+
+}  // namespace wfasic::mem

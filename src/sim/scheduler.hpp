@@ -1,18 +1,36 @@
-// Cycle-driven simulation kernel.
+// Simulation kernel: per-cycle two-phase stepping plus an event-driven
+// fast path.
 //
 // Components register with a Scheduler and are ticked once per cycle in two
 // phases: tick() (combinational work / issue requests) then commit()
 // (sequential state update), which lets two components exchange data in the
 // same cycle without order-dependence bugs.
 //
-// Idle-skip fast path: a component may additionally report quiescence —
-// a span of upcoming cycles whose ticks are no-ops or pure linear counter
-// updates (countdowns, stall counters). When every component is quiescent
-// the Scheduler can fast-forward `now_` in one skip() call instead of
-// ticking through the span, applying the counter updates in bulk. Skipping
-// is bit-identical to stepping by construction: quiet_for()/skip_quiet()
-// contracts require that the skipped ticks would not have changed any
-// observable state differently.
+// Quiescence protocol: a component may report a span of upcoming cycles
+// whose ticks are no-ops or pure linear counter updates (countdowns, stall
+// counters) via quiet_for(), and apply them in bulk via skip_quiet().
+// Two fast paths build on it, both bit-identical to exact stepping by
+// construction:
+//
+//   - Idle-skip (legacy): when *every* component is simultaneously quiet
+//     (quiescent_cycles(), an O(N) poll) the span is compressed into one
+//     skip() call.
+//   - Event-driven kernel: each component self-schedules its next
+//     activation (next_activation() = now + quiet_for()), the Scheduler
+//     keeps a min-heap of pending activations plus an explicit wakeup
+//     graph (add_wakeup()), and per-cycle work becomes O(active
+//     components): a busy Aligner no longer forces ticks of an idle DMA or
+//     Collector, and fully-quiet spans bulk-advance straight to the next
+//     event without polling anyone. Sleeping components are caught up
+//     lazily (on_wake()/skip_quiet()) *before* a waker mutates shared
+//     state, so their bulk updates read exactly the state the skipped
+//     per-cycle ticks would have read.
+//
+// Wakeup-edge delays are derived from registration order: a mutation by
+// component F during its tick at cycle t is visible to a *later*-registered
+// component in the same cycle (delay 0 — per-cycle mode would tick it after
+// F), but only at t+1 to an *earlier*-registered one (delay 1 — its cycle-t
+// tick already conceptually happened before F's).
 #pragma once
 
 #include <algorithm>
@@ -20,6 +38,7 @@
 #include <functional>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -51,16 +70,31 @@ class Component {
   /// FIFO/queue push or pop, no state-machine transition, no interaction
   /// with another component. 0 means "I must tick this cycle" (the safe
   /// default); kQuietForever means "idle until another component acts".
-  /// The report is only valid for the current cycle: any non-quiet tick
-  /// anywhere in the system invalidates it.
+  /// The report must stay valid until one of the component's declared
+  /// wakers (Scheduler::add_wakeup) performs a non-quiet tick — that is
+  /// what lets the event kernel sleep on it.
   [[nodiscard]] virtual cycle_t quiet_for(cycle_t now) const {
     (void)now;
     return 0;
   }
   /// Applies `n` ticks' worth of quiet updates in bulk. Called only with
-  /// n <= the component's own quiet_for() report, and only when every
-  /// other component was simultaneously quiescent for at least n cycles.
+  /// n <= the component's own quiet_for() report, and only when no waker
+  /// acted inside the span (the state the skipped ticks would have read is
+  /// still in place).
   virtual void skip_quiet(cycle_t n) { (void)n; }
+
+  /// Self-scheduling contract, event-kernel view of quiet_for(): the
+  /// absolute cycle of this component's next required tick (kQuietForever
+  /// when it has none and waits to be woken).
+  [[nodiscard]] cycle_t next_activation(cycle_t now) const {
+    const cycle_t q = quiet_for(now);
+    return q >= kQuietForever - now ? kQuietForever : now + q;
+  }
+  /// Catch-up entry point the event kernel uses when a sleeping component
+  /// must account `n` elapsed quiet cycles (a waker is about to act, or
+  /// the kernel is flushing). Defaults to skip_quiet(); a component could
+  /// override it to distinguish lazy catch-up from eager skipping.
+  virtual void on_wake(cycle_t n) { skip_quiet(n); }
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
@@ -106,13 +140,42 @@ struct RunUntilResult {
 /// Advances a set of components cycle by cycle. Does not own them.
 class Scheduler {
  public:
+  /// `due` sentinel: no self-scheduled activation.
+  static constexpr cycle_t kNever = Component::kQuietForever;
+
   /// Registers a component. `needs_commit = false` keeps it off the
   /// commit-phase list (most components never override commit(); skipping
   /// the empty virtual call halves the per-cycle dispatch cost).
+  /// Registering the same component twice would double-tick it — silent
+  /// state corruption — so it is rejected.
   void add(Component* component, bool needs_commit = true) {
     WFASIC_REQUIRE(component != nullptr, "Scheduler::add: null component");
+    WFASIC_REQUIRE(std::find(components_.begin(), components_.end(),
+                             component) == components_.end(),
+                   "Scheduler::add: component already registered (duplicate "
+                   "registration would double-tick it)");
     components_.push_back(component);
     if (needs_commit) commit_list_.push_back(component);
+    needs_commit_.push_back(needs_commit);
+    edges_.emplace_back();
+    due_.push_back(now_);
+    synced_.push_back(now_);
+    last_ticked_.push_back(kNever);
+    must_tick_.push_back(0);
+  }
+
+  /// Declares a wakeup edge: whenever `from` performs a non-quiet tick,
+  /// `to` can no longer trust a pending quiet_for() report and must be
+  /// caught up and re-evaluated. The visibility delay (same cycle vs next
+  /// cycle) is derived from registration order — see the file comment.
+  /// Edges only matter to the event kernel; per-cycle stepping ignores
+  /// them.
+  void add_wakeup(Component* from, Component* to) {
+    const std::size_t f = index_of(from);
+    const std::size_t t = index_of(to);
+    WFASIC_REQUIRE(f != t, "Scheduler::add_wakeup: self edge is meaningless");
+    edges_[f].push_back(
+        WakeEdge{static_cast<std::uint32_t>(t), t > f ? 0u : 1u});
   }
 
   [[nodiscard]] cycle_t now() const { return now_; }
@@ -123,6 +186,7 @@ class Scheduler {
   /// Runs exactly `n` cycles with the dispatch lists hoisted out of the
   /// per-cycle loop (the batched stepper behind driver/engine wait loops).
   void step_n(cycle_t n) {
+    if (events_armed_) flush_events();
     Component* const* tick_list = components_.data();
     const std::size_t tick_count = components_.size();
     Component* const* commit_list = commit_list_.data();
@@ -151,11 +215,149 @@ class Scheduler {
 
   /// Fast-forwards `n` cycles of system-wide quiescence: bulk-applies the
   /// quiet counter updates and advances now_. Only valid for
-  /// n <= quiescent_cycles().
+  /// n <= quiescent_cycles(). A span that would overflow the cycle counter
+  /// is a caller bug (kQuietForever is "no event", not a distance), so it
+  /// is rejected here rather than wrapping now_ silently.
   void skip(cycle_t n) {
     if (n == 0) return;
+    WFASIC_REQUIRE(n < Component::kQuietForever - now_,
+                   "Scheduler::skip: span would overflow the cycle counter "
+                   "(a kQuietForever-sized span is not skippable)");
+    if (events_armed_) flush_events();
     for (Component* c : components_) c->skip_quiet(n);
     now_ += n;
+  }
+
+  // --- Event-driven kernel ---------------------------------------------------
+
+  /// Starts an event-driven run: every component is marked due now, so the
+  /// first run_event_cycle() re-evaluates the whole system and components
+  /// fall asleep according to their quiet_for() reports. No-op if already
+  /// armed. Cheap (O(N)) — callers arm at fast-path entry and flush at
+  /// exit so external observers only ever see fully-synced state.
+  void arm_events() {
+    if (events_armed_) return;
+    heap_.clear();
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      due_[i] = now_;
+      synced_[i] = now_;
+      last_ticked_[i] = kNever;
+      must_tick_[i] = 0;
+    }
+    immediate_due_ = !components_.empty();
+    events_armed_ = true;
+  }
+
+  /// Ends an event-driven run: applies every pending lazy catch-up so all
+  /// component state (counters included) reads exactly as if the run had
+  /// been stepped per-cycle. Safe to call when not armed.
+  void flush_events() {
+    if (!events_armed_) return;
+    for (std::size_t i = 0; i < components_.size(); ++i) catch_up(i, now_);
+    heap_.clear();
+    immediate_due_ = false;
+    events_armed_ = false;
+  }
+
+  /// Re-synchronizes an armed event run after state is mutated from
+  /// outside any tick (pipeline flush, abort): pending quiet spans are
+  /// accounted against the pre-mutation state first, then every component
+  /// is marked due so stale sleep schedules cannot survive the mutation.
+  /// No-op when not armed (external mutation between runs needs nothing).
+  void resync_events() {
+    if (!events_armed_) return;
+    heap_.clear();
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      catch_up(i, now_);
+      due_[i] = now_;
+      must_tick_[i] = 0;
+    }
+    immediate_due_ = !components_.empty();
+  }
+
+  [[nodiscard]] bool events_armed() const { return events_armed_; }
+
+  /// The earliest pending activation (kNever when every component sleeps
+  /// unwoken). Components due this very cycle are tracked with a flag
+  /// instead of heap entries (see set_due), so a steady-state pipeline —
+  /// everyone due every cycle — costs zero heap traffic. Stale heap
+  /// entries — superseded by an earlier wake or a reschedule — are
+  /// discarded lazily here.
+  [[nodiscard]] cycle_t next_event_cycle() {
+    WFASIC_ASSERT(events_armed_, "next_event_cycle: events not armed");
+    if (immediate_due_) return now_;
+    while (!heap_.empty()) {
+      const Event top = heap_.front();
+      if (due_[top.idx] == top.due) return top.due;
+      std::pop_heap(heap_.begin(), heap_.end(), EventLater{});
+      heap_.pop_back();
+    }
+    return kNever;
+  }
+
+  /// Bulk-advances simulated time to `target` without ticking anyone.
+  /// Only valid while armed and when next_event_cycle() >= target: every
+  /// component is inside a declared quiet span, and the skipped cycles are
+  /// accounted lazily at its next wake (or at flush_events()).
+  void advance_to(cycle_t target) {
+    WFASIC_ASSERT(events_armed_ && target >= now_ && target < kNever,
+                  "Scheduler::advance_to: bad target");
+    now_ = target;
+  }
+
+  /// Runs the single cycle at now_ under the event kernel: evaluates every
+  /// due component in registration order, catches sleepers up at wakeup
+  /// edges *before* the waker's tick mutates shared state, preserves the
+  /// two-phase tick/commit split across the cycle's active components, and
+  /// reschedules each ticked component from its post-cycle quiet_for().
+  /// Bit-identical to step() by the quiescence contract: the components
+  /// it does not tick are exactly those whose per-cycle tick would have
+  /// been quiet, and their updates apply in bulk later.
+  void run_event_cycle() {
+    WFASIC_ASSERT(events_armed_, "run_event_cycle: events not armed");
+    const cycle_t t = now_;
+    // Every component due at t is found by the scan below; the flag is
+    // re-established by same-cycle wakes and by q == 0 reschedules.
+    immediate_due_ = false;
+    ticked_.clear();
+    const std::size_t count = components_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (due_[i] > t) continue;
+      catch_up(i, t);
+      Component* const c = components_[i];
+      // A component rescheduled with quiet_for() == 0 promised a real
+      // tick — exact stepping would tick it unconditionally, so skip the
+      // re-check (the busy-pipeline fast path). Only conservatively-woken
+      // components re-evaluate and may go back to sleep.
+      if (!must_tick_[i]) {
+        const cycle_t q = c->quiet_for(t);
+        if (q > 0) {
+          set_due(i, q >= kNever - t ? kNever : t + q);
+          continue;
+        }
+      }
+      must_tick_[i] = 0;
+      // Real tick at t. Wake successors first: their lazy catch-up must
+      // read the pre-mutation state their skipped ticks would have seen.
+      for (const WakeEdge& e : edges_[i]) wake(e.to, t, e.delay);
+      c->tick(t);
+      synced_[i] = t + 1;
+      last_ticked_[i] = t;
+      ticked_.push_back(static_cast<std::uint32_t>(i));
+    }
+    // Commit phase for the cycle's active components only: a component
+    // whose tick was skipped as quiet has, by contract, a no-op commit.
+    for (const std::uint32_t idx : ticked_) {
+      if (needs_commit_[idx]) components_[idx]->commit(t);
+    }
+    ++now_;
+    // Reschedule from post-cycle state — the authoritative report, same
+    // state the legacy between-cycles quiescence poll would read.
+    for (const std::uint32_t idx : ticked_) {
+      const cycle_t q = components_[idx]->quiet_for(now_);
+      must_tick_[idx] = q == 0;
+      set_due(idx, q >= kNever - now_ ? kNever : now_ + q);
+    }
   }
 
   /// Runs until `done()` returns true (checked between cycles) or
@@ -187,9 +389,114 @@ class Scheduler {
     return {RunUntilStatus::kDone, now_};
   }
 
+  /// run_until on the event kernel: same predicate-checking grid semantics
+  /// and typed timeout as run_until(skip_quiescent=true) — the predicate
+  /// and the deadline are evaluated at every active cycle and at every
+  /// bulk-advance boundary, against fully caught-up component state — but
+  /// quiet spans are found from the activation heap instead of the O(N)
+  /// quiescence poll, and only due components are evaluated at active
+  /// cycles. Event bookkeeping is flushed on exit, so callers observe
+  /// per-cycle-identical state either way.
+  RunUntilResult run_until_events(const std::function<bool()>& done,
+                                  cycle_t max_cycles) {
+    arm_events();
+    for (;;) {
+      for (std::size_t i = 0; i < components_.size(); ++i) catch_up(i, now_);
+      if (done()) break;
+      if (now_ >= max_cycles) {
+        flush_events();
+        return {RunUntilStatus::kTimeout, now_};
+      }
+      const cycle_t next = next_event_cycle();
+      if (next > now_) {
+        advance_to(std::min(next, max_cycles));
+        continue;
+      }
+      run_event_cycle();
+    }
+    flush_events();
+    return {RunUntilStatus::kDone, now_};
+  }
+
  private:
+  struct WakeEdge {
+    std::uint32_t to;     ///< successor component index
+    std::uint32_t delay;  ///< 0 = same cycle, 1 = next cycle (see above)
+  };
+  struct Event {
+    cycle_t due;
+    std::uint32_t idx;
+  };
+  /// Min-heap order on due cycles (std::push_heap builds a max-heap, so
+  /// "later" is the comparator).
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.due > b.due;
+    }
+  };
+
+  [[nodiscard]] std::size_t index_of(const Component* c) const {
+    const auto it = std::find(components_.begin(), components_.end(), c);
+    WFASIC_REQUIRE(it != components_.end(),
+                   "Scheduler: component not registered");
+    return static_cast<std::size_t>(it - components_.begin());
+  }
+
+  /// Accounts the quiet cycles [synced_[i], t) to component i in bulk.
+  void catch_up(std::size_t i, cycle_t t) {
+    if (synced_[i] < t) {
+      components_[i]->on_wake(t - synced_[i]);
+      synced_[i] = t;
+    }
+  }
+
+  /// Records component i's next evaluation cycle. Three representations:
+  /// kNever needs none (a wake will reinstate it), a due cycle <= now_
+  /// (always-busy reschedules, same-cycle wakes) is tracked by the
+  /// immediate flag — no heap traffic on the steady-state path — and only
+  /// genuinely future activations enter the heap.
+  void set_due(std::size_t i, cycle_t due) {
+    due_[i] = due;
+    if (due <= now_) {
+      immediate_due_ = true;
+    } else if (due != kNever) {
+      heap_.push_back(Event{due, static_cast<std::uint32_t>(i)});
+      std::push_heap(heap_.begin(), heap_.end(), EventLater{});
+    }
+  }
+
+  /// A non-quiet tick of a predecessor at cycle t: component `idx` must be
+  /// caught up through t + delay (reading pre-mutation state — this runs
+  /// before the waker's tick) and re-evaluated then. A component that
+  /// already ticked this cycle is rescheduled from post-cycle state
+  /// anyway, so the wake is a no-op for it.
+  void wake(std::size_t idx, cycle_t t, cycle_t delay) {
+    if (last_ticked_[idx] == t) return;
+    const cycle_t target = t + delay;
+    if (synced_[idx] < target) {
+      components_[idx]->on_wake(target - synced_[idx]);
+      synced_[idx] = target;
+    }
+    if (due_[idx] > target) set_due(idx, target);
+  }
+
   std::vector<Component*> components_;
   std::vector<Component*> commit_list_;
+  std::vector<bool> needs_commit_;
+  std::vector<std::vector<WakeEdge>> edges_;
+  // Event-kernel bookkeeping, indexed like components_. Only meaningful
+  // while events_armed_.
+  std::vector<cycle_t> due_;       ///< next evaluation cycle (kNever: none)
+  std::vector<cycle_t> synced_;    ///< first cycle not yet accounted
+  std::vector<cycle_t> last_ticked_;
+  /// due_[i] came from a quiet_for() == 0 reschedule (a promised tick, no
+  /// pre-tick re-check needed), not a conservative wake.
+  std::vector<std::uint8_t> must_tick_;
+  std::vector<Event> heap_;        ///< lazy min-heap over future due_
+  std::vector<std::uint32_t> ticked_;  ///< scratch: this cycle's active set
+  /// Some component is due at now_ (tracked outside the heap: see set_due).
+  bool immediate_due_ = false;
+  bool events_armed_ = false;
   cycle_t now_ = 0;
 };
 

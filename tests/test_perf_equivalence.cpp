@@ -2,12 +2,18 @@
 // optimisation must be observationally identical to the exact slow path
 // it replaces. Three families are covered:
 //
-//  1. Accelerator idle-skip (AcceleratorConfig::idle_skip) vs exact
-//     per-cycle stepping: simulated cycle counts, decoded results and the
-//     entire output memory image must match bit for bit — with the
-//     watchdog disarmed (skip active mid-run), with the watchdog armed
-//     (skip suppressed while running), and with a fault injector attached
-//     (skip suppressed entirely).
+//  1. The stepping fast paths vs exact per-cycle stepping. Three
+//     strategies are differenced against each other: exact stepping
+//     (idle_skip off — the reference), the legacy global-quiescence skip
+//     (idle_skip on, event_kernel off) and the event-driven kernel
+//     (idle_skip on, event_kernel on). Simulated cycle counts, decoded
+//     results, the entire output memory image and the full PMU bank (all
+//     counters except the host-side host_idle_skipped_cycles diagnostic)
+//     must match bit for bit — with the watchdog disarmed (fast paths
+//     active mid-run), with the watchdog armed (fast paths suppressed
+//     while running), and across seeded fault campaigns (injector
+//     attached, fast paths suppressed entirely, faulty timeline and error
+//     latching replayed exactly).
 //
 //  2. The word-parallel (64-bit XOR+ctz) extend kernel vs the reference
 //     byte/block loops in core::WfaAligner and core::WfaLinearAligner:
@@ -20,6 +26,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/prng.hpp"
@@ -28,6 +35,7 @@
 #include "drv/driver.hpp"
 #include "gen/seqgen.hpp"
 #include "hw/accelerator.hpp"
+#include "hw/perf.hpp"
 #include "hw/regs.hpp"
 #include "mem/main_memory.hpp"
 #include "sim/fault_injector.hpp"
@@ -53,14 +61,39 @@ std::vector<gen::SequencePair> make_pairs(std::uint64_t seed,
   return pairs;
 }
 
+/// The three stepping strategies under differential test. kExact is the
+/// reference; both fast paths must be observationally indistinguishable
+/// from it.
+enum class StepStrategy { kExact, kLegacySkip, kEventKernel };
+
+constexpr StepStrategy kAllStrategies[] = {
+    StepStrategy::kExact, StepStrategy::kLegacySkip,
+    StepStrategy::kEventKernel};
+
+const char* strategy_name(StepStrategy s) {
+  switch (s) {
+    case StepStrategy::kExact: return "exact";
+    case StepStrategy::kLegacySkip: return "legacy-skip";
+    case StepStrategy::kEventKernel: return "event-kernel";
+  }
+  return "?";
+}
+
+void apply_strategy(hw::AcceleratorConfig& cfg, StepStrategy s) {
+  cfg.idle_skip = s != StepStrategy::kExact;
+  cfg.event_kernel = s == StepStrategy::kEventKernel;
+}
+
 /// Everything observable about one accelerator run: the simulated
-/// timeline, the error state and the complete output memory image.
+/// timeline, the error state, the full PMU bank and the complete output
+/// memory image.
 struct RunObservation {
   sim::cycle_t final_now = 0;
   std::uint64_t run_cycles = 0;
   std::uint64_t wait_cycles = 0;
   std::uint32_t err_status = 0;
   drv::RunOutcome outcome = drv::RunOutcome::kOk;
+  hw::PerfSnapshot perf;
   std::vector<std::uint8_t> memory;
 
   friend bool operator==(const RunObservation&,
@@ -68,11 +101,11 @@ struct RunObservation {
 };
 
 RunObservation run_batch(const std::vector<gen::SequencePair>& pairs,
-                         bool backtrace, bool idle_skip,
+                         bool backtrace, StepStrategy strategy,
                          bool disarm_watchdog,
                          sim::FaultInjector* injector = nullptr) {
   hw::AcceleratorConfig cfg;
-  cfg.idle_skip = idle_skip;
+  apply_strategy(cfg, strategy);
   mem::MainMemory memory(kMemBytes);
   hw::Accelerator accel(cfg, memory);
   if (injector != nullptr) accel.attach_fault_injector(injector);
@@ -88,71 +121,86 @@ RunObservation run_batch(const std::vector<gen::SequencePair>& pairs,
   obs.final_now = accel.now();
   obs.run_cycles = accel.last_run_cycles();
   obs.err_status = accel.read_reg(hw::kRegErrStatus);
+  // The full PMU bank is part of the observation. The one legitimately
+  // strategy-dependent counter is the host-side diagnostic of how many
+  // cycles the fast path elided; zero it so the remaining 18 hardware
+  // counters are compared exactly.
+  obs.perf = accel.perf_counters();
+  obs.perf.host_idle_skipped_cycles = 0;
   obs.memory.resize(kMemBytes);
   memory.read(0, obs.memory);
   return obs;
 }
 
-TEST(IdleSkipEquivalence, NbtRunBitIdentical) {
-  const auto pairs = make_pairs(101, 6, 150, 0.08);
+/// Runs one batch under all three strategies and expects every
+/// observation to equal the exact-stepping reference.
+void expect_strategies_identical(const std::vector<gen::SequencePair>& pairs,
+                                 bool backtrace, bool disarm_watchdog) {
   const RunObservation exact =
-      run_batch(pairs, false, /*idle_skip=*/false, /*disarm_watchdog=*/true);
-  const RunObservation fast =
-      run_batch(pairs, false, /*idle_skip=*/true, /*disarm_watchdog=*/true);
-  EXPECT_EQ(exact, fast);
-  EXPECT_EQ(fast.outcome, drv::RunOutcome::kOk);
+      run_batch(pairs, backtrace, StepStrategy::kExact, disarm_watchdog);
+  for (const StepStrategy s :
+       {StepStrategy::kLegacySkip, StepStrategy::kEventKernel}) {
+    const RunObservation fast =
+        run_batch(pairs, backtrace, s, disarm_watchdog);
+    EXPECT_EQ(exact, fast) << "strategy: " << strategy_name(s);
+  }
+}
+
+TEST(IdleSkipEquivalence, NbtRunBitIdentical) {
+  expect_strategies_identical(make_pairs(101, 6, 150, 0.08),
+                              /*backtrace=*/false, /*disarm_watchdog=*/true);
 }
 
 TEST(IdleSkipEquivalence, BtRunBitIdentical) {
-  const auto pairs = make_pairs(102, 5, 120, 0.06);
-  const RunObservation exact =
-      run_batch(pairs, true, /*idle_skip=*/false, /*disarm_watchdog=*/true);
-  const RunObservation fast =
-      run_batch(pairs, true, /*idle_skip=*/true, /*disarm_watchdog=*/true);
-  EXPECT_EQ(exact, fast);
-  EXPECT_EQ(fast.outcome, drv::RunOutcome::kOk);
+  expect_strategies_identical(make_pairs(102, 5, 120, 0.06),
+                              /*backtrace=*/true, /*disarm_watchdog=*/true);
 }
 
 TEST(IdleSkipEquivalence, WatchdogArmedBitIdentical) {
-  // With the (default) watchdog armed, idle-skip is suppressed while the
-  // run is in flight; the run must still complete identically and the
-  // watchdog must still observe real progress.
-  const auto pairs = make_pairs(103, 4, 100, 0.05);
-  const RunObservation exact =
-      run_batch(pairs, false, /*idle_skip=*/false, /*disarm_watchdog=*/false);
-  const RunObservation fast =
-      run_batch(pairs, false, /*idle_skip=*/true, /*disarm_watchdog=*/false);
-  EXPECT_EQ(exact, fast);
-  EXPECT_EQ(fast.outcome, drv::RunOutcome::kOk);
+  // With the (default) watchdog armed, the fast paths are suppressed
+  // while the run is in flight; the run must still complete identically
+  // and the watchdog must still observe real progress.
+  expect_strategies_identical(make_pairs(103, 4, 100, 0.05),
+                              /*backtrace=*/false, /*disarm_watchdog=*/false);
 }
 
 TEST(IdleSkipEquivalence, FaultCampaignBitIdentical) {
-  // A fault injector forces exact stepping regardless of idle_skip: the
-  // whole faulty timeline — error latching included — must replay
-  // bit-identically under both settings.
+  // A fault injector forces exact stepping regardless of the configured
+  // strategy: the whole faulty timeline — error latching included — must
+  // replay bit-identically under all three. Several seeds so campaigns
+  // that trip different error paths (bit flips absorbed vs AXI aborts)
+  // are all exercised.
   const auto pairs = make_pairs(104, 4, 120, 0.08);
-  sim::FaultInjector::CampaignConfig fc;
-  fc.mem_begin = kInAddr;
-  fc.mem_end = kInAddr + 0x400;
-  fc.mem_bit_flips = 2;
-  fc.axi_errors = 1;
-  fc.cycle_window = 20'000;
-  sim::FaultInjector inj_exact = sim::FaultInjector::make_campaign(7, fc);
-  sim::FaultInjector inj_fast = sim::FaultInjector::make_campaign(7, fc);
-  const RunObservation exact = run_batch(pairs, false, /*idle_skip=*/false,
-                                         /*disarm_watchdog=*/true, &inj_exact);
-  const RunObservation fast = run_batch(pairs, false, /*idle_skip=*/true,
-                                        /*disarm_watchdog=*/true, &inj_fast);
-  EXPECT_EQ(exact, fast);
+  for (const std::uint64_t seed : {7u, 19u, 43u}) {
+    sim::FaultInjector::CampaignConfig fc;
+    fc.mem_begin = kInAddr;
+    fc.mem_end = kInAddr + 0x400;
+    fc.mem_bit_flips = 2;
+    fc.axi_errors = 1;
+    fc.cycle_window = 20'000;
+    sim::FaultInjector inj_exact = sim::FaultInjector::make_campaign(seed, fc);
+    const RunObservation exact =
+        run_batch(pairs, false, StepStrategy::kExact,
+                  /*disarm_watchdog=*/true, &inj_exact);
+    for (const StepStrategy s :
+         {StepStrategy::kLegacySkip, StepStrategy::kEventKernel}) {
+      sim::FaultInjector inj = sim::FaultInjector::make_campaign(seed, fc);
+      const RunObservation fast = run_batch(pairs, false, s,
+                                            /*disarm_watchdog=*/true, &inj);
+      EXPECT_EQ(exact, fast)
+          << "seed " << seed << ", strategy: " << strategy_name(s);
+    }
+  }
 }
 
 TEST(IdleSkipEquivalence, InterruptWaitBitIdentical) {
-  // The interrupt-driven wait path uses the same chunked stepper; the
-  // interrupt must be seen at the same simulated cycle either way.
+  // The interrupt-driven wait path uses the same run-until-event stepper;
+  // the interrupt must be seen at the same simulated cycle under every
+  // strategy.
   const auto pairs = make_pairs(105, 3, 90, 0.05);
-  auto run = [&](bool idle_skip) {
+  auto run = [&](StepStrategy strategy) {
     hw::AcceleratorConfig cfg;
-    cfg.idle_skip = idle_skip;
+    apply_strategy(cfg, strategy);
     mem::MainMemory memory(kMemBytes);
     hw::Accelerator accel(cfg, memory);
     const drv::BatchLayout layout =
@@ -163,7 +211,39 @@ TEST(IdleSkipEquivalence, InterruptWaitBitIdentical) {
     (void)driver.wait_interrupt();
     return accel.now();
   };
-  EXPECT_EQ(run(false), run(true));
+  const sim::cycle_t exact = run(StepStrategy::kExact);
+  EXPECT_EQ(exact, run(StepStrategy::kLegacySkip));
+  EXPECT_EQ(exact, run(StepStrategy::kEventKernel));
+}
+
+TEST(IdleSkipEquivalence, BackToBackRunsBitIdentical) {
+  // Two launches on the same accelerator instance: the event kernel must
+  // resynchronize cleanly across the idle gap between runs (register
+  // pokes happen against flushed state) and the second run must still be
+  // bit-identical.
+  auto run_two = [&](StepStrategy strategy) {
+    hw::AcceleratorConfig cfg;
+    apply_strategy(cfg, strategy);
+    mem::MainMemory memory(kMemBytes);
+    hw::Accelerator accel(cfg, memory);
+    drv::Driver driver(accel);
+    std::vector<sim::cycle_t> stamps;
+    for (const std::uint64_t seed : {106u, 107u}) {
+      const auto pairs = make_pairs(seed, 4, 110, 0.07);
+      const drv::BatchLayout layout =
+          drv::encode_input_set(memory, pairs, kInAddr, kOutAddr);
+      driver.start(layout, seed % 2 == 0);
+      accel.write_reg(hw::kRegWatchdog, 0);
+      (void)driver.wait_idle();
+      stamps.push_back(accel.now());
+    }
+    std::vector<std::uint8_t> image(kMemBytes);
+    memory.read(0, image);
+    return std::pair(stamps, image);
+  };
+  const auto exact = run_two(StepStrategy::kExact);
+  EXPECT_EQ(exact, run_two(StepStrategy::kLegacySkip));
+  EXPECT_EQ(exact, run_two(StepStrategy::kEventKernel));
 }
 
 // ---------------------------------------------------------------------------

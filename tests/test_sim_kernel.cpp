@@ -1,0 +1,375 @@
+// Tests for the event-driven simulation kernel (sim/scheduler.hpp): the
+// self-scheduling contract (next_activation/on_wake), the wakeup graph,
+// and bulk-advance between events. The load-bearing property is
+// bit-identity: any component graph honoring the quiescence contract must
+// produce exactly the same state and timeline under run_until_events() as
+// under exact per-cycle stepping. Also covers the kernel-hardening
+// regressions: duplicate registration and skip() overflow are rejected.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wfasic::sim {
+namespace {
+
+/// Emits one token to a downstream queue every `period` cycles, starting
+/// at cycle `phase`. Quiet in between (pure countdown), so the event
+/// kernel sleeps it through the gaps.
+class PulseSource final : public Component {
+ public:
+  PulseSource(std::string name, cycle_t period, cycle_t phase,
+              std::deque<cycle_t>* out)
+      : Component(std::move(name)),
+        period_(period),
+        countdown_(phase),
+        out_(out) {}
+
+  void tick(cycle_t now) override {
+    if (countdown_ > 0) {
+      --countdown_;
+      return;
+    }
+    out_->push_back(now);
+    ++pulses_;
+    countdown_ = period_ - 1;
+  }
+  [[nodiscard]] cycle_t quiet_for(cycle_t /*now*/) const override {
+    return countdown_;
+  }
+  void skip_quiet(cycle_t n) override { countdown_ -= n; }
+
+  [[nodiscard]] std::uint64_t pulses() const { return pulses_; }
+
+ private:
+  cycle_t period_;
+  cycle_t countdown_;
+  std::deque<cycle_t>* out_;
+  std::uint64_t pulses_ = 0;
+};
+
+/// Pops one token per cycle from its input queue; optionally forwards it
+/// downstream. Records the cycle of every pop — an order- and
+/// timing-sensitive trace that any stepping bug would perturb. Idle
+/// (kQuietForever) on an empty queue: it relies entirely on wakeup edges.
+class Relay final : public Component {
+ public:
+  Relay(std::string name, std::deque<cycle_t>* in, std::deque<cycle_t>* out)
+      : Component(std::move(name)), in_(in), out_(out) {}
+
+  void tick(cycle_t now) override {
+    if (in_->empty()) {
+      // The quiet-tick body: a pure linear counter update, so
+      // skip_quiet(n) below is exactly n of these.
+      ++idle_cycles_;
+      return;
+    }
+    const cycle_t born = in_->front();
+    in_->pop_front();
+    ++popped_;
+    // Weighted by both arrival order and cycle so any reordering or
+    // retiming shows up, not just count drift.
+    signature_ = signature_ * 1315423911u + now * 3u + born;
+    pop_cycles_.push_back(now);
+    if (out_ != nullptr) out_->push_back(now);
+  }
+  [[nodiscard]] cycle_t quiet_for(cycle_t /*now*/) const override {
+    return in_->empty() ? kQuietForever : 0;
+  }
+  void skip_quiet(cycle_t n) override { idle_cycles_ += n; }
+
+  [[nodiscard]] std::uint64_t popped() const { return popped_; }
+  [[nodiscard]] std::uint64_t signature() const { return signature_; }
+  [[nodiscard]] std::uint64_t idle_cycles() const { return idle_cycles_; }
+  [[nodiscard]] const std::vector<cycle_t>& pop_cycles() const {
+    return pop_cycles_;
+  }
+
+ private:
+  std::deque<cycle_t>* in_;
+  std::deque<cycle_t>* out_;
+  std::uint64_t popped_ = 0;
+  std::uint64_t signature_ = 0;
+  std::uint64_t idle_cycles_ = 0;
+  std::vector<cycle_t> pop_cycles_;
+};
+
+/// Appends (cycle, tag) to a shared log on every tick — the cross-component
+/// tick-order probe. Periodic like PulseSource.
+class OrderProbe final : public Component {
+ public:
+  OrderProbe(std::string name, int tag, cycle_t period,
+             std::vector<std::pair<cycle_t, int>>* log)
+      : Component(std::move(name)), tag_(tag), period_(period), log_(log) {}
+
+  void tick(cycle_t now) override {
+    if (countdown_ > 0) {
+      --countdown_;
+      return;
+    }
+    log_->emplace_back(now, tag_);
+    countdown_ = period_ - 1;
+  }
+  [[nodiscard]] cycle_t quiet_for(cycle_t /*now*/) const override {
+    return countdown_;
+  }
+  void skip_quiet(cycle_t n) override { countdown_ -= n; }
+
+ private:
+  int tag_;
+  cycle_t period_;
+  cycle_t countdown_ = 0;
+  std::vector<std::pair<cycle_t, int>>* log_;
+};
+
+bool never() { return false; }
+
+// ---------------------------------------------------------------------------
+// Kernel hardening (satellite regressions).
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerHardening, DuplicateAddAborts) {
+  Scheduler sched;
+  std::deque<cycle_t> q;
+  PulseSource src("src", 4, 0, &q);
+  sched.add(&src);
+  EXPECT_DEATH(sched.add(&src), "already registered");
+}
+
+TEST(SchedulerHardening, SkipOverflowAborts) {
+  Scheduler sched;
+  std::deque<cycle_t> q;
+  Relay idle("idle", &q, nullptr);
+  sched.add(&idle);
+  // The whole system is forever-quiet; a caller must never turn that
+  // into a concrete kQuietForever-sized skip.
+  EXPECT_EQ(sched.quiescent_cycles(), Component::kQuietForever);
+  EXPECT_DEATH(sched.skip(Component::kQuietForever), "overflow");
+  // A large but representable span is fine.
+  sched.skip(1u << 20);
+  EXPECT_EQ(sched.now(), 1u << 20);
+}
+
+// ---------------------------------------------------------------------------
+// Event-ordering determinism.
+// ---------------------------------------------------------------------------
+
+TEST(EventKernel, SameCycleEventsRunInRegistrationOrder) {
+  // Probes with different periods collide on various cycles; whenever
+  // several are due in the same cycle, the event kernel must evaluate
+  // them in registration order — exactly like the per-cycle loop.
+  auto run = [](bool event_kernel) {
+    Scheduler sched;
+    std::vector<std::pair<cycle_t, int>> log;
+    OrderProbe p2("p2", 2, 2, &log);
+    OrderProbe p3("p3", 3, 3, &log);
+    OrderProbe p5("p5", 5, 5, &log);
+    sched.add(&p2, /*needs_commit=*/false);
+    sched.add(&p3, /*needs_commit=*/false);
+    sched.add(&p5, /*needs_commit=*/false);
+    if (event_kernel) {
+      const RunUntilResult r = sched.run_until_events(never, 61);
+      EXPECT_TRUE(r.timed_out());
+    } else {
+      sched.step_n(61);
+    }
+    EXPECT_EQ(sched.now(), 61u);
+    return log;
+  };
+  const auto exact = run(false);
+  const auto event = run(true);
+  EXPECT_EQ(exact, event);
+  // Sanity: cycle 30 is a 2/3/5 collision; registration order must hold.
+  const std::vector<std::pair<cycle_t, int>> expect_c30 = {
+      {30, 2}, {30, 3}, {30, 5}};
+  std::vector<std::pair<cycle_t, int>> got_c30;
+  for (const auto& e : event) {
+    if (e.first == 30) got_c30.push_back(e);
+  }
+  EXPECT_EQ(got_c30, expect_c30);
+}
+
+// ---------------------------------------------------------------------------
+// Wakeup-edge correctness.
+// ---------------------------------------------------------------------------
+
+TEST(EventKernel, ForwardEdgeDeliversSameCycle) {
+  // Producer registered before consumer: per-cycle stepping ticks the
+  // consumer after the producer, so a push at cycle t is popped at t.
+  // The event kernel must reproduce that via a delay-0 wake.
+  Scheduler sched;
+  std::deque<cycle_t> q;
+  PulseSource src("src", 10, 3, &q);
+  Relay sink("sink", &q, nullptr);
+  sched.add(&src, /*needs_commit=*/false);
+  sched.add(&sink, /*needs_commit=*/false);
+  sched.add_wakeup(&src, &sink);
+  const RunUntilResult r = sched.run_until_events(never, 25);
+  EXPECT_TRUE(r.timed_out());
+  EXPECT_EQ(sink.pop_cycles(), (std::vector<cycle_t>{3, 13, 23}));
+  // The skipped idle cycles were all accounted by lazy catch-up.
+  EXPECT_EQ(sink.popped() + sink.idle_cycles(), 25u);
+}
+
+TEST(EventKernel, BackwardEdgeDeliversNextCycle) {
+  // Consumer registered before producer: the consumer's cycle-t tick
+  // already ran when the producer pushes at t, so the pop lands at t+1.
+  // The event kernel must reproduce that via a delay-1 wake.
+  Scheduler sched;
+  std::deque<cycle_t> q;
+  Relay sink("sink", &q, nullptr);
+  PulseSource src("src", 10, 3, &q);
+  sched.add(&sink, /*needs_commit=*/false);
+  sched.add(&src, /*needs_commit=*/false);
+  sched.add_wakeup(&src, &sink);
+  const RunUntilResult r = sched.run_until_events(never, 25);
+  EXPECT_TRUE(r.timed_out());
+  EXPECT_EQ(sink.pop_cycles(), (std::vector<cycle_t>{4, 14, 24}));
+}
+
+TEST(EventKernel, SelfEdgeRejected) {
+  Scheduler sched;
+  std::deque<cycle_t> q;
+  Relay sink("sink", &q, nullptr);
+  sched.add(&sink);
+  EXPECT_DEATH(sched.add_wakeup(&sink, &sink), "self edge");
+}
+
+// ---------------------------------------------------------------------------
+// Randomized-graph bit-identity.
+// ---------------------------------------------------------------------------
+
+/// A randomized pipeline: `n_src` pulse sources with random periods and
+/// phases feed a chain of relays; edges are declared in whatever direction
+/// registration order dictates, so both delay-0 and delay-1 wakes occur.
+struct RandomGraph {
+  Scheduler sched;
+  std::vector<std::unique_ptr<std::deque<cycle_t>>> queues;
+  std::vector<std::unique_ptr<PulseSource>> sources;
+  std::vector<std::unique_ptr<Relay>> relays;
+
+  RandomGraph(std::uint64_t seed, bool relays_first) {
+    Prng prng(seed);
+    const std::size_t n_src = 1 + prng.next_below(3);
+    const std::size_t n_relay = 1 + prng.next_below(4);
+    // Chain queue i feeds relay i; relay i forwards into queue i+1.
+    for (std::size_t i = 0; i <= n_relay; ++i) {
+      queues.push_back(std::make_unique<std::deque<cycle_t>>());
+    }
+    for (std::size_t i = 0; i < n_relay; ++i) {
+      relays.push_back(std::make_unique<Relay>(
+          "relay" + std::to_string(i), queues[i].get(),
+          i + 1 < n_relay ? queues[i + 1].get() : nullptr));
+    }
+    for (std::size_t i = 0; i < n_src; ++i) {
+      sources.push_back(std::make_unique<PulseSource>(
+          "src" + std::to_string(i), 2 + prng.next_below(9),
+          prng.next_below(7), queues[0].get()));
+    }
+    // Registration order decides wake delays; exercise both layouts.
+    if (relays_first) {
+      for (auto& r : relays) sched.add(r.get(), /*needs_commit=*/false);
+      for (auto& s : sources) sched.add(s.get(), /*needs_commit=*/false);
+    } else {
+      for (auto& s : sources) sched.add(s.get(), /*needs_commit=*/false);
+      for (auto& r : relays) sched.add(r.get(), /*needs_commit=*/false);
+    }
+    for (auto& s : sources) sched.add_wakeup(s.get(), relays[0].get());
+    for (std::size_t i = 0; i + 1 < n_relay; ++i) {
+      sched.add_wakeup(relays[i].get(), relays[i + 1].get());
+    }
+  }
+
+  /// Everything observable: per-relay pop traces, signatures, counters.
+  [[nodiscard]] std::vector<std::uint64_t> observation() const {
+    std::vector<std::uint64_t> obs{sched.now()};
+    for (const auto& s : sources) obs.push_back(s->pulses());
+    for (const auto& r : relays) {
+      obs.push_back(r->popped());
+      obs.push_back(r->signature());
+      obs.push_back(r->idle_cycles());
+      for (const cycle_t c : r->pop_cycles()) obs.push_back(c);
+    }
+    return obs;
+  }
+};
+
+TEST(EventKernel, RandomizedGraphsBitIdenticalToExactStepping) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const bool relays_first : {false, true}) {
+      RandomGraph exact(seed, relays_first);
+      RandomGraph event(seed, relays_first);
+      exact.sched.step_n(400);
+      const RunUntilResult r = event.sched.run_until_events(never, 400);
+      EXPECT_TRUE(r.timed_out());
+      EXPECT_EQ(exact.observation(), event.observation())
+          << "seed " << seed << ", relays_first " << relays_first;
+    }
+  }
+}
+
+TEST(EventKernel, MixedSteppingResynchronizes) {
+  // Interleave exact stepping, event runs and bulk skips on one
+  // scheduler; every transition must flush/resync so the mix stays
+  // bit-identical to pure exact stepping.
+  RandomGraph exact(99, false);
+  RandomGraph mixed(99, false);
+  exact.sched.step_n(300);
+  mixed.sched.step_n(37);
+  (void)mixed.sched.run_until_events(never, 120);
+  mixed.sched.step_n(11);
+  (void)mixed.sched.run_until_events(never, 300);
+  EXPECT_EQ(exact.observation(), mixed.observation());
+}
+
+// ---------------------------------------------------------------------------
+// run_until parity: stop cycles and typed timeouts.
+// ---------------------------------------------------------------------------
+
+TEST(EventKernel, PredicateStopCycleMatchesExactStepping) {
+  auto run = [](bool event_kernel) {
+    Scheduler sched;
+    std::deque<cycle_t> q;
+    PulseSource src("src", 7, 2, &q);
+    Relay sink("sink", &q, nullptr);
+    sched.add(&src, /*needs_commit=*/false);
+    sched.add(&sink, /*needs_commit=*/false);
+    sched.add_wakeup(&src, &sink);
+    const auto done = [&] { return sink.popped() >= 4; };
+    const RunUntilResult r = event_kernel
+                                 ? sched.run_until_events(done, 1'000)
+                                 : sched.run_until(done, 1'000);
+    EXPECT_FALSE(r.timed_out());
+    return r.now;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(EventKernel, TimeoutParityOnDeadlock) {
+  // A forever-idle system: exact stepping burns every cycle to the
+  // deadline; the event kernel bulk-advances straight to it. Both must
+  // report the same typed timeout at the same cycle — and never abort.
+  auto run = [](bool event_kernel) {
+    Scheduler sched;
+    std::deque<cycle_t> q;
+    Relay sink("sink", &q, nullptr);
+    sched.add(&sink, /*needs_commit=*/false);
+    const RunUntilResult r = event_kernel
+                                 ? sched.run_until_events(never, 5'000)
+                                 : sched.run_until(never, 5'000);
+    EXPECT_TRUE(r.timed_out());
+    EXPECT_EQ(sink.idle_cycles(), 5'000u);
+    return r.now;
+  };
+  EXPECT_EQ(run(false), run(true));
+  EXPECT_EQ(run(true), 5'000u);
+}
+
+}  // namespace
+}  // namespace wfasic::sim
