@@ -17,8 +17,10 @@
 // align+backtrace sum, and 4 score-only devices deliver at least 2x the
 // blocking GCUPS.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "asic/area_model.hpp"
 #include "bench/bench_util.hpp"
@@ -112,57 +114,99 @@ int main(int argc, char** argv) {
   }
 
   // --- Host wall-clock: stepping strategies vs exact reference ----------
-  // The same K=4 score-only run, timed under all three stepping
+  // The same K=4 score-only run, timed under all four stepping
   // strategies: exact per-cycle stepping (the reference), the legacy
-  // global-quiescence skip, and the event-driven kernel (the default fast
-  // path). Simulated results must be bit-identical (checked here, live);
-  // only host wall-clock may differ. Each strategy is timed best-of-3 —
-  // wall time is noisy, simulated state is not. The wall_speedup ratio
-  // (reference / event kernel) is machine-independent enough to gate on
-  // in CI, unlike raw nanoseconds; the host_wall_* keys are
-  // informational.
+  // global-quiescence skip, the event-driven kernel, and the event kernel
+  // with compiled macro-steps (the default fast path). Simulated results
+  // must be bit-identical (checked here, live); only host wall-clock may
+  // differ. Each strategy is timed over kWallReps interleaved repetitions;
+  // the gate uses the per-strategy minimum (the least-perturbed run),
+  // with median and stddev exported so CI flakes are diagnosable from the
+  // report alone. The wall_speedup ratio (reference / macro) is
+  // machine-independent enough to gate on in CI, unlike raw nanoseconds;
+  // the host_wall_* keys are informational.
   print_header("Host wall-clock: stepping fast paths vs exact stepping",
-               "(identical simulated cycles, K=4 score-only, best of 3)");
-  auto run_strategy = [&](bool idle_skip, bool event_kernel) {
+               "(identical simulated cycles, K=4 score-only, best of 5)");
+  struct Strategy {
+    const char* name;
+    const char* key;   // BenchReport key stem: wall_ns_<key>
+    bool idle_skip;
+    bool event_kernel;
+    bool macro_step;
+  };
+  const Strategy kStrategies[] = {
+      {"reference stepping", "reference", false, false, false},
+      {"legacy idle-skip", "legacy", true, false, false},
+      {"event kernel", "event", true, true, false},
+      {"event + macro-step", "macro", true, true, true},
+  };
+  constexpr int kNumStrategies = 4;
+  constexpr int kWallReps = 5;
+  auto run_strategy = [&](const Strategy& s) {
     engine::EngineConfig cfg = base;
     cfg.num_devices = 4;
-    cfg.device.accel.idle_skip = idle_skip;
-    cfg.device.accel.event_kernel = event_kernel;
+    cfg.device.accel.idle_skip = s.idle_skip;
+    cfg.device.accel.event_kernel = s.event_kernel;
+    cfg.device.accel.macro_step = s.macro_step;
     engine::Engine eng(cfg);
     return eng.run_dataset(pairs, batch_pairs, /*backtrace=*/false,
                            /*separate_data=*/false);
   };
   engine::BatchResult ref{};
   engine::BatchResult fast{};
-  std::uint64_t wall_ns_reference = ~0ull;
-  std::uint64_t wall_ns_legacy = ~0ull;
-  std::uint64_t wall_ns_fast = ~0ull;
-  for (int rep = 0; rep < 3; ++rep) {
-    WallTimer t_ref;
-    ref = run_strategy(/*idle_skip=*/false, /*event_kernel=*/false);
-    wall_ns_reference = std::min(wall_ns_reference, t_ref.elapsed_ns());
-    WallTimer t_legacy;
-    const engine::BatchResult legacy =
-        run_strategy(/*idle_skip=*/true, /*event_kernel=*/false);
-    wall_ns_legacy = std::min(wall_ns_legacy, t_legacy.elapsed_ns());
-    WallTimer t_fast;
-    fast = run_strategy(/*idle_skip=*/true, /*event_kernel=*/true);
-    wall_ns_fast = std::min(wall_ns_fast, t_fast.elapsed_ns());
-    if (fast.pipeline_cycles != ref.pipeline_cycles ||
-        fast.accel_cycles != ref.accel_cycles ||
-        legacy.pipeline_cycles != ref.pipeline_cycles ||
-        legacy.accel_cycles != ref.accel_cycles) {
-      std::printf("FAIL: a fast path changed simulated cycles (event "
-                  "%llu/%llu, legacy %llu/%llu vs reference %llu/%llu)\n",
-                  static_cast<unsigned long long>(fast.pipeline_cycles),
-                  static_cast<unsigned long long>(fast.accel_cycles),
-                  static_cast<unsigned long long>(legacy.pipeline_cycles),
-                  static_cast<unsigned long long>(legacy.accel_cycles),
-                  static_cast<unsigned long long>(ref.pipeline_cycles),
-                  static_cast<unsigned long long>(ref.accel_cycles));
-      ok = false;
+  std::vector<std::vector<std::uint64_t>> samples(kNumStrategies);
+  for (int rep = 0; rep < kWallReps; ++rep) {
+    for (int s = 0; s < kNumStrategies; ++s) {
+      WallTimer timer;
+      const engine::BatchResult r = run_strategy(kStrategies[s]);
+      samples[s].push_back(timer.elapsed_ns());
+      if (s == 0) {
+        ref = r;
+      } else if (r.pipeline_cycles != ref.pipeline_cycles ||
+                 r.accel_cycles != ref.accel_cycles) {
+        std::printf("FAIL: %s changed simulated cycles (%llu/%llu vs "
+                    "reference %llu/%llu)\n",
+                    kStrategies[s].name,
+                    static_cast<unsigned long long>(r.pipeline_cycles),
+                    static_cast<unsigned long long>(r.accel_cycles),
+                    static_cast<unsigned long long>(ref.pipeline_cycles),
+                    static_cast<unsigned long long>(ref.accel_cycles));
+        ok = false;
+      }
+      if (s == kNumStrategies - 1) fast = r;
     }
   }
+  const auto wall_stats = [](std::vector<std::uint64_t> ns) {
+    std::sort(ns.begin(), ns.end());
+    const double median =
+        ns.size() % 2 != 0
+            ? static_cast<double>(ns[ns.size() / 2])
+            : 0.5 * (static_cast<double>(ns[ns.size() / 2 - 1]) +
+                     static_cast<double>(ns[ns.size() / 2]));
+    double mean = 0;
+    for (const std::uint64_t v : ns) mean += static_cast<double>(v);
+    mean /= static_cast<double>(ns.size());
+    double var = 0;
+    for (const std::uint64_t v : ns) {
+      const double d = static_cast<double>(v) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(ns.size());
+    struct Stats {
+      std::uint64_t min;
+      double median;
+      double stddev;
+    };
+    return Stats{ns.front(), median, std::sqrt(var)};
+  };
+  const auto ref_stats = wall_stats(samples[0]);
+  const auto legacy_stats = wall_stats(samples[1]);
+  const auto event_stats = wall_stats(samples[2]);
+  const auto macro_stats = wall_stats(samples[3]);
+  const std::uint64_t wall_ns_reference = ref_stats.min;
+  const std::uint64_t wall_ns_legacy = legacy_stats.min;
+  const std::uint64_t wall_ns_event = event_stats.min;
+  const std::uint64_t wall_ns_fast = macro_stats.min;
   const double wall_speedup = static_cast<double>(wall_ns_reference) /
                               static_cast<double>(wall_ns_fast);
   const double k4_gcups = asic::gcups(cells, fast.pipeline_cycles,
@@ -174,6 +218,10 @@ int main(int argc, char** argv) {
               static_cast<double>(wall_ns_reference) /
                   static_cast<double>(wall_ns_legacy));
   std::printf("event kernel:       %10.3f ms   (%.2fx wall-clock)\n",
+              static_cast<double>(wall_ns_event) / 1e6,
+              static_cast<double>(wall_ns_reference) /
+                  static_cast<double>(wall_ns_event));
+  std::printf("event + macro-step: %10.3f ms   (%.2fx wall-clock)\n",
               static_cast<double>(wall_ns_fast) / 1e6, wall_speedup);
 
   // One untimed event-kernel run on a kept-alive engine so the
@@ -194,12 +242,30 @@ int main(int argc, char** argv) {
   report.metric("wall_ns_reference", static_cast<double>(wall_ns_reference));
   report.metric("wall_speedup", wall_speedup);
   // Host wall-clock keys (informational, machine-dependent — see
-  // tools/bench_compare.py): the legacy kernel's time and the event
-  // kernel's edge over it.
+  // tools/bench_compare.py): the other strategies' minima, plus the
+  // median/stddev of every strategy's sample set so a flapping CI number
+  // can be told apart from a real regression without a rerun.
   report.metric("host_wall_ns_legacy", static_cast<double>(wall_ns_legacy));
+  report.metric("host_wall_ns_event", static_cast<double>(wall_ns_event));
   report.metric("host_wall_event_vs_legacy",
                 static_cast<double>(wall_ns_legacy) /
+                    static_cast<double>(wall_ns_event));
+  report.metric("host_wall_macro_vs_event",
+                static_cast<double>(wall_ns_event) /
                     static_cast<double>(wall_ns_fast));
+  const struct {
+    const char* key;
+    const decltype(ref_stats)& stats;
+  } kWallKeys[] = {{"reference", ref_stats},
+                   {"legacy", legacy_stats},
+                   {"event", event_stats},
+                   {"macro", macro_stats}};
+  for (const auto& w : kWallKeys) {
+    report.metric(std::string("host_wall_ns_") + w.key + "_median",
+                  w.stats.median);
+    report.metric(std::string("host_wall_ns_") + w.key + "_stddev",
+                  w.stats.stddev);
+  }
   // Engine observability export (informational keys, not regression-gated;
   // bench_compare.py reports candidate-only keys without failing).
   report_engine_metrics(report, fast_eng.metrics(), "k4_nbt");

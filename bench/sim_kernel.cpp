@@ -1,7 +1,7 @@
 // Microbench for the simulation kernel (sim/scheduler.hpp): exact
 // per-cycle stepping vs the legacy global-quiescence skip vs the
-// event-driven kernel, over synthetic component graphs with three
-// activity profiles:
+// event-driven kernel vs the event kernel with compiled macro-steps, over
+// synthetic component graphs with four activity profiles:
 //
 //   idle    — one slow pulse source, a long relay chain: almost every
 //             cycle is globally quiet. Both fast paths should win big;
@@ -14,14 +14,22 @@
 //   bursty  — long quiet gaps separating dense bursts: the event kernel
 //             bulk-advances the gaps and pays dispatch only inside
 //             bursts.
+//   macro_steady — one source whose per-cycle work is data-dependent
+//             (not a linear counter), so it can never report quiet and
+//             the event kernel must dispatch it every single cycle. Its
+//             macro_step() fuses the inter-emit span into one call: this
+//             is the steady-graph dispatch metric, self-checked to cut
+//             kernel dispatches per simulated cycle by at least 3x.
 //
-// Self-verifying: all three stepping strategies must produce bit-identical
+// Self-verifying: all four stepping strategies must produce bit-identical
 // component state (pop traces, signatures, counters) — any divergence is
 // a kernel bug and exits non-zero. Emits BENCH_sim_kernel.json with the
-// deterministic work counts (gated exactly via *_sim_cycles) plus
-// machine-dependent wall-clock and derived events/sec / dispatch-overhead
-// metrics (informational; compare ratios across hosts, not nanoseconds).
+// deterministic work and dispatch counts (gated exactly via *_sim_cycles)
+// plus machine-dependent wall-clock and derived events/sec /
+// dispatch-overhead metrics (informational; compare ratios across hosts,
+// not nanoseconds).
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <deque>
@@ -76,6 +84,63 @@ class BurstSource final : public sim::Component {
   std::uint64_t emitted_ = 0;
 };
 
+/// A source whose per-cycle work is an xorshift state update — data
+/// dependent, not a pure linear counter — so quiet_for() must report 0
+/// on every cycle and the event kernel has to dispatch it per cycle.
+/// Every `period` cycles the tick is externally visible (emits a token
+/// stamped with the evolving state). macro_step() proves the component
+/// steady: it runs the same state updates fused, stopping one cycle
+/// before the emitting tick, which then runs as a normal tick and issues
+/// its wakeups.
+class MacroSource final : public sim::Component {
+ public:
+  MacroSource(std::string name, sim::cycle_t period,
+              std::deque<sim::cycle_t>* out)
+      : sim::Component(std::move(name)), period_(period), out_(out) {}
+
+  void tick(sim::cycle_t now) override {
+    advance_state();
+    ++phase_;
+    if (phase_ >= period_) {
+      phase_ = 0;
+      out_->push_back(now + static_cast<sim::cycle_t>(state_ & 3));
+      ++emitted_;
+    }
+  }
+  // The per-cycle state update is not a linear counter update, so no
+  // cycle is ever quiet — the honest report is 0 every cycle.
+  [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t /*now*/) const override {
+    return 0;
+  }
+
+  [[nodiscard]] sim::cycle_t macro_step(sim::cycle_t /*now*/,
+                                        sim::cycle_t budget) override {
+    // Fuse up to the cycle *before* the next emitting tick: those ticks
+    // only mutate private state (state_, phase_), never the output queue.
+    const sim::cycle_t until_emit = period_ - 1 - phase_;
+    const sim::cycle_t take = std::min(budget, until_emit);
+    for (sim::cycle_t i = 0; i < take; ++i) advance_state();
+    phase_ += take;
+    return take;
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+
+ private:
+  void advance_state() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+  }
+
+  sim::cycle_t period_;
+  sim::cycle_t phase_ = 0;
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+  std::deque<sim::cycle_t>* out_;
+  std::uint64_t emitted_ = 0;
+};
+
 /// Pops one token per cycle, forwards downstream; order- and
 /// timing-sensitive signature so any stepping divergence is caught.
 class Relay final : public sim::Component {
@@ -119,23 +184,35 @@ struct WorkloadSpec {
   sim::cycle_t gap;
   std::size_t relays;
   sim::cycle_t cycles;
+  /// > 0: the sources are MacroSources with this emit period instead of
+  /// BurstSources (exactly one source, so the single-owner grant rule of
+  /// Scheduler::try_macro_step can fire between emits).
+  sim::cycle_t macro_period = 0;
 };
 
-// Graph sizes chosen so the whole bench (3 workloads x 3 strategies x
+// Graph sizes chosen so the whole bench (4 workloads x 4 strategies x
 // kReps) finishes well under a second as a smoke test while each timed
 // section is long enough to resolve.
 constexpr WorkloadSpec kWorkloads[] = {
     {"idle", 1, 1, 5'000, 8, 1'000'000},
     {"steady", 4, 1, 2, 8, 200'000},
     {"bursty", 2, 32, 2'000, 8, 500'000},
+    {"macro_steady", 1, 0, 0, 2, 200'000, /*macro_period=*/16},
 };
 
-enum class Strategy { kExact, kLegacySkip, kEventKernel };
+enum class Strategy { kExact, kLegacySkip, kEventKernel, kEventMacro };
+constexpr Strategy kStrategies[] = {Strategy::kExact, Strategy::kLegacySkip,
+                                    Strategy::kEventKernel,
+                                    Strategy::kEventMacro};
+constexpr const char* kStrategyNames[] = {"exact", "legacy", "event",
+                                          "macro"};
+constexpr int kNumStrategies = 4;
 
 struct Graph {
   sim::Scheduler sched;
   std::vector<std::unique_ptr<std::deque<sim::cycle_t>>> queues;
   std::vector<std::unique_ptr<BurstSource>> sources;
+  std::vector<std::unique_ptr<MacroSource>> macro_sources;
   std::vector<std::unique_ptr<Relay>> relays;
 
   explicit Graph(const WorkloadSpec& spec) {
@@ -147,19 +224,24 @@ struct Graph {
           "relay" + std::to_string(i), queues[i].get(),
           i + 1 < spec.relays ? queues[i + 1].get() : nullptr));
     }
-    for (std::size_t i = 0; i < spec.sources; ++i) {
-      sources.push_back(std::make_unique<BurstSource>(
-          "src" + std::to_string(i), spec.burst,
-          spec.gap + static_cast<sim::cycle_t>(i), /*phase=*/i,
-          queues[0].get()));
+    if (spec.macro_period > 0) {
+      for (std::size_t i = 0; i < spec.sources; ++i) {
+        macro_sources.push_back(std::make_unique<MacroSource>(
+            "src" + std::to_string(i), spec.macro_period, queues[0].get()));
+      }
+    } else {
+      for (std::size_t i = 0; i < spec.sources; ++i) {
+        sources.push_back(std::make_unique<BurstSource>(
+            "src" + std::to_string(i), spec.burst,
+            spec.gap + static_cast<sim::cycle_t>(i), /*phase=*/i,
+            queues[0].get()));
+      }
     }
-    for (auto& s : sources) {
-      sched.add(s.get(), /*needs_commit=*/false);
-    }
-    for (auto& r : relays) {
-      sched.add(r.get(), /*needs_commit=*/false);
-    }
+    for (auto& s : sources) sched.add(s.get(), /*needs_commit=*/false);
+    for (auto& s : macro_sources) sched.add(s.get(), /*needs_commit=*/false);
+    for (auto& r : relays) sched.add(r.get(), /*needs_commit=*/false);
     for (auto& s : sources) sched.add_wakeup(s.get(), relays[0].get());
+    for (auto& s : macro_sources) sched.add_wakeup(s.get(), relays[0].get());
     for (std::size_t i = 0; i + 1 < spec.relays; ++i) {
       sched.add_wakeup(relays[i].get(), relays[i + 1].get());
     }
@@ -169,6 +251,10 @@ struct Graph {
   [[nodiscard]] std::vector<std::uint64_t> observation() const {
     std::vector<std::uint64_t> obs{sched.now()};
     for (const auto& s : sources) obs.push_back(s->emitted());
+    for (const auto& s : macro_sources) {
+      obs.push_back(s->emitted());
+      obs.push_back(s->state());
+    }
     for (const auto& r : relays) {
       obs.push_back(r->popped());
       obs.push_back(r->signature());
@@ -182,6 +268,7 @@ struct Graph {
   [[nodiscard]] std::uint64_t work_events() const {
     std::uint64_t n = 0;
     for (const auto& s : sources) n += s->emitted();
+    for (const auto& s : macro_sources) n += s->emitted();
     for (const auto& r : relays) n += r->popped();
     return n;
   }
@@ -191,6 +278,9 @@ struct RunResult {
   std::vector<std::uint64_t> observation;
   std::uint64_t work_events = 0;
   std::uint64_t wall_ns = 0;
+  /// Kernel dispatches issued: per-component tick() calls plus fused
+  /// macro_step() calls. Deterministic per strategy.
+  std::uint64_t dispatches = 0;
 };
 
 RunResult run_workload(const WorkloadSpec& spec, Strategy strategy) {
@@ -208,81 +298,148 @@ RunResult run_workload(const WorkloadSpec& spec, Strategy strategy) {
     case Strategy::kEventKernel:
       (void)graph.sched.run_until_events(never, spec.cycles);
       break;
+    case Strategy::kEventMacro:
+      (void)graph.sched.run_until_events(never, spec.cycles,
+                                         /*macro_steps=*/true);
+      break;
   }
   RunResult result;
   result.wall_ns = timer.elapsed_ns();
   result.observation = graph.observation();
   result.work_events = graph.work_events();
+  const sim::Scheduler::DispatchStats& st = graph.sched.dispatch_stats();
+  result.dispatches = st.ticks + st.macro_dispatches;
   return result;
+}
+
+struct WallStats {
+  std::uint64_t min = 0;
+  double median = 0;
+  double stddev = 0;
+};
+
+WallStats wall_stats(std::vector<std::uint64_t> ns) {
+  std::sort(ns.begin(), ns.end());
+  WallStats w;
+  w.min = ns.front();
+  w.median = ns.size() % 2 != 0
+                 ? static_cast<double>(ns[ns.size() / 2])
+                 : 0.5 * (static_cast<double>(ns[ns.size() / 2 - 1]) +
+                          static_cast<double>(ns[ns.size() / 2]));
+  double mean = 0;
+  for (const std::uint64_t v : ns) mean += static_cast<double>(v);
+  mean /= static_cast<double>(ns.size());
+  double var = 0;
+  for (const std::uint64_t v : ns) {
+    const double d = static_cast<double>(v) - mean;
+    var += d * d;
+  }
+  w.stddev = std::sqrt(var / static_cast<double>(ns.size()));
+  return w;
 }
 
 int run() {
   bench::BenchReport report("sim_kernel");
   bool ok = true;
-  constexpr int kReps = 3;  // best-of-N: wall time is noisy, state is not
+  constexpr int kReps = 5;  // best-of-N: wall time is noisy, state is not
 
   bench::print_header(
-      "Simulation-kernel dispatch: exact vs quiescence-skip vs event kernel",
-      "(identical component state; host wall-clock per strategy, best of 3)");
-  std::printf("%-10s %12s %12s %12s %12s %10s\n", "workload", "work events",
-              "exact ms", "legacy ms", "event ms", "speedup");
+      "Simulation-kernel dispatch: exact vs skip vs event vs event+macro",
+      "(identical component state; host wall-clock per strategy, best of 5)");
+  std::printf("%-12s %11s %10s %10s %10s %10s %9s\n", "workload",
+              "work events", "exact ms", "legacy ms", "event ms", "macro ms",
+              "speedup");
   bench::print_rule(78);
 
   for (const WorkloadSpec& spec : kWorkloads) {
-    std::uint64_t wall[3] = {~0ull, ~0ull, ~0ull};
+    std::vector<std::vector<std::uint64_t>> samples(kNumStrategies);
+    std::uint64_t dispatches[kNumStrategies] = {0, 0, 0, 0};
     std::vector<std::uint64_t> reference;
     std::uint64_t work = 0;
     for (int rep = 0; rep < kReps; ++rep) {
-      for (const Strategy s : {Strategy::kExact, Strategy::kLegacySkip,
-                               Strategy::kEventKernel}) {
-        const RunResult r = run_workload(spec, s);
-        wall[static_cast<int>(s)] =
-            std::min(wall[static_cast<int>(s)], r.wall_ns);
+      for (int s = 0; s < kNumStrategies; ++s) {
+        const RunResult r = run_workload(spec, kStrategies[s]);
+        samples[s].push_back(r.wall_ns);
+        dispatches[s] = r.dispatches;
         if (reference.empty()) {
           reference = r.observation;
           work = r.work_events;
         } else if (r.observation != reference) {
           std::fprintf(stderr,
-                       "FAIL: %s: strategy %d diverged from exact "
+                       "FAIL: %s: strategy %s diverged from exact "
                        "stepping (kernel bug)\n",
-                       spec.name, static_cast<int>(s));
+                       spec.name, kStrategyNames[s]);
           ok = false;
         }
       }
     }
-    const double exact_ms = static_cast<double>(wall[0]) / 1e6;
-    const double legacy_ms = static_cast<double>(wall[1]) / 1e6;
-    const double event_ms = static_cast<double>(wall[2]) / 1e6;
-    const double speedup =
-        static_cast<double>(wall[0]) / static_cast<double>(wall[2]);
-    std::printf("%-10s %12llu %12.3f %12.3f %12.3f %9.2fx\n", spec.name,
-                static_cast<unsigned long long>(work), exact_ms, legacy_ms,
-                event_ms, speedup);
+    WallStats stats[kNumStrategies];
+    for (int s = 0; s < kNumStrategies; ++s) stats[s] = wall_stats(samples[s]);
+    const double speedup = static_cast<double>(stats[0].min) /
+                           static_cast<double>(stats[3].min);
+    std::printf("%-12s %11llu %10.3f %10.3f %10.3f %10.3f %8.2fx\n",
+                spec.name, static_cast<unsigned long long>(work),
+                static_cast<double>(stats[0].min) / 1e6,
+                static_cast<double>(stats[1].min) / 1e6,
+                static_cast<double>(stats[2].min) / 1e6,
+                static_cast<double>(stats[3].min) / 1e6, speedup);
 
     const std::string p = spec.name;
-    // Deterministic keys (exact-gated): the simulated span and the work
-    // performed inside it must never drift.
+    // Deterministic keys (exact-gated): the simulated span, the work
+    // performed inside it, and the kernel dispatch counts per strategy
+    // must never drift.
     report.metric(p + "_sim_cycles", static_cast<double>(spec.cycles));
     report.metric(p + "_work_events_sim_cycles",
                   static_cast<double>(work));
-    // Host wall-clock keys (informational, machine-dependent).
-    report.metric("wall_ns_" + p + "_exact", static_cast<double>(wall[0]));
-    report.metric("wall_ns_" + p + "_legacy", static_cast<double>(wall[1]));
-    report.metric("wall_ns_" + p + "_event", static_cast<double>(wall[2]));
-    report.metric("host_wall_" + p + "_event_speedup", speedup);
+    report.metric(p + "_event_dispatches_sim_cycles",
+                  static_cast<double>(dispatches[2]));
+    report.metric(p + "_macro_dispatches_sim_cycles",
+                  static_cast<double>(dispatches[3]));
+    // Host wall-clock keys (informational, machine-dependent): minima,
+    // medians and stddevs per strategy so a flapping CI number is
+    // diagnosable from the report alone.
+    for (int s = 0; s < kNumStrategies; ++s) {
+      const std::string stem = "wall_ns_" + p + "_" + kStrategyNames[s];
+      report.metric(stem, static_cast<double>(stats[s].min));
+      report.metric("host_" + stem + "_median", stats[s].median);
+      report.metric("host_" + stem + "_stddev", stats[s].stddev);
+    }
+    report.metric("host_wall_" + p + "_event_speedup",
+                  static_cast<double>(stats[0].min) /
+                      static_cast<double>(stats[2].min));
+    report.metric("host_wall_" + p + "_macro_speedup", speedup);
     report.metric("host_wall_" + p + "_events_per_sec",
                   static_cast<double>(work) /
-                      (static_cast<double>(wall[2]) / 1e9));
+                      (static_cast<double>(stats[3].min) / 1e9));
     report.metric("host_wall_" + p + "_dispatch_ns_per_event",
-                  static_cast<double>(wall[2]) /
+                  static_cast<double>(stats[3].min) /
                       static_cast<double>(std::max<std::uint64_t>(work, 1)));
+
+    if (spec.macro_period > 0) {
+      // The steady-graph dispatch metric: with a component the event
+      // kernel must dispatch every cycle, compiled macro-steps must cut
+      // kernel dispatches per simulated cycle by at least 3x.
+      const double reduction = static_cast<double>(dispatches[2]) /
+                               static_cast<double>(dispatches[3]);
+      report.metric(p + "_dispatch_reduction", reduction);
+      std::printf("%-12s event %llu dispatches -> macro %llu "
+                  "(%.1fx fewer per simulated cycle)\n",
+                  "", static_cast<unsigned long long>(dispatches[2]),
+                  static_cast<unsigned long long>(dispatches[3]), reduction);
+      if (reduction < 3.0) {
+        std::fprintf(stderr,
+                     "FAIL: %s: macro-step dispatch reduction %.2fx < 3x\n",
+                     spec.name, reduction);
+        ok = false;
+      }
+    }
   }
   bench::print_rule(78);
 
   if (!report.write()) ok = false;
   if (ok) {
     std::printf(
-        "OK: all three stepping strategies produced bit-identical state.\n");
+        "OK: all four stepping strategies produced bit-identical state.\n");
   }
   return ok ? 0 : 1;
 }

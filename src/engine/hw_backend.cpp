@@ -22,9 +22,12 @@ HwBackend::HwBackend(const HwBackendConfig& cfg)
   WFASIC_REQUIRE(cfg_.in_addr < cfg_.out_addr &&
                      cfg_.out_addr < cfg_.memory_bytes,
                  "HwBackend: arena addresses out of order");
-  if (cfg_.watchdog != 0) {
-    accelerator_->write_reg(hw::kRegWatchdog, cfg_.watchdog);
-  }
+  // Program the configured watchdog unconditionally: the device resets
+  // with the watchdog armed (hw::kDefaultWatchdogCycles), so a config of
+  // 0 ("disabled") must explicitly disarm it — otherwise every engine run
+  // inherits the armed reset default, which suppresses the stepping fast
+  // paths (Accelerator::idle_skip_allowed) for the whole run.
+  accelerator_->write_reg(hw::kRegWatchdog, cfg_.watchdog);
 }
 
 HwBackend::HwBackend(const HwBackendConfig& cfg, mem::MainMemory& memory,
@@ -36,9 +39,12 @@ HwBackend::HwBackend(const HwBackendConfig& cfg, mem::MainMemory& memory,
       cpu_(cfg.cpu) {
   WFASIC_REQUIRE(cfg_.in_addr < cfg_.out_addr,
                  "HwBackend: arena addresses out of order");
-  if (cfg_.watchdog != 0) {
-    accelerator_->write_reg(hw::kRegWatchdog, cfg_.watchdog);
-  }
+  // Program the configured watchdog unconditionally: the device resets
+  // with the watchdog armed (hw::kDefaultWatchdogCycles), so a config of
+  // 0 ("disabled") must explicitly disarm it — otherwise every engine run
+  // inherits the armed reset default, which suppresses the stepping fast
+  // paths (Accelerator::idle_skip_allowed) for the whole run.
+  accelerator_->write_reg(hw::kRegWatchdog, cfg_.watchdog);
 }
 
 void HwBackend::attach_fault_injector(sim::FaultInjector* injector) {

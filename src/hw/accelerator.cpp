@@ -428,6 +428,22 @@ std::uint64_t Accelerator::advance_core(std::uint64_t max_cycles,
         stepped += span;
         continue;
       }
+      if (macro_step_allowed()) {
+        // Steady-state macro-step: when the wakeup graph proves a single
+        // component owns the coming span, one fused call advances it. The
+        // span is externally invisible by the macro_step() contract, so
+        // none of the post-cycle check conditions (bus error, completion,
+        // watchdog — disarmed here by idle_skip_allowed()) can flip inside
+        // it; the boundary tick that follows runs through the normal
+        // run_event_cycle() + post_cycle_checks() path below.
+        const sim::cycle_t span =
+            scheduler_.try_macro_step(max_cycles - stepped);
+        if (span > 0) {
+          host_skipped_cycles_ += span;
+          stepped += span;
+          continue;
+        }
+      }
       scheduler_.run_event_cycle();
       post_cycle_checks();
       ++stepped;

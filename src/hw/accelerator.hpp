@@ -108,6 +108,12 @@ class Accelerator {
   }
   /// All pair results across all Aligners, in completion order per Aligner.
   [[nodiscard]] std::vector<Aligner::PairRecord> all_records() const;
+  /// Kernel dispatch accounting (per-component tick count, macro-step
+  /// grants and the cycles they covered) — the bench/sim_kernel
+  /// dispatches-per-simulated-cycle metric reads this.
+  [[nodiscard]] const sim::Scheduler::DispatchStats& dispatch_stats() const {
+    return scheduler_.dispatch_stats();
+  }
 
  private:
   /// PMU helper component: integrates FIFO occupancy over time. It is
@@ -160,6 +166,17 @@ class Accelerator {
   [[nodiscard]] bool idle_skip_allowed() const {
     return cfg_.idle_skip && injector_ == nullptr &&
            !(running_ && regs_.watchdog != 0);
+  }
+  /// Steady-state predicate for compiled macro-steps, evaluated at every
+  /// event-branch iteration so demotion to per-cycle stepping happens the
+  /// exact cycle a disqualifier appears: everything idle_skip_allowed()
+  /// requires (no fault injector — it needs every cycle for beat faults
+  /// and stall probes — and no armed watchdog, whose firing cycle must
+  /// stay exact), plus no ECC/CRC checking active (an uncorrectable-upset
+  /// poison must be handled on its own tick, and CRC-protected streams
+  /// keep the Extractor/Collector checking per beat).
+  [[nodiscard]] bool macro_step_allowed() const {
+    return cfg_.macro_step && !cfg_.ecc && !cfg_.crc;
   }
   /// step()'s post-tick checks (DMA bus error, uncorrectable ECC, work
   /// completion, watchdog), shared with the event-kernel cycle path.

@@ -8,6 +8,59 @@
 
 namespace wfasic::hw {
 
+namespace {
+
+/// Hoisted row/bounds view of a source wavefront: same values as the
+/// Wavefront accessors, but the bounds live in locals so the compiler
+/// need not re-read them after every output store. An absent source gets
+/// an empty view (lo > hi), which yields kOffsetNull for every diagonal —
+/// exactly what null-pointer checks would produce. Shared by the
+/// per-cycle (step_score) and fused (step_score_fused) compute loops.
+struct SrcView {
+  const offset_t* m = nullptr;
+  const offset_t* i = nullptr;
+  const offset_t* d = nullptr;
+  diag_t lo = 0;
+  diag_t hi = -1;
+};
+
+SrcView view_of(const core::Wavefront* wf) {
+  SrcView v;
+  if (wf != nullptr) {
+    v.m = wf->row_m();
+    v.i = wf->row_i();
+    v.d = wf->row_d();
+    v.lo = wf->lo();
+    v.hi = wf->hi();
+  }
+  return v;
+}
+
+inline offset_t at_m(const SrcView& v, diag_t k) {
+  return k >= v.lo && k <= v.hi ? v.m[k - v.lo] : kOffsetNull;
+}
+inline offset_t at_i(const SrcView& v, diag_t k) {
+  return k >= v.lo && k <= v.hi ? v.i[k - v.lo] : kOffsetNull;
+}
+inline offset_t at_d(const SrcView& v, diag_t k) {
+  return k >= v.lo && k <= v.hi ? v.d[k - v.lo] : kOffsetNull;
+}
+
+/// The Eq.-3 kernel for one output diagonal, fed from the hoisted views.
+inline core::WfCell cell_at(const SrcView& vx, const SrcView& voe,
+                            const SrcView& ve, diag_t k, offset_t n,
+                            offset_t m_len) {
+  core::WfCellSources src;
+  src.m_sub = at_m(vx, k);
+  src.m_open_ins = at_m(voe, k - 1);
+  src.m_open_del = at_m(voe, k + 1);
+  src.i_ext = at_i(ve, k - 1);
+  src.d_ext = at_d(ve, k + 1);
+  return core::compute_wf_cell(src, k, n, m_len);
+}
+
+}  // namespace
+
 Aligner::Aligner(std::string name, const AcceleratorConfig& cfg)
     : sim::Component(std::move(name)),
       cfg_(cfg),
@@ -150,40 +203,21 @@ void Aligner::step_score() {
   const unsigned P = cfg_.parallel_sections;
 
   // ---- extend(s): advance every valid M cell of the current wavefront
-  // through the cycle-accurate Extend sub-module (Figure 7). Pipeline
-  // fills overlap across consecutive batches, so the phase charges
-  // extend_fill once and per-batch only the comparator blocks.
+  // through the cycle-accurate Extend sub-module (Figure 7) in one fused
+  // row pass (ExtendUnit::extend_row). Pipeline fills overlap across
+  // consecutive batches, so the phase charges extend_fill once and
+  // per-batch only the comparator blocks.
   if (current_ != nullptr) {
     ++wavefront_steps_;
     const ExtendUnit unit(job_.a, job_.b);
-    std::vector<unsigned>& block_counts = scratch_blocks_;  // per valid cell
-    block_counts.clear();
-    block_counts.reserve(current_->width());
-    offset_t* const cm = current_->row_m();
-    const diag_t clo = current_->lo();
-    const std::size_t cw = current_->width();
-    for (std::size_t idx = 0; idx < cw; ++idx) {
-      const offset_t off = cm[idx];
-      if (off == kOffsetNull) continue;
-      const diag_t k = clo + static_cast<diag_t>(idx);
-      const ExtendUnit::Result ext = unit.extend(off - k, off);
-      if (ext.run > 0) cm[idx] = off + ext.run;
-      ++extend_invocations_;
-      extend_matched_bases_ += static_cast<std::uint64_t>(ext.run);
-      block_counts.push_back(ext.blocks);
-    }
-    if (!block_counts.empty()) {
-      unsigned cycles = t.extend_fill;
-      for (std::size_t base = 0; base < block_counts.size(); base += P) {
-        const std::size_t end = std::min(base + P, block_counts.size());
-        unsigned max_blocks = 0;
-        for (std::size_t idx = base; idx < end; ++idx) {
-          max_blocks = std::max(max_blocks, block_counts[idx]);
-        }
-        cycles += t.extend_batch_overhead + max_blocks;
-      }
-      phase_cycles_.extend += cycles;
-      batches_.push_back(Batch{cycles, {}});
+    const ExtendUnit::RowResult ext =
+        unit.extend_row(current_->row_m(), current_->lo(), current_->width(),
+                        P, t.extend_fill, t.extend_batch_overhead);
+    extend_invocations_ += ext.invocations;
+    extend_matched_bases_ += ext.matched;
+    if (ext.cycles > 0) {
+      phase_cycles_.extend += ext.cycles;
+      batches_.push_back(Batch{ext.cycles, {}});
     }
 
     // ---- end-of-alignment check (after extension, §2.3).
@@ -217,44 +251,9 @@ void Aligner::step_score() {
   // The three source wavefronts are per-score invariants; resolving them
   // once here (instead of three ring lookups per cell via
   // gather_sources) is observationally identical.
-  core::Wavefront* const wx = wavefront(s_ - cfg_.pen.mismatch);
-  core::Wavefront* const woe = wavefront(s_ - cfg_.pen.open_total());
-  core::Wavefront* const we = wavefront(s_ - cfg_.pen.gap_extend);
-  // Hoisted row/bounds views of the sources and the output: same values
-  // as the Wavefront accessors, but the bounds live in locals so the
-  // compiler need not re-read them after every output store. An absent
-  // source gets an empty view (lo > hi), which yields kOffsetNull for
-  // every diagonal — exactly what the null-pointer checks produced.
-  struct SrcView {
-    const offset_t* m = nullptr;
-    const offset_t* i = nullptr;
-    const offset_t* d = nullptr;
-    diag_t lo = 0;
-    diag_t hi = -1;
-  };
-  const auto view_of = [](const core::Wavefront* wf) {
-    SrcView v;
-    if (wf != nullptr) {
-      v.m = wf->row_m();
-      v.i = wf->row_i();
-      v.d = wf->row_d();
-      v.lo = wf->lo();
-      v.hi = wf->hi();
-    }
-    return v;
-  };
-  const SrcView vx = view_of(wx);
-  const SrcView voe = view_of(woe);
-  const SrcView ve = view_of(we);
-  const auto at_m = [](const SrcView& v, diag_t k) {
-    return k >= v.lo && k <= v.hi ? v.m[k - v.lo] : kOffsetNull;
-  };
-  const auto at_i = [](const SrcView& v, diag_t k) {
-    return k >= v.lo && k <= v.hi ? v.i[k - v.lo] : kOffsetNull;
-  };
-  const auto at_d = [](const SrcView& v, diag_t k) {
-    return k >= v.lo && k <= v.hi ? v.d[k - v.lo] : kOffsetNull;
-  };
+  const SrcView vx = view_of(wavefront(s_ - cfg_.pen.mismatch));
+  const SrcView voe = view_of(wavefront(s_ - cfg_.pen.open_total()));
+  const SrcView ve = view_of(wavefront(s_ - cfg_.pen.gap_extend));
   offset_t* const om = out.row_m();
   offset_t* const oi = out.row_i();
   offset_t* const od = out.row_d();
@@ -266,13 +265,7 @@ void Aligner::step_score() {
     std::vector<std::uint8_t> codes;  // full block even when partial
     if (bt_enabled_) codes.assign(P, 0);
     for (diag_t k = base; k <= last; ++k) {
-      core::WfCellSources src;
-      src.m_sub = at_m(vx, k);
-      src.m_open_ins = at_m(voe, k - 1);
-      src.m_open_del = at_m(voe, k + 1);
-      src.i_ext = at_i(ve, k - 1);
-      src.d_ext = at_d(ve, k + 1);
-      const core::WfCell cell = core::compute_wf_cell(src, k, n_, m_len_);
+      const core::WfCell cell = cell_at(vx, voe, ve, k, n_, m_len_);
       const auto oidx = static_cast<std::size_t>(k - bounds.lo);
       om[oidx] = cell.m;
       oi[oidx] = cell.i;
@@ -308,6 +301,176 @@ void Aligner::step_score() {
   phase_cycles_.overhead += t.per_score_overhead;
   batches_.push_back(Batch{t.per_score_overhead, {}});
   current_ = &out;
+}
+
+unsigned Aligner::step_score_fused() {
+  const AlignerTiming& t = cfg_.timing;
+  const unsigned P = cfg_.parallel_sections;
+  unsigned cycles = 0;
+
+  // ---- extend(s): identical functional updates and cycle accounting to
+  // step_score()'s extend phase.
+  if (current_ != nullptr) {
+    ++wavefront_steps_;
+    const ExtendUnit unit(job_.a, job_.b);
+    const ExtendUnit::RowResult ext =
+        unit.extend_row(current_->row_m(), current_->lo(), current_->width(),
+                        P, t.extend_fill, t.extend_batch_overhead);
+    extend_invocations_ += ext.invocations;
+    extend_matched_bases_ += ext.matched;
+    if (ext.cycles > 0) {
+      phase_cycles_.extend += ext.cycles;
+      cycles += ext.cycles;
+    }
+    if (current_->m(k_align_) == m_len_) {
+      done_ = true;
+      pending_record_ = PairRecord{job_.id, true, s_, 0};
+      return cycles;
+    }
+  }
+
+  if (s_ + 1 > cfg_.score_max()) {
+    done_ = true;
+    pending_record_ = PairRecord{job_.id, false, 0, 0};
+    return cycles;
+  }
+
+  // ---- compute(s+1): one flat pass — per-P-block batch boundaries only
+  // matter to the BT transaction stream, so the NBT cost collapses to
+  // blocks * ii + pipeline, charged arithmetically.
+  ++s_;
+  const WfBounds& bounds = geom_->bounds(s_);
+  if (!bounds.present()) {
+    current_ = nullptr;
+    phase_cycles_.overhead += 1;
+    return cycles + 1;  // the score-counter-only tick
+  }
+
+  core::Wavefront& out = make_wavefront(s_, bounds.lo, bounds.hi,
+                                        /*fill=*/false);
+  const SrcView vx = view_of(wavefront(s_ - cfg_.pen.mismatch));
+  const SrcView voe = view_of(wavefront(s_ - cfg_.pen.open_total()));
+  const SrcView ve = view_of(wavefront(s_ - cfg_.pen.gap_extend));
+  offset_t* const om = out.row_m();
+  offset_t* const oi = out.row_i();
+  offset_t* const od = out.row_d();
+  // Interior / edge split: inside [ilo, ihi] every source access (vx at k,
+  // voe and ve at k-1 and k+1) is in range, so the checked view accessors
+  // collapse to direct loads and the matrix trim to a conditional select —
+  // a branchless elementwise loop over the rows that the compiler
+  // vectorizes. Origins are not tracked: NBT mode discards them (they
+  // only feed the BT transaction stream), and the offset values are the
+  // plain three-way max compute_wf_cell() resolves its tie-breaks to.
+  // Edge diagonals (and absent sources, whose empty views make the
+  // interior empty) take the shared checked kernel.
+  const diag_t ilo = std::max(std::max(bounds.lo, vx.lo),
+                              std::max(voe.lo, ve.lo) + 1);
+  const diag_t ihi = std::min(std::min(bounds.hi, vx.hi),
+                              std::min(voe.hi, ve.hi) - 1);
+  const auto edge_cell = [&](diag_t k) {
+    const core::WfCell cell = cell_at(vx, voe, ve, k, n_, m_len_);
+    const auto oidx = static_cast<std::size_t>(k - bounds.lo);
+    om[oidx] = cell.m;
+    oi[oidx] = cell.i;
+    od[oidx] = cell.d;
+  };
+  if (ilo > ihi) {
+    for (diag_t k = bounds.lo; k <= bounds.hi; ++k) edge_cell(k);
+  } else {
+    for (diag_t k = bounds.lo; k < ilo; ++k) edge_cell(k);
+    const offset_t* const xm = vx.m + (ilo - vx.lo);
+    const offset_t* const oem = voe.m + (ilo - voe.lo);
+    const offset_t* const vei = ve.i + (ilo - ve.lo);
+    const offset_t* const ved = ve.d + (ilo - ve.lo);
+    offset_t* const bm = om + (ilo - bounds.lo);
+    offset_t* const bi = oi + (ilo - bounds.lo);
+    offset_t* const bd = od + (ilo - bounds.lo);
+    const offset_t pat = n_;
+    const offset_t text = m_len_;
+    const diag_t count = ihi - ilo + 1;
+    for (diag_t j = 0; j < count; ++j) {
+      const diag_t k = ilo + j;
+      const auto trim = [k, pat, text](offset_t off) {
+        const offset_t i = off - k;
+        const bool ok = off >= 0 && off <= text && i >= 0 && i <= pat;
+        return ok ? off : kOffsetNull;
+      };
+      const offset_t iv =
+          std::max(trim(oem[j - 1] + 1), trim(vei[j - 1] + 1));
+      const offset_t dv = std::max(trim(oem[j + 1]), trim(ved[j + 1]));
+      const offset_t mv = std::max(trim(xm[j] + 1), std::max(iv, dv));
+      bm[j] = mv;
+      bi[j] = iv;
+      bd[j] = dv;
+    }
+    for (diag_t k = ihi + 1; k <= bounds.hi; ++k) edge_cell(k);
+  }
+  const auto width = static_cast<unsigned>(bounds.hi - bounds.lo + 1);
+  const unsigned blocks = (width + P - 1) / P;
+  const unsigned compute = blocks * t.compute_batch_ii + t.compute_pipeline;
+  phase_cycles_.compute += compute;
+  phase_cycles_.overhead += t.per_score_overhead;
+  current_ = &out;
+  return cycles + compute + t.per_score_overhead;
+}
+
+void Aligner::set_schedule(sim::cycle_t remaining) {
+  batches_.clear();
+  countdown_ = 0;
+  if (remaining > 0) {
+    batches_.push_back(Batch{static_cast<unsigned>(remaining), {}});
+  }
+}
+
+sim::cycle_t Aligner::macro_step(sim::cycle_t /*now*/, sim::cycle_t budget) {
+  if (bt_enabled_ || state_ != State::kRun || ecc_poisoned_) return 0;
+  sim::cycle_t used = 0;
+
+  // Burn whatever timed schedule is pending, stopping one cycle short of
+  // the release tick when the alignment is done. NBT schedules are
+  // txn-free by construction; decline rather than assume if not.
+  if (!batches_.empty()) {
+    sim::cycle_t remaining = 0;
+    for (const Batch& b : batches_) {
+      if (!b.txns.empty()) return 0;
+      remaining += b.cycles;
+    }
+    remaining -= countdown_;
+    const sim::cycle_t quiet = done_ ? remaining - 1 : remaining;
+    const sim::cycle_t take = std::min(quiet, budget);
+    busy_cycles_ += take;
+    used = take;
+    set_schedule(remaining - take);
+    if (done_ || used >= budget) return used;
+  }
+
+  // Steady state: empty schedule, alignment not done — run the wavefront
+  // score loop fused. Each iteration costs one dispatch cycle (the tick
+  // that would have called step_score) plus its schedule cycles, all
+  // accounted arithmetically.
+  while (used < budget) {
+    const unsigned sched = step_score_fused();
+    ++busy_cycles_;
+    ++used;
+    const sim::cycle_t take =
+        std::min<sim::cycle_t>(sched, budget - used);
+    busy_cycles_ += take;
+    used += take;
+    const sim::cycle_t leftover = sched - take;
+    if (done_) {
+      // Remainder plus the release cycle: quiet_for() reports `leftover`
+      // and the externally-visible release tick runs per cycle.
+      set_schedule(leftover + 1);
+      return used;
+    }
+    if (leftover > 0) {
+      // Budget stop mid-iteration: the merged txn-free remainder is
+      // observationally identical to the unburned batch schedule.
+      set_schedule(leftover);
+      return used;
+    }
+  }
+  return used;
 }
 
 void Aligner::queue_result(bool success, score_t score, diag_t k_reached) {

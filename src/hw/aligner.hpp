@@ -137,6 +137,20 @@ class Aligner final : public sim::Component {
   [[nodiscard]] sim::cycle_t quiet_for(sim::cycle_t now) const override;
   void skip_quiet(sim::cycle_t n) override;
 
+  // Compiled macro-step (see sim::Component::macro_step): in an NBT run
+  // the entire alignment — init aside — is externally invisible until the
+  // single release tick that queues the NbtResult, so the whole
+  // wavefront-score inner loop can run fused: score iterations execute
+  // back to back with their schedule cycles accounted arithmetically (no
+  // per-cycle re-dispatch, no timed-batch deques), stopping one cycle
+  // before the release. A budget stop mid-iteration materializes the
+  // remaining schedule as one merged txn-free batch — observationally
+  // identical under the quiescence contract. BT mode declines (0):
+  // transaction releases against Collector backpressure are externally
+  // visible at every batch boundary.
+  [[nodiscard]] sim::cycle_t macro_step(sim::cycle_t now,
+                                        sim::cycle_t budget) override;
+
  private:
   enum class State { kIdle, kLoading, kInit, kRun };
 
@@ -151,6 +165,17 @@ class Aligner final : public sim::Component {
   /// Runs one score iteration functionally and appends its batch schedule.
   /// Sets done_ when the alignment finishes (success or overflow).
   void step_score();
+  /// Fused NBT score iteration: same functional updates and PMU/phase
+  /// tallies as step_score(), but returns the iteration's schedule cost
+  /// directly (excluding the release cycle when it finishes the
+  /// alignment) instead of materializing timed batches.
+  unsigned step_score_fused();
+  /// Replaces the pending (all txn-free) schedule with one merged batch
+  /// of `remaining` cycles. Batch boundaries inside a txn-free schedule
+  /// are unobservable — quiet_for()/skip_quiet()/tick() behave
+  /// identically on the merged form — so this is how macro_step leaves
+  /// bit-identical observable state after a budget stop.
+  void set_schedule(sim::cycle_t remaining);
   void finish_alignment(bool success, score_t score, diag_t k_reached,
                         sim::cycle_t now);
   void queue_result(bool success, score_t score, diag_t k_reached);
@@ -195,9 +220,6 @@ class Aligner final : public sim::Component {
   std::deque<Batch> batches_;
   unsigned countdown_ = 0;
   unsigned init_countdown_ = 0;
-  /// Extend-phase scratch (per-cell comparator block counts), kept across
-  /// step_score calls to avoid a per-score allocation.
-  std::vector<unsigned> scratch_blocks_;
 
   // Output queues drained by the Collector.
   std::deque<BtTransaction> bt_queue_;

@@ -163,6 +163,33 @@ class Collector final : public sim::Component {
     }
   }
 
+  /// The merge-buffer record encode, shared by the NBT tick: packs one
+  /// result word (plus its salted CRC in protected mode) into the next
+  /// buffer slot. Kept as a tight helper so the hot loop body is one
+  /// call; fusion stays *intra-tick* only — the Collector's rate (one
+  /// record, at most one flushed beat per cycle) is externally observable
+  /// through the Output FIFO occupancy the FifoOccupancyProbe samples
+  /// every cycle, so merging across cycles would change PMU counters.
+  void merge_result(const NbtResult& result) {
+    const std::uint32_t word = pack_nbt_result(result);
+    if (crc_) {
+      // 8-byte record: the packed word followed by its salted CRC.
+      const std::array<std::uint8_t, 4> bytes{
+          static_cast<std::uint8_t>(word),
+          static_cast<std::uint8_t>(word >> 8),
+          static_cast<std::uint8_t>(word >> 16),
+          static_cast<std::uint8_t>(word >> 24)};
+      nbt_buffer_.set_u32(2 * nbt_fill_, word);
+      nbt_buffer_.set_u32(2 * nbt_fill_ + 1,
+                          crc32(std::span<const std::uint8_t>(bytes),
+                                crc_salt_));
+    } else {
+      nbt_buffer_.set_u32(nbt_fill_, word);
+    }
+    ++nbt_fill_;
+    ++results_seen_;
+  }
+
   void tick_nbt(sim::cycle_t now) {
     // Collect one result per cycle into the merge buffer.
     for (std::size_t probe = 0; probe < aligners_.size(); ++probe) {
@@ -174,24 +201,8 @@ class Collector final : public sim::Component {
         trace()->instant(trace_track(), "collect", "pipeline", now,
                          queue.front().id);
       }
-      const std::uint32_t word = pack_nbt_result(queue.front());
-      if (crc_) {
-        // 8-byte record: the packed word followed by its salted CRC.
-        const std::array<std::uint8_t, 4> bytes{
-            static_cast<std::uint8_t>(word),
-            static_cast<std::uint8_t>(word >> 8),
-            static_cast<std::uint8_t>(word >> 16),
-            static_cast<std::uint8_t>(word >> 24)};
-        nbt_buffer_.set_u32(2 * nbt_fill_, word);
-        nbt_buffer_.set_u32(2 * nbt_fill_ + 1,
-                            crc32(std::span<const std::uint8_t>(bytes),
-                                  crc_salt_));
-      } else {
-        nbt_buffer_.set_u32(nbt_fill_, word);
-      }
+      merge_result(queue.front());
       queue.pop_front();
-      ++nbt_fill_;
-      ++results_seen_;
       rr_ = idx + 1;
       break;
     }

@@ -19,6 +19,15 @@ namespace wfasic::hw {
   return env == nullptr || env[0] != '0';
 }
 
+/// Build-time default for AcceleratorConfig::macro_step, overridable via
+/// the WFASIC_MACRO_STEP environment variable ("0" disables compiled
+/// macro-steps, anything else enables them) so CI can run the whole test
+/// suite with the fused fast path forced on and off.
+[[nodiscard]] inline bool macro_step_default() {
+  const char* const env = std::getenv("WFASIC_MACRO_STEP");
+  return env == nullptr || env[0] != '0';
+}
+
 /// Microarchitectural timing of one Aligner, calibrated against Table 1 of
 /// the paper (see DESIGN.md §4 for the calibration):
 ///
@@ -76,6 +85,17 @@ struct AcceleratorConfig {
   /// stepping; the event kernel is strictly faster under load. See
   /// docs/PERFORMANCE.md §1.
   bool event_kernel = event_kernel_default();
+
+  /// Compiled steady-state macro-steps on top of the event kernel
+  /// (docs/PERFORMANCE.md §2): when the wakeup graph proves a component is
+  /// alone in its steady state, the kernel dispatches one fused transition
+  /// covering many cycles (the Aligner runs its whole wavefront-score
+  /// inner loop without per-cycle re-dispatch). Requires `event_kernel`;
+  /// demoted to per-cycle stepping under the same conditions as
+  /// `idle_skip` (fault injector attached, watchdog armed) and whenever
+  /// ECC/CRC checking is active. Bit-identical to exact stepping —
+  /// enforced by the four-strategy matrix in tests/test_perf_equivalence.
+  bool macro_step = macro_step_default();
 
   /// Data-integrity knobs (docs/RELIABILITY.md). Both default off so the
   /// paper-fidelity data formats and cycle counts are untouched; fault

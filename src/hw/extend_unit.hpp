@@ -12,6 +12,7 @@
 // run) and for the per-cell cycle count feeding the batch scheduler.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/assert.hpp"
@@ -61,6 +62,55 @@ class ExtendUnit {
   /// shifts, one comparator activation per cycle). Slower; exists so the
   /// tests can prove the fast path and the datapath agree exactly.
   [[nodiscard]] Result extend_datapath(offset_t i, offset_t j) const;
+
+  /// Fused row kernel: consumes the whole extend-phase request queue of
+  /// one wavefront row in a tight batch — every valid M cell is advanced
+  /// in place, and the phase's batch schedule cost plus the PMU tallies
+  /// come out of the same pass. Cycle accounting is identical to calling
+  /// extend() per cell and batching the block counts afterwards (the
+  /// comparator-block maximum of each `sections`-wide batch over the
+  /// compacted valid-cell stream, tracked inline instead of via a scratch
+  /// vector and a second pass): the pipeline fill is charged once per
+  /// phase, each batch adds `batch_overhead` plus its block maximum.
+  struct RowResult {
+    unsigned cycles = 0;            ///< batch schedule cost (0: no valid cell)
+    std::uint64_t invocations = 0;  ///< valid cells extended
+    std::uint64_t matched = 0;      ///< total matched bases
+  };
+  [[nodiscard]] RowResult extend_row(offset_t* row_m, diag_t lo,
+                                     std::size_t width, unsigned sections,
+                                     unsigned fill_cycles,
+                                     unsigned batch_overhead) const {
+    RowResult r;
+    unsigned in_batch = 0;
+    unsigned max_blocks = 0;
+    for (std::size_t idx = 0; idx < width; ++idx) {
+      const offset_t off = row_m[idx];
+      if (off == kOffsetNull) continue;
+      const diag_t k = lo + static_cast<diag_t>(idx);
+      const offset_t i = off - k;
+      WFASIC_REQUIRE(i >= 0 && off >= 0 &&
+                         i <= static_cast<offset_t>(a_.size()) &&
+                         off <= static_cast<offset_t>(b_.size()),
+                     "ExtendUnit::extend_row: start position out of range");
+      const std::size_t run = a_.match_run64(static_cast<std::size_t>(i), b_,
+                                             static_cast<std::size_t>(off));
+      if (run > 0) row_m[idx] = off + static_cast<offset_t>(run);
+      ++r.invocations;
+      r.matched += run;
+      max_blocks = std::max(
+          max_blocks,
+          static_cast<unsigned>(run / PackedSeq::kBasesPerWord + 1));
+      if (++in_batch == sections) {
+        r.cycles += batch_overhead + max_blocks;
+        in_batch = 0;
+        max_blocks = 0;
+      }
+    }
+    if (in_batch > 0) r.cycles += batch_overhead + max_blocks;
+    if (r.invocations > 0) r.cycles += fill_cycles;
+    return r;
+  }
 
  private:
   /// One comparator activation: compares up to 16 bases starting at

@@ -1,5 +1,7 @@
 #include "hw/extractor.hpp"
 
+#include <algorithm>
+
 #include "common/dna.hpp"
 
 namespace wfasic::hw {
@@ -59,11 +61,14 @@ void Extractor::consume_beat(const mem::Beat& beat, sim::cycle_t now) {
     const bool is_a = payload_idx < seq_sections;
     const std::size_t word_idx = is_a ? payload_idx : payload_idx - seq_sections;
     const std::uint32_t len = is_a ? len_a_ : len_b_;
+    // One-pass encode: the live-lane count follows from the stored length
+    // alone (dummy padding past it is ignored), so clamp it up front and
+    // run the lane loop without a per-lane bounds check.
     const std::size_t base_offset = word_idx * 16;
+    const std::size_t lanes =
+        len <= base_offset ? 0 : std::min<std::size_t>(16, len - base_offset);
     std::uint32_t word = 0;
-    for (std::size_t lane = 0; lane < 16; ++lane) {
-      const std::size_t pos = base_offset + lane;
-      if (pos >= len) break;  // dummy bases are detectable from the length
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
       const std::uint8_t code =
           encode_base(static_cast<char>(beat.data[lane]));
       if (code == 0xff) {

@@ -96,6 +96,32 @@ class Component {
   /// override it to distinguish lazy catch-up from eager skipping.
   virtual void on_wake(cycle_t n) { skip_quiet(n); }
 
+  /// Compiled macro-step contract (the steady-state fast path above the
+  /// event kernel): advance up to `budget` cycles of this component's own
+  /// behaviour in one fused call, and return the cycles actually consumed
+  /// (0 = not applicable here, fall back to per-cycle stepping).
+  ///
+  /// The Scheduler only calls this across spans where no other registered
+  /// component can act (Scheduler::try_macro_step), so the implementation
+  /// may run its hot loop without re-checking FIFO handshakes or waker
+  /// state. In exchange it must guarantee, for the consumed span:
+  ///   - no externally-visible effect: nothing another component or the
+  ///     host could observe (queue/FIFO pushes, idle() flips, interrupt
+  ///     conditions) happens inside the span — the fused loop stops one
+  ///     cycle *before* its first externally-visible tick, which then runs
+  ///     as a normal tick() and issues wakeups;
+  ///   - observational identity: at span end, every externally-queriable
+  ///     value (counters, quiet_for() schedule, results) reads exactly as
+  ///     if the span had been stepped per cycle;
+  ///   - budget compliance: the return value never exceeds `budget`
+  ///     (enforced by an assert in the Scheduler).
+  /// The default declines, so components are per-cycle unless they opt in.
+  [[nodiscard]] virtual cycle_t macro_step(cycle_t now, cycle_t budget) {
+    (void)now;
+    (void)budget;
+    return 0;
+  }
+
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Wires a trace sink into this component. Each component gets a track
@@ -180,6 +206,17 @@ class Scheduler {
 
   [[nodiscard]] cycle_t now() const { return now_; }
 
+  /// Kernel dispatch accounting (observational, never read by simulation
+  /// logic): how many tick() dispatches and fused macro-steps the kernel
+  /// issued. `ticks / simulated cycles` is the dispatch density the
+  /// bench/sim_kernel steady-graph metric tracks across strategies.
+  struct DispatchStats {
+    std::uint64_t ticks = 0;             ///< component tick() dispatches
+    std::uint64_t macro_dispatches = 0;  ///< fused macro_step() calls
+    std::uint64_t macro_cycles = 0;      ///< cycles consumed by macro-steps
+  };
+  [[nodiscard]] const DispatchStats& dispatch_stats() const { return stats_; }
+
   /// Runs exactly one cycle.
   void step() { step_n(1); }
 
@@ -191,6 +228,7 @@ class Scheduler {
     const std::size_t tick_count = components_.size();
     Component* const* commit_list = commit_list_.data();
     const std::size_t commit_count = commit_list_.size();
+    stats_.ticks += static_cast<std::uint64_t>(tick_count) * n;
     for (cycle_t c = 0; c < n; ++c) {
       for (std::size_t i = 0; i < tick_count; ++i) tick_list[i]->tick(now_);
       for (std::size_t i = 0; i < commit_count; ++i) {
@@ -305,6 +343,66 @@ class Scheduler {
     now_ = target;
   }
 
+  /// Attempts one compiled macro-step. Grant rule (the wakeup-graph
+  /// steady-state predicate): exactly one component is due at now_ and
+  /// every other component's next activation is strictly later — then,
+  /// because wakes only originate from other components' non-quiet ticks,
+  /// no registered waker can act before the earliest other activation, and
+  /// the due component may advance up to that horizon (capped by
+  /// `max_span`) in one fused macro_step() call. Returns the cycles
+  /// consumed; 0 means no macro-step applied (two components due, the
+  /// component declined, or the budget is too small to beat a plain
+  /// tick) and the caller falls back to run_event_cycle().
+  ///
+  /// Other components' sleep schedules and synced_ marks stay untouched:
+  /// the span is externally invisible by the macro_step() contract, so the
+  /// state their lazy catch-ups will read is exactly the state the skipped
+  /// per-cycle ticks would have read (same argument as advance_to).
+  cycle_t try_macro_step(cycle_t max_span) {
+    WFASIC_ASSERT(events_armed_, "try_macro_step: events not armed");
+    if (max_span <= 1) return 0;
+    const std::size_t count = components_.size();
+    std::size_t due_idx = count;
+    cycle_t horizon = kNever;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (due_[i] <= now_) {
+        if (due_idx != count) return 0;  // two components due this cycle
+        due_idx = i;
+      } else if (due_[i] < horizon) {
+        horizon = due_[i];
+      }
+    }
+    if (due_idx == count) return 0;  // nobody due: bulk-advance instead
+    const cycle_t budget =
+        horizon == kNever ? max_span
+                          : std::min<cycle_t>(max_span, horizon - now_);
+    if (budget <= 1) return 0;  // a plain tick covers this cycle
+    catch_up(due_idx, now_);
+    const cycle_t used = components_[due_idx]->macro_step(now_, budget);
+    if (used == 0) return 0;
+    WFASIC_ASSERT(used <= budget,
+                  "Scheduler::try_macro_step: macro_step overran its budget");
+    ++stats_.macro_dispatches;
+    stats_.macro_cycles += used;
+    now_ += used;
+    synced_[due_idx] = now_;
+    last_ticked_[due_idx] = kNever;
+    // Reschedule the stepped component from its post-span report, then
+    // recompute the immediate-due flag: another component's future
+    // activation may sit exactly at the new now_.
+    const cycle_t q = components_[due_idx]->quiet_for(now_);
+    must_tick_[due_idx] = q == 0;
+    set_due(due_idx, q >= kNever - now_ ? kNever : now_ + q);
+    immediate_due_ = false;
+    for (std::size_t i = 0; i < count; ++i) {
+      if (due_[i] <= now_) {
+        immediate_due_ = true;
+        break;
+      }
+    }
+    return used;
+  }
+
   /// Runs the single cycle at now_ under the event kernel: evaluates every
   /// due component in registration order, catches sleepers up at wakeup
   /// edges *before* the waker's tick mutates shared state, preserves the
@@ -345,6 +443,7 @@ class Scheduler {
       last_ticked_[i] = t;
       ticked_.push_back(static_cast<std::uint32_t>(i));
     }
+    stats_.ticks += ticked_.size();
     // Commit phase for the cycle's active components only: a component
     // whose tick was skipped as quiet has, by contract, a no-op commit.
     for (const std::uint32_t idx : ticked_) {
@@ -397,8 +496,15 @@ class Scheduler {
   /// quiescence poll, and only due components are evaluated at active
   /// cycles. Event bookkeeping is flushed on exit, so callers observe
   /// per-cycle-identical state either way.
+  ///
+  /// `macro_steps` additionally offers every eligible single-owner span to
+  /// the due component as one fused macro_step() call (try_macro_step).
+  /// The span is externally invisible by the macro contract, so the
+  /// predicate grid is unchanged: `done` is evaluated at span end against
+  /// the same observable state per-cycle stepping would present.
   RunUntilResult run_until_events(const std::function<bool()>& done,
-                                  cycle_t max_cycles) {
+                                  cycle_t max_cycles,
+                                  bool macro_steps = false) {
     arm_events();
     for (;;) {
       for (std::size_t i = 0; i < components_.size(); ++i) catch_up(i, now_);
@@ -412,6 +518,7 @@ class Scheduler {
         advance_to(std::min(next, max_cycles));
         continue;
       }
+      if (macro_steps && try_macro_step(max_cycles - now_) > 0) continue;
       run_event_cycle();
     }
     flush_events();
@@ -498,6 +605,7 @@ class Scheduler {
   bool immediate_due_ = false;
   bool events_armed_ = false;
   cycle_t now_ = 0;
+  DispatchStats stats_;
 };
 
 }  // namespace wfasic::sim

@@ -2,11 +2,12 @@
 // optimisation must be observationally identical to the exact slow path
 // it replaces. Three families are covered:
 //
-//  1. The stepping fast paths vs exact per-cycle stepping. Three
+//  1. The stepping fast paths vs exact per-cycle stepping. Four
 //     strategies are differenced against each other: exact stepping
 //     (idle_skip off — the reference), the legacy global-quiescence skip
-//     (idle_skip on, event_kernel off) and the event-driven kernel
-//     (idle_skip on, event_kernel on). Simulated cycle counts, decoded
+//     (idle_skip on, event_kernel off), the event-driven kernel
+//     (idle_skip on, event_kernel on) and the event kernel with compiled
+//     macro-steps (macro_step on). Simulated cycle counts, decoded
 //     results, the entire output memory image and the full PMU bank (all
 //     counters except the host-side host_idle_skipped_cycles diagnostic)
 //     must match bit for bit — with the watchdog disarmed (fast paths
@@ -61,27 +62,37 @@ std::vector<gen::SequencePair> make_pairs(std::uint64_t seed,
   return pairs;
 }
 
-/// The three stepping strategies under differential test. kExact is the
-/// reference; both fast paths must be observationally indistinguishable
+/// The four stepping strategies under differential test. kExact is the
+/// reference; every fast path must be observationally indistinguishable
 /// from it.
-enum class StepStrategy { kExact, kLegacySkip, kEventKernel };
+enum class StepStrategy { kExact, kLegacySkip, kEventKernel, kEventMacro };
 
 constexpr StepStrategy kAllStrategies[] = {
     StepStrategy::kExact, StepStrategy::kLegacySkip,
-    StepStrategy::kEventKernel};
+    StepStrategy::kEventKernel, StepStrategy::kEventMacro};
+
+/// The three fast paths (everything but the exact reference).
+constexpr StepStrategy kFastStrategies[] = {
+    StepStrategy::kLegacySkip, StepStrategy::kEventKernel,
+    StepStrategy::kEventMacro};
 
 const char* strategy_name(StepStrategy s) {
   switch (s) {
     case StepStrategy::kExact: return "exact";
     case StepStrategy::kLegacySkip: return "legacy-skip";
     case StepStrategy::kEventKernel: return "event-kernel";
+    case StepStrategy::kEventMacro: return "event-macro";
   }
   return "?";
 }
 
 void apply_strategy(hw::AcceleratorConfig& cfg, StepStrategy s) {
   cfg.idle_skip = s != StepStrategy::kExact;
-  cfg.event_kernel = s == StepStrategy::kEventKernel;
+  cfg.event_kernel =
+      s == StepStrategy::kEventKernel || s == StepStrategy::kEventMacro;
+  // Forced both ways: the build-default (WFASIC_MACRO_STEP) must not leak
+  // into the non-macro strategies.
+  cfg.macro_step = s == StepStrategy::kEventMacro;
 }
 
 /// Everything observable about one accelerator run: the simulated
@@ -132,14 +143,13 @@ RunObservation run_batch(const std::vector<gen::SequencePair>& pairs,
   return obs;
 }
 
-/// Runs one batch under all three strategies and expects every
+/// Runs one batch under all four strategies and expects every
 /// observation to equal the exact-stepping reference.
 void expect_strategies_identical(const std::vector<gen::SequencePair>& pairs,
                                  bool backtrace, bool disarm_watchdog) {
   const RunObservation exact =
       run_batch(pairs, backtrace, StepStrategy::kExact, disarm_watchdog);
-  for (const StepStrategy s :
-       {StepStrategy::kLegacySkip, StepStrategy::kEventKernel}) {
+  for (const StepStrategy s : kFastStrategies) {
     const RunObservation fast =
         run_batch(pairs, backtrace, s, disarm_watchdog);
     EXPECT_EQ(exact, fast) << "strategy: " << strategy_name(s);
@@ -167,7 +177,7 @@ TEST(IdleSkipEquivalence, WatchdogArmedBitIdentical) {
 TEST(IdleSkipEquivalence, FaultCampaignBitIdentical) {
   // A fault injector forces exact stepping regardless of the configured
   // strategy: the whole faulty timeline — error latching included — must
-  // replay bit-identically under all three. Several seeds so campaigns
+  // replay bit-identically under all four. Several seeds so campaigns
   // that trip different error paths (bit flips absorbed vs AXI aborts)
   // are all exercised.
   const auto pairs = make_pairs(104, 4, 120, 0.08);
@@ -182,8 +192,7 @@ TEST(IdleSkipEquivalence, FaultCampaignBitIdentical) {
     const RunObservation exact =
         run_batch(pairs, false, StepStrategy::kExact,
                   /*disarm_watchdog=*/true, &inj_exact);
-    for (const StepStrategy s :
-         {StepStrategy::kLegacySkip, StepStrategy::kEventKernel}) {
+    for (const StepStrategy s : kFastStrategies) {
       sim::FaultInjector inj = sim::FaultInjector::make_campaign(seed, fc);
       const RunObservation fast = run_batch(pairs, false, s,
                                             /*disarm_watchdog=*/true, &inj);
@@ -212,8 +221,9 @@ TEST(IdleSkipEquivalence, InterruptWaitBitIdentical) {
     return accel.now();
   };
   const sim::cycle_t exact = run(StepStrategy::kExact);
-  EXPECT_EQ(exact, run(StepStrategy::kLegacySkip));
-  EXPECT_EQ(exact, run(StepStrategy::kEventKernel));
+  for (const StepStrategy s : kFastStrategies) {
+    EXPECT_EQ(exact, run(s)) << "strategy: " << strategy_name(s);
+  }
 }
 
 TEST(IdleSkipEquivalence, BackToBackRunsBitIdentical) {
@@ -242,8 +252,9 @@ TEST(IdleSkipEquivalence, BackToBackRunsBitIdentical) {
     return std::pair(stamps, image);
   };
   const auto exact = run_two(StepStrategy::kExact);
-  EXPECT_EQ(exact, run_two(StepStrategy::kLegacySkip));
-  EXPECT_EQ(exact, run_two(StepStrategy::kEventKernel));
+  for (const StepStrategy s : kFastStrategies) {
+    EXPECT_EQ(exact, run_two(s)) << "strategy: " << strategy_name(s);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -7,6 +7,7 @@
 // regressions: duplicate registration and skip() overflow are rejected.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -14,6 +15,11 @@
 #include <vector>
 
 #include "common/prng.hpp"
+#include "drv/driver.hpp"
+#include "gen/seqgen.hpp"
+#include "hw/accelerator.hpp"
+#include "mem/main_memory.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/scheduler.hpp"
 
 namespace wfasic::sim {
@@ -369,6 +375,360 @@ TEST(EventKernel, TimeoutParityOnDeadlock) {
   };
   EXPECT_EQ(run(false), run(true));
   EXPECT_EQ(run(true), 5'000u);
+}
+
+// ---------------------------------------------------------------------------
+// Compiled macro-steps: steady-state detection, grant-rule edges, demotion.
+// ---------------------------------------------------------------------------
+
+/// A macro-capable source mirroring bench/sim_kernel's MacroSource: the
+/// per-cycle work is an xorshift state update (data dependent, never
+/// quiet), with an externally-visible emit every `period` cycles.
+/// macro_step() fuses the emit-free prefix of the granted span and
+/// records every budget the scheduler granted, so tests can check the
+/// grant rule capped spans at the neighbor horizon. `overrun` makes it a
+/// hostile component that claims one cycle more than its budget — the
+/// scheduler must abort rather than let simulated time diverge.
+class FusedSource final : public Component {
+ public:
+  FusedSource(std::string name, cycle_t period, std::deque<cycle_t>* out,
+              bool overrun = false)
+      : Component(std::move(name)),
+        period_(period),
+        out_(out),
+        overrun_(overrun) {}
+
+  void tick(cycle_t now) override {
+    advance_state();
+    ++phase_;
+    if (phase_ >= period_) {
+      phase_ = 0;
+      out_->push_back(now + static_cast<cycle_t>(state_ & 3));
+      ++emitted_;
+    }
+  }
+  // The state update is not a linear counter, so no cycle is ever quiet.
+  [[nodiscard]] cycle_t quiet_for(cycle_t /*now*/) const override {
+    return 0;
+  }
+
+  [[nodiscard]] cycle_t macro_step(cycle_t /*now*/,
+                                   cycle_t budget) override {
+    budgets_.push_back(budget);
+    if (overrun_) return budget + 1;
+    // Stop one cycle before the emitting tick: everything fused here only
+    // mutates private state (state_, phase_), never the output queue.
+    const cycle_t take = std::min(budget, period_ - 1 - phase_);
+    for (cycle_t i = 0; i < take; ++i) advance_state();
+    phase_ += take;
+    return take;
+  }
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+  [[nodiscard]] std::uint64_t state() const { return state_; }
+  [[nodiscard]] const std::vector<cycle_t>& budgets() const {
+    return budgets_;
+  }
+
+ private:
+  void advance_state() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+  }
+
+  cycle_t period_;
+  cycle_t phase_ = 0;
+  std::uint64_t state_ = 0x9e3779b97f4a7c15ull;
+  std::deque<cycle_t>* out_;
+  bool overrun_;
+  std::uint64_t emitted_ = 0;
+  std::vector<cycle_t> budgets_;
+};
+
+TEST(MacroStep, BitIdenticalToExactSteppingAndCutsDispatches) {
+  // One never-quiet fused source feeding a relay: the event kernel alone
+  // must dispatch the source every cycle; with macro-steps the inter-emit
+  // spans collapse into fused calls. All three runs must agree on every
+  // observable — emit count, evolving xorshift state, the relay's pop
+  // trace and signature, and final simulated time.
+  struct Run {
+    Scheduler sched;
+    std::deque<cycle_t> q;
+    FusedSource src{"src", 16, &q};
+    Relay sink{"sink", &q, nullptr};
+    Run() {
+      sched.add(&src, /*needs_commit=*/false);
+      sched.add(&sink, /*needs_commit=*/false);
+      sched.add_wakeup(&src, &sink);
+    }
+    [[nodiscard]] std::vector<std::uint64_t> observation() const {
+      std::vector<std::uint64_t> obs{sched.now(), src.emitted(), src.state(),
+                                     sink.popped(), sink.signature()};
+      for (const cycle_t c : sink.pop_cycles()) obs.push_back(c);
+      return obs;
+    }
+  };
+  Run exact, event, macro;
+  exact.sched.step_n(2'000);
+  (void)event.sched.run_until_events(never, 2'000);
+  (void)macro.sched.run_until_events(never, 2'000, /*macro_steps=*/true);
+  EXPECT_EQ(exact.observation(), event.observation());
+  EXPECT_EQ(exact.observation(), macro.observation());
+  // The macro run actually engaged, and each grant replaced many ticks.
+  const auto& ev = event.sched.dispatch_stats();
+  const auto& ma = macro.sched.dispatch_stats();
+  EXPECT_EQ(ev.macro_dispatches, 0u);
+  EXPECT_GT(ma.macro_dispatches, 0u);
+  EXPECT_GT(ma.macro_cycles, ma.macro_dispatches);
+  EXPECT_LT(ma.ticks, ev.ticks);
+}
+
+TEST(MacroStep, NoGrantWhenTwoComponentsAreDue) {
+  // Steady-state predicate edge: two never-quiet components are both due
+  // every cycle, so the single-owner grant rule must never fire — the
+  // kernel stays per-cycle and the run remains bit-identical to exact.
+  struct Run {
+    Scheduler sched;
+    std::deque<cycle_t> qa, qb;
+    FusedSource a{"a", 7, &qa};
+    FusedSource b{"b", 11, &qb};
+    Run() {
+      sched.add(&a, /*needs_commit=*/false);
+      sched.add(&b, /*needs_commit=*/false);
+    }
+    [[nodiscard]] std::vector<std::uint64_t> observation() const {
+      return {sched.now(), a.emitted(), a.state(), b.emitted(), b.state()};
+    }
+  };
+  Run exact, macro;
+  exact.sched.step_n(500);
+  (void)macro.sched.run_until_events(never, 500, /*macro_steps=*/true);
+  EXPECT_EQ(exact.observation(), macro.observation());
+  EXPECT_EQ(macro.sched.dispatch_stats().macro_dispatches, 0u);
+  EXPECT_TRUE(macro.a.budgets().empty());
+  EXPECT_TRUE(macro.b.budgets().empty());
+}
+
+TEST(MacroStep, NeighborActivationCapsBudgetAndDemotesOnArrival) {
+  // A fused source that would happily run forever shares the graph with a
+  // periodic probe sleeping between activations. Every granted budget
+  // must stop at the probe's next activation (horizon - now), and on the
+  // probe's due cycle itself two components are due, so the kernel
+  // demotes to a per-cycle event dispatch that exact stepping matches.
+  struct Run {
+    Scheduler sched;
+    std::deque<cycle_t> q;
+    std::vector<std::pair<cycle_t, int>> log;
+    FusedSource src{"src", 1'000, &q};
+    OrderProbe probe{"probe", 1, 10, &log};
+    Run() {
+      sched.add(&src, /*needs_commit=*/false);
+      sched.add(&probe, /*needs_commit=*/false);
+    }
+    [[nodiscard]] std::vector<std::uint64_t> observation() const {
+      std::vector<std::uint64_t> obs{sched.now(), src.emitted(), src.state(),
+                                     log.size()};
+      for (const auto& e : log) {
+        obs.push_back(e.first);
+        obs.push_back(static_cast<std::uint64_t>(e.second));
+      }
+      return obs;
+    }
+  };
+  Run exact, macro;
+  exact.sched.step_n(400);
+  (void)macro.sched.run_until_events(never, 400, /*macro_steps=*/true);
+  EXPECT_EQ(exact.observation(), macro.observation());
+  const auto& budgets = macro.src.budgets();
+  ASSERT_FALSE(budgets.empty());
+  // The probe wakes every 10 cycles, so no span may reach past that.
+  EXPECT_LE(*std::max_element(budgets.begin(), budgets.end()), 10u);
+}
+
+TEST(MacroStepDeath, BudgetOverrunAborts) {
+  // A hostile macro_step that consumes budget + 1 would silently skew
+  // simulated time for every other component; the scheduler must abort.
+  Scheduler sched;
+  std::deque<cycle_t> q;
+  FusedSource src("src", 50, &q, /*overrun=*/true);
+  sched.add(&src, /*needs_commit=*/false);
+  EXPECT_DEATH((void)sched.run_until_events(never, 100, /*macro_steps=*/true),
+               "overran its budget");
+}
+
+// ---------------------------------------------------------------------------
+// Accelerator-level demotion: the macro fast path must switch itself off —
+// with bit-identical results — whenever a disqualifier is present.
+// ---------------------------------------------------------------------------
+
+/// A full accelerator run under the event kernel with macro-steps
+/// enabled, returning everything observable plus the kernel's dispatch
+/// accounting so tests can assert whether macro-steps engaged at all.
+struct MacroRunObservation {
+  sim::cycle_t final_now = 0;
+  std::vector<hw::NbtResult> results;
+  hw::PerfSnapshot perf;
+
+  friend bool operator==(const MacroRunObservation&,
+                         const MacroRunObservation&) = default;
+};
+
+struct MacroAccelRun {
+  mem::MainMemory memory{8u << 20};
+  hw::Accelerator accel;
+
+  explicit MacroAccelRun(const hw::AcceleratorConfig& cfg)
+      : accel(cfg, memory) {}
+
+  MacroRunObservation run(const std::vector<gen::SequencePair>& pairs,
+                          bool disarm_watchdog,
+                          sim::FaultInjector* injector = nullptr) {
+    if (injector != nullptr) accel.attach_fault_injector(injector);
+    const drv::BatchLayout layout = drv::encode_input_set(
+        memory, pairs, 0x1000, 0x100000,
+        /*force_max_read_len=*/0, accel.config().crc);
+    drv::Driver driver(accel);
+    driver.start(layout, /*backtrace=*/false);
+    if (disarm_watchdog) accel.write_reg(hw::kRegWatchdog, 0);
+    (void)driver.wait_idle();
+    MacroRunObservation obs;
+    obs.final_now = accel.now();
+    obs.results = drv::decode_nbt_results(memory, layout);
+    obs.perf = accel.perf_counters();
+    // Host-side diagnostic, not simulated state: it legitimately differs
+    // across stepping strategies.
+    obs.perf.host_idle_skipped_cycles = 0;
+    return obs;
+  }
+};
+
+hw::AcceleratorConfig macro_cfg() {
+  hw::AcceleratorConfig cfg;
+  cfg.idle_skip = true;
+  cfg.event_kernel = true;
+  cfg.macro_step = true;
+  return cfg;
+}
+
+hw::AcceleratorConfig exact_cfg() {
+  hw::AcceleratorConfig cfg;
+  cfg.idle_skip = false;
+  cfg.event_kernel = false;
+  cfg.macro_step = false;
+  return cfg;
+}
+
+std::vector<gen::SequencePair> demotion_pairs() {
+  return gen::generate_input_set({100, 0.08, 4, 808});
+}
+
+TEST(MacroStepDemotion, EngagesOnCleanConfig) {
+  // Positive control for the suite: with no disqualifier (watchdog
+  // disarmed, no injector, no ECC/CRC) macro-steps actually fire, and the
+  // run matches exact stepping bit for bit.
+  const auto pairs = demotion_pairs();
+  MacroAccelRun exact(exact_cfg());
+  MacroAccelRun macro(macro_cfg());
+  const MacroRunObservation want = exact.run(pairs, /*disarm_watchdog=*/true);
+  const MacroRunObservation got = macro.run(pairs, /*disarm_watchdog=*/true);
+  EXPECT_EQ(want, got);
+  EXPECT_GT(macro.accel.dispatch_stats().macro_dispatches, 0u);
+}
+
+TEST(MacroStepDemotion, ArmedWatchdogSuppressesMacro) {
+  // The device resets with the no-progress watchdog armed; its firing
+  // cycle must stay exact, so an armed watchdog demotes the whole run to
+  // per-cycle stepping — zero macro grants, identical observables.
+  const auto pairs = demotion_pairs();
+  MacroAccelRun exact(exact_cfg());
+  MacroAccelRun macro(macro_cfg());
+  const MacroRunObservation want = exact.run(pairs, /*disarm_watchdog=*/false);
+  const MacroRunObservation got = macro.run(pairs, /*disarm_watchdog=*/false);
+  EXPECT_EQ(want, got);
+  EXPECT_EQ(macro.accel.dispatch_stats().macro_dispatches, 0u);
+}
+
+TEST(MacroStepDemotion, MidRunWatchdogArmDemotesAtThatCycle) {
+  // Demotion is evaluated per iteration, not per run: a watchdog armed
+  // mid-run must stop macro grants from that exact cycle on, while the
+  // already-fused prefix and the per-cycle suffix together stay
+  // bit-identical to exact stepping.
+  // A workload big enough to straddle the arming cycle comfortably.
+  const auto pairs = gen::generate_input_set({200, 0.08, 16, 809});
+  auto run = [&](const hw::AcceleratorConfig& cfg) {
+    MacroAccelRun r(cfg);
+    const drv::BatchLayout layout =
+        drv::encode_input_set(r.memory, pairs, 0x1000, 0x100000);
+    drv::Driver driver(r.accel);
+    driver.start(layout, /*backtrace=*/false);
+    r.accel.write_reg(hw::kRegWatchdog, 0);
+    (void)r.accel.advance(2'000);
+    const std::uint64_t grants_at_arm =
+        r.accel.dispatch_stats().macro_dispatches;
+    r.accel.write_reg(hw::kRegWatchdog, 500'000);
+    (void)driver.wait_idle();
+    MacroRunObservation obs;
+    obs.final_now = r.accel.now();
+    obs.results = drv::decode_nbt_results(r.memory, layout);
+    obs.perf = r.accel.perf_counters();
+    obs.perf.host_idle_skipped_cycles = 0;
+    return std::make_tuple(obs, grants_at_arm,
+                           r.accel.dispatch_stats().macro_dispatches -
+                               grants_at_arm);
+  };
+  const auto [want, want_before, want_after] = run(exact_cfg());
+  const auto [got, got_before, got_after] = run(macro_cfg());
+  EXPECT_EQ(want, got);
+  EXPECT_EQ(want_before + want_after, 0u);
+  // The macro path really was engaged before the arm (the run is longer
+  // than the armed-at cycle, so there was work on both sides of it) ...
+  EXPECT_GT(want.final_now, 2'000u);
+  EXPECT_GT(got_before, 0u);
+  // ... and no grant fired after the arming cycle — demotion was
+  // immediate.
+  EXPECT_EQ(got_after, 0u);
+}
+
+TEST(MacroStepDemotion, FaultInjectorSuppressesMacro) {
+  // An attached injector needs every cycle (beat faults, stall probes) —
+  // even one whose campaign happens to contain zero events. Macro must
+  // never engage, and with no actual faults drawn the observables still
+  // match the exact run.
+  const auto pairs = demotion_pairs();
+  MacroAccelRun exact(exact_cfg());
+  MacroAccelRun macro(macro_cfg());
+  sim::FaultInjector::CampaignConfig empty;
+  sim::FaultInjector inj_a = sim::FaultInjector::make_campaign(5, empty);
+  sim::FaultInjector inj_b = sim::FaultInjector::make_campaign(5, empty);
+  const MacroRunObservation want =
+      exact.run(pairs, /*disarm_watchdog=*/true, &inj_a);
+  const MacroRunObservation got =
+      macro.run(pairs, /*disarm_watchdog=*/true, &inj_b);
+  EXPECT_EQ(want, got);
+  EXPECT_EQ(macro.accel.dispatch_stats().macro_dispatches, 0u);
+}
+
+TEST(MacroStepDemotion, EccAndCrcConfigsSuppressMacro) {
+  // ECC scrubbing and CRC-protected streams keep per-beat checking alive,
+  // so macro_step_allowed() must veto fusion under either config — while
+  // the run still matches exact stepping under the same config.
+  for (const bool use_crc : {false, true}) {
+    hw::AcceleratorConfig checked_exact = exact_cfg();
+    hw::AcceleratorConfig checked_macro = macro_cfg();
+    (use_crc ? checked_exact.crc : checked_exact.ecc) = true;
+    (use_crc ? checked_macro.crc : checked_macro.ecc) = true;
+    const auto pairs = demotion_pairs();
+    MacroAccelRun exact(checked_exact);
+    MacroAccelRun macro(checked_macro);
+    const MacroRunObservation want =
+        exact.run(pairs, /*disarm_watchdog=*/true);
+    const MacroRunObservation got =
+        macro.run(pairs, /*disarm_watchdog=*/true);
+    EXPECT_EQ(want, got) << (use_crc ? "crc" : "ecc");
+    EXPECT_EQ(macro.accel.dispatch_stats().macro_dispatches, 0u)
+        << (use_crc ? "crc" : "ecc");
+  }
 }
 
 }  // namespace

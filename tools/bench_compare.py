@@ -90,6 +90,13 @@ def main():
     exact_keys = {k for k in base if k.endswith("_sim_cycles")}
 
     failed = False
+    # wall_speedup has an absolute floor on top of the relative gate: a
+    # value below 1.0 means the stepping fast paths are slower than exact
+    # per-cycle stepping — a hard failure however the baseline drifted.
+    if cur.get("wall_speedup", 1.0) < 1.0:
+        print(f"FAIL: wall_speedup: {cur['wall_speedup']:.4f} < 1.0000 "
+              f"(fast path slower than exact stepping)")
+        failed = True
     for key in sorted(base):
         if key not in cur:
             # Symmetric with candidate-only keys below: a metric one side
