@@ -60,6 +60,15 @@ class Crc32 {
   /// Final (inverted) CRC value; the accumulator stays usable.
   [[nodiscard]] std::uint32_t value() const { return ~crc_; }
 
+  /// Raw internal state, for snapshotting an in-flight accumulator
+  /// (sim/snapshot.hpp). Not a checksum — pair with from_raw().
+  [[nodiscard]] std::uint32_t raw() const { return crc_; }
+  [[nodiscard]] static Crc32 from_raw(std::uint32_t raw) {
+    Crc32 crc;
+    crc.crc_ = raw;
+    return crc;
+  }
+
  private:
   std::uint32_t crc_;
 };

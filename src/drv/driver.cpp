@@ -148,6 +148,50 @@ RunStatus Driver::wait_idle(std::uint64_t max_cycles) {
   return wait_core([this] { return accelerator_.idle(); }, max_cycles);
 }
 
+Driver::CheckpointRun Driver::wait_idle_checkpointed(
+    std::uint64_t checkpoint_interval, std::uint64_t max_cycles) {
+  WFASIC_REQUIRE(checkpoint_interval > 0,
+                 "Driver::wait_idle_checkpointed: interval must be positive");
+  CheckpointRun run;
+  const sim::cycle_t begin = accelerator_.now();
+  const auto idle = [this] { return accelerator_.idle(); };
+  std::uint64_t remaining = max_cycles;
+  while (remaining > 0 && !idle()) {
+    const std::uint64_t slice = std::min(checkpoint_interval, remaining);
+    // Slicing one long wait into interval-sized run_until_event calls is
+    // bit-identical to the unsliced wait: each call stops either on the
+    // predicate or at its cycle budget, and exits at a safe point.
+    const std::uint64_t stepped = accelerator_.run_until_event(idle, slice);
+    remaining -= std::min(stepped, remaining);
+    if (!idle() && stepped == slice) {
+      run.last_checkpoint = accelerator_.snapshot();
+      run.checkpoint_cycle = accelerator_.now();
+      ++run.status.checkpoints;
+    }
+    if (stepped == 0 && !idle()) break;  // budget pinned to zero progress
+  }
+  RunStatus classified = classify(accelerator_.now() - begin, idle());
+  classified.checkpoints = run.status.checkpoints;
+  run.status = classified;
+  return run;
+}
+
+Driver::CheckpointRun Driver::resume_checkpointed(
+    std::span<const std::uint8_t> blob, std::uint64_t checkpoint_interval,
+    std::uint64_t max_cycles) {
+  if (const auto err = accelerator_.restore(blob)) {
+    // A rejected blob must never be resumed as if it applied: surface the
+    // typed cause and classify loudly instead of touching the device.
+    CheckpointRun run;
+    run.restore_error = err;
+    run.status.outcome = RunOutcome::kDataError;
+    return run;
+  }
+  CheckpointRun run = wait_idle_checkpointed(checkpoint_interval, max_cycles);
+  run.status.restores = 1;
+  return run;
+}
+
 RunStatus Driver::wait_interrupt(std::uint64_t max_cycles) {
   WFASIC_REQUIRE(accelerator_.read_reg(hw::kRegIntEnable) == 1u,
                  "Driver::wait_interrupt: interrupt not enabled at start");

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -71,6 +72,13 @@ struct RunStatus {
   /// CRC, wait-budget timeout — carries it, because classify() is the
   /// single producer (audited by tests/test_observability.cpp).
   hw::PerfSnapshot perf;
+  /// Recovery-cost accounting (docs/RELIABILITY.md §7). Zero on plain
+  /// waits; the checkpoint-aware paths (Driver::wait_idle_checkpointed /
+  /// resume_checkpointed) and the engine's failover machinery fill them
+  /// in, so every consumer sees what a run's resilience actually cost.
+  std::uint64_t checkpoints = 0;        ///< snapshots captured during the wait
+  std::uint64_t restores = 0;           ///< snapshot blobs applied
+  std::uint64_t recomputed_cycles = 0;  ///< cycles re-simulated after restore
 
   [[nodiscard]] bool ok() const { return outcome == RunOutcome::kOk; }
   /// The accelerator reached Idle and produced results (possibly with
@@ -100,6 +108,43 @@ class Driver {
   /// elapse. Acknowledges the interrupt when it fired; classifies like
   /// wait_idle (an interrupt that never fires is kTimeout, not a hang).
   RunStatus wait_interrupt(std::uint64_t max_cycles = 4'000'000'000ULL);
+
+  // --- Checkpoint-aware execution -------------------------------------------
+
+  /// Outcome of a checkpoint-aware wait: the usual classified status plus
+  /// the most recent device snapshot, ready to hand to a replacement
+  /// device (hw::Accelerator::restore) if this one is lost later.
+  struct CheckpointRun {
+    RunStatus status;
+    /// The last snapshot captured at an interval boundary; empty when the
+    /// run finished before the first interval elapsed.
+    std::vector<std::uint8_t> last_checkpoint;
+    /// Device cycle at which last_checkpoint was taken (0 if none).
+    std::uint64_t checkpoint_cycle = 0;
+    /// Set when resume_checkpointed was handed a blob the device rejected
+    /// (status.outcome is kDataError in that case; nothing was resumed).
+    std::optional<sim::SnapshotError> restore_error;
+  };
+
+  /// wait_idle with periodic checkpointing: advances the device in
+  /// `checkpoint_interval`-cycle slices and snapshots it at every slice
+  /// boundary the run is still in flight. Every slice boundary is a safe
+  /// point — the stepping entry points flush event bookkeeping on exit —
+  /// so the capture never perturbs the simulation: the final state,
+  /// classification and PMU numbers are bit-identical to a plain
+  /// wait_idle under every stepping strategy. Loss after a failure is
+  /// bounded by the interval, not the batch length.
+  CheckpointRun wait_idle_checkpointed(
+      std::uint64_t checkpoint_interval,
+      std::uint64_t max_cycles = 4'000'000'000ULL);
+
+  /// Applies `blob` to the device and finishes the run it captured, with
+  /// checkpointing still armed. A rejected blob (corrupt, version skew,
+  /// config mismatch) fails loudly: restore_error carries the typed cause,
+  /// the status classifies as kDataError and nothing is resumed.
+  CheckpointRun resume_checkpointed(
+      std::span<const std::uint8_t> blob, std::uint64_t checkpoint_interval,
+      std::uint64_t max_cycles = 4'000'000'000ULL);
 
   /// Classifies the accelerator's current error state into a RunStatus —
   /// the single source of truth wait_idle/wait_interrupt and the engine's

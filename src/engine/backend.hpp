@@ -100,6 +100,15 @@ struct Completion {
   std::uint64_t accel_cycles = 0;     ///< device busy time
   std::uint64_t decode_cycles = 0;    ///< CPU result decode + backtrace
   std::uint64_t sw_align_cycles = 0;  ///< SwBackend only: modelled op cycles
+
+  // Recovery-cost accounting (docs/RELIABILITY.md §7). All zero when
+  // checkpointing is off: periodic device snapshots captured while this
+  // job ran, snapshot restores applied to it (failover adoptions /
+  // preemption resumes), and the cycles re-simulated between the last
+  // checkpoint and the failure each restore recovered from.
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t recomputed_cycles = 0;
 };
 
 /// The backend interface the engine schedules over.

@@ -261,6 +261,12 @@ bool Engine::poll_once() {
         ++dm.jobs_failed;
       }
       dm.busy_cycles += is_sw ? c.sw_align_cycles : c.accel_cycles;
+      // Each recovery event is reported by exactly one completion (a
+      // migrated continuation's counters restart at zero), so summing
+      // here counts every checkpoint/restore once.
+      metric_recovery_.checkpoints += c.checkpoints;
+      metric_recovery_.restores += c.restores;
+      metric_recovery_.recomputed_cycles += c.recomputed_cycles;
       metric_latency_.record(
           is_sw ? c.sw_align_cycles
                 : c.encode_cycles + c.accel_cycles + c.decode_cycles);
@@ -296,6 +302,7 @@ EngineMetrics Engine::metrics() const {
   m.latency = metric_latency_;
   m.in_flight_high_water = metric_inflight_high_water_;
   m.health_transitions = health_.transitions();
+  m.recovery = metric_recovery_;
   return m;
 }
 
@@ -322,6 +329,14 @@ Completion Engine::wait(JobHandle handle) {
 }
 
 bool Engine::cancel(JobHandle handle) {
+  const auto parked = parked_.find(handle.value);
+  if (parked != parked_.end()) {
+    // A parked job holds no backend resources — dropping its checkpoint
+    // is the whole cancellation (preempt-then-cancel).
+    parked_.erase(parked);
+    tickets_.erase(handle.value);
+    return true;
+  }
   const auto it = tickets_.find(handle.value);
   if (it == tickets_.end()) return false;
   const Ticket ticket = it->second;
@@ -329,6 +344,63 @@ bool Engine::cancel(JobHandle handle) {
   local_to_engine_[ticket.device].erase(ticket.local.value);
   tickets_.erase(it);
   return true;
+}
+
+bool Engine::preempt(JobHandle handle) {
+  if (parked_.count(handle.value) != 0 ||
+      completed_.count(handle.value) != 0) {
+    return false;
+  }
+  const auto it = tickets_.find(handle.value);
+  if (it == tickets_.end()) return false;
+  const Ticket& ticket = it->second;
+  if (ticket.device >= devices_.size()) return false;  // software job
+  std::optional<HwBackend::Migration> migration =
+      devices_[ticket.device]->preempt(ticket.local);
+  if (!migration.has_value()) return false;
+  local_to_engine_[ticket.device].erase(ticket.local.value);
+  parked_.emplace(handle.value, std::move(*migration));
+  ++metric_recovery_.preemptions;
+  return true;
+}
+
+bool Engine::resume(JobHandle handle) {
+  const auto it = parked_.find(handle.value);
+  if (it == parked_.end()) return false;
+  HwBackend::Migration migration = std::move(it->second);
+  parked_.erase(it);
+  const unsigned dev = least_loaded_device();
+  const JobHandle local = devices_[dev]->adopt(std::move(migration));
+  Ticket& ticket = tickets_.at(handle.value);
+  ticket.device = dev;
+  ticket.local = local;
+  local_to_engine_[dev].emplace(local.value, handle.value);
+  ++metric_recovery_.resumes;
+  return true;
+}
+
+std::optional<JobHandle> Engine::failover(unsigned failed_dev,
+                                          JobHandle failed_local) {
+  std::optional<HwBackend::Migration> migration =
+      devices_[failed_dev]->take_migration(failed_local);
+  if (!migration.has_value()) return std::nullopt;
+  // Prefer any other usable device over the one that just failed; among
+  // those, least loaded (ties: lowest index). With nowhere else to go the
+  // failed device readopts its own checkpoint — still cheaper than a
+  // scratch re-run.
+  unsigned target = failed_dev;
+  bool found_other = false;
+  for (unsigned d = 0; d < static_cast<unsigned>(devices_.size()); ++d) {
+    if (d == failed_dev || !health_.usable(d)) continue;
+    if (!found_other ||
+        devices_[d]->pending() < devices_[target]->pending()) {
+      target = d;
+      found_other = true;
+    }
+  }
+  const JobHandle local = devices_[target]->adopt(std::move(*migration));
+  ++metric_recovery_.migrations;
+  return file_submission(target, local);
 }
 
 BatchResult Engine::run_batch(std::span<const gen::SequencePair> pairs,
@@ -365,11 +437,13 @@ BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
   };
   std::vector<JobHandle> handles;
   std::vector<unsigned> device_of;
+  std::vector<JobHandle> local_of;  ///< backend handle, for failover lookup
   std::vector<std::pair<std::size_t, std::size_t>> shards;  // (base, count)
   for (std::size_t base = 0; base < pairs.size(); base += batch_pairs) {
     const std::size_t count = std::min(batch_pairs, pairs.size() - base);
     const JobHandle handle = submit(shard_job(base, count));
     device_of.push_back(tickets_.at(handle.value).device);
+    local_of.push_back(tickets_.at(handle.value).local);
     handles.push_back(handle);
     shards.emplace_back(base, count);
   }
@@ -388,21 +462,35 @@ BatchResult Engine::run_dataset(std::span<const gen::SequencePair> pairs,
     note_device_outcome(dev, completion.outcome);
     // A shard whose run failed (fault, timeout) retries on a healthy
     // device; when the budget or the fleet is exhausted it degrades onto
-    // the software backend — the dataset always completes.
+    // the software backend — the dataset always completes. With device
+    // checkpointing on, a failed shard migrates first: its last
+    // checkpoint resumes on a healthy device and only the cycles past
+    // the checkpoint are recomputed, instead of the whole shard.
     unsigned attempts = 0;
+    JobHandle failed_local = local_of[i];
     while (!completion.completed_run()) {
       if (attempts < cfg_.dataset_retry_budget && health_.any_usable()) {
         ++attempts;
-        dev = least_loaded_device();
-        const JobHandle local =
-            devices_[dev]->submit(shard_job(shards[i].first, shards[i].second));
-        completion = wait(file_submission(dev, local));
+        JobHandle handle;
+        if (std::optional<JobHandle> moved = failover(dev, failed_local)) {
+          handle = *moved;
+        } else {
+          const unsigned retry_dev = least_loaded_device();
+          const JobHandle local = devices_[retry_dev]->submit(
+              shard_job(shards[i].first, shards[i].second));
+          handle = file_submission(retry_dev, local);
+          ++metric_recovery_.dataset_retries;
+        }
+        dev = tickets_.at(handle.value).device;
+        failed_local = tickets_.at(handle.value).local;
+        completion = wait(handle);
         note_device_outcome(dev, completion.outcome);
       } else {
         completion = wait(
             submit_software(shard_job(shards[i].first, shards[i].second)));
         dev = num_devices();  // the CPU lane of the pipeline schedule
         used_software = true;
+        ++metric_recovery_.sw_degradations;
         break;
       }
     }

@@ -106,8 +106,25 @@ class Engine {
   std::optional<Completion> try_collect(JobHandle handle) {
     return try_take(handle);
   }
-  /// Cancels a still-queued job. Returns true when it was removed.
+  /// Cancels a still-queued job. Returns true when it was removed. Also
+  /// recalls preempted (parked) jobs and adopted migrations that have not
+  /// relaunched.
   bool cancel(JobHandle handle);
+  /// Checkpoint-evicts `handle` from its device if it is the device's
+  /// active run (the preemption path: a deadline-critical tenant needs
+  /// the device now). The engine handle stays valid; the job is parked —
+  /// poll()/wait() make no progress on it — until resume() or cancel().
+  /// False when the job is not a device's active run (still queued,
+  /// already parked, software, or finished).
+  bool preempt(JobHandle handle);
+  /// Re-dispatches a parked job onto the least-loaded usable device; it
+  /// continues from its eviction checkpoint (lossless — no recompute).
+  /// False when `handle` is not parked.
+  bool resume(JobHandle handle);
+  /// True while `handle` sits parked between preempt() and resume().
+  [[nodiscard]] bool preempted(JobHandle handle) const {
+    return parked_.count(handle.value) != 0;
+  }
   /// The backend index a live handle was filed on (num_devices() = the
   /// software backend). Valid until the completion is collected.
   [[nodiscard]] unsigned handle_device(JobHandle handle) const;
@@ -190,6 +207,13 @@ class Engine {
   /// it trips quarantine, runs golden probes until the device is either
   /// readmitted or retired. Probe completions never re-enter here.
   void note_device_outcome(unsigned dev, drv::RunOutcome outcome);
+  /// Failover: takes the failed run's checkpoint migration off device
+  /// `failed_dev` (if one survived) and adopts it on the best healthy
+  /// device, preferring any other usable device over the one that just
+  /// failed. Returns the new engine handle, or nullopt when no
+  /// checkpoint exists — the caller falls back to a scratch re-run.
+  std::optional<JobHandle> failover(unsigned failed_dev,
+                                    JobHandle failed_local);
 
   EngineConfig cfg_;
   std::vector<std::unique_ptr<HwBackend>> devices_;
@@ -204,6 +228,9 @@ class Engine {
   /// Per backend (devices, then software): local handle -> engine handle.
   std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> local_to_engine_;
   std::unordered_map<std::uint64_t, Completion> completed_;
+  /// Preempted jobs awaiting resume(), by engine handle. Their tickets
+  /// stay alive (device = where they ran; local = stale).
+  std::unordered_map<std::uint64_t, HwBackend::Migration> parked_;
 
   // Metrics accumulators (observational only; updated in file_submission
   // and poll_once, never read by any scheduling decision).
@@ -212,6 +239,9 @@ class Engine {
   std::uint64_t metric_completions_ = 0;
   Log2Histogram metric_latency_;
   std::size_t metric_inflight_high_water_ = 0;
+  /// checkpoints/restores/recomputed_cycles accumulate from completion
+  /// records in poll_once; the event counters tick at their call sites.
+  RecoveryMetrics metric_recovery_;
 };
 
 }  // namespace wfasic::engine

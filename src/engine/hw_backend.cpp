@@ -133,7 +133,11 @@ void HwBackend::launch(StagedJob&& staged) {
 
 bool HwBackend::poll() {
   if (!active_.has_value()) {
-    if (staged_.has_value()) {
+    if (!adopted_.empty()) {
+      // Migrated jobs launch first: they already consumed device time
+      // elsewhere and hold a checkpoint of it.
+      launch_adopted();
+    } else if (staged_.has_value()) {
       StagedJob staged = std::move(*staged_);
       staged_.reset();
       launch(std::move(staged));
@@ -159,20 +163,84 @@ bool HwBackend::poll() {
     // advances event to event, so a quantum costs O(events), not
     // O(poll_quantum) virtual ticks.
     accelerator_->step_many(cfg_.poll_quantum);
+    maybe_checkpoint();
     const std::uint64_t elapsed =
         accelerator_->now() - active_->start_cycle;
     if (accelerator_->idle() || elapsed >= active_->budget) {
       complete_active();
       // Keep the device busy inside the same poll: the staged successor
-      // launches as soon as its predecessor is decoded.
-      if (!active_.has_value() && staged_.has_value()) {
-        StagedJob staged = std::move(*staged_);
-        staged_.reset();
-        launch(std::move(staged));
+      // launches as soon as its predecessor is decoded. Adopted
+      // migrations still come first.
+      if (!active_.has_value()) {
+        if (!adopted_.empty()) {
+          launch_adopted();
+        } else if (staged_.has_value()) {
+          StagedJob staged = std::move(*staged_);
+          staged_.reset();
+          launch(std::move(staged));
+        }
       }
     }
   }
   return pending() > 0;
+}
+
+void HwBackend::maybe_checkpoint() {
+  if (cfg_.checkpoint_interval == 0 || accelerator_->idle()) return;
+  // step_many always exits at a flushed stepping boundary, so poll
+  // boundaries are safe snapshot points by construction.
+  // checkpoint_cycle (not the counter) keys the base: a migrated job's
+  // counters restart at zero, but its restored checkpoint still anchors
+  // the interval.
+  const std::uint64_t base = active_->checkpoint_cycle != 0
+                                 ? active_->checkpoint_cycle
+                                 : active_->start_cycle;
+  if (accelerator_->now() - base < cfg_.checkpoint_interval) return;
+  active_->checkpoint = accelerator_->snapshot();
+  active_->checkpoint_cycle = accelerator_->now();
+  ++active_->checkpoints;
+}
+
+void HwBackend::launch_adopted() {
+  auto [handle, migration] = std::move(adopted_.front());
+  adopted_.pop_front();
+  // The restore overwrites device memory with the checkpoint's pages, so
+  // anything staged into the other arena slot is stale afterwards. Put
+  // it back at the queue front; it re-encodes on its next launch.
+  if (staged_.has_value()) {
+    queue_.emplace_front(staged_->handle, std::move(staged_->job));
+    staged_.reset();
+  }
+  // kKeepAttached: the migrated run continues under *this* device's
+  // fault environment (usually none). Faults that fired on the source
+  // before the checkpoint are baked into the restored state and are not
+  // replayed.
+  const std::optional<sim::SnapshotError> err = accelerator_->restore(
+      migration.job.checkpoint, hw::InjectorRestorePolicy::kKeepAttached);
+  if (err.has_value()) {
+    // The blob did not validate against this device. A mid-apply error
+    // can leave the device indeterminate, so reset before anything else
+    // launches; the failure surfaces as a completion the engine can
+    // retry from scratch.
+    driver_.soft_reset();
+    Completion completion;
+    completion.handle = handle;
+    completion.outcome = drv::RunOutcome::kDataError;
+    completion.checkpoints = migration.job.checkpoints;
+    completion.restores = migration.job.restores;
+    completion.recomputed_cycles = migration.job.recomputed_cycles;
+    done_.push_back(std::move(completion));
+    return;
+  }
+  ActiveJob active = std::move(migration.job);
+  active.staged.handle = handle;
+  active.restores += 1;
+  // Everything between the last checkpoint and the point the job left
+  // its device is simulated again here — the bounded loss this layer
+  // exists to bound (<= checkpoint_interval + poll_quantum).
+  active.recomputed_cycles +=
+      migration.failure_cycle - active.checkpoint_cycle;
+  active_ = std::move(active);
 }
 
 void HwBackend::complete_active() {
@@ -191,6 +259,9 @@ void HwBackend::complete_active() {
   completion.outcome = status.outcome;
   completion.encode_cycles = active.staged.encode_cycles;
   completion.accel_cycles = elapsed;
+  completion.checkpoints = active.checkpoints;
+  completion.restores = active.restores;
+  completion.recomputed_cycles = active.recomputed_cycles;
 
   if (active.staged.job.tolerant) {
     // Resilient path: salvage every verifiable result the run managed to
@@ -212,7 +283,66 @@ void HwBackend::complete_active() {
       decode_into(completion, active, status);
     }
   }
+  if (!completion.completed_run() && !active.staged.job.tolerant &&
+      !active.checkpoint.empty()) {
+    // Stash the failed run behind its last checkpoint so the engine can
+    // migrate it (take_migration -> adopt on a healthy device) instead
+    // of re-running it from scratch. Tolerant jobs are excluded: the
+    // resilient path re-encodes shrinking sub-batches by design.
+    Migration migration;
+    migration.failure_cycle = active.start_cycle + elapsed;
+    migration.job = std::move(active);
+    // The failed completion above just reported these counters; the
+    // continuation restarts them at zero so that summing over completion
+    // records counts each recovery event exactly once.
+    migration.job.checkpoints = 0;
+    migration.job.restores = 0;
+    migration.job.recomputed_cycles = 0;
+    if (failed_migrations_.size() >= kMigrationStashDepth) {
+      failed_migrations_.erase(failed_migrations_.begin());
+    }
+    failed_migrations_.emplace_back(completion.handle, std::move(migration));
+  }
   done_.push_back(std::move(completion));
+}
+
+std::optional<HwBackend::Migration> HwBackend::take_migration(
+    JobHandle handle) {
+  for (auto it = failed_migrations_.begin(); it != failed_migrations_.end();
+       ++it) {
+    if (it->first == handle) {
+      Migration migration = std::move(it->second);
+      failed_migrations_.erase(it);
+      return migration;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<HwBackend::Migration> HwBackend::preempt(JobHandle handle) {
+  if (!active_.has_value() || !(active_->staged.handle == handle)) {
+    return std::nullopt;
+  }
+  Migration migration;
+  migration.job = std::move(*active_);
+  active_.reset();
+  // poll() always leaves the device at a flushed stepping boundary, so
+  // snapshotting here is legal. The eviction is lossless: nothing runs
+  // between this checkpoint and the hand-off.
+  migration.job.checkpoint = accelerator_->snapshot();
+  migration.job.checkpoint_cycle = accelerator_->now();
+  ++migration.job.checkpoints;
+  migration.failure_cycle = migration.job.checkpoint_cycle;
+  if (!accelerator_->idle()) driver_.soft_reset();
+  return migration;
+}
+
+JobHandle HwBackend::adopt(Migration migration) {
+  WFASIC_REQUIRE(!migration.job.checkpoint.empty(),
+                 "HwBackend::adopt: migration carries no checkpoint");
+  const JobHandle handle{next_handle_++};
+  adopted_.emplace_back(handle, std::move(migration));
+  return handle;
 }
 
 bool HwBackend::stream_verifies(const ActiveJob& active) const {
@@ -317,12 +447,20 @@ bool HwBackend::cancel(JobHandle handle) {
     staged_.reset();
     return true;
   }
+  // An adopted migration that has not relaunched yet can still be
+  // recalled (preempt-then-cancel): its device work is all in the blob.
+  for (auto it = adopted_.begin(); it != adopted_.end(); ++it) {
+    if (it->first == handle) {
+      adopted_.erase(it);
+      return true;
+    }
+  }
   return false;
 }
 
 std::size_t HwBackend::pending() const {
   return queue_.size() + (staged_.has_value() ? 1 : 0) +
-         (active_.has_value() ? 1 : 0);
+         (active_.has_value() ? 1 : 0) + adopted_.size();
 }
 
 std::vector<Completion> HwBackend::drain() {

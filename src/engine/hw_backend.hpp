@@ -53,6 +53,13 @@ struct HwBackendConfig {
   double encode_cycles_per_byte = 1.0;
   /// CPU NBT decode cost model: cycles per 4-byte result word decoded.
   double nbt_decode_cycles_per_pair = 16.0;
+  /// Periodic device-checkpoint interval in device cycles (0 = off, the
+  /// default — no snapshots are taken and poll() is unchanged). With a
+  /// non-zero interval the backend snapshots the whole device at the
+  /// first poll boundary after each interval elapses, so a failed run
+  /// can be migrated (take_migration/adopt) or the active run preempted
+  /// with bounded recompute: at most interval + poll_quantum cycles.
+  std::uint64_t checkpoint_interval = 0;
 };
 
 class HwBackend final : public AlignmentBackend {
@@ -107,13 +114,62 @@ class HwBackend final : public AlignmentBackend {
     hw::Aligner::PhaseCycles phase_before;
     std::uint64_t stalls_before = 0;
     std::size_t read_cursor = 0;
+    // Checkpointing (cfg_.checkpoint_interval != 0). The blob is the
+    // last periodic whole-device snapshot; empty until the first
+    // interval elapses. The stat cursors above stay valid across a
+    // restore because the blob carries the device stats exactly as they
+    // were at the checkpoint.
+    std::vector<std::uint8_t> checkpoint;
+    std::uint64_t checkpoint_cycle = 0;
+    std::uint64_t checkpoints = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t recomputed_cycles = 0;
   };
 
+ public:
+  /// A checkpointed in-flight job lifted off a device — by take_migration
+  /// after its run failed, or by preempt while it was still healthy.
+  /// Opaque to callers (the payload type is private); move it wholesale
+  /// into adopt() on any HwBackend built from the same device config.
+  struct Migration {
+    ActiveJob job;
+    /// Device cycle at which the job left its device. The recompute cost
+    /// of adopting is failure_cycle - the checkpoint's cycle (0 for a
+    /// preemption, which snapshots at the moment of eviction).
+    std::uint64_t failure_cycle = 0;
+  };
+
+  /// Takes the stashed migration of a failed run, if its final
+  /// checkpoint survived (checkpointing on, and the run outlived the
+  /// first interval). The stash holds at most the most recent failures;
+  /// entries are dropped once taken.
+  [[nodiscard]] std::optional<Migration> take_migration(JobHandle handle);
+  /// Checkpoint-evicts the currently *active* run (poll boundaries are
+  /// safe points, so the snapshot is always legal) and soft-resets the
+  /// device, freeing it for other work. Lossless: failure_cycle equals
+  /// the snapshot cycle. Returns nullopt when `handle` is not the active
+  /// run — queued or staged jobs are cancelled, not preempted.
+  [[nodiscard]] std::optional<Migration> preempt(JobHandle handle);
+  /// Adopts a migrated job under a fresh handle. The job launches with
+  /// priority once the device is free: the checkpoint blob is restored
+  /// (clobbering device memory — any staged batch is re-queued first)
+  /// and the run resumes where the snapshot left it. A blob this device
+  /// rejects surfaces as a kDataError completion.
+  JobHandle adopt(Migration migration);
+
+ private:
   [[nodiscard]] std::uint64_t predicted_in_bytes(const BatchJob& job) const;
   /// Encodes the queue front into arena slot `slot` (or the full region
   /// when it needs an exclusive launch).
   [[nodiscard]] StagedJob encode_front(unsigned slot);
   void launch(StagedJob&& staged);
+  /// Restores the adopted front's checkpoint onto the device and makes it
+  /// the active run (or completes it as kDataError if the blob is
+  /// rejected).
+  void launch_adopted();
+  /// Snapshots the device into the active job's checkpoint slot when the
+  /// configured interval has elapsed since the last one.
+  void maybe_checkpoint();
   void complete_active();
   /// With CRC on: tolerant pre-scan of the result stream (bounded by the
   /// beats the DMA actually wrote). False means a record failed its CRC or
@@ -134,6 +190,13 @@ class HwBackend final : public AlignmentBackend {
   std::deque<std::pair<JobHandle, BatchJob>> queue_;
   std::optional<StagedJob> staged_;
   std::optional<ActiveJob> active_;
+  /// Adopted migrations waiting for the device; launched before queued
+  /// work (they already consumed device time elsewhere).
+  std::deque<std::pair<JobHandle, Migration>> adopted_;
+  /// Checkpointed failures awaiting take_migration, newest last. Bounded:
+  /// oldest entries are dropped beyond kMigrationStashDepth.
+  std::vector<std::pair<JobHandle, Migration>> failed_migrations_;
+  static constexpr std::size_t kMigrationStashDepth = 4;
   std::vector<Completion> done_;
   std::uint64_t next_handle_ = 1;
   /// Per-launch CRC salt counter (only consumed when cfg_.accel.crc).

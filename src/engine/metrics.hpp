@@ -74,6 +74,24 @@ struct DeviceMetrics {
   }
 };
 
+/// Checkpoint/failover/preemption accounting (docs/RELIABILITY.md §7).
+/// All zero while HwBackendConfig::checkpoint_interval is 0 and nobody
+/// preempts — the recovery layer costs nothing when off.
+struct RecoveryMetrics {
+  std::uint64_t checkpoints = 0;       ///< periodic device snapshots taken
+  std::uint64_t restores = 0;          ///< checkpoint blobs applied
+  std::uint64_t migrations = 0;        ///< failed runs adopted by a device
+  std::uint64_t preemptions = 0;       ///< active runs checkpoint-evicted
+  std::uint64_t resumes = 0;           ///< preempted jobs re-dispatched
+  /// Device cycles simulated a second time after restores (the bounded
+  /// loss between each failure and its last checkpoint).
+  std::uint64_t recomputed_cycles = 0;
+  /// run_dataset shards re-run from scratch (no checkpoint to migrate).
+  std::uint64_t dataset_retries = 0;
+  /// run_dataset shards degraded onto the software backend.
+  std::uint64_t sw_degradations = 0;
+};
+
 /// The engine's full observability export. Everything here is cumulative
 /// since construction.
 struct EngineMetrics {
@@ -89,6 +107,8 @@ struct EngineMetrics {
   std::size_t in_flight_high_water = 0;
   /// Health-state transition log (engine/health.hpp), in event order.
   std::vector<HealthTransition> health_transitions;
+  /// Checkpoint/failover/preemption costs, engine-wide.
+  RecoveryMetrics recovery;
 };
 
 }  // namespace wfasic::engine

@@ -502,6 +502,313 @@ std::uint64_t Accelerator::run_to_completion(std::uint64_t max_cycles) {
   return scheduler_.now() - begin;
 }
 
+// --- Checkpoint / restore (sim/snapshot.hpp) ---------------------------------
+
+namespace {
+
+/// Top-level section tags. Each section of the payload is prefixed with
+/// one; a reader/writer layout skew then latches kBadValue at the exact
+/// boundary instead of silently misdecoding everything downstream.
+enum SnapshotSection : std::uint32_t {
+  kSecScheduler = 1,
+  kSecRun = 2,
+  kSecProbe = 3,
+  kSecInputFifo = 4,
+  kSecOutputFifo = 5,
+  kSecDma = 6,
+  kSecExtractor = 7,
+  kSecAligners = 8,
+  kSecCollector = 9,
+  kSecMemory = 10,
+  kSecInjector = 11,
+};
+
+/// The structural-configuration signature: every AcceleratorConfig field
+/// that shapes architectural state, written field by field so a mismatch
+/// is detected before any device state is touched. Stepping-strategy knobs
+/// (idle_skip / event_kernel / macro_step) and trace are deliberately
+/// excluded — they never change architectural state, and excluding them is
+/// what lets a checkpoint taken under one strategy resume under another.
+void save_config_signature(sim::SnapshotWriter& w,
+                           const AcceleratorConfig& cfg,
+                           std::uint64_t memory_bytes) {
+  w.u32(cfg.num_aligners);
+  w.u32(cfg.parallel_sections);
+  w.i64(cfg.k_max);
+  w.u64(cfg.input_fifo_depth);
+  w.u64(cfg.output_fifo_depth);
+  w.u32(cfg.axi.burst_beats);
+  w.u32(cfg.axi.read_latency);
+  w.u32(cfg.axi.write_latency);
+  w.u32(cfg.timing.compute_batch_ii);
+  w.u32(cfg.timing.compute_pipeline);
+  w.u32(cfg.timing.extend_fill);
+  w.u32(cfg.timing.extend_batch_overhead);
+  w.u32(cfg.timing.per_score_overhead);
+  w.u32(cfg.timing.init_cycles);
+  w.i64(cfg.pen.mismatch);
+  w.i64(cfg.pen.gap_open);
+  w.i64(cfg.pen.gap_extend);
+  w.u32(cfg.max_supported_read_len);
+  w.boolean(cfg.ecc);
+  w.boolean(cfg.crc);
+  w.u64(memory_bytes);
+}
+
+[[nodiscard]] bool config_signature_matches(sim::SnapshotReader& r,
+                                            const AcceleratorConfig& cfg,
+                                            std::uint64_t memory_bytes) {
+  bool match = true;
+  match &= r.u32() == cfg.num_aligners;
+  match &= r.u32() == cfg.parallel_sections;
+  match &= r.i64() == cfg.k_max;
+  match &= r.u64() == cfg.input_fifo_depth;
+  match &= r.u64() == cfg.output_fifo_depth;
+  match &= r.u32() == cfg.axi.burst_beats;
+  match &= r.u32() == cfg.axi.read_latency;
+  match &= r.u32() == cfg.axi.write_latency;
+  match &= r.u32() == cfg.timing.compute_batch_ii;
+  match &= r.u32() == cfg.timing.compute_pipeline;
+  match &= r.u32() == cfg.timing.extend_fill;
+  match &= r.u32() == cfg.timing.extend_batch_overhead;
+  match &= r.u32() == cfg.timing.per_score_overhead;
+  match &= r.u32() == cfg.timing.init_cycles;
+  match &= r.i64() == cfg.pen.mismatch;
+  match &= r.i64() == cfg.pen.gap_open;
+  match &= r.i64() == cfg.pen.gap_extend;
+  match &= r.u32() == cfg.max_supported_read_len;
+  match &= r.boolean() == cfg.ecc;
+  match &= r.boolean() == cfg.crc;
+  match &= r.u64() == memory_bytes;
+  return match && r.ok();
+}
+
+void save_fifo(sim::SnapshotWriter& w,
+               const sim::ShowAheadFifo<mem::Beat>& fifo) {
+  const std::deque<mem::Beat>& data = fifo.contents();
+  w.u64(data.size());
+  for (const mem::Beat& beat : data) {
+    w.bytes(std::span<const std::uint8_t>(beat.data.data(), mem::kBeatBytes));
+  }
+  w.u64(fifo.total_pushes());
+  w.u64(fifo.total_pops());
+  w.u64(fifo.high_water());
+}
+
+void restore_fifo(sim::SnapshotReader& r,
+                  sim::ShowAheadFifo<mem::Beat>& fifo) {
+  const std::uint64_t count = r.u64();
+  if (!r.ok()) return;
+  if (count > fifo.capacity()) {
+    (void)r.fail(sim::SnapshotError::kBadValue);
+    return;
+  }
+  if (count > r.remaining() / mem::kBeatBytes) {
+    (void)r.fail(sim::SnapshotError::kTruncated);
+    return;
+  }
+  std::deque<mem::Beat> data;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    mem::Beat beat;
+    r.bytes(std::span<std::uint8_t>(beat.data.data(), mem::kBeatBytes));
+    data.push_back(beat);
+  }
+  const std::uint64_t pushes = r.u64();
+  const std::uint64_t pops = r.u64();
+  const std::uint64_t high_water = r.u64();
+  if (!r.ok()) return;
+  fifo.restore_contents(std::move(data), pushes, pops, high_water);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Accelerator::snapshot() const {
+  WFASIC_REQUIRE(!scheduler_.events_armed(),
+                 "Accelerator::snapshot: not at a safe point (event "
+                 "bookkeeping is armed)");
+  sim::SnapshotWriter w(kSnapshotMagic, kSnapshotVersion);
+  save_config_signature(w, cfg_, memory_.size());
+
+  w.section(kSecScheduler);
+  w.u64(scheduler_.now());
+  const sim::Scheduler::DispatchStats& stats = scheduler_.dispatch_stats();
+  w.u64(stats.ticks);
+  w.u64(stats.macro_dispatches);
+  w.u64(stats.macro_cycles);
+
+  w.section(kSecRun);
+  w.boolean(regs_.backtrace);
+  w.u32(regs_.max_read_len);
+  w.u64(regs_.in_addr);
+  w.u64(regs_.in_size);
+  w.u64(regs_.out_addr);
+  w.boolean(regs_.int_enable);
+  w.u32(regs_.watchdog);
+  w.u32(regs_.crc_salt);
+  w.boolean(running_);
+  w.boolean(int_pending_);
+  w.u64(run_start_);
+  w.u64(last_run_cycles_);
+  for (std::uint32_t i = 0; i < kNumPerfCounters; ++i) {
+    w.u64(perf_base_.counter(static_cast<PerfIdx>(i)));
+  }
+  w.u64(host_skipped_cycles_);
+  w.u32(err_status_);
+  w.u32(err_count_);
+  w.u64(ecc_count_base_);
+  w.u64(last_progress_sig_);
+  w.u64(last_progress_cycle_);
+
+  w.section(kSecProbe);
+  pmu_probe_->save_state(w);
+  w.section(kSecInputFifo);
+  save_fifo(w, input_fifo_);
+  w.section(kSecOutputFifo);
+  save_fifo(w, output_fifo_);
+  w.section(kSecDma);
+  dma_->save_state(w);
+  w.section(kSecExtractor);
+  extractor_->save_state(w);
+  w.section(kSecAligners);
+  w.u64(aligners_.size());
+  for (const auto& aligner : aligners_) aligner->save_state(w);
+  w.section(kSecCollector);
+  collector_->save_state(w);
+  w.section(kSecMemory);
+  memory_.save_state(w);
+
+  // The injector's runtime state (clock + fired flags) rides along so a
+  // checkpoint taken mid-fault-campaign resumes with the remaining faults
+  // still pending. The schedule itself is wiring, not device state: the
+  // restore target must arrive with an equal schedule attached.
+  w.section(kSecInjector);
+  w.boolean(injector_ != nullptr);
+  if (injector_ != nullptr) {
+    w.u64(injector_->now());
+    w.u32(injector_->schedule_digest());
+    const std::vector<std::uint8_t> fired = injector_->fired_flags();
+    w.u64(fired.size());
+    w.bytes(std::span<const std::uint8_t>(fired.data(), fired.size()));
+  }
+  return std::move(w).finish(kSnapshotCrcSalt);
+}
+
+std::optional<sim::SnapshotError> Accelerator::restore(
+    std::span<const std::uint8_t> blob, InjectorRestorePolicy policy) {
+  sim::SnapshotReader r(blob);
+  if (auto err = r.open(kSnapshotMagic, kSnapshotVersion, kSnapshotCrcSalt)) {
+    return err;
+  }
+  if (!config_signature_matches(r, cfg_, memory_.size())) {
+    (void)r.fail(sim::SnapshotError::kConfigMismatch);
+    return r.error();
+  }
+  scheduler_.flush_events();  // snapshot() REQUIREs; restore tolerates
+
+  (void)r.section(kSecScheduler);
+  const sim::cycle_t now = r.u64();
+  sim::Scheduler::DispatchStats stats;
+  stats.ticks = r.u64();
+  stats.macro_dispatches = r.u64();
+  stats.macro_cycles = r.u64();
+  if (!r.ok()) return r.error();
+  scheduler_.restore_clock(now, stats);
+
+  (void)r.section(kSecRun);
+  regs_.backtrace = r.boolean();
+  regs_.max_read_len = r.u32();
+  regs_.in_addr = r.u64();
+  regs_.in_size = r.u64();
+  regs_.out_addr = r.u64();
+  regs_.int_enable = r.boolean();
+  regs_.watchdog = r.u32();
+  regs_.crc_salt = r.u32();
+  running_ = r.boolean();
+  int_pending_ = r.boolean();
+  run_start_ = r.u64();
+  last_run_cycles_ = r.u64();
+  PerfSnapshot base;
+  for (std::uint32_t i = 0; i < kNumPerfCounters; ++i) {
+    base.set_counter(static_cast<PerfIdx>(i), r.u64());
+  }
+  perf_base_ = base;
+  host_skipped_cycles_ = r.u64();
+  err_status_ = r.u32();
+  err_count_ = r.u32();
+  ecc_count_base_ = r.u64();
+  last_progress_sig_ = r.u64();
+  last_progress_cycle_ = r.u64();
+  if (!r.ok()) return r.error();
+
+  (void)r.section(kSecProbe);
+  pmu_probe_->restore_state(r);
+  (void)r.section(kSecInputFifo);
+  restore_fifo(r, input_fifo_);
+  (void)r.section(kSecOutputFifo);
+  restore_fifo(r, output_fifo_);
+  if (!r.ok()) return r.error();
+  (void)r.section(kSecDma);
+  dma_->restore_state(r);
+  (void)r.section(kSecExtractor);
+  extractor_->restore_state(r);
+  if (!r.ok()) return r.error();
+  (void)r.section(kSecAligners);
+  const std::uint64_t aligner_count = r.u64();
+  if (!r.ok()) return r.error();
+  if (aligner_count != aligners_.size()) {
+    (void)r.fail(sim::SnapshotError::kConfigMismatch);
+    return r.error();
+  }
+  for (auto& aligner : aligners_) {
+    aligner->restore_state(r);
+    if (!r.ok()) return r.error();
+  }
+  (void)r.section(kSecCollector);
+  collector_->restore_state(r);
+  if (!r.ok()) return r.error();
+  (void)r.section(kSecMemory);
+  memory_.restore_state(r);
+  if (!r.ok()) return r.error();
+
+  (void)r.section(kSecInjector);
+  const bool had_injector = r.boolean();
+  if (!r.ok()) return r.error();
+  if (had_injector) {
+    const sim::cycle_t injector_now = r.u64();
+    const std::uint32_t schedule_digest = r.u32();
+    const std::uint64_t fired_count = r.u64();
+    if (!r.ok() || fired_count > r.remaining()) {
+      (void)r.fail(sim::SnapshotError::kTruncated);
+      return r.error();
+    }
+    std::vector<std::uint8_t> fired(fired_count);
+    r.bytes(std::span<std::uint8_t>(fired.data(), fired.size()));
+    if (!r.ok()) return r.error();
+    if (policy == InjectorRestorePolicy::kStrict) {
+      // A faulted checkpoint only replays faithfully with the identical
+      // fault schedule attached — anything else would run a different
+      // campaign and diverge silently. The digest catches same-length
+      // schedules with different events, not just size skew.
+      if (injector_ == nullptr ||
+          injector_->events().size() != fired_count ||
+          injector_->schedule_digest() != schedule_digest) {
+        (void)r.fail(sim::SnapshotError::kConfigMismatch);
+        return r.error();
+      }
+      injector_->restore_runtime(injector_now, fired);
+    }
+    // kKeepAttached: the blob's injector runtime is consumed but not
+    // applied; the attached injector (if any) keeps its own fired state
+    // and re-syncs its clock on the next step().
+  }
+  // A blob saved without an injector restores regardless of whether one is
+  // attached here: the injector's own clock then lags until the next
+  // step(), which re-syncs it.
+
+  if (!r.at_end()) (void)r.fail(sim::SnapshotError::kBadValue);
+  return r.error();
+}
+
 std::vector<Aligner::PairRecord> Accelerator::all_records() const {
   std::vector<Aligner::PairRecord> all;
   for (const auto& aligner : aligners_) {

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "hw/aligner.hpp"
@@ -21,9 +23,26 @@
 #include "sim/fault_injector.hpp"
 #include "sim/fifo.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 #include "sim/trace.hpp"
 
 namespace wfasic::hw {
+
+/// What Accelerator::restore does with the fault-injector runtime state a
+/// snapshot blob may carry (the schedule itself is wiring, never
+/// serialized).
+enum class InjectorRestorePolicy : std::uint8_t {
+  /// The blob's injector runtime must apply: an injector with the
+  /// identical fault schedule must be attached (kConfigMismatch
+  /// otherwise). Same-device resume and bit-identity replay use this —
+  /// the remaining campaign faults re-fire exactly as they would have.
+  kStrict,
+  /// Ignore the blob's injector runtime and keep whatever injector (and
+  /// fired state) is attached here. Cross-device failover uses this: the
+  /// adopted job continues under the target device's own fault
+  /// environment.
+  kKeepAttached,
+};
 
 class Accelerator {
  public:
@@ -60,6 +79,41 @@ class Accelerator {
   /// wires the DMA beat-fault hook and the FIFO stall probes, and makes
   /// step() apply due memory bit flips and advance the injector clock.
   void attach_fault_injector(sim::FaultInjector* injector);
+
+  // --- Checkpoint / restore --------------------------------------------------
+  /// Snapshot blob format identity (sim/snapshot.hpp): bump the version on
+  /// any layout change so stale blobs are rejected, never misdecoded.
+  static constexpr std::uint32_t kSnapshotMagic = 0x4e534657;  // "WFSN"
+  static constexpr std::uint32_t kSnapshotVersion = 1;
+  /// Salt for the blob-trailer CRC. Fixed at compile time: the reader must
+  /// know it before a single payload byte is decoded, so it cannot come
+  /// from any register. Non-zero so an unsalted CRC-32 of the payload does
+  /// not validate by accident.
+  static constexpr std::uint32_t kSnapshotCrcSalt = 0x57465348;  // "WFSH"
+
+  /// Serializes the complete architectural state of the device — scheduler
+  /// clock, register file, run state, PMU baselines, FIFOs, DMA,
+  /// Extractor, Aligners (wavefront RAM contents included), Collector and
+  /// the main-memory working set — into a versioned, CRC-protected blob.
+  /// Only legal at a safe point: between advance calls (every public
+  /// stepping entry point flushes event bookkeeping on exit), which is
+  /// where drv/engine checkpointing calls it. Restoring the blob onto a
+  /// structurally identical device resumes bit-identically under every
+  /// stepping strategy (docs/RELIABILITY.md §7).
+  [[nodiscard]] std::vector<std::uint8_t> snapshot() const;
+
+  /// Applies a snapshot blob. Header, CRC, version and config-signature
+  /// validation all happen before any device state is touched, so a
+  /// rejected blob leaves the device exactly as it was — with one
+  /// exception: a kBadValue/kTruncated failure *during* apply (impossible
+  /// for a blob that passed its CRC unless it was produced by a different
+  /// build) leaves the device indeterminate, and the caller must
+  /// soft-reset or discard it. Faulted campaign state restores under
+  /// kStrict only onto a device whose attached injector carries the same
+  /// fault schedule; a blob saved with no injector restores regardless.
+  [[nodiscard]] std::optional<sim::SnapshotError> restore(
+      std::span<const std::uint8_t> blob,
+      InjectorRestorePolicy policy = InjectorRestorePolicy::kStrict);
 
   // --- Simulation control ---------------------------------------------------
   /// Advances the whole accelerator by one clock cycle.
@@ -144,6 +198,16 @@ class Accelerator {
     }
     [[nodiscard]] std::uint64_t output_occupancy_cycles() const {
       return output_occupancy_cycles_;
+    }
+
+    /// Snapshot contract (sim/snapshot.hpp).
+    void save_state(sim::SnapshotWriter& w) const {
+      w.u64(input_occupancy_cycles_);
+      w.u64(output_occupancy_cycles_);
+    }
+    void restore_state(sim::SnapshotReader& r) {
+      input_occupancy_cycles_ = r.u64();
+      output_occupancy_cycles_ = r.u64();
     }
 
    private:

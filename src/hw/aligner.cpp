@@ -644,4 +644,263 @@ void Aligner::tick(sim::cycle_t now) {
   }
 }
 
+// --- snapshot (sim/snapshot.hpp) --------------------------------------------
+
+namespace {
+
+void save_packed_seq(sim::SnapshotWriter& w, const PackedSeq& seq) {
+  w.u64(seq.size());
+  for (const std::uint32_t word : seq.words()) w.u32(word);
+}
+
+PackedSeq restore_packed_seq(sim::SnapshotReader& r) {
+  const std::uint64_t length = r.u64();
+  const std::uint64_t words =
+      (length + PackedSeq::kBasesPerWord - 1) / PackedSeq::kBasesPerWord;
+  if (!r.ok() || words > r.remaining() / 4) {
+    (void)r.fail(sim::SnapshotError::kTruncated);
+    return {};
+  }
+  std::vector<std::uint32_t> data;
+  data.reserve(words);
+  for (std::uint64_t i = 0; i < words; ++i) data.push_back(r.u32());
+  return PackedSeq::from_words(std::move(data), length);
+}
+
+void save_txn(sim::SnapshotWriter& w, const BtTransaction& txn) {
+  w.bytes(std::span<const std::uint8_t>(txn.data.data(), txn.data.size()));
+  w.u32(txn.counter);
+  w.u32(txn.id);
+  w.boolean(txn.last);
+}
+
+BtTransaction restore_txn(sim::SnapshotReader& r) {
+  BtTransaction txn;
+  r.bytes(std::span<std::uint8_t>(txn.data.data(), txn.data.size()));
+  txn.counter = r.u32();
+  txn.id = r.u32();
+  txn.last = r.boolean();
+  return txn;
+}
+
+void save_pair_record(sim::SnapshotWriter& w,
+                      const Aligner::PairRecord& rec) {
+  w.u32(rec.id);
+  w.boolean(rec.success);
+  w.i64(rec.score);
+  w.u64(rec.align_cycles);
+}
+
+Aligner::PairRecord restore_pair_record(sim::SnapshotReader& r) {
+  Aligner::PairRecord rec;
+  rec.id = r.u32();
+  rec.success = r.boolean();
+  rec.score = static_cast<score_t>(r.i64());
+  rec.align_cycles = r.u64();
+  return rec;
+}
+
+}  // namespace
+
+void Aligner::save_state(sim::SnapshotWriter& w) const {
+  w.boolean(bt_enabled_);
+  w.u8(static_cast<std::uint8_t>(state_));
+  w.u32(job_.id);
+  w.boolean(job_.unsupported);
+  w.boolean(job_.crc_error);
+  save_packed_seq(w, job_.a);
+  save_packed_seq(w, job_.b);
+  w.i64(n_);
+  w.i64(m_len_);
+  w.i64(k_align_);
+  w.boolean(geom_.has_value());
+  w.i64(s_);
+  w.u32(txn_counter_);
+  w.u64(start_cycle_);
+  w.boolean(done_);
+  save_pair_record(w, pending_record_);
+
+  // Wavefront ring: live slots (score >= 0) carry bounds and full M/I/D
+  // rows; dead slots carry only the sentinel — their buffer allocation
+  // state is unobservable (make_wavefront resets before any reuse).
+  for (const Slot& slot : ring_) {
+    w.i64(slot.score);
+    if (slot.score < 0) continue;
+    const core::Wavefront& wf = *slot.wf;
+    w.i64(wf.lo());
+    w.i64(wf.hi());
+    const std::size_t width = wf.width();
+    const offset_t* const rows[3] = {wf.row_m(), wf.row_i(), wf.row_d()};
+    for (const offset_t* row : rows) {
+      for (std::size_t j = 0; j < width; ++j) {
+        w.u32(static_cast<std::uint32_t>(row[j]));
+      }
+    }
+  }
+  std::uint64_t current = ~std::uint64_t{0};
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (ring_[i].wf.get() == current_ && current_ != nullptr) current = i;
+  }
+  w.u64(current);
+
+  w.u64(batches_.size());
+  for (const Batch& batch : batches_) {
+    w.u32(batch.cycles);
+    w.u64(batch.txns.size());
+    for (const BtTransaction& txn : batch.txns) save_txn(w, txn);
+  }
+  w.u32(countdown_);
+  w.u32(init_countdown_);
+  w.u64(bt_queue_.size());
+  for (const BtTransaction& txn : bt_queue_) save_txn(w, txn);
+  w.u64(nbt_queue_.size());
+  for (const NbtResult& res : nbt_queue_) {
+    w.boolean(res.success);
+    w.u32(res.score);
+    w.u32(res.id);
+  }
+  w.u64(records_.size());
+  for (const PairRecord& rec : records_) save_pair_record(w, rec);
+  w.u64(output_stall_cycles_);
+  w.u64(busy_cycles_);
+  w.u64(wavefront_steps_);
+  w.u64(extend_invocations_);
+  w.u64(extend_matched_bases_);
+  w.u64(phase_cycles_.extend);
+  w.u64(phase_cycles_.compute);
+  w.u64(phase_cycles_.overhead);
+  w.u32(error_flags_);
+  w.u64(ecc_corrected_);
+  w.boolean(ecc_poisoned_);
+}
+
+void Aligner::restore_state(sim::SnapshotReader& r) {
+  bt_enabled_ = r.boolean();
+  const std::uint8_t state = r.u8();
+  if (state > static_cast<std::uint8_t>(State::kRun)) {
+    (void)r.fail(sim::SnapshotError::kBadValue);
+    return;
+  }
+  state_ = static_cast<State>(state);
+  job_.id = r.u32();
+  job_.unsupported = r.boolean();
+  job_.crc_error = r.boolean();
+  job_.a = restore_packed_seq(r);
+  job_.b = restore_packed_seq(r);
+  n_ = static_cast<offset_t>(r.i64());
+  m_len_ = static_cast<offset_t>(r.i64());
+  k_align_ = static_cast<diag_t>(r.i64());
+  const bool has_geom = r.boolean();
+  s_ = static_cast<score_t>(r.i64());
+  txn_counter_ = r.u32();
+  start_cycle_ = r.u64();
+  done_ = r.boolean();
+  pending_record_ = restore_pair_record(r);
+  if (!r.ok()) return;
+  // The geometry is a pure function of (n, m, penalties, k_max) —
+  // recomputed, not serialized.
+  if (has_geom) {
+    geom_.emplace(n_, m_len_, cfg_.pen, cfg_.k_max);
+  } else {
+    geom_.reset();
+  }
+
+  for (Slot& slot : ring_) {
+    slot.score = static_cast<score_t>(r.i64());
+    if (slot.score < 0 || !r.ok()) continue;
+    const auto lo = static_cast<diag_t>(r.i64());
+    const auto hi = static_cast<diag_t>(r.i64());
+    if (lo > hi || hi - lo >= static_cast<diag_t>(r.remaining() / 12)) {
+      (void)r.fail(sim::SnapshotError::kTruncated);
+      return;
+    }
+    if (slot.wf == nullptr) {
+      slot.wf = std::make_unique<core::Wavefront>(lo, hi);
+    } else {
+      slot.wf->reset_unfilled(lo, hi);
+    }
+    const std::size_t width = slot.wf->width();
+    offset_t* const rows[3] = {slot.wf->row_m(), slot.wf->row_i(),
+                               slot.wf->row_d()};
+    for (offset_t* row : rows) {
+      for (std::size_t j = 0; j < width; ++j) {
+        row[j] = static_cast<offset_t>(r.u32());
+      }
+    }
+  }
+  const std::uint64_t current = r.u64();
+  if (current == ~std::uint64_t{0}) {
+    current_ = nullptr;
+  } else if (current < ring_.size() && ring_[current].wf != nullptr) {
+    current_ = ring_[current].wf.get();
+  } else {
+    (void)r.fail(sim::SnapshotError::kBadValue);
+    return;
+  }
+
+  const std::uint64_t batch_count = r.u64();
+  if (!r.ok() || batch_count > r.remaining() / 12) {
+    (void)r.fail(sim::SnapshotError::kTruncated);
+    return;
+  }
+  batches_.clear();
+  for (std::uint64_t i = 0; i < batch_count && r.ok(); ++i) {
+    Batch batch;
+    batch.cycles = r.u32();
+    const std::uint64_t txn_count = r.u64();
+    if (!r.ok() || txn_count > r.remaining() / 19) {
+      (void)r.fail(sim::SnapshotError::kTruncated);
+      return;
+    }
+    for (std::uint64_t t = 0; t < txn_count; ++t) {
+      batch.txns.push_back(restore_txn(r));
+    }
+    batches_.push_back(std::move(batch));
+  }
+  countdown_ = r.u32();
+  init_countdown_ = r.u32();
+  const std::uint64_t bt_count = r.u64();
+  if (!r.ok() || bt_count > r.remaining() / 19) {
+    (void)r.fail(sim::SnapshotError::kTruncated);
+    return;
+  }
+  bt_queue_.clear();
+  for (std::uint64_t i = 0; i < bt_count; ++i) {
+    bt_queue_.push_back(restore_txn(r));
+  }
+  const std::uint64_t nbt_count = r.u64();
+  if (!r.ok() || nbt_count > r.remaining() / 9) {
+    (void)r.fail(sim::SnapshotError::kTruncated);
+    return;
+  }
+  nbt_queue_.clear();
+  for (std::uint64_t i = 0; i < nbt_count; ++i) {
+    NbtResult res;
+    res.success = r.boolean();
+    res.score = r.u32();
+    res.id = r.u32();
+    nbt_queue_.push_back(res);
+  }
+  const std::uint64_t record_count = r.u64();
+  if (!r.ok() || record_count > r.remaining() / 21) {
+    (void)r.fail(sim::SnapshotError::kTruncated);
+    return;
+  }
+  records_.clear();
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    records_.push_back(restore_pair_record(r));
+  }
+  output_stall_cycles_ = r.u64();
+  busy_cycles_ = r.u64();
+  wavefront_steps_ = r.u64();
+  extend_invocations_ = r.u64();
+  extend_matched_bases_ = r.u64();
+  phase_cycles_.extend = r.u64();
+  phase_cycles_.compute = r.u64();
+  phase_cycles_.overhead = r.u64();
+  error_flags_ = r.u32();
+  ecc_corrected_ = r.u64();
+  ecc_poisoned_ = r.boolean();
+}
+
 }  // namespace wfasic::hw

@@ -25,6 +25,7 @@
 #include "hw/result_format.hpp"
 #include "hw/wavefront_geometry.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 
 namespace wfasic::hw {
 
@@ -150,6 +151,11 @@ class Aligner final : public sim::Component {
   // visible at every batch boundary.
   [[nodiscard]] sim::cycle_t macro_step(sim::cycle_t now,
                                         sim::cycle_t budget) override;
+
+  /// Snapshot contract (sim/snapshot.hpp): the complete job, wavefront
+  /// ring, batch schedule, queue and statistics state.
+  void save_state(sim::SnapshotWriter& w) const;
+  void restore_state(sim::SnapshotReader& r);
 
  private:
   enum class State { kIdle, kLoading, kInit, kRun };

@@ -24,6 +24,7 @@
 #include "mem/axi.hpp"
 #include "sim/fifo.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 
 namespace wfasic::hw {
 
@@ -85,6 +86,65 @@ class Collector final : public sim::Component {
       tick_bt(now);
     } else {
       tick_nbt(now);
+    }
+  }
+
+  /// Snapshot contract (sim/snapshot.hpp).
+  void save_state(sim::SnapshotWriter& w) const {
+    w.boolean(bt_mode_);
+    w.u64(expected_pairs_);
+    w.u64(results_seen_);
+    w.u64(rr_);
+    w.bytes(std::span<const std::uint8_t>(nbt_buffer_.data.data(),
+                                          mem::kBeatBytes));
+    w.u64(nbt_fill_);
+    w.boolean(flushed_);
+    w.u64(beats_);
+    w.boolean(crc_);
+    w.u32(crc_salt_);
+    w.u64(nbt_slots_);
+    w.u64(bt_crc_.size());
+    for (const Crc32& crc : bt_crc_) w.u32(crc.raw());
+    w.u64(footers_.size());
+    for (const mem::Beat& beat : footers_) {
+      w.bytes(std::span<const std::uint8_t>(beat.data.data(),
+                                            mem::kBeatBytes));
+    }
+  }
+
+  void restore_state(sim::SnapshotReader& r) {
+    bt_mode_ = r.boolean();
+    expected_pairs_ = r.u64();
+    results_seen_ = r.u64();
+    rr_ = r.u64();
+    r.bytes(std::span<std::uint8_t>(nbt_buffer_.data.data(),
+                                    mem::kBeatBytes));
+    nbt_fill_ = r.u64();
+    flushed_ = r.boolean();
+    beats_ = r.u64();
+    crc_ = r.boolean();
+    crc_salt_ = r.u32();
+    nbt_slots_ = r.u64();
+    const std::uint64_t crc_count = r.u64();
+    if (!r.ok()) return;
+    if (crc_count != aligners_.size()) {
+      (void)r.fail(sim::SnapshotError::kConfigMismatch);
+      return;
+    }
+    bt_crc_.clear();
+    for (std::uint64_t i = 0; i < crc_count; ++i) {
+      bt_crc_.push_back(Crc32::from_raw(r.u32()));
+    }
+    const std::uint64_t footer_count = r.u64();
+    if (!r.ok() || footer_count > r.remaining() / mem::kBeatBytes) {
+      (void)r.fail(sim::SnapshotError::kTruncated);
+      return;
+    }
+    footers_.clear();
+    for (std::uint64_t i = 0; i < footer_count; ++i) {
+      mem::Beat beat;
+      r.bytes(std::span<std::uint8_t>(beat.data.data(), mem::kBeatBytes));
+      footers_.push_back(beat);
     }
   }
 

@@ -13,6 +13,7 @@
 #include "mem/axi.hpp"
 #include "sim/fifo.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 
 namespace wfasic::hw {
 
@@ -75,6 +76,103 @@ class Extractor final : public sim::Component {
   }
 
   void tick(sim::cycle_t now) override;
+
+  /// Snapshot contract (sim/snapshot.hpp). The dispatch target survives as
+  /// an index into the shared aligner array, which both source and target
+  /// devices build in the same order.
+  void save_state(sim::SnapshotWriter& w) const {
+    w.u32(max_read_len_);
+    w.u64(pairs_left_);
+    w.u64(pairs_done_);
+    w.boolean(in_pair_);
+    std::uint64_t target = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < aligners_.size(); ++i) {
+      if (aligners_[i] == target_) target = i;
+    }
+    w.u64(target);
+    w.u64(section_);
+    w.u64(sections_total_);
+    w.u32(id_);
+    w.u32(len_a_);
+    w.u32(len_b_);
+    w.boolean(invalid_base_);
+    w.boolean(crc_);
+    w.u32(crc_salt_);
+    w.u32(crc_acc_.raw());
+    w.boolean(crc_error_);
+    w.u64(words_a_.size());
+    for (const std::uint32_t word : words_a_) w.u32(word);
+    w.u64(words_b_.size());
+    for (const std::uint32_t word : words_b_) w.u32(word);
+    w.u64(first_beat_cycle_);
+    w.u64(wait_cycles_);
+    w.u64(pairs_accepted_);
+    w.u64(pairs_rejected_);
+    w.u64(total_wait_cycles_);
+    w.u64(records_.size());
+    for (const PairReadRecord& rec : records_) {
+      w.u32(rec.id);
+      w.u64(rec.reading_cycles);
+      w.u64(rec.beats);
+      w.u64(rec.wait_for_aligner_cycles);
+    }
+  }
+
+  void restore_state(sim::SnapshotReader& r) {
+    max_read_len_ = r.u32();
+    pairs_left_ = r.u64();
+    pairs_done_ = r.u64();
+    in_pair_ = r.boolean();
+    const std::uint64_t target = r.u64();
+    if (target == ~std::uint64_t{0}) {
+      target_ = nullptr;
+    } else if (target < aligners_.size()) {
+      target_ = aligners_[target];
+    } else {
+      (void)r.fail(sim::SnapshotError::kBadValue);
+      return;
+    }
+    section_ = r.u64();
+    sections_total_ = r.u64();
+    id_ = r.u32();
+    len_a_ = r.u32();
+    len_b_ = r.u32();
+    invalid_base_ = r.boolean();
+    crc_ = r.boolean();
+    crc_salt_ = r.u32();
+    crc_acc_ = Crc32::from_raw(r.u32());
+    crc_error_ = r.boolean();
+    const auto read_words = [&r](std::vector<std::uint32_t>& words) {
+      const std::uint64_t count = r.u64();
+      if (!r.ok() || count > r.remaining() / 4) {
+        (void)r.fail(sim::SnapshotError::kTruncated);
+        return;
+      }
+      words.clear();
+      for (std::uint64_t i = 0; i < count; ++i) words.push_back(r.u32());
+    };
+    read_words(words_a_);
+    read_words(words_b_);
+    first_beat_cycle_ = r.u64();
+    wait_cycles_ = r.u64();
+    pairs_accepted_ = r.u64();
+    pairs_rejected_ = r.u64();
+    total_wait_cycles_ = r.u64();
+    const std::uint64_t record_count = r.u64();
+    if (!r.ok() || record_count > r.remaining() / 28) {
+      (void)r.fail(sim::SnapshotError::kTruncated);
+      return;
+    }
+    records_.clear();
+    for (std::uint64_t i = 0; i < record_count; ++i) {
+      PairReadRecord rec;
+      rec.id = r.u32();
+      rec.reading_cycles = r.u64();
+      rec.beats = r.u64();
+      rec.wait_for_aligner_cycles = r.u64();
+      records_.push_back(rec);
+    }
+  }
 
   // Quiescence contract (see sim::Component): the Extractor has no
   // self-scheduled events — it is driven entirely by Input-FIFO pushes

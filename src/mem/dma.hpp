@@ -16,6 +16,7 @@
 #include "sim/fault_injector.hpp"
 #include "sim/fifo.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/snapshot.hpp"
 
 namespace wfasic::mem {
 
@@ -80,6 +81,45 @@ class Dma final : public sim::Component {
   }
   [[nodiscard]] std::uint64_t read_stalls_port_busy() const {
     return read_stalls_port_busy_;
+  }
+
+  /// Snapshot contract (sim/snapshot.hpp). The injector pointer is wiring
+  /// (re-attached by the Accelerator); everything else round-trips.
+  void save_state(sim::SnapshotWriter& w) const {
+    w.u64(read_ptr_);
+    w.u64(read_beats_left_);
+    w.u32(burst_beats_done_);
+    w.u32(latency_left_);
+    w.u64(write_ptr_);
+    w.boolean(bus_error_);
+    w.boolean(ecc_fault_);
+    w.boolean(duplicate_pending_);
+    w.bytes(std::span<const std::uint8_t>(duplicate_beat_.data.data(),
+                                          kBeatBytes));
+    w.boolean(read_stream_started_);
+    w.u64(read_stream_start_);
+    w.u64(beats_read_);
+    w.u64(beats_written_);
+    w.u64(read_stalls_fifo_full_);
+    w.u64(read_stalls_port_busy_);
+  }
+
+  void restore_state(sim::SnapshotReader& r) {
+    read_ptr_ = r.u64();
+    read_beats_left_ = r.u64();
+    burst_beats_done_ = r.u32();
+    latency_left_ = r.u32();
+    write_ptr_ = r.u64();
+    bus_error_ = r.boolean();
+    ecc_fault_ = r.boolean();
+    duplicate_pending_ = r.boolean();
+    r.bytes(std::span<std::uint8_t>(duplicate_beat_.data.data(), kBeatBytes));
+    read_stream_started_ = r.boolean();
+    read_stream_start_ = r.u64();
+    beats_read_ = r.u64();
+    beats_written_ = r.u64();
+    read_stalls_fifo_full_ = r.u64();
+    read_stalls_port_busy_ = r.u64();
   }
 
   // Quiescence contract (see sim::Component): the DMA is quiet while it

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/crc32.hpp"
 #include "common/prng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -221,6 +222,66 @@ class FaultInjector {
     std::size_t fired = 0;
     for (const FaultEvent& ev : events_) fired += ev.fired ? 1 : 0;
     return fired;
+  }
+
+  // --- snapshot hooks (sim/snapshot.hpp) -----------------------------------
+
+  /// True when `other` carries the same fault schedule, ignoring runtime
+  /// fired state. A snapshot records which events had fired, not the
+  /// schedule itself; restore is only legal onto an injector built from the
+  /// same (seed, config) — this is the check for that precondition.
+  [[nodiscard]] bool same_schedule(const FaultInjector& other) const {
+    if (events_.size() != other.events_.size()) return false;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      FaultEvent a = events_[i];
+      FaultEvent b = other.events_[i];
+      a.fired = b.fired = false;  // the defaulted operator== compares fired
+      if (!(a == b)) return false;
+    }
+    return true;
+  }
+
+  /// CRC-32 over the canonical encoding of the schedule (fired state
+  /// excluded). Snapshot blobs carry it so a kStrict restore can verify
+  /// the attached injector's schedule is truly identical — size alone
+  /// would let a different same-length campaign slip through and diverge
+  /// silently.
+  [[nodiscard]] std::uint32_t schedule_digest() const {
+    std::vector<std::uint8_t> buf;
+    const auto put64 = [&buf](std::uint64_t v) {
+      for (unsigned i = 0; i < 8; ++i) {
+        buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
+    };
+    for (const FaultEvent& ev : events_) {
+      buf.push_back(static_cast<std::uint8_t>(ev.cls));
+      put64(ev.at);
+      put64(ev.addr);
+      put64(ev.beat);
+      put64(ev.bit);
+      put64(ev.bits);
+      put64(ev.duration);
+      buf.push_back(static_cast<std::uint8_t>(ev.fifo));
+    }
+    return crc32(buf, /*salt=*/0x46534348u);  // "FSCH"
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> fired_flags() const {
+    std::vector<std::uint8_t> flags;
+    flags.reserve(events_.size());
+    for (const FaultEvent& ev : events_) flags.push_back(ev.fired ? 1 : 0);
+    return flags;
+  }
+
+  /// Rewinds runtime state to a saved point: the clock and the per-event
+  /// fired latches (events the snapshot predates become pending again).
+  void restore_runtime(cycle_t now, const std::vector<std::uint8_t>& fired) {
+    WFASIC_REQUIRE(fired.size() == events_.size(),
+                   "FaultInjector::restore_runtime: schedule size mismatch");
+    now_ = now;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      events_[i].fired = fired[i] != 0;
+    }
   }
 
   // --- hooks ---------------------------------------------------------------

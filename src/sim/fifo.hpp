@@ -77,6 +77,20 @@ class ShowAheadFifo {
   /// preserved; occupancy goes to zero.
   void clear() { data_.clear(); }
 
+  /// Snapshot access (sim/snapshot.hpp): the buffered words in order, and
+  /// the matching wholesale restore. The stall probe is wiring, not state —
+  /// it is re-attached by whoever owns the FIFO.
+  [[nodiscard]] const std::deque<T>& contents() const { return data_; }
+  void restore_contents(std::deque<T> data, std::uint64_t pushes,
+                        std::uint64_t pops, std::size_t high_water) {
+    WFASIC_REQUIRE(data.size() <= capacity_,
+                   "ShowAheadFifo::restore_contents overflows capacity");
+    data_ = std::move(data);
+    total_pushes_ = pushes;
+    total_pops_ = pops;
+    high_water_ = high_water;
+  }
+
  private:
   std::size_t capacity_;
   std::deque<T> data_;

@@ -315,6 +315,27 @@ class Scheduler {
 
   [[nodiscard]] bool events_armed() const { return events_armed_; }
 
+  /// Snapshot restore (sim/snapshot.hpp): rewinds the clock and dispatch
+  /// accounting to a saved safe point. Only legal between event runs — at a
+  /// safe point all event bookkeeping is derivable from now_ (arm_events
+  /// rebuilds due_/synced_/heap_ from scratch), so the clock and stats are
+  /// the Scheduler's entire architectural state. The per-component arrays
+  /// are reset to the same just-armed baseline for hygiene.
+  void restore_clock(cycle_t now, const DispatchStats& stats) {
+    WFASIC_REQUIRE(!events_armed_,
+                   "Scheduler::restore_clock: events must be flushed first");
+    now_ = now;
+    stats_ = stats;
+    heap_.clear();
+    immediate_due_ = false;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      due_[i] = now_;
+      synced_[i] = now_;
+      last_ticked_[i] = kNever;
+      must_tick_[i] = 0;
+    }
+  }
+
   /// The earliest pending activation (kNever when every component sleeps
   /// unwoken). Components due this very cycle are tracked with a flag
   /// instead of heap entries (see set_due), so a steady-state pipeline —

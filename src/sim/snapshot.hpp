@@ -1,0 +1,204 @@
+// Versioned, CRC-protected snapshot blob format (docs/RELIABILITY.md §7).
+//
+// A snapshot serializes the complete architectural state of a simulated
+// device at a safe point so it can be restored — onto the same device or a
+// structurally identical one — and resumed bit-identically. The format is
+// deliberately dumb: a fixed header (magic + version), a flat little-endian
+// payload written by each component's save_state(), and a salted CRC-32
+// trailer over everything before it.
+//
+// Hardening contract (the satellite requirement): restore must fail loudly,
+// never resume silently wrong state. SnapshotReader::open() validates the
+// header, length, and CRC *before* the caller reads a single payload byte,
+// so corruption, truncation, and version skew are all rejected with a typed
+// SnapshotError while the target device is still untouched. Payload reads
+// after a successful open are sticky-error: the first out-of-bounds read
+// latches kTruncated and every subsequent read returns zero, so decode code
+// needs no per-field checks — it checks error() once at the end.
+//
+// Errors are returned values, never exceptions: the repo's assert layer
+// (common/assert.hpp) is abort-based and restore failures are expected
+// operational events (a stale blob after a config change, a corrupted
+// checkpoint file), not programming bugs.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/crc32.hpp"
+
+namespace wfasic::sim {
+
+/// Why a snapshot restore was rejected. Every value means "the target
+/// device was not resumed from this blob"; only kBadValue can leave a
+/// partially-applied target (see SnapshotReader file comment) — callers
+/// must soft-reset or discard the device on that path.
+enum class SnapshotError : std::uint8_t {
+  kTruncated,       ///< blob shorter than its encoded content
+  kBadMagic,        ///< not a snapshot of this container type
+  kBadVersion,      ///< produced by an incompatible format revision
+  kCrcMismatch,     ///< payload corrupted in flight or at rest
+  kBadValue,        ///< a decoded field is semantically impossible
+  kConfigMismatch,  ///< source and target devices differ structurally
+};
+
+[[nodiscard]] inline const char* snapshot_error_name(SnapshotError err) {
+  switch (err) {
+    case SnapshotError::kTruncated: return "truncated";
+    case SnapshotError::kBadMagic: return "bad-magic";
+    case SnapshotError::kBadVersion: return "bad-version";
+    case SnapshotError::kCrcMismatch: return "crc-mismatch";
+    case SnapshotError::kBadValue: return "bad-value";
+    case SnapshotError::kConfigMismatch: return "config-mismatch";
+  }
+  return "?";
+}
+
+/// Section tags: one u32 sentinel written before each component's state so
+/// a reader that drifts out of sync with the writer fails on the next
+/// section boundary instead of silently decoding garbage into valid-looking
+/// fields.
+class SnapshotWriter {
+ public:
+  SnapshotWriter(std::uint32_t magic, std::uint32_t version) {
+    u32(magic);
+    u32(version);
+  }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void u32(std::uint32_t v) {
+    for (unsigned i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (unsigned i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void section(std::uint32_t tag) { u32(tag); }
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+  /// Appends the salted CRC-32 trailer (over header + payload) and yields
+  /// the finished blob. The writer is spent afterwards.
+  [[nodiscard]] std::vector<std::uint8_t> finish(std::uint32_t crc_salt) {
+    const std::uint32_t crc =
+        crc32(std::span<const std::uint8_t>(buf_), crc_salt);
+    u32(crc);
+    return std::move(buf_);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::span<const std::uint8_t> blob) : blob_(blob) {}
+
+  /// Header + integrity gate. Must be called (and succeed) before any
+  /// payload read. Validation order matters for the typed errors: length
+  /// first (magic/CRC fields must exist), then magic (is this even ours?),
+  /// then CRC (trusted bytes from here on), then version (a meaningful
+  /// version comparison needs an intact blob).
+  [[nodiscard]] std::optional<SnapshotError> open(std::uint32_t magic,
+                                                  std::uint32_t version,
+                                                  std::uint32_t crc_salt) {
+    if (blob_.size() < kHeaderBytes + kTrailerBytes) {
+      return fail(SnapshotError::kTruncated);
+    }
+    const std::span<const std::uint8_t> body =
+        blob_.first(blob_.size() - kTrailerBytes);
+    std::uint32_t stored = 0;
+    std::memcpy(&stored, blob_.data() + body.size(), 4);
+    if (peek_u32(0) != magic) return fail(SnapshotError::kBadMagic);
+    if (crc32(body, crc_salt) != stored) {
+      return fail(SnapshotError::kCrcMismatch);
+    }
+    if (peek_u32(4) != version) return fail(SnapshotError::kBadVersion);
+    pos_ = kHeaderBytes;
+    end_ = body.size();
+    opened_ = true;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::uint8_t u8() {
+    std::uint8_t v = 0;
+    take(&v, 1);
+    return v;
+  }
+  [[nodiscard]] bool boolean() { return u8() != 0; }
+  [[nodiscard]] std::uint32_t u32() {
+    std::uint32_t v = 0;
+    take(&v, 4);
+    return v;
+  }
+  [[nodiscard]] std::uint64_t u64() {
+    std::uint64_t v = 0;
+    take(&v, 8);
+    return v;
+  }
+  [[nodiscard]] std::int64_t i64() {
+    return static_cast<std::int64_t>(u64());
+  }
+  void bytes(std::span<std::uint8_t> out) { take(out.data(), out.size()); }
+
+  /// Consumes a section tag; a mismatch latches kBadValue (the reader has
+  /// drifted — nothing after this point can be trusted to decode).
+  [[nodiscard]] bool section(std::uint32_t tag) {
+    if (u32() != tag) {
+      (void)fail(SnapshotError::kBadValue);
+      return false;
+    }
+    return ok();
+  }
+
+  /// Latches a semantic decode failure from component restore code.
+  std::optional<SnapshotError> fail(SnapshotError err) {
+    if (!error_) error_ = err;
+    return error_;
+  }
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  [[nodiscard]] std::optional<SnapshotError> error() const { return error_; }
+  [[nodiscard]] bool at_end() const { return pos_ == end_; }
+  [[nodiscard]] std::size_t remaining() const { return end_ - pos_; }
+
+ private:
+  static constexpr std::size_t kHeaderBytes = 8;   ///< magic + version
+  static constexpr std::size_t kTrailerBytes = 4;  ///< CRC-32
+
+  [[nodiscard]] std::uint32_t peek_u32(std::size_t at) const {
+    std::uint32_t v = 0;
+    std::memcpy(&v, blob_.data() + at, 4);
+    return v;
+  }
+
+  void take(void* out, std::size_t n) {
+    if (error_ || !opened_ || end_ - pos_ < n) {
+      (void)fail(opened_ ? SnapshotError::kTruncated
+                         : SnapshotError::kBadValue);
+      std::memset(out, 0, n);
+      return;
+    }
+    std::memcpy(out, blob_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> blob_;
+  std::size_t pos_ = 0;
+  std::size_t end_ = 0;
+  bool opened_ = false;
+  std::optional<SnapshotError> error_;
+};
+
+}  // namespace wfasic::sim

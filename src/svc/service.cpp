@@ -105,15 +105,22 @@ bool AlignService::busy() const {
 }
 
 std::size_t AlignService::inflight_shards() const {
+  // Parked (preempted) shards hold no device and make no progress, so
+  // they do not occupy an in-flight slot — that is exactly what lets the
+  // urgent shard dispatch in their place.
   std::size_t n = 0;
-  for (const Shard& shard : shards_) n += shard.resolved ? 0 : 1;
+  for (const Shard& shard : shards_) {
+    n += shard.resolved || shard.preempted ? 0 : 1;
+  }
   return n;
 }
 
 bool AlignService::pump() {
   shed_expired_queued();
   cancel_expired_inflight();
+  preempt_for_urgent();
   dispatch();
+  resume_preempted();
   check_hedges();
   engine_.poll();
   // The poll simulated one quantum of device time: advance the clock
@@ -209,6 +216,82 @@ void AlignService::cancel_expired_inflight() {
                        return true;
                      }),
       shards_.end());
+}
+
+bool AlignService::urgent_pressure() const {
+  const auto urgent = [&](const QueuedRequest& rq) {
+    return rq.deadline != 0 && rq.deadline > now_ &&
+           rq.deadline - now_ <= cfg_.preempt.urgent_span;
+  };
+  for (const auto& queue : queues_) {
+    for (const QueuedRequest& rq : queue) {
+      if (urgent(rq)) return true;
+    }
+  }
+  for (const Shard& shard : shards_) {
+    if (shard.resolved || shard.preempted) continue;
+    for (const QueuedRequest& rq : shard.reqs) {
+      if (urgent(rq)) return true;
+    }
+  }
+  return false;
+}
+
+void AlignService::preempt_for_urgent() {
+  if (!cfg_.preempt.enabled || !urgent_pressure()) return;
+  // A free usable device means the urgent work can dispatch (or launch)
+  // without evicting anybody.
+  for (unsigned d = 0; d < engine_.num_devices(); ++d) {
+    if (engine_.health().usable(d) && engine_.device(d).pending() == 0) {
+      return;
+    }
+  }
+  const auto urgent = [&](const QueuedRequest& rq) {
+    return rq.deadline != 0 && rq.deadline > now_ &&
+           rq.deadline - now_ <= cfg_.preempt.urgent_span;
+  };
+  // Oldest eligible victim first: a lone hardware attempt, on the device
+  // long enough to be worth checkpointing, carrying no urgent deadline of
+  // its own. Engine::preempt only succeeds for a device's *active* run,
+  // so queued attempts fall through harmlessly.
+  for (Shard& shard : shards_) {
+    if (shard.resolved || shard.preempted) continue;
+    if (now_ - shard.dispatch_cycle < cfg_.preempt.min_runtime) continue;
+    if (shard.attempts.size() != 1 || !shard.attempts[0].outstanding ||
+        shard.attempts[0].backend == engine_.num_devices()) {
+      continue;
+    }
+    bool shard_urgent = false;
+    for (const QueuedRequest& rq : shard.reqs) {
+      shard_urgent = shard_urgent || urgent(rq);
+    }
+    if (shard_urgent) continue;
+    if (!engine_.preempt(shard.attempts[0].handle)) continue;
+    shard.preempted = true;
+    ++stats_.preemptions;
+    return;  // one eviction per round keeps churn bounded
+  }
+}
+
+void AlignService::resume_preempted() {
+  if (!cfg_.preempt.enabled || urgent_pressure()) return;
+  for (Shard& shard : shards_) {
+    if (!shard.preempted || shard.resolved) continue;
+    if (inflight_shards() >= max_inflight_) return;
+    Attempt& primary = shard.attempts[0];
+    if (!primary.outstanding || !engine_.preempted(primary.handle)) {
+      // The parked copy was cancelled (a hedge won the race) — nothing
+      // left to resume.
+      shard.preempted = false;
+      continue;
+    }
+    if (!engine_.resume(primary.handle)) continue;
+    // resume() re-homed the job on the least-loaded usable device; keep
+    // the attempt's placement attribution honest for future hedges.
+    primary.backend = engine_.handle_device(primary.handle);
+    shard.preempted = false;
+    ++stats_.resumes;
+  }
 }
 
 bool AlignService::fleet_usable() const {

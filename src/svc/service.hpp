@@ -26,7 +26,13 @@
 //   - graceful degradation by policy: with the fleet unusable (or the
 //     hardware backlog past its limit), kDegradeToSoftware routes shards
 //     to the SwBackend while kRejectNew turns away new submissions and
-//     lets the admitted backlog drain.
+//     lets the admitted backlog drain;
+//   - deadline-driven preemption (PreemptConfig): a deadline-critical
+//     request stuck behind a long-running shard checkpoint-evicts that
+//     run off its device (engine::Engine::preempt — lossless park at the
+//     eviction snapshot), takes the device, and the parked run resumes
+//     once the pressure clears. Parked shards stay first-class: deadline
+//     expiry cancels them, and a hedge may still race the parked copy.
 //
 // Time: the service runs a virtual clock in modeled cycles. Each pump()
 // performs one scheduling round (shed, dispatch, hedge-check, one engine
@@ -70,6 +76,10 @@ struct ServiceConfig {
   /// unusable). kRejectNew: ignored.
   std::size_t hw_backlog_limit = 0;
   HedgeConfig hedge;
+  /// Checkpoint-evict long runs when deadline-critical work is waiting
+  /// (types.hpp; requires engine.device.checkpoint-capable hardware —
+  /// always true in simulation).
+  PreemptConfig preempt;
 };
 
 class AlignService {
@@ -136,12 +146,24 @@ class AlignService {
     unsigned attempt_count = 0;
     bool hedged = false;
     bool resolved = false;
+    /// Checkpoint-evicted: the primary attempt is parked in the engine
+    /// (preempt()), makes no progress, and does not occupy an in-flight
+    /// slot. Deadline expiry cancels it; a hedge may still race and win.
+    bool preempted = false;
   };
 
   // One pump() phase each, in call order.
   void shed_expired_queued();
   void cancel_expired_inflight();
+  /// PreemptConfig: with urgent work waiting and no usable device free,
+  /// checkpoint-evicts the oldest eligible non-urgent run (at most one
+  /// per round) so the urgent shard can dispatch onto real hardware.
+  void preempt_for_urgent();
   void dispatch();
+  /// Re-dispatches parked shards once the urgent pressure has cleared and
+  /// an in-flight slot is free; they continue from their eviction
+  /// checkpoint (lossless).
+  void resume_preempted();
   void check_hedges();
   void collect();
 
@@ -159,6 +181,9 @@ class AlignService {
   void launch_attempt(Shard& shard, bool software, unsigned avoid,
                       bool hedge);
   [[nodiscard]] std::uint64_t estimate_cycles(const Shard& shard) const;
+  /// True while any non-parked request (queued or in flight) has a live
+  /// deadline within preempt.urgent_span of the clock.
+  [[nodiscard]] bool urgent_pressure() const;
   [[nodiscard]] bool fleet_usable() const;
   /// Usable device with the shortest queue, excluding `avoid`; returns
   /// engine.num_devices() when none qualifies.

@@ -111,6 +111,23 @@ struct HedgeConfig {
   unsigned max_attempts = 3;
 };
 
+/// Deadline-driven preemption: when a deadline-critical request is stuck
+/// behind a long-running shard and no usable device is free, the service
+/// checkpoint-evicts the long run off its device (engine::Engine::preempt
+/// — the run parks losslessly at its eviction snapshot), lets the urgent
+/// shard take the device, and resumes the parked run once the urgent
+/// pressure clears. At most one eviction per pump round, so churn stays
+/// bounded and deterministic.
+struct PreemptConfig {
+  bool enabled = false;
+  /// A request counts as urgent while its deadline lies within this many
+  /// cycles of the service clock.
+  std::uint64_t urgent_span = 50'000;
+  /// Only shards in flight at least this long are eviction candidates —
+  /// a run about to finish frees its device cheaper than a checkpoint.
+  std::uint64_t min_runtime = 10'000;
+};
+
 /// Per-tenant accounting, attributed at completion time. Deterministic:
 /// derived from modeled cycle samples only.
 struct LaneStats {
@@ -144,6 +161,8 @@ struct ServiceStats {
   std::uint64_t cancels_attempted = 0;
   std::uint64_t cancels_succeeded = 0;
   std::uint64_t sw_shards = 0;  ///< attempts placed on the SwBackend
+  std::uint64_t preemptions = 0;  ///< shards checkpoint-evicted for urgency
+  std::uint64_t resumes = 0;      ///< parked shards re-dispatched
   std::size_t inflight_high_water = 0;  ///< unresolved shards
 };
 

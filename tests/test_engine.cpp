@@ -401,6 +401,152 @@ TEST(Engine, SwBackendMatchesHardwareScores) {
   }
 }
 
+// --- Checkpoint/failover/preemption (docs/RELIABILITY.md §7) ------------
+
+TEST(EngineRecovery, MetricsStayZeroWithCheckpointingOff) {
+  // checkpoint_interval defaults to 0: the recovery layer must cost
+  // nothing and count nothing on the ordinary path.
+  const auto pairs = gen::generate_input_set({180, 0.1, 8, 181});
+  Engine engine{EngineConfig{}};
+  const BatchResult merged = engine.run_dataset(pairs, 4, true, false);
+  ASSERT_EQ(merged.alignments.size(), pairs.size());
+
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.recovery.checkpoints, 0u);
+  EXPECT_EQ(m.recovery.restores, 0u);
+  EXPECT_EQ(m.recovery.migrations, 0u);
+  EXPECT_EQ(m.recovery.preemptions, 0u);
+  EXPECT_EQ(m.recovery.resumes, 0u);
+  EXPECT_EQ(m.recovery.recomputed_cycles, 0u);
+  EXPECT_EQ(m.recovery.dataset_retries, 0u);
+  EXPECT_EQ(m.recovery.sw_degradations, 0u);
+}
+
+TEST(EngineRecovery, FailoverMigratesCheckpointedShardWithBoundedRecompute) {
+  // Long pairs so each shard runs tens of thousands of cycles — dozens of
+  // checkpoint intervals. Device 0 silently drops its first result write
+  // beat; with CRC transport protection the damage surfaces as a
+  // kDataError completion at the end of the shard, and the shard must
+  // resume from its last checkpoint on device 1 — rewriting the output
+  // there — instead of re-running ~100k cycles from scratch.
+  Prng prng(0xfa11);
+  std::vector<gen::SequencePair> pairs;
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::string a = gen::random_sequence(prng, 3000);
+    const std::string b = gen::mutate_sequence(prng, a, 0.10);
+    pairs.push_back({static_cast<std::uint32_t>(i), std::move(a), b});
+  }
+
+  EngineConfig cfg;
+  cfg.num_devices = 2;
+  cfg.device.poll_quantum = 2048;
+  cfg.device.checkpoint_interval = 4096;
+  cfg.device.accel.crc = true;
+  Engine engine(cfg);
+
+  sim::FaultInjector injector;
+  sim::FaultEvent drop;
+  drop.cls = sim::FaultClass::kWriteBeatDrop;
+  drop.beat = 0;  // the first output beat device 0 ever writes
+  injector.schedule(drop);
+  engine.device(0).attach_fault_injector(&injector);
+
+  const BatchResult merged = engine.run_dataset(pairs, 2, false, false);
+  ASSERT_EQ(merged.alignments.size(), pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(merged.alignments[i].score,
+              reference_alignment(pairs[i], kDefaultPenalties, false).score)
+        << i;
+  }
+
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.recovery.migrations, 1u);  // the drop forced one failover
+  EXPECT_EQ(m.recovery.restores, 1u);
+  EXPECT_GT(m.recovery.checkpoints, 0u);
+  EXPECT_EQ(m.recovery.dataset_retries, 0u);  // no scratch re-run needed
+  EXPECT_EQ(m.recovery.sw_degradations, 0u);
+  // The ISSUE bound: recompute is limited to what ran since the last
+  // checkpoint — at most one interval plus the poll quantum slack.
+  EXPECT_GT(m.recovery.recomputed_cycles, 0u);
+  EXPECT_LE(m.recovery.recomputed_cycles,
+            m.recovery.restores *
+                (cfg.device.checkpoint_interval + cfg.device.poll_quantum));
+}
+
+TEST(EngineRecovery, PreemptParkResumeCompletesCorrectly) {
+  // One long job on a K=1 engine is preempted mid-run so a short job can
+  // use the device, then resumed from its eviction checkpoint.
+  Prng prng(0x9ee1);
+  std::string a = gen::random_sequence(prng, 4000);
+  const std::string b = gen::mutate_sequence(prng, a, 0.10);
+  std::vector<gen::SequencePair> long_pairs;
+  long_pairs.push_back({0, std::move(a), b});
+  const auto short_pairs = gen::generate_input_set({150, 0.08, 4, 182});
+
+  Engine engine{EngineConfig{}};
+  BatchJob long_job;
+  long_job.pairs = long_pairs;
+  const JobHandle h_long = engine.submit(std::move(long_job));
+  EXPECT_FALSE(engine.preempt(h_long));  // not launched yet: nothing to evict
+  EXPECT_TRUE(engine.poll());            // launch + first quantum
+  ASSERT_TRUE(engine.preempt(h_long));
+  EXPECT_TRUE(engine.preempted(h_long));
+  EXPECT_FALSE(engine.preempt(h_long));  // already parked
+
+  // The device is free for the urgent job while the long one is parked.
+  BatchJob urgent;
+  urgent.pairs = short_pairs;
+  const Completion urgent_done = engine.wait(engine.submit(std::move(urgent)));
+  EXPECT_EQ(urgent_done.outcome, drv::RunOutcome::kOk);
+  EXPECT_TRUE(engine.preempted(h_long));
+
+  ASSERT_TRUE(engine.resume(h_long));
+  EXPECT_FALSE(engine.preempted(h_long));
+  EXPECT_FALSE(engine.resume(h_long));  // not parked any more
+  const Completion done = engine.wait(h_long);
+  EXPECT_EQ(done.outcome, drv::RunOutcome::kOk);
+  EXPECT_EQ(done.result.alignments[0].score,
+            reference_alignment(long_pairs[0], kDefaultPenalties, false).score);
+  // Preemption is lossless: the eviction checkpoint is taken at the
+  // moment the device stops, so nothing is recomputed.
+  EXPECT_EQ(done.restores, 1u);
+  EXPECT_EQ(done.recomputed_cycles, 0u);
+
+  const EngineMetrics m = engine.metrics();
+  EXPECT_EQ(m.recovery.preemptions, 1u);
+  EXPECT_EQ(m.recovery.resumes, 1u);
+  EXPECT_EQ(m.recovery.restores, 1u);
+  EXPECT_EQ(m.recovery.recomputed_cycles, 0u);
+}
+
+TEST(EngineRecovery, PreemptThenCancelDropsTheParkedJob) {
+  Prng prng(0x9ee2);
+  std::string a = gen::random_sequence(prng, 4000);
+  const std::string b = gen::mutate_sequence(prng, a, 0.10);
+  std::vector<gen::SequencePair> pairs;
+  pairs.push_back({0, std::move(a), b});
+
+  Engine engine{EngineConfig{}};
+  BatchJob job;
+  job.pairs = pairs;
+  const JobHandle h = engine.submit(std::move(job));
+  EXPECT_TRUE(engine.poll());
+  ASSERT_TRUE(engine.preempt(h));
+  EXPECT_EQ(engine.in_flight(), 1u);  // parked still counts as in flight
+
+  EXPECT_TRUE(engine.cancel(h));  // dropping the checkpoint cancels the job
+  EXPECT_EQ(engine.in_flight(), 0u);
+  EXPECT_FALSE(engine.resume(h));
+  EXPECT_FALSE(engine.cancel(h));
+
+  // The device is unharmed: fresh work completes normally.
+  const auto fresh = gen::generate_input_set({150, 0.08, 4, 183});
+  BatchJob next;
+  next.pairs = fresh;
+  const Completion done = engine.wait(engine.submit(std::move(next)));
+  EXPECT_EQ(done.outcome, drv::RunOutcome::kOk);
+}
+
 TEST(PipelinedMakespan, OverlapsPhasesAndRespectsBounds) {
   // Three identical jobs on one device: enc=10, accel=100, dec=20.
   std::vector<PhaseSample> jobs(3, PhaseSample{10, 100, 20, 0});

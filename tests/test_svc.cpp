@@ -81,6 +81,8 @@ void expect_service_stats_eq(const ServiceStats& a, const ServiceStats& b) {
   EXPECT_EQ(a.cancels_attempted, b.cancels_attempted);
   EXPECT_EQ(a.cancels_succeeded, b.cancels_succeeded);
   EXPECT_EQ(a.sw_shards, b.sw_shards);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.resumes, b.resumes);
   EXPECT_EQ(a.inflight_high_water, b.inflight_high_water);
 }
 
@@ -641,6 +643,217 @@ TEST(Svc, DegradeToSoftwareKeepsAdmittingWhenTheFleetDies) {
   }
   EXPECT_GT(svc.stats().lanes[0].sw_resolved, 0u);
   EXPECT_EQ(svc.stats().lanes[0].rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-driven preemption: a deadline-critical tenant checkpoint-evicts
+// a long run, which parks losslessly and resumes (or sheds, or loses a
+// hedge race) later.
+
+/// One long-running pair: several poll quanta of device time on the small
+/// service configuration.
+gen::SequencePair long_pair(std::uint64_t seed) {
+  Prng prng(seed);
+  std::string a = gen::random_sequence(prng, 4000);
+  std::string b = gen::mutate_sequence(prng, a, 0.10);
+  return {0, std::move(a), std::move(b)};
+}
+
+ServiceConfig preempt_config(unsigned devices = 1) {
+  ServiceConfig cfg = small_config(devices);
+  cfg.lanes.resize(2);  // lane 0: batch; lane 1: deadline-critical
+  cfg.hedge.enabled = false;
+  cfg.preempt.enabled = true;
+  cfg.preempt.urgent_span = 60'000;
+  cfg.preempt.min_runtime = 1;
+  return cfg;
+}
+
+TEST(Svc, UrgentTenantPreemptsLongRunWhichResumesLosslessly) {
+  ServiceConfig cfg = preempt_config();
+  AlignService svc(cfg);
+  const gen::SequencePair big = long_pair(52);
+  Prng prng(53);
+  std::string urgent_a = gen::random_sequence(prng, 150);
+  const std::string urgent_b = gen::mutate_sequence(prng, urgent_a, 0.05);
+
+  const SubmitResult slow = svc.submit(0, big.a, big.b);
+  ASSERT_TRUE(slow.accepted());
+  for (int i = 0; i < 3; ++i) svc.pump();  // the long run is now active
+
+  // The urgent request's deadline falls inside urgent_span, the only
+  // device is held by the long run — it must be evicted.
+  const SubmitResult urgent =
+      svc.submit(1, urgent_a, urgent_b, svc.now() + 50'000);
+  ASSERT_TRUE(urgent.accepted());
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), 2u);
+  std::uint64_t urgent_cycle = 0;
+  std::uint64_t slow_cycle = 0;
+  for (const ServiceCompletion& c : done) {
+    EXPECT_EQ(c.outcome, RequestOutcome::kOk);
+    EXPECT_FALSE(c.software);
+    if (c.id == urgent.id) {
+      EXPECT_EQ(c.result.score, reference_score(urgent_a, urgent_b));
+      urgent_cycle = c.complete_cycle;
+    } else {
+      EXPECT_EQ(c.result.score, reference_score(big.a, big.b));
+      slow_cycle = c.complete_cycle;
+    }
+  }
+  // The eviction worked: the urgent request finished ahead of the long
+  // run it arrived behind.
+  EXPECT_LT(urgent_cycle, slow_cycle);
+
+  EXPECT_EQ(svc.stats().preemptions, 1u);
+  EXPECT_EQ(svc.stats().resumes, 1u);
+  const engine::RecoveryMetrics rec = svc.engine().metrics().recovery;
+  EXPECT_EQ(rec.preemptions, 1u);
+  EXPECT_EQ(rec.resumes, 1u);
+  EXPECT_EQ(rec.restores, 1u);
+  // Preemption snapshots at the eviction point: parking loses no work.
+  EXPECT_EQ(rec.recomputed_cycles, 0u);
+}
+
+TEST(Svc, DeadlineExpiryWhileParkedShedsThePreemptedShard) {
+  ServiceConfig cfg = preempt_config();
+  AlignService svc(cfg);
+  const gen::SequencePair big = long_pair(54);
+  Prng prng(55);
+
+  // The long run carries its own (generous) deadline, which expires while
+  // it sits parked behind a stream of deadline-critical requests.
+  const std::uint64_t long_deadline = 300'000;
+  const SubmitResult slow = svc.submit(0, big.a, big.b, long_deadline);
+  ASSERT_TRUE(slow.accepted());
+  for (int i = 0; i < 3; ++i) svc.pump();
+
+  // Sustained urgent pressure until well past the long run's deadline: a
+  // fresh short-deadline request every round keeps resume_preempted out.
+  while (svc.now() <= long_deadline + 100'000) {
+    std::string a = gen::random_sequence(prng, 150);
+    std::string b = gen::mutate_sequence(prng, a, 0.05);
+    svc.submit(1, std::move(a), std::move(b), svc.now() + 50'000);
+    svc.pump();
+  }
+  svc.drain();
+
+  bool saw_slow = false;
+  for (const ServiceCompletion& c : svc.harvest()) {
+    if (c.id != slow.id) continue;
+    saw_slow = true;
+    // Preempt-then-expiry: the parked copy was recalled from the engine
+    // (cancel of a parked job always succeeds) and the request shed —
+    // never resumed, never resolved twice.
+    EXPECT_EQ(c.outcome, RequestOutcome::kShed);
+  }
+  ASSERT_TRUE(saw_slow);
+  EXPECT_GE(svc.stats().preemptions, 1u);
+  EXPECT_EQ(svc.stats().resumes, 0u);
+  EXPECT_GE(svc.stats().cancels_succeeded, 1u);
+  EXPECT_EQ(svc.engine().in_flight(), 0u);
+}
+
+TEST(Svc, HedgeRacesTheParkedCopyAndWins) {
+  ServiceConfig cfg = preempt_config();
+  // Hedging on, tuned to fire while the long run sits parked (well after
+  // the eviction, well before the urgent stream ends).
+  cfg.hedge.enabled = true;
+  cfg.hedge.latency_factor = 0;
+  cfg.hedge.min_cycles = 150'000;
+  AlignService svc(cfg);
+  const gen::SequencePair big = long_pair(56);
+  Prng prng(57);
+
+  const SubmitResult slow = svc.submit(0, big.a, big.b);
+  ASSERT_TRUE(slow.accepted());
+  for (int i = 0; i < 3; ++i) svc.pump();
+
+  bool slow_done = false;
+  ServiceCompletion slow_completion;
+  for (int round = 0; round < 200 && !slow_done; ++round) {
+    std::string a = gen::random_sequence(prng, 150);
+    std::string b = gen::mutate_sequence(prng, a, 0.05);
+    svc.submit(1, std::move(a), std::move(b), svc.now() + 50'000);
+    svc.pump();
+    for (ServiceCompletion& c : svc.harvest()) {
+      if (c.id == slow.id) {
+        slow_done = true;
+        slow_completion = std::move(c);
+      }
+    }
+  }
+  ASSERT_TRUE(slow_done);
+
+  // With K=1 and the device contested, the hedge landed on the software
+  // backend and won the race against the parked copy, which was then
+  // recalled (preempt-then-cancel) — one completion, correct result.
+  EXPECT_EQ(slow_completion.outcome, RequestOutcome::kOk);
+  EXPECT_TRUE(slow_completion.hedged);
+  EXPECT_TRUE(slow_completion.software);
+  EXPECT_EQ(slow_completion.result.score, reference_score(big.a, big.b));
+  EXPECT_GE(svc.stats().preemptions, 1u);
+  EXPECT_EQ(svc.stats().resumes, 0u);
+  EXPECT_GE(svc.stats().hedges_launched, 1u);
+  EXPECT_GE(svc.stats().cancels_succeeded, 1u);
+  svc.drain();
+  EXPECT_EQ(svc.engine().in_flight(), 0u);
+}
+
+TraceResult run_preempt_trace(unsigned devices) {
+  ServiceConfig cfg = preempt_config(devices);
+  AlignService svc(cfg);
+
+  Prng prng(4712);
+  TraceResult out;
+  // Interleave long batch pairs with deadline-critical shorts so the
+  // preemption machinery engages (on small K) while the trace stays a
+  // pure function of the configuration.
+  for (std::size_t i = 0; i < 6; ++i) {
+    const gen::SequencePair big = long_pair(100 + i);
+    svc.submit(0, big.a, big.b);
+    for (int j = 0; j < 4; ++j) {
+      std::string a = gen::random_sequence(prng, 150);
+      std::string b = gen::mutate_sequence(prng, a, 0.05);
+      svc.submit(1, std::move(a), std::move(b), svc.now() + 50'000);
+      svc.pump();
+      svc.pump();
+    }
+  }
+  svc.drain();
+  out.completions = svc.harvest();
+  out.stats = svc.stats();
+  out.final_now = svc.now();
+  return out;
+}
+
+TEST(Svc, PreemptionHeavyReplayIsBitIdenticalForK124) {
+  bool any_preempted = false;
+  for (const unsigned k : {1u, 2u, 4u}) {
+    const TraceResult first = run_preempt_trace(k);
+    const TraceResult replay = run_preempt_trace(k);
+    SCOPED_TRACE("K=" + std::to_string(k));
+    any_preempted = any_preempted || first.stats.preemptions > 0;
+
+    EXPECT_EQ(replay.final_now, first.final_now);
+    ASSERT_EQ(replay.completions.size(), first.completions.size());
+    for (std::size_t i = 0; i < first.completions.size(); ++i) {
+      const ServiceCompletion& x = first.completions[i];
+      const ServiceCompletion& y = replay.completions[i];
+      EXPECT_EQ(x.id, y.id) << i;
+      EXPECT_EQ(x.outcome, y.outcome) << i;
+      EXPECT_EQ(x.result.ok, y.result.ok) << i;
+      EXPECT_EQ(x.result.score, y.result.score) << i;
+      EXPECT_EQ(x.complete_cycle, y.complete_cycle) << i;
+      EXPECT_EQ(x.software, y.software) << i;
+      EXPECT_EQ(x.hedged, y.hedged) << i;
+    }
+    expect_service_stats_eq(first.stats, replay.stats);
+  }
+  // The trace actually exercised the eviction path on at least one K.
+  EXPECT_TRUE(any_preempted);
 }
 
 }  // namespace

@@ -3,7 +3,7 @@
 # simulator — by default many times over with GTEST_RANDOM-independent,
 # fully deterministic schedules, so a red run is always replayable.
 #
-# Four layers; every layer runs even when an earlier one fails, each
+# Six layers; every layer runs even when an earlier one fails, each
 # failure is recorded and reported, and the script exits non-zero if ANY
 # layer failed (a red layer can never be masked by a green later one):
 #   1. the seeded single-fault + campaign regression tests (read path,
@@ -12,10 +12,19 @@
 #   2. the engine health-management tests (quarantine, re-admission,
 #      retirement, software degradation — deterministic across replays);
 #   3. the service-resilience tests (deadline shedding, backpressure,
-#      hedged retries, circuit breaking — the svc layer over the engine);
-#   4. the mixed-class escape campaign: wfasic-fault-campaign runs every
+#      hedged retries, circuit breaking, checkpoint preemption — the svc
+#      layer over the engine);
+#   4. the checkpoint/restore and recovery tests (snapshot bit-identity
+#      across the kernel strategies, blob hardening, engine failover and
+#      preempt/resume — docs/RELIABILITY.md §7);
+#   5. the mixed-class escape campaign: wfasic-fault-campaign runs every
 #      fault class at once against a K-device engine with ECC + CRC on
-#      and exits non-zero on any silent corruption or unresolved pair.
+#      and exits non-zero on any silent corruption or unresolved pair;
+#   6. the checkpoint-failover campaign: wfasic-fault-campaign --failover
+#      kills runs mid-flight via CRC-detected write drops with periodic
+#      checkpointing on; every kill must migrate onto a healthy device,
+#      finish bit-exact and recompute no more than
+#      restores x (checkpoint_interval + poll_quantum) cycles.
 #
 # Usage:
 #   tools/run_fault_campaign.sh [build-dir] [repeats] [seeds]
@@ -48,7 +57,8 @@ fi
 # against stale or missing binaries, so a build failure exits immediately.
 cmake --build "${BUILD_DIR}" -j --target \
   test_fault_injection test_system test_data_integrity test_decode_fuzz \
-  test_health test_svc wfasic-fault-campaign || exit 1
+  test_health test_svc test_checkpoint test_engine \
+  wfasic-fault-campaign || exit 1
 
 FAILED_LAYERS=()
 
@@ -80,13 +90,21 @@ run_layer "health management (quarantine / re-admission determinism)" \
   -R 'HealthMonitor|Health\.' \
   --repeat until-fail:"${REPEATS}"
 
-run_layer "service resilience (shedding / backpressure / hedging)" \
+run_layer "service resilience (shedding / backpressure / hedging / preemption)" \
   ctest --test-dir "${BUILD_DIR}" --output-on-failure \
   -R 'Svc\.|WfqScheduler' \
   --repeat until-fail:"${REPEATS}"
 
+run_layer "checkpoint / restore / recovery determinism" \
+  ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R 'CheckpointEquivalence|SnapshotFuzz|EngineRecovery' \
+  --repeat until-fail:"${REPEATS}"
+
 run_layer "mixed escape campaign (${SEEDS} seeds, K=4, ECC+CRC on)" \
   "${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 4
+
+run_layer "checkpoint-failover campaign (${SEEDS} seeds, K=2, CRC on)" \
+  "${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 2 --failover
 
 if ((${#FAILED_LAYERS[@]})); then
   echo "run_fault_campaign: FAILED layers: ${FAILED_LAYERS[*]}" >&2

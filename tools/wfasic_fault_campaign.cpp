@@ -12,8 +12,18 @@
 // non-zero, which is what tools/run_fault_campaign.sh and CI gate on.
 //
 // Usage: wfasic-fault-campaign [seeds] [devices] [pairs] [read_len]
-//                              [--stats] [--trace=<out.json>]
+//                              [--stats] [--trace=<out.json>] [--failover]
 //   defaults: 200 seeds, K=4 devices, 12 pairs of ~130 bp per seed.
+//
+// --failover runs the checkpoint-failover campaign instead
+// (docs/RELIABILITY.md §7): periodic device checkpointing on, long reads,
+// and a per-seed schedule of silently dropped result-write beats that CRC
+// detection turns into mid-run device kills. Every killed run must
+// migrate its checkpoint onto a healthy device and finish bit-exact, with
+// total recomputed cycles bounded by
+//   restores x (checkpoint_interval + poll_quantum);
+// any corruption, unresolved pair or bound violation exits non-zero.
+//   defaults: 200 seeds, K=2 devices, 4 pairs of ~1200 bp per seed.
 //
 // --stats dumps the last seed's engine metrics and device-0 PMU counters
 // to stderr; --trace writes a Chrome trace-event JSON of the last seed's
@@ -43,6 +53,7 @@ struct Options {
   std::size_t pairs = 12;
   std::size_t read_len = 130;
   bool stats = false;
+  bool failover = false;
   std::string trace_path;
 };
 
@@ -63,6 +74,134 @@ wfasic::sim::FaultInjector::CampaignConfig mixed_campaign(
   return campaign;
 }
 
+// The checkpoint-failover campaign (--failover, docs/RELIABILITY.md §7).
+// Long reads with checkpointing on; each seed silently drops a handful of
+// result-write beats spread across the output stream, so CRC verification
+// kills runs at varying points mid-flight. run_dataset's failover path
+// must adopt each victim's last checkpoint on a healthy device and merge
+// bit-exact results, recomputing no more than the checkpoint bound allows.
+int run_failover_campaign(const Options& opt) {
+  using namespace wfasic;
+
+  const auto pairs = gen::generate_input_set(
+      {opt.read_len, 0.1, opt.pairs, /*seed=*/0xFA58});
+
+  core::WfaConfig ref_cfg;
+  ref_cfg.traceback = core::Traceback::kEnabled;
+  ref_cfg.extend = core::ExtendMode::kScalar;
+  core::WfaAligner ref(ref_cfg);
+  std::vector<core::AlignResult> expected;
+  expected.reserve(pairs.size());
+  for (const auto& pair : pairs) expected.push_back(ref.align(pair.a, pair.b));
+
+  std::uint64_t escapes = 0;
+  std::uint64_t bound_violations = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t recomputed = 0;
+  std::uint64_t scratch_retries = 0;
+  std::uint64_t sw_degradations = 0;
+
+  for (std::uint64_t seed = 1; seed <= opt.seeds; ++seed) {
+    engine::EngineConfig cfg;
+    cfg.num_devices = opt.devices;
+    cfg.device.accel.crc = true;  // turns silent write drops into kills
+    cfg.device.poll_quantum = 4096;
+    cfg.device.checkpoint_interval = 8192;
+
+    engine::Engine engine(cfg);
+    std::vector<sim::FaultInjector> injectors(opt.devices);
+    for (unsigned dev = 0; dev < opt.devices; ++dev) {
+      // A seed-dependent spread of dropped write beats per device: early,
+      // mid and late kills all occur across the campaign. Beats past the
+      // end of a run's output stream simply never fire.
+      for (const std::uint64_t beat :
+           {(seed + dev) % 5, 8 + (seed * 3 + dev) % 32,
+            64 + (seed * 7 + dev) % 192}) {
+        sim::FaultEvent drop;
+        drop.cls = sim::FaultClass::kWriteBeatDrop;
+        drop.beat = beat;
+        injectors[dev].schedule(drop);
+      }
+      engine.device(dev).attach_fault_injector(&injectors[dev]);
+    }
+
+    const engine::BatchResult merged =
+        engine.run_dataset(pairs, /*batch_pairs=*/2, /*backtrace=*/true,
+                           /*separate_data=*/false);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const bool ok = merged.alignments[i].ok &&
+                      merged.alignments[i].score == expected[i].score &&
+                      merged.alignments[i].cigar.rle() == expected[i].cigar.rle();
+      if (!ok) {
+        ++escapes;
+        std::fprintf(stderr, "seed %llu pair %zu: CORRUPTED AFTER FAILOVER\n",
+                     static_cast<unsigned long long>(seed), i);
+      }
+    }
+
+    const engine::RecoveryMetrics rec = engine.metrics().recovery;
+    const std::uint64_t bound =
+        rec.restores * (cfg.device.checkpoint_interval + cfg.device.poll_quantum);
+    if (rec.recomputed_cycles > bound) {
+      ++bound_violations;
+      std::fprintf(stderr,
+                   "seed %llu: RECOMPUTE BOUND VIOLATED (%llu > %llu)\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(rec.recomputed_cycles),
+                   static_cast<unsigned long long>(bound));
+    }
+    checkpoints += rec.checkpoints;
+    migrations += rec.migrations;
+    restores += rec.restores;
+    recomputed += rec.recomputed_cycles;
+    scratch_retries += rec.dataset_retries;
+    sw_degradations += rec.sw_degradations;
+    for (const sim::FaultInjector& injector : injectors) {
+      faults_fired += injector.fired_count();
+    }
+  }
+
+  std::printf(
+      "checkpoint-failover campaign: %llu seeds x K=%u devices, CRC on,\n"
+      "checkpoint interval 8192 + poll quantum 4096 cycles\n"
+      "  faults fired:      %llu\n"
+      "  checkpoints taken: %llu\n"
+      "  migrations:        %llu\n"
+      "  restores:          %llu\n"
+      "  recomputed cycles: %llu\n"
+      "  scratch retries:   %llu\n"
+      "  sw degradations:   %llu\n"
+      "  bound violations:  %llu\n"
+      "  corruptions:       %llu\n",
+      static_cast<unsigned long long>(opt.seeds), opt.devices,
+      static_cast<unsigned long long>(faults_fired),
+      static_cast<unsigned long long>(checkpoints),
+      static_cast<unsigned long long>(migrations),
+      static_cast<unsigned long long>(restores),
+      static_cast<unsigned long long>(recomputed),
+      static_cast<unsigned long long>(scratch_retries),
+      static_cast<unsigned long long>(sw_degradations),
+      static_cast<unsigned long long>(bound_violations),
+      static_cast<unsigned long long>(escapes));
+
+  if (escapes != 0 || bound_violations != 0) {
+    std::fprintf(stderr, "FAIL: %llu corruptions, %llu bound violations\n",
+                 static_cast<unsigned long long>(escapes),
+                 static_cast<unsigned long long>(bound_violations));
+    return 1;
+  }
+  if (migrations == 0) {
+    // A campaign that never exercised the failover path proves nothing.
+    std::fprintf(stderr, "FAIL: no migration ever occurred\n");
+    return 1;
+  }
+  std::puts("PASS: every kill failed over, recompute within bound");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -71,6 +210,8 @@ int main(int argc, char** argv) {
   for (int arg = 1; arg < argc; ++arg) {
     if (std::strcmp(argv[arg], "--stats") == 0) {
       opt.stats = true;
+    } else if (std::strcmp(argv[arg], "--failover") == 0) {
+      opt.failover = true;
     } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
       opt.trace_path = argv[arg] + 8;
     } else {
@@ -83,11 +224,20 @@ int main(int argc, char** argv) {
         default:
           std::fprintf(stderr,
                        "usage: %s [seeds] [devices] [pairs] [read_len]"
-                       " [--stats] [--trace=<out.json>]\n",
+                       " [--stats] [--trace=<out.json>] [--failover]\n",
                        argv[0]);
           return 2;
       }
     }
+  }
+
+  if (opt.failover) {
+    // Failover-campaign defaults: a small fleet of long reads, so every
+    // run spans many checkpoint intervals. Explicit positionals win.
+    if (positional < 2) opt.devices = 2;
+    if (positional < 3) opt.pairs = 4;
+    if (positional < 4) opt.read_len = 1200;
+    return run_failover_campaign(opt);
   }
 
   using namespace wfasic;
