@@ -14,9 +14,34 @@
 #include "cpu/cpu_model.hpp"
 #include "engine/metrics.hpp"
 #include "gen/seqgen.hpp"
+#include "hw/config.hpp"
 #include "soc/soc.hpp"
 
 namespace wfasic::bench {
+
+/// Compile-time sanitizer detection for the bench-report meta block.
+/// WFASIC_SANITIZE only adds compiler flags, so probe the macros the
+/// compilers define themselves (GCC: __SANITIZE_*; Clang: __has_feature).
+inline std::string sanitizer_flags() {
+  std::string flags;
+#if defined(__SANITIZE_ADDRESS__)
+  flags += "address";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  flags += "address";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  if (!flags.empty()) flags += ",";
+  flags += "thread";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  if (!flags.empty()) flags += ",";
+  flags += "thread";
+#endif
+#endif
+  return flags.empty() ? "none" : flags;
+}
 
 /// Pair counts per input-set size class, chosen so every bench finishes in
 /// seconds while averaging over several alignments.
@@ -133,10 +158,30 @@ class WallTimer {
 /// machine-dependent — compare ratios, not nanoseconds, across hosts.
 class BenchReport {
  public:
-  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    // Every report carries the run conditions that could explain a drift
+    // a reader would otherwise chase blind: which stepping strategies the
+    // simulator ran under (env-overridable defaults, so two "identical"
+    // runs can differ) and whether a sanitizer inflated wall clocks. The
+    // block is informational — tools/bench_compare.py gates only on the
+    // "metrics" object.
+    meta("event_kernel", hw::event_kernel_default() ? "on" : "off");
+    meta("macro_step", hw::macro_step_default() ? "on" : "off");
+    meta("sanitizers", sanitizer_flags());
+  }
 
   void metric(const std::string& key, double value) {
     metrics_.emplace_back(key, value);
+  }
+
+  /// Adds an informational string to the report's "meta" block (run
+  /// conditions, workload shape such as the device count K — anything a
+  /// reader needs to reproduce the run but must never gate on).
+  void meta(const std::string& key, const std::string& value) {
+    meta_.emplace_back(key, value);
+  }
+  void meta(const std::string& key, std::uint64_t value) {
+    meta_.emplace_back(key, std::to_string(value));
   }
 
   /// Writes BENCH_<name>.json; returns false (with a message) on I/O
@@ -149,8 +194,13 @@ class BenchReport {
       std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"meta\": {\n",
                  name_.c_str());
+    for (std::size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": \"%s\"%s\n", meta_[i].first.c_str(),
+                   meta_[i].second.c_str(), i + 1 < meta_.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n  \"metrics\": {\n");
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       std::fprintf(f, "    \"%s\": %.6f%s\n", metrics_[i].first.c_str(),
                    metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
@@ -163,6 +213,7 @@ class BenchReport {
 
  private:
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<std::pair<std::string, double>> metrics_;
 };
 

@@ -233,6 +233,7 @@ int main(int argc, char** argv) {
                              /*separate_data=*/false);
 
   BenchReport report("engine_throughput");
+  report.meta("devices", std::uint64_t{4});
   report.metric("k4_nbt_sim_cycles",
                 static_cast<double>(fast.pipeline_cycles));
   report.metric("k4_nbt_gcups", k4_gcups);

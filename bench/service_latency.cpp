@@ -29,7 +29,9 @@
 #include "asic/area_model.hpp"
 #include "bench/bench_util.hpp"
 #include "common/prng.hpp"
+#include "common/quantile.hpp"
 #include "svc/service.hpp"
+#include "svc/trace_io.hpp"
 
 namespace {
 
@@ -73,12 +75,9 @@ double exp_gap(Prng& prng, double mean) {
 }
 
 double percentile(std::vector<std::uint64_t>& latencies, double p) {
-  if (latencies.empty()) return 0;
-  std::sort(latencies.begin(), latencies.end());
-  const std::size_t idx = std::min(
-      latencies.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
-  return static_cast<double>(latencies[idx]);
+  // The shared nearest-rank helper (common/quantile.hpp) — one percentile
+  // implementation across the bench, the CLI printers and the registry.
+  return static_cast<double>(common::exact_percentile(latencies, p));
 }
 
 }  // namespace
@@ -87,15 +86,30 @@ int main(int argc, char** argv) {
   using namespace wfasic;
   using bench::BenchReport;
 
-  const std::size_t num_requests = argc > 1 ? std::stoul(argv[1]) : 160;
+  // --trace=<path> is a flag, everything else stays positional.
+  std::string trace_path;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::size_t num_requests =
+      !positional.empty() ? std::stoul(positional[0]) : 160;
   const unsigned devices =
-      argc > 2 ? static_cast<unsigned>(std::stoul(argv[2])) : 2;
-  const double overload_factor = argc > 3 ? std::stod(argv[3]) : 10.0;
+      positional.size() > 1 ? static_cast<unsigned>(std::stoul(positional[1]))
+                            : 2;
+  const double overload_factor =
+      positional.size() > 2 ? std::stod(positional[2]) : 10.0;
 
   const asic::AreaEstimate est =
       asic::estimate(base_config(devices).engine.device.accel);
   bool ok = true;
   BenchReport report("service_latency");
+  report.meta("devices", std::uint64_t{devices});
 
   // --- Phase A: closed-loop saturation ------------------------------------
   std::printf("\nService latency bench: %zu requests, K=%u, overload %.1fx\n",
@@ -307,6 +321,66 @@ int main(int argc, char** argv) {
       hst.hedges_launched == 0) {
     std::printf("FAIL: hedging did not resolve stragglers exactly once\n");
     ok = false;
+  }
+
+  // --- Phase E: traced run (--trace=<path>) --------------------------------
+  // Preemption + hedging + deadlines with the flight recorder in
+  // full-export mode; the dump is schema-validated in-process and written
+  // for wfasic-trace (the CI trace-validate smoke drives exactly this).
+  if (!trace_path.empty()) {
+    bench::print_header("Phase E: traced run",
+                        "(flight recorder full export; preempt + hedge)");
+    svc::ServiceConfig tr_cfg = base_config(std::max(devices, 2u));
+    tr_cfg.lanes.push_back(svc::LaneConfig{"batch", 1, 64, 0, false});
+    tr_cfg.lanes.push_back(svc::LaneConfig{"urgent", 4, 64, 0, false});
+    tr_cfg.max_batch_pairs = 2;
+    // Hedge threshold past the urgent arrivals below, so background
+    // shards are still single-attempt (preemptable) when urgency hits,
+    // and the survivors still hedge later in the run.
+    tr_cfg.hedge.min_cycles = 20'000;
+    tr_cfg.hedge.latency_factor = 0;
+    tr_cfg.preempt.enabled = true;
+    tr_cfg.preempt.urgent_span = 400'000;
+    tr_cfg.preempt.min_runtime = 1;
+    tr_cfg.trace.keep_all = true;
+    tr_cfg.trace.sample_interval = 4 * tr_cfg.engine.device.poll_quantum;
+    svc::AlignService tr_svc(tr_cfg);
+    Prng tr_prng(707);
+    // Long background reads first, so every device is busy...
+    for (std::size_t i = 0; i < 6; ++i) {
+      std::string a = gen::random_sequence(tr_prng, 1200);
+      const std::string b = gen::mutate_sequence(tr_prng, a, 0.10);
+      tr_svc.submit(0, a, b);
+    }
+    tr_svc.pump();
+    // ...then deadline-critical arrivals that force preemption pressure.
+    for (std::size_t i = 0; i < 4; ++i) {
+      std::string a = gen::random_sequence(tr_prng, 150);
+      const std::string b = gen::mutate_sequence(tr_prng, a, 0.08);
+      tr_svc.submit(1, a, b, tr_svc.now() + 200'000);
+    }
+    tr_svc.drain();
+    tr_svc.harvest();
+    if (tr_svc.stats().preemptions == 0 ||
+        tr_svc.stats().hedges_launched == 0) {
+      std::printf("FAIL: traced run exercised no preemption or no hedging\n");
+      ok = false;
+    }
+    const svc::TraceDump dump = tr_svc.trace_dump();
+    std::string trace_err;
+    if (!svc::validate_trace_dump(dump, &trace_err)) {
+      std::printf("FAIL: trace dump invalid: %s\n", trace_err.c_str());
+      ok = false;
+    }
+    if (!svc::write_trace_dump_file(dump, trace_path)) {
+      std::printf("FAIL: cannot write %s\n", trace_path.c_str());
+      ok = false;
+    }
+    std::printf("traced %zu events (%llu preemptions, %llu hedges) -> %s\n",
+                dump.events.size(),
+                static_cast<unsigned long long>(tr_svc.stats().preemptions),
+                static_cast<unsigned long long>(tr_svc.stats().hedges_launched),
+                trace_path.c_str());
   }
 
   // --- Report -------------------------------------------------------------

@@ -1,0 +1,128 @@
+// Shared histogram + quantile helpers (docs/OBSERVABILITY.md §4).
+//
+// One implementation of the log2 latency histogram and its summary
+// statistics, used by engine/metrics.hpp, the service-layer LaneStats,
+// the unified metrics registry exposition and the --stats CLI printers.
+// Everything here is deterministic: the same sequence of recorded values
+// reproduces the same buckets, summaries and quantile estimates bit for
+// bit, independent of host or recording order (quantiles depend only on
+// the bucket counts).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wfasic::common {
+
+/// Fixed-bucket log2 histogram: bucket 0 holds the value 0, bucket i>0
+/// holds values in [2^(i-1), 2^i). 64 buckets cover the full uint64
+/// range, so recording never saturates or rescales — deterministic shape
+/// regardless of input order.
+struct Log2Histogram {
+  static constexpr std::size_t kBuckets = 64;
+
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  static constexpr std::size_t bucket_of(std::uint64_t v) {
+    std::size_t b = 0;
+    while (v != 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  /// Upper bound of bucket `b` (the largest value it can hold).
+  static constexpr std::uint64_t bucket_upper(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= kBuckets - 1) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets[bucket_of(v)];
+    if (count == 0 || v < min) min = v;
+    if (v > max) max = v;
+    ++count;
+    sum += v;
+  }
+
+  [[nodiscard]] double mean() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+
+  bool operator==(const Log2Histogram&) const = default;
+};
+
+/// Histogram quantile estimate: the upper bound of the bucket in which
+/// the p-quantile observation falls (an upper bound within 2x of the true
+/// value, exact for buckets 0 and 1). p is clamped to [0, 1]. Depends
+/// only on the bucket counts, so it is deterministic and
+/// merge-order-independent.
+[[nodiscard]] inline std::uint64_t approx_quantile(const Log2Histogram& hist,
+                                                   double p) {
+  if (hist.count == 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the quantile observation, 1-based: ceil(p * count), at least 1.
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(p * static_cast<double>(hist.count) +
+                                    0.9999999999));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < Log2Histogram::kBuckets; ++b) {
+    seen += hist.buckets[b];
+    if (seen >= rank) {
+      // Clamp to the recorded extremes so p=0 / p=1 stay exact.
+      return std::min(std::max(Log2Histogram::bucket_upper(b), hist.min),
+                      hist.max);
+    }
+  }
+  return hist.max;
+}
+
+/// One-line digest of a histogram: what the --stats printers and the
+/// registry exposition report.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  double mean = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;  ///< approx_quantile upper bounds
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+};
+
+[[nodiscard]] inline HistogramSummary summarize(const Log2Histogram& hist) {
+  HistogramSummary s;
+  s.count = hist.count;
+  s.sum = hist.sum;
+  s.mean = hist.mean();
+  s.min = hist.min;
+  s.max = hist.max;
+  s.p50 = approx_quantile(hist, 0.50);
+  s.p90 = approx_quantile(hist, 0.90);
+  s.p99 = approx_quantile(hist, 0.99);
+  return s;
+}
+
+/// Exact percentile over raw samples (sorts `values` in place): the
+/// nearest-rank value at fraction `p`. What bench/service_latency reports
+/// for its tail-latency phases, where every sample is retained anyway.
+[[nodiscard]] inline std::uint64_t exact_percentile(
+    std::vector<std::uint64_t>& values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t idx = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  return values[idx];
+}
+
+}  // namespace wfasic::common

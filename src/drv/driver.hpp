@@ -167,6 +167,19 @@ class Driver {
     accelerator_.write_reg(hw::kRegCtrl, hw::kCtrlSoftReset);
   }
 
+  /// Drops a correlation marker onto the device's cycle trace: an instant
+  /// event named `name` (args.id = `id`) on the "driver" track at the
+  /// current device cycle. This is how the service layer stitches its
+  /// request spans to the cycle-level device track — the shard's trace
+  /// tag lands next to the fetch/align/DMA spans it caused. No-op while
+  /// tracing is disabled, so callers annotate unconditionally.
+  void annotate_trace(const char* name, std::uint64_t id) {
+    sim::TraceSink& sink = accelerator_.trace();
+    if (!sink.enabled()) return;
+    sink.instant(sink.register_track("driver"), name, "service",
+                 accelerator_.now(), id);
+  }
+
   /// Reads the whole PMU bank back through the kRegPerfBase register
   /// window, 32 bits at a time, exactly as driver code on the SoC would.
   [[nodiscard]] hw::PerfSnapshot read_perf_counters() const {

@@ -46,6 +46,10 @@ struct BatchJob {
   bool tolerant = false;
   /// Per-launch device cycle budget (0 = the backend's default).
   std::uint64_t cycle_budget = 0;
+  /// Caller-chosen correlation id (svc shard id). Purely observational:
+  /// carried through to the completion and the device trace annotations,
+  /// never consulted by scheduling.
+  std::uint64_t trace_tag = 0;
 };
 
 /// Outcome of one batch run — what Soc::run_batch has always returned,
@@ -109,6 +113,14 @@ struct Completion {
   std::uint64_t checkpoints = 0;
   std::uint64_t restores = 0;
   std::uint64_t recomputed_cycles = 0;
+
+  /// The run's PMU bank delta (drv::RunStatus::perf), read back through
+  /// the register window at completion. All-zero for SwBackend jobs and
+  /// runs that died before classification. Lets a request trace correlate
+  /// its device-run span with the hardware counters it generated.
+  hw::PerfSnapshot perf;
+  /// BatchJob::trace_tag, echoed back.
+  std::uint64_t trace_tag = 0;
 };
 
 /// The backend interface the engine schedules over.

@@ -128,6 +128,12 @@ void HwBackend::launch(StagedJob&& staged) {
 
   driver_.start(active.staged.layout, active.staged.job.backtrace);
   active.start_cycle = accelerator_->now();
+  // Correlation marker: the caller's trace tag (svc shard id) lands on the
+  // device's cycle trace right at launch, next to the fetch/align spans
+  // this run is about to emit. Observational only.
+  if (active.staged.job.trace_tag != 0) {
+    driver_.annotate_trace("shard-launch", active.staged.job.trace_tag);
+  }
   active_ = std::move(active);
 }
 
@@ -229,6 +235,7 @@ void HwBackend::launch_adopted() {
     completion.checkpoints = migration.job.checkpoints;
     completion.restores = migration.job.restores;
     completion.recomputed_cycles = migration.job.recomputed_cycles;
+    completion.trace_tag = migration.job.staged.job.trace_tag;
     done_.push_back(std::move(completion));
     return;
   }
@@ -262,6 +269,8 @@ void HwBackend::complete_active() {
   completion.checkpoints = active.checkpoints;
   completion.restores = active.restores;
   completion.recomputed_cycles = active.recomputed_cycles;
+  completion.perf = status.perf;
+  completion.trace_tag = active.staged.job.trace_tag;
 
   if (active.staged.job.tolerant) {
     // Resilient path: salvage every verifiable result the run managed to

@@ -9,51 +9,19 @@
 // BENCH_*.json keys via bench/bench_util.hpp.
 #pragma once
 
-#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/metrics_registry.hpp"
+#include "common/quantile.hpp"
 #include "engine/health.hpp"
 
 namespace wfasic::engine {
 
-/// Fixed-bucket log2 histogram: bucket 0 holds the value 0, bucket i>0
-/// holds values in [2^(i-1), 2^i). 64 buckets cover the full uint64
-/// range, so recording never saturates or rescales — deterministic shape
-/// regardless of input order.
-struct Log2Histogram {
-  static constexpr std::size_t kBuckets = 64;
-
-  std::array<std::uint64_t, kBuckets> buckets{};
-  std::uint64_t count = 0;
-  std::uint64_t sum = 0;
-  std::uint64_t min = 0;
-  std::uint64_t max = 0;
-
-  static constexpr std::size_t bucket_of(std::uint64_t v) {
-    std::size_t b = 0;
-    while (v != 0) {
-      ++b;
-      v >>= 1;
-    }
-    return b < kBuckets ? b : kBuckets - 1;
-  }
-
-  void record(std::uint64_t v) {
-    ++buckets[bucket_of(v)];
-    if (count == 0 || v < min) min = v;
-    if (v > max) max = v;
-    ++count;
-    sum += v;
-  }
-
-  [[nodiscard]] double mean() const {
-    return count == 0 ? 0.0
-                      : static_cast<double>(sum) / static_cast<double>(count);
-  }
-
-  bool operator==(const Log2Histogram&) const = default;
-};
+/// The shared fixed-bucket log2 histogram (common/quantile.hpp) under its
+/// historical engine-layer name.
+using Log2Histogram = common::Log2Histogram;
 
 /// Per-device (plus one software-backend slot) accounting.
 struct DeviceMetrics {
@@ -110,5 +78,42 @@ struct EngineMetrics {
   /// Checkpoint/failover/preemption costs, engine-wide.
   RecoveryMetrics recovery;
 };
+
+/// Re-exports an EngineMetrics snapshot into the unified registry under
+/// stable `<prefix>_*` names (docs/OBSERVABILITY.md §4): per-backend job
+/// and utilization figures (devices 0..K-1, then `sw`), the engine-wide
+/// latency histogram, and the recovery cost counters.
+inline void export_to_registry(const EngineMetrics& m,
+                               common::MetricsRegistry& reg,
+                               const std::string& prefix) {
+  reg.counter(prefix + "_submits") = m.submits;
+  reg.counter(prefix + "_completions") = m.completions;
+  reg.counter(prefix + "_inflight_high_water") = m.in_flight_high_water;
+  reg.counter(prefix + "_health_transitions") = m.health_transitions.size();
+  reg.histogram(prefix + "_latency_cycles") = m.latency;
+  for (std::size_t d = 0; d < m.devices.size(); ++d) {
+    const DeviceMetrics& dm = m.devices[d];
+    const std::string lane = d + 1 < m.devices.size()
+                                 ? prefix + "_dev" + std::to_string(d)
+                                 : prefix + "_sw";
+    reg.counter(lane + "_jobs_completed") = dm.jobs_completed;
+    reg.counter(lane + "_jobs_failed") = dm.jobs_failed;
+    reg.counter(lane + "_busy_cycles") = dm.busy_cycles;
+    reg.counter(lane + "_total_cycles") = dm.total_cycles;
+    reg.counter(lane + "_queue_high_water") = dm.queue_depth_high_water;
+    reg.gauge(lane + "_utilization") = dm.utilization();
+  }
+  reg.counter(prefix + "_recovery_checkpoints") = m.recovery.checkpoints;
+  reg.counter(prefix + "_recovery_restores") = m.recovery.restores;
+  reg.counter(prefix + "_recovery_migrations") = m.recovery.migrations;
+  reg.counter(prefix + "_recovery_preemptions") = m.recovery.preemptions;
+  reg.counter(prefix + "_recovery_resumes") = m.recovery.resumes;
+  reg.counter(prefix + "_recovery_recomputed_cycles") =
+      m.recovery.recomputed_cycles;
+  reg.counter(prefix + "_recovery_dataset_retries") =
+      m.recovery.dataset_retries;
+  reg.counter(prefix + "_recovery_sw_degradations") =
+      m.recovery.sw_degradations;
+}
 
 }  // namespace wfasic::engine

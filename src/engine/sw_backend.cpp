@@ -66,6 +66,7 @@ bool SwBackend::poll() {
   Completion completion;
   completion.handle = handle;
   completion.outcome = drv::RunOutcome::kOk;
+  completion.trace_tag = job.trace_tag;
   completion.result.alignments = std::move(results);
   for (const std::uint64_t c : cycles) completion.sw_align_cycles += c;
   done_.push_back(std::move(completion));

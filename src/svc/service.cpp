@@ -34,8 +34,90 @@ AlignService::AlignService(const ServiceConfig& cfg)
                                   : cfg_.engine.device.poll_quantum),
       max_inflight_(cfg_.max_inflight_shards != 0
                         ? cfg_.max_inflight_shards
-                        : 2 * engine_.num_devices()) {
+                        : 2 * engine_.num_devices()),
+      recorder_(cfg_.trace.ring_capacity, cfg_.trace.keep_all) {
   stats_.lanes.resize(cfg_.lanes.size());
+}
+
+void AlignService::trace(TraceEventKind kind, std::uint64_t id, unsigned lane,
+                         std::uint32_t device, std::uint64_t aux0,
+                         std::uint64_t aux1, std::uint64_t ts_override,
+                         std::uint64_t dur) {
+  if (!recorder_.enabled()) return;
+  RequestTraceEvent ev;
+  ev.kind = kind;
+  ev.ts = ts_override != kTraceNow ? ts_override : now_;
+  ev.dur = dur;
+  ev.id = id;
+  ev.lane = lane;
+  ev.device = device;
+  ev.aux0 = aux0;
+  ev.aux1 = aux1;
+  recorder_.record(ev);
+}
+
+TraceDump AlignService::trace_dump() const {
+  TraceDump dump;
+  dump.now = now_;
+  dump.lanes = num_lanes();
+  dump.devices = engine_.num_devices();
+  dump.recorded = recorder_.recorded();
+  dump.dropped = recorder_.events_dropped();
+  dump.anomalies = recorder_.anomalies();
+  dump.last_anomaly = recorder_.last_anomaly();
+  dump.last_anomaly_cycle = recorder_.last_anomaly_cycle();
+  dump.events = recorder_.export_events();
+  return dump;
+}
+
+void AlignService::export_metrics(common::MetricsRegistry& reg) const {
+  reg.clear();
+  engine::export_to_registry(engine_.metrics(), reg, "engine");
+  reg.counter("svc_now") = now_;
+  reg.counter("svc_shards_dispatched") = stats_.shards_dispatched;
+  reg.counter("svc_shard_attempts") = stats_.shard_attempts;
+  reg.counter("svc_shards_failed") = stats_.shards_failed;
+  reg.counter("svc_hedges_launched") = stats_.hedges_launched;
+  reg.counter("svc_duplicates_suppressed") = stats_.duplicates_suppressed;
+  reg.counter("svc_cancels_attempted") = stats_.cancels_attempted;
+  reg.counter("svc_cancels_succeeded") = stats_.cancels_succeeded;
+  reg.counter("svc_sw_shards") = stats_.sw_shards;
+  reg.counter("svc_preemptions") = stats_.preemptions;
+  reg.counter("svc_resumes") = stats_.resumes;
+  reg.counter("svc_inflight_high_water") = stats_.inflight_high_water;
+  reg.counter("svc_trace_recorded") = recorder_.recorded();
+  reg.counter("svc_trace_dropped") = recorder_.dropped();
+  reg.counter("svc_trace_anomalies") = recorder_.anomalies();
+  for (std::size_t i = 0; i < stats_.lanes.size(); ++i) {
+    const LaneStats& ls = stats_.lanes[i];
+    const std::string p = "svc_lane" + std::to_string(i);
+    reg.counter(p + "_submitted") = ls.submitted;
+    reg.counter(p + "_accepted") = ls.accepted;
+    reg.counter(p + "_would_block") = ls.would_block;
+    reg.counter(p + "_rejected") = ls.rejected;
+    reg.counter(p + "_shed") = ls.shed;
+    reg.counter(p + "_completed_ok") = ls.completed_ok;
+    reg.counter(p + "_deadline_miss") = ls.deadline_miss;
+    reg.counter(p + "_hedges_launched") = ls.hedges_launched;
+    reg.counter(p + "_hedges_won") = ls.hedges_won;
+    reg.counter(p + "_retries") = ls.retries;
+    reg.counter(p + "_sw_resolved") = ls.sw_resolved;
+    reg.counter(p + "_device_cycles") = ls.device_cycles;
+    reg.counter(p + "_sw_cycles") = ls.sw_cycles;
+    reg.counter(p + "_queue_high_water") = ls.queue_high_water;
+    reg.histogram(p + "_latency_cycles") = ls.latency;
+    // Per-tenant SLO attainment: the fraction of terminal requests that
+    // completed within their deadline, plus the failure-mode split.
+    const std::uint64_t terminal = ls.completed_ok + ls.deadline_miss + ls.shed;
+    const double denom =
+        terminal != 0 ? static_cast<double>(terminal) : 1.0;
+    reg.gauge(p + "_slo_attainment") =
+        terminal != 0 ? static_cast<double>(ls.completed_ok) / denom : 1.0;
+    reg.gauge(p + "_miss_rate") = static_cast<double>(ls.deadline_miss) / denom;
+    reg.gauge(p + "_shed_rate") = static_cast<double>(ls.shed) / denom;
+    reg.gauge(p + "_hedge_win_rate") =
+        terminal != 0 ? static_cast<double>(ls.hedges_won) / denom : 0.0;
+  }
 }
 
 SubmitResult AlignService::submit(unsigned lane, std::string a, std::string b,
@@ -53,6 +135,8 @@ SubmitResult AlignService::submit(unsigned lane, std::string a, std::string b,
     // Dead on arrival: shed without spending queue space or device
     // cycles. The client still gets its one completion.
     const RequestId id = next_request_++;
+    trace(TraceEventKind::kShedAdmission, id, lane,
+          RequestTraceEvent::kNoDevice, deadline);
     ServiceCompletion shed;
     shed.id = id;
     shed.lane = lane;
@@ -65,10 +149,13 @@ SubmitResult AlignService::submit(unsigned lane, std::string a, std::string b,
   }
   if (cfg_.degrade == DegradeMode::kRejectNew && !fleet_usable()) {
     ++ls.rejected;
+    trace(TraceEventKind::kRejected, 0, lane);
     return {Admission::kRejected, 0};
   }
   if (queues_[lane].size() >= lc.queue_capacity) {
     ++ls.would_block;
+    trace(TraceEventKind::kWouldBlock, 0, lane, RequestTraceEvent::kNoDevice,
+          queues_[lane].size());
     return {Admission::kWouldBlock, 0};
   }
 
@@ -81,6 +168,8 @@ SubmitResult AlignService::submit(unsigned lane, std::string a, std::string b,
   queues_[lane].push_back(std::move(rq));
   ++ls.accepted;
   ls.queue_high_water = std::max(ls.queue_high_water, queues_[lane].size());
+  trace(TraceEventKind::kAdmit, next_request_ - 1, lane,
+        RequestTraceEvent::kNoDevice, deadline);
   return {Admission::kAccepted, next_request_ - 1};
 }
 
@@ -128,6 +217,15 @@ bool AlignService::pump() {
   // and modeled latency includes the device time it consumed.
   now_ += tick_;
   collect();
+  // Periodic metrics sampling (TraceConfig::sample_interval): re-export
+  // into the registry and append one trajectory row. Runs after every
+  // scheduling decision of the round, so it observes but never steers.
+  if (cfg_.trace.sample_interval != 0 &&
+      now_ - last_sample_ >= cfg_.trace.sample_interval) {
+    export_metrics(registry_);
+    registry_.sample(now_);
+    last_sample_ = now_;
+  }
   return busy();
 }
 
@@ -142,15 +240,27 @@ void AlignService::drain() {
 
 void AlignService::emit(ServiceCompletion&& completion) {
   LaneStats& ls = stats_.lanes[completion.lane];
+  // The single terminal-accounting point doubles as the single terminal
+  // trace point: exactly one kComplete/kDeadlineMiss/kShed per request.
   switch (completion.outcome) {
     case RequestOutcome::kOk:
       ++ls.completed_ok;
+      trace(TraceEventKind::kComplete, completion.id, completion.lane,
+            RequestTraceEvent::kNoDevice, completion.latency());
       break;
     case RequestOutcome::kDeadlineMiss:
       ++ls.deadline_miss;
+      trace(TraceEventKind::kDeadlineMiss, completion.id, completion.lane,
+            RequestTraceEvent::kNoDevice,
+            completion.complete_cycle - completion.deadline,
+            completion.latency());
+      recorder_.note_anomaly(AnomalyKind::kDeadlineMiss, now_);
       break;
     case RequestOutcome::kShed:
       ++ls.shed;
+      trace(TraceEventKind::kShed, completion.id, completion.lane,
+            RequestTraceEvent::kNoDevice, completion.deadline);
+      recorder_.note_anomaly(AnomalyKind::kShed, now_);
       break;
   }
   if (completion.outcome != RequestOutcome::kShed) {
@@ -197,12 +307,15 @@ void AlignService::cancel_expired_inflight() {
     for (Attempt& attempt : shard.attempts) {
       if (!attempt.outstanding) continue;
       ++stats_.cancels_attempted;
-      if (engine_.cancel(attempt.handle)) {
+      const bool cancelled = engine_.cancel(attempt.handle);
+      if (cancelled) {
         attempt.outstanding = false;
         ++stats_.cancels_succeeded;
       } else {
         outstanding = true;
       }
+      trace(TraceEventKind::kCancel, shard.id, shard.lane, attempt.backend,
+            cancelled ? 1 : 0);
     }
     if (!outstanding) resolve_shed(shard);
   }
@@ -269,6 +382,8 @@ void AlignService::preempt_for_urgent() {
     if (!engine_.preempt(shard.attempts[0].handle)) continue;
     shard.preempted = true;
     ++stats_.preemptions;
+    trace(TraceEventKind::kPreemptPark, shard.id, shard.lane,
+          shard.attempts[0].backend);
     return;  // one eviction per round keeps churn bounded
   }
 }
@@ -291,6 +406,8 @@ void AlignService::resume_preempted() {
     primary.backend = engine_.handle_device(primary.handle);
     shard.preempted = false;
     ++stats_.resumes;
+    trace(TraceEventKind::kPreemptResume, shard.id, shard.lane,
+          primary.backend);
   }
 }
 
@@ -326,6 +443,10 @@ void AlignService::launch_attempt(Shard& shard, bool software, unsigned avoid,
                                   bool hedge) {
   engine::BatchJob job;
   const LaneConfig& lc = cfg_.lanes[shard.lane];
+  // Correlation tag: the shard id rides the job into the engine and the
+  // device trace (Driver::annotate_trace), and comes back on the
+  // completion — how a request span joins the cycle-level device track.
+  job.trace_tag = shard.id;
   job.backtrace = lc.backtrace;
   // The multi-Aligner chip requires the data-separation backtrace method.
   job.separate_data =
@@ -368,6 +489,12 @@ void AlignService::launch_attempt(Shard& shard, bool software, unsigned avoid,
   shard.attempts.push_back(attempt);
   ++shard.attempt_count;
   ++stats_.shard_attempts;
+  const AttemptFlavor flavor =
+      attempt.backend == engine_.num_devices()
+          ? AttemptFlavor::kSoftware
+          : (hedge ? AttemptFlavor::kHedge : AttemptFlavor::kPrimary);
+  trace(TraceEventKind::kAttemptLaunch, shard.id, shard.lane, attempt.backend,
+        shard.attempt_count - 1, static_cast<std::uint64_t>(flavor));
 }
 
 void AlignService::dispatch() {
@@ -409,6 +536,20 @@ void AlignService::dispatch() {
       }
       software = all_backlogged;
     }
+    // The queue-wait span closes for every request the shard carries
+    // (stamped at arrival — the request→shard join the explainer uses),
+    // then the shard itself is born.
+    for (const QueuedRequest& rq : shard.reqs) {
+      trace(TraceEventKind::kQueueWait, rq.id, shard.lane,
+            RequestTraceEvent::kNoDevice, shard.id, 0, rq.arrival,
+            now_ - rq.arrival);
+    }
+    trace(TraceEventKind::kDispatch, shard.id, shard.lane,
+          RequestTraceEvent::kNoDevice, shard.reqs.size());
+    if (software) {
+      trace(TraceEventKind::kSwDegrade, shard.id, shard.lane,
+            engine_.num_devices());
+    }
     launch_attempt(shard, software, engine_.num_devices(), /*hedge=*/false);
     ++stats_.shards_dispatched;
     shards_.push_back(std::move(shard));
@@ -441,6 +582,8 @@ void AlignService::check_hedges() {
     shard.hedged = true;
     ++stats_.hedges_launched;
     ++stats_.lanes[shard.lane].hedges_launched;
+    trace(TraceEventKind::kHedgeLaunch, shard.id, shard.lane,
+          shard.attempts.back().backend, shard.attempt_count - 1);
   }
 }
 
@@ -482,12 +625,17 @@ void AlignService::process_completion(Shard& shard, Attempt& attempt,
   // scoreboard, so repeated failures quarantine the device and future
   // dispatch/hedge placement skips it.
   if (attempt.backend != engine_.num_devices()) {
+    const bool was_usable = engine_.health().usable(attempt.backend);
     engine_.note_outcome(attempt.backend, completion.outcome);
+    if (was_usable && !engine_.health().usable(attempt.backend)) {
+      recorder_.note_anomaly(AnomalyKind::kQuarantine, now_);
+    }
   }
   if (shard.resolved) {
     // The race was already decided (first completion won, or the shard
     // shed) — suppress the duplicate.
     ++stats_.duplicates_suppressed;
+    trace(TraceEventKind::kHedgeLose, shard.id, shard.lane, attempt.backend);
     return;
   }
   if (completion.completed_run()) {
@@ -495,6 +643,9 @@ void AlignService::process_completion(Shard& shard, Attempt& attempt,
     return;
   }
   ++stats_.shards_failed;
+  trace(TraceEventKind::kAttemptFailed, shard.id, shard.lane, attempt.backend,
+        static_cast<std::uint64_t>(completion.outcome));
+  recorder_.note_anomaly(AnomalyKind::kAttemptFailure, now_);
   for (const Attempt& other : shard.attempts) {
     if (other.outstanding) return;  // a live copy may still win
   }
@@ -507,6 +658,8 @@ void AlignService::process_completion(Shard& shard, Attempt& attempt,
     return;
   }
   ++stats_.lanes[shard.lane].retries;
+  trace(TraceEventKind::kRetry, shard.id, shard.lane,
+        RequestTraceEvent::kNoDevice, shard.attempt_count);
   if (shard.attempt_count < cfg_.hedge.max_attempts && fleet_usable()) {
     // Retry away from the device that just failed.
     launch_attempt(shard, /*software=*/false, attempt.backend,
@@ -514,6 +667,8 @@ void AlignService::process_completion(Shard& shard, Attempt& attempt,
   } else {
     // Attempt budget spent (or no usable device): the software backend is
     // the terminal fallback — it always completes.
+    trace(TraceEventKind::kSwDegrade, shard.id, shard.lane,
+          engine_.num_devices());
     launch_attempt(shard, /*software=*/true, engine_.num_devices(),
                    /*hedge=*/true);
   }
@@ -531,6 +686,29 @@ void AlignService::resolve_completed(Shard& shard, const Attempt& attempt,
   } else {
     ls.device_cycles += completion.encode_cycles + completion.accel_cycles +
                         completion.decode_cycles;
+  }
+  // The winning run's device span, annotated with its PMU deltas (the
+  // per-run RunStatus::perf the completion carries) — what correlates a
+  // request's story with the cycle-level device track. The span is
+  // clamped to the shard's service-clock window: a run's busy cycles can
+  // exceed the dispatch→now wall span (modeled SwBackend op cycles,
+  // idle-skip fast-forwarding), and a span must not outrun the clock.
+  const std::uint64_t run_cycles =
+      is_sw ? completion.sw_align_cycles : completion.accel_cycles;
+  trace(TraceEventKind::kDeviceRun, shard.id, shard.lane, attempt.backend,
+        completion.perf.aligner_wavefront_steps,
+        completion.perf.dma_beats_read, shard.dispatch_cycle,
+        std::min(run_cycles, now_ - shard.dispatch_cycle));
+  if (completion.checkpoints != 0) {
+    trace(TraceEventKind::kCheckpoint, shard.id, shard.lane, attempt.backend,
+          completion.checkpoints);
+  }
+  if (completion.restores != 0) {
+    trace(TraceEventKind::kRestore, shard.id, shard.lane, attempt.backend,
+          completion.restores, completion.recomputed_cycles);
+  }
+  if (attempt.hedge) {
+    trace(TraceEventKind::kHedgeWin, shard.id, shard.lane, attempt.backend);
   }
   // First completion wins: recall losing attempts the engine can still
   // cancel; launched ones finish later and are suppressed on arrival.
@@ -578,6 +756,13 @@ void AlignService::resolve_completed(Shard& shard, const Attempt& attempt,
     residual.reqs = std::move(to_software);
     residual.dispatch_cycle = now_;
     residual.est_cycles = estimate_cycles(residual);
+    // Hardware-rejected pairs re-shard onto the software backend: a new
+    // shard is born mid-resolution, with its own dispatch + degrade
+    // events (the requests' queue-wait spans still name the old shard).
+    trace(TraceEventKind::kDispatch, residual.id, residual.lane,
+          RequestTraceEvent::kNoDevice, residual.reqs.size());
+    trace(TraceEventKind::kSwDegrade, residual.id, residual.lane,
+          engine_.num_devices());
     launch_attempt(residual, /*software=*/true, engine_.num_devices(),
                    /*hedge=*/false);
     ++stats_.shards_dispatched;

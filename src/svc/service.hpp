@@ -51,8 +51,10 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.hpp"
 #include "engine/engine.hpp"
 #include "svc/scheduler.hpp"
+#include "svc/trace.hpp"
 #include "svc/types.hpp"
 
 namespace wfasic::svc {
@@ -80,6 +82,11 @@ struct ServiceConfig {
   /// (types.hpp; requires engine.device.checkpoint-capable hardware —
   /// always true in simulation).
   PreemptConfig preempt;
+  /// Request-scoped causal tracing (svc/trace.hpp): flight-recorder ring
+  /// size, full-export mode, registry sampling cadence. Recording is
+  /// zero-perturbation — modeled cycles and PMU counters are bit-identical
+  /// with any setting here.
+  TraceConfig trace;
 };
 
 class AlignService {
@@ -119,6 +126,21 @@ class AlignService {
   [[nodiscard]] engine::Engine& engine() { return engine_; }
   [[nodiscard]] const engine::Engine& engine() const { return engine_; }
   [[nodiscard]] const ServiceConfig& config() const { return cfg_; }
+
+  // --- Observability (docs/OBSERVABILITY.md §3–4) ---------------------------
+  /// The always-on flight recorder: every request/shard lifecycle
+  /// transition, in a bounded preallocated ring.
+  [[nodiscard]] const FlightRecorder& recorder() const { return recorder_; }
+  /// Snapshots the recorder into a self-describing dump (serialize and
+  /// analyze it with svc/trace_io.hpp or the wfasic-trace CLI).
+  [[nodiscard]] TraceDump trace_dump() const;
+  /// Re-exports engine metrics, per-lane stats, service-wide stats and
+  /// per-tenant SLO attainment into `reg` under stable names. Clears the
+  /// registry's instruments first so stale names cannot linger.
+  void export_metrics(common::MetricsRegistry& reg) const;
+  /// The service's own registry: refreshed by the periodic sampler
+  /// (TraceConfig::sample_interval) and on demand via export_metrics.
+  [[nodiscard]] common::MetricsRegistry& registry() { return registry_; }
 
  private:
   struct QueuedRequest {
@@ -190,6 +212,16 @@ class AlignService {
   [[nodiscard]] unsigned pick_device_excluding(unsigned avoid);
   void emit(ServiceCompletion&& completion);
 
+  /// Records one lifecycle event at the current service clock (or at
+  /// `ts_override` for span kinds stamped at their start). Purely
+  /// observational — called strictly after the decision it describes, so
+  /// it can never feed back into scheduling or modeled time.
+  static constexpr std::uint64_t kTraceNow = ~std::uint64_t{0};
+  void trace(TraceEventKind kind, std::uint64_t id, unsigned lane,
+             std::uint32_t device = RequestTraceEvent::kNoDevice,
+             std::uint64_t aux0 = 0, std::uint64_t aux1 = 0,
+             std::uint64_t ts_override = kTraceNow, std::uint64_t dur = 0);
+
   ServiceConfig cfg_;
   engine::Engine engine_;
   WfqScheduler wfq_;
@@ -207,6 +239,9 @@ class AlignService {
   std::size_t max_inflight_ = 0;
   RequestId next_request_ = 1;
   std::uint64_t next_shard_ = 1;
+  FlightRecorder recorder_;
+  common::MetricsRegistry registry_;
+  std::uint64_t last_sample_ = 0;  ///< periodic sampler watermark
 };
 
 }  // namespace wfasic::svc

@@ -1,0 +1,276 @@
+// Request-scoped causal tracing (docs/OBSERVABILITY.md §3).
+//
+// Every AlignService request carries a trace id (its RequestId) and every
+// lifecycle transition emits one typed event in *modeled* time: admission
+// verdicts, queue wait, WFQ dispatch into a shard, attempt launches
+// (primary / hedge / retry / software degrade), device runs correlated
+// with the per-run PMU deltas the completion carries, cancellations,
+// preemption park/resume, checkpoint/restore costs, and the terminal
+// completion / deadline-miss / shed. Because timestamps are service-clock
+// cycles and every emission happens *after* the decision it describes,
+// recording is zero-perturbation by construction: simulated cycles, PMU
+// counters and results are bit-identical with the recorder on or off
+// (enforced by tests/test_tracing.cpp across the kernel×macro matrix).
+//
+// The FlightRecorder is the always-on consumer: a fixed-capacity ring of
+// POD events, preallocated at construction, zero-allocation on the hot
+// path (recording a full ring overwrites the oldest entry). It is meant
+// to be dumped on anomaly — deadline miss, quarantine, watchdog abort,
+// uncorrectable ECC — so the recent causal history of a failure is
+// available without a rerun. An opt-in keep-all mode retains the full
+// event stream for offline analysis (bench/service_latency --trace).
+//
+// Serialization, validation and causal-chain explanation live in
+// svc/trace_io.hpp; the wfasic-trace CLI wraps them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wfasic::svc {
+
+/// Every request/shard lifecycle transition the service can emit. The
+/// names (trace_event_kind_name) are the stable wire format of the dump;
+/// append new kinds at the end.
+enum class TraceEventKind : std::uint8_t {
+  // Admission (id = request).
+  kAdmit,          ///< accepted into a lane queue; aux0 = absolute deadline
+  kWouldBlock,     ///< backpressured (id = 0); aux0 = queue depth
+  kRejected,       ///< policy rejection, kRejectNew (id = 0)
+  kShedAdmission,  ///< dead on arrival: deadline already past
+  // Scheduling (id = request for kQueueWait, shard otherwise).
+  kQueueWait,      ///< span: admission → dispatch; aux0 = shard id
+  kDispatch,       ///< WFQ picked the lane, shard formed; aux0 = requests
+  kAttemptLaunch,  ///< engine submission; aux0 = attempt index,
+                   ///< aux1 = AttemptFlavor
+  kHedgeLaunch,    ///< straggler hedge placed (device = where)
+  kRetry,          ///< relaunch after a failed attempt; aux0 = attempts so far
+  kSwDegrade,      ///< routed to the software backend (policy or terminal)
+  // In-flight events (id = shard).
+  kCancel,         ///< cancel attempt on an engine job; aux0 = 1 if it stuck
+  kPreemptPark,    ///< checkpoint-evicted for urgent work
+  kPreemptResume,  ///< parked shard re-dispatched (device = new home)
+  kAttemptFailed,  ///< non-completed engine outcome; aux0 = drv::RunOutcome
+  kDeviceRun,      ///< span: winning run's device busy time; aux0 =
+                   ///< PMU wavefront steps, aux1 = PMU DMA beats read
+  kCheckpoint,     ///< snapshots taken during the winning run; aux0 = count
+  kRestore,        ///< restores applied; aux0 = count, aux1 = recomputed cyc
+  kHedgeWin,       ///< a hedge/retry attempt resolved the shard
+  kHedgeLose,      ///< losing attempt surfaced late; duplicate suppressed
+  // Terminal (id = request; exactly one per admitted or shed request).
+  kComplete,       ///< kOk; aux0 = latency in cycles
+  kDeadlineMiss,   ///< aligned past the deadline; aux0 = lateness
+  kShed,           ///< dropped without a result
+};
+
+/// AttemptLaunch aux1: why this engine submission exists.
+enum class AttemptFlavor : std::uint8_t {
+  kPrimary = 0,
+  kHedge = 1,
+  kRetryAttempt = 2,
+  kSoftware = 3,
+};
+
+/// Stable wire name of a kind (dump format + Perfetto event names).
+/// Returns nullptr for out-of-range values (the parser's validity check).
+[[nodiscard]] inline const char* trace_event_kind_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kAdmit: return "admit";
+    case TraceEventKind::kWouldBlock: return "would-block";
+    case TraceEventKind::kRejected: return "rejected";
+    case TraceEventKind::kShedAdmission: return "shed-admission";
+    case TraceEventKind::kQueueWait: return "queue-wait";
+    case TraceEventKind::kDispatch: return "dispatch";
+    case TraceEventKind::kAttemptLaunch: return "attempt-launch";
+    case TraceEventKind::kHedgeLaunch: return "hedge-launch";
+    case TraceEventKind::kRetry: return "retry";
+    case TraceEventKind::kSwDegrade: return "sw-degrade";
+    case TraceEventKind::kCancel: return "cancel";
+    case TraceEventKind::kPreemptPark: return "preempt-park";
+    case TraceEventKind::kPreemptResume: return "preempt-resume";
+    case TraceEventKind::kAttemptFailed: return "attempt-failed";
+    case TraceEventKind::kDeviceRun: return "device-run";
+    case TraceEventKind::kCheckpoint: return "checkpoint";
+    case TraceEventKind::kRestore: return "restore";
+    case TraceEventKind::kHedgeWin: return "hedge-win";
+    case TraceEventKind::kHedgeLose: return "hedge-lose";
+    case TraceEventKind::kComplete: return "complete";
+    case TraceEventKind::kDeadlineMiss: return "deadline-miss";
+    case TraceEventKind::kShed: return "shed";
+  }
+  return nullptr;
+}
+
+/// One trace event. Fixed-size POD — no strings, no heap — so the flight
+/// recorder's ring stores it without allocating. `id` is a RequestId for
+/// request-scoped kinds and a shard id for shard-scoped kinds (the kind
+/// comments above say which); kQueueWait carries both (id = request,
+/// aux0 = shard), which is what lets the explainer join a request to the
+/// shard events that decided its fate.
+struct RequestTraceEvent {
+  /// Sentinel device: "no device involved". The software backend is
+  /// engine.num_devices(), passed through as-is.
+  static constexpr std::uint32_t kNoDevice = ~std::uint32_t{0};
+
+  std::uint64_t ts = 0;   ///< service clock (modeled cycles)
+  std::uint64_t dur = 0;  ///< span kinds only (kQueueWait, kDeviceRun)
+  std::uint64_t id = 0;   ///< request id or shard id (kind-dependent)
+  std::uint64_t aux0 = 0;
+  std::uint64_t aux1 = 0;
+  std::uint32_t lane = 0;
+  std::uint32_t device = kNoDevice;
+  TraceEventKind kind = TraceEventKind::kAdmit;
+
+  bool operator==(const RequestTraceEvent&) const = default;
+};
+
+/// Why the recorder flagged the run as anomalous (the dump triggers).
+enum class AnomalyKind : std::uint8_t {
+  kNone = 0,
+  kDeadlineMiss,
+  kShed,
+  kAttemptFailure,  ///< watchdog abort / DMA error / uncorrectable ECC
+  kQuarantine,      ///< a device's circuit breaker tripped
+};
+
+[[nodiscard]] inline const char* anomaly_kind_name(AnomalyKind k) {
+  switch (k) {
+    case AnomalyKind::kNone: return "none";
+    case AnomalyKind::kDeadlineMiss: return "deadline-miss";
+    case AnomalyKind::kShed: return "shed";
+    case AnomalyKind::kAttemptFailure: return "attempt-failure";
+    case AnomalyKind::kQuarantine: return "quarantine";
+  }
+  return "?";
+}
+
+/// Always-on bounded event ring. The capacity is allocated once at
+/// construction; record() writes into the ring and bumps two counters —
+/// no allocation, no branching on consumer state — so leaving it enabled
+/// in production costs a few stores per lifecycle transition.
+///
+/// capacity = 0 disables recording entirely (the recorder-off arm of the
+/// zero-perturbation differential). keep_all additionally retains every
+/// event in an unbounded side buffer — the full-export mode, off by
+/// default, for offline analysis.
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity,
+                          bool keep_all = false)
+      : ring_(capacity), keep_all_(keep_all) {}
+
+  [[nodiscard]] bool enabled() const {
+    return !ring_.empty() || keep_all_;
+  }
+  [[nodiscard]] bool keep_all() const { return keep_all_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  void record(const RequestTraceEvent& ev) {
+    if (!ring_.empty()) {
+      if (ring_count_ == ring_.size()) ++dropped_;
+      ring_[head_] = ev;
+      head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+      if (ring_count_ < ring_.size()) ++ring_count_;
+    }
+    if (keep_all_) all_.push_back(ev);
+    ++recorded_;
+  }
+
+  /// Events ever recorded / overwritten out of the ring. recorded -
+  /// dropped = events still retrievable from ring_events() (when
+  /// keep_all is off).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+  /// The ring's contents, oldest first.
+  [[nodiscard]] std::vector<RequestTraceEvent> ring_events() const {
+    std::vector<RequestTraceEvent> out;
+    out.reserve(ring_count_);
+    const std::size_t start =
+        ring_count_ == ring_.size() ? head_ : 0;
+    for (std::size_t i = 0; i < ring_count_; ++i) {
+      out.push_back(ring_[(start + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  /// The full stream (keep_all mode only; empty otherwise).
+  [[nodiscard]] const std::vector<RequestTraceEvent>& all_events() const {
+    return all_;
+  }
+
+  /// What a dump should serialize: the full stream when kept, else the
+  /// ring. `events_dropped` tells the consumer whether the view is
+  /// truncated (trace_io relaxes its pairing invariants then).
+  [[nodiscard]] std::vector<RequestTraceEvent> export_events() const {
+    return keep_all_ ? all_ : ring_events();
+  }
+  [[nodiscard]] std::uint64_t events_dropped() const {
+    return keep_all_ ? 0 : dropped_;
+  }
+
+  // --- Anomaly latch --------------------------------------------------------
+  /// The service notes each anomaly it observes; a consumer that tracks
+  /// anomalies() across pumps knows when to dump the ring.
+  void note_anomaly(AnomalyKind kind, std::uint64_t cycle) {
+    ++anomalies_;
+    last_anomaly_ = kind;
+    last_anomaly_cycle_ = cycle;
+  }
+  [[nodiscard]] std::uint64_t anomalies() const { return anomalies_; }
+  [[nodiscard]] AnomalyKind last_anomaly() const { return last_anomaly_; }
+  [[nodiscard]] std::uint64_t last_anomaly_cycle() const {
+    return last_anomaly_cycle_;
+  }
+
+ private:
+  std::vector<RequestTraceEvent> ring_;  ///< preallocated, fixed size
+  std::size_t head_ = 0;                 ///< next write position
+  std::size_t ring_count_ = 0;           ///< valid entries in the ring
+  std::uint64_t recorded_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool keep_all_ = false;
+  std::vector<RequestTraceEvent> all_;
+  std::uint64_t anomalies_ = 0;
+  AnomalyKind last_anomaly_ = AnomalyKind::kNone;
+  std::uint64_t last_anomaly_cycle_ = 0;
+};
+
+/// Service-level tracing knobs (ServiceConfig::trace).
+struct TraceConfig {
+  /// Flight-recorder ring size; 0 disables recording entirely (the
+  /// recorder-off arm of the zero-perturbation differential).
+  std::size_t ring_capacity = FlightRecorder::kDefaultCapacity;
+  /// Full-export mode: additionally retain every event (unbounded).
+  /// Off by default; bench/service_latency --trace turns it on.
+  bool keep_all = false;
+  /// Periodic registry sampling cadence in modeled cycles (0 = off):
+  /// every interval the service re-exports its metrics into the registry
+  /// and appends one sample row (MetricsRegistry::sample).
+  std::uint64_t sample_interval = 0;
+};
+
+/// A self-describing flight-recorder export: the events plus the context
+/// needed to validate and render them. Serialization, parsing, validation
+/// and causal-chain explanation live in svc/trace_io.hpp.
+struct TraceDump {
+  static constexpr int kVersion = 1;
+
+  std::uint64_t now = 0;       ///< service clock at dump time
+  unsigned lanes = 0;          ///< tenant lane count
+  unsigned devices = 0;        ///< hardware devices (device==devices: sw)
+  std::uint64_t recorded = 0;  ///< events ever recorded
+  std::uint64_t dropped = 0;   ///< overwritten out of the ring
+  std::uint64_t anomalies = 0;
+  AnomalyKind last_anomaly = AnomalyKind::kNone;
+  std::uint64_t last_anomaly_cycle = 0;
+  std::vector<RequestTraceEvent> events;
+
+  /// True when the event list is the complete history (nothing was
+  /// overwritten), so pairing invariants must hold.
+  [[nodiscard]] bool complete() const { return dropped == 0; }
+};
+
+}  // namespace wfasic::svc

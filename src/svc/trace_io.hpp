@@ -1,0 +1,534 @@
+// Request-trace serialization, validation and causal-chain explanation
+// (docs/OBSERVABILITY.md §3).
+//
+// The on-disk format is a versioned line-oriented text dump — trivially
+// greppable, no JSON parser needed to read it back:
+//
+//   # wfasic-request-trace v1
+//   # meta now 4096
+//   # meta lanes 2
+//   # meta devices 2
+//   # meta recorded 117 dropped 0
+//   # meta anomalies 1 last deadline-miss 3072
+//   E <ts> <dur> <kind> <id> <lane> <device> <aux0> <aux1>
+//
+// `device` is -1 when no device was involved and num_devices for the
+// software backend. One parse/validate/explain implementation serves the
+// wfasic-trace CLI, bench/service_latency --trace and the tests, so a
+// dump any producer writes is readable by every consumer.
+//
+// Everything here is offline analysis of an already-captured dump; none
+// of it runs while the service is pumping, so it cannot perturb modeled
+// time.
+#pragma once
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/trace_json.hpp"
+#include "sim/trace.hpp"
+#include "svc/trace.hpp"
+#include "svc/types.hpp"
+
+namespace wfasic::svc {
+
+[[nodiscard]] inline std::optional<TraceEventKind> trace_event_kind_from_name(
+    const std::string& name) {
+  for (int k = 0; k <= static_cast<int>(TraceEventKind::kShed); ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    if (name == trace_event_kind_name(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+// --- Serialization ----------------------------------------------------------
+
+inline void write_trace_dump(const TraceDump& dump, std::ostream& os) {
+  os << "# wfasic-request-trace v" << TraceDump::kVersion << "\n";
+  os << "# meta now " << dump.now << "\n";
+  os << "# meta lanes " << dump.lanes << "\n";
+  os << "# meta devices " << dump.devices << "\n";
+  os << "# meta recorded " << dump.recorded << " dropped " << dump.dropped
+     << "\n";
+  os << "# meta anomalies " << dump.anomalies << " last "
+     << anomaly_kind_name(dump.last_anomaly) << " "
+     << dump.last_anomaly_cycle << "\n";
+  for (const RequestTraceEvent& ev : dump.events) {
+    const long long device =
+        ev.device == RequestTraceEvent::kNoDevice
+            ? -1LL
+            : static_cast<long long>(ev.device);
+    os << "E " << ev.ts << " " << ev.dur << " "
+       << trace_event_kind_name(ev.kind) << " " << ev.id << " " << ev.lane
+       << " " << device << " " << ev.aux0 << " " << ev.aux1 << "\n";
+  }
+}
+
+[[nodiscard]] inline std::string trace_dump_to_string(const TraceDump& dump) {
+  std::ostringstream os;
+  write_trace_dump(dump, os);
+  return os.str();
+}
+
+/// Returns false (without aborting) when the file cannot be opened — a
+/// failed dump must never take the service down with it.
+inline bool write_trace_dump_file(const TraceDump& dump,
+                                  const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  write_trace_dump(dump, os);
+  return os.good();
+}
+
+// --- Parsing ----------------------------------------------------------------
+
+/// Parses a dump from `is`. On failure returns false and (optionally)
+/// explains why in `*error`, naming the offending line.
+inline bool parse_trace_dump(std::istream& is, TraceDump& out,
+                             std::string* error = nullptr) {
+  const auto fail = [&](std::size_t line_no, const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return false;
+  };
+  out = TraceDump{};
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    if (line[0] == '#') {
+      std::string hash, word;
+      ls >> hash >> word;
+      if (!saw_header) {
+        if (word != "wfasic-request-trace") {
+          return fail(line_no, "not a wfasic-request-trace dump");
+        }
+        std::string version;
+        ls >> version;
+        if (version != "v" + std::to_string(TraceDump::kVersion)) {
+          return fail(line_no, "unsupported version '" + version + "'");
+        }
+        saw_header = true;
+        continue;
+      }
+      if (word != "meta") continue;  // unknown comment: ignore
+      std::string key;
+      ls >> key;
+      if (key == "now") {
+        ls >> out.now;
+      } else if (key == "lanes") {
+        ls >> out.lanes;
+      } else if (key == "devices") {
+        ls >> out.devices;
+      } else if (key == "recorded") {
+        std::string dk;
+        ls >> out.recorded >> dk >> out.dropped;
+      } else if (key == "anomalies") {
+        std::string lk, name;
+        ls >> out.anomalies >> lk >> name >> out.last_anomaly_cycle;
+        for (int k = 0; k <= static_cast<int>(AnomalyKind::kQuarantine);
+             ++k) {
+          if (name == anomaly_kind_name(static_cast<AnomalyKind>(k))) {
+            out.last_anomaly = static_cast<AnomalyKind>(k);
+          }
+        }
+      }
+      // Unknown meta keys are ignored: forward compatibility.
+      continue;
+    }
+    if (!saw_header) return fail(line_no, "events before the header");
+    std::string tag, kind_name;
+    long long device = -1;
+    RequestTraceEvent ev;
+    ls >> tag;
+    if (tag != "E") return fail(line_no, "unknown record '" + tag + "'");
+    ls >> ev.ts >> ev.dur >> kind_name >> ev.id >> ev.lane >> device >>
+        ev.aux0 >> ev.aux1;
+    if (!ls) return fail(line_no, "malformed event record");
+    const auto kind = trace_event_kind_from_name(kind_name);
+    if (!kind) return fail(line_no, "unknown event kind '" + kind_name + "'");
+    ev.kind = *kind;
+    ev.device = device < 0 ? RequestTraceEvent::kNoDevice
+                           : static_cast<std::uint32_t>(device);
+    out.events.push_back(ev);
+  }
+  if (!saw_header) return fail(0, "empty input (no header)");
+  return true;
+}
+
+inline bool parse_trace_dump_file(const std::string& path, TraceDump& out,
+                                  std::string* error = nullptr) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return parse_trace_dump(is, out, error);
+}
+
+// --- Validation -------------------------------------------------------------
+
+namespace trace_detail {
+
+[[nodiscard]] inline bool is_terminal(TraceEventKind k) {
+  return k == TraceEventKind::kComplete ||
+         k == TraceEventKind::kDeadlineMiss || k == TraceEventKind::kShed;
+}
+
+[[nodiscard]] inline bool is_admission(TraceEventKind k) {
+  return k == TraceEventKind::kAdmit || k == TraceEventKind::kShedAdmission;
+}
+
+}  // namespace trace_detail
+
+/// Schema + invariant validation. Always checked: timestamps within the
+/// dump's clock bound, lane/device indices within the declared topology.
+/// Additionally, for complete dumps (dropped == 0): at most one terminal
+/// event per request, every terminal preceded by that request's admission
+/// event, and every queue-wait joined to a recorded dispatch. Truncated
+/// rings skip the pairing rules — the admission may have been overwritten.
+inline bool validate_trace_dump(const TraceDump& dump,
+                                std::string* error = nullptr) {
+  const auto fail = [&](std::size_t idx, const std::string& why) {
+    if (error != nullptr) {
+      *error = "event " + std::to_string(idx) + " (" +
+               trace_event_kind_name(dump.events[idx].kind) + "): " + why;
+    }
+    return false;
+  };
+  std::map<std::uint64_t, std::size_t> admitted;   // request -> event idx
+  std::map<std::uint64_t, std::size_t> terminal;   // request -> event idx
+  std::map<std::uint64_t, std::size_t> dispatched; // shard -> event idx
+  for (std::size_t i = 0; i < dump.events.size(); ++i) {
+    const RequestTraceEvent& ev = dump.events[i];
+    if (ev.ts > dump.now) return fail(i, "timestamp beyond the dump clock");
+    if (ev.dur != 0 && ev.ts + ev.dur > dump.now) {
+      return fail(i, "span extends beyond the dump clock");
+    }
+    if (dump.lanes != 0 && ev.lane >= dump.lanes) {
+      return fail(i, "lane out of range");
+    }
+    if (ev.device != RequestTraceEvent::kNoDevice && ev.device > dump.devices) {
+      return fail(i, "device out of range");
+    }
+    if (trace_detail::is_admission(ev.kind) && ev.id != 0) {
+      admitted.emplace(ev.id, i);
+    }
+    if (ev.kind == TraceEventKind::kDispatch) dispatched.emplace(ev.id, i);
+    if (trace_detail::is_terminal(ev.kind)) {
+      const auto [it, inserted] = terminal.emplace(ev.id, i);
+      if (!inserted) return fail(i, "duplicate terminal event for request");
+    }
+  }
+  if (!dump.complete()) return true;  // ring truncated: pairing is best-effort
+  for (const auto& [id, idx] : terminal) {
+    const auto adm = admitted.find(id);
+    if (adm == admitted.end()) {
+      return fail(idx, "terminal without an admission event");
+    }
+    if (dump.events[adm->second].ts > dump.events[idx].ts) {
+      return fail(idx, "terminal precedes its admission");
+    }
+  }
+  for (std::size_t i = 0; i < dump.events.size(); ++i) {
+    const RequestTraceEvent& ev = dump.events[i];
+    if (ev.kind == TraceEventKind::kQueueWait &&
+        dispatched.find(ev.aux0) == dispatched.end()) {
+      return fail(i, "queue-wait names an unrecorded shard");
+    }
+  }
+  return true;
+}
+
+// --- Summary ----------------------------------------------------------------
+
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t kind_counts[static_cast<int>(TraceEventKind::kShed) + 1] = {};
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_missed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t max_latency = 0;        ///< kComplete/kDeadlineMiss aux0
+  std::uint64_t max_queue_wait = 0;
+
+  [[nodiscard]] std::uint64_t count(TraceEventKind k) const {
+    return kind_counts[static_cast<int>(k)];
+  }
+};
+
+[[nodiscard]] inline TraceSummary summarize_trace(const TraceDump& dump) {
+  TraceSummary s;
+  s.events = dump.events.size();
+  for (const RequestTraceEvent& ev : dump.events) {
+    ++s.kind_counts[static_cast<int>(ev.kind)];
+    switch (ev.kind) {
+      case TraceEventKind::kAdmit:
+      case TraceEventKind::kShedAdmission:
+        ++s.requests_admitted;
+        break;
+      case TraceEventKind::kComplete:
+        ++s.completed;
+        s.max_latency = std::max(s.max_latency, ev.aux0);
+        break;
+      case TraceEventKind::kDeadlineMiss:
+        ++s.deadline_missed;
+        s.max_latency = std::max(s.max_latency, ev.aux0);
+        break;
+      case TraceEventKind::kShed:
+        ++s.shed;
+        break;
+      case TraceEventKind::kQueueWait:
+        s.max_queue_wait = std::max(s.max_queue_wait, ev.dur);
+        break;
+      default:
+        break;
+    }
+  }
+  return s;
+}
+
+[[nodiscard]] inline std::vector<std::string> format_trace_summary(
+    const TraceDump& dump) {
+  const TraceSummary s = summarize_trace(dump);
+  std::vector<std::string> lines;
+  lines.push_back("events " + std::to_string(s.events) + " (recorded " +
+                  std::to_string(dump.recorded) + ", dropped " +
+                  std::to_string(dump.dropped) + ")");
+  lines.push_back("clock " + std::to_string(dump.now) + "  lanes " +
+                  std::to_string(dump.lanes) + "  devices " +
+                  std::to_string(dump.devices));
+  lines.push_back(
+      "requests " + std::to_string(s.requests_admitted) + " admitted, " +
+      std::to_string(s.completed) + " ok, " +
+      std::to_string(s.deadline_missed) + " deadline-missed, " +
+      std::to_string(s.shed) + " shed");
+  lines.push_back("anomalies " + std::to_string(dump.anomalies) +
+                  (dump.anomalies != 0
+                       ? std::string(" (last ") +
+                             anomaly_kind_name(dump.last_anomaly) + " @" +
+                             std::to_string(dump.last_anomaly_cycle) + ")"
+                       : std::string()));
+  for (int k = 0; k <= static_cast<int>(TraceEventKind::kShed); ++k) {
+    const auto kind = static_cast<TraceEventKind>(k);
+    if (s.count(kind) == 0) continue;
+    lines.push_back("  " + std::string(trace_event_kind_name(kind)) + " " +
+                    std::to_string(s.count(kind)));
+  }
+  return lines;
+}
+
+// --- Causal-chain explanation -----------------------------------------------
+
+/// The reconstructed story of one request: its admission, its queue wait,
+/// every event of the shard that carried it, and its terminal — in
+/// timestamp order, ready to print. Empty when the dump holds no event
+/// for the request (e.g. overwritten out of a truncated ring).
+struct RequestExplanation {
+  RequestId request = 0;
+  std::uint64_t shard = 0;                ///< 0 = never dispatched
+  std::vector<RequestTraceEvent> chain;   ///< ts-ordered causal chain
+  std::string verdict;                    ///< one-line "why" summary
+};
+
+[[nodiscard]] inline std::string format_trace_event(
+    const RequestTraceEvent& ev) {
+  std::string out = "@" + std::to_string(ev.ts);
+  out += " " + std::string(trace_event_kind_name(ev.kind));
+  out += " id=" + std::to_string(ev.id);
+  out += " lane=" + std::to_string(ev.lane);
+  if (ev.device != RequestTraceEvent::kNoDevice) {
+    out += " device=" + std::to_string(ev.device);
+  }
+  if (ev.dur != 0) out += " dur=" + std::to_string(ev.dur);
+  if (ev.aux0 != 0) out += " aux0=" + std::to_string(ev.aux0);
+  if (ev.aux1 != 0) out += " aux1=" + std::to_string(ev.aux1);
+  return out;
+}
+
+[[nodiscard]] inline RequestExplanation explain_request(const TraceDump& dump,
+                                                        RequestId id) {
+  RequestExplanation ex;
+  ex.request = id;
+  // Pass 1: the request-scoped events, and the shard the request rode
+  // (the queue-wait event carries the request → shard join).
+  for (const RequestTraceEvent& ev : dump.events) {
+    if (ev.id != id) continue;
+    switch (ev.kind) {
+      case TraceEventKind::kAdmit:
+      case TraceEventKind::kShedAdmission:
+      case TraceEventKind::kQueueWait:
+      case TraceEventKind::kComplete:
+      case TraceEventKind::kDeadlineMiss:
+      case TraceEventKind::kShed:
+        ex.chain.push_back(ev);
+        if (ev.kind == TraceEventKind::kQueueWait) ex.shard = ev.aux0;
+        break;
+      default:
+        break;
+    }
+  }
+  // Pass 2: everything that happened to that shard.
+  if (ex.shard != 0) {
+    for (const RequestTraceEvent& ev : dump.events) {
+      if (ev.id != ex.shard) continue;
+      switch (ev.kind) {
+        case TraceEventKind::kDispatch:
+        case TraceEventKind::kAttemptLaunch:
+        case TraceEventKind::kHedgeLaunch:
+        case TraceEventKind::kRetry:
+        case TraceEventKind::kSwDegrade:
+        case TraceEventKind::kCancel:
+        case TraceEventKind::kPreemptPark:
+        case TraceEventKind::kPreemptResume:
+        case TraceEventKind::kAttemptFailed:
+        case TraceEventKind::kDeviceRun:
+        case TraceEventKind::kCheckpoint:
+        case TraceEventKind::kRestore:
+        case TraceEventKind::kHedgeWin:
+        case TraceEventKind::kHedgeLose:
+          ex.chain.push_back(ev);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  std::stable_sort(ex.chain.begin(), ex.chain.end(),
+                   [](const RequestTraceEvent& a, const RequestTraceEvent& b) {
+                     // queue-wait is stamped at arrival; order spans by
+                     // their *end* so the chain reads causally.
+                     return a.ts + a.dur < b.ts + b.dur;
+                   });
+
+  // Verdict: name the dominant contributor to the request's latency.
+  std::uint64_t queue_wait = 0, device_run = 0;
+  std::uint64_t failures = 0, retries = 0, preemptions = 0, restores = 0;
+  const RequestTraceEvent* term = nullptr;
+  for (const RequestTraceEvent& ev : ex.chain) {
+    switch (ev.kind) {
+      case TraceEventKind::kQueueWait: queue_wait = ev.dur; break;
+      case TraceEventKind::kDeviceRun: device_run += ev.dur; break;
+      case TraceEventKind::kAttemptFailed: ++failures; break;
+      case TraceEventKind::kRetry: ++retries; break;
+      case TraceEventKind::kPreemptPark: ++preemptions; break;
+      case TraceEventKind::kRestore: restores += ev.aux0; break;
+      case TraceEventKind::kComplete:
+      case TraceEventKind::kDeadlineMiss:
+      case TraceEventKind::kShed:
+        term = &ev;
+        break;
+      default: break;
+    }
+  }
+  if (ex.chain.empty()) {
+    ex.verdict = "request " + std::to_string(id) + ": no events in the dump";
+    return ex;
+  }
+  std::string why;
+  if (term == nullptr) {
+    why = "still in flight at dump time";
+  } else if (term->kind == TraceEventKind::kComplete) {
+    why = "completed in " + std::to_string(term->aux0) + " cycles";
+  } else if (term->kind == TraceEventKind::kDeadlineMiss) {
+    why = "missed its deadline by " + std::to_string(term->aux0) + " cycles";
+  } else {
+    why = "shed without a result";
+  }
+  std::string cause;
+  if (failures != 0 || retries != 0) {
+    cause = std::to_string(failures) + " failed attempt(s), " +
+            std::to_string(retries) + " retr(ies)";
+  } else if (preemptions != 0) {
+    cause = "preempted " + std::to_string(preemptions) + " time(s)";
+  } else if (restores != 0) {
+    cause = std::to_string(restores) + " checkpoint restore(s)";
+  } else if (queue_wait > device_run) {
+    cause = "dominated by queue wait (" + std::to_string(queue_wait) +
+            " cycles waiting vs " + std::to_string(device_run) +
+            " running)";
+  } else if (device_run != 0) {
+    cause = "dominated by device time (" + std::to_string(device_run) +
+            " cycles running vs " + std::to_string(queue_wait) +
+            " waiting)";
+  } else {
+    cause = "never dispatched";
+  }
+  ex.verdict = "request " + std::to_string(id) + " " + why + ": " + cause;
+  return ex;
+}
+
+/// The request worth explaining first: the worst deadline miss (largest
+/// lateness), else the slowest completion, else 0 when the dump holds no
+/// terminal events.
+[[nodiscard]] inline RequestId worst_request(const TraceDump& dump) {
+  RequestId worst_miss = 0, worst_ok = 0;
+  std::uint64_t miss_late = 0, ok_latency = 0;
+  for (const RequestTraceEvent& ev : dump.events) {
+    if (ev.kind == TraceEventKind::kDeadlineMiss && ev.aux0 >= miss_late) {
+      miss_late = ev.aux0;
+      worst_miss = ev.id;
+    }
+    if (ev.kind == TraceEventKind::kComplete && ev.aux0 >= ok_latency) {
+      ok_latency = ev.aux0;
+      worst_ok = ev.id;
+    }
+  }
+  return worst_miss != 0 ? worst_miss : worst_ok;
+}
+
+// --- Perfetto rendering -----------------------------------------------------
+
+/// Renders the dump in the repo's existing Chrome trace-event JSON format
+/// (common/trace_json.hpp), with one track per tenant lane (admission,
+/// queue waits and terminals) and one per device plus the software
+/// backend (shard-scoped events). Loadable in Perfetto next to the
+/// device-level cycle traces — both clocks are modeled cycles.
+[[nodiscard]] inline std::string trace_dump_to_perfetto_json(
+    const TraceDump& dump) {
+  sim::TraceSink sink;
+  sink.set_enabled(true);
+  std::vector<std::uint32_t> lane_tracks;
+  for (unsigned l = 0; l < std::max(dump.lanes, 1u); ++l) {
+    lane_tracks.push_back(sink.register_track("lane " + std::to_string(l)));
+  }
+  std::vector<std::uint32_t> device_tracks;
+  for (unsigned d = 0; d < dump.devices; ++d) {
+    device_tracks.push_back(
+        sink.register_track("device " + std::to_string(d)));
+  }
+  device_tracks.push_back(sink.register_track("software"));
+  const std::uint32_t svc_track = sink.register_track("service");
+  for (const RequestTraceEvent& ev : dump.events) {
+    std::uint32_t track = svc_track;
+    if (ev.device != RequestTraceEvent::kNoDevice &&
+        ev.device < device_tracks.size()) {
+      track = device_tracks[ev.device];
+    } else if (ev.lane < lane_tracks.size()) {
+      track = lane_tracks[ev.lane];
+    }
+    const char* name = trace_event_kind_name(ev.kind);
+    if (ev.dur != 0) {
+      sink.span(track, name, "svc", ev.ts, ev.ts + ev.dur - 1, ev.id);
+    } else {
+      sink.instant(track, name, "svc", ev.ts, ev.id);
+    }
+  }
+  return common::to_chrome_trace_json(sink);
+}
+
+}  // namespace wfasic::svc

@@ -18,6 +18,7 @@
 #include "common/prng.hpp"
 #include "core/wfa.hpp"
 #include "sim/fault_injector.hpp"
+#include "svc/trace_io.hpp"
 
 namespace wfasic::svc {
 namespace {
@@ -301,6 +302,107 @@ TEST(Svc, LateCompletionIsMarkedDeadlineMissAndStillDelivers) {
     }
   }
   EXPECT_EQ(svc.stats().lanes[0].deadline_miss, 1u);
+}
+
+// The observability acceptance case (docs/OBSERVABILITY.md §3): a
+// deliberately deadline-missed request must be fully reconstructible
+// from one flight-recorder dump — the causal chain from admission
+// through queue wait, dispatch, launch and device run to the late
+// completion, with timestamps matching the harvested completion record.
+TEST(Svc, DeadlineMissIsReconstructibleFromOneTraceDump) {
+  ServiceConfig cfg = small_config();
+  cfg.max_batch_pairs = 2;
+  cfg.hedge.enabled = false;
+  cfg.trace.keep_all = true;  // full export: nothing overwritten
+  AlignService svc(cfg);
+
+  // Same construction as the miss test above: the deadlined long pair
+  // rides in a shard with an undeadlined short pair, so the shard is
+  // neither budget-shed nor cancellable — it dispatches before expiry,
+  // runs past the deadline, and comes back late.
+  Prng prng(46);
+  std::string long_a = gen::random_sequence(prng, 1500);
+  const std::string long_b = gen::mutate_sequence(prng, long_a, 0.10);
+  std::string short_a = gen::random_sequence(prng, 120);
+  const std::string short_b = gen::mutate_sequence(prng, short_a, 0.05);
+  const std::uint64_t deadline = cfg.engine.device.poll_quantum / 2;
+  const SubmitResult late = svc.submit(0, long_a, long_b, deadline);
+  const SubmitResult ok = svc.submit(0, short_a, short_b);
+  ASSERT_TRUE(late.accepted());
+  ASSERT_TRUE(ok.accepted());
+  svc.drain();
+
+  const auto done = svc.harvest();
+  ASSERT_EQ(done.size(), 2u);
+  const auto it = std::find_if(done.begin(), done.end(),
+                               [&](const ServiceCompletion& d) {
+                                 return d.id == late.id;
+                               });
+  ASSERT_NE(it, done.end());
+  const ServiceCompletion& c = *it;
+  ASSERT_EQ(c.outcome, RequestOutcome::kDeadlineMiss);
+
+  // One dump, taken after the fact.
+  const TraceDump dump = svc.trace_dump();
+  std::string error;
+  ASSERT_TRUE(validate_trace_dump(dump, &error)) << error;
+  EXPECT_TRUE(dump.complete());  // keep-all: the full causal history
+  EXPECT_GE(dump.anomalies, 1u);
+  EXPECT_EQ(dump.last_anomaly, AnomalyKind::kDeadlineMiss);
+  EXPECT_EQ(dump.last_anomaly_cycle, c.complete_cycle);
+
+  // Reconstruct the request's chain and check each link against the
+  // completion record.
+  const RequestExplanation ex = explain_request(dump, late.id);
+  ASSERT_FALSE(ex.chain.empty());
+  const auto find_kind = [&](TraceEventKind k) -> const RequestTraceEvent* {
+    for (const RequestTraceEvent& ev : ex.chain) {
+      if (ev.kind == k) return &ev;
+    }
+    return nullptr;
+  };
+
+  const RequestTraceEvent* admit = find_kind(TraceEventKind::kAdmit);
+  ASSERT_NE(admit, nullptr);
+  EXPECT_EQ(admit->ts, c.arrival_cycle);
+  EXPECT_EQ(admit->aux0, c.deadline);
+
+  const RequestTraceEvent* wait = find_kind(TraceEventKind::kQueueWait);
+  ASSERT_NE(wait, nullptr);
+  EXPECT_EQ(wait->ts, c.arrival_cycle);
+
+  const RequestTraceEvent* dispatch =
+      find_kind(TraceEventKind::kDispatch);
+  ASSERT_NE(dispatch, nullptr);
+  EXPECT_EQ(dispatch->id, wait->aux0);  // the shard the wait joined to
+  EXPECT_EQ(dispatch->ts, wait->ts + wait->dur);
+  EXPECT_LT(dispatch->ts, c.deadline);  // dispatched before expiry
+
+  const RequestTraceEvent* launch =
+      find_kind(TraceEventKind::kAttemptLaunch);
+  ASSERT_NE(launch, nullptr);
+  EXPECT_EQ(launch->ts, dispatch->ts);
+
+  const RequestTraceEvent* run = find_kind(TraceEventKind::kDeviceRun);
+  ASSERT_NE(run, nullptr);
+  EXPECT_GT(run->dur, 0u);
+  EXPECT_LE(run->ts + run->dur, dump.now);
+
+  const RequestTraceEvent* miss =
+      find_kind(TraceEventKind::kDeadlineMiss);
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(miss->ts, c.complete_cycle);
+  EXPECT_EQ(miss->aux0, c.complete_cycle - c.deadline);  // lateness
+  EXPECT_EQ(miss->aux1, c.latency());
+
+  // The chain is causally ordered and the explainer names the verdict.
+  for (std::size_t i = 1; i < ex.chain.size(); ++i) {
+    EXPECT_LE(ex.chain[i - 1].ts, ex.chain[i].ts);
+  }
+  EXPECT_NE(ex.verdict.find("deadline"), std::string::npos);
+
+  // The CLI's worst-request heuristic singles out this very request.
+  EXPECT_EQ(worst_request(dump), late.id);
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,9 @@ Semantics:
     baseline-only keys are metrics a bench stopped emitting (usually a
     baseline refreshed against a newer bench). Neither is an error —
     refreshing the baseline reconciles both.
+  - The optional top-level "meta" block (run conditions stamped by
+    bench/bench_util.hpp: stepping strategy, sanitizer flags, device
+    count) is printed for the reader and never gated on.
   - A missing or malformed JSON file is a clear one-line diagnostic and
     exit 1, never a traceback.
 
@@ -45,7 +48,12 @@ def load_metrics(path):
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         raise ValueError(f"{path}: no 'metrics' object")
-    return doc.get("bench", "?"), metrics
+    # The optional "meta" block carries run conditions (stepping strategy,
+    # sanitizer flags, device count). It is informational by contract:
+    # printed for the reader, never compared or gated on, and absent from
+    # older reports.
+    meta = doc.get("meta")
+    return doc.get("bench", "?"), metrics, meta if isinstance(meta, dict) else {}
 
 
 def load_or_diagnose(path):
@@ -78,12 +86,17 @@ def main():
     loaded_cur = load_or_diagnose(args.current)
     if loaded_base is None or loaded_cur is None:
         return 1
-    base_name, base = loaded_base
-    cur_name, cur = loaded_cur
+    base_name, base, base_meta = loaded_base
+    cur_name, cur, cur_meta = loaded_cur
     if base_name != cur_name:
         print(f"FAIL: comparing different benches: "
               f"{base_name!r} vs {cur_name!r}")
         return 1
+    for key in sorted(set(base_meta) | set(cur_meta)):
+        b = base_meta.get(key, "<absent>")
+        c = cur_meta.get(key, "<absent>")
+        note = "" if b == c else f" (baseline {b!r})"
+        print(f"meta: {key}: {c!r}{note} (informational, not gated)")
 
     ratio_keys = set(args.key) | {"wall_speedup"} | {
         k for k in base if k.endswith("_gcups")}

@@ -27,7 +27,7 @@
 #      restores x (checkpoint_interval + poll_quantum) cycles.
 #
 # Usage:
-#   tools/run_fault_campaign.sh [build-dir] [repeats] [seeds]
+#   tools/run_fault_campaign.sh [build-dir] [repeats] [seeds] [artifacts]
 #
 #   build-dir  CMake build tree (default: build). Configure one first:
 #                cmake -B build -S . && cmake --build build -j
@@ -38,6 +38,13 @@
 #              the determinism tests this catches any nondeterminism or
 #              state leakage between runs.
 #   seeds      Seeds for the mixed escape campaign (default: 200, K=4).
+#   artifacts  Post-mortem artifact directory passed to both campaign
+#              tools as --artifacts= (default: campaign-artifacts).
+#              Each campaign leaves its flight-recorder ring there as
+#              <dir>/{mixed,failover}/campaign.trace, and every FAILING
+#              seed additionally leaves a device-0 Chrome trace JSON and
+#              a PMU/metrics stats dump — CI uploads the directory when a
+#              campaign layer goes red (docs/OBSERVABILITY.md §3).
 #
 # Deliberately NOT `set -e`: layers must keep running after a failure so
 # one red run reports every broken layer at once. pipefail stays on so a
@@ -47,6 +54,7 @@ set -uo pipefail
 BUILD_DIR="${1:-build}"
 REPEATS="${2:-100}"
 SEEDS="${3:-200}"
+ARTIFACTS="${4:-campaign-artifacts}"
 
 if [[ ! -d "${BUILD_DIR}" ]]; then
   echo "error: build dir '${BUILD_DIR}' not found; run cmake first" >&2
@@ -101,10 +109,12 @@ run_layer "checkpoint / restore / recovery determinism" \
   --repeat until-fail:"${REPEATS}"
 
 run_layer "mixed escape campaign (${SEEDS} seeds, K=4, ECC+CRC on)" \
-  "${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 4
+  "${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 4 \
+  --artifacts="${ARTIFACTS}/mixed"
 
 run_layer "checkpoint-failover campaign (${SEEDS} seeds, K=2, CRC on)" \
-  "${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 2 --failover
+  "${BUILD_DIR}/tools/wfasic-fault-campaign" "${SEEDS}" 2 --failover \
+  --artifacts="${ARTIFACTS}/failover"
 
 if ((${#FAILED_LAYERS[@]})); then
   echo "run_fault_campaign: FAILED layers: ${FAILED_LAYERS[*]}" >&2

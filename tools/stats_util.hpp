@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "common/quantile.hpp"
 #include "engine/metrics.hpp"
 #include "hw/perf.hpp"
 
@@ -28,13 +29,16 @@ inline void print_engine_metrics(const engine::EngineMetrics& metrics,
                static_cast<unsigned long long>(metrics.submits),
                static_cast<unsigned long long>(metrics.completions),
                metrics.in_flight_high_water);
+  const common::HistogramSummary lat = common::summarize(metrics.latency);
   std::fprintf(out,
-               "# latency (modelled cycles): mean %.1f min %llu max %llu "
-               "over %llu jobs\n",
-               metrics.latency.mean(),
-               static_cast<unsigned long long>(metrics.latency.min),
-               static_cast<unsigned long long>(metrics.latency.max),
-               static_cast<unsigned long long>(metrics.latency.count));
+               "# latency (modelled cycles): mean %.1f min %llu p50 %llu "
+               "p90 %llu p99 %llu max %llu over %llu jobs\n",
+               lat.mean, static_cast<unsigned long long>(lat.min),
+               static_cast<unsigned long long>(lat.p50),
+               static_cast<unsigned long long>(lat.p90),
+               static_cast<unsigned long long>(lat.p99),
+               static_cast<unsigned long long>(lat.max),
+               static_cast<unsigned long long>(lat.count));
   for (std::size_t d = 0; d < metrics.devices.size(); ++d) {
     const engine::DeviceMetrics& dm = metrics.devices[d];
     const bool is_sw = d + 1 == metrics.devices.size();

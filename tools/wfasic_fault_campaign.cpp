@@ -30,10 +30,19 @@
 // device 0 (the faulted runs themselves — the trace shows error instants
 // and aborted spans; see docs/OBSERVABILITY.md). Observational only: the
 // campaign verdict is bit-identical with and without them.
+//
+// --artifacts=<dir> turns on post-mortem collection (docs/OBSERVABILITY.md
+// §3): the campaign keeps its own flight recorder (one admit + verdict
+// event per seed, seed index as the clock), device tracing runs for every
+// seed, and each FAILING seed leaves <dir>/seed<N>_device0_trace.json plus
+// <dir>/seed<N>_stats.txt (PMU counters + engine metrics). The recorder
+// ring itself is written to <dir>/campaign.trace — wfasic-trace can
+// validate and summarize it. Observational only, like --stats/--trace.
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -43,6 +52,7 @@
 #include "engine/engine.hpp"
 #include "gen/seqgen.hpp"
 #include "sim/fault_injector.hpp"
+#include "svc/trace_io.hpp"
 #include "tools/stats_util.hpp"
 
 namespace {
@@ -55,6 +65,129 @@ struct Options {
   bool stats = false;
   bool failover = false;
   std::string trace_path;
+  std::string artifacts_dir;
+};
+
+// Post-mortem artifact collection for failing seeds (--artifacts). The
+// campaign's flight recorder reuses the service trace-event schema with
+// the seed index as the clock: each seed records an `admit` (id = seed)
+// and, if it passed, a `complete` (aux0 = faults fired, or restores in
+// the failover campaign); each failure
+// records an `attempt-failed` (aux0 = pair, aux1 = 1 corruption /
+// 2 unresolved / 3 recompute-bound violation) and latches the anomaly, so
+// `wfasic-trace --validate --summary <dir>/campaign.trace` gives the
+// whole campaign's shape at a glance.
+class CampaignArtifacts {
+ public:
+  explicit CampaignArtifacts(std::string dir) : dir_(std::move(dir)) {}
+
+  [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+
+  bool prepare() {
+    if (!enabled()) return true;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) {
+      std::fprintf(stderr, "error: cannot create artifact dir %s: %s\n",
+                   dir_.c_str(), ec.message().c_str());
+      return false;
+    }
+    return true;
+  }
+
+  void seed_started(std::uint64_t seed) {
+    if (!enabled()) return;
+    wfasic::svc::RequestTraceEvent ev;
+    ev.ts = seed;
+    ev.id = seed;
+    ev.kind = wfasic::svc::TraceEventKind::kAdmit;
+    recorder_.record(ev);
+  }
+
+  void seed_passed(std::uint64_t seed, std::uint64_t faults_fired) {
+    if (!enabled()) return;
+    wfasic::svc::RequestTraceEvent ev;
+    ev.ts = seed;
+    ev.id = seed;
+    ev.aux0 = faults_fired;
+    ev.kind = wfasic::svc::TraceEventKind::kComplete;
+    recorder_.record(ev);
+  }
+
+  /// Records the failure event and dumps the seed's device-0 trace and
+  /// stats files. `why`: 1 = corruption, 2 = unresolved, 3 = recompute
+  /// bound violated.
+  void seed_failed(wfasic::engine::Engine& engine, std::uint64_t seed,
+                   std::size_t pair, std::uint64_t why) {
+    if (!enabled()) return;
+    wfasic::svc::RequestTraceEvent ev;
+    ev.ts = seed;
+    ev.id = seed;
+    ev.aux0 = pair;
+    ev.aux1 = why;
+    ev.kind = wfasic::svc::TraceEventKind::kAttemptFailed;
+    recorder_.record(ev);
+    recorder_.note_anomaly(wfasic::svc::AnomalyKind::kAttemptFailure, seed);
+    if (dumped_seeds_.empty() || dumped_seeds_.back() != seed) {
+      dumped_seeds_.push_back(seed);
+      dump_seed(engine, seed);
+    }
+  }
+
+  /// Writes <dir>/campaign.trace (always when --artifacts is given, green
+  /// or red: a green campaign's dump is the baseline a red one is read
+  /// against). Returns false on I/O failure.
+  bool finish(std::uint64_t seeds, unsigned devices) {
+    if (!enabled()) return true;
+    wfasic::svc::TraceDump dump;
+    dump.now = seeds;
+    dump.lanes = 1;
+    dump.devices = devices;
+    dump.recorded = recorder_.recorded();
+    dump.dropped = recorder_.events_dropped();
+    dump.anomalies = recorder_.anomalies();
+    dump.last_anomaly = recorder_.last_anomaly();
+    dump.last_anomaly_cycle = recorder_.last_anomaly_cycle();
+    dump.events = recorder_.export_events();
+    const std::string path = dir_ + "/campaign.trace";
+    if (!wfasic::svc::write_trace_dump_file(dump, path)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "# artifacts: wrote %s (%zu events, %zu failing "
+                 "seed dumps)\n",
+                 path.c_str(), dump.events.size(), dumped_seeds_.size());
+    return true;
+  }
+
+ private:
+  void dump_seed(wfasic::engine::Engine& engine, std::uint64_t seed) {
+    const std::string base = dir_ + "/seed" + std::to_string(seed);
+    const wfasic::sim::TraceSink& sink =
+        engine.device(0).accelerator().trace();
+    if (sink.enabled()) {
+      const std::string trace_path = base + "_device0_trace.json";
+      if (!wfasic::common::write_chrome_trace_file(sink, trace_path)) {
+        std::fprintf(stderr, "# artifacts: cannot write %s\n",
+                     trace_path.c_str());
+      }
+    }
+    const std::string stats_path = base + "_stats.txt";
+    std::FILE* f = std::fopen(stats_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "# artifacts: cannot write %s\n",
+                   stats_path.c_str());
+      return;
+    }
+    wfasic::drv::Driver driver(engine.device(0).accelerator());
+    wfasic::tools::print_perf_snapshot(driver.read_perf_counters(), f);
+    wfasic::tools::print_engine_metrics(engine.metrics(), f);
+    std::fclose(f);
+  }
+
+  std::string dir_;
+  wfasic::svc::FlightRecorder recorder_;
+  std::vector<std::uint64_t> dumped_seeds_;
 };
 
 wfasic::sim::FaultInjector::CampaignConfig mixed_campaign(
@@ -83,6 +216,9 @@ wfasic::sim::FaultInjector::CampaignConfig mixed_campaign(
 int run_failover_campaign(const Options& opt) {
   using namespace wfasic;
 
+  CampaignArtifacts artifacts(opt.artifacts_dir);
+  if (!artifacts.prepare()) return 1;
+
   const auto pairs = gen::generate_input_set(
       {opt.read_len, 0.1, opt.pairs, /*seed=*/0xFA58});
 
@@ -110,8 +246,12 @@ int run_failover_campaign(const Options& opt) {
     cfg.device.accel.crc = true;  // turns silent write drops into kills
     cfg.device.poll_quantum = 4096;
     cfg.device.checkpoint_interval = 8192;
+    // Device tracing per seed when collecting artifacts, so a failing
+    // seed's dump is available without a rerun. Observational only.
+    cfg.device.accel.trace = artifacts.enabled();
 
     engine::Engine engine(cfg);
+    artifacts.seed_started(seed);
     std::vector<sim::FaultInjector> injectors(opt.devices);
     for (unsigned dev = 0; dev < opt.devices; ++dev) {
       // A seed-dependent spread of dropped write beats per device: early,
@@ -131,12 +271,15 @@ int run_failover_campaign(const Options& opt) {
     const engine::BatchResult merged =
         engine.run_dataset(pairs, /*batch_pairs=*/2, /*backtrace=*/true,
                            /*separate_data=*/false);
+    bool seed_ok = true;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       const bool ok = merged.alignments[i].ok &&
                       merged.alignments[i].score == expected[i].score &&
                       merged.alignments[i].cigar.rle() == expected[i].cigar.rle();
       if (!ok) {
         ++escapes;
+        seed_ok = false;
+        artifacts.seed_failed(engine, seed, i, /*why=*/1);
         std::fprintf(stderr, "seed %llu pair %zu: CORRUPTED AFTER FAILOVER\n",
                      static_cast<unsigned long long>(seed), i);
       }
@@ -147,12 +290,15 @@ int run_failover_campaign(const Options& opt) {
         rec.restores * (cfg.device.checkpoint_interval + cfg.device.poll_quantum);
     if (rec.recomputed_cycles > bound) {
       ++bound_violations;
+      seed_ok = false;
+      artifacts.seed_failed(engine, seed, /*pair=*/0, /*why=*/3);
       std::fprintf(stderr,
                    "seed %llu: RECOMPUTE BOUND VIOLATED (%llu > %llu)\n",
                    static_cast<unsigned long long>(seed),
                    static_cast<unsigned long long>(rec.recomputed_cycles),
                    static_cast<unsigned long long>(bound));
     }
+    if (seed_ok) artifacts.seed_passed(seed, rec.restores);
     checkpoints += rec.checkpoints;
     migrations += rec.migrations;
     restores += rec.restores;
@@ -187,6 +333,7 @@ int run_failover_campaign(const Options& opt) {
       static_cast<unsigned long long>(bound_violations),
       static_cast<unsigned long long>(escapes));
 
+  if (!artifacts.finish(opt.seeds, opt.devices)) return 1;
   if (escapes != 0 || bound_violations != 0) {
     std::fprintf(stderr, "FAIL: %llu corruptions, %llu bound violations\n",
                  static_cast<unsigned long long>(escapes),
@@ -214,6 +361,19 @@ int main(int argc, char** argv) {
       opt.failover = true;
     } else if (std::strncmp(argv[arg], "--trace=", 8) == 0) {
       opt.trace_path = argv[arg] + 8;
+    } else if (std::strncmp(argv[arg], "--artifacts=", 12) == 0) {
+      opt.artifacts_dir = argv[arg] + 12;
+    } else if (std::strncmp(argv[arg], "--", 2) == 0) {
+      // An unrecognized flag would otherwise strtoull to 0 and silently
+      // become "run 0 seeds" — a campaign that passes without testing
+      // anything.
+      std::fprintf(stderr, "error: unknown flag %s\n", argv[arg]);
+      std::fprintf(stderr,
+                   "usage: %s [seeds] [devices] [pairs] [read_len]"
+                   " [--stats] [--trace=<out.json>] [--failover]"
+                   " [--artifacts=<dir>]\n",
+                   argv[0]);
+      return 2;
     } else {
       const std::uint64_t value = std::strtoull(argv[arg], nullptr, 10);
       switch (positional++) {
@@ -224,7 +384,8 @@ int main(int argc, char** argv) {
         default:
           std::fprintf(stderr,
                        "usage: %s [seeds] [devices] [pairs] [read_len]"
-                       " [--stats] [--trace=<out.json>] [--failover]\n",
+                       " [--stats] [--trace=<out.json>] [--failover]"
+                       " [--artifacts=<dir>]\n",
                        argv[0]);
           return 2;
       }
@@ -241,6 +402,9 @@ int main(int argc, char** argv) {
   }
 
   using namespace wfasic;
+
+  CampaignArtifacts artifacts(opt.artifacts_dir);
+  if (!artifacts.prepare()) return 1;
 
   const auto pairs = gen::generate_input_set(
       {opt.read_len, 0.1, opt.pairs, /*seed=*/0xFA57});
@@ -269,10 +433,13 @@ int main(int argc, char** argv) {
     cfg.device.watchdog = 20'000;
     cfg.device.accel.ecc = true;
     cfg.device.accel.crc = true;
-    // Observability of the last seed only: one trace file, one stats dump.
-    cfg.device.accel.trace = last_seed && !opt.trace_path.empty();
+    // Observability of the last seed only (one trace file, one stats
+    // dump) — or of every seed when collecting failure artifacts.
+    cfg.device.accel.trace =
+        (last_seed && !opt.trace_path.empty()) || artifacts.enabled();
 
     engine::Engine engine(cfg);
+    artifacts.seed_started(seed);
     std::vector<sim::FaultInjector> injectors;
     injectors.reserve(opt.devices);
     for (unsigned dev = 0; dev < opt.devices; ++dev) {
@@ -288,9 +455,12 @@ int main(int argc, char** argv) {
     const engine::Engine::ResilientReport report =
         engine.run_resilient(pairs, rc);
 
+    bool seed_ok = true;
     for (std::size_t i = 0; i < pairs.size(); ++i) {
       if (!report.outcomes[i].resolved) {
         ++incompletes;
+        seed_ok = false;
+        artifacts.seed_failed(engine, seed, i, /*why=*/2);
         std::fprintf(stderr, "seed %llu pair %zu: UNRESOLVED\n",
                      static_cast<unsigned long long>(seed), i);
         continue;
@@ -301,6 +471,8 @@ int main(int argc, char** argv) {
           report.outcomes[i].result.cigar.rle() == expected[i].cigar.rle();
       if (!score_ok || !cigar_ok) {
         ++escapes;
+        seed_ok = false;
+        artifacts.seed_failed(engine, seed, i, /*why=*/1);
         std::fprintf(
             stderr,
             "seed %llu pair %zu: SILENT CORRUPTION (score %d vs %d)\n",
@@ -309,9 +481,12 @@ int main(int argc, char** argv) {
       }
     }
 
+    std::uint64_t seed_faults = 0;
     for (const sim::FaultInjector& injector : injectors) {
-      faults_fired += injector.fired_count();
+      seed_faults += injector.fired_count();
     }
+    faults_fired += seed_faults;
+    if (seed_ok) artifacts.seed_passed(seed, seed_faults);
     for (unsigned dev = 0; dev < opt.devices; ++dev) {
       const engine::DeviceScoreboard& board = engine.health().board(dev);
       quarantines += board.quarantines;
@@ -355,6 +530,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(incompletes),
       static_cast<unsigned long long>(escapes));
 
+  if (!artifacts.finish(opt.seeds, opt.devices)) return 1;
   if (escapes != 0 || incompletes != 0) {
     std::fprintf(stderr, "FAIL: %llu escapes, %llu unresolved\n",
                  static_cast<unsigned long long>(escapes),

@@ -1,0 +1,151 @@
+// Request-trace analysis CLI (docs/OBSERVABILITY.md §3).
+//
+// Reads a wfasic-request-trace dump (the AlignService flight recorder's
+// export format, svc/trace_io.hpp) and answers the questions a dump
+// exists to answer:
+//
+//   wfasic-trace --validate <dump>          schema + invariant check
+//   wfasic-trace --summary <dump>           event/request/anomaly digest
+//   wfasic-trace --explain=<id> <dump>      causal chain of request <id>
+//   wfasic-trace --explain-worst <dump>     same, for the worst deadline
+//                                           miss (else slowest completion)
+//   wfasic-trace --perfetto=<out.json> <dump>
+//                                           render per-lane / per-device
+//                                           tracks in the repo's Chrome
+//                                           trace-event JSON format
+//
+// Flags combine; `-` reads the dump from stdin. Exit status: 0 on
+// success, 1 on a validation failure or unreadable input — which is what
+// the CI trace-validate job gates on.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "svc/trace_io.hpp"
+
+namespace {
+
+struct Options {
+  std::string dump_path;
+  bool validate = false;
+  bool summary = false;
+  bool explain_worst = false;
+  std::uint64_t explain_id = 0;  ///< 0 = no --explain=<id>
+  std::string perfetto_path;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--validate] [--summary] [--explain=<id>] "
+               "[--explain-worst] [--perfetto=<out.json>] <dump|->\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--validate") {
+      opt.validate = true;
+    } else if (arg == "--summary") {
+      opt.summary = true;
+    } else if (arg == "--explain-worst") {
+      opt.explain_worst = true;
+    } else if (arg.rfind("--explain=", 0) == 0) {
+      opt.explain_id = std::strtoull(arg.c_str() + 10, nullptr, 10);
+      if (opt.explain_id == 0) {
+        std::fprintf(stderr, "error: --explain needs a nonzero request id\n");
+        return false;
+      }
+    } else if (arg.rfind("--perfetto=", 0) == 0) {
+      opt.perfetto_path = arg.substr(11);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return false;
+    } else if (opt.dump_path.empty()) {
+      opt.dump_path = arg;
+    } else {
+      std::fprintf(stderr, "error: more than one dump path\n");
+      return false;
+    }
+  }
+  if (opt.dump_path.empty()) return false;
+  if (!opt.validate && !opt.summary && !opt.explain_worst &&
+      opt.explain_id == 0 && opt.perfetto_path.empty()) {
+    // No mode selected: default to the most common pairing.
+    opt.validate = true;
+    opt.summary = true;
+  }
+  return true;
+}
+
+void print_explanation(const wfasic::svc::RequestExplanation& ex) {
+  std::printf("%s\n", ex.verdict.c_str());
+  for (const wfasic::svc::RequestTraceEvent& ev : ex.chain) {
+    std::printf("  %s\n", wfasic::svc::format_trace_event(ev).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse_args(argc, argv, opt)) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  wfasic::svc::TraceDump dump;
+  std::string error;
+  const bool parsed =
+      opt.dump_path == "-"
+          ? wfasic::svc::parse_trace_dump(std::cin, dump, &error)
+          : wfasic::svc::parse_trace_dump_file(opt.dump_path, dump, &error);
+  if (!parsed) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (opt.validate) {
+    if (!wfasic::svc::validate_trace_dump(dump, &error)) {
+      std::fprintf(stderr, "INVALID: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("valid: %zu events, %llu recorded, %llu dropped\n",
+                dump.events.size(),
+                static_cast<unsigned long long>(dump.recorded),
+                static_cast<unsigned long long>(dump.dropped));
+  }
+  if (opt.summary) {
+    for (const std::string& line :
+         wfasic::svc::format_trace_summary(dump)) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  if (opt.explain_id != 0) {
+    print_explanation(wfasic::svc::explain_request(dump, opt.explain_id));
+  }
+  if (opt.explain_worst) {
+    const wfasic::svc::RequestId worst = wfasic::svc::worst_request(dump);
+    if (worst == 0) {
+      std::printf("no terminal events to explain\n");
+    } else {
+      print_explanation(wfasic::svc::explain_request(dump, worst));
+    }
+  }
+  if (!opt.perfetto_path.empty()) {
+    const std::string json = wfasic::svc::trace_dump_to_perfetto_json(dump);
+    std::FILE* out = std::fopen(opt.perfetto_path.c_str(), "wb");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   opt.perfetto_path.c_str());
+      return 1;
+    }
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s (%zu bytes)\n", opt.perfetto_path.c_str(),
+                json.size());
+  }
+  return 0;
+}
